@@ -1,0 +1,99 @@
+// Ablation: the two Section-V optimizations of long-model updates.
+//   replay      — rollover replays the decayed window (the default),
+//   precompute  — gradients pre-accumulated per batch; rollover applies one
+//                 aggregated step (Section V-B pre-computing window),
+//   async       — rollover trains a clone off-thread and atomically swaps
+//                 (Section V-A1 non-blocking updates).
+// Reports G_acc / SI plus the worst per-batch train latency (the rollover
+// spike the optimizations exist to flatten).
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/freeway_adapter.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "eval/report.h"
+#include "ml/models.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+struct VariantResult {
+  double g_acc = 0.0;
+  double si = 0.0;
+  double worst_train_micros = 0.0;
+};
+
+VariantResult RunVariant(const LearnerOptions& options) {
+  auto source = MakeBenchmarkDataset("Electricity", 808);
+  source.status().CheckOk();
+  std::unique_ptr<Model> proto =
+      MakeMlp((*source)->input_dim(), (*source)->num_classes());
+  FreewayAdapter freeway(*proto, options);
+
+  VariantResult out;
+  PrequentialResult preq;
+  Stopwatch watch;
+  for (int b = 0; b < 120; ++b) {
+    auto batch = (*source)->NextBatch(1024);
+    batch.status().CheckOk();
+    const BatchMeta meta = (*source)->LastBatchMeta();
+
+    auto pred = freeway.Predict(batch->features);
+    pred.status().CheckOk();
+    watch.Restart();
+    freeway.Train(*batch).CheckOk();
+    const double train_micros = static_cast<double>(watch.ElapsedMicros());
+
+    if (b < 10) continue;
+    out.worst_train_micros = std::max(out.worst_train_micros, train_micros);
+    size_t hits = 0;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      if ((*pred)[i] == batch->labels[i]) ++hits;
+    }
+    preq.batch_accuracies.push_back(static_cast<double>(hits) /
+                                    static_cast<double>(batch->size()));
+    preq.batch_kinds.push_back(meta.segment_kind);
+    preq.shift_events.push_back(meta.shift_event);
+  }
+  FinalizePrequentialMetrics(&preq);
+  out.g_acc = preq.g_acc;
+  out.si = preq.stability_index;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("ablation_update_modes", "DESIGN.md ablation / Section V",
+         "Long-model update modes on Electricity (batch 1024): window "
+         "replay vs pre-computing window vs async clone-and-swap.");
+
+  LearnerOptions replay;
+  LearnerOptions precompute;
+  precompute.granularity.use_precompute = true;
+  LearnerOptions async_updates;
+  async_updates.granularity.async_long_updates = true;
+
+  TablePrinter table({"Variant", "G_acc", "SI", "Worst train (us)"});
+  struct Variant {
+    const char* name;
+    const LearnerOptions* options;
+  };
+  for (const Variant& v :
+       {Variant{"replay (default)", &replay},
+        Variant{"pre-computing window", &precompute},
+        Variant{"async clone-and-swap", &async_updates}}) {
+    VariantResult r = RunVariant(*v.options);
+    table.AddRow({v.name, FormatPercent(r.g_acc), FormatDouble(r.si, 3),
+                  FormatDouble(r.worst_train_micros, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nThe worst per-batch train latency is the rollover spike; both\n"
+      "optimizations flatten it relative to the synchronous replay.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef FREEWAYML_BENCH_BENCH_UTIL_H_
+#define FREEWAYML_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/factory.h"
+#include "common/strings.h"
+#include "data/simulators.h"
+#include "eval/prequential.h"
+
+namespace freeway {
+namespace bench {
+
+/// Standard accuracy-experiment scale. The paper streams full datasets with
+/// batch 1024; these defaults keep every bench binary in the tens of
+/// seconds while preserving the drift structure (180 batches cover at
+/// least one full cycle of every simulator's drift script, so all three
+/// shift patterns are sampled).
+struct BenchScale {
+  size_t num_batches = 180;
+  size_t batch_size = 512;
+  size_t warmup_batches = 10;
+  uint64_t seed = 1234;
+};
+
+/// Runs `system` (by table name) with `kind` over a fresh instance of the
+/// named benchmark dataset; aborts on configuration errors (bench binaries
+/// treat misconfiguration as fatal).
+inline PrequentialResult RunSystemOnDataset(const std::string& system,
+                                            ModelKind kind,
+                                            const std::string& dataset,
+                                            const BenchScale& scale = {}) {
+  auto source = MakeBenchmarkDataset(dataset, scale.seed);
+  source.status().CheckOk();
+  auto learner = MakeSystem(system, kind, (*source)->input_dim(),
+                            (*source)->num_classes());
+  learner.status().CheckOk();
+  PrequentialOptions opts;
+  opts.num_batches = scale.num_batches;
+  opts.batch_size = scale.batch_size;
+  opts.warmup_batches = scale.warmup_batches;
+  auto result = RunPrequential(learner->get(), source->get(), opts);
+  result.status().CheckOk();
+  return std::move(result).ValueOrDie();
+}
+
+/// Prints the standard bench banner so tee'd logs are self-describing.
+inline void Banner(const char* experiment, const char* paper_ref,
+                   const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s  (%s)\n%s\n", experiment, paper_ref, description);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace freeway
+
+#endif  // FREEWAYML_BENCH_BENCH_UTIL_H_

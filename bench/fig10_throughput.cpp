@@ -1,0 +1,61 @@
+// Reproduces Figure 10: end-to-end throughput (records/second over
+// infer-then-train cycles) versus batch size on the Hyperplane stream, for
+// the StreamingLR system lineup (Fig 10a) and the StreamingMLP lineup
+// (Fig 10b).
+//
+// Expected shape: FreewayML leads the LR lineup (the JVM-engine baselines
+// pay serialization and, for Spark, partition aggregation); in the MLP
+// lineup FreewayML is comparable to River and clearly ahead of Camel
+// (selection cost) and A-GEM (double gradient + projection).
+
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+#include "eval/perf.h"
+#include "eval/report.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+void RunFamily(const char* family, ModelKind kind,
+               const std::vector<std::string>& systems) {
+  std::printf("--- %s (records/sec) ---\n", family);
+  const std::vector<size_t> batch_sizes = {256, 512, 1024, 2048};
+
+  std::vector<std::string> headers = {"System"};
+  for (size_t bs : batch_sizes) headers.push_back(std::to_string(bs));
+  TablePrinter table(headers);
+
+  for (const auto& system : systems) {
+    std::vector<std::string> row = {system};
+    for (size_t bs : batch_sizes) {
+      HyperplaneSource source;
+      auto learner = MakeSystem(system, kind, source.input_dim(),
+                                source.num_classes());
+      learner.status().CheckOk();
+      PerfOptions opts;
+      opts.batch_size = bs;
+      opts.warmup_batches = 3;
+      opts.measure_batches = 15;
+      auto tput = MeasureThroughput(learner->get(), &source, opts);
+      tput.status().CheckOk();
+      row.push_back(FormatDouble(tput.value() / 1000.0, 1) + "k");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("fig10_throughput", "Figure 10",
+         "Throughput vs batch size on Hyperplane (prequential "
+         "infer-then-train cycles).");
+  RunFamily("StreamingLR (Fig 10a)", ModelKind::kLogisticRegression,
+            LrSystemNames());
+  RunFamily("StreamingMLP (Fig 10b)", ModelKind::kMlp, MlpSystemNames());
+  return 0;
+}

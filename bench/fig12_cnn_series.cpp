@@ -1,0 +1,103 @@
+// Reproduces Figure 12 (appendix): per-batch real-time accuracy of
+// FreewayML-with-CNN versus the plain StreamingCNN on the four real-dataset
+// simulators and the two image streams, with the chosen strategy annotated
+// (0 = ensemble, 1 = CEC, 2 = knowledge reuse).
+
+#include <memory>
+
+#include "baselines/factory.h"
+#include "baselines/freeway_adapter.h"
+#include "baselines/streaming_learner.h"
+#include "bench/bench_util.h"
+#include "data/image_stream.h"
+#include "eval/report.h"
+#include "ml/models.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+void Trace(const std::string& label, StreamSource* src_plain,
+           StreamSource* src_freeway, StreamingLearner* plain,
+           FreewayAdapter* freeway, size_t batches, size_t batch_size,
+           size_t warmup) {
+  std::printf("--- %s ---\n", label.c_str());
+  std::vector<double> plain_acc, freeway_acc, strategy;
+  for (size_t b = 0; b < batches; ++b) {
+    auto ba = src_plain->NextBatch(batch_size);
+    auto bb = src_freeway->NextBatch(batch_size);
+    ba.status().CheckOk();
+    bb.status().CheckOk();
+    auto pa = plain->PrequentialStep(*ba);
+    auto pb = freeway->PrequentialStep(*bb);
+    pa.status().CheckOk();
+    pb.status().CheckOk();
+    if (b < warmup) continue;
+    size_t ha = 0, hb = 0;
+    for (size_t i = 0; i < ba->size(); ++i) {
+      if ((*pa)[i] == ba->labels[i]) ++ha;
+      if ((*pb)[i] == bb->labels[i]) ++hb;
+    }
+    plain_acc.push_back(static_cast<double>(ha) / ba->size());
+    freeway_acc.push_back(static_cast<double>(hb) / bb->size());
+    strategy.push_back(static_cast<double>(freeway->last_report().strategy));
+  }
+  SeriesPrinter series("batch");
+  series.AddSeries("streaming_cnn", plain_acc);
+  series.AddSeries("freewayml_cnn", freeway_acc);
+  series.AddSeries("strategy", strategy);
+  series.Print(3);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("fig12_cnn_series", "Figure 12 (appendix)",
+         "Real-time accuracy of FreewayML-CNN mechanisms vs plain "
+         "StreamingCNN (strategy: 0=ensemble, 1=CEC, 2=knowledge).");
+
+  // Tabular streams through the 3-layer CNN.
+  for (const char* dataset :
+       {"Airlines", "Covertype", "NSL-KDD", "Electricity"}) {
+    auto src_plain = MakeBenchmarkDataset(dataset, 55);
+    auto src_freeway = MakeBenchmarkDataset(dataset, 55);
+    src_plain.status().CheckOk();
+    src_freeway.status().CheckOk();
+    auto plain = MakeSystem("Plain", ModelKind::kTabularCnn,
+                            (*src_plain)->input_dim(),
+                            (*src_plain)->num_classes());
+    plain.status().CheckOk();
+    std::unique_ptr<Model> proto =
+        MakeTabularCnn((*src_freeway)->input_dim(),
+                       (*src_freeway)->num_classes());
+    FreewayAdapter freeway(*proto);
+    Trace(dataset, src_plain->get(), src_freeway->get(), plain->get(),
+          &freeway, /*batches=*/60, /*batch_size=*/256, /*warmup=*/8);
+  }
+
+  // Image streams through the 5-layer CNN with the frozen extractor
+  // feeding CEC.
+  ModelConfig config;
+  config.learning_rate = 0.05;
+  for (const char* which : {"Animals", "Flowers"}) {
+    auto src_plain = std::string(which) == "Animals" ? MakeAnimalsSim(9)
+                                                     : MakeFlowersSim(9);
+    auto src_freeway = std::string(which) == "Animals" ? MakeAnimalsSim(9)
+                                                       : MakeFlowersSim(9);
+    PlainStreamingLearner plain(
+        "StreamingCNN",
+        MakeImageCnn(src_plain->shape(), src_plain->num_classes(), config));
+    std::unique_ptr<Model> proto =
+        MakeImageCnn(src_freeway->shape(), src_freeway->num_classes(),
+                     config);
+    LearnerOptions options;
+    options.cec.extractor = std::make_shared<RandomProjectionExtractor>(
+        src_freeway->input_dim(), 32);
+    FreewayAdapter freeway(*proto, options);
+    Trace(which, src_plain.get(), src_freeway.get(), &plain, &freeway,
+          /*batches=*/36, /*batch_size=*/96, /*warmup=*/6);
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks of FreewayML's core primitives: the
+// per-batch costs the framework adds on top of the base model (PCA
+// projection, shift assessment, ASW maintenance, disorder, k-means for CEC,
+// ensemble blending). Useful as a perf-regression harness; the paper-shaped
+// numbers live in the table/fig benches.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmeans.h"
+#include "common/rng.h"
+#include "core/adaptive_window.h"
+#include "core/disorder.h"
+#include "core/shift_detector.h"
+#include "linalg/pca.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+Matrix RandomBatch(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) m.At(i, j) = rng.Gaussian(0, 1);
+  }
+  return m;
+}
+
+Batch LabeledRandomBatch(size_t n, size_t dim, size_t classes,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.features = RandomBatch(n, dim, seed);
+  b.labels.resize(n);
+  for (auto& y : b.labels) y = static_cast<int>(rng.NextBelow(classes));
+  return b;
+}
+
+void BM_PcaTransformBatchMean(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Pca pca;
+  pca.Fit(RandomBatch(256, dim, 1), dim < 8 ? dim : 8).CheckOk();
+  Matrix batch = RandomBatch(1024, dim, 2);
+  for (auto _ : state) {
+    auto r = pca.TransformBatchMean(batch);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PcaTransformBatchMean)->Arg(10)->Arg(41)->Arg(54);
+
+void BM_ShiftAssess(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  ShiftDetector detector;
+  Rng rng(3);
+  for (int b = 0; b < 8; ++b) {
+    detector.Assess(RandomBatch(512, dim, rng.NextUint64())).status().CheckOk();
+  }
+  Matrix batch = RandomBatch(1024, dim, 99);
+  for (auto _ : state) {
+    auto r = detector.Assess(batch);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ShiftAssess)->Arg(10)->Arg(41);
+
+void BM_AswAdd(benchmark::State& state) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = static_cast<size_t>(state.range(0));
+  AdaptiveStreamingWindow window(opts);
+  Rng rng(4);
+  Batch batch = LabeledRandomBatch(1024, 20, 2, 5);
+  for (auto _ : state) {
+    auto full = window.Add(batch);
+    benchmark::DoNotOptimize(full);
+    if (full.ok() && full.value()) {
+      auto taken = window.TakeTrainingData();
+      benchmark::DoNotOptimize(taken);
+    }
+  }
+}
+BENCHMARK(BM_AswAdd)->Arg(8)->Arg(32);
+
+void BM_Disorder(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizedDisorder(values));
+  }
+}
+BENCHMARK(BM_Disorder)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_KMeansCec(benchmark::State& state) {
+  // CEC-sized problem: current batch + experience, c = classes.
+  const size_t classes = static_cast<size_t>(state.range(0));
+  Matrix points = RandomBatch(1024 + 256, 16, 7);
+  KMeansOptions opts;
+  opts.max_iterations = 20;
+  for (auto _ : state) {
+    auto r = KMeans(points, classes, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * points.rows());
+}
+BENCHMARK(BM_KMeansCec)->Arg(2)->Arg(5)->Arg(7);
+
+void BM_ModelTrainBatch(benchmark::State& state) {
+  auto model = MakeMlp(41, 5);
+  Batch batch = LabeledRandomBatch(static_cast<size_t>(state.range(0)), 41,
+                                   5, 8);
+  for (auto _ : state) {
+    auto r = model->TrainBatch(batch.features, batch.labels);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_ModelTrainBatch)->Arg(256)->Arg(1024);
+
+void BM_ModelPredict(benchmark::State& state) {
+  auto model = MakeMlp(41, 5);
+  Matrix batch = RandomBatch(static_cast<size_t>(state.range(0)), 41, 9);
+  for (auto _ : state) {
+    auto r = model->PredictProba(batch);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.rows());
+}
+BENCHMARK(BM_ModelPredict)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace freeway
+
+BENCHMARK_MAIN();

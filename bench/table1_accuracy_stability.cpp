@@ -1,0 +1,48 @@
+// Reproduces Table I: global average accuracy (G_acc) and Stability Index
+// (SI) of StreamingLR systems {Flink ML, Spark MLlib, Alink, FreewayML} and
+// StreamingMLP systems {River, Camel, A-GEM, FreewayML} across the six
+// benchmark datasets.
+//
+// Expected shape (not absolute numbers): FreewayML posts the best G_acc and
+// SI in each column for both model families.
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+void RunFamily(const char* family, ModelKind kind,
+               const std::vector<std::string>& systems) {
+  std::printf("--- %s ---\n", family);
+  std::vector<std::string> headers = {"Framework"};
+  for (const auto& dataset : BenchmarkDatasetNames()) {
+    headers.push_back(dataset + " G_acc");
+    headers.push_back("SI");
+  }
+  TablePrinter table(headers);
+  for (const auto& system : systems) {
+    std::vector<std::string> row = {system};
+    for (const auto& dataset : BenchmarkDatasetNames()) {
+      PrequentialResult r = RunSystemOnDataset(system, kind, dataset);
+      row.push_back(FormatPercent(r.g_acc));
+      row.push_back(FormatDouble(r.stability_index, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("table1_accuracy_stability", "Table I",
+         "G_acc / SI of streaming systems on the six benchmark datasets "
+         "(prequential, batch 512).");
+  RunFamily("StreamingLR", ModelKind::kLogisticRegression, LrSystemNames());
+  RunFamily("StreamingMLP", ModelKind::kMlp, MlpSystemNames());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Table II: FreewayML's accuracy improvement over the original
+// (plain) Streaming MLP under each of the three shift patterns, per dataset.
+// Improvements are relative, as in the paper: (freeway - plain) / plain.
+//
+// Expected shape: improvements are largest under sudden and reoccurring
+// shifts (where CEC / knowledge reuse fire) and small-but-nonnegative under
+// slight shifts.
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+std::string Improvement(double freeway, double plain) {
+  if (plain <= 0.0) return "n/a";
+  return FormatPercent((freeway - plain) / plain, 1);
+}
+
+}  // namespace
+
+int main() {
+  Banner("table2_pattern_improvement", "Table II",
+         "Relative accuracy improvement of FreewayML over plain StreamingMLP "
+         "under the three ground-truth shift patterns (mean of 3 stream "
+         "seeds).");
+
+  const std::vector<uint64_t> seeds = {1234, 777, 2025};
+  TablePrinter table({"Dataset", "Slight Shifts", "Sudden Shifts",
+                      "Reoccurring Shifts"});
+  for (const auto& dataset : BenchmarkDatasetNames()) {
+    // Event batches are rare, so accuracies are pooled sample-weighted
+    // across seeds before the improvement ratio is formed.
+    PatternAccuracy plain{}, freeway{};
+    for (uint64_t seed : seeds) {
+      BenchScale scale;
+      scale.seed = seed;
+      PrequentialResult p =
+          RunSystemOnDataset("Plain", ModelKind::kMlp, dataset, scale);
+      PrequentialResult f =
+          RunSystemOnDataset("FreewayML", ModelKind::kMlp, dataset, scale);
+      plain.slight += p.per_pattern.slight * p.per_pattern.slight_batches;
+      plain.sudden += p.per_pattern.sudden * p.per_pattern.sudden_batches;
+      plain.reoccurring +=
+          p.per_pattern.reoccurring * p.per_pattern.reoccurring_batches;
+      plain.slight_batches += p.per_pattern.slight_batches;
+      plain.sudden_batches += p.per_pattern.sudden_batches;
+      plain.reoccurring_batches += p.per_pattern.reoccurring_batches;
+      freeway.slight += f.per_pattern.slight * f.per_pattern.slight_batches;
+      freeway.sudden += f.per_pattern.sudden * f.per_pattern.sudden_batches;
+      freeway.reoccurring +=
+          f.per_pattern.reoccurring * f.per_pattern.reoccurring_batches;
+      freeway.slight_batches += f.per_pattern.slight_batches;
+      freeway.sudden_batches += f.per_pattern.sudden_batches;
+      freeway.reoccurring_batches += f.per_pattern.reoccurring_batches;
+    }
+    auto cell = [](double f_sum, size_t f_n, double p_sum, size_t p_n) {
+      if (f_n == 0 || p_n == 0) return std::string("-");
+      return Improvement(f_sum / static_cast<double>(f_n),
+                         p_sum / static_cast<double>(p_n));
+    };
+    table.AddRow({dataset,
+                  cell(freeway.slight, freeway.slight_batches, plain.slight,
+                       plain.slight_batches),
+                  cell(freeway.sudden, freeway.sudden_batches, plain.sudden,
+                       plain.sudden_batches),
+                  cell(freeway.reoccurring, freeway.reoccurring_batches,
+                       plain.reoccurring, plain.reoccurring_batches)});
+  }
+  table.Print();
+  return 0;
+}

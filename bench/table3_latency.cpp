@@ -1,0 +1,82 @@
+// Reproduces Table III: per-batch update and inference latency (µs) of every
+// system on the Hyperplane stream, for batch sizes 512 to 4096, split into
+// the LR and MLP lineups.
+//
+// Expected shape: latency scales ~linearly with batch size; Spark MLlib is
+// the slowest updater in the LR lineup (partition aggregation + double
+// shuffle), A-GEM the slowest in the MLP lineup (extra gradient pass);
+// FreewayML's inference stays comparable to River's.
+
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+#include "eval/perf.h"
+#include "eval/report.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+struct FamilyRows {
+  std::vector<std::vector<std::string>> update;
+  std::vector<std::vector<std::string>> infer;
+};
+
+FamilyRows MeasureFamily(ModelKind kind,
+                         const std::vector<std::string>& systems,
+                         const std::vector<size_t>& batch_sizes) {
+  FamilyRows rows;
+  for (const auto& system : systems) {
+    std::vector<std::string> update_row = {system};
+    std::vector<std::string> infer_row = {system};
+    for (size_t bs : batch_sizes) {
+      HyperplaneSource source;
+      auto learner = MakeSystem(system, kind, source.input_dim(),
+                                source.num_classes());
+      learner.status().CheckOk();
+      PerfOptions opts;
+      opts.batch_size = bs;
+      opts.warmup_batches = 3;
+      opts.measure_batches = 30;
+      auto lat = MeasureLatency(learner->get(), &source, opts);
+      lat.status().CheckOk();
+      update_row.push_back(FormatDouble(lat->update_micros, 0));
+      infer_row.push_back(FormatDouble(lat->infer_micros, 0));
+    }
+    rows.update.push_back(std::move(update_row));
+    rows.infer.push_back(std::move(infer_row));
+  }
+  return rows;
+}
+
+void PrintSection(const char* label,
+                  const std::vector<std::vector<std::string>>& rows,
+                  const std::vector<size_t>& batch_sizes) {
+  std::printf("--- %s (us per batch) ---\n", label);
+  std::vector<std::string> headers = {"System"};
+  for (size_t bs : batch_sizes) headers.push_back(std::to_string(bs));
+  TablePrinter table(headers);
+  for (const auto& row : rows) table.AddRow(row);
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("table3_latency", "Table III",
+         "Update / inference latency (us) per batch on Hyperplane, batch "
+         "sizes 512-4096.");
+  const std::vector<size_t> batch_sizes = {512, 1024, 2048, 4096};
+
+  FamilyRows lr = MeasureFamily(ModelKind::kLogisticRegression,
+                                LrSystemNames(), batch_sizes);
+  FamilyRows mlp = MeasureFamily(ModelKind::kMlp, MlpSystemNames(),
+                                 batch_sizes);
+
+  PrintSection("LR_update", lr.update, batch_sizes);
+  PrintSection("MLP_update", mlp.update, batch_sizes);
+  PrintSection("LR_infer", lr.infer, batch_sizes);
+  PrintSection("MLP_infer", mlp.infer, batch_sizes);
+  return 0;
+}

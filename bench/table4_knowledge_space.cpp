@@ -1,0 +1,57 @@
+// Reproduces Table IV: in-memory space occupied by historical knowledge for
+// k = 1, 5, 10, 40, 100 preserved models, for the StreamingLR and
+// StreamingMLP architectures on the Hyperplane feature space (10 features,
+// 2 classes — the paper's performance testbed).
+//
+// Expected shape: linear in k; the MLP rows are ~7x the LR rows (parameter
+// counts 22 vs 833 with hidden width 64 — ratios depend on the hidden
+// width); totals stay in the tens-of-KB to low-MB range even at k = 100.
+
+#include "bench/bench_util.h"
+#include "core/knowledge.h"
+#include "eval/report.h"
+#include "ml/models.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+/// Fills a store with k entries snapshotting `model` and returns the hot
+/// bytes.
+size_t SpaceForK(const Model& model, size_t k) {
+  KnowledgeStoreOptions opts;
+  opts.capacity = k + 1;  // No spilling: we want the full hot footprint.
+  KnowledgeStore store(opts);
+  for (size_t i = 0; i < k; ++i) {
+    KnowledgeEntry entry;
+    // 8-D PCA representation key, as the Learner stores by default.
+    entry.representation.assign(8, static_cast<double>(i));
+    entry.parameters = model.GetParameters();
+    entry.batch_index = static_cast<int64_t>(i);
+    store.Preserve(std::move(entry)).CheckOk();
+  }
+  return store.HotSpaceBytes();
+}
+
+}  // namespace
+
+int main() {
+  Banner("table4_knowledge_space", "Table IV",
+         "Space overhead of historical knowledge for k preserved models "
+         "(Hyperplane feature space: 10 features, 2 classes).");
+
+  auto lr = MakeLogisticRegression(10, 2);
+  auto mlp = MakeMlp(10, 2);
+  std::printf("model parameter counts: LR=%zu, MLP=%zu\n\n",
+              lr->ParameterCount(), mlp->ParameterCount());
+
+  TablePrinter table({"k", "LR (KB)", "MLP (KB)"});
+  for (size_t k : {1u, 5u, 10u, 40u, 100u}) {
+    table.AddRow({std::to_string(k),
+                  FormatDouble(SpaceForK(*lr, k) / 1024.0, 1),
+                  FormatDouble(SpaceForK(*mlp, k) / 1024.0, 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Table V (appendix): G_acc and SI of the plain StreamingCNN
+// versus FreewayML-with-CNN on the six benchmark datasets (tabular streams
+// through the 3-layer 1-D-kernel CNN) plus the two image streams, Animals
+// and Flowers, through the 5-layer CNN. For the image streams FreewayML's
+// CEC clusters in the feature space of a fixed random-projection extractor
+// (the VGG-16 stand-in; see DESIGN.md).
+//
+// Expected shape: FreewayML improves G_acc and SI on every row.
+
+#include <memory>
+
+#include "baselines/freeway_adapter.h"
+#include "baselines/streaming_learner.h"
+#include "bench/bench_util.h"
+#include "data/image_stream.h"
+#include "eval/report.h"
+#include "ml/models.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+struct RowResult {
+  PrequentialResult plain;
+  PrequentialResult freeway;
+};
+
+PrequentialResult RunImage(StreamingLearner* learner, ImageStreamSource* src,
+                           size_t num_batches, size_t batch_size) {
+  PrequentialOptions opts;
+  opts.num_batches = num_batches;
+  opts.batch_size = batch_size;
+  opts.warmup_batches = 6;
+  auto result = RunPrequential(learner, src, opts);
+  result.status().CheckOk();
+  return std::move(result).ValueOrDie();
+}
+
+RowResult RunImagePair(std::unique_ptr<ImageStreamSource> src_plain,
+                       std::unique_ptr<ImageStreamSource> src_freeway) {
+  const size_t batches = 40, batch_size = 96;
+  ModelConfig config;
+  config.learning_rate = 0.05;  // CNNs want a gentler step.
+
+  RowResult out;
+  {
+    PlainStreamingLearner plain(
+        "StreamingCNN",
+        MakeImageCnn(src_plain->shape(), src_plain->num_classes(), config));
+    out.plain = RunImage(&plain, src_plain.get(), batches, batch_size);
+  }
+  {
+    std::unique_ptr<Model> proto =
+        MakeImageCnn(src_freeway->shape(), src_freeway->num_classes(),
+                     config);
+    LearnerOptions options;
+    // Frozen feature extractor ahead of CEC for image data (appendix).
+    options.cec.extractor = std::make_shared<RandomProjectionExtractor>(
+        src_freeway->input_dim(), 32);
+    FreewayAdapter freeway(*proto, options);
+    out.freeway = RunImage(&freeway, src_freeway.get(), batches, batch_size);
+  }
+  return out;
+}
+
+void AddRow(TablePrinter* table, const std::string& name,
+            const RowResult& r) {
+  table->AddRow({name, FormatPercent(r.plain.g_acc),
+                 FormatDouble(r.plain.stability_index, 3),
+                 FormatPercent(r.freeway.g_acc),
+                 FormatDouble(r.freeway.stability_index, 3)});
+}
+
+}  // namespace
+
+int main() {
+  Banner("table5_cnn_accuracy", "Table V (appendix)",
+         "StreamingCNN vs FreewayML-CNN: G_acc / SI on the six benchmark "
+         "datasets plus the Animals / Flowers image streams.");
+
+  TablePrinter table({"Dataset", "CNN G_acc", "CNN SI", "FreewayML G_acc",
+                      "FreewayML SI"});
+
+  // Tabular streams through the 3-layer CNN.
+  BenchScale scale;
+  scale.num_batches = 60;
+  scale.batch_size = 256;
+  for (const auto& dataset : BenchmarkDatasetNames()) {
+    RowResult r;
+    r.plain = RunSystemOnDataset("Plain", ModelKind::kTabularCnn, dataset,
+                                 scale);
+    r.freeway = RunSystemOnDataset("FreewayML", ModelKind::kTabularCnn,
+                                   dataset, scale);
+    AddRow(&table, dataset, r);
+  }
+
+  // Image streams through the 5-layer CNN.
+  AddRow(&table, "Animals", RunImagePair(MakeAnimalsSim(7), MakeAnimalsSim(7)));
+  AddRow(&table, "Flowers", RunImagePair(MakeFlowersSim(8), MakeFlowersSim(8)));
+
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Detector comparison: the paper's core motivation is that classical
+// *error-based* drift detectors (DDM, EDDM, Page-Hinkley, ADWIN — what
+// River/MOA provide) only react after accuracy has already collapsed,
+// while FreewayML's *distribution-based* shift detector sees the shift in
+// the features of the very batch that carries it.
+//
+// This example streams a concept with one sudden jump and prints, for each
+// detector, the batch at which it first signaled — relative to the batch
+// the jump actually happened on.
+//
+// Build & run:  ./build/examples/detector_comparison
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/shift_detector.h"
+#include "data/concept.h"
+#include "detectors/drift_detectors.h"
+#include "ml/models.h"
+
+using namespace freeway;  // NOLINT — example code.
+
+int main() {
+  // One calm phase, then a sudden jump at a known batch.
+  ConceptSourceOptions opts;
+  opts.dim = 10;
+  opts.num_classes = 2;
+  opts.seed = 99;
+  opts.transition_fraction = 0.0;  // Exact, known jump batch.
+  DriftScript script;
+  DriftSegment calm;
+  calm.kind = DriftKind::kLocalized;
+  calm.num_batches = 40;
+  calm.magnitude = 0.05;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 20;
+  jump.magnitude = 3.0;
+  script.segments = {calm, jump};
+  script.loop = false;
+  GaussianConceptSource stream("one-jump", opts, script);
+
+  // The error stream all classical detectors watch comes from one shared
+  // prequential model.
+  std::unique_ptr<Model> model = MakeMlp(opts.dim, opts.num_classes);
+
+  ShiftDetector freeway_detector;
+  std::vector<std::unique_ptr<DriftDetector>> classical;
+  for (const char* name : {"DDM", "EDDM", "PageHinkley", "ADWIN"}) {
+    classical.push_back(MakeDriftDetector(name));
+  }
+  std::vector<int> classical_first(classical.size(), -1);
+  int freeway_first = -1;
+  int jump_batch = -1;
+
+  const size_t batch_size = 512;
+  for (int b = 0; b < 60; ++b) {
+    Result<Batch> batch = stream.NextBatch(batch_size);
+    batch.status().CheckOk();
+    if (stream.LastBatchMeta().shift_event && jump_batch < 0) jump_batch = b;
+
+    // FreewayML's detector sees only the features.
+    Result<ShiftAssessment> shift = freeway_detector.Assess(batch->features);
+    shift.status().CheckOk();
+    // Monitor after a short burn-in: every detector (including the shift
+    // detector's distance statistics) is unstable while the model and the
+    // statistics are still cold.
+    const bool armed = b >= 15;
+    if (armed && !shift->warmup && shift->pattern != ShiftPattern::kSlight &&
+        freeway_first < 0) {
+      freeway_first = b;
+    }
+
+    // Classical detectors see per-sample error indicators of the deployed
+    // model (prequential: predict before training).
+    Result<std::vector<int>> pred = model->Predict(batch->features);
+    pred.status().CheckOk();
+    for (size_t d = 0; d < classical.size(); ++d) {
+      for (size_t i = 0; i < batch->size(); ++i) {
+        const DriftState state = classical[d]->Add(
+            (*pred)[i] == batch->labels[i] ? 0.0 : 1.0);
+        if (armed && state == DriftState::kDrift &&
+            classical_first[d] < 0) {
+          classical_first[d] = b;
+        }
+      }
+    }
+    model->TrainBatch(batch->features, batch->labels).status().CheckOk();
+  }
+
+  std::printf("sudden jump occurs at batch %d\n\n", jump_batch);
+  std::printf("detector             first signal   delay (batches)\n");
+  auto print_row = [&](const char* name, int first) {
+    if (first < 0) {
+      std::printf("%-20s %-14s %s\n", name, "never", "-");
+    } else {
+      std::printf("%-20s %-14d %d\n", name, first, first - jump_batch);
+    }
+  };
+  print_row("FreewayML (features)", freeway_first);
+  for (size_t d = 0; d < classical.size(); ++d) {
+    print_row(classical[d]->name().c_str(), classical_first[d]);
+  }
+  std::printf(
+      "\nAt this batch size every detector catches a hard jump within a\n"
+      "batch. The structural differences remain: the distribution-based\n"
+      "detector needs NO labels (it watches features, so it also works on\n"
+      "pure inference traffic) and classifies the shift (sudden vs\n"
+      "reoccurring), which is what lets FreewayML pick a strategy rather\n"
+      "than just reset.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "baselines/agem.h"
+
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+AGemLearner::AGemLearner(std::unique_ptr<Model> model,
+                         const AGemOptions& options)
+    : model_(std::move(model)), options_(options), rng_(options.seed) {}
+
+Result<Matrix> AGemLearner::PredictProba(const Matrix& x) {
+  return model_->PredictProba(x);
+}
+
+Status AGemLearner::Train(const Batch& batch) {
+  // Gradient on the incoming batch.
+  Result<double> loss =
+      model_->ComputeGradient(batch.features, batch.labels, &grad_);
+  if (!loss.ok()) return loss.status();
+
+  // Reference gradient on an episodic-memory sample; project if the new
+  // gradient conflicts with it.
+  if (memory_features_.size() >= 16) {
+    size_t ref_n = options_.reference_size < memory_features_.size()
+                       ? options_.reference_size
+                       : memory_features_.size();
+    Matrix ref_x(ref_n, batch.dim());
+    std::vector<int> ref_y(ref_n);
+    for (size_t i = 0; i < ref_n; ++i) {
+      const size_t idx =
+          static_cast<size_t>(rng_.NextBelow(memory_features_.size()));
+      ref_x.SetRow(i, memory_features_[idx]);
+      ref_y[i] = memory_labels_[idx];
+    }
+    Result<double> ref_loss = model_->ComputeGradient(ref_x, ref_y, &ref_grad_);
+    if (!ref_loss.ok()) return ref_loss.status();
+
+    const double dot = vec::Dot(grad_, ref_grad_);
+    if (dot < 0.0) {
+      const double ref_norm2 = vec::Dot(ref_grad_, ref_grad_);
+      if (ref_norm2 > 1e-12) {
+        const double scale = dot / ref_norm2;
+        for (size_t i = 0; i < grad_.size(); ++i) {
+          grad_[i] -= scale * ref_grad_[i];
+        }
+        ++projections_;
+      }
+    }
+  }
+
+  // SGD step with the (possibly projected) gradient.
+  for (auto& g : grad_) g *= -options_.learning_rate;
+  FREEWAY_RETURN_NOT_OK(model_->ApplyStep(grad_));
+
+  // Reservoir-style memory maintenance: keep a random subset of this batch.
+  size_t take = options_.samples_per_batch < batch.size()
+                    ? options_.samples_per_batch
+                    : batch.size();
+  for (size_t i = 0; i < take; ++i) {
+    const size_t idx = static_cast<size_t>(rng_.NextBelow(batch.size()));
+    memory_features_.push_back(batch.features.RowVector(idx));
+    memory_labels_.push_back(batch.labels[idx]);
+    if (memory_features_.size() > options_.memory_capacity) {
+      memory_features_.pop_front();
+      memory_labels_.pop_front();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace freeway

@@ -1,0 +1,60 @@
+#ifndef FREEWAYML_BASELINES_AGEM_H_
+#define FREEWAYML_BASELINES_AGEM_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "baselines/streaming_learner.h"
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace freeway {
+
+/// Options for the A-GEM baseline.
+struct AGemOptions {
+  /// Episodic memory capacity (samples).
+  size_t memory_capacity = 2048;
+  /// Samples randomly reservoir-kept from each incoming batch.
+  size_t samples_per_batch = 64;
+  /// Reference-gradient sample size drawn from memory each step.
+  size_t reference_size = 512;
+  double learning_rate = 0.05;
+  uint64_t seed = 23;
+};
+
+/// A-GEM baseline (Chaudhry et al.): constrained streaming updates. Each
+/// step computes the gradient g on the new batch and a reference gradient
+/// g_ref on a sample of episodic memory; when g would increase the loss on
+/// memory (g . g_ref < 0), g is projected onto the half-space
+/// g' = g - (g.g_ref / ||g_ref||^2) g_ref before the SGD step. The extra
+/// gradient pass and projection are what make A-GEM the slowest MLP baseline
+/// in the paper's performance experiments.
+class AGemLearner : public StreamingLearner {
+ public:
+  AGemLearner(std::unique_ptr<Model> model, const AGemOptions& options = {});
+
+  std::string name() const override { return "A-GEM"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+  size_t memory_size() const { return memory_features_.size(); }
+  /// Steps on which the projection actually fired.
+  size_t projections() const { return projections_; }
+
+ private:
+  std::unique_ptr<Model> model_;
+  AGemOptions options_;
+  Rng rng_;
+
+  std::deque<std::vector<double>> memory_features_;
+  std::deque<int> memory_labels_;
+
+  std::vector<double> grad_;
+  std::vector<double> ref_grad_;
+  size_t projections_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_AGEM_H_

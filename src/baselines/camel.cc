@@ -1,0 +1,128 @@
+#include "baselines/camel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+CamelLearner::CamelLearner(std::unique_ptr<Model> model,
+                           const CamelOptions& options)
+    : model_(std::move(model)), options_(options), rng_(options.seed) {
+  centroids_.resize(model_->num_classes());
+  centroid_counts_.assign(model_->num_classes(), 0);
+}
+
+void CamelLearner::UpdateCentroid(int label, std::span<const double> row) {
+  auto& centroid = centroids_[static_cast<size_t>(label)];
+  auto& count = centroid_counts_[static_cast<size_t>(label)];
+  if (centroid.empty()) centroid.assign(row.size(), 0.0);
+  ++count;
+  const double inv = 1.0 / static_cast<double>(count);
+  for (size_t d = 0; d < row.size(); ++d) {
+    centroid[d] += (row[d] - centroid[d]) * inv;
+  }
+}
+
+Result<Matrix> CamelLearner::PredictProba(const Matrix& x) {
+  return model_->PredictProba(x);
+}
+
+Status CamelLearner::Train(const Batch& batch) {
+  const size_t n = batch.size();
+
+  // Outlier score: distance of each sample to its running class centroid
+  // (unseen classes score 0 so they are never treated as outliers).
+  std::vector<double> outlier(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& centroid =
+        centroids_[static_cast<size_t>(batch.labels[i])];
+    if (!centroid.empty()) {
+      outlier[i] = vec::SquaredDistance(batch.features.Row(i), centroid);
+    }
+  }
+  // The farthest ~20% are treated as noise and excluded from selection.
+  std::vector<size_t> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  const size_t inliers = n - n / 5;
+  std::nth_element(candidates.begin(),
+                   candidates.begin() + static_cast<ptrdiff_t>(inliers),
+                   candidates.end(), [&outlier](size_t a, size_t b) {
+                     return outlier[a] < outlier[b];
+                   });
+  candidates.resize(inliers);
+
+  // Value score: model uncertainty on the true class (1 - p[y]). This
+  // scoring pass over the whole batch is Camel's per-batch selection cost.
+  Result<Matrix> proba = model_->PredictProba(batch.features);
+  if (!proba.ok()) return proba.status();
+  std::vector<double> value(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    value[i] =
+        1.0 - proba->At(i, static_cast<size_t>(batch.labels[i]));
+  }
+
+  // Keep the `keep_ratio` most valuable inliers.
+  size_t keep = static_cast<size_t>(options_.keep_ratio *
+                                    static_cast<double>(n));
+  if (keep == 0) keep = 1;
+  if (keep > candidates.size()) keep = candidates.size();
+  std::vector<size_t> order = std::move(candidates);
+  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(keep),
+                   order.end(), [&value](size_t a, size_t b) {
+                     return value[a] > value[b];
+                   });
+  order.resize(keep);
+
+  // Replay augmentation: buffered samples nearest the current batch mean.
+  const std::vector<double> batch_mean = batch.Mean();
+  size_t replay = static_cast<size_t>(options_.replay_ratio *
+                                      static_cast<double>(keep));
+  std::vector<size_t> replay_idx;
+  if (replay > 0 && !buffer_features_.empty()) {
+    std::vector<std::pair<double, size_t>> ranked;
+    ranked.reserve(buffer_features_.size());
+    for (size_t i = 0; i < buffer_features_.size(); ++i) {
+      ranked.emplace_back(
+          vec::SquaredDistance(buffer_features_[i], batch_mean), i);
+    }
+    if (replay > ranked.size()) replay = ranked.size();
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<ptrdiff_t>(replay),
+                      ranked.end());
+    for (size_t i = 0; i < replay; ++i) replay_idx.push_back(ranked[i].second);
+  }
+
+  // Assemble the selected + replayed training matrix.
+  Matrix train_x(keep + replay_idx.size(), batch.dim());
+  std::vector<int> train_y;
+  train_y.reserve(keep + replay_idx.size());
+  size_t row = 0;
+  for (size_t idx : order) {
+    train_x.SetRow(row++, batch.features.Row(idx));
+    train_y.push_back(batch.labels[idx]);
+  }
+  for (size_t idx : replay_idx) {
+    train_x.SetRow(row++, buffer_features_[idx]);
+    train_y.push_back(buffer_labels_[idx]);
+  }
+
+  Result<double> loss = model_->TrainBatch(train_x, train_y);
+  if (!loss.ok()) return loss.status();
+
+  // Maintain centroids and the replay buffer from the *selected* subset
+  // (selected data is what Camel trusts).
+  for (size_t idx : order) {
+    UpdateCentroid(batch.labels[idx], batch.features.Row(idx));
+    buffer_features_.push_back(batch.features.RowVector(idx));
+    buffer_labels_.push_back(batch.labels[idx]);
+    if (buffer_features_.size() > options_.buffer_capacity) {
+      buffer_features_.pop_front();
+      buffer_labels_.pop_front();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace freeway

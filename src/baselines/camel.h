@@ -1,0 +1,62 @@
+#ifndef FREEWAYML_BASELINES_CAMEL_H_
+#define FREEWAYML_BASELINES_CAMEL_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "baselines/streaming_learner.h"
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace freeway {
+
+/// Options for the Camel baseline's data selection.
+struct CamelOptions {
+  /// Fraction of each incoming batch kept for training (the "high-quality"
+  /// subset nearest its class centroid).
+  double keep_ratio = 0.75;
+  /// Replay-buffer capacity (samples) used for augmentation.
+  size_t buffer_capacity = 2048;
+  /// Buffered samples most similar to the current batch appended to each
+  /// update, as a fraction of the kept subset.
+  double replay_ratio = 0.25;
+  uint64_t seed = 17;
+};
+
+/// Camel baseline (SIGMOD'22): manages training data for efficient stream
+/// learning by (a) *filtering outliers* — samples far from their running
+/// class centroid, (b) *selecting* the most valuable remainder by model
+/// uncertainty (an extra scoring forward pass over every batch, the cost
+/// that makes Camel slower than plain streaming in the paper's performance
+/// experiments), and (c) *augmenting* updates with the buffered past
+/// samples most similar to the current distribution.
+class CamelLearner : public StreamingLearner {
+ public:
+  CamelLearner(std::unique_ptr<Model> model, const CamelOptions& options = {});
+
+  std::string name() const override { return "Camel"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+  size_t buffer_size() const { return buffer_features_.size(); }
+
+ private:
+  void UpdateCentroid(int label, std::span<const double> row);
+
+  std::unique_ptr<Model> model_;
+  CamelOptions options_;
+  Rng rng_;
+
+  /// Running per-class centroids (lazily sized).
+  std::vector<std::vector<double>> centroids_;
+  std::vector<size_t> centroid_counts_;
+
+  /// Replay buffer.
+  std::deque<std::vector<double>> buffer_features_;
+  std::deque<int> buffer_labels_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_CAMEL_H_

@@ -1,0 +1,111 @@
+#include "baselines/engine_learners.h"
+
+namespace freeway {
+
+// ---------------------------------------------------------------------------
+// FlinkMlLearner
+// ---------------------------------------------------------------------------
+
+FlinkMlLearner::FlinkMlLearner(std::unique_ptr<Model> model)
+    : model_(std::move(model)) {}
+
+Result<Matrix> FlinkMlLearner::PredictProba(const Matrix& x) {
+  // Two operator boundaries on the inference path (ingress + egress).
+  internal::SerializationRoundTrip(x, &wire_);
+  internal::SerializationRoundTrip(x, &wire_);
+  return model_->PredictProba(x);
+}
+
+Status FlinkMlLearner::Train(const Batch& batch) {
+  // Three operator boundaries on the training path (source -> keyed update
+  // -> state backend).
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  pending_.push_back(batch);
+  // The watermark admits the previous batch once the next one arrives.
+  while (pending_.size() > 1) {
+    const Batch& ready = pending_.front();
+    Result<double> loss = model_->TrainBatch(ready.features, ready.labels);
+    if (!loss.ok()) return loss.status();
+    pending_.pop_front();
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SparkMLlibLearner
+// ---------------------------------------------------------------------------
+
+SparkMLlibLearner::SparkMLlibLearner(std::unique_ptr<Model> model,
+                                     size_t num_partitions,
+                                     double learning_rate)
+    : model_(std::move(model)),
+      num_partitions_(num_partitions > 0 ? num_partitions : 1),
+      learning_rate_(learning_rate) {}
+
+Result<Matrix> SparkMLlibLearner::PredictProba(const Matrix& x) {
+  // RDD ingress + result collection.
+  internal::SerializationRoundTrip(x, &wire_);
+  internal::SerializationRoundTrip(x, &wire_);
+  return model_->PredictProba(x);
+}
+
+Status SparkMLlibLearner::Train(const Batch& batch) {
+  // Micro-batch ingress, partition shuffle (both sides), and gradient
+  // collection back to the driver.
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+
+  const size_t n = batch.size();
+  const size_t partitions = num_partitions_ < n ? num_partitions_ : 1;
+  const size_t per = (n + partitions - 1) / partitions;
+
+  grad_accum_.assign(model_->ParameterCount(), 0.0);
+  size_t used = 0;
+  for (size_t p = 0; p < partitions; ++p) {
+    const size_t begin = p * per;
+    if (begin >= n) break;
+    const size_t end = begin + per < n ? begin + per : n;
+    FREEWAY_ASSIGN_OR_RETURN(Batch part, SliceBatch(batch, begin, end));
+    Result<double> loss =
+        model_->ComputeGradient(part.features, part.labels, &grad_scratch_);
+    if (!loss.ok()) return loss.status();
+    for (size_t i = 0; i < grad_accum_.size(); ++i) {
+      grad_accum_[i] += grad_scratch_[i];
+    }
+    ++used;
+  }
+  if (used == 0) return Status::InvalidArgument("Spark: empty batch");
+
+  // Single averaged-gradient SGD step per micro-batch (driver-side update).
+  const double scale = -learning_rate_ / static_cast<double>(used);
+  for (auto& g : grad_accum_) g *= scale;
+  return model_->ApplyStep(grad_accum_);
+}
+
+// ---------------------------------------------------------------------------
+// AlinkLearner
+// ---------------------------------------------------------------------------
+
+AlinkLearner::AlinkLearner(std::unique_ptr<Model> model)
+    : model_(std::move(model)) {}
+
+Result<Matrix> AlinkLearner::PredictProba(const Matrix& x) {
+  internal::SerializationRoundTrip(x, &wire_);
+  internal::SerializationRoundTrip(x, &wire_);
+  return model_->PredictProba(x);
+}
+
+Status AlinkLearner::Train(const Batch& batch) {
+  // Alink rides Flink's runtime: same three training-path boundaries.
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  internal::SerializationRoundTrip(batch.features, &wire_);
+  Result<double> loss = model_->TrainBatch(batch.features, batch.labels);
+  return loss.ok() ? Status::OK() : loss.status();
+}
+
+}  // namespace freeway

@@ -1,0 +1,75 @@
+#ifndef FREEWAYML_BASELINES_ENGINE_LEARNERS_H_
+#define FREEWAYML_BASELINES_ENGINE_LEARNERS_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "baselines/streaming_learner.h"
+#include "ml/model.h"
+
+namespace freeway {
+
+/// Flink ML baseline: continuous per-batch SGD behind a watermark. Flink's
+/// event-time watermarks delay processing until a batch is known complete,
+/// so model updates land one batch late relative to arrival; every operator
+/// boundary (de)serializes the batch. We reproduce both behaviours: the
+/// update for batch t is applied when batch t+1 arrives, and every train /
+/// inference call pays one serialization round-trip.
+class FlinkMlLearner : public StreamingLearner {
+ public:
+  explicit FlinkMlLearner(std::unique_ptr<Model> model);
+
+  std::string name() const override { return "Flink ML"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+ private:
+  std::unique_ptr<Model> model_;
+  std::deque<Batch> pending_;  ///< Batches behind the watermark.
+  std::vector<char> wire_;
+};
+
+/// Spark MLlib baseline (StreamingLogisticRegressionWithSGD style): each
+/// micro-batch is split into partitions, per-partition gradients are
+/// computed and *averaged* into a single step per micro-batch. One step per
+/// batch (instead of per chunk) adapts more slowly; shuffling partitions
+/// costs two serialization round-trips.
+class SparkMLlibLearner : public StreamingLearner {
+ public:
+  SparkMLlibLearner(std::unique_ptr<Model> model, size_t num_partitions = 4,
+                    double learning_rate = 0.05);
+
+  std::string name() const override { return "Spark MLlib"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+ private:
+  std::unique_ptr<Model> model_;
+  size_t num_partitions_;
+  double learning_rate_;
+  std::vector<char> wire_;
+  std::vector<double> grad_accum_;
+  std::vector<double> grad_scratch_;
+};
+
+/// Alink baseline: streaming logistic regression with FOBOS / RDA proximal
+/// updates for stability on real-time streams (per the paper's appendix).
+/// Construct it with MakeLogisticRegressionWithOptimizer(...,
+/// FobosOptimizer / RdaOptimizer).
+class AlinkLearner : public StreamingLearner {
+ public:
+  explicit AlinkLearner(std::unique_ptr<Model> model);
+
+  std::string name() const override { return "Alink"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+ private:
+  std::unique_ptr<Model> model_;
+  std::vector<char> wire_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_ENGINE_LEARNERS_H_

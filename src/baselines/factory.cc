@@ -1,0 +1,107 @@
+#include "baselines/factory.h"
+
+#include "baselines/agem.h"
+#include "baselines/camel.h"
+#include "baselines/engine_learners.h"
+#include "baselines/freeway_adapter.h"
+#include "baselines/river.h"
+#include "ml/optimizer.h"
+
+namespace freeway {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      return "StreamingLR";
+    case ModelKind::kMlp:
+      return "StreamingMLP";
+    case ModelKind::kTabularCnn:
+      return "StreamingCNN";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> MakeModel(ModelKind kind, size_t input_dim,
+                                 size_t num_classes,
+                                 const ModelConfig& config) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      return MakeLogisticRegression(input_dim, num_classes, config);
+    case ModelKind::kMlp:
+      return MakeMlp(input_dim, num_classes, config);
+    case ModelKind::kTabularCnn:
+      return MakeTabularCnn(input_dim, num_classes, config);
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<StreamingLearner>> MakeSystem(
+    const std::string& system, ModelKind kind, size_t input_dim,
+    size_t num_classes, const ModelConfig& config) {
+  std::unique_ptr<Model> model = MakeModel(kind, input_dim, num_classes,
+                                           config);
+  if (model == nullptr) {
+    return Status::InvalidArgument("MakeSystem: unknown model kind");
+  }
+
+  if (system == "Plain") {
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<PlainStreamingLearner>(
+            std::string("Plain ") + ModelKindName(kind), std::move(model)));
+  }
+  if (system == "Flink ML") {
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<FlinkMlLearner>(std::move(model)));
+  }
+  if (system == "Spark MLlib") {
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<SparkMLlibLearner>(std::move(model),
+                                            /*num_partitions=*/4,
+                                            config.learning_rate));
+  }
+  if (system == "Alink") {
+    // Alink pairs LR with a FOBOS proximal update; for other model kinds it
+    // keeps the plain optimizer, matching the paper's LR-only Alink rows.
+    if (kind == ModelKind::kLogisticRegression) {
+      model = MakeLogisticRegressionWithOptimizer(
+          input_dim, num_classes,
+          std::make_unique<FobosOptimizer>(config.learning_rate, 1e-5),
+          config.seed);
+    }
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<AlinkLearner>(std::move(model)));
+  }
+  if (system == "River") {
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<RiverLearner>(std::move(model)));
+  }
+  if (system == "Camel") {
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<CamelLearner>(std::move(model)));
+  }
+  if (system == "A-GEM") {
+    AGemOptions opts;
+    opts.learning_rate = config.learning_rate;
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<AGemLearner>(std::move(model), opts));
+  }
+  if (system == "FreewayML") {
+    return std::unique_ptr<StreamingLearner>(
+        std::make_unique<FreewayAdapter>(*model));
+  }
+  return Status::NotFound("MakeSystem: unknown system: " + system);
+}
+
+const std::vector<std::string>& LrSystemNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "Flink ML", "Spark MLlib", "Alink", "FreewayML"};
+  return *names;
+}
+
+const std::vector<std::string>& MlpSystemNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "River", "Camel", "A-GEM", "FreewayML"};
+  return *names;
+}
+
+}  // namespace freeway

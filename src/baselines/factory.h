@@ -1,0 +1,41 @@
+#ifndef FREEWAYML_BASELINES_FACTORY_H_
+#define FREEWAYML_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/streaming_learner.h"
+#include "ml/models.h"
+
+namespace freeway {
+
+/// Model family used by a system under test.
+enum class ModelKind {
+  kLogisticRegression,
+  kMlp,
+  kTabularCnn,
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/// Builds the base model for a given kind.
+std::unique_ptr<Model> MakeModel(ModelKind kind, size_t input_dim,
+                                 size_t num_classes,
+                                 const ModelConfig& config = {});
+
+/// Builds a complete system under test by the name used in the paper's
+/// tables: "Plain", "Flink ML", "Spark MLlib", "Alink", "River", "Camel",
+/// "A-GEM", or "FreewayML". Returns NotFound for unknown names.
+Result<std::unique_ptr<StreamingLearner>> MakeSystem(
+    const std::string& system, ModelKind kind, size_t input_dim,
+    size_t num_classes, const ModelConfig& config = {});
+
+/// The paper's baseline lineup for StreamingLR (Table I, upper half).
+const std::vector<std::string>& LrSystemNames();
+/// The paper's baseline lineup for StreamingMLP (Table I, lower half).
+const std::vector<std::string>& MlpSystemNames();
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_FACTORY_H_

@@ -1,0 +1,23 @@
+#include "baselines/freeway_adapter.h"
+
+namespace freeway {
+
+FreewayAdapter::FreewayAdapter(const Model& prototype,
+                               const LearnerOptions& options)
+    : learner_(prototype, options) {}
+
+Result<Matrix> FreewayAdapter::PredictProba(const Matrix& x) {
+  FREEWAY_ASSIGN_OR_RETURN(last_report_, learner_.Infer(x));
+  return last_report_.proba;
+}
+
+Status FreewayAdapter::Train(const Batch& batch) {
+  return learner_.Train(batch);
+}
+
+Result<std::vector<int>> FreewayAdapter::PrequentialStep(const Batch& batch) {
+  FREEWAY_ASSIGN_OR_RETURN(last_report_, learner_.InferThenTrain(batch));
+  return last_report_.predictions;
+}
+
+}  // namespace freeway

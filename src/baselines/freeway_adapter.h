@@ -1,0 +1,36 @@
+#ifndef FREEWAYML_BASELINES_FREEWAY_ADAPTER_H_
+#define FREEWAYML_BASELINES_FREEWAY_ADAPTER_H_
+
+#include <memory>
+
+#include "baselines/streaming_learner.h"
+#include "core/learner.h"
+
+namespace freeway {
+
+/// Adapts the FreewayML Learner to the StreamingLearner facade so the
+/// prequential evaluator and performance harness can drive it alongside the
+/// baselines. Inference and training share one shift assessment per batch,
+/// so PrequentialStep maps to Learner::InferThenTrain.
+class FreewayAdapter : public StreamingLearner {
+ public:
+  FreewayAdapter(const Model& prototype, const LearnerOptions& options = {});
+
+  std::string name() const override { return "FreewayML"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+  Result<std::vector<int>> PrequentialStep(const Batch& batch) override;
+
+  Learner* mutable_learner() { return &learner_; }
+  const Learner& learner() const { return learner_; }
+  /// Report of the last PrequentialStep / PredictProba call.
+  const InferenceReport& last_report() const { return last_report_; }
+
+ private:
+  Learner learner_;
+  InferenceReport last_report_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_FREEWAY_ADAPTER_H_

@@ -1,0 +1,125 @@
+#include "baselines/river.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace freeway {
+
+RiverLearner::RiverLearner(std::unique_ptr<Model> model,
+                           const RiverOptions& options)
+    : prototype_(model->Clone()),
+      model_(std::move(model)),
+      options_(options) {
+  if (!options_.classical_detector.empty()) {
+    classical_ = MakeDriftDetector(options_.classical_detector);
+  }
+}
+
+std::unique_ptr<Model> RiverLearner::FreshModel() const {
+  // Clone the untouched prototype and decorrelate it from previous resets
+  // with a small random perturbation.
+  std::unique_ptr<Model> fresh = prototype_->Clone();
+  Rng rng(0x5eedULL + reinit_counter_);
+  std::vector<double> nudge(fresh->ParameterCount());
+  for (auto& v : nudge) v = rng.Gaussian(0.0, 0.01);
+  fresh->ApplyStep(nudge).CheckOk();
+  return fresh;
+}
+
+Result<Matrix> RiverLearner::PredictProba(const Matrix& x) {
+  return model_->PredictProba(x);
+}
+
+Status RiverLearner::Train(const Batch& batch) {
+  // Prequential accuracy of the deployed model on this batch feeds the
+  // detector *before* the update.
+  FREEWAY_ASSIGN_OR_RETURN(double acc,
+                           Accuracy(model_.get(), batch.features,
+                                    batch.labels));
+
+  if (classical_ != nullptr) {
+    // Classical detectors consume per-sample error indicators (their
+    // statistics assume Bernoulli inputs); the batch's verdict is the most
+    // severe state any sample produced.
+    FREEWAY_ASSIGN_OR_RETURN(std::vector<int> predictions,
+                             model_->Predict(batch.features));
+    DriftState state = DriftState::kStable;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const DriftState s = classical_->Add(
+          predictions[i] == batch.labels[i] ? 0.0 : 1.0);
+      if (s == DriftState::kDrift) {
+        state = DriftState::kDrift;
+      } else if (s == DriftState::kWarning &&
+                 state == DriftState::kStable) {
+        state = DriftState::kWarning;
+      }
+    }
+    if (state == DriftState::kDrift) {
+      ++drift_count_;
+      ++reinit_counter_;
+      model_ = background_ != nullptr ? std::move(background_) : FreshModel();
+      background_.reset();
+    } else if (state == DriftState::kWarning) {
+      if (background_ == nullptr) {
+        ++reinit_counter_;
+        background_ = FreshModel();
+      }
+    } else {
+      background_.reset();
+    }
+    Result<double> loss = model_->TrainBatch(batch.features, batch.labels);
+    if (!loss.ok()) return loss.status();
+    if (background_ != nullptr) {
+      Result<double> bg =
+          background_->TrainBatch(batch.features, batch.labels);
+      if (!bg.ok()) return bg.status();
+    }
+    return Status::OK();
+  }
+
+  double mean = 0.0, sd = 0.0;
+  if (accuracy_history_.size() >= 5) {
+    for (double a : accuracy_history_) mean += a;
+    mean /= static_cast<double>(accuracy_history_.size());
+    for (double a : accuracy_history_) sd += (a - mean) * (a - mean);
+    sd = std::sqrt(sd / static_cast<double>(accuracy_history_.size()));
+
+    const double warning_level =
+        mean - std::max(options_.warning_sigmas * sd,
+                        options_.warning_min_drop);
+    const double drift_level =
+        mean - std::max(options_.drift_sigmas * sd, options_.drift_min_drop);
+    if (acc < drift_level) {
+      // Confirmed drift: promote the background model (or start fresh).
+      ++drift_count_;
+      ++reinit_counter_;
+      model_ = background_ != nullptr ? std::move(background_) : FreshModel();
+      background_.reset();
+      accuracy_history_.clear();
+    } else if (acc < warning_level) {
+      if (background_ == nullptr) {
+        ++reinit_counter_;
+        background_ = FreshModel();
+      }
+    } else {
+      background_.reset();  // Warning cleared.
+    }
+  }
+
+  accuracy_history_.push_back(acc);
+  while (accuracy_history_.size() > options_.detector_window) {
+    accuracy_history_.pop_front();
+  }
+
+  Result<double> loss = model_->TrainBatch(batch.features, batch.labels);
+  if (!loss.ok()) return loss.status();
+  if (background_ != nullptr) {
+    Result<double> bg = background_->TrainBatch(batch.features, batch.labels);
+    if (!bg.ok()) return bg.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace freeway

@@ -1,0 +1,68 @@
+#ifndef FREEWAYML_BASELINES_RIVER_H_
+#define FREEWAYML_BASELINES_RIVER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "baselines/streaming_learner.h"
+#include "detectors/drift_detectors.h"
+#include "ml/model.h"
+
+namespace freeway {
+
+/// Options for the River baseline's drift handling.
+struct RiverOptions {
+  /// Batch-accuracy history length for the drift detector.
+  size_t detector_window = 30;
+  /// Standard deviations below the mean accuracy that raise a warning /
+  /// trigger drift handling (DDM-style thresholds).
+  double warning_sigmas = 2.0;
+  double drift_sigmas = 3.0;
+  /// Minimum absolute accuracy drops required alongside the sigma tests —
+  /// guards against false positives when the history variance is tiny.
+  double warning_min_drop = 0.03;
+  double drift_min_drop = 0.08;
+  /// Fresh-model warm-up weight ramp (batches) after a drift reset.
+  size_t rampup_batches = 3;
+  /// Optional classical detector ("DDM", "EDDM", "PageHinkley", "ADWIN")
+  /// fed the per-batch error rate instead of the built-in sigma rule —
+  /// River exposes exactly these detectors.
+  std::string classical_detector;
+};
+
+/// River baseline: a lightweight streaming model paired with an
+/// accuracy-based concept-drift detector and a model integrator. On a
+/// warning a background model starts training alongside the deployed one;
+/// on confirmed drift the background model replaces it (River's
+/// detector+ensemble idiom, e.g. DDM/ADWIN with model replacement). No
+/// serialization overhead: River is the lean single-process baseline.
+class RiverLearner : public StreamingLearner {
+ public:
+  RiverLearner(std::unique_ptr<Model> model, const RiverOptions& options = {});
+
+  std::string name() const override { return "River"; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+  /// Drift resets performed so far (for tests / diagnostics).
+  size_t drift_count() const { return drift_count_; }
+  bool in_warning() const { return background_ != nullptr; }
+
+ private:
+  /// Reinitializes a model with fresh weights but identical architecture.
+  std::unique_ptr<Model> FreshModel() const;
+
+  std::unique_ptr<Model> prototype_;  ///< Never trained; clone source.
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<Model> background_;
+  std::unique_ptr<DriftDetector> classical_;
+  RiverOptions options_;
+  std::deque<double> accuracy_history_;
+  size_t drift_count_ = 0;
+  uint64_t reinit_counter_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_RIVER_H_

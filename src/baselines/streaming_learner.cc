@@ -1,0 +1,100 @@
+#include "baselines/streaming_learner.h"
+
+#include <cstring>
+
+namespace freeway {
+
+Result<std::vector<int>> StreamingLearner::Predict(const Matrix& x) {
+  FREEWAY_ASSIGN_OR_RETURN(Matrix proba, PredictProba(x));
+  std::vector<int> out(proba.rows());
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    auto row = proba.Row(i);
+    size_t best = 0;
+    for (size_t j = 1; j < row.size(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+Result<std::vector<int>> StreamingLearner::PrequentialStep(
+    const Batch& batch) {
+  FREEWAY_ASSIGN_OR_RETURN(std::vector<int> predictions,
+                           Predict(batch.features));
+  FREEWAY_RETURN_NOT_OK(Train(batch));
+  return predictions;
+}
+
+PlainStreamingLearner::PlainStreamingLearner(std::string name,
+                                             std::unique_ptr<Model> model)
+    : name_(std::move(name)), model_(std::move(model)) {}
+
+Result<Matrix> PlainStreamingLearner::PredictProba(const Matrix& x) {
+  return model_->PredictProba(x);
+}
+
+Status PlainStreamingLearner::Train(const Batch& batch) {
+  Result<double> loss = model_->TrainBatch(batch.features, batch.labels);
+  return loss.ok() ? Status::OK() : loss.status();
+}
+
+namespace internal {
+namespace {
+
+uint64_t ByteSwap(uint64_t v) {
+  v = ((v & 0x00000000ffffffffULL) << 32) | (v >> 32);
+  v = ((v & 0x0000ffff0000ffffULL) << 16) | ((v >> 16) & 0x0000ffff0000ffffULL);
+  v = ((v & 0x00ff00ff00ff00ffULL) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffULL);
+  return v;
+}
+
+}  // namespace
+
+void SerializationRoundTrip(const Matrix& features, std::vector<char>* wire) {
+  // JVM stream engines encode every value field-by-field at each operator
+  // boundary and decode it on the other side; row-oriented serializers
+  // (Kryo, Flink's Row SerDe) emit variable-length byte groups per field.
+  // We reproduce that per-byte encode + decode (LEB128-style 7-bit groups
+  // over the big-endian value) — a faithful, work-based stand-in for SerDe
+  // cost rather than a sleep.
+  const size_t n = features.size();
+  wire->resize(n * 10);  // <= 10 groups per 64-bit value.
+  unsigned char* out = reinterpret_cast<unsigned char*>(wire->data());
+  const double* values = features.data();
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &values[i], sizeof(bits));
+    bits = ByteSwap(bits);
+    // LEB128 encode.
+    do {
+      unsigned char byte = bits & 0x7f;
+      bits >>= 7;
+      if (bits != 0) byte |= 0x80;
+      out[pos++] = byte;
+    } while (bits != 0);
+  }
+  // LEB128 decode of the whole wire image.
+  double decoded_sum = 0.0;
+  size_t read = 0;
+  while (read < pos) {
+    uint64_t bits = 0;
+    int shift = 0;
+    unsigned char byte;
+    do {
+      byte = out[read++];
+      bits |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      shift += 7;
+    } while ((byte & 0x80) != 0 && shift < 64);
+    bits = ByteSwap(bits);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    decoded_sum += value;
+  }
+  volatile double sink = decoded_sum;
+  (void)sink;
+}
+
+}  // namespace internal
+}  // namespace freeway

@@ -1,0 +1,68 @@
+#ifndef FREEWAYML_BASELINES_STREAMING_LEARNER_H_
+#define FREEWAYML_BASELINES_STREAMING_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/model.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Uniform facade over every streaming-learning system in the evaluation —
+/// the six baselines and FreewayML itself — so the prequential evaluator and
+/// the performance harness can drive them identically.
+class StreamingLearner {
+ public:
+  virtual ~StreamingLearner() = default;
+
+  /// System name as it appears in the paper's tables ("Flink ML", ...).
+  virtual std::string name() const = 0;
+
+  /// Class probabilities for a batch of unlabeled rows.
+  virtual Result<Matrix> PredictProba(const Matrix& x) = 0;
+
+  /// Incremental update on a labeled batch.
+  virtual Status Train(const Batch& batch) = 0;
+
+  /// Argmax predictions derived from PredictProba.
+  Result<std::vector<int>> Predict(const Matrix& x);
+
+  /// One prequential (test-then-train) step: predictions made before the
+  /// batch updates the system. Systems whose inference and training are
+  /// coupled (FreewayML) override this.
+  virtual Result<std::vector<int>> PrequentialStep(const Batch& batch);
+};
+
+/// The unmodified streaming model ("original Streaming MLP/LR" in Table II):
+/// plain mini-batch SGD on every batch, no adaptation machinery.
+class PlainStreamingLearner : public StreamingLearner {
+ public:
+  PlainStreamingLearner(std::string name, std::unique_ptr<Model> model);
+
+  std::string name() const override { return name_; }
+  Result<Matrix> PredictProba(const Matrix& x) override;
+  Status Train(const Batch& batch) override;
+
+  Model* model() { return model_.get(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Model> model_;
+};
+
+namespace internal {
+
+/// Round-trips `features` through a contiguous byte buffer. This is the
+/// honest stand-in for the (de)serialization every JVM-based stream engine
+/// performs at operator boundaries; the performance baselines call it so
+/// their relative overheads in the throughput/latency experiments come from
+/// real work rather than sleeps.
+void SerializationRoundTrip(const Matrix& features, std::vector<char>* wire);
+
+}  // namespace internal
+}  // namespace freeway
+
+#endif  // FREEWAYML_BASELINES_STREAMING_LEARNER_H_

@@ -1,0 +1,155 @@
+#include "clustering/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace freeway {
+namespace {
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled
+/// proportionally to squared distance from the nearest existing center.
+Matrix SeedPlusPlus(const Matrix& points, size_t k, Rng* rng) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  Matrix centroids(k, dim);
+
+  size_t first = static_cast<size_t>(rng->NextBelow(n));
+  centroids.SetRow(0, points.Row(first));
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d2 =
+          vec::SquaredDistance(points.Row(i), centroids.Row(c - 1));
+      if (d2 < dist2[i]) dist2[i] = d2;
+      total += dist2[i];
+    }
+    size_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng->NextDouble() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += dist2[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(rng->NextBelow(n));
+    }
+    centroids.SetRow(c, points.Row(chosen));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<int> AssignToCentroids(const Matrix& points,
+                                   const Matrix& centroids) {
+  std::vector<int> out(points.rows(), 0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (size_t c = 0; c < centroids.rows(); ++c) {
+      const double d2 = vec::SquaredDistance(points.Row(i), centroids.Row(c));
+      if (d2 < best) {
+        best = d2;
+        best_c = static_cast<int>(c);
+      }
+    }
+    out[i] = best_c;
+  }
+  return out;
+}
+
+Result<KMeansResult> KMeans(const Matrix& points, size_t k,
+                            const KMeansOptions& options) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  if (k == 0) return Status::InvalidArgument("KMeans: k must be positive");
+  if (n == 0) return Status::InvalidArgument("KMeans: no points");
+  if (n < k) {
+    return Status::InvalidArgument("KMeans: fewer points (" +
+                                   std::to_string(n) + ") than clusters (" +
+                                   std::to_string(k) + ")");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, k, &rng);
+  result.assignments.assign(n, -1);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    std::vector<int> counts(k, 0);
+    Matrix sums(k, dim);
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d2 =
+            vec::SquaredDistance(points.Row(i), result.centroids.Row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      ++counts[static_cast<size_t>(best_c)];
+      auto sum_row = sums.Row(static_cast<size_t>(best_c));
+      auto p_row = points.Row(i);
+      for (size_t d = 0; d < dim; ++d) sum_row[d] += p_row[d];
+    }
+
+    // Update step with empty-cluster repair.
+    double max_move = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed on the point farthest from its current centroid.
+        double worst = -1.0;
+        size_t worst_i = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const int a = result.assignments[i];
+          const double d2 = vec::SquaredDistance(
+              points.Row(i), result.centroids.Row(static_cast<size_t>(a)));
+          if (d2 > worst) {
+            worst = d2;
+            worst_i = i;
+          }
+        }
+        result.centroids.SetRow(c, points.Row(worst_i));
+        changed = true;
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      std::vector<double> new_center(dim);
+      auto sum_row = sums.Row(c);
+      for (size_t d = 0; d < dim; ++d) new_center[d] = sum_row[d] * inv;
+      const double move =
+          vec::EuclideanDistance(new_center, result.centroids.Row(c));
+      max_move = move > max_move ? move : max_move;
+      result.centroids.SetRow(c, new_center);
+    }
+
+    if (!changed || max_move < options.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += vec::SquaredDistance(
+        points.Row(i),
+        result.centroids.Row(static_cast<size_t>(result.assignments[i])));
+  }
+  return result;
+}
+
+}  // namespace freeway

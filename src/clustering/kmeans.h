@@ -1,0 +1,45 @@
+#ifndef FREEWAYML_CLUSTERING_KMEANS_H_
+#define FREEWAYML_CLUSTERING_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// k x dim centroid matrix.
+  Matrix centroids;
+  /// Cluster id per input row.
+  std::vector<int> assignments;
+  /// Final within-cluster sum of squared distances.
+  double inertia = 0.0;
+  /// Lloyd iterations executed.
+  int iterations = 0;
+};
+
+/// Options for KMeans::Run.
+struct KMeansOptions {
+  int max_iterations = 50;
+  /// Converged when no assignment changes or centroid movement (max over
+  /// clusters, Euclidean) drops below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+/// Lloyd's k-means with k-means++ seeding and empty-cluster repair (an empty
+/// cluster is re-seeded on the point farthest from its centroid). This is
+/// the unsupervised engine behind coherent experience clustering.
+Result<KMeansResult> KMeans(const Matrix& points, size_t k,
+                            const KMeansOptions& options = {});
+
+/// Assigns each row of `points` to its nearest centroid.
+std::vector<int> AssignToCentroids(const Matrix& points,
+                                   const Matrix& centroids);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CLUSTERING_KMEANS_H_

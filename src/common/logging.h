@@ -1,0 +1,58 @@
+#ifndef FREEWAYML_COMMON_LOGGING_H_
+#define FREEWAYML_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace freeway {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level emitted by FREEWAY_LOG. Defaults to
+/// kInfo. Thread-safe (atomic store).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log-line collector; emits on destruction. Used only through
+/// the FREEWAY_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool LogLevelEnabled(LogLevel level);
+
+}  // namespace internal
+}  // namespace freeway
+
+#define FREEWAY_LOG(level)                                                 \
+  if (!::freeway::internal::LogLevelEnabled(::freeway::LogLevel::level)) { \
+  } else                                                                   \
+    ::freeway::internal::LogMessage(::freeway::LogLevel::level, __FILE__,  \
+                                    __LINE__)                              \
+        .stream()
+
+/// Assertion for internal invariants; aborts with location info when false.
+/// Active in all build types: these guard algorithmic invariants whose
+/// violation would silently corrupt results.
+#define FREEWAY_DCHECK(cond)                                             \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::freeway::internal::LogMessage(::freeway::LogLevel::kError,         \
+                                    __FILE__, __LINE__)                  \
+        .stream()                                                        \
+        << "Check failed: " #cond " "
+
+#endif  // FREEWAYML_COMMON_LOGGING_H_

@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace freeway {
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  seed_ = seed;
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  has_spare_ = false;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  FREEWAY_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    size_t j = static_cast<size_t>(NextBelow(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::Fork(uint64_t stream_id) {
+  // Mix the parent seed with the stream id so children are decorrelated from
+  // both the parent and each other.
+  uint64_t mixed = seed_ ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  uint64_t sm = mixed;
+  mixed = SplitMix64(&sm) ^ NextUint64();
+  return Rng(mixed);
+}
+
+}  // namespace freeway

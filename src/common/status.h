@@ -1,0 +1,167 @@
+#ifndef FREEWAYML_COMMON_STATUS_H_
+#define FREEWAYML_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace freeway {
+
+/// Error categories used across the library. Modeled after the Status idiom
+/// used by Arrow and RocksDB: library code never throws; fallible operations
+/// return a Status (or Result<T>, below) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case (no allocation);
+/// error states carry a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if this status is not OK. Intended
+  /// for call sites where failure is a programming error, e.g. examples and
+  /// benchmark drivers.
+  void CheckOk() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error outcome: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning
+  /// functions, matching the Arrow convention.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Constructing from an OK status is a
+  /// programming error and is normalized to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); aborting on misuse keeps error handling honest
+  /// without exceptions.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, aborting with the error message if not ok().
+  /// For drivers and tests where failure should be fatal.
+  T ValueOrDie() && {
+    status_.CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) status_.CheckOk();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace freeway
+
+/// Propagates a non-OK Status to the caller: `FREEWAY_RETURN_NOT_OK(Fn());`
+#define FREEWAY_RETURN_NOT_OK(expr)               \
+  do {                                            \
+    ::freeway::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Unwraps a Result into `lhs`, propagating the error Status on failure.
+#define FREEWAY_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  auto FREEWAY_CONCAT_(_res_, __LINE__) = (rexpr);          \
+  if (!FREEWAY_CONCAT_(_res_, __LINE__).ok())               \
+    return FREEWAY_CONCAT_(_res_, __LINE__).status();       \
+  lhs = std::move(FREEWAY_CONCAT_(_res_, __LINE__)).value()
+
+#define FREEWAY_CONCAT_IMPL_(a, b) a##b
+#define FREEWAY_CONCAT_(a, b) FREEWAY_CONCAT_IMPL_(a, b)
+
+#endif  // FREEWAYML_COMMON_STATUS_H_

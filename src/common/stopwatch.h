@@ -1,0 +1,34 @@
+#ifndef FREEWAYML_COMMON_STOPWATCH_H_
+#define FREEWAYML_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace freeway {
+
+/// Monotonic wall-clock stopwatch used by the performance harness.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_COMMON_STOPWATCH_H_

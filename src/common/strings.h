@@ -1,0 +1,30 @@
+#ifndef FREEWAYML_COMMON_STRINGS_H_
+#define FREEWAYML_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace freeway {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a ratio as a percentage string, e.g. 0.8123 -> "81.23%".
+std::string FormatPercent(double ratio, int digits = 2);
+
+/// Left-pads (or truncates nothing) `s` with spaces to `width`.
+std::string PadLeft(const std::string& s, size_t width);
+
+/// Right-pads `s` with spaces to `width`.
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_COMMON_STRINGS_H_

@@ -1,0 +1,144 @@
+#include "core/adaptive_window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "core/disorder.h"
+
+namespace freeway {
+
+AdaptiveStreamingWindow::AdaptiveStreamingWindow(
+    const AdaptiveWindowOptions& options)
+    : options_(options) {
+  FREEWAY_DCHECK(options_.max_batches >= 2);
+  FREEWAY_DCHECK(options_.min_weight > 0.0 && options_.min_weight < 1.0);
+}
+
+size_t AdaptiveStreamingWindow::num_items() const {
+  size_t total = 0;
+  for (const Entry& e : entries_) total += e.batch.size();
+  return total;
+}
+
+bool AdaptiveStreamingWindow::Full() const {
+  return entries_.size() >= options_.max_batches ||
+         num_items() >= options_.max_items;
+}
+
+void AdaptiveStreamingWindow::SetDecayBoost(double boost) {
+  decay_boost_ = boost < 1.0 ? 1.0 : boost;
+}
+
+Result<bool> AdaptiveStreamingWindow::Add(const Batch& batch) {
+  if (!batch.labeled()) {
+    return Status::InvalidArgument("ASW only holds labeled training batches");
+  }
+  if (batch.size() == 0) {
+    return Status::InvalidArgument("ASW: empty batch");
+  }
+
+  const std::vector<double> new_mean = batch.Mean();
+
+  if (!entries_.empty()) {
+    // Alg. 1 lines 6-12: shift of every resident batch to the newcomer,
+    // then the disorder of the distance sequence ordered most-recent-first.
+    // Under a directional drift the most recent batch is nearest and the
+    // oldest farthest, so this ordering is sorted (disorder ~ 0); localized
+    // jitter scrambles it (disorder ~ 1/2 or higher) — matching the paper's
+    // reading of Eq. 11.
+    std::vector<double> shifts;
+    shifts.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      shifts.push_back(vec::EuclideanDistance(e.mean, new_mean));
+    }
+    std::vector<double> recency_ordered(shifts.rbegin(), shifts.rend());
+    disorder_ = NormalizedDisorder(recency_ordered);
+
+    // Distance ranks: rank 0 = nearest to the newcomer.
+    std::vector<size_t> order(shifts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&shifts](size_t a, size_t b) {
+      return shifts[a] < shifts[b];
+    });
+    std::vector<size_t> rank(shifts.size());
+    for (size_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+
+    // Alg. 1 lines 13-16: decay each resident by f(rank, disorder).
+    const double denom = shifts.size() > 1
+                             ? static_cast<double>(shifts.size() - 1)
+                             : 1.0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const double rank_frac = static_cast<double>(rank[i]) / denom;
+      double decay = options_.base_decay + options_.rank_decay * rank_frac +
+                     options_.disorder_decay * disorder_;
+      decay *= decay_boost_;
+      if (decay > 0.95) decay = 0.95;
+      entries_[i].weight *= (1.0 - decay);
+    }
+    // Evict fully-decayed batches.
+    std::erase_if(entries_, [this](const Entry& e) {
+      return e.weight < options_.min_weight;
+    });
+  } else {
+    disorder_ = 0.0;
+  }
+
+  Entry entry;
+  entry.batch = batch;
+  entry.mean = new_mean;
+  entry.weight = 1.0;
+  entries_.push_back(std::move(entry));
+
+  return Full();
+}
+
+Result<Batch> AdaptiveStreamingWindow::TakeTrainingData() {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("ASW: window is empty");
+  }
+
+  // Weighted view: each batch contributes ceil(weight * rows) rows.
+  std::vector<Batch> slices;
+  slices.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    const size_t rows = static_cast<size_t>(
+        std::ceil(e.weight * static_cast<double>(e.batch.size())));
+    const size_t take = rows > e.batch.size() ? e.batch.size() : rows;
+    if (take == 0) continue;
+    FREEWAY_ASSIGN_OR_RETURN(Batch slice, SliceBatch(e.batch, 0, take));
+    slices.push_back(std::move(slice));
+  }
+  std::vector<const Batch*> ptrs;
+  ptrs.reserve(slices.size());
+  for (const Batch& s : slices) ptrs.push_back(&s);
+  FREEWAY_ASSIGN_OR_RETURN(Batch merged, ConcatBatches(ptrs));
+
+  // Keep the newest batch to seed the next window with the live
+  // distribution; drop everything older.
+  Entry last = std::move(entries_.back());
+  entries_.clear();
+  last.weight = 1.0;
+  entries_.push_back(std::move(last));
+  disorder_ = 0.0;
+
+  return merged;
+}
+
+std::vector<double> AdaptiveStreamingWindow::Centroid() const {
+  if (entries_.empty()) return {};
+  const size_t dim = entries_.front().mean.size();
+  std::vector<double> centroid(dim, 0.0);
+  double total_weight = 0.0;
+  for (const Entry& e : entries_) {
+    vec::Axpy(e.weight, e.mean, centroid);
+    total_weight += e.weight;
+  }
+  if (total_weight > 0.0) {
+    for (auto& v : centroid) v /= total_weight;
+  }
+  return centroid;
+}
+
+}  // namespace freeway

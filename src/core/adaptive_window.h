@@ -1,0 +1,89 @@
+#ifndef FREEWAYML_CORE_ADAPTIVE_WINDOW_H_
+#define FREEWAYML_CORE_ADAPTIVE_WINDOW_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Configuration of the adaptive streaming window.
+struct AdaptiveWindowOptions {
+  /// Window caps (Alg. 1 line 1): an update triggers when either is reached.
+  size_t max_batches = 8;
+  size_t max_items = 1 << 20;
+  /// Baseline per-arrival decay applied to every resident batch.
+  double base_decay = 0.03;
+  /// Extra decay applied proportionally to the batch's distance rank
+  /// (rank 0 = nearest to the newcomer = least decay).
+  double rank_decay = 0.20;
+  /// Extra global decay applied proportionally to the normalized disorder
+  /// (high disorder = localized regime = faster forgetting).
+  double disorder_decay = 0.20;
+  /// Resident batches whose weight falls below this are evicted.
+  double min_weight = 0.10;
+};
+
+/// The paper's Adaptive Streaming Window (Section IV-B, Alg. 1): the training
+/// buffer of the long-time-granularity model. Each resident batch carries a
+/// weight in (0, 1] that decays on every arrival; the decay rate of a batch
+/// depends on (a) its rank by shift distance to the newcomer — nearer
+/// batches decay less, keeping the window aligned with the current
+/// distribution — and (b) the window's disorder (Eq. 11) — high disorder
+/// means localized data, so everything decays faster and updates are less
+/// urgent.
+class AdaptiveStreamingWindow {
+ public:
+  explicit AdaptiveStreamingWindow(const AdaptiveWindowOptions& options = {});
+
+  /// One resident batch with its decayed weight.
+  struct Entry {
+    Batch batch;
+    std::vector<double> mean;  ///< Cached raw-space batch mean.
+    double weight = 1.0;
+  };
+
+  /// Inserts `batch` (must be labeled), decaying the residents per Alg. 1.
+  /// Returns true if the window is now full (caller should TakeTrainingData
+  /// and the long model should update).
+  Result<bool> Add(const Batch& batch);
+
+  /// Whether the window has hit either cap.
+  bool Full() const;
+
+  /// Normalized disorder of the current distance-vs-time ranking in [0, 1],
+  /// recomputed on the last Add. Low = directional (A1); high = localized
+  /// (A2). This value also gates knowledge preservation (Section IV-D).
+  double disorder() const { return disorder_; }
+
+  /// Weighted training view: each resident batch contributes its first
+  /// ceil(weight * rows) rows. Clears the window except for the most recent
+  /// batch (which seeds the next window with the current distribution).
+  Result<Batch> TakeTrainingData();
+
+  /// Weighted centroid of resident batch means — y_bar_ASW for the
+  /// long-model distance D_long (Eq. 13). Returns the empty vector when the
+  /// window is empty.
+  std::vector<double> Centroid() const;
+
+  size_t num_batches() const { return entries_.size(); }
+  size_t num_items() const;
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Scales all decay rates up by `boost` >= 1 — the rate-aware adjuster's
+  /// lever under high load (Section V-B).
+  void SetDecayBoost(double boost);
+  double decay_boost() const { return decay_boost_; }
+
+ private:
+  AdaptiveWindowOptions options_;
+  std::deque<Entry> entries_;
+  double disorder_ = 0.0;
+  double decay_boost_ = 1.0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_ADAPTIVE_WINDOW_H_

@@ -1,0 +1,119 @@
+#include "core/cec.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+CoherentExperienceClustering::CoherentExperienceClustering(
+    const CecOptions& options)
+    : options_(options) {}
+
+Result<CecPrediction> CoherentExperienceClustering::Predict(
+    const Matrix& query, const Batch& experience, size_t num_classes) const {
+  if (query.rows() == 0) {
+    return Status::InvalidArgument("CEC: empty query batch");
+  }
+  if (!experience.labeled() || experience.size() == 0) {
+    return Status::FailedPrecondition("CEC: no labeled experience");
+  }
+  if (experience.dim() != query.cols()) {
+    return Status::InvalidArgument("CEC: dimension mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("CEC: need at least 2 classes");
+  }
+
+  const size_t m = experience.size();
+  const size_t n = query.rows();
+  if (m + n < num_classes) {
+    return Status::InvalidArgument("CEC: fewer points than clusters");
+  }
+
+  // Cluster experience and query jointly (experience rows first), in the
+  // extractor's feature space when one is configured.
+  Matrix joint(m + n, query.cols());
+  for (size_t i = 0; i < m; ++i) joint.SetRow(i, experience.features.Row(i));
+  for (size_t i = 0; i < n; ++i) joint.SetRow(m + i, query.Row(i));
+  if (options_.extractor != nullptr) {
+    FREEWAY_ASSIGN_OR_RETURN(joint, options_.extractor->Extract(joint));
+  }
+
+  size_t k = num_classes * std::max<size_t>(options_.clusters_per_class, 1);
+  if (k > (m + n) / 2) k = num_classes;  // Tiny batches: paper's c groups.
+  FREEWAY_ASSIGN_OR_RETURN(KMeansResult clusters,
+                           KMeans(joint, k, options_.kmeans));
+
+  // Label histogram of each cluster over the labeled (experience) members.
+  std::vector<std::vector<double>> histogram(
+      k, std::vector<double>(num_classes, 0.0));
+  std::vector<size_t> labeled_members(k, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const auto c = static_cast<size_t>(clusters.assignments[i]);
+    histogram[c][static_cast<size_t>(experience.labels[i])] += 1.0;
+    ++labeled_members[c];
+  }
+
+  // Clusters without labeled members inherit from the nearest labeled
+  // cluster (by centroid distance).
+  CecPrediction out;
+  for (size_t c = 0; c < k; ++c) {
+    if (labeled_members[c] > 0) continue;
+    ++out.unlabeled_clusters;
+    double best = std::numeric_limits<double>::infinity();
+    size_t donor = k;
+    for (size_t other = 0; other < k; ++other) {
+      if (labeled_members[other] == 0) continue;
+      const double d = vec::SquaredDistance(clusters.centroids.Row(c),
+                                            clusters.centroids.Row(other));
+      if (d < best) {
+        best = d;
+        donor = other;
+      }
+    }
+    // At least one cluster holds a labeled member because m >= 1.
+    FREEWAY_DCHECK(donor < k);
+    histogram[c] = histogram[donor];
+  }
+
+  // Normalize histograms into per-cluster class distributions.
+  std::vector<std::vector<double>> cluster_proba(
+      k, std::vector<double>(num_classes, 0.0));
+  std::vector<int> cluster_label(k, 0);
+  for (size_t c = 0; c < k; ++c) {
+    double total = 0.0;
+    for (size_t y = 0; y < num_classes; ++y) {
+      cluster_proba[c][y] = histogram[c][y] + options_.label_smoothing;
+      total += cluster_proba[c][y];
+    }
+    size_t best_y = 0;
+    for (size_t y = 0; y < num_classes; ++y) {
+      cluster_proba[c][y] /= total;
+      if (cluster_proba[c][y] > cluster_proba[c][best_y]) best_y = y;
+    }
+    cluster_label[c] = static_cast<int>(best_y);
+  }
+
+  out.labels.resize(n);
+  out.proba = Matrix(n, num_classes);
+  size_t covered = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<size_t>(clusters.assignments[m + i]);
+    out.labels[i] = cluster_label[c];
+    out.proba.SetRow(i, cluster_proba[c]);
+    if (labeled_members[c] > 0) ++covered;
+  }
+  out.query_coverage = static_cast<double>(covered) / static_cast<double>(n);
+
+  size_t pure = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const auto c = static_cast<size_t>(clusters.assignments[i]);
+    if (cluster_label[c] == experience.labels[i]) ++pure;
+  }
+  out.experience_purity = static_cast<double>(pure) / static_cast<double>(m);
+  return out;
+}
+
+}  // namespace freeway

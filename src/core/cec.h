@@ -1,0 +1,79 @@
+#ifndef FREEWAYML_CORE_CEC_H_
+#define FREEWAYML_CORE_CEC_H_
+
+#include <vector>
+
+#include <memory>
+
+#include "clustering/kmeans.h"
+#include "core/exp_buffer.h"
+#include "linalg/matrix.h"
+#include "ml/feature_extractor.h"
+
+namespace freeway {
+
+/// Configuration of coherent experience clustering.
+struct CecOptions {
+  KMeansOptions kmeans;
+  /// Additive (Laplace) smoothing on each cluster's label histogram when
+  /// deriving class probabilities.
+  double label_smoothing = 0.1;
+  /// Clusters used = clusters_per_class * num_classes (clamped to the point
+  /// count). The paper clusters into c = #labels groups; over-clustering and
+  /// majority-mapping each fragment improves purity when classes overlap,
+  /// at unchanged asymptotic cost.
+  size_t clusters_per_class = 2;
+  /// Optional fixed feature extractor applied to both the query batch and
+  /// the experience before clustering. The paper places a frozen VGG-16
+  /// ahead of CEC on image streams; this is its random-projection stand-in.
+  /// Null clusters the raw feature rows.
+  std::shared_ptr<const RandomProjectionExtractor> extractor;
+};
+
+/// Output of one CEC prediction.
+struct CecPrediction {
+  /// Predicted class per row of the query batch.
+  std::vector<int> labels;
+  /// Soft class distribution per row: the (smoothed) label histogram of the
+  /// row's cluster among labeled experience members.
+  Matrix proba;
+  /// Clusters that contained no labeled member and inherited the label
+  /// distribution of their nearest labeled cluster.
+  size_t unlabeled_clusters = 0;
+  /// Fraction of labeled experience members whose cluster's majority label
+  /// matches their own label — how well cluster structure aligns with class
+  /// structure here. Low purity means clustering cannot recover the labels
+  /// (the failure mode the paper's limitations section describes), and the
+  /// strategy selector falls back to the ensemble.
+  double experience_purity = 0.0;
+  /// Fraction of query rows whose cluster contains at least one labeled
+  /// experience member. Low coverage means the new distribution has not yet
+  /// spilled into the experience (CEC's continuity hypothesis failed for
+  /// this batch) and inherited labels are guesses.
+  double query_coverage = 0.0;
+};
+
+/// Section IV-C: when a sudden shift makes pre-trained models unusable,
+/// cluster the current batch *together with* the most recent labeled
+/// experience (whose distribution, by stream continuity, overlaps the new
+/// one), then map each cluster to the majority label of its experienced
+/// members. Clusters with no labeled member inherit from the nearest
+/// labeled cluster.
+class CoherentExperienceClustering {
+ public:
+  explicit CoherentExperienceClustering(const CecOptions& options = {});
+
+  /// Predicts labels for `query` (rows = samples) using the labeled
+  /// `experience`. `num_classes` fixes both the cluster count c and the
+  /// width of the probability rows. Fails if experience is empty, dimensions
+  /// mismatch, or there are fewer total points than clusters.
+  Result<CecPrediction> Predict(const Matrix& query, const Batch& experience,
+                                size_t num_classes) const;
+
+ private:
+  CecOptions options_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_CEC_H_

@@ -1,0 +1,44 @@
+#include "core/disorder.h"
+
+namespace freeway {
+namespace {
+
+/// Merge-sort counting inversions between and within halves.
+size_t MergeCount(std::vector<double>& values, std::vector<double>& scratch,
+                  size_t lo, size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const size_t mid = lo + (hi - lo) / 2;
+  size_t count = MergeCount(values, scratch, lo, mid) +
+                 MergeCount(values, scratch, mid, hi);
+  size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if (values[i] <= values[j]) {
+      scratch[k++] = values[i++];
+    } else {
+      // values[i..mid) all exceed values[j]: mid - i inversions.
+      count += mid - i;
+      scratch[k++] = values[j++];
+    }
+  }
+  while (i < mid) scratch[k++] = values[i++];
+  while (j < hi) scratch[k++] = values[j++];
+  for (size_t t = lo; t < hi; ++t) values[t] = scratch[t];
+  return count;
+}
+
+}  // namespace
+
+size_t InversionCount(std::vector<double> values) {
+  std::vector<double> scratch(values.size());
+  return MergeCount(values, scratch, 0, values.size());
+}
+
+double NormalizedDisorder(const std::vector<double>& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double max_inversions = static_cast<double>(n) *
+                                static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(InversionCount(values)) / max_inversions;
+}
+
+}  // namespace freeway

@@ -1,0 +1,22 @@
+#ifndef FREEWAYML_CORE_DISORDER_H_
+#define FREEWAYML_CORE_DISORDER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace freeway {
+
+/// Inversion count of a ranking (Eq. 11): the number of pairs (i, j) with
+/// i < j and tau_i > tau_j. O(n log n) via merge sort. The ASW uses this as
+/// its "disorder": when the time-order of batches disagrees with their
+/// distance-order to the newest batch, the stream is localized (Pattern A2);
+/// when they agree, the stream is drifting directionally (Pattern A1).
+size_t InversionCount(std::vector<double> values);
+
+/// Inversions normalized by the maximum possible count n*(n-1)/2, in [0, 1].
+/// Returns 0 for fewer than 2 elements.
+double NormalizedDisorder(const std::vector<double>& values);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_DISORDER_H_

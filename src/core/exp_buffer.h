@@ -1,0 +1,52 @@
+#ifndef FREEWAYML_CORE_EXP_BUFFER_H_
+#define FREEWAYML_CORE_EXP_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Bounded store of the most recent labeled samples — the "coherent
+/// experience" that seeds CEC (Section V-A2: the ExpBuffer interface).
+/// Entries expire either by displacement (capacity) or by age in batches
+/// (expiration time). Storage is batch-granular so the per-batch hot path
+/// costs one matrix copy, not per-row allocations; when the newest batches
+/// alone exceed the capacity, the oldest retained batch is trimmed from the
+/// front so at most `capacity` samples survive.
+class ExpBuffer {
+ public:
+  /// `capacity`: maximum retained samples m. `max_age_batches`: samples
+  /// older than this many batches are expired on the next Add (0 = never).
+  explicit ExpBuffer(size_t capacity = 1024, int64_t max_age_batches = 0);
+
+  /// Appends the labeled samples of `batch` (keeping the newest `capacity`
+  /// overall) and expires outdated experience.
+  Status Add(const Batch& batch);
+
+  size_t size() const { return total_samples_; }
+  bool empty() const { return total_samples_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Materializes the current experience as a batch (features + labels),
+  /// oldest samples first. Fails with FailedPrecondition when empty.
+  Result<Batch> Snapshot() const;
+
+ private:
+  void ExpireOld(int64_t current_batch_index);
+  /// Drops/trims oldest batches until total_samples_ <= capacity_.
+  void EnforceCapacity();
+
+  size_t capacity_;
+  int64_t max_age_batches_;
+  std::deque<Batch> batches_;
+  size_t total_samples_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_EXP_BUFFER_H_

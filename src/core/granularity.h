@@ -1,0 +1,184 @@
+#ifndef FREEWAYML_CORE_GRANULARITY_H_
+#define FREEWAYML_CORE_GRANULARITY_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive_window.h"
+#include "core/precompute.h"
+#include "linalg/pca.h"
+#include "ml/model.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Configuration of the multi-time-granularity ensemble.
+struct MultiGranularityOptions {
+  /// ASW window caps for each long-granularity model; one long model per
+  /// entry (the paper defaults to two models total: one short + one long).
+  std::vector<size_t> long_window_batches = {8};
+  /// Remaining ASW tuning shared by all long windows.
+  AdaptiveWindowOptions window;
+  /// Gaussian-kernel bandwidth for the ensemble weights (Eq. 14);
+  /// 0 = adaptive (exponential moving average of observed distances).
+  double kernel_sigma = 0.0;
+  /// Multiplier on the adaptive bandwidth. Below 1 sharpens the kernel:
+  /// under directional drift the lagging long model's weight collapses
+  /// toward 0, while under localized jitter (members equidistant) weights
+  /// stay balanced — exactly the A1/A2 behaviour Section IV-B wants.
+  double kernel_sigma_factor = 0.5;
+  /// Mini-batch chunk size when replaying a full window into the long model.
+  size_t update_chunk = 256;
+  /// Passes over the window data per long-model update.
+  size_t long_epochs = 2;
+  /// Section V-B's pre-computing window: when true, each arriving batch's
+  /// gradient is computed immediately and accumulated, and a rollover
+  /// applies one aggregated step instead of replaying the whole window.
+  /// Cuts rollover latency sharply; the aggregated step is a first-order
+  /// approximation of the replay (gradients are all taken at pre-update
+  /// parameters), so accuracy can differ slightly.
+  bool use_precompute = false;
+  /// Learning rate of the aggregated pre-computed step.
+  double precompute_learning_rate = 0.2;
+  /// Section V-A1's asynchronous update architecture (scaled from the
+  /// paper's multi-process design to a background thread): a rollover
+  /// trains a *clone* of the long model off-thread and atomically swaps it
+  /// in under a lock, so inference never blocks on a window replay. The
+  /// rollover report then carries the loss of the *previous* async update
+  /// (0 for the first).
+  bool async_long_updates = false;
+};
+
+/// Section IV-B: a short-time-granularity model updated on every batch plus
+/// long-time-granularity model(s) updated when their adaptive streaming
+/// windows fill. Inference blends member probability outputs with Gaussian-
+/// kernel weights of each member's distance to the current batch (Eqs.
+/// 12–14): D_short is the distance to the previous training batch, D_long
+/// the distance to the ASW centroid.
+class MultiGranularityEnsemble {
+ public:
+  ~MultiGranularityEnsemble();
+
+  /// `prototype` seeds every member model (cloned). If `projector` is
+  /// non-null (typically the shift detector's PCA), distances are measured
+  /// in the projected space, matching the paper's y_bar representation;
+  /// otherwise raw feature-mean space is used.
+  MultiGranularityEnsemble(const Model& prototype,
+                           const MultiGranularityOptions& options,
+                           const Pca* projector = nullptr);
+
+  /// Report of one training step.
+  struct TrainReport {
+    double short_loss = 0.0;
+    /// Long models that rolled over on this batch (indices into
+    /// long-model list), with the window disorder at rollover — the input
+    /// to disorder-gated knowledge preservation.
+    struct Rollover {
+      size_t model_index = 0;
+      double disorder = 0.0;
+      double long_loss = 0.0;
+      /// Raw-space ASW centroid captured just before the window was drained
+      /// — the distribution representation d_i the updated long model
+      /// corresponds to (knowledge preservation key).
+      std::vector<double> window_centroid;
+      /// Accuracies of the two granularities on the rollover batch —
+      /// quality labels for preserved knowledge (negative when the
+      /// measurement failed).
+      double short_accuracy = -1.0;
+      double long_accuracy = -1.0;
+    };
+    std::vector<Rollover> rollovers;
+  };
+
+  /// Incrementally updates all granularities on a labeled batch.
+  Result<TrainReport> Train(const Batch& batch);
+
+  /// Kernel-weighted ensemble probabilities for `x` (Eq. 14).
+  Result<Matrix> PredictProba(const Matrix& x);
+
+  Model* short_model() { return short_model_.get(); }
+  const Model* short_model() const { return short_model_.get(); }
+  size_t num_long_models() const { return long_.size(); }
+  Model* long_model(size_t i) { return long_[i].model.get(); }
+  /// Thread-safe parameter snapshot of long model `i` (synchronizes with
+  /// any in-flight async update).
+  std::vector<double> LongModelParameters(size_t i);
+  /// Blocks until all in-flight async long-model updates have landed.
+  void WaitForAsyncUpdates();
+  const AdaptiveStreamingWindow& window(size_t i) const {
+    return long_[i].window;
+  }
+  AdaptiveStreamingWindow* mutable_window(size_t i) {
+    return &long_[i].window;
+  }
+
+  /// Distances computed by the last PredictProba call, short first.
+  const std::vector<double>& last_distances() const {
+    return last_distances_;
+  }
+  /// Ensemble weights from the last PredictProba call, short first.
+  const std::vector<double>& last_weights() const { return last_weights_; }
+
+ private:
+  struct LongSlot {
+    std::unique_ptr<Model> model;
+    AdaptiveStreamingWindow window;
+    /// Incremental gradient accumulator when use_precompute is on.
+    std::unique_ptr<PrecomputingWindow> precompute;
+    /// Rollover updates applied so far; a never-updated long model is
+    /// excluded from the ensemble (it is still random initialization).
+    size_t updates = 0;
+    /// Async-update machinery: `worker` trains a clone off-thread, then
+    /// swaps it into `model` under `mutex` (which inference also holds
+    /// while running the member forward pass).
+    std::mutex mutex;
+    std::thread worker;
+    double last_async_loss = 0.0;
+    /// EMA of (long accuracy - short accuracy) measured on rollover batches;
+    /// scales this member's ensemble weight so a persistently weaker long
+    /// model (e.g. a slow-learning CNN) cannot drag the blend down.
+    double quality_ema = 0.0;
+    bool quality_init = false;
+    LongSlot(std::unique_ptr<Model> m, const AdaptiveWindowOptions& opts)
+        : model(std::move(m)), window(opts) {}
+  };
+
+  /// Projects a raw feature-space mean if a projector is configured.
+  std::vector<double> Represent(const std::vector<double>& mean) const;
+  double KernelSigma() const;
+  /// Replays `window_data` into `model` (chunked SGD, long_epochs passes);
+  /// returns the mean chunk loss.
+  Result<double> ReplayWindow(Model* model, const Batch& window_data) const;
+  /// Blocks until slot i's pending async update (if any) has been swapped
+  /// in.
+  void JoinWorker(LongSlot* slot);
+  /// Updates the slot's quality EMA from accuracies on `batch`; outputs the
+  /// measured accuracies (or -1 on failure).
+  void ObserveQuality(LongSlot* slot, const Batch& batch, double* short_acc,
+                      double* long_acc);
+  /// Weight multiplier derived from the quality EMA, in (0, 1].
+  static double QualityFactor(const LongSlot& slot);
+
+  MultiGranularityOptions options_;
+  const Pca* projector_;
+
+  std::unique_ptr<Model> short_model_;
+  std::deque<LongSlot> long_;
+
+  /// Representation of the last training batch (for D_short).
+  std::optional<std::vector<double>> last_train_representation_;
+  /// EMA of observed distances for the adaptive kernel bandwidth.
+  double distance_ema_ = 0.0;
+  bool distance_ema_init_ = false;
+
+  std::vector<double> last_distances_;
+  std::vector<double> last_weights_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_GRANULARITY_H_

@@ -1,0 +1,110 @@
+#ifndef FREEWAYML_CORE_KNOWLEDGE_H_
+#define FREEWAYML_CORE_KNOWLEDGE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace freeway {
+
+/// Which granularity produced a preserved model.
+enum class KnowledgeSource { kShortModel, kLongModel };
+
+/// One preserved (d_i, k_i) pair: a data-distribution representation and the
+/// reusable model parameters that served it (Section IV-D).
+struct KnowledgeEntry {
+  /// d_i: the distribution representation (PCA space), the match key.
+  std::vector<double> representation;
+  /// k_i: flattened model parameters.
+  std::vector<double> parameters;
+  KnowledgeSource source = KnowledgeSource::kLongModel;
+  /// Stream position at preservation time.
+  int64_t batch_index = 0;
+  /// Accuracy of the preserved model on its preservation batch; negative
+  /// when unknown. Reuse and warm-start gates compare this against the
+  /// learner's recent accuracy so stale or under-trained snapshots are not
+  /// deployed.
+  double quality = -1.0;
+
+  /// In-memory footprint used for the paper's space accounting (Table IV):
+  /// parameters + representation as 8-byte doubles plus a small header.
+  size_t SpaceBytes() const {
+    return 16 + 8 * (parameters.size() + representation.size());
+  }
+};
+
+/// Options for the knowledge store.
+struct KnowledgeStoreOptions {
+  /// KdgBuffer: maximum in-memory entries. On overflow the older half is
+  /// spilled out of memory (Section V-A3).
+  size_t capacity = 20;
+  /// Optional file the spilled half is appended to (binary); empty keeps an
+  /// in-memory byte-count-only cold tier, which is sufficient for
+  /// experiments.
+  std::string spill_path;
+};
+
+/// Nearest-match result against the in-memory knowledge.
+struct KnowledgeMatch {
+  size_t entry_index = 0;
+  double distance = 0.0;
+};
+
+/// The paper's historical-knowledge store: bounded hot tier matched by
+/// distribution distance, cold tier spilled on overflow. Matching is O(k)
+/// over hot entries; retrieval is O(1).
+class KnowledgeStore {
+ public:
+  explicit KnowledgeStore(const KnowledgeStoreOptions& options = {});
+
+  /// Stores one entry, spilling the older half if the buffer is full.
+  Status Preserve(KnowledgeEntry entry);
+
+  /// Stores `entry`, but if an existing hot entry's representation lies
+  /// within `dedup_radius` of the new one, that entry is overwritten in
+  /// place instead. This keeps the (distribution -> parameters) map fresh:
+  /// a distribution that keeps recurring always maps to the most recently
+  /// trained model for it, and near-duplicate keys don't crowd out distinct
+  /// concepts in the bounded buffer.
+  Status PreserveOrRefresh(KnowledgeEntry entry, double dedup_radius);
+
+  /// Entries refreshed in place so far.
+  size_t refresh_count() const { return refresh_count_; }
+
+  /// Finds the hot entry whose representation is nearest to `representation`
+  /// (Euclidean). Fails with NotFound when the store is empty or dimensions
+  /// never match.
+  Result<KnowledgeMatch> NearestMatch(
+      const std::vector<double>& representation) const;
+
+  const KnowledgeEntry& entry(size_t index) const { return hot_[index]; }
+  size_t hot_count() const { return hot_.size(); }
+  size_t spilled_count() const { return spilled_count_; }
+
+  /// Bytes held by the in-memory (hot) tier — the Table IV metric.
+  size_t HotSpaceBytes() const;
+  /// Bytes written to the cold tier so far.
+  size_t spilled_bytes() const { return spilled_bytes_; }
+
+  /// Reads every entry from a spill file written by this store (oldest
+  /// first). Sources and batch indices are not spilled, so reloaded entries
+  /// carry defaults for those fields.
+  static Result<std::vector<KnowledgeEntry>> ReadSpillFile(
+      const std::string& path);
+
+ private:
+  Status SpillOldestHalf();
+
+  KnowledgeStoreOptions options_;
+  std::deque<KnowledgeEntry> hot_;
+  size_t spilled_count_ = 0;
+  size_t spilled_bytes_ = 0;
+  size_t refresh_count_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_KNOWLEDGE_H_

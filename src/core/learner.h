@@ -1,0 +1,178 @@
+#ifndef FREEWAYML_CORE_LEARNER_H_
+#define FREEWAYML_CORE_LEARNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cec.h"
+#include "core/exp_buffer.h"
+#include "core/granularity.h"
+#include "core/knowledge.h"
+#include "core/shift_detector.h"
+#include "ml/model.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Inference strategy chosen by the selector for one batch. Exactly one
+/// strategy executes per inference batch (Section V-A).
+enum class Strategy {
+  kMultiGranularity,  ///< Pattern A: distance-weighted model ensemble.
+  kCec,               ///< Pattern B: coherent experience clustering.
+  kKnowledgeReuse,    ///< Pattern C: historical model retrieval.
+};
+
+const char* StrategyName(Strategy strategy);
+
+/// Top-level configuration — mirrors the paper's user template:
+///   Learner(Model=model, ModelNum=2, MiniBatch=1024, KdgBuffer=20,
+///           ExpBuffer=10, alpha=1.96)
+struct LearnerOptions {
+  /// Total models in the multi-granularity ensemble (1 short + N-1 long).
+  size_t model_num = 2;
+  /// Expected mini-batch size (informational; batches of any size work).
+  size_t mini_batch = 1024;
+  /// Maximum in-memory historical-knowledge entries.
+  size_t kdg_buffer = 20;
+  /// Experience age limit in batches for CEC.
+  int64_t exp_buffer_age = 10;
+  /// Maximum experience samples retained for CEC.
+  size_t exp_buffer_capacity = 2048;
+  /// Shift-severity threshold (Pattern B boundary).
+  double alpha = 1.96;
+  /// Disorder threshold beta gating which model's knowledge is preserved.
+  double disorder_threshold = 0.5;
+  /// CEC answers a sudden-shift batch only when its cluster/label alignment
+  /// on the labeled experience (CecPrediction::experience_purity) reaches
+  /// this floor; below it the clusters don't carry class structure and the
+  /// ensemble answers instead (guards the failure mode of Section VI-F).
+  double cec_min_purity = 0.78;
+  /// CEC additionally requires this fraction of query rows to land in
+  /// clusters containing labeled experience (CecPrediction::query_coverage);
+  /// below it the new distribution has no labeled foothold yet and the
+  /// ensemble answers.
+  double cec_min_coverage = 0.5;
+  /// Historical knowledge is reused only when the matched entry is closer
+  /// than `knowledge_match_factor * d_t` (the paper's gate is factor 1.0;
+  /// 0.5 demands a decisively better match — weak matches route to CEC,
+  /// which needs no model at all).
+  double knowledge_match_factor = 0.5;
+  /// Knowledge entries whose distribution key lies within
+  /// `knowledge_dedup_factor * mu_d` of a new entry are refreshed in place
+  /// rather than duplicated, keeping recurring concepts mapped to fresh
+  /// parameters. 0 disables refresh.
+  double knowledge_dedup_factor = 1.0;
+  /// On a confident knowledge match (distance below mu_d), also load the
+  /// matched parameters into the short-granularity model so subsequent
+  /// batches of the reoccurring concept start from the historical model
+  /// instead of relearning — the anti-forgetting payoff of Section IV-D.
+  bool warm_start_on_reuse = true;
+  /// ASW size (batches) of the *first* long model; each additional long
+  /// model doubles it.
+  size_t base_window_batches = 8;
+
+  ShiftDetectorOptions detector;
+  MultiGranularityOptions granularity;
+  CecOptions cec;
+  KnowledgeStoreOptions knowledge;
+};
+
+/// Outcome of one inference batch.
+struct InferenceReport {
+  Strategy strategy = Strategy::kMultiGranularity;
+  ShiftAssessment assessment;
+  std::vector<int> predictions;
+  Matrix proba;
+  /// Set when strategy == kKnowledgeReuse: distance of the matched entry.
+  double knowledge_distance = 0.0;
+};
+
+/// Cumulative counters, exposed for experiments and monitoring.
+struct LearnerStats {
+  size_t batches_inferred = 0;
+  size_t batches_trained = 0;
+  size_t ensemble_inferences = 0;
+  size_t cec_inferences = 0;
+  size_t knowledge_inferences = 0;
+  size_t slight_patterns = 0;
+  size_t sudden_patterns = 0;
+  size_t reoccurring_patterns = 0;
+  size_t knowledge_preserved = 0;
+  size_t long_model_updates = 0;
+};
+
+/// FreewayML's user-facing framework object (Section V). Wires together the
+/// shift detector, strategy selector, multi-granularity ensemble, CEC, and
+/// the knowledge store:
+///
+///   Learner learner(*MakeMlp(dim, classes), options);
+///   // per labeled batch, prequential:
+///   auto report = learner.InferThenTrain(batch);
+///
+/// The training path always updates the multi-granularity models; the
+/// inference path runs exactly one strategy chosen from the batch's shift
+/// pattern.
+class Learner {
+ public:
+  /// `prototype` supplies the model architecture; all ensemble members and
+  /// the knowledge-reuse scratch model are clones of it.
+  Learner(const Model& prototype, const LearnerOptions& options = {});
+
+  /// Prequential step: assess the batch's shift, predict with the selected
+  /// strategy, then incrementally train on it (test-then-train).
+  Result<InferenceReport> InferThenTrain(const Batch& batch);
+
+  /// Inference-only path for unlabeled traffic. Advances the shift
+  /// detector.
+  Result<InferenceReport> Infer(const Matrix& features);
+
+  /// Training-only path for labeled traffic that needs no predictions.
+  /// Advances the shift detector.
+  Status Train(const Batch& batch);
+
+  const LearnerStats& stats() const { return stats_; }
+  const ShiftDetector& detector() const { return detector_; }
+  MultiGranularityEnsemble* ensemble() { return ensemble_.get(); }
+  const KnowledgeStore& knowledge() const { return knowledge_; }
+  const ExpBuffer& experience() const { return exp_buffer_; }
+  const LearnerOptions& options() const { return options_; }
+
+  /// Applies a rate-aware decay boost to every long window (Section V-B).
+  void SetWindowDecayBoost(double boost);
+
+ private:
+  /// Runs the strategy selector + chosen strategy on already-assessed
+  /// features.
+  Result<InferenceReport> RunStrategies(const Matrix& features,
+                                        ShiftAssessment assessment);
+  /// Model-update path shared by Train and InferThenTrain; handles
+  /// disorder-gated knowledge preservation. `representation` is the batch's
+  /// PCA representation (may be empty during warm-up).
+  Status TrainInternal(const Batch& batch,
+                       const std::vector<double>& representation);
+  /// Argmax of each probability row into `report->predictions`.
+  static void FillPredictions(InferenceReport* report);
+  /// Projects a raw-space mean with the detector's PCA when available.
+  std::vector<double> Represent(const std::vector<double>& mean) const;
+
+  LearnerOptions options_;
+  ShiftDetector detector_;
+  std::unique_ptr<MultiGranularityEnsemble> ensemble_;
+  CoherentExperienceClustering cec_;
+  ExpBuffer exp_buffer_;
+  KnowledgeStore knowledge_;
+  /// Parameters are loaded into this clone for knowledge-reuse inference.
+  std::unique_ptr<Model> scratch_model_;
+  size_t num_classes_;
+  LearnerStats stats_;
+  /// mu_d of the most recent non-warm-up assessment; scales the knowledge
+  /// dedup radius.
+  double last_mu_d_ = 0.0;
+  /// EMA of the short model's accuracy on rollover batches — the reference
+  /// level preserved-knowledge quality is gated against.
+  double accuracy_ema_ = -1.0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_LEARNER_H_

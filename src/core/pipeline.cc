@@ -1,0 +1,55 @@
+#include "core/pipeline.h"
+
+namespace freeway {
+
+StreamPipeline::StreamPipeline(const Model& prototype,
+                               const PipelineOptions& options)
+    : options_(options),
+      learner_(prototype, options.learner),
+      adjuster_(options.rate) {}
+
+double StreamPipeline::WindowPressure() const {
+  const MultiGranularityEnsemble* ensemble =
+      const_cast<StreamPipeline*>(this)->learner_.ensemble();
+  double pressure = 0.0;
+  for (size_t i = 0; i < ensemble->num_long_models(); ++i) {
+    const AdaptiveStreamingWindow& window = ensemble->window(i);
+    const double cap = static_cast<double>(
+        learner_.options().granularity.long_window_batches[i]);
+    const double fill = cap > 0.0
+                            ? static_cast<double>(window.num_batches()) / cap
+                            : 0.0;
+    if (fill > pressure) pressure = fill;
+  }
+  return pressure > 1.0 ? 1.0 : pressure;
+}
+
+void StreamPipeline::Tick() {
+  if (!options_.enable_rate_adjuster) return;
+  const double elapsed = since_last_batch_.ElapsedSeconds();
+  since_last_batch_.Restart();
+  const double rate = elapsed > 1e-9 ? 1.0 / elapsed : 1e9;
+  last_adjustment_ = adjuster_.Observe(rate, WindowPressure());
+  learner_.SetWindowDecayBoost(last_adjustment_.decay_boost);
+}
+
+Result<std::optional<InferenceReport>> StreamPipeline::Push(
+    const Batch& batch) {
+  Tick();
+  ++batches_processed_;
+  if (batch.labeled()) {
+    FREEWAY_RETURN_NOT_OK(learner_.Train(batch));
+    return std::optional<InferenceReport>();
+  }
+  FREEWAY_ASSIGN_OR_RETURN(InferenceReport report,
+                           learner_.Infer(batch.features));
+  return std::optional<InferenceReport>(std::move(report));
+}
+
+Result<InferenceReport> StreamPipeline::PushPrequential(const Batch& batch) {
+  Tick();
+  ++batches_processed_;
+  return learner_.InferThenTrain(batch);
+}
+
+}  // namespace freeway

@@ -1,0 +1,64 @@
+#ifndef FREEWAYML_CORE_PIPELINE_H_
+#define FREEWAYML_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/stopwatch.h"
+#include "core/learner.h"
+#include "core/rate_adjuster.h"
+
+namespace freeway {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  LearnerOptions learner;
+  RateAdjusterOptions rate;
+  /// Whether the rate-aware adjuster drives window decay / throttling.
+  bool enable_rate_adjuster = true;
+};
+
+/// Section V-A's deployment pipeline: a single incoming stream is split by
+/// label presence — labeled batches feed the training path (multi-
+/// granularity updates, experience, knowledge preservation), unlabeled
+/// batches feed the inference path (strategy selector). A rate-aware
+/// adjuster observes the flow rate and window pressure and tunes the ASW
+/// decay / update throttling accordingly.
+class StreamPipeline {
+ public:
+  StreamPipeline(const Model& prototype, const PipelineOptions& options = {});
+
+  /// Routes one batch. Labeled batches train (and return nullopt);
+  /// unlabeled batches return the inference report.
+  Result<std::optional<InferenceReport>> Push(const Batch& batch);
+
+  /// Prequential push for labeled traffic: infer first, then train.
+  Result<InferenceReport> PushPrequential(const Batch& batch);
+
+  Learner* mutable_learner() { return &learner_; }
+  const Learner& learner() const { return learner_; }
+
+  /// Smoothed observed flow rate (batches/sec).
+  double observed_rate() const { return adjuster_.smoothed_rate(); }
+  /// Last adjustment decided by the rate-aware controller.
+  const RateAdjustment& last_adjustment() const { return last_adjustment_; }
+
+  size_t batches_processed() const { return batches_processed_; }
+
+ private:
+  /// Measures flow + pressure and applies the adjuster's decision.
+  void Tick();
+  /// Max fill fraction over the ensemble's long windows.
+  double WindowPressure() const;
+
+  PipelineOptions options_;
+  Learner learner_;
+  RateAwareAdjuster adjuster_;
+  RateAdjustment last_adjustment_;
+  Stopwatch since_last_batch_;
+  size_t batches_processed_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_PIPELINE_H_

@@ -1,0 +1,48 @@
+#include "core/precompute.h"
+
+#include "common/logging.h"
+
+namespace freeway {
+
+PrecomputingWindow::PrecomputingWindow(Model* model) : model_(model) {
+  FREEWAY_DCHECK(model_ != nullptr);
+}
+
+Result<double> PrecomputingWindow::AccumulateSubset(const Batch& subset) {
+  if (!subset.labeled()) {
+    return Status::InvalidArgument("PrecomputingWindow: unlabeled subset");
+  }
+  FREEWAY_ASSIGN_OR_RETURN(
+      double loss,
+      model_->ComputeGradient(subset.features, subset.labels, &scratch_));
+  if (accumulated_.empty()) {
+    accumulated_ = scratch_;
+  } else {
+    if (accumulated_.size() != scratch_.size()) {
+      return Status::Internal("PrecomputingWindow: gradient size changed");
+    }
+    for (size_t i = 0; i < accumulated_.size(); ++i) {
+      accumulated_[i] += scratch_[i];
+    }
+  }
+  ++subsets_;
+  return loss;
+}
+
+Status PrecomputingWindow::ApplyUpdate(double learning_rate) {
+  if (subsets_ == 0) {
+    return Status::FailedPrecondition("PrecomputingWindow: nothing pending");
+  }
+  const double scale = -learning_rate / static_cast<double>(subsets_);
+  for (auto& g : accumulated_) g *= scale;
+  FREEWAY_RETURN_NOT_OK(model_->ApplyStep(accumulated_));
+  Reset();
+  return Status::OK();
+}
+
+void PrecomputingWindow::Reset() {
+  accumulated_.clear();
+  subsets_ = 0;
+}
+
+}  // namespace freeway

@@ -1,0 +1,45 @@
+#ifndef FREEWAYML_CORE_PRECOMPUTE_H_
+#define FREEWAYML_CORE_PRECOMPUTE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/model.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Section V-B's pre-computing window mechanism: instead of computing the
+/// gradient of a full window at update time, gradients of the window's data
+/// subsets are computed incrementally as the subsets arrive and accumulated;
+/// at update time only the final subset's gradient remains to be computed
+/// before a single aggregated step is applied. The aggregated step is a
+/// first-order approximation of the full-window gradient (all subset
+/// gradients are taken at the pre-update parameters), trading a small
+/// accuracy delta for much lower update-time latency.
+class PrecomputingWindow {
+ public:
+  /// `model` must outlive this object; the window never owns it.
+  explicit PrecomputingWindow(Model* model);
+
+  /// Computes the gradient of one subset at the model's current parameters
+  /// and folds it into the accumulator. Returns the subset's loss.
+  Result<double> AccumulateSubset(const Batch& subset);
+
+  /// Applies one aggregated step: theta -= lr * mean(subset gradients);
+  /// then clears the accumulator. Fails if nothing was accumulated.
+  Status ApplyUpdate(double learning_rate);
+
+  size_t pending_subsets() const { return subsets_; }
+  void Reset();
+
+ private:
+  Model* model_;
+  std::vector<double> accumulated_;
+  std::vector<double> scratch_;
+  size_t subsets_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_PRECOMPUTE_H_

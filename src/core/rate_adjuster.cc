@@ -1,0 +1,45 @@
+#include "core/rate_adjuster.h"
+
+#include <algorithm>
+
+namespace freeway {
+
+RateAwareAdjuster::RateAwareAdjuster(const RateAdjusterOptions& options)
+    : options_(options) {}
+
+RateAdjustment RateAwareAdjuster::Observe(double batches_per_sec,
+                                          double window_pressure) {
+  if (batches_per_sec < 0.0) batches_per_sec = 0.0;
+  window_pressure = std::clamp(window_pressure, 0.0, 1.0);
+
+  if (!initialized_) {
+    smoothed_rate_ = batches_per_sec;
+    initialized_ = true;
+  } else {
+    smoothed_rate_ = (1.0 - options_.smoothing) * smoothed_rate_ +
+                     options_.smoothing * batches_per_sec;
+  }
+
+  RateAdjustment out;
+  if (smoothed_rate_ <= options_.low_rate) {
+    // Idle stream: drain pending inference faster, proportionally to how
+    // far below the low watermark we are and how empty the window is.
+    const double idle =
+        options_.low_rate > 0.0
+            ? 1.0 - smoothed_rate_ / options_.low_rate
+            : 1.0;
+    out.inference_frequency_factor =
+        1.0 + idle * (1.0 - window_pressure) *
+                  (options_.max_inference_boost - 1.0);
+  } else if (smoothed_rate_ >= options_.high_rate) {
+    // Overload: decay the training window faster so updates happen less
+    // often and stop competing with inference.
+    const double overload =
+        std::min(smoothed_rate_ / options_.high_rate - 1.0, 1.0);
+    out.decay_boost = 1.0 + overload * (options_.max_decay_boost - 1.0);
+    out.throttle_updates = window_pressure > options_.pressure_threshold;
+  }
+  return out;
+}
+
+}  // namespace freeway

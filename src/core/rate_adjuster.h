@@ -1,0 +1,57 @@
+#ifndef FREEWAYML_CORE_RATE_ADJUSTER_H_
+#define FREEWAYML_CORE_RATE_ADJUSTER_H_
+
+#include <cstddef>
+
+namespace freeway {
+
+/// Options for the rate-aware adjuster.
+struct RateAdjusterOptions {
+  /// Flow rates (batches/sec) below/above which the adjuster reacts.
+  double low_rate = 10.0;
+  double high_rate = 100.0;
+  /// Maximum factor by which inference frequency may be raised when idle.
+  double max_inference_boost = 4.0;
+  /// Maximum factor applied to the ASW decay under overload (reducing
+  /// update frequency / resource competition).
+  double max_decay_boost = 3.0;
+  /// Window pressure (0..1) above which updates should be throttled.
+  double pressure_threshold = 0.8;
+  /// EMA smoothing for the observed rate.
+  double smoothing = 0.3;
+};
+
+/// Decision produced for the current conditions.
+struct RateAdjustment {
+  /// >= 1: how aggressively to drain pending inference work.
+  double inference_frequency_factor = 1.0;
+  /// >= 1: multiplier for the training window's decay rates.
+  double decay_boost = 1.0;
+  /// True when incremental updates should be skipped this tick.
+  bool throttle_updates = false;
+};
+
+/// Section V-B's rate-aware adjuster: under low flow it raises inference
+/// frequency to drain pending data quickly; under high flow it boosts the
+/// ASW decay (reducing model-update frequency) so training does not compete
+/// with inference for resources. Pure control logic — callers feed observed
+/// conditions and apply the returned knobs.
+class RateAwareAdjuster {
+ public:
+  explicit RateAwareAdjuster(const RateAdjusterOptions& options = {});
+
+  /// Feeds one observation: the instantaneous flow rate (batches/sec) and
+  /// the training-window fill pressure in [0, 1].
+  RateAdjustment Observe(double batches_per_sec, double window_pressure);
+
+  double smoothed_rate() const { return smoothed_rate_; }
+
+ private:
+  RateAdjusterOptions options_;
+  double smoothed_rate_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_RATE_ADJUSTER_H_

@@ -1,0 +1,116 @@
+#ifndef FREEWAYML_CORE_SHIFT_DETECTOR_H_
+#define FREEWAYML_CORE_SHIFT_DETECTOR_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// The three shift patterns of Section III. Slight shifts are further split
+/// by the ASW's disorder into directional (A1) and localized (A2), but the
+/// detector itself distinguishes only the three inference-strategy classes.
+enum class ShiftPattern {
+  kSlight,       ///< Pattern A: M < alpha.
+  kSudden,       ///< Pattern B: M > alpha.
+  kReoccurring,  ///< Pattern C: M > alpha and d_h < d_t.
+};
+
+const char* ShiftPatternName(ShiftPattern pattern);
+
+/// Full assessment of one incoming batch against the stream history.
+struct ShiftAssessment {
+  ShiftPattern pattern = ShiftPattern::kSlight;
+  /// PCA-space representation of the batch, y_bar_t (Eq. 6).
+  std::vector<double> representation;
+  /// Shift distance d_t = ||y_bar_t - y_bar_{t-1}|| (Eq. 7).
+  double distance = 0.0;
+  /// Severity score M = (d_t - mu_d) / sigma_d (Eq. 10); 0 during warm-up.
+  double m_score = 0.0;
+  /// Weighted mean / SD of the last k shift distances (Eqs. 8–9).
+  double mu_d = 0.0;
+  double sigma_d = 0.0;
+  /// Nearest distance from y_bar_t to non-adjacent historical batch
+  /// representations; +inf when no history qualifies.
+  double d_h = 0.0;
+  /// True while the detector is still warming up its PCA / statistics.
+  bool warmup = false;
+};
+
+/// Configuration of the shift detector.
+struct ShiftDetectorOptions {
+  /// PCA target dimensionality d. The paper's shift *graphs* (Fig. 2) use 2
+  /// for visualization; the detector defaults to a higher d so that jumps in
+  /// high-dimensional streams keep enough of their energy after projection
+  /// to stand out from batch-to-batch noise. Clamped to the input dim.
+  size_t pca_components = 8;
+  /// Batches used to warm up the PCA model before assessments begin.
+  size_t warmup_batches = 5;
+  /// k: number of past shift distances in the severity statistics.
+  size_t history_k = 20;
+  /// Geometric recency weight for mu_d: w_i = recency_decay^(i-1), i = 1 for
+  /// the most recent batch.
+  double recency_decay = 0.9;
+  /// Severity threshold alpha (the paper defaults to 1.96).
+  double alpha = 1.96;
+  /// Pattern C requires d_h < reoccur_margin * d_t. The paper's strict
+  /// d_h < d_t is a near coin-flip when a *new* region is entered from a
+  /// localized phase (both distances then measure the same jump); the
+  /// margin keeps near-ties classified as sudden (Pattern B) while true
+  /// restores (d_h << d_t) remain Pattern C.
+  double reoccur_margin = 0.75;
+  /// Representations kept for the d_h search and the shift graph.
+  size_t max_history = 512;
+  /// Batches at the tail of the history excluded from the d_h search —
+  /// adjacent batches are trivially near the current one.
+  size_t exclude_recent = 3;
+};
+
+/// Detects and classifies data-distribution shifts on a stream (Eqs. 2–10):
+/// warm-up PCA -> per-batch representation y_bar_t -> shift distance d_t ->
+/// severity M against recency-weighted statistics of past distances ->
+/// pattern {A, B, C}. Also records the trajectory of representations, which
+/// *is* the paper's shift graph (Fig. 2).
+class ShiftDetector {
+ public:
+  explicit ShiftDetector(const ShiftDetectorOptions& options = {});
+
+  /// Feeds one batch. During warm-up the batch only accumulates toward the
+  /// PCA fit and the returned assessment has `warmup = true`; afterwards the
+  /// batch is assessed against history and then appended to it.
+  Result<ShiftAssessment> Assess(const Matrix& features);
+
+  bool warmed_up() const { return pca_.fitted(); }
+  const Pca& pca() const { return pca_; }
+  const ShiftDetectorOptions& options() const { return options_; }
+
+  /// Chronological batch representations observed so far (the shift graph
+  /// nodes); edges are consecutive pairs.
+  const std::deque<std::vector<double>>& history() const { return history_; }
+
+  /// Recent shift distances, most recent last.
+  const std::deque<double>& recent_distances() const { return distances_; }
+
+ private:
+  /// Computes Eqs. 8-10 from `distances_`.
+  void SeverityStats(double* mu_d, double* sigma_d) const;
+
+  ShiftDetectorOptions options_;
+  Pca pca_;
+  /// Warm-up sample rows pending the PCA fit.
+  std::vector<std::vector<double>> warmup_rows_;
+  size_t warmup_batches_seen_ = 0;
+
+  std::deque<std::vector<double>> history_;
+  std::deque<double> distances_;
+  std::optional<std::vector<double>> previous_representation_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_CORE_SHIFT_DETECTOR_H_

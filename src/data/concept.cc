@@ -1,0 +1,272 @@
+#include "data/concept.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+GaussianConceptSource::GaussianConceptSource(
+    std::string name, const ConceptSourceOptions& options, DriftScript script)
+    : name_(std::move(name)),
+      options_(options),
+      script_(std::move(script)),
+      rng_(options.seed),
+      centroids_(options.num_classes, options.dim),
+      jitter_(options.num_classes, options.dim) {
+  FREEWAY_DCHECK(!script_.segments.empty());
+  FREEWAY_DCHECK(options_.num_classes >= 2);
+  FREEWAY_DCHECK(options_.dim >= 1);
+
+  // Initial concept: centroids at random directions, `class_separation` from
+  // the origin.
+  for (size_t c = 0; c < options_.num_classes; ++c) {
+    std::vector<double> dir(options_.dim);
+    for (auto& v : dir) v = rng_.NextGaussian();
+    const double norm = vec::Norm(dir);
+    const double scale = options_.class_separation / (norm > 0 ? norm : 1.0);
+    for (size_t d = 0; d < options_.dim; ++d) {
+      centroids_.At(c, d) = dir[d] * scale;
+    }
+  }
+  base_centroids_ = centroids_;
+
+  if (options_.priors.empty()) {
+    priors_.assign(options_.num_classes,
+                   1.0 / static_cast<double>(options_.num_classes));
+  } else {
+    FREEWAY_DCHECK(options_.priors.size() == options_.num_classes);
+    priors_ = options_.priors;
+    double sum = 0.0;
+    for (double p : priors_) sum += p;
+    for (auto& p : priors_) p /= sum;
+  }
+  direction_.assign(options_.dim, 0.0);
+}
+
+size_t GaussianConceptSource::NextSegmentIndex(size_t seg_index) const {
+  size_t next = seg_index + 1;
+  if (next >= script_.segments.size()) {
+    return script_.loop ? 0 : script_.segments.size();
+  }
+  return next;
+}
+
+GaussianConceptSource::ConceptState GaussianConceptSource::ComputeEntryState(
+    const DriftSegment& seg) {
+  ConceptState state{centroids_, priors_};
+
+  if (!seg.new_priors.empty()) {
+    FREEWAY_DCHECK(seg.new_priors.size() == options_.num_classes);
+    state.priors = seg.new_priors;
+    double sum = 0.0;
+    for (double p : state.priors) sum += p;
+    for (auto& p : state.priors) p /= sum;
+  }
+
+  switch (seg.kind) {
+    case DriftKind::kSudden: {
+      // Jump each class centroid by `magnitude` along an independent random
+      // direction: an abrupt new distribution.
+      for (size_t c = 0; c < options_.num_classes; ++c) {
+        std::vector<double> dir(options_.dim);
+        for (auto& v : dir) v = rng_.NextGaussian();
+        const double norm = vec::Norm(dir);
+        const double scale = seg.magnitude / (norm > 0 ? norm : 1.0);
+        auto row = state.centroids.Row(c);
+        for (size_t d = 0; d < options_.dim; ++d) row[d] += dir[d] * scale;
+      }
+      break;
+    }
+    case DriftKind::kReoccurring: {
+      if (seg.reoccur_checkpoint >= 0 &&
+          static_cast<size_t>(seg.reoccur_checkpoint) < checkpoints_.size()) {
+        const ConceptState& cp =
+            checkpoints_[static_cast<size_t>(seg.reoccur_checkpoint)];
+        state.centroids = cp.centroids;
+        state.priors = cp.priors;
+        if (!seg.new_priors.empty()) state.priors = seg.new_priors;
+      } else if (!checkpoints_.empty()) {
+        // Default: restore the earliest checkpoint.
+        state.centroids = checkpoints_.front().centroids;
+        state.priors = checkpoints_.front().priors;
+        if (!seg.new_priors.empty()) state.priors = seg.new_priors;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return state;
+}
+
+void GaussianConceptSource::EnterSegment(size_t seg_index) {
+  segment_index_ = seg_index;
+  batch_in_segment_ = 0;
+  const DriftSegment& seg = script_.segments[seg_index];
+
+  if (seg.save_checkpoint) {
+    checkpoints_.push_back(ConceptState{centroids_, priors_});
+  }
+
+  if (prepared_.valid && prepared_.seg_index == seg_index) {
+    // The transition spillover already sampled this segment's entry state;
+    // committing the same state keeps the stream consistent.
+    centroids_ = prepared_.state.centroids;
+    priors_ = prepared_.state.priors;
+    prepared_.valid = false;
+  } else {
+    ConceptState state = ComputeEntryState(seg);
+    centroids_ = std::move(state.centroids);
+    priors_ = std::move(state.priors);
+  }
+
+  switch (seg.kind) {
+    case DriftKind::kDirectional: {
+      // New random unit direction shared by all classes: an evolving trend.
+      for (auto& v : direction_) v = rng_.NextGaussian();
+      const double norm = vec::Norm(direction_);
+      for (auto& v : direction_) v /= (norm > 0 ? norm : 1.0);
+      break;
+    }
+    case DriftKind::kLocalized:
+      jitter_.Fill(0.0);
+      break;
+    default:
+      break;
+  }
+  base_centroids_ = centroids_;
+}
+
+void GaussianConceptSource::EvolveConcept() {
+  const DriftSegment& seg = script_.segments[segment_index_];
+  switch (seg.kind) {
+    case DriftKind::kDirectional: {
+      // All centroids advance along the segment direction each batch.
+      for (size_t c = 0; c < options_.num_classes; ++c) {
+        auto row = centroids_.Row(c);
+        for (size_t d = 0; d < options_.dim; ++d) {
+          row[d] += seg.magnitude * direction_[d];
+        }
+      }
+      break;
+    }
+    case DriftKind::kLocalized: {
+      // Mean-reverting random walk around the segment base, bounded so the
+      // concept stays within a small stable range (Pattern A2).
+      for (size_t c = 0; c < options_.num_classes; ++c) {
+        auto j = jitter_.Row(c);
+        for (size_t d = 0; d < options_.dim; ++d) {
+          j[d] = 0.8 * j[d] + rng_.Gaussian(0.0, seg.magnitude);
+        }
+        const double norm = vec::Norm(j);
+        const double cap = 3.0 * seg.magnitude;
+        if (norm > cap) {
+          const double s = cap / norm;
+          for (auto& v : j) v *= s;
+        }
+        auto row = centroids_.Row(c);
+        auto base = base_centroids_.Row(c);
+        for (size_t d = 0; d < options_.dim; ++d) row[d] = base[d] + j[d];
+      }
+      break;
+    }
+    case DriftKind::kStationary:
+    case DriftKind::kSudden:
+    case DriftKind::kReoccurring:
+      // Concept holds still after any start-of-segment event.
+      break;
+  }
+}
+
+void GaussianConceptSource::SampleInto(const Matrix& centroids, int cls,
+                                       std::span<double> row) {
+  auto center = centroids.Row(static_cast<size_t>(cls));
+  for (size_t d = 0; d < options_.dim; ++d) {
+    row[d] = center[d] + rng_.Gaussian(0.0, options_.noise_sigma);
+  }
+}
+
+Result<Batch> GaussianConceptSource::NextBatch(size_t batch_size) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("NextBatch: batch_size must be positive");
+  }
+
+  // Advance the script position for this batch.
+  if (!started_) {
+    started_ = true;
+    EnterSegment(0);
+  } else if (batch_in_segment_ >=
+             script_.segments[segment_index_].num_batches) {
+    size_t next = segment_index_ + 1;
+    if (next >= script_.segments.size()) {
+      if (!script_.loop) {
+        return Status::OutOfRange(name_ + ": drift script exhausted");
+      }
+      next = 0;
+    }
+    EnterSegment(next);
+  }
+
+  EvolveConcept();
+
+  const DriftSegment& seg = script_.segments[segment_index_];
+  meta_.segment_kind = seg.kind;
+  meta_.segment_index = segment_index_;
+  meta_.shift_event =
+      (seg.kind == DriftKind::kSudden || seg.kind == DriftKind::kReoccurring) &&
+      batch_in_segment_ < options_.event_window;
+
+  // Transition spillover: on the last batch before a sudden / reoccurring
+  // segment, the tail of the batch already comes from the upcoming concept
+  // (the stream-continuity premise CEC relies on).
+  size_t spill_rows = 0;
+  if (options_.transition_fraction > 0.0 &&
+      batch_in_segment_ + 1 >= seg.num_batches) {
+    const size_t next = NextSegmentIndex(segment_index_);
+    if (next < script_.segments.size()) {
+      const DriftSegment& upcoming = script_.segments[next];
+      if (upcoming.kind == DriftKind::kSudden ||
+          upcoming.kind == DriftKind::kReoccurring) {
+        if (!prepared_.valid) {
+          prepared_.state = ComputeEntryState(upcoming);
+          prepared_.seg_index = next;
+          prepared_.valid = true;
+        }
+        spill_rows = static_cast<size_t>(options_.transition_fraction *
+                                         static_cast<double>(batch_size));
+      }
+    }
+  }
+
+  Batch out;
+  out.index = next_batch_index_++;
+  out.features = Matrix(batch_size, options_.dim);
+  out.labels.resize(batch_size);
+  const size_t old_rows = batch_size - spill_rows;
+  for (size_t i = 0; i < batch_size; ++i) {
+    const bool from_upcoming = i >= old_rows;
+    const Matrix& centroids =
+        from_upcoming ? prepared_.state.centroids : centroids_;
+    // Class priors of whichever concept generated the sample.
+    const std::vector<double>& priors =
+        from_upcoming ? prepared_.state.priors : priors_;
+    const double u = rng_.NextDouble();
+    int cls = static_cast<int>(priors.size()) - 1;
+    double acc = 0.0;
+    for (size_t c = 0; c < priors.size(); ++c) {
+      acc += priors[c];
+      if (u < acc) {
+        cls = static_cast<int>(c);
+        break;
+      }
+    }
+    out.labels[i] = cls;
+    SampleInto(centroids, cls, out.features.Row(i));
+  }
+
+  ++batch_in_segment_;
+  return out;
+}
+
+}  // namespace freeway

@@ -1,0 +1,197 @@
+#include "data/image_stream.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+ImageStreamSource::ImageStreamSource(std::string name,
+                                     const ImageStreamOptions& options,
+                                     DriftScript script)
+    : name_(std::move(name)),
+      options_(options),
+      script_(std::move(script)),
+      rng_(options.seed) {
+  FREEWAY_DCHECK(!script_.segments.empty());
+  FREEWAY_DCHECK(options_.num_classes >= 2);
+  RandomizeTextures();
+}
+
+void ImageStreamSource::RandomizeTextures() {
+  textures_.resize(options_.num_classes);
+  for (size_t c = 0; c < options_.num_classes; ++c) {
+    ClassTexture& t = textures_[c];
+    // Frequencies spread per class so gratings are distinguishable; random
+    // jitter keeps regenerated texture sets distinct from old ones.
+    const double base = 0.4 + 0.35 * static_cast<double>(c);
+    const double angle = rng_.Uniform(0.0, std::numbers::pi);
+    t.freq_x = base * std::cos(angle);
+    t.freq_y = base * std::sin(angle);
+    t.phase = rng_.Uniform(0.0, 2.0 * std::numbers::pi);
+    t.contrast = rng_.Uniform(0.45, 0.7);
+    t.bias = rng_.Uniform(0.4, 0.6);
+  }
+}
+
+void ImageStreamSource::EnterSegment(size_t seg_index) {
+  segment_index_ = seg_index;
+  batch_in_segment_ = 0;
+  const DriftSegment& seg = script_.segments[seg_index];
+
+  if (seg.save_checkpoint) checkpoints_.push_back(textures_);
+
+  switch (seg.kind) {
+    case DriftKind::kSudden:
+      RandomizeTextures();
+      break;
+    case DriftKind::kReoccurring: {
+      if (!checkpoints_.empty()) {
+        size_t idx = 0;
+        if (seg.reoccur_checkpoint >= 0 &&
+            static_cast<size_t>(seg.reoccur_checkpoint) <
+                checkpoints_.size()) {
+          idx = static_cast<size_t>(seg.reoccur_checkpoint);
+        }
+        textures_ = checkpoints_[idx];
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ImageStreamSource::EvolveTextures() {
+  const DriftSegment& seg = script_.segments[segment_index_];
+  switch (seg.kind) {
+    case DriftKind::kDirectional:
+      // Phase advances steadily: the texture pattern "moves".
+      for (auto& t : textures_) t.phase += seg.magnitude;
+      break;
+    case DriftKind::kLocalized:
+      // Contrast/bias jitter within a narrow band.
+      for (auto& t : textures_) {
+        t.contrast += rng_.Gaussian(0.0, seg.magnitude);
+        if (t.contrast < 0.3) t.contrast = 0.3;
+        if (t.contrast > 0.8) t.contrast = 0.8;
+        t.bias += rng_.Gaussian(0.0, seg.magnitude * 0.5);
+        if (t.bias < 0.35) t.bias = 0.35;
+        if (t.bias > 0.65) t.bias = 0.65;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ImageStreamSource::RenderImage(const ClassTexture& tex,
+                                    std::span<double> out) {
+  const size_t h = options_.height;
+  const size_t w = options_.width;
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      const double v =
+          tex.bias +
+          tex.contrast * std::sin(tex.freq_x * static_cast<double>(x) +
+                                  tex.freq_y * static_cast<double>(y) +
+                                  tex.phase) +
+          rng_.Gaussian(0.0, options_.noise_sigma);
+      out[y * w + x] = v;
+    }
+  }
+}
+
+Result<Batch> ImageStreamSource::NextBatch(size_t batch_size) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("NextBatch: batch_size must be positive");
+  }
+
+  if (!started_) {
+    started_ = true;
+    EnterSegment(0);
+  } else if (batch_in_segment_ >=
+             script_.segments[segment_index_].num_batches) {
+    size_t next = segment_index_ + 1;
+    if (next >= script_.segments.size()) {
+      if (!script_.loop) {
+        return Status::OutOfRange(name_ + ": drift script exhausted");
+      }
+      next = 0;
+    }
+    EnterSegment(next);
+  }
+
+  EvolveTextures();
+
+  const DriftSegment& seg = script_.segments[segment_index_];
+  meta_.segment_kind = seg.kind;
+  meta_.segment_index = segment_index_;
+  meta_.shift_event =
+      (seg.kind == DriftKind::kSudden || seg.kind == DriftKind::kReoccurring) &&
+      batch_in_segment_ < options_.event_window;
+
+  Batch out;
+  out.index = next_batch_index_++;
+  out.features = Matrix(batch_size, input_dim());
+  out.labels.resize(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    const int cls = static_cast<int>(rng_.NextBelow(options_.num_classes));
+    out.labels[i] = cls;
+    RenderImage(textures_[static_cast<size_t>(cls)], out.features.Row(i));
+  }
+
+  ++batch_in_segment_;
+  return out;
+}
+
+namespace {
+
+DriftSegment Seg(DriftKind kind, size_t batches, double magnitude,
+                 int checkpoint = -1, bool save = false) {
+  DriftSegment s;
+  s.kind = kind;
+  s.num_batches = batches;
+  s.magnitude = magnitude;
+  s.reoccur_checkpoint = checkpoint;
+  s.save_checkpoint = save;
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<ImageStreamSource> MakeAnimalsSim(uint64_t seed) {
+  ImageStreamOptions opts;
+  opts.num_classes = 8;
+  opts.seed = seed;
+  DriftScript script;
+  script.segments = {
+      Seg(DriftKind::kLocalized, 12, 0.01, -1, /*save=*/true),
+      Seg(DriftKind::kDirectional, 14, 0.05),
+      Seg(DriftKind::kSudden, 10, 0.0),
+      Seg(DriftKind::kLocalized, 12, 0.012),
+      Seg(DriftKind::kReoccurring, 12, 0.0, 0),
+      Seg(DriftKind::kDirectional, 12, 0.04),
+  };
+  return std::make_unique<ImageStreamSource>("Animals", opts,
+                                             std::move(script));
+}
+
+std::unique_ptr<ImageStreamSource> MakeFlowersSim(uint64_t seed) {
+  ImageStreamOptions opts;
+  opts.num_classes = 5;
+  opts.seed = seed;
+  DriftScript script;
+  script.segments = {
+      Seg(DriftKind::kDirectional, 15, 0.03, -1, /*save=*/true),
+      Seg(DriftKind::kLocalized, 15, 0.01),
+      Seg(DriftKind::kSudden, 12, 0.0),
+      Seg(DriftKind::kReoccurring, 12, 0.0, 0),
+      Seg(DriftKind::kLocalized, 12, 0.01),
+  };
+  return std::make_unique<ImageStreamSource>("Flowers", opts,
+                                             std::move(script));
+}
+
+}  // namespace freeway

@@ -1,0 +1,87 @@
+#ifndef FREEWAYML_DATA_IMAGE_STREAM_H_
+#define FREEWAYML_DATA_IMAGE_STREAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/concept.h"
+#include "ml/layers.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Options for the synthetic image-stream generator.
+struct ImageStreamOptions {
+  size_t height = 16;
+  size_t width = 16;
+  size_t num_classes = 4;
+  /// Pixel noise standard deviation.
+  double noise_sigma = 0.15;
+  /// Batches after a sudden/reoccurring event that still count as part of
+  /// the shift event for ground-truth accounting.
+  size_t event_window = 2;
+  uint64_t seed = 42;
+};
+
+/// Class-conditional textured-image stream standing in for the appendix's
+/// ImageNet-Subset ("Animals") and Flowers streams. Each class renders a
+/// sinusoidal grating with class-specific frequency and orientation; a
+/// DriftScript evolves phase/contrast (slight), re-randomizes textures
+/// (sudden), or restores earlier texture sets (reoccurring). Images are
+/// single-channel, flattened row-major; TensorShape{1, height, width}.
+class ImageStreamSource : public StreamSource {
+ public:
+  ImageStreamSource(std::string name, const ImageStreamOptions& options,
+                    DriftScript script);
+
+  std::string name() const override { return name_; }
+  size_t input_dim() const override {
+    return options_.height * options_.width;
+  }
+  size_t num_classes() const override { return options_.num_classes; }
+
+  TensorShape shape() const { return {1, options_.height, options_.width}; }
+
+  Result<Batch> NextBatch(size_t batch_size) override;
+
+ private:
+  struct ClassTexture {
+    double freq_x = 0.0;
+    double freq_y = 0.0;
+    double phase = 0.0;
+    double contrast = 0.6;
+    double bias = 0.5;
+  };
+
+  void RandomizeTextures();
+  void EnterSegment(size_t seg_index);
+  void EvolveTextures();
+  void RenderImage(const ClassTexture& tex, std::span<double> out);
+
+  std::string name_;
+  ImageStreamOptions options_;
+  DriftScript script_;
+  Rng rng_;
+
+  std::vector<ClassTexture> textures_;
+  std::vector<std::vector<ClassTexture>> checkpoints_;
+
+  size_t segment_index_ = 0;
+  size_t batch_in_segment_ = 0;
+  int64_t next_batch_index_ = 0;
+  bool started_ = false;
+};
+
+/// "Animals" stream (ImageNet-Subset analogue): 8 classes of 16x16 textures
+/// with sudden and reoccurring texture-regime changes.
+std::unique_ptr<ImageStreamSource> MakeAnimalsSim(uint64_t seed = 42);
+
+/// "Flowers" stream: 5 classes with smoother slight drift plus occasional
+/// sudden changes.
+std::unique_ptr<ImageStreamSource> MakeFlowersSim(uint64_t seed = 42);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DATA_IMAGE_STREAM_H_

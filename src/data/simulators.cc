@@ -1,0 +1,259 @@
+#include "data/simulators.h"
+
+#include "data/synthetic.h"
+
+namespace freeway {
+namespace {
+
+DriftSegment Directional(size_t batches, double step) {
+  DriftSegment s;
+  s.kind = DriftKind::kDirectional;
+  s.num_batches = batches;
+  s.magnitude = step;
+  return s;
+}
+
+DriftSegment Localized(size_t batches, double jitter) {
+  DriftSegment s;
+  s.kind = DriftKind::kLocalized;
+  s.num_batches = batches;
+  s.magnitude = jitter;
+  return s;
+}
+
+DriftSegment Sudden(size_t batches, double jump) {
+  DriftSegment s;
+  s.kind = DriftKind::kSudden;
+  s.num_batches = batches;
+  s.magnitude = jump;
+  return s;
+}
+
+DriftSegment Reoccur(size_t batches, int checkpoint) {
+  DriftSegment s;
+  s.kind = DriftKind::kReoccurring;
+  s.num_batches = batches;
+  s.reoccur_checkpoint = checkpoint;
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<GaussianConceptSource> MakeAirlinesSim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 7;
+  opts.num_classes = 2;
+  opts.class_separation = 2.0;  // Delay prediction: modest margin.
+  opts.noise_sigma = 1.0;
+  opts.seed = seed;
+
+  DriftScript script;
+  DriftSegment start = Localized(8, 0.05);
+  start.save_checkpoint = true;  // Checkpoint 0: the base schedule regime.
+  script.segments = {
+      start,
+      Directional(20, 0.06),
+      Localized(12, 0.08),
+      Directional(18, 0.05),
+      Sudden(10, 4.0),          // Weather / strike disruption.
+      Directional(16, 0.06),
+      Reoccur(12, 0),           // Normal schedule resumes.
+      Directional(16, 0.05),
+  };
+  return std::make_unique<GaussianConceptSource>("Airlines", opts,
+                                                 std::move(script));
+}
+
+std::unique_ptr<GaussianConceptSource> MakeCovertypeSim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 54;
+  opts.num_classes = 7;
+  opts.class_separation = 2.2;
+  opts.noise_sigma = 1.2;
+  opts.seed = seed;
+
+  DriftScript script;
+  DriftSegment start = Localized(15, 0.06);
+  start.save_checkpoint = true;  // Checkpoint 0: the base region.
+  script.segments = {
+      start,
+      Localized(20, 0.10),
+      Sudden(12, 3.5),           // Survey moves to a different region.
+      Localized(18, 0.08),
+      Sudden(12, 3.5),
+      Localized(15, 0.08),
+      Reoccur(15, 0),            // Back to the original region.
+      Localized(13, 0.06),
+  };
+  return std::make_unique<GaussianConceptSource>("Covertype", opts,
+                                                 std::move(script));
+}
+
+std::unique_ptr<GaussianConceptSource> MakeNslKddSim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 41;
+  opts.num_classes = 5;  // normal, DoS, probe, R2L, U2R.
+  opts.class_separation = 2.4;
+  opts.noise_sigma = 1.0;
+  opts.priors = {0.55, 0.25, 0.12, 0.06, 0.02};  // Heavy imbalance.
+  opts.seed = seed;
+
+  DriftScript script;
+  DriftSegment normal = Localized(12, 0.05);
+  normal.save_checkpoint = true;  // Checkpoint 0: baseline traffic.
+
+  DriftSegment dos_wave = Sudden(10, 3.2);  // DoS flood dominates traffic.
+  dos_wave.new_priors = {0.15, 0.70, 0.08, 0.05, 0.02};
+  dos_wave.save_checkpoint = true;  // Checkpoint 1: the DoS regime.
+
+  DriftSegment calm = Reoccur(10, 0);
+  calm.new_priors = {0.55, 0.25, 0.12, 0.06, 0.02};
+
+  DriftSegment probe_wave = Sudden(10, 3.0);  // Probe scanning wave.
+  probe_wave.new_priors = {0.30, 0.10, 0.50, 0.07, 0.03};
+
+  DriftSegment dos_again = Reoccur(10, 1);  // Known DoS pattern returns.
+  dos_again.new_priors = {0.15, 0.70, 0.08, 0.05, 0.02};
+
+  DriftSegment calm2 = Reoccur(12, 0);
+  calm2.new_priors = {0.55, 0.25, 0.12, 0.06, 0.02};
+
+  script.segments = {normal,     Localized(10, 0.06), dos_wave,
+                     calm,       probe_wave,          dos_again,
+                     calm2,      Localized(10, 0.05)};
+  return std::make_unique<GaussianConceptSource>("NSL-KDD", opts,
+                                                 std::move(script));
+}
+
+std::unique_ptr<GaussianConceptSource> MakeElectricitySim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 8;
+  opts.num_classes = 2;  // Price up / down.
+  opts.class_separation = 1.8;
+  opts.noise_sigma = 1.0;
+  opts.seed = seed;
+
+  DriftScript script;
+  DriftSegment day = Directional(10, 0.07);
+  day.save_checkpoint = true;  // Checkpoint 0: morning regime.
+  script.segments = {
+      day,
+      Localized(10, 0.07),      // Midday plateau.
+      Directional(10, 0.07),    // Evening ramp.
+      Sudden(8, 2.4),           // Demand spike / outage.
+      Reoccur(10, 0),           // Next day: morning regime reoccurs.
+      Localized(10, 0.06),
+      Reoccur(10, 0),
+      Directional(10, 0.06),
+  };
+  return std::make_unique<GaussianConceptSource>("Electricity", opts,
+                                                 std::move(script));
+}
+
+std::unique_ptr<GaussianConceptSource> MakeElectricityLoadSim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 6;
+  opts.num_classes = 3;  // Low / medium / high load.
+  opts.class_separation = 2.0;
+  opts.noise_sigma = 0.9;
+  opts.seed = seed;
+
+  DriftScript script;
+  DriftSegment base = Directional(12, 0.08);
+  base.save_checkpoint = true;
+  script.segments = {
+      base,
+      Localized(10, 0.06),
+      Directional(12, 0.08),
+      Sudden(8, 2.6),           // Grid event: load pattern breaks abruptly.
+      Reoccur(12, 0),
+      Localized(10, 0.06),
+  };
+  return std::make_unique<GaussianConceptSource>("ElectricityLoad", opts,
+                                                 std::move(script));
+}
+
+std::unique_ptr<GaussianConceptSource> MakeStockTrendSim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 6;
+  opts.num_classes = 2;  // Trend up / down.
+  opts.class_separation = 1.5;
+  opts.noise_sigma = 1.0;
+  opts.seed = seed;
+
+  DriftScript script;
+  script.segments = {
+      Directional(25, 0.08),    // Bull run.
+      Sudden(10, 3.0),          // Market break.
+      Directional(20, 0.08),
+      Sudden(10, 2.8),
+      Directional(20, 0.07),
+  };
+  return std::make_unique<GaussianConceptSource>("StockTrend", opts,
+                                                 std::move(script));
+}
+
+std::unique_ptr<GaussianConceptSource> MakeSolarSim(uint64_t seed) {
+  ConceptSourceOptions opts;
+  opts.dim = 5;
+  opts.num_classes = 3;  // Clear / cloudy / overcast irradiance bands.
+  opts.class_separation = 2.0;
+  opts.noise_sigma = 0.9;
+  opts.seed = seed;
+
+  DriftScript script;
+  DriftSegment dawn = Localized(12, 0.06);
+  dawn.save_checkpoint = true;
+  script.segments = {
+      dawn,
+      Localized(14, 0.10),
+      Sudden(8, 2.2),           // Weather front.
+      Localized(12, 0.08),
+      Reoccur(14, 0),           // Clear-sky regime returns.
+  };
+  return std::make_unique<GaussianConceptSource>("Solar", opts,
+                                                 std::move(script));
+}
+
+Result<std::unique_ptr<StreamSource>> MakeBenchmarkDataset(
+    const std::string& name, uint64_t seed) {
+  if (name == "Hyperplane") {
+    HyperplaneOptions opts;
+    opts.seed = seed;
+    opts.drift_magnitude = 0.03;
+    opts.sudden_every = 30;
+    // Make the re-randomizations feature-visible shifts (see synthetic.h).
+    opts.sudden_class_offset = 0.8;
+    return std::unique_ptr<StreamSource>(
+        std::make_unique<HyperplaneSource>(opts));
+  }
+  if (name == "SEA") {
+    SeaOptions opts;
+    opts.seed = seed;
+    // Per-concept spatial offsets so concept switches/returns are
+    // feature-visible (see synthetic.h).
+    opts.concept_offset_scale = 2.5;
+    return std::unique_ptr<StreamSource>(std::make_unique<SeaSource>(opts));
+  }
+  if (name == "Airlines") {
+    return std::unique_ptr<StreamSource>(MakeAirlinesSim(seed));
+  }
+  if (name == "Covertype") {
+    return std::unique_ptr<StreamSource>(MakeCovertypeSim(seed));
+  }
+  if (name == "NSL-KDD") {
+    return std::unique_ptr<StreamSource>(MakeNslKddSim(seed));
+  }
+  if (name == "Electricity") {
+    return std::unique_ptr<StreamSource>(MakeElectricitySim(seed));
+  }
+  return Status::NotFound("unknown benchmark dataset: " + name);
+}
+
+const std::vector<std::string>& BenchmarkDatasetNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "Hyperplane", "SEA", "Airlines", "Covertype", "NSL-KDD", "Electricity"};
+  return *names;
+}
+
+}  // namespace freeway

@@ -1,0 +1,62 @@
+#ifndef FREEWAYML_DATA_SIMULATORS_H_
+#define FREEWAYML_DATA_SIMULATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/concept.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Statistically-matched simulators for the paper's real-world datasets.
+/// Each factory configures the Gaussian concept engine with the feature
+/// dimensionality / class count of the original dataset and a drift script
+/// reproducing the drift phenomena the paper attributes to it. All are
+/// deterministic under `seed`.
+
+/// Airlines (flight-delay prediction): 7 features, 2 classes. Dominated by
+/// slight directional drift (evolving schedules/load) with occasional sudden
+/// disruptions.
+std::unique_ptr<GaussianConceptSource> MakeAirlinesSim(uint64_t seed = 42);
+
+/// Covertype (forest cover): 54 features, 7 classes. Localized variation
+/// with occasional sudden region changes.
+std::unique_ptr<GaussianConceptSource> MakeCovertypeSim(uint64_t seed = 42);
+
+/// NSL-KDD (network intrusion): 41 features, 5 classes (normal + 4 attack
+/// families), heavy class imbalance. Attack waves appear as sudden shifts
+/// with prior swaps; known attack families return as reoccurring shifts.
+std::unique_ptr<GaussianConceptSource> MakeNslKddSim(uint64_t seed = 42);
+
+/// Electricity / Elec2 (price direction): 8 features, 2 classes. Periodic
+/// demand regimes: directional intraday trends with daily regimes that
+/// reoccur.
+std::unique_ptr<GaussianConceptSource> MakeElectricitySim(uint64_t seed = 42);
+
+/// Electricity-load stream for the Section-III empirical study: smooth
+/// directional trends with reoccurring daily regimes.
+std::unique_ptr<GaussianConceptSource> MakeElectricityLoadSim(
+    uint64_t seed = 42);
+
+/// Stock price trend stream for the Section-III empirical study: persistent
+/// directional drift with sudden regime breaks.
+std::unique_ptr<GaussianConceptSource> MakeStockTrendSim(uint64_t seed = 42);
+
+/// Solar irradiance stream for the Section-III empirical study: localized
+/// weather jitter around reoccurring diurnal regimes.
+std::unique_ptr<GaussianConceptSource> MakeSolarSim(uint64_t seed = 42);
+
+/// The paper's six benchmark datasets by canonical name: "Hyperplane",
+/// "SEA", "Airlines", "Covertype", "NSL-KDD", "Electricity". Returns
+/// NotFound for anything else.
+Result<std::unique_ptr<StreamSource>> MakeBenchmarkDataset(
+    const std::string& name, uint64_t seed = 42);
+
+/// Canonical ordering of the six benchmark dataset names (Table I order).
+const std::vector<std::string>& BenchmarkDatasetNames();
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DATA_SIMULATORS_H_

@@ -1,0 +1,152 @@
+#include "data/synthetic.h"
+
+#include "common/logging.h"
+
+namespace freeway {
+
+// ---------------------------------------------------------------------------
+// HyperplaneSource
+// ---------------------------------------------------------------------------
+
+HyperplaneSource::HyperplaneSource(const HyperplaneOptions& options)
+    : options_(options), rng_(options.seed) {
+  FREEWAY_DCHECK(options_.dim >= 2);
+  FREEWAY_DCHECK(options_.drift_features <= options_.dim);
+  Rerandomize();
+}
+
+void HyperplaneSource::Rerandomize() {
+  weights_.resize(options_.dim);
+  for (auto& w : weights_) w = rng_.Uniform(-1.0, 1.0);
+  drift_direction_.assign(options_.drift_features, 1.0);
+  for (auto& d : drift_direction_) d = rng_.Bernoulli(0.5) ? 1.0 : -1.0;
+  // Threshold at the hyperplane's expected value keeps classes balanced.
+  threshold_ = 0.0;
+  for (double w : weights_) threshold_ += 0.5 * w;
+
+  class_offsets_.assign(2, std::vector<double>(options_.dim, 0.0));
+  if (options_.sudden_class_offset > 0.0) {
+    for (auto& offset : class_offsets_) {
+      for (auto& v : offset) v = rng_.NextGaussian();
+      const double norm = vec::Norm(offset);
+      const double scale =
+          options_.sudden_class_offset / (norm > 0 ? norm : 1.0);
+      for (auto& v : offset) v *= scale;
+    }
+  }
+}
+
+Result<Batch> HyperplaneSource::NextBatch(size_t batch_size) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("NextBatch: batch_size must be positive");
+  }
+
+  meta_ = BatchMeta{};
+  if (options_.sudden_every > 0 && next_batch_index_ > 0 &&
+      next_batch_index_ % static_cast<int64_t>(options_.sudden_every) == 0) {
+    Rerandomize();
+    meta_.segment_kind = DriftKind::kSudden;
+    meta_.shift_event = true;
+  } else {
+    meta_.segment_kind = DriftKind::kDirectional;
+  }
+
+  // Weight drift for this batch (Pattern A1 motion).
+  for (size_t f = 0; f < options_.drift_features; ++f) {
+    if (rng_.Bernoulli(options_.flip_probability)) {
+      drift_direction_[f] = -drift_direction_[f];
+    }
+    weights_[f] += drift_direction_[f] * options_.drift_magnitude;
+  }
+  threshold_ = 0.0;
+  for (double w : weights_) threshold_ += 0.5 * w;
+
+  Batch out;
+  out.index = next_batch_index_++;
+  out.features = Matrix(batch_size, options_.dim);
+  out.labels.resize(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    auto row = out.features.Row(i);
+    double score = 0.0;
+    for (size_t d = 0; d < options_.dim; ++d) {
+      row[d] = rng_.NextDouble();
+      score += row[d] * weights_[d];
+    }
+    int label = score > threshold_ ? 1 : 0;
+    if (rng_.Bernoulli(options_.noise)) label = 1 - label;
+    out.labels[i] = label;
+    if (options_.sudden_class_offset > 0.0) {
+      const auto& offset = class_offsets_[static_cast<size_t>(label)];
+      for (size_t d = 0; d < options_.dim; ++d) row[d] += offset[d];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SeaSource
+// ---------------------------------------------------------------------------
+
+SeaSource::SeaSource(const SeaOptions& options)
+    : options_(options), rng_(options.seed) {
+  FREEWAY_DCHECK(options_.concept_length >= 1);
+}
+
+Result<Batch> SeaSource::NextBatch(size_t batch_size) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("NextBatch: batch_size must be positive");
+  }
+
+  meta_ = BatchMeta{};
+  if (batch_in_concept_ >= options_.concept_length) {
+    ++concept_index_;
+    batch_in_concept_ = 0;
+  }
+  if (batch_in_concept_ < 2 && concept_index_ > 0) {
+    // The first batches after a switch: sudden on first visit, reoccurring
+    // once this theta has been seen before (cycle length 4).
+    meta_.shift_event = true;
+    meta_.segment_kind = concept_index_ >= 4 ? DriftKind::kReoccurring
+                                             : DriftKind::kSudden;
+  } else {
+    meta_.segment_kind = DriftKind::kStationary;
+  }
+  meta_.segment_index = concept_index_ % 4;
+
+  const double theta = kThetas[concept_index_ % 4];
+
+  // Deterministic per-(concept, class) offsets: concept k always maps to
+  // the same feature-space region, so a returning theta also returns
+  // spatially (enabling Pattern-C detection).
+  double offsets[2][3] = {{0, 0, 0}, {0, 0, 0}};
+  if (options_.concept_offset_scale > 0.0) {
+    Rng offset_rng(options_.seed * 1315423911ULL + (concept_index_ % 4));
+    for (auto& class_offset : offsets) {
+      for (double& v : class_offset) {
+        v = offset_rng.Uniform(-options_.concept_offset_scale,
+                               options_.concept_offset_scale);
+      }
+    }
+  }
+
+  Batch out;
+  out.index = next_batch_index_++;
+  out.features = Matrix(batch_size, 3);
+  out.labels.resize(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    auto row = out.features.Row(i);
+    for (size_t d = 0; d < 3; ++d) row[d] = rng_.Uniform(0.0, 10.0);
+    int label = (row[0] + row[1] <= theta) ? 1 : 0;
+    if (rng_.Bernoulli(options_.noise)) label = 1 - label;
+    out.labels[i] = label;
+    if (options_.concept_offset_scale > 0.0) {
+      for (size_t d = 0; d < 3; ++d) {
+        row[d] += offsets[static_cast<size_t>(label)][d];
+      }
+    }
+  }
+  ++batch_in_concept_;
+  return out;
+}
+
+}  // namespace freeway

@@ -1,0 +1,107 @@
+#ifndef FREEWAYML_DATA_SYNTHETIC_H_
+#define FREEWAYML_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Options for the rotating-hyperplane generator (River-style).
+struct HyperplaneOptions {
+  size_t dim = 10;
+  /// Features whose weights drift each batch.
+  size_t drift_features = 2;
+  /// Per-batch Gaussian step applied to drifting weights.
+  double drift_magnitude = 0.02;
+  /// Probability of flipping the drift direction of a feature per batch.
+  double flip_probability = 0.05;
+  /// Label-noise probability.
+  double noise = 0.05;
+  /// Every `sudden_every` batches the hyperplane is re-randomized (0 = never)
+  /// — gives the stream genuine Pattern-B events.
+  size_t sudden_every = 0;
+  /// When > 0, each re-randomization also draws per-class feature offsets of
+  /// this norm added to the emitted points. The classic Hyperplane's sudden
+  /// concept switches are *virtual* drift (P(y|x) changes, P(x) does not) —
+  /// invisible to any feature-distribution detector; the offsets model the
+  /// real (P(x)-visible) component that accompanies abrupt regime changes,
+  /// e.g. a traffic surge whose two classes move apart.
+  double sudden_class_offset = 0.0;
+  uint64_t seed = 42;
+};
+
+/// The Hyperplane benchmark: points uniform in [0,1]^d labeled by the side of
+/// a slowly rotating hyperplane. The canonical slight-directional-drift
+/// stream used by the paper for accuracy (Table I) and all performance
+/// experiments (Fig 10, Tables III/VI).
+class HyperplaneSource : public StreamSource {
+ public:
+  explicit HyperplaneSource(const HyperplaneOptions& options = {});
+
+  std::string name() const override { return "Hyperplane"; }
+  size_t input_dim() const override { return options_.dim; }
+  size_t num_classes() const override { return 2; }
+
+  Result<Batch> NextBatch(size_t batch_size) override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  void Rerandomize();
+
+  HyperplaneOptions options_;
+  Rng rng_;
+  std::vector<double> weights_;
+  std::vector<double> drift_direction_;  ///< +/-1 per drifting feature.
+  /// Per-class emitted-feature offsets (active when sudden_class_offset > 0).
+  std::vector<std::vector<double>> class_offsets_;
+  double threshold_ = 0.0;
+  int64_t next_batch_index_ = 0;
+};
+
+/// Options for the SEA concepts generator.
+struct SeaOptions {
+  /// Batches each concept lasts before switching.
+  size_t concept_length = 25;
+  /// Label-noise probability (SEA traditionally uses 10%).
+  double noise = 0.10;
+  /// When > 0, each concept carries deterministic per-class feature offsets
+  /// of this norm (derived from the concept index, so a returning theta
+  /// returns in feature space too). As with Hyperplane, this turns SEA's
+  /// otherwise-virtual concept switches into feature-visible shifts.
+  double concept_offset_scale = 0.0;
+  uint64_t seed = 42;
+};
+
+/// The SEA benchmark: 3 features uniform in [0,10], only the first two
+/// relevant; label = (f1 + f2 <= theta). Theta cycles through the four
+/// classic concepts {8, 9, 7, 9.5}, so every switch is a sudden shift and
+/// every later visit to a theta is a reoccurring shift.
+class SeaSource : public StreamSource {
+ public:
+  explicit SeaSource(const SeaOptions& options = {});
+
+  std::string name() const override { return "SEA"; }
+  size_t input_dim() const override { return 3; }
+  size_t num_classes() const override { return 2; }
+
+  Result<Batch> NextBatch(size_t batch_size) override;
+
+  double current_theta() const { return kThetas[concept_index_ % 4]; }
+
+ private:
+  static constexpr double kThetas[4] = {8.0, 9.0, 7.0, 9.5};
+
+  SeaOptions options_;
+  Rng rng_;
+  size_t concept_index_ = 0;
+  size_t batch_in_concept_ = 0;
+  int64_t next_batch_index_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DATA_SYNTHETIC_H_

@@ -1,0 +1,218 @@
+#include "detectors/drift_detectors.h"
+
+#include <cmath>
+
+namespace freeway {
+
+const char* DriftStateName(DriftState state) {
+  switch (state) {
+    case DriftState::kStable:
+      return "stable";
+    case DriftState::kWarning:
+      return "warning";
+    case DriftState::kDrift:
+      return "drift";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// DDM
+// ---------------------------------------------------------------------------
+
+DdmDetector::DdmDetector(size_t min_observations)
+    : min_observations_(min_observations) {}
+
+void DdmDetector::Reset() {
+  count_ = 0;
+  error_sum_ = 0.0;
+  min_p_plus_s_ = 1e18;
+  min_p_ = 0.0;
+  min_s_ = 0.0;
+}
+
+DriftState DdmDetector::Add(double error) {
+  ++count_;
+  error_sum_ += error;
+  // Arm only once both the sample count and the error count are meaningful:
+  // with zero observed errors p-hat = 0 locks min_p + min_s at 0 and the
+  // first error would falsely signal drift (the classic DDM cold-start
+  // artifact).
+  if (count_ < min_observations_ || error_sum_ < 5.0) {
+    return DriftState::kStable;
+  }
+
+  const double p = error_sum_ / static_cast<double>(count_);
+  const double s = std::sqrt(p * (1.0 - p) / static_cast<double>(count_));
+  if (p + s < min_p_plus_s_) {
+    min_p_plus_s_ = p + s;
+    min_p_ = p;
+    min_s_ = s;
+  }
+
+  if (p + s > min_p_ + 3.0 * min_s_) {
+    Reset();
+    return DriftState::kDrift;
+  }
+  if (p + s > min_p_ + 2.0 * min_s_) return DriftState::kWarning;
+  return DriftState::kStable;
+}
+
+// ---------------------------------------------------------------------------
+// EDDM
+// ---------------------------------------------------------------------------
+
+EddmDetector::EddmDetector(double warning_ratio, double drift_ratio,
+                           size_t min_errors)
+    : warning_ratio_(warning_ratio),
+      drift_ratio_(drift_ratio),
+      min_errors_(min_errors) {}
+
+void EddmDetector::Reset() {
+  position_ = 0;
+  last_error_position_ = 0;
+  error_count_ = 0;
+  dist_mean_ = 0.0;
+  dist_m2_ = 0.0;
+  max_mean_plus_2sd_ = 0.0;
+}
+
+DriftState EddmDetector::Add(double error) {
+  ++position_;
+  // Treat any error level above 0.5 as "an error occurred" when fed
+  // indicator-style inputs; fractional error rates trigger proportionally.
+  if (error < 0.5) return DriftState::kStable;
+
+  const double distance =
+      static_cast<double>(position_ - last_error_position_);
+  last_error_position_ = position_;
+  ++error_count_;
+
+  // Welford update of the error-distance statistics.
+  const double delta = distance - dist_mean_;
+  dist_mean_ += delta / static_cast<double>(error_count_);
+  dist_m2_ += delta * (distance - dist_mean_);
+  if (error_count_ < 2) return DriftState::kStable;
+  const double sd =
+      std::sqrt(dist_m2_ / static_cast<double>(error_count_ - 1));
+  const double mean_plus_2sd = dist_mean_ + 2.0 * sd;
+
+  // The distance statistics are noisy until enough errors accumulated;
+  // recording a lucky early maximum would bias every later ratio low, so
+  // both the maximum and the test arm together.
+  if (error_count_ < min_errors_) return DriftState::kStable;
+  if (mean_plus_2sd > max_mean_plus_2sd_) {
+    max_mean_plus_2sd_ = mean_plus_2sd;
+    return DriftState::kStable;
+  }
+  if (max_mean_plus_2sd_ <= 0.0) return DriftState::kStable;
+
+  const double ratio = mean_plus_2sd / max_mean_plus_2sd_;
+  if (ratio < drift_ratio_) {
+    Reset();
+    return DriftState::kDrift;
+  }
+  if (ratio < warning_ratio_) return DriftState::kWarning;
+  return DriftState::kStable;
+}
+
+// ---------------------------------------------------------------------------
+// Page-Hinkley
+// ---------------------------------------------------------------------------
+
+PageHinkleyDetector::PageHinkleyDetector(double delta, double lambda,
+                                         size_t min_observations)
+    : delta_(delta), lambda_(lambda), min_observations_(min_observations) {}
+
+void PageHinkleyDetector::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+}
+
+DriftState PageHinkleyDetector::Add(double error) {
+  ++count_;
+  mean_ += (error - mean_) / static_cast<double>(count_);
+  cumulative_ += error - mean_ - delta_;
+  if (cumulative_ < min_cumulative_) min_cumulative_ = cumulative_;
+  if (count_ < min_observations_) return DriftState::kStable;
+
+  const double test = cumulative_ - min_cumulative_;
+  if (test > lambda_) {
+    Reset();
+    return DriftState::kDrift;
+  }
+  if (test > 0.5 * lambda_) return DriftState::kWarning;
+  return DriftState::kStable;
+}
+
+// ---------------------------------------------------------------------------
+// ADWIN (simplified)
+// ---------------------------------------------------------------------------
+
+AdwinDetector::AdwinDetector(double delta, size_t max_window,
+                             size_t check_every)
+    : delta_(delta), max_window_(max_window), check_every_(check_every) {}
+
+void AdwinDetector::Reset() {
+  since_check_ = 0;
+  window_.clear();
+  window_sum_ = 0.0;
+}
+
+bool AdwinDetector::CheckAndShrink() {
+  const size_t n = window_.size();
+  if (n < 10) return false;
+
+  // Scan splits; prefix sums keep the pass O(n).
+  double head_sum = 0.0;
+  bool shrunk = false;
+  size_t cut = 0;
+  for (size_t i = 1; i < n; ++i) {
+    head_sum += window_[i - 1];
+    const double n0 = static_cast<double>(i);
+    const double n1 = static_cast<double>(n - i);
+    if (n0 < 5 || n1 < 5) continue;
+    const double mean0 = head_sum / n0;
+    const double mean1 = (window_sum_ - head_sum) / n1;
+    // Hoeffding-style cut for values in [0, 1].
+    const double m = 1.0 / (1.0 / n0 + 1.0 / n1);
+    const double eps = std::sqrt(
+        (1.0 / (2.0 * m)) *
+        std::log(4.0 * static_cast<double>(n) / delta_));
+    if (std::fabs(mean0 - mean1) > eps) {
+      shrunk = true;
+      cut = i;  // Keep scanning: the LAST failing split trims the most.
+    }
+  }
+  if (shrunk) {
+    for (size_t i = 0; i < cut; ++i) {
+      window_sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+  return shrunk;
+}
+
+DriftState AdwinDetector::Add(double error) {
+  window_.push_back(error);
+  window_sum_ += error;
+  while (window_.size() > max_window_) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+  if (++since_check_ < check_every_) return DriftState::kStable;
+  since_check_ = 0;
+  return CheckAndShrink() ? DriftState::kDrift : DriftState::kStable;
+}
+
+std::unique_ptr<DriftDetector> MakeDriftDetector(const std::string& name) {
+  if (name == "DDM") return std::make_unique<DdmDetector>();
+  if (name == "EDDM") return std::make_unique<EddmDetector>();
+  if (name == "PageHinkley") return std::make_unique<PageHinkleyDetector>();
+  if (name == "ADWIN") return std::make_unique<AdwinDetector>();
+  return nullptr;
+}
+
+}  // namespace freeway

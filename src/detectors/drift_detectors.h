@@ -1,0 +1,142 @@
+#ifndef FREEWAYML_DETECTORS_DRIFT_DETECTORS_H_
+#define FREEWAYML_DETECTORS_DRIFT_DETECTORS_H_
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace freeway {
+
+/// Detector verdict after each observation.
+enum class DriftState {
+  kStable,
+  kWarning,  ///< Change suspected: start preparing (e.g. background model).
+  kDrift,    ///< Change confirmed: react (the detector has self-reset).
+};
+
+const char* DriftStateName(DriftState state);
+
+/// Classical accuracy/error-based concept-drift detectors, as provided by
+/// streaming-ML toolkits like River/MOA — the "drift detector" substrate the
+/// paper's related work contrasts FreewayML's distribution-based detection
+/// against. Observations are error indicators or error rates in [0, 1]
+/// (0 = correct); lower is better.
+class DriftDetector {
+ public:
+  virtual ~DriftDetector() = default;
+  virtual std::string name() const = 0;
+
+  /// Feeds one observation and returns the verdict. Detectors reset
+  /// themselves upon returning kDrift.
+  virtual DriftState Add(double error) = 0;
+
+  /// Returns to the freshly-constructed state.
+  virtual void Reset() = 0;
+};
+
+/// DDM (Gama et al. 2004): tracks the running error rate p_i and its
+/// binomial deviation s_i; warns when p + s exceeds the historical minimum
+/// by 2 sigma, signals drift at 3 sigma.
+class DdmDetector : public DriftDetector {
+ public:
+  /// `min_observations`: samples before the thresholds arm.
+  explicit DdmDetector(size_t min_observations = 30);
+
+  std::string name() const override { return "DDM"; }
+  DriftState Add(double error) override;
+  void Reset() override;
+
+ private:
+  size_t min_observations_;
+  size_t count_ = 0;
+  double error_sum_ = 0.0;
+  double min_p_plus_s_ = 1e18;
+  double min_p_ = 0.0;
+  double min_s_ = 0.0;
+};
+
+/// EDDM (Baena-García et al. 2006): monitors the *distance between errors*
+/// rather than the error rate, which reacts faster to gradual drift. Warns
+/// when (mu + 2 sigma) of the distance falls below `warning_ratio` of its
+/// historical maximum; drifts below `drift_ratio`.
+class EddmDetector : public DriftDetector {
+ public:
+  EddmDetector(double warning_ratio = 0.95, double drift_ratio = 0.90,
+               size_t min_errors = 30);
+
+  std::string name() const override { return "EDDM"; }
+  DriftState Add(double error) override;
+  void Reset() override;
+
+ private:
+  double warning_ratio_;
+  double drift_ratio_;
+  size_t min_errors_;
+
+  size_t position_ = 0;
+  size_t last_error_position_ = 0;
+  size_t error_count_ = 0;
+  double dist_mean_ = 0.0;
+  double dist_m2_ = 0.0;  ///< Welford accumulator.
+  double max_mean_plus_2sd_ = 0.0;
+};
+
+/// Page–Hinkley test: accumulates deviations of the observed error from its
+/// running mean; drift when the accumulated deviation exceeds `lambda` above
+/// its historical minimum. `delta` is the tolerated magnitude of change.
+class PageHinkleyDetector : public DriftDetector {
+ public:
+  PageHinkleyDetector(double delta = 0.005, double lambda = 50.0,
+                      size_t min_observations = 30);
+
+  std::string name() const override { return "PageHinkley"; }
+  DriftState Add(double error) override;
+  void Reset() override;
+
+ private:
+  double delta_;
+  double lambda_;
+  size_t min_observations_;
+
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+};
+
+/// ADWIN-style adaptive windowing (Bifet & Gavaldà 2007), simplified: keeps
+/// a bounded window of recent observations and, on a fixed cadence, tests
+/// every split for a mean difference exceeding the Hoeffding-style cut
+/// epsilon(delta); when a split fails, the older side is dropped and drift
+/// is signaled. O(window) per check, bounded memory.
+class AdwinDetector : public DriftDetector {
+ public:
+  /// `delta`: confidence parameter (smaller = more conservative).
+  explicit AdwinDetector(double delta = 0.002, size_t max_window = 4096,
+                         size_t check_every = 32);
+
+  std::string name() const override { return "ADWIN"; }
+  DriftState Add(double error) override;
+  void Reset() override;
+
+  size_t window_size() const { return window_.size(); }
+
+ private:
+  bool CheckAndShrink();
+
+  double delta_;
+  size_t max_window_;
+  size_t check_every_;
+  size_t since_check_ = 0;
+  std::deque<double> window_;
+  double window_sum_ = 0.0;
+};
+
+/// Builds a detector by name: "DDM", "EDDM", "PageHinkley", "ADWIN".
+/// Returns nullptr for unknown names.
+std::unique_ptr<DriftDetector> MakeDriftDetector(const std::string& name);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DETECTORS_DRIFT_DETECTORS_H_

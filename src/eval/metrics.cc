@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace freeway {
+
+ConfusionMatrix::ConfusionMatrix(size_t num_classes)
+    : counts_(num_classes, std::vector<size_t>(num_classes, 0)) {}
+
+Status ConfusionMatrix::Add(int truth, int prediction) {
+  if (truth < 0 || static_cast<size_t>(truth) >= counts_.size() ||
+      prediction < 0 || static_cast<size_t>(prediction) >= counts_.size()) {
+    return Status::InvalidArgument("ConfusionMatrix: class out of range");
+  }
+  ++counts_[static_cast<size_t>(truth)][static_cast<size_t>(prediction)];
+  ++total_;
+  return Status::OK();
+}
+
+Status ConfusionMatrix::AddAll(const std::vector<int>& truth,
+                               const std::vector<int>& predictions) {
+  if (truth.size() != predictions.size()) {
+    return Status::InvalidArgument("ConfusionMatrix: size mismatch");
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    FREEWAY_RETURN_NOT_OK(Add(truth[i], predictions[i]));
+  }
+  return Status::OK();
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t c = 0; c < counts_.size(); ++c) hits += counts_[c][c];
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(size_t c) const {
+  size_t predicted = 0;
+  for (size_t t = 0; t < counts_.size(); ++t) predicted += counts_[t][c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[c][c]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(size_t c) const {
+  const size_t support = Support(c);
+  if (support == 0) return 0.0;
+  return static_cast<double>(counts_[c][c]) / static_cast<double>(support);
+}
+
+double ConfusionMatrix::F1(size_t c) const {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  if (counts_.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < counts_.size(); ++c) sum += F1(c);
+  return sum / static_cast<double>(counts_.size());
+}
+
+double ConfusionMatrix::CohensKappa() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  const double observed = Accuracy();
+  double expected = 0.0;
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    size_t row = 0, col = 0;
+    for (size_t j = 0; j < counts_.size(); ++j) {
+      row += counts_[c][j];
+      col += counts_[j][c];
+    }
+    expected += (static_cast<double>(row) / n) *
+                (static_cast<double>(col) / n);
+  }
+  if (expected >= 1.0) return 0.0;
+  return (observed - expected) / (1.0 - expected);
+}
+
+size_t ConfusionMatrix::Support(size_t c) const {
+  size_t support = 0;
+  for (size_t p = 0; p < counts_.size(); ++p) support += counts_[c][p];
+  return support;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "class  precision  recall     f1         support\n";
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    os << PadRight(std::to_string(c), 7)
+       << PadRight(FormatDouble(Precision(c), 4), 11)
+       << PadRight(FormatDouble(Recall(c), 4), 11)
+       << PadRight(FormatDouble(F1(c), 4), 11) << Support(c) << "\n";
+  }
+  os << "accuracy " << FormatPercent(Accuracy()) << ", macro-F1 "
+     << FormatDouble(MacroF1(), 4) << ", kappa "
+     << FormatDouble(CohensKappa(), 4) << "\n";
+  return os.str();
+}
+
+}  // namespace freeway

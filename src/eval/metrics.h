@@ -1,0 +1,59 @@
+#ifndef FREEWAYML_EVAL_METRICS_H_
+#define FREEWAYML_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace freeway {
+
+/// Confusion matrix and the per-class / aggregate metrics derived from it.
+/// Used to reproduce the paper's NSL-KDD analysis ("significantly enhances
+/// the classification performance of the minority classes").
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes);
+
+  /// Accumulates one (truth, prediction) pair. Both must be in
+  /// [0, num_classes).
+  Status Add(int truth, int prediction);
+
+  /// Accumulates aligned truth/prediction vectors.
+  Status AddAll(const std::vector<int>& truth,
+                const std::vector<int>& predictions);
+
+  size_t num_classes() const { return counts_.size(); }
+  /// counts()[t][p]: samples of true class t predicted as p.
+  const std::vector<std::vector<size_t>>& counts() const { return counts_; }
+  size_t total() const { return total_; }
+
+  /// Overall accuracy; 0 when empty.
+  double Accuracy() const;
+  /// Precision of class c: TP / (TP + FP); 0 when the class was never
+  /// predicted.
+  double Precision(size_t c) const;
+  /// Recall of class c: TP / (TP + FN); 0 when the class never occurred.
+  double Recall(size_t c) const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double F1(size_t c) const;
+  /// Unweighted mean of per-class F1 — the metric class imbalance cannot
+  /// hide behind.
+  double MacroF1() const;
+  /// Cohen's kappa: agreement beyond chance under the observed marginals.
+  double CohensKappa() const;
+  /// True occurrences of class c.
+  size_t Support(size_t c) const;
+
+  /// Multi-line per-class report (precision / recall / F1 / support).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<size_t>> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_EVAL_METRICS_H_

@@ -1,0 +1,85 @@
+#include "eval/perf.h"
+
+#include "common/stopwatch.h"
+
+namespace freeway {
+
+Result<LatencyResult> MeasureLatency(StreamingLearner* learner,
+                                     StreamSource* source,
+                                     const PerfOptions& options) {
+  if (learner == nullptr || source == nullptr) {
+    return Status::InvalidArgument("MeasureLatency: null learner or source");
+  }
+
+  for (size_t b = 0; b < options.warmup_batches; ++b) {
+    FREEWAY_ASSIGN_OR_RETURN(Batch batch,
+                             source->NextBatch(options.batch_size));
+    FREEWAY_ASSIGN_OR_RETURN(std::vector<int> ignored,
+                             learner->PrequentialStep(batch));
+    (void)ignored;
+  }
+
+  LatencyResult out;
+  Stopwatch watch;
+  for (size_t b = 0; b < options.measure_batches; ++b) {
+    FREEWAY_ASSIGN_OR_RETURN(Batch batch,
+                             source->NextBatch(options.batch_size));
+
+    watch.Restart();
+    FREEWAY_ASSIGN_OR_RETURN(Matrix proba,
+                             learner->PredictProba(batch.features));
+    out.infer_micros += static_cast<double>(watch.ElapsedMicros());
+    (void)proba;
+
+    watch.Restart();
+    FREEWAY_RETURN_NOT_OK(learner->Train(batch));
+    out.update_micros += static_cast<double>(watch.ElapsedMicros());
+  }
+  out.infer_micros /= static_cast<double>(options.measure_batches);
+  out.update_micros /= static_cast<double>(options.measure_batches);
+  return out;
+}
+
+Result<double> MeasureThroughput(StreamingLearner* learner,
+                                 StreamSource* source,
+                                 const PerfOptions& options) {
+  if (learner == nullptr || source == nullptr) {
+    return Status::InvalidArgument("MeasureThroughput: null learner or source");
+  }
+
+  // Pre-generate batches so generation cost stays out of the measurement.
+  std::vector<Batch> warmup;
+  std::vector<Batch> measured;
+  for (size_t b = 0; b < options.warmup_batches; ++b) {
+    FREEWAY_ASSIGN_OR_RETURN(Batch batch,
+                             source->NextBatch(options.batch_size));
+    warmup.push_back(std::move(batch));
+  }
+  for (size_t b = 0; b < options.measure_batches; ++b) {
+    FREEWAY_ASSIGN_OR_RETURN(Batch batch,
+                             source->NextBatch(options.batch_size));
+    measured.push_back(std::move(batch));
+  }
+
+  for (const Batch& batch : warmup) {
+    FREEWAY_ASSIGN_OR_RETURN(std::vector<int> ignored,
+                             learner->PrequentialStep(batch));
+    (void)ignored;
+  }
+
+  Stopwatch watch;
+  size_t records = 0;
+  for (const Batch& batch : measured) {
+    FREEWAY_ASSIGN_OR_RETURN(std::vector<int> ignored,
+                             learner->PrequentialStep(batch));
+    (void)ignored;
+    records += batch.size();
+  }
+  const double seconds = watch.ElapsedSeconds();
+  if (seconds <= 0.0) {
+    return Status::Internal("MeasureThroughput: zero elapsed time");
+  }
+  return static_cast<double>(records) / seconds;
+}
+
+}  // namespace freeway

@@ -1,0 +1,43 @@
+#ifndef FREEWAYML_EVAL_PERF_H_
+#define FREEWAYML_EVAL_PERF_H_
+
+#include <cstddef>
+
+#include "baselines/streaming_learner.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Latency measurement for one system / batch size.
+struct LatencyResult {
+  /// Mean per-batch inference latency in microseconds.
+  double infer_micros = 0.0;
+  /// Mean per-batch update latency in microseconds.
+  double update_micros = 0.0;
+};
+
+/// Options for the performance harness.
+struct PerfOptions {
+  size_t batch_size = 1024;
+  /// Measured batches (after warm-up).
+  size_t measure_batches = 20;
+  /// Unmeasured batches processed first (cache/JIT-ish warm-up and model
+  /// break-in).
+  size_t warmup_batches = 5;
+};
+
+/// Measures mean inference and update latency per batch: the paper's
+/// "first infer and then train" protocol (Table III / Table VI).
+Result<LatencyResult> MeasureLatency(StreamingLearner* learner,
+                                     StreamSource* source,
+                                     const PerfOptions& options);
+
+/// Measures end-to-end throughput in records/second over infer+train cycles
+/// (Fig 10).
+Result<double> MeasureThroughput(StreamingLearner* learner,
+                                 StreamSource* source,
+                                 const PerfOptions& options);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_EVAL_PERF_H_

@@ -1,0 +1,83 @@
+#include "eval/prequential.h"
+
+#include <cmath>
+
+namespace freeway {
+
+void FinalizePrequentialMetrics(PrequentialResult* result) {
+  const auto& acc = result->batch_accuracies;
+  if (acc.empty()) {
+    result->g_acc = 0.0;
+    result->stability_index = 0.0;
+    return;
+  }
+
+  double mean = 0.0;
+  for (double a : acc) mean += a;
+  mean /= static_cast<double>(acc.size());
+  result->g_acc = mean;
+
+  double var = 0.0;
+  for (double a : acc) var += (a - mean) * (a - mean);
+  const double sd = std::sqrt(var / static_cast<double>(acc.size()));
+  result->stability_index = mean > 1e-12 ? std::exp(-sd / mean) : 0.0;
+
+  PatternAccuracy& pp = result->per_pattern;
+  pp = PatternAccuracy{};
+  for (size_t i = 0; i < acc.size(); ++i) {
+    const DriftKind kind =
+        i < result->batch_kinds.size() ? result->batch_kinds[i]
+                                       : DriftKind::kStationary;
+    const bool event = i < result->shift_events.size() && result->shift_events[i];
+    if (event && kind == DriftKind::kSudden) {
+      pp.sudden += acc[i];
+      ++pp.sudden_batches;
+    } else if (event && kind == DriftKind::kReoccurring) {
+      pp.reoccurring += acc[i];
+      ++pp.reoccurring_batches;
+    } else {
+      pp.slight += acc[i];
+      ++pp.slight_batches;
+    }
+  }
+  if (pp.slight_batches > 0) pp.slight /= static_cast<double>(pp.slight_batches);
+  if (pp.sudden_batches > 0) pp.sudden /= static_cast<double>(pp.sudden_batches);
+  if (pp.reoccurring_batches > 0) {
+    pp.reoccurring /= static_cast<double>(pp.reoccurring_batches);
+  }
+}
+
+Result<PrequentialResult> RunPrequential(StreamingLearner* learner,
+                                         StreamSource* source,
+                                         const PrequentialOptions& options) {
+  if (learner == nullptr || source == nullptr) {
+    return Status::InvalidArgument("RunPrequential: null learner or source");
+  }
+  PrequentialResult result;
+  result.batch_accuracies.reserve(options.num_batches);
+
+  for (size_t b = 0; b < options.num_batches; ++b) {
+    FREEWAY_ASSIGN_OR_RETURN(Batch batch,
+                             source->NextBatch(options.batch_size));
+    const BatchMeta meta = source->LastBatchMeta();
+
+    FREEWAY_ASSIGN_OR_RETURN(std::vector<int> predictions,
+                             learner->PrequentialStep(batch));
+
+    if (b < options.warmup_batches) continue;
+
+    size_t hits = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (predictions[i] == batch.labels[i]) ++hits;
+    }
+    result.batch_accuracies.push_back(static_cast<double>(hits) /
+                                      static_cast<double>(batch.size()));
+    result.batch_kinds.push_back(meta.segment_kind);
+    result.shift_events.push_back(meta.shift_event);
+  }
+
+  FinalizePrequentialMetrics(&result);
+  return result;
+}
+
+}  // namespace freeway

@@ -1,0 +1,60 @@
+#ifndef FREEWAYML_EVAL_PREQUENTIAL_H_
+#define FREEWAYML_EVAL_PREQUENTIAL_H_
+
+#include <vector>
+
+#include "baselines/streaming_learner.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Per-pattern accuracy aggregate (ground-truth pattern labels supplied by
+/// the stream source).
+struct PatternAccuracy {
+  double slight = 0.0;
+  double sudden = 0.0;
+  double reoccurring = 0.0;
+  size_t slight_batches = 0;
+  size_t sudden_batches = 0;
+  size_t reoccurring_batches = 0;
+};
+
+/// Full record of one prequential run.
+struct PrequentialResult {
+  /// Real-time accuracy per batch (Eq. 1), in stream order.
+  std::vector<double> batch_accuracies;
+  /// Ground-truth drift annotation per batch, aligned with accuracies.
+  std::vector<DriftKind> batch_kinds;
+  std::vector<bool> shift_events;
+
+  /// Global average accuracy (Eq. 15).
+  double g_acc = 0.0;
+  /// Stability Index SI = exp(-sigma_acc / mu_acc) (Eq. 16).
+  double stability_index = 0.0;
+  PatternAccuracy per_pattern;
+};
+
+/// Options for a prequential run.
+struct PrequentialOptions {
+  size_t num_batches = 120;
+  size_t batch_size = 1024;
+  /// Leading batches excluded from the metrics (cold-start warm-up; they
+  /// still train the system).
+  size_t warmup_batches = 8;
+};
+
+/// Drives `learner` through `source` with the standard test-then-train
+/// protocol: each batch is first predicted, its accuracy recorded, then used
+/// for the incremental update (via StreamingLearner::PrequentialStep, so
+/// systems with coupled inference/training keep one assessment per batch).
+Result<PrequentialResult> RunPrequential(StreamingLearner* learner,
+                                         StreamSource* source,
+                                         const PrequentialOptions& options);
+
+/// Computes G_acc / SI / per-pattern aggregates from already-recorded batch
+/// accuracies (fills the derived fields of `result` in place).
+void FinalizePrequentialMetrics(PrequentialResult* result);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_EVAL_PREQUENTIAL_H_

@@ -1,0 +1,83 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace freeway {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  FREEWAY_DCHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += c == 0 ? "| " : " | ";
+      out += PadRight(row[c], widths[c]);
+    }
+    out += " |\n";
+  };
+  append_row(headers_);
+  out += "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += std::string(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+SeriesPrinter::SeriesPrinter(std::string index_header)
+    : index_header_(std::move(index_header)) {}
+
+void SeriesPrinter::AddSeries(std::string name, std::vector<double> values) {
+  names_.push_back(std::move(name));
+  series_.push_back(std::move(values));
+}
+
+std::string SeriesPrinter::ToString(int value_digits) const {
+  size_t max_len = 0;
+  for (const auto& s : series_) {
+    if (s.size() > max_len) max_len = s.size();
+  }
+
+  std::string out = index_header_;
+  for (const auto& name : names_) {
+    out += ",";
+    out += name;
+  }
+  out += "\n";
+  for (size_t i = 0; i < max_len; ++i) {
+    out += std::to_string(i);
+    for (const auto& s : series_) {
+      out += ",";
+      out += i < s.size() ? FormatDouble(s[i], value_digits) : "-";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void SeriesPrinter::Print(int value_digits) const {
+  std::fputs(ToString(value_digits).c_str(), stdout);
+}
+
+}  // namespace freeway

@@ -1,0 +1,50 @@
+#ifndef FREEWAYML_EVAL_REPORT_H_
+#define FREEWAYML_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace freeway {
+
+/// Fixed-width ASCII table writer for the benchmark harnesses: each bench
+/// binary prints the same rows its paper table reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule and column padding.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints aligned per-batch series (the textual equivalent of the paper's
+/// accuracy figures): one row per batch index, one column per named series.
+/// Series may have different lengths; missing cells print as "-".
+class SeriesPrinter {
+ public:
+  /// `index_header` labels the first column, e.g. "batch".
+  explicit SeriesPrinter(std::string index_header = "batch");
+
+  void AddSeries(std::string name, std::vector<double> values);
+
+  std::string ToString(int value_digits = 4) const;
+  void Print(int value_digits = 4) const;
+
+ private:
+  std::string index_header_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> series_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_EVAL_REPORT_H_

@@ -1,0 +1,99 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace freeway {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& symmetric,
+                                          int max_sweeps, double tolerance) {
+  const size_t n = symmetric.rows();
+  if (n != symmetric.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not square");
+  }
+  // Verify symmetry relative to the matrix scale.
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      scale = std::max(scale, std::fabs(symmetric.At(i, j)));
+    }
+  }
+  const double sym_tol = 1e-8 * std::max(scale, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(symmetric.At(i, j) - symmetric.At(j, i)) > sym_tol) {
+        return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix a = symmetric;  // Working copy; off-diagonals are annihilated.
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&a, n]() {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) acc += a.At(i, j) * a.At(i, j);
+    }
+    return std::sqrt(acc);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance * std::max(scale, 1e-300)) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Smaller-magnitude root of t^2 + 2*theta*t - 1 = 0 for stability.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation J(p,q,theta) from both sides: A <- J^T A J.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: V <- V J.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a.At(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (size_t i = 0; i < n; ++i) out.vectors.At(i, j) = v.At(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace freeway

@@ -1,0 +1,32 @@
+#ifndef FREEWAYML_LINALG_EIGEN_H_
+#define FREEWAYML_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// Eigendecomposition of a real symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Computes the full eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi rotation method. Jacobi is exact (to round-off), unconditionally
+/// stable on symmetric input, and entirely adequate for the small covariance
+/// matrices PCA sees here (feature dimensions of tens).
+///
+/// Fails with InvalidArgument if `symmetric` is not square or deviates from
+/// symmetry by more than a small tolerance.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& symmetric,
+                                          int max_sweeps = 64,
+                                          double tolerance = 1e-12);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_LINALG_EIGEN_H_

@@ -1,0 +1,132 @@
+#ifndef FREEWAYML_LINALG_MATRIX_H_
+#define FREEWAYML_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace freeway {
+
+/// Dense row-major matrix of doubles. This is the numeric workhorse for the
+/// ML substrate: small models (LR / MLP / CNN) trained with mini-batch SGD,
+/// PCA projections, and k-means all run on it. The API intentionally stays
+/// minimal — contiguous storage, explicit shapes, and a handful of BLAS-like
+/// kernels — rather than an expression-template library.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized matrix of the given shape.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Adopts `data` (row-major, size must equal rows*cols).
+  static Result<Matrix> FromData(size_t rows, size_t cols,
+                                 std::vector<double> data);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Mutable / const view of row `r` (length cols()).
+  std::span<double> Row(size_t r) {
+    return std::span<double>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const double> Row(size_t r) const {
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Copies row `r` into a fresh vector.
+  std::vector<double> RowVector(size_t r) const;
+
+  /// Sets row `r` from `values` (length must equal cols()).
+  void SetRow(size_t r, std::span<const double> values);
+
+  /// Elementwise in-place operations.
+  void Fill(double value);
+  void AddInPlace(const Matrix& other);
+  void SubInPlace(const Matrix& other);
+  void ScaleInPlace(double factor);
+  /// this += factor * other (axpy).
+  void Axpy(double factor, const Matrix& other);
+
+  /// Returns this * other. Shapes must agree (cols() == other.rows()).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns transpose(this) * other — avoids materializing the transpose.
+  Matrix TransposeMatMul(const Matrix& other) const;
+
+  /// Returns this * transpose(other).
+  Matrix MatMulTranspose(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  /// Column-wise mean (length cols()).
+  std::vector<double> ColumnMean() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// True when every entry is finite (no NaN / infinity). Input validation
+  /// for streaming data of unknown quality.
+  bool AllFinite() const;
+
+  /// Compact debug rendering (rows truncated for large matrices).
+  std::string ToString(size_t max_rows = 6) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Vector helpers used across the library; a "vector" is std::vector<double>.
+namespace vec {
+
+double Dot(std::span<const double> a, std::span<const double> b);
+double Norm(std::span<const double> a);
+/// Euclidean distance between two equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+/// Squared Euclidean distance (no sqrt).
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+/// a += factor * b.
+void Axpy(double factor, std::span<const double> b, std::span<double> a);
+std::vector<double> Add(std::span<const double> a, std::span<const double> b);
+std::vector<double> Sub(std::span<const double> a, std::span<const double> b);
+std::vector<double> Scale(std::span<const double> a, double factor);
+
+}  // namespace vec
+
+/// Gaussian (RBF) kernel K(d, sigma) = exp(-d^2 / (2 sigma^2)); used by the
+/// multi-granularity ensemble (Eq. 14 in the paper). sigma <= 0 degenerates
+/// to an indicator on d == 0.
+double GaussianKernel(double distance, double sigma);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_LINALG_MATRIX_H_

@@ -1,0 +1,93 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace freeway {
+
+Status Pca::Fit(const Matrix& samples, size_t num_components) {
+  const size_t n = samples.rows();
+  const size_t dim = samples.cols();
+  if (n < 2) {
+    return Status::InvalidArgument("Pca::Fit requires at least 2 samples");
+  }
+  if (num_components == 0 || num_components > dim) {
+    return Status::InvalidArgument("Pca::Fit: invalid num_components");
+  }
+
+  mean_ = samples.ColumnMean();
+
+  // Covariance Sigma = (1/n) sum (x - mu)(x - mu)^T  (Eq. 3).
+  Matrix centered(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = samples.Row(i);
+    auto out = centered.Row(i);
+    for (size_t j = 0; j < dim; ++j) out[j] = row[j] - mean_[j];
+  }
+  Matrix cov = centered.TransposeMatMul(centered);
+  cov.ScaleInPlace(1.0 / static_cast<double>(n));
+
+  FREEWAY_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(cov));
+
+  components_ = Matrix(dim, num_components);
+  for (size_t j = 0; j < num_components; ++j) {
+    for (size_t i = 0; i < dim; ++i) {
+      components_.At(i, j) = eig.vectors.At(i, j);
+    }
+  }
+
+  double total = 0.0;
+  double kept = 0.0;
+  for (size_t j = 0; j < eig.values.size(); ++j) {
+    const double v = eig.values[j] > 0.0 ? eig.values[j] : 0.0;
+    total += v;
+    if (j < num_components) kept += v;
+  }
+  explained_ratio_ = total > 0.0 ? kept / total : 0.0;
+
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> Pca::Transform(
+    std::span<const double> point) const {
+  if (!fitted_) return Status::FailedPrecondition("Pca not fitted");
+  if (point.size() != mean_.size()) {
+    return Status::InvalidArgument("Pca::Transform: dimension mismatch");
+  }
+  const size_t d = components_.cols();
+  std::vector<double> out(d, 0.0);
+  for (size_t i = 0; i < mean_.size(); ++i) {
+    const double centered = point[i] - mean_[i];
+    if (centered == 0.0) continue;
+    for (size_t j = 0; j < d; ++j) {
+      out[j] += centered * components_.At(i, j);
+    }
+  }
+  return out;
+}
+
+Result<Matrix> Pca::TransformBatch(const Matrix& batch) const {
+  if (!fitted_) return Status::FailedPrecondition("Pca not fitted");
+  if (batch.cols() != mean_.size()) {
+    return Status::InvalidArgument("Pca::TransformBatch: dimension mismatch");
+  }
+  Matrix out(batch.rows(), components_.cols());
+  for (size_t r = 0; r < batch.rows(); ++r) {
+    FREEWAY_ASSIGN_OR_RETURN(std::vector<double> proj,
+                             Transform(batch.Row(r)));
+    out.SetRow(r, proj);
+  }
+  return out;
+}
+
+Result<std::vector<double>> Pca::TransformBatchMean(
+    const Matrix& batch) const {
+  if (batch.rows() == 0) {
+    return Status::InvalidArgument("TransformBatchMean: empty batch");
+  }
+  return Transform(batch.ColumnMean());
+}
+
+}  // namespace freeway

@@ -1,0 +1,54 @@
+#ifndef FREEWAYML_LINALG_PCA_H_
+#define FREEWAYML_LINALG_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// Principal Component Analysis fitted once on a warm-up sample, then used to
+/// project streaming batches (Eqs. 2–6 of the paper). The fitted state is the
+/// training mean `mu` and the component matrix `P_d` whose columns are the
+/// top-d eigenvectors of the warm-up covariance.
+class Pca {
+ public:
+  Pca() = default;
+
+  /// Fits mean/covariance/eigenvectors from `samples` (rows = points) and
+  /// keeps the top `num_components` directions. Requires at least 2 rows and
+  /// 1 <= num_components <= cols.
+  Status Fit(const Matrix& samples, size_t num_components);
+
+  bool fitted() const { return fitted_; }
+  size_t input_dim() const { return mean_.size(); }
+  size_t num_components() const { return components_.cols(); }
+
+  /// Projects a single point: P_d^T (x - mu).
+  Result<std::vector<double>> Transform(std::span<const double> point) const;
+
+  /// Projects every row of `batch`; returns an n x d matrix.
+  Result<Matrix> TransformBatch(const Matrix& batch) const;
+
+  /// Projects the *mean* of a batch — the paper's batch representation
+  /// y_bar_t = P_d^T (mu_t - mu) (Eq. 6).
+  Result<std::vector<double>> TransformBatchMean(const Matrix& batch) const;
+
+  /// Fraction of total warm-up variance captured by the kept components.
+  double ExplainedVarianceRatio() const { return explained_ratio_; }
+
+  const std::vector<double>& mean() const { return mean_; }
+  /// Component matrix P_d (input_dim x num_components).
+  const Matrix& components() const { return components_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> mean_;
+  Matrix components_;
+  double explained_ratio_ = 0.0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_LINALG_PCA_H_

@@ -1,0 +1,33 @@
+#include "ml/feature_extractor.h"
+
+#include <cmath>
+
+namespace freeway {
+
+RandomProjectionExtractor::RandomProjectionExtractor(size_t input_dim,
+                                                     size_t feature_dim,
+                                                     uint64_t seed)
+    : projection_(input_dim, feature_dim) {
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim));
+  for (size_t i = 0; i < input_dim; ++i) {
+    for (size_t j = 0; j < feature_dim; ++j) {
+      projection_.At(i, j) = rng.Gaussian(0.0, scale);
+    }
+  }
+}
+
+Result<Matrix> RandomProjectionExtractor::Extract(const Matrix& batch) const {
+  if (batch.cols() != projection_.rows()) {
+    return Status::InvalidArgument("Extract: dimension mismatch");
+  }
+  Matrix out = batch.MatMul(projection_);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (auto& v : out.Row(i)) {
+      if (v < 0.0) v = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace freeway

@@ -1,0 +1,34 @@
+#ifndef FREEWAYML_ML_FEATURE_EXTRACTOR_H_
+#define FREEWAYML_ML_FEATURE_EXTRACTOR_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// Fixed (non-learned) feature extractor for image streams: a random
+/// projection followed by ReLU. Stands in for the frozen VGG-16 the paper
+/// places ahead of coherent experience clustering on image data — the
+/// property the pipeline needs is a fixed map into a lower-dimensional space
+/// where class-conditional structure is preserved, which random ReLU
+/// projections provide (Johnson–Lindenstrauss).
+class RandomProjectionExtractor {
+ public:
+  /// Projects `input_dim`-sized rows to `feature_dim` features.
+  RandomProjectionExtractor(size_t input_dim, size_t feature_dim,
+                            uint64_t seed = 7);
+
+  size_t input_dim() const { return projection_.rows(); }
+  size_t feature_dim() const { return projection_.cols(); }
+
+  /// Maps each row of `batch` to ReLU(batch * P).
+  Result<Matrix> Extract(const Matrix& batch) const;
+
+ private:
+  Matrix projection_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_ML_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,268 @@
+#include "ml/layers.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+// ---------------------------------------------------------------------------
+// DenseLayer
+// ---------------------------------------------------------------------------
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Rng* rng)
+    : weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      grad_weight_(in_dim, out_dim),
+      grad_bias_(1, out_dim) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim));
+  for (size_t i = 0; i < in_dim; ++i) {
+    for (size_t j = 0; j < out_dim; ++j) {
+      weight_.At(i, j) = rng->Gaussian(0.0, scale);
+    }
+  }
+}
+
+Matrix DenseLayer::Forward(const Matrix& input) {
+  FREEWAY_DCHECK(input.cols() == weight_.rows());
+  cached_input_ = input;
+  Matrix out = input.MatMul(weight_);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.Row(i);
+    for (size_t j = 0; j < out.cols(); ++j) row[j] += bias_.At(0, j);
+  }
+  return out;
+}
+
+Matrix DenseLayer::Backward(const Matrix& grad_output) {
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
+  Matrix gw = cached_input_.TransposeMatMul(grad_output);
+  grad_weight_.AddInPlace(gw);
+  for (size_t i = 0; i < grad_output.rows(); ++i) {
+    auto row = grad_output.Row(i);
+    for (size_t j = 0; j < grad_output.cols(); ++j) {
+      grad_bias_.At(0, j) += row[j];
+    }
+  }
+  return grad_output.MatMulTranspose(weight_);
+}
+
+std::unique_ptr<Layer> DenseLayer::Clone() const {
+  return std::make_unique<DenseLayer>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// ReluLayer
+// ---------------------------------------------------------------------------
+
+Matrix ReluLayer::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.Row(i);
+    for (auto& v : row) {
+      if (v < 0.0) v = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix ReluLayer::Backward(const Matrix& grad_output) {
+  FREEWAY_DCHECK(grad_output.SameShape(cached_input_));
+  Matrix out = grad_output;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    auto g = out.Row(i);
+    auto x = cached_input_.Row(i);
+    for (size_t j = 0; j < g.size(); ++j) {
+      if (x[j] <= 0.0) g[j] = 0.0;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Conv2dLayer
+// ---------------------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(TensorShape input_shape, size_t out_channels,
+                         size_t kernel_h, size_t kernel_w, Rng* rng)
+    : input_shape_(input_shape), kernel_h_(kernel_h), kernel_w_(kernel_w) {
+  FREEWAY_DCHECK(input_shape.height >= kernel_h);
+  FREEWAY_DCHECK(input_shape.width >= kernel_w);
+  output_shape_.channels = out_channels;
+  output_shape_.height = input_shape.height - kernel_h + 1;
+  output_shape_.width = input_shape.width - kernel_w + 1;
+
+  const size_t fan_in = input_shape.channels * kernel_h * kernel_w;
+  kernels_ = Matrix(out_channels, fan_in);
+  bias_ = Matrix(1, out_channels);
+  grad_kernels_ = Matrix(out_channels, fan_in);
+  grad_bias_ = Matrix(1, out_channels);
+  const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (size_t i = 0; i < out_channels; ++i) {
+    for (size_t j = 0; j < fan_in; ++j) {
+      kernels_.At(i, j) = rng->Gaussian(0.0, scale);
+    }
+  }
+}
+
+Matrix Conv2dLayer::Forward(const Matrix& input) {
+  FREEWAY_DCHECK(input.cols() == input_shape_.FlatSize());
+  cached_input_ = input;
+  const size_t n = input.rows();
+  const size_t ic = input_shape_.channels;
+  const size_t ih = input_shape_.height;
+  const size_t iw = input_shape_.width;
+  const size_t oc = output_shape_.channels;
+  const size_t oh = output_shape_.height;
+  const size_t ow = output_shape_.width;
+
+  Matrix out(n, output_shape_.FlatSize());
+  for (size_t s = 0; s < n; ++s) {
+    const double* x = input.data() + s * input.cols();
+    double* y = out.data() + s * out.cols();
+    for (size_t k = 0; k < oc; ++k) {
+      const double* ker = kernels_.data() + k * kernels_.cols();
+      const double b = bias_.At(0, k);
+      for (size_t oy = 0; oy < oh; ++oy) {
+        for (size_t ox = 0; ox < ow; ++ox) {
+          double acc = b;
+          size_t widx = 0;
+          for (size_t c = 0; c < ic; ++c) {
+            const double* plane = x + c * ih * iw;
+            for (size_t ky = 0; ky < kernel_h_; ++ky) {
+              const double* in_row = plane + (oy + ky) * iw + ox;
+              for (size_t kx = 0; kx < kernel_w_; ++kx) {
+                acc += ker[widx++] * in_row[kx];
+              }
+            }
+          }
+          y[k * oh * ow + oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Conv2dLayer::Backward(const Matrix& grad_output) {
+  const size_t n = cached_input_.rows();
+  const size_t ic = input_shape_.channels;
+  const size_t ih = input_shape_.height;
+  const size_t iw = input_shape_.width;
+  const size_t oc = output_shape_.channels;
+  const size_t oh = output_shape_.height;
+  const size_t ow = output_shape_.width;
+
+  Matrix grad_input(n, input_shape_.FlatSize());
+  for (size_t s = 0; s < n; ++s) {
+    const double* x = cached_input_.data() + s * cached_input_.cols();
+    const double* gy = grad_output.data() + s * grad_output.cols();
+    double* gx = grad_input.data() + s * grad_input.cols();
+    for (size_t k = 0; k < oc; ++k) {
+      const double* ker = kernels_.data() + k * kernels_.cols();
+      double* gker = grad_kernels_.data() + k * grad_kernels_.cols();
+      double gb = 0.0;
+      for (size_t oy = 0; oy < oh; ++oy) {
+        for (size_t ox = 0; ox < ow; ++ox) {
+          const double g = gy[k * oh * ow + oy * ow + ox];
+          if (g == 0.0) continue;
+          gb += g;
+          size_t widx = 0;
+          for (size_t c = 0; c < ic; ++c) {
+            const double* plane = x + c * ih * iw;
+            double* gplane = gx + c * ih * iw;
+            for (size_t ky = 0; ky < kernel_h_; ++ky) {
+              const size_t row_off = (oy + ky) * iw + ox;
+              const double* in_row = plane + row_off;
+              double* gin_row = gplane + row_off;
+              for (size_t kx = 0; kx < kernel_w_; ++kx) {
+                gker[widx] += g * in_row[kx];
+                gin_row[kx] += g * ker[widx];
+                ++widx;
+              }
+            }
+          }
+        }
+      }
+      grad_bias_.At(0, k) += gb;
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv2dLayer::Clone() const {
+  return std::make_unique<Conv2dLayer>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2dLayer
+// ---------------------------------------------------------------------------
+
+MaxPool2dLayer::MaxPool2dLayer(TensorShape input_shape, size_t pool_h,
+                               size_t pool_w)
+    : input_shape_(input_shape), pool_h_(pool_h), pool_w_(pool_w) {
+  FREEWAY_DCHECK(pool_h >= 1 && pool_w >= 1);
+  output_shape_.channels = input_shape.channels;
+  output_shape_.height = input_shape.height / pool_h;
+  output_shape_.width = input_shape.width / pool_w;
+  FREEWAY_DCHECK(output_shape_.height >= 1 && output_shape_.width >= 1);
+}
+
+Matrix MaxPool2dLayer::Forward(const Matrix& input) {
+  FREEWAY_DCHECK(input.cols() == input_shape_.FlatSize());
+  const size_t n = input.rows();
+  const size_t c = input_shape_.channels;
+  const size_t ih = input_shape_.height;
+  const size_t iw = input_shape_.width;
+  const size_t oh = output_shape_.height;
+  const size_t ow = output_shape_.width;
+
+  cached_rows_ = n;
+  argmax_.assign(n * output_shape_.FlatSize(), 0);
+  Matrix out(n, output_shape_.FlatSize());
+  for (size_t s = 0; s < n; ++s) {
+    const double* x = input.data() + s * input.cols();
+    double* y = out.data() + s * out.cols();
+    uint32_t* am = argmax_.data() + s * out.cols();
+    for (size_t ch = 0; ch < c; ++ch) {
+      const double* plane = x + ch * ih * iw;
+      for (size_t oy = 0; oy < oh; ++oy) {
+        for (size_t ox = 0; ox < ow; ++ox) {
+          double best = -std::numeric_limits<double>::infinity();
+          size_t best_idx = 0;
+          for (size_t py = 0; py < pool_h_; ++py) {
+            for (size_t px = 0; px < pool_w_; ++px) {
+              const size_t idx = (oy * pool_h_ + py) * iw + ox * pool_w_ + px;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = ch * ih * iw + idx;
+              }
+            }
+          }
+          const size_t oidx = ch * oh * ow + oy * ow + ox;
+          y[oidx] = best;
+          am[oidx] = static_cast<uint32_t>(best_idx);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPool2dLayer::Backward(const Matrix& grad_output) {
+  FREEWAY_DCHECK(grad_output.rows() == cached_rows_);
+  Matrix grad_input(cached_rows_, input_shape_.FlatSize());
+  for (size_t s = 0; s < cached_rows_; ++s) {
+    const double* gy = grad_output.data() + s * grad_output.cols();
+    const uint32_t* am = argmax_.data() + s * grad_output.cols();
+    double* gx = grad_input.data() + s * grad_input.cols();
+    for (size_t j = 0; j < grad_output.cols(); ++j) {
+      gx[am[j]] += gy[j];
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace freeway

@@ -1,0 +1,52 @@
+#include "ml/losses.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.Row(i);
+    double max_v = row[0];
+    for (double v : row) max_v = v > max_v ? v : max_v;
+    double sum = 0.0;
+    for (auto& v : row) {
+      v = std::exp(v - max_v);
+      sum += v;
+    }
+    const double inv = 1.0 / sum;
+    for (auto& v : row) v *= inv;
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropyLoss(const Matrix& logits,
+                               const std::vector<int>& labels) {
+  FREEWAY_DCHECK(logits.rows() == labels.size());
+  const Matrix probs = Softmax(logits);
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    const int y = labels[i];
+    FREEWAY_DCHECK(y >= 0 && static_cast<size_t>(y) < probs.cols());
+    loss -= std::log(probs.At(i, static_cast<size_t>(y)) + 1e-12);
+  }
+  return loss / static_cast<double>(probs.rows());
+}
+
+Matrix SoftmaxCrossEntropyGrad(const Matrix& logits,
+                               const std::vector<int>& labels) {
+  FREEWAY_DCHECK(logits.rows() == labels.size());
+  Matrix grad = Softmax(logits);
+  const double inv_n = 1.0 / static_cast<double>(grad.rows());
+  for (size_t i = 0; i < grad.rows(); ++i) {
+    auto row = grad.Row(i);
+    row[static_cast<size_t>(labels[i])] -= 1.0;
+    for (auto& v : row) v *= inv_n;
+  }
+  return grad;
+}
+
+}  // namespace freeway

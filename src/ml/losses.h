@@ -1,0 +1,26 @@
+#ifndef FREEWAYML_ML_LOSSES_H_
+#define FREEWAYML_ML_LOSSES_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// Row-wise numerically-stable softmax of a logit matrix.
+Matrix Softmax(const Matrix& logits);
+
+/// Mean cross-entropy of softmax(logits) against integer labels.
+/// `labels[i]` must lie in [0, logits.cols()).
+double SoftmaxCrossEntropyLoss(const Matrix& logits,
+                               const std::vector<int>& labels);
+
+/// Gradient of the mean softmax cross-entropy w.r.t. the logits:
+/// (softmax(logits) - onehot(labels)) / n. Combined with the layers'
+/// sum-accumulating backprop this yields batch-mean parameter gradients.
+Matrix SoftmaxCrossEntropyGrad(const Matrix& logits,
+                               const std::vector<int>& labels);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_ML_LOSSES_H_

@@ -1,0 +1,75 @@
+#ifndef FREEWAYML_ML_MODEL_H_
+#define FREEWAYML_ML_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// Abstract incremental classifier. Everything FreewayML and the baseline
+/// systems do — multi-granularity ensembles, knowledge snapshots, gradient
+/// projection — goes through this interface, so any model trained by
+/// mini-batch gradient steps plugs in.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Human-readable model family, e.g. "StreamingLR".
+  virtual std::string name() const = 0;
+
+  virtual size_t input_dim() const = 0;
+  virtual size_t num_classes() const = 0;
+
+  /// Class-probability matrix (rows = samples, cols = classes). Rows sum to 1.
+  virtual Result<Matrix> PredictProba(const Matrix& x) = 0;
+
+  /// Argmax class ids for each row of `x`.
+  Result<std::vector<int>> Predict(const Matrix& x);
+
+  /// One incremental update on a labeled mini-batch; returns the mean
+  /// cross-entropy loss *before* the update (the standard SGD step loss).
+  virtual Result<double> TrainBatch(const Matrix& x,
+                                    const std::vector<int>& y) = 0;
+
+  /// Computes the parameter gradient on (x, y) WITHOUT applying an update,
+  /// writing it into `grad` (resized to ParameterCount()). Used by A-GEM and
+  /// the pre-computing window. Returns the mean loss.
+  virtual Result<double> ComputeGradient(const Matrix& x,
+                                         const std::vector<int>& y,
+                                         std::vector<double>* grad) = 0;
+
+  /// Applies `step` as a raw additive parameter update: theta += step.
+  /// `step` must have ParameterCount() entries (caller folds in -lr).
+  virtual Status ApplyStep(std::span<const double> step) = 0;
+
+  /// Total number of trainable scalars.
+  virtual size_t ParameterCount() const = 0;
+
+  /// Flattened copy of all parameters (deterministic layout).
+  virtual std::vector<double> GetParameters() const = 0;
+
+  /// Restores parameters from a flat vector produced by GetParameters().
+  virtual Status SetParameters(std::span<const double> params) = 0;
+
+  /// Deep copy with identical parameters and hyperparameters.
+  virtual std::unique_ptr<Model> Clone() const = 0;
+
+  /// Serialized parameter size in bytes (used for the knowledge-space
+  /// accounting of Table IV): parameters as 8-byte doubles plus a small
+  /// fixed header.
+  size_t SerializedBytes() const { return 16 + 8 * ParameterCount(); }
+};
+
+/// Fraction of rows of `x` whose Predict() matches `y` — the paper's
+/// real-time accuracy (Eq. 1) when applied batch-by-batch.
+Result<double> Accuracy(Model* model, const Matrix& x,
+                        const std::vector<int>& y);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_ML_MODEL_H_

@@ -1,0 +1,105 @@
+#include "ml/models.h"
+
+#include "ml/sequential.h"
+
+namespace freeway {
+
+std::unique_ptr<Model> MakeLogisticRegression(size_t input_dim,
+                                              size_t num_classes,
+                                              const ModelConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<DenseLayer>(input_dim, num_classes, &rng));
+  return std::make_unique<SequentialModel>(
+      "StreamingLR", input_dim, num_classes, std::move(layers),
+      std::make_unique<SgdOptimizer>(config.learning_rate, config.momentum,
+                                     config.l2));
+}
+
+std::unique_ptr<Model> MakeMlp(size_t input_dim, size_t num_classes,
+                               const ModelConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(
+      std::make_unique<DenseLayer>(input_dim, config.hidden_dim, &rng));
+  layers.push_back(std::make_unique<ReluLayer>());
+  layers.push_back(
+      std::make_unique<DenseLayer>(config.hidden_dim, num_classes, &rng));
+  return std::make_unique<SequentialModel>(
+      "StreamingMLP", input_dim, num_classes, std::move(layers),
+      std::make_unique<SgdOptimizer>(config.learning_rate, config.momentum,
+                                     config.l2));
+}
+
+std::unique_ptr<Model> MakeLogisticRegressionWithOptimizer(
+    size_t input_dim, size_t num_classes, std::unique_ptr<Optimizer> optimizer,
+    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<DenseLayer>(input_dim, num_classes, &rng));
+  return std::make_unique<SequentialModel>("StreamingLR", input_dim,
+                                           num_classes, std::move(layers),
+                                           std::move(optimizer));
+}
+
+std::unique_ptr<Model> MakeTabularCnn(size_t input_dim, size_t num_classes,
+                                      const ModelConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::unique_ptr<Layer>> layers;
+  const TensorShape in{1, 1, input_dim};
+  // Kernel and pool shrink gracefully for very narrow feature vectors
+  // (e.g. SEA's 3 features): the kernel never exceeds the width, and
+  // pooling is skipped when it would collapse the activation to nothing.
+  const size_t kernel_w = input_dim >= 3 ? 3 : input_dim;
+  auto conv = std::make_unique<Conv2dLayer>(in, /*out_channels=*/32,
+                                            /*kernel_h=*/1, kernel_w, &rng);
+  TensorShape tail_shape = conv->output_shape();
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<ReluLayer>());
+  if (tail_shape.width >= 2) {
+    auto pool = std::make_unique<MaxPool2dLayer>(tail_shape, /*pool_h=*/1,
+                                                 /*pool_w=*/2);
+    tail_shape = pool->output_shape();
+    layers.push_back(std::move(pool));
+  }
+  layers.push_back(
+      std::make_unique<DenseLayer>(tail_shape.FlatSize(), num_classes, &rng));
+  return std::make_unique<SequentialModel>(
+      "StreamingCNN", input_dim, num_classes, std::move(layers),
+      std::make_unique<SgdOptimizer>(config.learning_rate, config.momentum,
+                                     config.l2));
+}
+
+std::unique_ptr<Model> MakeImageCnn(TensorShape input_shape,
+                                    size_t num_classes,
+                                    const ModelConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::unique_ptr<Layer>> layers;
+
+  auto conv1 = std::make_unique<Conv2dLayer>(input_shape, /*out_channels=*/64,
+                                             3, 3, &rng);
+  const TensorShape c1 = conv1->output_shape();
+  layers.push_back(std::move(conv1));
+  layers.push_back(std::make_unique<ReluLayer>());
+  auto pool1 = std::make_unique<MaxPool2dLayer>(c1, 2, 2);
+  const TensorShape p1 = pool1->output_shape();
+  layers.push_back(std::move(pool1));
+
+  auto conv2 = std::make_unique<Conv2dLayer>(p1, /*out_channels=*/64, 3, 3,
+                                             &rng);
+  const TensorShape c2 = conv2->output_shape();
+  layers.push_back(std::move(conv2));
+  layers.push_back(std::make_unique<ReluLayer>());
+  auto pool2 = std::make_unique<MaxPool2dLayer>(c2, 2, 2);
+  const TensorShape p2 = pool2->output_shape();
+  layers.push_back(std::move(pool2));
+
+  layers.push_back(
+      std::make_unique<DenseLayer>(p2.FlatSize(), num_classes, &rng));
+  return std::make_unique<SequentialModel>(
+      "StreamingCNN5", input_shape.FlatSize(), num_classes, std::move(layers),
+      std::make_unique<SgdOptimizer>(config.learning_rate, config.momentum,
+                                     config.l2));
+}
+
+}  // namespace freeway

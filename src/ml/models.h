@@ -1,0 +1,54 @@
+#ifndef FREEWAYML_ML_MODELS_H_
+#define FREEWAYML_ML_MODELS_H_
+
+#include <memory>
+
+#include "ml/layers.h"
+#include "ml/model.h"
+#include "ml/optimizer.h"
+
+namespace freeway {
+
+/// Common hyperparameters for the streaming models used throughout the
+/// paper's evaluation. Defaults match the experimental setup (mini-batch SGD,
+/// small sensitive models).
+struct ModelConfig {
+  double learning_rate = 0.2;
+  double momentum = 0.0;
+  double l2 = 0.0;
+  size_t hidden_dim = 64;   ///< MLP hidden width.
+  uint64_t seed = 42;       ///< Weight-init seed.
+};
+
+/// Streaming (multinomial) Logistic Regression: a single dense layer trained
+/// with softmax cross-entropy — the paper's representative linear model.
+std::unique_ptr<Model> MakeLogisticRegression(size_t input_dim,
+                                              size_t num_classes,
+                                              const ModelConfig& config = {});
+
+/// Streaming MLP: Dense -> ReLU -> Dense — the paper's representative
+/// nonlinear model.
+std::unique_ptr<Model> MakeMlp(size_t input_dim, size_t num_classes,
+                               const ModelConfig& config = {});
+
+/// Variant of MakeLogisticRegression that swaps in a caller-supplied
+/// optimizer (FOBOS / RDA for the Alink baseline).
+std::unique_ptr<Model> MakeLogisticRegressionWithOptimizer(
+    size_t input_dim, size_t num_classes, std::unique_ptr<Optimizer> optimizer,
+    uint64_t seed = 42);
+
+/// Three-layer streaming CNN for tabular (value) streams, matching the
+/// appendix: Conv(32 kernels, width 3) -> ReLU -> MaxPool(2) -> Dense.
+/// Tabular rows are treated as 1 x 1 x input_dim images.
+std::unique_ptr<Model> MakeTabularCnn(size_t input_dim, size_t num_classes,
+                                      const ModelConfig& config = {});
+
+/// Five-layer streaming CNN for image streams, matching the appendix:
+/// 2 x [Conv(64, 3x3) -> ReLU -> MaxPool(2x2)] -> Dense.
+std::unique_ptr<Model> MakeImageCnn(TensorShape input_shape,
+                                    size_t num_classes,
+                                    const ModelConfig& config = {});
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_ML_MODELS_H_

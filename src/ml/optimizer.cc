@@ -1,0 +1,88 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace freeway {
+namespace {
+
+double SoftThreshold(double x, double threshold) {
+  if (x > threshold) return x - threshold;
+  if (x < -threshold) return x + threshold;
+  return 0.0;
+}
+
+}  // namespace
+
+void SgdOptimizer::Step(const std::vector<Matrix*>& params,
+                        const std::vector<Matrix*>& grads) {
+  FREEWAY_DCHECK(params.size() == grads.size());
+  if (momentum_ == 0.0) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      Matrix* p = params[i];
+      const Matrix* g = grads[i];
+      if (l2_ != 0.0) p->ScaleInPlace(1.0 - lr_ * l2_);
+      p->Axpy(-lr_, *g);
+    }
+    return;
+  }
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix* p = params[i];
+    Matrix* v = &velocity_[i];
+    const Matrix* g = grads[i];
+    v->ScaleInPlace(momentum_);
+    v->Axpy(1.0, *g);
+    if (l2_ != 0.0) p->ScaleInPlace(1.0 - lr_ * l2_);
+    p->Axpy(-lr_, *v);
+  }
+}
+
+void FobosOptimizer::Step(const std::vector<Matrix*>& params,
+                          const std::vector<Matrix*>& grads) {
+  FREEWAY_DCHECK(params.size() == grads.size());
+  const double shrink = lr_ * l1_;
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix* p = params[i];
+    const Matrix* g = grads[i];
+    for (size_t r = 0; r < p->rows(); ++r) {
+      auto prow = p->Row(r);
+      auto grow = g->Row(r);
+      for (size_t c = 0; c < prow.size(); ++c) {
+        prow[c] = SoftThreshold(prow[c] - lr_ * grow[c], shrink);
+      }
+    }
+  }
+}
+
+void RdaOptimizer::Step(const std::vector<Matrix*>& params,
+                        const std::vector<Matrix*>& grads) {
+  FREEWAY_DCHECK(params.size() == grads.size());
+  if (grad_sum_.size() != params.size()) {
+    grad_sum_.clear();
+    for (const Matrix* p : params) grad_sum_.emplace_back(p->rows(), p->cols());
+    steps_ = 0;
+  }
+  ++steps_;
+  const double t = static_cast<double>(steps_);
+  // theta = -(sqrt(t)/gamma) * shrink(gbar, l1), with gbar the running mean.
+  const double step_scale = std::sqrt(t) / gamma_;
+  for (size_t i = 0; i < params.size(); ++i) {
+    grad_sum_[i].AddInPlace(*grads[i]);
+    Matrix* p = params[i];
+    for (size_t r = 0; r < p->rows(); ++r) {
+      auto prow = p->Row(r);
+      auto srow = grad_sum_[i].Row(r);
+      for (size_t c = 0; c < prow.size(); ++c) {
+        const double mean_grad = srow[c] / t;
+        prow[c] = -step_scale * SoftThreshold(mean_grad, l1_);
+      }
+    }
+  }
+}
+
+}  // namespace freeway

@@ -1,0 +1,91 @@
+#ifndef FREEWAYML_ML_OPTIMIZER_H_
+#define FREEWAYML_ML_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// First-order optimizer updating a set of parameter matrices in place from
+/// matching gradient matrices (gradients are batch means). Stateful
+/// optimizers (momentum, RDA) size their slots lazily on first use.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+
+  /// Applies one step. `params[i]` and `grads[i]` must have equal shapes,
+  /// and the same layout must be passed on every call.
+  virtual void Step(const std::vector<Matrix*>& params,
+                    const std::vector<Matrix*>& grads) = 0;
+
+  virtual std::unique_ptr<Optimizer> Clone() const = 0;
+
+  virtual double learning_rate() const = 0;
+};
+
+/// Plain mini-batch SGD with optional momentum and L2 weight decay — the
+/// update rule all the streaming systems in the paper build on.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr, double momentum = 0.0, double l2 = 0.0)
+      : lr_(lr), momentum_(momentum), l2_(l2) {}
+
+  std::string name() const override { return "SGD"; }
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  std::unique_ptr<Optimizer> Clone() const override {
+    return std::make_unique<SgdOptimizer>(*this);
+  }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_, momentum_, l2_;
+  std::vector<Matrix> velocity_;
+};
+
+/// FOBOS (forward-backward splitting) with L1 shrinkage: a gradient step
+/// followed by soft-thresholding. Used by the Alink baseline's streaming LR.
+class FobosOptimizer : public Optimizer {
+ public:
+  FobosOptimizer(double lr, double l1) : lr_(lr), l1_(l1) {}
+
+  std::string name() const override { return "FOBOS"; }
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  std::unique_ptr<Optimizer> Clone() const override {
+    return std::make_unique<FobosOptimizer>(*this);
+  }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_, l1_;
+};
+
+/// Regularized Dual Averaging: parameters are re-derived each step from the
+/// running mean gradient with L1 shrinkage, giving sparser and more stable
+/// streaming solutions. Also part of the Alink baseline.
+class RdaOptimizer : public Optimizer {
+ public:
+  RdaOptimizer(double gamma, double l1) : gamma_(gamma), l1_(l1) {}
+
+  std::string name() const override { return "RDA"; }
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  std::unique_ptr<Optimizer> Clone() const override {
+    return std::make_unique<RdaOptimizer>(*this);
+  }
+  double learning_rate() const override { return gamma_; }
+
+ private:
+  double gamma_, l1_;
+  size_t steps_ = 0;
+  std::vector<Matrix> grad_sum_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_ML_OPTIMIZER_H_

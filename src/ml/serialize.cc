@@ -1,0 +1,91 @@
+#include "ml/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace freeway {
+namespace {
+
+constexpr uint32_t kMagic = 0x46574d4c;  // "FWML"
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t parameter_count;
+};
+
+}  // namespace
+
+void SerializeModel(const Model& model, std::vector<char>* out) {
+  const std::vector<double> params = model.GetParameters();
+  Header header{kMagic, kVersion, params.size()};
+  out->clear();
+  out->resize(sizeof(Header) + params.size() * sizeof(double));
+  std::memcpy(out->data(), &header, sizeof(Header));
+  std::memcpy(out->data() + sizeof(Header), params.data(),
+              params.size() * sizeof(double));
+}
+
+Result<ModelSnapshot> DeserializeModel(const std::vector<char>& buffer) {
+  if (buffer.size() < sizeof(Header)) {
+    return Status::InvalidArgument("model snapshot: buffer too small");
+  }
+  Header header;
+  std::memcpy(&header, buffer.data(), sizeof(Header));
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument("model snapshot: bad magic");
+  }
+  if (header.version != kVersion) {
+    return Status::InvalidArgument("model snapshot: unsupported version " +
+                                   std::to_string(header.version));
+  }
+  const size_t expected =
+      sizeof(Header) + header.parameter_count * sizeof(double);
+  if (buffer.size() != expected) {
+    return Status::InvalidArgument("model snapshot: truncated buffer");
+  }
+  ModelSnapshot snapshot;
+  snapshot.parameters.resize(header.parameter_count);
+  std::memcpy(snapshot.parameters.data(), buffer.data() + sizeof(Header),
+              header.parameter_count * sizeof(double));
+  return snapshot;
+}
+
+Status SaveModelToFile(const Model& model, const std::string& path) {
+  std::vector<char> buffer;
+  SerializeModel(model, &buffer);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(buffer.data(), 1, buffer.size(), file);
+  std::fclose(file);
+  if (written != buffer.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadModelFromFile(const std::string& path, Model* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("LoadModelFromFile: null model");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<char> buffer(static_cast<size_t>(size));
+  const size_t read = std::fread(buffer.data(), 1, buffer.size(), file);
+  std::fclose(file);
+  if (read != buffer.size()) {
+    return Status::IoError("short read from " + path);
+  }
+  FREEWAY_ASSIGN_OR_RETURN(ModelSnapshot snapshot, DeserializeModel(buffer));
+  return model->SetParameters(snapshot.parameters);
+}
+
+}  // namespace freeway

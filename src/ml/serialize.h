@@ -1,0 +1,37 @@
+#ifndef FREEWAYML_ML_SERIALIZE_H_
+#define FREEWAYML_ML_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace freeway {
+
+/// Binary snapshot of a model's parameters. The format is a fixed header
+/// (magic, version, parameter count) followed by raw little-endian doubles —
+/// deliberately architecture-free: a snapshot restores into any model with
+/// the same ParameterCount(), which is how the knowledge store treats
+/// parameters too.
+struct ModelSnapshot {
+  std::vector<double> parameters;
+};
+
+/// Serializes `model`'s parameters into `out` (cleared first).
+void SerializeModel(const Model& model, std::vector<char>* out);
+
+/// Parses a buffer produced by SerializeModel. Fails with InvalidArgument on
+/// a bad magic/version or a truncated buffer.
+Result<ModelSnapshot> DeserializeModel(const std::vector<char>& buffer);
+
+/// Writes `model`'s snapshot to `path` (overwrites).
+Status SaveModelToFile(const Model& model, const std::string& path);
+
+/// Reads a snapshot from `path` and loads it into `model`. Fails if the
+/// parameter count does not match the model's architecture.
+Status LoadModelFromFile(const std::string& path, Model* model);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_ML_SERIALIZE_H_

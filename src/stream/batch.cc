@@ -1,0 +1,83 @@
+#include "stream/batch.h"
+
+namespace freeway {
+
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kStationary:
+      return "stationary";
+    case DriftKind::kDirectional:
+      return "directional";
+    case DriftKind::kLocalized:
+      return "localized";
+    case DriftKind::kSudden:
+      return "sudden";
+    case DriftKind::kReoccurring:
+      return "reoccurring";
+  }
+  return "?";
+}
+
+Result<Batch> ConcatBatches(const std::vector<const Batch*>& batches) {
+  if (batches.empty()) {
+    return Status::InvalidArgument("ConcatBatches: no batches");
+  }
+  const size_t dim = batches[0]->dim();
+  const bool labeled = batches[0]->labeled();
+  size_t total_rows = 0;
+  for (const Batch* b : batches) {
+    if (b->dim() != dim) {
+      return Status::InvalidArgument("ConcatBatches: dimension mismatch");
+    }
+    if (b->labeled() != labeled) {
+      return Status::InvalidArgument(
+          "ConcatBatches: mixing labeled and unlabeled batches");
+    }
+    total_rows += b->size();
+  }
+
+  Batch out;
+  out.index = batches[0]->index;
+  out.features = Matrix(total_rows, dim);
+  if (labeled) out.labels.reserve(total_rows);
+  size_t row = 0;
+  for (const Batch* b : batches) {
+    for (size_t i = 0; i < b->size(); ++i) {
+      out.features.SetRow(row++, b->features.Row(i));
+    }
+    if (labeled) {
+      out.labels.insert(out.labels.end(), b->labels.begin(), b->labels.end());
+    }
+  }
+  return out;
+}
+
+Result<Batch> SliceBatch(const Batch& batch, size_t begin, size_t end) {
+  if (begin > end || end > batch.size()) {
+    return Status::OutOfRange("SliceBatch: invalid range");
+  }
+  Batch out;
+  out.index = batch.index;
+  out.features = Matrix(end - begin, batch.dim());
+  for (size_t i = begin; i < end; ++i) {
+    out.features.SetRow(i - begin, batch.features.Row(i));
+  }
+  if (batch.labeled()) {
+    out.labels.assign(batch.labels.begin() + static_cast<ptrdiff_t>(begin),
+                      batch.labels.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return out;
+}
+
+Result<std::vector<Batch>> TakeBatches(StreamSource* source,
+                                       size_t num_batches, size_t batch_size) {
+  std::vector<Batch> out;
+  out.reserve(num_batches);
+  for (size_t i = 0; i < num_batches; ++i) {
+    FREEWAY_ASSIGN_OR_RETURN(Batch b, source->NextBatch(batch_size));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace freeway

@@ -1,0 +1,94 @@
+#ifndef FREEWAYML_STREAM_BATCH_H_
+#define FREEWAYML_STREAM_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+
+/// One mini-batch of streaming data. A batch is the unit of everything in
+/// FreewayML: shift detection, inference, incremental updates, and the ASW
+/// all operate batch-at-a-time (the paper uses batch size 1024 throughout).
+struct Batch {
+  /// Row-major feature matrix (rows = samples).
+  Matrix features;
+  /// Integer class labels, one per row; empty when the batch is unlabeled
+  /// (pure inference traffic).
+  std::vector<int> labels;
+  /// Monotonically increasing position of this batch in its stream.
+  int64_t index = 0;
+
+  size_t size() const { return features.rows(); }
+  size_t dim() const { return features.cols(); }
+  bool labeled() const { return !labels.empty(); }
+
+  /// Per-feature mean of the batch — its distribution representative
+  /// (input to Eq. 6).
+  std::vector<double> Mean() const { return features.ColumnMean(); }
+};
+
+/// Concatenates batches row-wise. All batches must share `dim` and labeled
+/// status; the result takes the first batch's index.
+Result<Batch> ConcatBatches(const std::vector<const Batch*>& batches);
+
+/// Returns the subset of rows in [begin, end) as a new batch.
+Result<Batch> SliceBatch(const Batch& batch, size_t begin, size_t end);
+
+/// Taxonomy of drift behaviours, mirroring the shift patterns of Section III
+/// of the paper: directional / localized slight shifts (A1/A2), sudden
+/// shifts (B), and reoccurring shifts (C).
+enum class DriftKind {
+  kStationary,
+  kDirectional,   ///< Pattern A1: concept moves steadily along one direction.
+  kLocalized,     ///< Pattern A2: concept jitters within a bounded region.
+  kSudden,        ///< Pattern B: concept jumps to a brand-new region.
+  kReoccurring,   ///< Pattern C: a previously-seen concept is restored.
+};
+
+const char* DriftKindName(DriftKind kind);
+
+/// Ground-truth annotation of the most recent batch a source produced, used
+/// by the evaluation harness for per-pattern accounting (Table II, Figs
+/// 9/11). Sources that cannot annotate leave the default (stationary).
+struct BatchMeta {
+  DriftKind segment_kind = DriftKind::kStationary;
+  /// True on the batch where a sudden jump or a concept restore occurred
+  /// (plus a short adjustment window).
+  bool shift_event = false;
+  /// Index of the active script segment / concept, source-defined.
+  size_t segment_index = 0;
+};
+
+/// An ordered source of mini-batches. Dataset generators, drift injectors,
+/// and replayed recordings all implement this interface.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t input_dim() const = 0;
+  virtual size_t num_classes() const = 0;
+
+  /// Produces the next batch of exactly `batch_size` labeled samples.
+  /// Synthetic sources are unbounded; bounded sources return OutOfRange
+  /// when exhausted.
+  virtual Result<Batch> NextBatch(size_t batch_size) = 0;
+
+  /// Ground-truth drift annotation for the batch most recently returned by
+  /// NextBatch.
+  const BatchMeta& LastBatchMeta() const { return meta_; }
+
+ protected:
+  BatchMeta meta_;
+};
+
+/// Materializes `num_batches` consecutive batches from a source.
+Result<std::vector<Batch>> TakeBatches(StreamSource* source,
+                                       size_t num_batches, size_t batch_size);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_STREAM_BATCH_H_

@@ -1,0 +1,197 @@
+#include "core/adaptive_window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+Batch BatchAt(double center, size_t n, size_t dim, uint64_t seed,
+              int64_t index = 0) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(n, dim);
+  b.labels.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      b.features.At(i, j) = center + rng.Gaussian(0.0, 0.1);
+    }
+  }
+  return b;
+}
+
+AdaptiveWindowOptions SmallOptions() {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 4;
+  return opts;
+}
+
+TEST(AdaptiveWindowTest, RejectsBadBatches) {
+  AdaptiveStreamingWindow window(SmallOptions());
+  Batch unlabeled;
+  unlabeled.features = Matrix(4, 2);
+  EXPECT_FALSE(window.Add(unlabeled).ok());
+  Batch empty;
+  empty.features = Matrix(0, 2);
+  empty.labels = {};
+  EXPECT_FALSE(window.Add(empty).ok());
+}
+
+TEST(AdaptiveWindowTest, FullAfterMaxBatches) {
+  AdaptiveStreamingWindow window(SmallOptions());
+  for (int i = 0; i < 3; ++i) {
+    auto full = window.Add(BatchAt(0.0, 16, 3, i));
+    ASSERT_TRUE(full.ok());
+    EXPECT_FALSE(full.value());
+  }
+  auto full = window.Add(BatchAt(0.0, 16, 3, 99));
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full.value());
+}
+
+TEST(AdaptiveWindowTest, MaxItemsAlsoTriggers) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 100;
+  opts.max_items = 40;
+  AdaptiveStreamingWindow window(opts);
+  ASSERT_FALSE(window.Add(BatchAt(0, 16, 2, 1)).value());
+  ASSERT_FALSE(window.Add(BatchAt(0, 16, 2, 2)).value());
+  EXPECT_TRUE(window.Add(BatchAt(0, 16, 2, 3)).value());
+}
+
+TEST(AdaptiveWindowTest, WeightsDecayAndNearBatchesDecayLess) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 10;
+  AdaptiveStreamingWindow window(opts);
+  // Two residents: one near the future newcomer, one far.
+  ASSERT_TRUE(window.Add(BatchAt(5.0, 32, 3, 1)).ok());   // Far from 0.
+  ASSERT_TRUE(window.Add(BatchAt(0.2, 32, 3, 2)).ok());   // Near 0.
+  ASSERT_TRUE(window.Add(BatchAt(0.0, 32, 3, 3)).ok());   // Newcomer.
+
+  const auto& entries = window.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // The far batch (rank 1) lost more weight than the near batch (rank 0).
+  EXPECT_LT(entries[0].weight, entries[1].weight);
+  EXPECT_DOUBLE_EQ(entries[2].weight, 1.0);  // Newcomer undecayed.
+}
+
+TEST(AdaptiveWindowTest, DirectionalStreamHasLowDisorder) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 16;
+  AdaptiveStreamingWindow window(opts);
+  // Steadily moving concept: time order == distance order (reversed),
+  // i.e. the most recent resident is closest to the newcomer.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(window.Add(BatchAt(static_cast<double>(i), 32, 3,
+                                   static_cast<uint64_t>(i))).ok());
+  }
+  EXPECT_LT(window.disorder(), 0.2);
+}
+
+TEST(AdaptiveWindowTest, LocalizedStreamHasHigherDisorderThanDirectional) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 16;
+  opts.min_weight = 0.01;
+
+  AdaptiveStreamingWindow directional(opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(directional
+                    .Add(BatchAt(static_cast<double>(i), 32, 3,
+                                 static_cast<uint64_t>(i)))
+                    .ok());
+  }
+
+  AdaptiveStreamingWindow localized(opts);
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(localized
+                    .Add(BatchAt(rng.Uniform(-0.5, 0.5), 32, 3,
+                                 static_cast<uint64_t>(100 + i)))
+                    .ok());
+  }
+  EXPECT_GT(localized.disorder(), directional.disorder());
+}
+
+TEST(AdaptiveWindowTest, TakeTrainingDataWeightsContributions) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 3;
+  AdaptiveStreamingWindow window(opts);
+  ASSERT_TRUE(window.Add(BatchAt(0.0, 100, 2, 1)).ok());
+  ASSERT_TRUE(window.Add(BatchAt(0.1, 100, 2, 2)).ok());
+  ASSERT_TRUE(window.Add(BatchAt(0.2, 100, 2, 3)).value());
+
+  auto data = window.TakeTrainingData();
+  ASSERT_TRUE(data.ok());
+  // Decayed older batches contribute fewer than their 100 rows; the newest
+  // contributes all 100.
+  EXPECT_LT(data->size(), 300u);
+  EXPECT_GE(data->size(), 100u);
+  EXPECT_TRUE(data->labeled());
+
+  // Window resets to just the newest batch.
+  EXPECT_EQ(window.num_batches(), 1u);
+  EXPECT_DOUBLE_EQ(window.entries().front().weight, 1.0);
+}
+
+TEST(AdaptiveWindowTest, TakeFromEmptyFails) {
+  AdaptiveStreamingWindow window(SmallOptions());
+  EXPECT_FALSE(window.TakeTrainingData().ok());
+}
+
+TEST(AdaptiveWindowTest, CentroidIsWeightedMean) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 10;
+  AdaptiveStreamingWindow window(opts);
+  EXPECT_TRUE(window.Centroid().empty());
+
+  ASSERT_TRUE(window.Add(BatchAt(0.0, 200, 2, 1)).ok());
+  ASSERT_TRUE(window.Add(BatchAt(10.0, 200, 2, 2)).ok());
+  auto centroid = window.Centroid();
+  ASSERT_EQ(centroid.size(), 2u);
+  // Both weights near 1 -> centroid near 5, biased slightly toward the
+  // undecayed newcomer.
+  EXPECT_GT(centroid[0], 4.5);
+  EXPECT_LT(centroid[0], 6.0);
+}
+
+TEST(AdaptiveWindowTest, FullyDecayedBatchesAreEvicted) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 100;
+  opts.base_decay = 0.5;  // Aggressive decay.
+  opts.min_weight = 0.3;
+  AdaptiveStreamingWindow window(opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(window.Add(BatchAt(static_cast<double>(i), 16, 2,
+                                   static_cast<uint64_t>(i))).ok());
+  }
+  // With 50%+ decay per arrival and a 0.3 floor, only a couple of recent
+  // batches survive.
+  EXPECT_LE(window.num_batches(), 3u);
+}
+
+TEST(AdaptiveWindowTest, DecayBoostAcceleratesForgetting) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 50;
+  opts.min_weight = 1e-6;  // Disable eviction so front() stays comparable.
+  AdaptiveStreamingWindow normal(opts), boosted(opts);
+  boosted.SetDecayBoost(3.0);
+  EXPECT_DOUBLE_EQ(boosted.decay_boost(), 3.0);
+  boosted.SetDecayBoost(0.5);  // Clamped to >= 1.
+  EXPECT_DOUBLE_EQ(boosted.decay_boost(), 1.0);
+  boosted.SetDecayBoost(3.0);
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(normal.Add(BatchAt(static_cast<double>(i), 16, 2,
+                                   static_cast<uint64_t>(i))).ok());
+    ASSERT_TRUE(boosted.Add(BatchAt(static_cast<double>(i), 16, 2,
+                                    static_cast<uint64_t>(i))).ok());
+  }
+  // The boosted window's oldest survivor carries less weight.
+  EXPECT_LT(boosted.entries().front().weight,
+            normal.entries().front().weight);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "baselines/agem.h"
+#include "baselines/camel.h"
+#include "baselines/engine_learners.h"
+#include "baselines/factory.h"
+#include "baselines/freeway_adapter.h"
+#include "baselines/river.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+Batch BlobsBatch(double center, size_t n, uint64_t seed, int64_t index = 0) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(n, 4);
+  b.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    b.labels[i] = label;
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) =
+          center + rng.Gaussian(label == 0 ? -1.5 : 1.5, 0.6);
+    }
+  }
+  return b;
+}
+
+double BatchAccuracy(StreamingLearner* learner, const Batch& batch) {
+  auto pred = learner->Predict(batch.features);
+  EXPECT_TRUE(pred.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if ((*pred)[i] == batch.labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(batch.size());
+}
+
+class AllSystemsTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Systems, AllSystemsTest,
+                         ::testing::Values("Plain", "Flink ML", "Spark MLlib",
+                                           "Alink", "River", "Camel", "A-GEM",
+                                           "FreewayML"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == ' ' || c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(AllSystemsTest, ConstructsViaFactory) {
+  auto learner = MakeSystem(GetParam(), ModelKind::kMlp, 4, 2);
+  ASSERT_TRUE(learner.ok()) << GetParam();
+  if (GetParam() != "Plain") {
+    EXPECT_EQ((*learner)->name(), GetParam());
+  }
+}
+
+TEST_P(AllSystemsTest, LearnsSeparableStream) {
+  auto learner = MakeSystem(GetParam(), ModelKind::kMlp, 4, 2);
+  ASSERT_TRUE(learner.ok());
+  for (int b = 0; b < 25; ++b) {
+    auto pred = (*learner)->PrequentialStep(BlobsBatch(0.0, 128, b, b));
+    ASSERT_TRUE(pred.ok()) << GetParam() << " batch " << b;
+  }
+  const double acc = BatchAccuracy(learner->get(), BlobsBatch(0.0, 256, 99));
+  EXPECT_GT(acc, 0.85) << GetParam();
+}
+
+TEST_P(AllSystemsTest, WorksWithLogisticRegression) {
+  auto learner = MakeSystem(GetParam(), ModelKind::kLogisticRegression, 4, 2);
+  ASSERT_TRUE(learner.ok());
+  for (int b = 0; b < 20; ++b) {
+    ASSERT_TRUE(
+        (*learner)->PrequentialStep(BlobsBatch(0.0, 128, b, b)).ok());
+  }
+  EXPECT_GT(BatchAccuracy(learner->get(), BlobsBatch(0.0, 256, 77)), 0.85);
+}
+
+TEST(FactoryTest, UnknownSystemRejected) {
+  auto r = MakeSystem("NoSuchSystem", ModelKind::kMlp, 4, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FactoryTest, SystemLineupsMatchPaper) {
+  EXPECT_EQ(LrSystemNames().size(), 4u);
+  EXPECT_EQ(LrSystemNames().back(), "FreewayML");
+  EXPECT_EQ(MlpSystemNames().size(), 4u);
+  EXPECT_EQ(MlpSystemNames()[0], "River");
+}
+
+TEST(FlinkMlTest, WatermarkDelaysUpdateByOneBatch) {
+  auto model = MakeLogisticRegression(4, 2);
+  const auto initial = model->GetParameters();
+  FlinkMlLearner flink(std::move(model));
+  // First Train call buffers; the model must be unchanged until the second.
+  ASSERT_TRUE(flink.Train(BlobsBatch(0.0, 64, 1, 0)).ok());
+  auto p1 = flink.PredictProba(BlobsBatch(0.0, 8, 2).features);
+  ASSERT_TRUE(p1.ok());
+  // Prediction after one Train equals prediction of an untrained model.
+  auto fresh = MakeLogisticRegression(4, 2);
+  auto p_fresh = fresh->PredictProba(BlobsBatch(0.0, 8, 2).features);
+  ASSERT_TRUE(p_fresh.ok());
+  for (size_t i = 0; i < p1->rows(); ++i) {
+    for (size_t j = 0; j < p1->cols(); ++j) {
+      EXPECT_NEAR(p1->At(i, j), p_fresh->At(i, j), 1e-12);
+    }
+  }
+  (void)initial;
+}
+
+TEST(RiverTest, DriftResetFiresOnAccuracyCollapse) {
+  RiverOptions opts;
+  opts.detector_window = 10;
+  auto learner = std::make_unique<RiverLearner>(MakeMlp(4, 2), opts);
+  // Stable phase.
+  for (int b = 0; b < 20; ++b) {
+    ASSERT_TRUE(learner->Train(BlobsBatch(0.0, 128, b, b)).ok());
+  }
+  EXPECT_EQ(learner->drift_count(), 0u);
+  // Label-inverting shift: accuracy collapses, detector must fire within a
+  // few batches.
+  for (int b = 0; b < 10; ++b) {
+    Batch flipped = BlobsBatch(0.0, 128, 100 + b, 20 + b);
+    for (auto& label : flipped.labels) label = 1 - label;
+    ASSERT_TRUE(learner->Train(flipped).ok());
+  }
+  EXPECT_GE(learner->drift_count(), 1u);
+}
+
+TEST(CamelTest, SelectsSubsetAndBuffers) {
+  CamelOptions opts;
+  opts.keep_ratio = 0.5;
+  opts.buffer_capacity = 100;
+  auto learner = std::make_unique<CamelLearner>(MakeMlp(4, 2), opts);
+  ASSERT_TRUE(learner->Train(BlobsBatch(0.0, 64, 1, 0)).ok());
+  EXPECT_EQ(learner->buffer_size(), 32u);  // keep_ratio * 64.
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(learner->Train(BlobsBatch(0.0, 64, 2 + b, 1 + b)).ok());
+  }
+  EXPECT_EQ(learner->buffer_size(), 100u);  // Capacity bound.
+}
+
+TEST(AGemTest, ProjectionFiresOnConflictingTasks) {
+  AGemOptions opts;
+  opts.samples_per_batch = 64;
+  auto learner = std::make_unique<AGemLearner>(MakeMlp(4, 2), opts);
+  // Task 1.
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(learner->Train(BlobsBatch(0.0, 128, b, b)).ok());
+  }
+  EXPECT_GT(learner->memory_size(), 0u);
+  const size_t before = learner->projections();
+  // Task 2 with inverted labels: gradients conflict with memory.
+  for (int b = 0; b < 10; ++b) {
+    Batch flipped = BlobsBatch(0.0, 128, 50 + b, 10 + b);
+    for (auto& label : flipped.labels) label = 1 - label;
+    ASSERT_TRUE(learner->Train(flipped).ok());
+  }
+  EXPECT_GT(learner->projections(), before);
+}
+
+TEST(FreewayAdapterTest, ExposesReports) {
+  auto model = MakeMlp(10, 2);
+  FreewayAdapter adapter(*model);
+  HyperplaneSource source;
+  for (int b = 0; b < 12; ++b) {
+    auto batch = source.NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    auto pred = adapter.PrequentialStep(*batch);
+    ASSERT_TRUE(pred.ok());
+  }
+  EXPECT_EQ(adapter.learner().stats().batches_inferred, 12u);
+  EXPECT_EQ(adapter.last_report().predictions.size(), 128u);
+}
+
+TEST(SerializationRoundTripTest, WireSizedForVarintGroups) {
+  Matrix m(16, 8, 1.5);
+  std::vector<char> wire;
+  internal::SerializationRoundTrip(m, &wire);
+  // LEB128 encoding uses at most 10 byte-groups per 64-bit value.
+  EXPECT_EQ(wire.size(), 16u * 8u * 10u);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: River with classical drift detectors --------------------
+
+namespace freeway {
+namespace {
+
+class RiverDetectorTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Detectors, RiverDetectorTest,
+                         ::testing::Values("DDM", "EDDM", "PageHinkley",
+                                           "ADWIN"));
+
+TEST_P(RiverDetectorTest, LearnsWithClassicalDetector) {
+  RiverOptions opts;
+  opts.classical_detector = GetParam();
+  auto learner = std::make_unique<RiverLearner>(MakeMlp(4, 2), opts);
+  for (int b = 0; b < 25; ++b) {
+    ASSERT_TRUE(learner->Train(BlobsBatch(0.0, 128, b, b)).ok()) << GetParam();
+  }
+  EXPECT_GT(BatchAccuracy(learner.get(), BlobsBatch(0.0, 256, 99)), 0.85)
+      << GetParam();
+}
+
+TEST(RiverDetectorTest, DdmResetFiresOnLabelInversion) {
+  RiverOptions opts;
+  opts.classical_detector = "DDM";
+  auto learner = std::make_unique<RiverLearner>(MakeMlp(4, 2), opts);
+  // DDM observes per-batch error rates here; give it enough stable batches
+  // to arm, then a sustained inversion.
+  for (int b = 0; b < 40; ++b) {
+    ASSERT_TRUE(learner->Train(BlobsBatch(0.0, 128, b, b)).ok());
+  }
+  EXPECT_EQ(learner->drift_count(), 0u);
+  for (int b = 0; b < 25; ++b) {
+    Batch flipped = BlobsBatch(0.0, 128, 200 + b, 40 + b);
+    for (auto& label : flipped.labels) label = 1 - label;
+    ASSERT_TRUE(learner->Train(flipped).ok());
+  }
+  EXPECT_GE(learner->drift_count(), 1u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,85 @@
+#include "stream/batch.h"
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+Batch MakeBatch(std::vector<double> data, size_t dim, std::vector<int> labels,
+                int64_t index = 0) {
+  Batch b;
+  const size_t rows = data.size() / dim;
+  b.features = Matrix::FromData(rows, dim, std::move(data)).value();
+  b.labels = std::move(labels);
+  b.index = index;
+  return b;
+}
+
+TEST(BatchTest, BasicAccessors) {
+  Batch b = MakeBatch({1, 2, 3, 4}, 2, {0, 1}, 7);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.dim(), 2u);
+  EXPECT_TRUE(b.labeled());
+  EXPECT_EQ(b.index, 7);
+  auto mean = b.Mean();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+}
+
+TEST(BatchTest, UnlabeledBatch) {
+  Batch b;
+  b.features = Matrix(3, 2);
+  EXPECT_FALSE(b.labeled());
+}
+
+TEST(ConcatBatchesTest, MergesRowsAndLabels) {
+  Batch a = MakeBatch({1, 2, 3, 4}, 2, {0, 1}, 1);
+  Batch b = MakeBatch({5, 6}, 2, {1}, 2);
+  auto merged = ConcatBatches({&a, &b});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 3u);
+  EXPECT_EQ(merged->index, 1);
+  EXPECT_DOUBLE_EQ(merged->features.At(2, 0), 5.0);
+  EXPECT_EQ(merged->labels, (std::vector<int>{0, 1, 1}));
+}
+
+TEST(ConcatBatchesTest, RejectsMismatches) {
+  Batch a = MakeBatch({1, 2}, 2, {0});
+  Batch b = MakeBatch({1, 2, 3}, 3, {0});
+  EXPECT_FALSE(ConcatBatches({&a, &b}).ok());
+
+  Batch unlabeled;
+  unlabeled.features = Matrix(1, 2);
+  EXPECT_FALSE(ConcatBatches({&a, &unlabeled}).ok());
+  EXPECT_FALSE(ConcatBatches({}).ok());
+}
+
+TEST(SliceBatchTest, ExtractsRange) {
+  Batch b = MakeBatch({1, 2, 3, 4, 5, 6}, 2, {0, 1, 2}, 9);
+  auto slice = SliceBatch(b, 1, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->size(), 2u);
+  EXPECT_DOUBLE_EQ(slice->features.At(0, 0), 3.0);
+  EXPECT_EQ(slice->labels, (std::vector<int>{1, 2}));
+  EXPECT_EQ(slice->index, 9);
+}
+
+TEST(SliceBatchTest, EmptyAndInvalidRanges) {
+  Batch b = MakeBatch({1, 2}, 2, {0});
+  auto empty = SliceBatch(b, 1, 1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_FALSE(SliceBatch(b, 0, 2).ok());
+  EXPECT_FALSE(SliceBatch(b, 1, 0).ok());
+}
+
+TEST(DriftKindTest, Names) {
+  EXPECT_STREQ(DriftKindName(DriftKind::kStationary), "stationary");
+  EXPECT_STREQ(DriftKindName(DriftKind::kDirectional), "directional");
+  EXPECT_STREQ(DriftKindName(DriftKind::kLocalized), "localized");
+  EXPECT_STREQ(DriftKindName(DriftKind::kSudden), "sudden");
+  EXPECT_STREQ(DriftKindName(DriftKind::kReoccurring), "reoccurring");
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,210 @@
+#include "core/cec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+/// Gaussian blobs at given centers; labels = blob ids.
+Batch BlobBatch(const std::vector<std::vector<double>>& centers, size_t per,
+                double sigma, uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  const size_t dim = centers[0].size();
+  b.features = Matrix(per * centers.size(), dim);
+  b.labels.resize(per * centers.size());
+  for (size_t c = 0; c < centers.size(); ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      const size_t row = c * per + i;
+      b.labels[row] = static_cast<int>(c);
+      for (size_t d = 0; d < dim; ++d) {
+        b.features.At(row, d) = centers[c][d] + rng.Gaussian(0.0, sigma);
+      }
+    }
+  }
+  return b;
+}
+
+TEST(CecTest, ValidatesInputs) {
+  CoherentExperienceClustering cec;
+  Batch experience = BlobBatch({{0, 0}, {5, 5}}, 10, 0.2, 1);
+  Matrix query(8, 2);
+
+  EXPECT_FALSE(cec.Predict(Matrix(0, 2), experience, 2).ok());
+  Batch unlabeled;
+  unlabeled.features = Matrix(4, 2);
+  EXPECT_FALSE(cec.Predict(query, unlabeled, 2).ok());
+  Batch wrong_dim = BlobBatch({{0, 0, 0}}, 4, 0.1, 2);
+  EXPECT_FALSE(cec.Predict(query, wrong_dim, 2).ok());
+  EXPECT_FALSE(cec.Predict(query, experience, 1).ok());
+}
+
+TEST(CecTest, MapsClustersToLabelsViaExperience) {
+  CoherentExperienceClustering cec;
+  // Experience: labeled blobs at (0,0)->0 and (8,8)->1.
+  Batch experience = BlobBatch({{0, 0}, {8, 8}}, 20, 0.3, 3);
+  // Query from the same two blobs.
+  Batch query = BlobBatch({{0, 0}, {8, 8}}, 30, 0.3, 4);
+
+  auto pred = cec.Predict(query.features, experience, 2);
+  ASSERT_TRUE(pred.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (pred->labels[i] == query.labels[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(query.size()),
+            0.95);
+}
+
+TEST(CecTest, ProbaRowsAreDistributions) {
+  CoherentExperienceClustering cec;
+  Batch experience = BlobBatch({{0, 0}, {6, 6}, {-6, 6}}, 15, 0.4, 5);
+  Batch query = BlobBatch({{0, 0}, {6, 6}, {-6, 6}}, 10, 0.4, 6);
+  auto pred = cec.Predict(query.features, experience, 3);
+  ASSERT_TRUE(pred.ok());
+  ASSERT_EQ(pred->proba.rows(), query.size());
+  ASSERT_EQ(pred->proba.cols(), 3u);
+  for (size_t i = 0; i < pred->proba.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_GT(pred->proba.At(i, j), 0.0);  // Smoothed: strictly positive.
+      sum += pred->proba.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CecTest, UnlabeledClusterInheritsNearestLabel) {
+  CoherentExperienceClustering cec;
+  // Experience only covers blob 0 and blob 1; the query adds a third blob
+  // near blob 1, whose cluster has no labeled members.
+  Batch experience = BlobBatch({{0, 0}, {10, 10}}, 15, 0.2, 7);
+  Batch query = BlobBatch({{0, 0}, {10, 10}, {12, 12}}, 12, 0.2, 8);
+
+  auto pred = cec.Predict(query.features, experience, 3);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GE(pred->unlabeled_clusters, 1u);
+  // The third blob's rows (indices 24..35) inherit label 1 (nearest blob).
+  size_t label1 = 0;
+  for (size_t i = 24; i < 36; ++i) {
+    if (pred->labels[i] == 1) ++label1;
+  }
+  EXPECT_GE(label1, 10u);
+}
+
+TEST(CecTest, FewerPointsThanClustersFails) {
+  CoherentExperienceClustering cec;
+  Batch experience = BlobBatch({{0, 0}}, 1, 0.1, 9);
+  Matrix query(1, 2);
+  EXPECT_FALSE(cec.Predict(query, experience, 5).ok());
+}
+
+TEST(CecTest, CoherentExperienceBeatsNoGuidanceAfterShift) {
+  // The core hypothesis (Section IV-C): after a sudden shift, labeled data
+  // from the tail of the previous batch guides cluster-label mapping well
+  // enough to recover accuracy with no pre-trained model.
+  CoherentExperienceClustering cec;
+  // Post-shift distribution: blobs at new locations.
+  Batch tail = BlobBatch({{20, -20}, {-20, 20}}, 8, 0.4, 10);
+  Batch current = BlobBatch({{20, -20}, {-20, 20}}, 64, 0.4, 11);
+  auto pred = cec.Predict(current.features, tail, 2);
+  ASSERT_TRUE(pred.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (pred->labels[i] == current.labels[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(current.size()),
+            0.9);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: purity gate & over-clustering ---------------------------
+
+namespace freeway {
+namespace {
+
+TEST(CecTest, PurityHighWhenClustersAlignWithClasses) {
+  CoherentExperienceClustering cec;
+  Batch experience = BlobBatch({{0, 0}, {9, 9}}, 25, 0.3, 21);
+  Batch query = BlobBatch({{0, 0}, {9, 9}}, 25, 0.3, 22);
+  auto pred = cec.Predict(query.features, experience, 2);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(pred->experience_purity, 0.95);
+}
+
+TEST(CecTest, PurityLowWhenLabelsIgnoreClusterStructure) {
+  CoherentExperienceClustering cec;
+  // Two blobs, but labels assigned at random — clusters carry no class
+  // structure, which the purity signal must expose.
+  Batch experience = BlobBatch({{0, 0}, {9, 9}}, 30, 0.3, 23);
+  Rng rng(24);
+  for (auto& label : experience.labels) {
+    label = static_cast<int>(rng.NextBelow(2));
+  }
+  Batch query = BlobBatch({{0, 0}, {9, 9}}, 30, 0.3, 25);
+  auto pred = cec.Predict(query.features, experience, 2);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_LT(pred->experience_purity, 0.75);
+}
+
+TEST(CecTest, OverClusteringImprovesOverlappingClasses) {
+  // Overlapping blobs: a single cluster per class mixes them; finer
+  // clusters majority-mapped should recover at least as much purity.
+  CecOptions one_per_class;
+  one_per_class.clusters_per_class = 1;
+  CecOptions two_per_class;
+  two_per_class.clusters_per_class = 2;
+  CoherentExperienceClustering coarse(one_per_class), fine(two_per_class);
+
+  Batch experience = BlobBatch({{0, 0}, {2.2, 0}}, 60, 1.0, 26);
+  Batch query = BlobBatch({{0, 0}, {2.2, 0}}, 60, 1.0, 27);
+  auto coarse_pred = coarse.Predict(query.features, experience, 2);
+  auto fine_pred = fine.Predict(query.features, experience, 2);
+  ASSERT_TRUE(coarse_pred.ok());
+  ASSERT_TRUE(fine_pred.ok());
+  EXPECT_GE(fine_pred->experience_purity,
+            coarse_pred->experience_purity - 0.05);
+}
+
+TEST(CecTest, TinyBatchesFallBackToOneClusterPerClass) {
+  CoherentExperienceClustering cec;  // clusters_per_class = 2 by default.
+  // 3 experience + 3 query points with 3 classes: k must clamp back to 3.
+  Batch experience = BlobBatch({{0, 0}, {8, 0}, {0, 8}}, 1, 0.1, 28);
+  Batch query = BlobBatch({{0, 0}, {8, 0}, {0, 8}}, 1, 0.1, 29);
+  auto pred = cec.Predict(query.features, experience, 3);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->labels.size(), 3u);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: query coverage ------------------------------------------
+
+namespace freeway {
+namespace {
+
+TEST(CecTest, CoverageHighWhenQueryOverlapsExperience) {
+  CoherentExperienceClustering cec;
+  Batch experience = BlobBatch({{0, 0}, {9, 9}}, 20, 0.3, 31);
+  Batch query = BlobBatch({{0, 0}, {9, 9}}, 20, 0.3, 32);
+  auto pred = cec.Predict(query.features, experience, 2);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(pred->query_coverage, 0.9);
+}
+
+TEST(CecTest, CoverageLowWhenQueryIsDisjoint) {
+  CoherentExperienceClustering cec;
+  // Experience at two near blobs; query entirely in a far-away region:
+  // its clusters contain no labeled members.
+  Batch experience = BlobBatch({{0, 0}, {3, 3}}, 20, 0.3, 33);
+  Batch query = BlobBatch({{40, 40}, {44, 44}}, 20, 0.3, 34);
+  auto pred = cec.Predict(query.features, experience, 2);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_LT(pred->query_coverage, 0.3);
+}
+
+}  // namespace
+}  // namespace freeway

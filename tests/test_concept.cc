@@ -1,0 +1,346 @@
+#include "data/concept.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/simulators.h"
+
+namespace freeway {
+namespace {
+
+DriftScript SingleSegment(DriftKind kind, size_t batches, double magnitude) {
+  DriftScript script;
+  DriftSegment seg;
+  seg.kind = kind;
+  seg.num_batches = batches;
+  seg.magnitude = magnitude;
+  script.segments = {seg};
+  return script;
+}
+
+ConceptSourceOptions SmallOptions() {
+  ConceptSourceOptions opts;
+  opts.dim = 4;
+  opts.num_classes = 3;
+  opts.seed = 11;
+  return opts;
+}
+
+TEST(ConceptSourceTest, BatchShapeAndLabels) {
+  GaussianConceptSource src("test", SmallOptions(),
+                            SingleSegment(DriftKind::kStationary, 100, 0.0));
+  auto batch = src.NextBatch(128);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 128u);
+  EXPECT_EQ(batch->dim(), 4u);
+  for (int label : batch->labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+}
+
+TEST(ConceptSourceTest, Deterministic) {
+  GaussianConceptSource a("a", SmallOptions(),
+                          SingleSegment(DriftKind::kDirectional, 10, 0.1));
+  GaussianConceptSource b("b", SmallOptions(),
+                          SingleSegment(DriftKind::kDirectional, 10, 0.1));
+  for (int i = 0; i < 5; ++i) {
+    auto ba = a.NextBatch(32);
+    auto bb = b.NextBatch(32);
+    ASSERT_TRUE(ba.ok() && bb.ok());
+    EXPECT_EQ(ba->labels, bb->labels);
+    EXPECT_DOUBLE_EQ(ba->features.At(7, 2), bb->features.At(7, 2));
+  }
+}
+
+TEST(ConceptSourceTest, StationaryCentroidsHoldStill) {
+  GaussianConceptSource src("s", SmallOptions(),
+                            SingleSegment(DriftKind::kStationary, 100, 0.0));
+  ASSERT_TRUE(src.NextBatch(16).ok());
+  const Matrix before = src.centroids();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(src.NextBatch(16).ok());
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t d = 0; d < 4; ++d) {
+      EXPECT_DOUBLE_EQ(src.centroids().At(c, d), before.At(c, d));
+    }
+  }
+}
+
+TEST(ConceptSourceTest, DirectionalDriftMovesSteadily) {
+  GaussianConceptSource src("d", SmallOptions(),
+                            SingleSegment(DriftKind::kDirectional, 1000, 0.1));
+  ASSERT_TRUE(src.NextBatch(16).ok());
+  const auto c0 = src.centroids().RowVector(0);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(src.NextBatch(16).ok());
+  const auto c1 = src.centroids().RowVector(0);
+  // 20 steps of 0.1 along a unit direction = distance 2.0.
+  EXPECT_NEAR(vec::EuclideanDistance(c0, c1), 2.0, 1e-9);
+}
+
+TEST(ConceptSourceTest, LocalizedDriftStaysBounded) {
+  GaussianConceptSource src("l", SmallOptions(),
+                            SingleSegment(DriftKind::kLocalized, 1000, 0.1));
+  ASSERT_TRUE(src.NextBatch(16).ok());
+  const auto base = src.centroids().RowVector(0);
+  double max_dist = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(src.NextBatch(16).ok());
+    max_dist = std::max(
+        max_dist, vec::EuclideanDistance(base, src.centroids().RowVector(0)));
+  }
+  // Jitter is capped at 3 * magnitude (plus the base offset at batch 1).
+  EXPECT_LT(max_dist, 1.0);
+}
+
+TEST(ConceptSourceTest, SuddenJumpByMagnitude) {
+  DriftScript script;
+  DriftSegment calm;
+  calm.kind = DriftKind::kStationary;
+  calm.num_batches = 3;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 3;
+  jump.magnitude = 5.0;
+  script.segments = {calm, jump};
+  GaussianConceptSource src("j", SmallOptions(), script);
+
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(src.NextBatch(16).ok());
+  const auto before = src.centroids().RowVector(1);
+  ASSERT_TRUE(src.NextBatch(16).ok());  // First batch of the sudden segment.
+  EXPECT_TRUE(src.LastBatchMeta().shift_event);
+  EXPECT_EQ(src.LastBatchMeta().segment_kind, DriftKind::kSudden);
+  const auto after = src.centroids().RowVector(1);
+  EXPECT_NEAR(vec::EuclideanDistance(before, after), 5.0, 1e-9);
+}
+
+TEST(ConceptSourceTest, ReoccurringRestoresCheckpoint) {
+  DriftScript script;
+  DriftSegment start;
+  start.kind = DriftKind::kStationary;
+  start.num_batches = 2;
+  start.save_checkpoint = true;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 2;
+  jump.magnitude = 8.0;
+  DriftSegment back;
+  back.kind = DriftKind::kReoccurring;
+  back.num_batches = 2;
+  back.reoccur_checkpoint = 0;
+  script.segments = {start, jump, back};
+
+  GaussianConceptSource src("r", SmallOptions(), script);
+  ASSERT_TRUE(src.NextBatch(16).ok());
+  const auto original = src.centroids().RowVector(0);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(src.NextBatch(16).ok());
+  // Now inside the sudden segment: centroids far away.
+  EXPECT_GT(vec::EuclideanDistance(original, src.centroids().RowVector(0)),
+            4.0);
+  ASSERT_TRUE(src.NextBatch(16).ok());  // First reoccurring batch.
+  EXPECT_EQ(src.LastBatchMeta().segment_kind, DriftKind::kReoccurring);
+  EXPECT_TRUE(src.LastBatchMeta().shift_event);
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_DOUBLE_EQ(src.centroids().At(0, d), original[d]);
+  }
+  EXPECT_EQ(src.num_checkpoints(), 1u);
+}
+
+TEST(ConceptSourceTest, ScriptLoops) {
+  DriftScript script = SingleSegment(DriftKind::kStationary, 2, 0.0);
+  script.segments.push_back(script.segments[0]);
+  script.loop = true;
+  GaussianConceptSource src("loop", SmallOptions(), script);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(src.NextBatch(8).ok());
+}
+
+TEST(ConceptSourceTest, NonLoopingScriptExhausts) {
+  DriftScript script = SingleSegment(DriftKind::kStationary, 2, 0.0);
+  script.loop = false;
+  GaussianConceptSource src("finite", SmallOptions(), script);
+  ASSERT_TRUE(src.NextBatch(8).ok());
+  ASSERT_TRUE(src.NextBatch(8).ok());
+  auto exhausted = src.NextBatch(8);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ConceptSourceTest, PriorsControlClassBalance) {
+  ConceptSourceOptions opts = SmallOptions();
+  opts.num_classes = 2;
+  opts.priors = {0.9, 0.1};
+  GaussianConceptSource src("p", opts,
+                            SingleSegment(DriftKind::kStationary, 100, 0.0));
+  size_t zeros = 0, total = 0;
+  for (int b = 0; b < 10; ++b) {
+    auto batch = src.NextBatch(512);
+    ASSERT_TRUE(batch.ok());
+    for (int label : batch->labels) {
+      zeros += label == 0 ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(total), 0.9,
+              0.03);
+}
+
+TEST(SimulatorsTest, AllBenchmarkDatasetsConstructAndProduce) {
+  for (const std::string& name : BenchmarkDatasetNames()) {
+    auto src = MakeBenchmarkDataset(name);
+    ASSERT_TRUE(src.ok()) << name;
+    EXPECT_EQ((*src)->name(), name);
+    auto batch = (*src)->NextBatch(64);
+    ASSERT_TRUE(batch.ok()) << name;
+    EXPECT_EQ(batch->dim(), (*src)->input_dim()) << name;
+    for (int label : batch->labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, static_cast<int>((*src)->num_classes())) << name;
+    }
+  }
+  EXPECT_FALSE(MakeBenchmarkDataset("NoSuchDataset").ok());
+}
+
+TEST(SimulatorsTest, DatasetDimensionsMatchTheOriginals) {
+  EXPECT_EQ(MakeAirlinesSim()->input_dim(), 7u);
+  EXPECT_EQ(MakeCovertypeSim()->input_dim(), 54u);
+  EXPECT_EQ(MakeCovertypeSim()->num_classes(), 7u);
+  EXPECT_EQ(MakeNslKddSim()->input_dim(), 41u);
+  EXPECT_EQ(MakeNslKddSim()->num_classes(), 5u);
+  EXPECT_EQ(MakeElectricitySim()->input_dim(), 8u);
+  EXPECT_EQ(MakeElectricitySim()->num_classes(), 2u);
+}
+
+TEST(SimulatorsTest, NslKddIsImbalanced) {
+  auto src = MakeNslKddSim();
+  std::vector<size_t> counts(5, 0);
+  for (int b = 0; b < 8; ++b) {
+    auto batch = src->NextBatch(512);
+    ASSERT_TRUE(batch.ok());
+    for (int label : batch->labels) ++counts[static_cast<size_t>(label)];
+  }
+  // Class 0 (normal traffic) dominates the early baseline segment.
+  EXPECT_GT(counts[0], counts[4] * 5);
+}
+
+TEST(SimulatorsTest, DriftEventsOccurInEverySimulator) {
+  for (const std::string& name :
+       {std::string("Airlines"), std::string("Covertype"),
+        std::string("NSL-KDD"), std::string("Electricity")}) {
+    auto src = MakeBenchmarkDataset(name);
+    ASSERT_TRUE(src.ok());
+    size_t events = 0;
+    for (int b = 0; b < 120; ++b) {
+      ASSERT_TRUE((*src)->NextBatch(8).ok());
+      if ((*src)->LastBatchMeta().shift_event) ++events;
+    }
+    EXPECT_GT(events, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: transition spillover ------------------------------------
+
+namespace freeway {
+namespace {
+
+TEST(ConceptSourceTest, TransitionSpilloverPrecedesSuddenShift) {
+  ConceptSourceOptions opts = SmallOptions();
+  opts.transition_fraction = 0.3;
+  opts.noise_sigma = 0.1;
+
+  DriftScript script;
+  DriftSegment calm;
+  calm.kind = DriftKind::kStationary;
+  calm.num_batches = 3;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 3;
+  jump.magnitude = 20.0;
+  script.segments = {calm, jump};
+
+  GaussianConceptSource src("spill", opts, script);
+  ASSERT_TRUE(src.NextBatch(200).ok());
+  auto mid = src.NextBatch(200);       // Plain stationary batch.
+  ASSERT_TRUE(mid.ok());
+  auto boundary = src.NextBatch(200);  // Last batch before the jump.
+  ASSERT_TRUE(boundary.ok());
+  auto jumped = src.NextBatch(200);    // First batch of the new concept.
+  ASSERT_TRUE(jumped.ok());
+
+  // The boundary batch's tail rows must already be near the post-jump
+  // concept: its distance to the jumped batch is far below a clean
+  // pre-jump batch's distance.
+  const double clean_to_new =
+      vec::EuclideanDistance(mid->Mean(), jumped->Mean());
+  const auto tail = SliceBatch(*boundary, 140, 200);
+  ASSERT_TRUE(tail.ok());
+  const double tail_to_new =
+      vec::EuclideanDistance(tail->Mean(), jumped->Mean());
+  EXPECT_LT(tail_to_new, clean_to_new * 0.3);
+
+  // And the head of the boundary batch is still the old concept.
+  const auto head = SliceBatch(*boundary, 0, 140);
+  ASSERT_TRUE(head.ok());
+  const double head_to_old = vec::EuclideanDistance(head->Mean(), mid->Mean());
+  EXPECT_LT(head_to_old, clean_to_new * 0.2);
+}
+
+TEST(ConceptSourceTest, SpilloverMatchesCommittedConcept) {
+  // The spilled samples and the actually-entered segment must come from the
+  // SAME sampled concept (the prepared state is committed, not re-drawn).
+  ConceptSourceOptions opts = SmallOptions();
+  opts.transition_fraction = 0.25;
+  opts.noise_sigma = 0.05;
+
+  DriftScript script;
+  DriftSegment calm;
+  calm.kind = DriftKind::kStationary;
+  calm.num_batches = 2;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 2;
+  jump.magnitude = 15.0;
+  script.segments = {calm, jump};
+
+  GaussianConceptSource src("consistent", opts, script);
+  ASSERT_TRUE(src.NextBatch(200).ok());
+  auto boundary = src.NextBatch(200);
+  ASSERT_TRUE(boundary.ok());
+  auto jumped = src.NextBatch(200);
+  ASSERT_TRUE(jumped.ok());
+
+  const auto tail = SliceBatch(*boundary, 160, 200);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_LT(vec::EuclideanDistance(tail->Mean(), jumped->Mean()), 2.0);
+}
+
+TEST(ConceptSourceTest, ZeroTransitionFractionKeepsHardBoundaries) {
+  ConceptSourceOptions opts = SmallOptions();
+  opts.transition_fraction = 0.0;
+  opts.noise_sigma = 0.1;
+
+  DriftScript script;
+  DriftSegment calm;
+  calm.kind = DriftKind::kStationary;
+  calm.num_batches = 2;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 2;
+  jump.magnitude = 15.0;
+  script.segments = {calm, jump};
+
+  GaussianConceptSource src("hard", opts, script);
+  ASSERT_TRUE(src.NextBatch(100).ok());
+  auto boundary = src.NextBatch(100);
+  ASSERT_TRUE(boundary.ok());
+  auto jumped = src.NextBatch(100);
+  ASSERT_TRUE(jumped.ok());
+  // Without spillover the whole boundary batch stays at the old concept.
+  const auto tail = SliceBatch(*boundary, 80, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_GT(vec::EuclideanDistance(tail->Mean(), jumped->Mean()), 8.0);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,72 @@
+#include "core/disorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+/// O(n^2) reference implementation of Eq. 11.
+size_t NaiveInversions(const std::vector<double>& v) {
+  size_t count = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = i + 1; j < v.size(); ++j) {
+      if (v[i] > v[j]) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(DisorderTest, SortedHasZeroInversions) {
+  EXPECT_EQ(InversionCount({1, 2, 3, 4, 5}), 0u);
+  EXPECT_DOUBLE_EQ(NormalizedDisorder({1, 2, 3, 4, 5}), 0.0);
+}
+
+TEST(DisorderTest, ReversedHasMaximumInversions) {
+  EXPECT_EQ(InversionCount({5, 4, 3, 2, 1}), 10u);
+  EXPECT_DOUBLE_EQ(NormalizedDisorder({5, 4, 3, 2, 1}), 1.0);
+}
+
+TEST(DisorderTest, KnownSmallCases) {
+  EXPECT_EQ(InversionCount({2, 1}), 1u);
+  EXPECT_EQ(InversionCount({2, 1, 3}), 1u);
+  EXPECT_EQ(InversionCount({3, 1, 2}), 2u);
+  EXPECT_EQ(InversionCount({1, 3, 2, 4}), 1u);
+}
+
+TEST(DisorderTest, TiesAreNotInversions) {
+  EXPECT_EQ(InversionCount({1, 1, 1}), 0u);
+  EXPECT_EQ(InversionCount({2, 2, 1}), 2u);
+}
+
+TEST(DisorderTest, DegenerateSizes) {
+  EXPECT_EQ(InversionCount({}), 0u);
+  EXPECT_EQ(InversionCount({7}), 0u);
+  EXPECT_DOUBLE_EQ(NormalizedDisorder({}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedDisorder({7}), 0.0);
+}
+
+TEST(DisorderTest, MatchesNaiveOnRandomInputs) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.NextBelow(60);
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.Gaussian(0, 1);
+    EXPECT_EQ(InversionCount(v), NaiveInversions(v));
+  }
+}
+
+TEST(DisorderTest, NormalizedIsInUnitInterval) {
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(30);
+    for (auto& x : v) x = rng.NextDouble();
+    const double d = NormalizedDisorder(v);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace freeway

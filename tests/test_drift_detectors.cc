@@ -1,0 +1,130 @@
+#include "detectors/drift_detectors.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+/// Feeds a Bernoulli error stream at `rate` for `n` samples; returns the
+/// number of drift signals raised.
+size_t FeedErrors(DriftDetector* detector, double rate, size_t n, Rng* rng,
+                  size_t* warnings = nullptr) {
+  size_t drifts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const DriftState state =
+        detector->Add(rng->Bernoulli(rate) ? 1.0 : 0.0);
+    if (state == DriftState::kDrift) ++drifts;
+    if (warnings != nullptr && state == DriftState::kWarning) ++*warnings;
+  }
+  return drifts;
+}
+
+class DetectorByName : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(All, DetectorByName,
+                         ::testing::Values("DDM", "EDDM", "PageHinkley",
+                                           "ADWIN"));
+
+TEST_P(DetectorByName, FactoryBuildsAndNameMatches) {
+  auto detector = MakeDriftDetector(GetParam());
+  ASSERT_NE(detector, nullptr);
+  EXPECT_EQ(detector->name(), GetParam());
+}
+
+TEST_P(DetectorByName, StableStreamRaisesNoOrFewDrifts) {
+  auto detector = MakeDriftDetector(GetParam());
+  Rng rng(7);
+  const size_t drifts = FeedErrors(detector.get(), 0.10, 3000, &rng);
+  // A constant error rate must not look like concept drift.
+  EXPECT_LE(drifts, 1u) << GetParam();
+}
+
+TEST_P(DetectorByName, ErrorSurgeIsDetected) {
+  auto detector = MakeDriftDetector(GetParam());
+  Rng rng(9);
+  // EDDM in particular is known to be trigger-happy at low error rates;
+  // tolerate a stray pre-change signal, the claim under test is the surge.
+  EXPECT_LE(FeedErrors(detector.get(), 0.05, 1500, &rng), 1u) << GetParam();
+  // Error rate jumps 0.05 -> 0.6: every detector must fire within 1500
+  // post-change samples.
+  const size_t drifts = FeedErrors(detector.get(), 0.60, 1500, &rng);
+  EXPECT_GE(drifts, 1u) << GetParam();
+}
+
+TEST_P(DetectorByName, ResetsAfterDriftAndKeepsWorking) {
+  auto detector = MakeDriftDetector(GetParam());
+  Rng rng(11);
+  FeedErrors(detector.get(), 0.05, 1200, &rng);
+  FeedErrors(detector.get(), 0.70, 1200, &rng);  // Triggers + self-resets.
+  // A fresh stable regime must again be quiet...
+  EXPECT_LE(FeedErrors(detector.get(), 0.05, 1500, &rng), 1u) << GetParam();
+  // ...and a second surge must again be caught.
+  EXPECT_GE(FeedErrors(detector.get(), 0.70, 1500, &rng), 1u) << GetParam();
+}
+
+TEST(DdmTest, WarningPrecedesOrAccompaniesDrift) {
+  DdmDetector detector;
+  Rng rng(13);
+  size_t warnings = 0;
+  FeedErrors(&detector, 0.05, 1000, &rng, &warnings);
+  const size_t stable_warnings = warnings;
+  FeedErrors(&detector, 0.40, 1000, &rng, &warnings);
+  EXPECT_GE(warnings, stable_warnings);
+}
+
+TEST(PageHinkleyTest, GradualDriftDetected) {
+  PageHinkleyDetector detector(0.005, 25.0);
+  Rng rng(17);
+  size_t drifts = 0;
+  double rate = 0.05;
+  for (int i = 0; i < 6000; ++i) {
+    rate = std::min(0.6, rate + 0.0002);  // Slow ramp.
+    if (detector.Add(rng.Bernoulli(rate) ? 1.0 : 0.0) ==
+        DriftState::kDrift) {
+      ++drifts;
+    }
+  }
+  EXPECT_GE(drifts, 1u);
+}
+
+TEST(AdwinTest, WindowShrinksOnDrift) {
+  AdwinDetector detector(0.002, 4096, 32);
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    detector.Add(rng.Bernoulli(0.05) ? 1.0 : 0.0);
+  }
+  const size_t before = detector.window_size();
+  size_t drifts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (detector.Add(rng.Bernoulli(0.7) ? 1.0 : 0.0) == DriftState::kDrift) {
+      ++drifts;
+    }
+  }
+  EXPECT_GE(drifts, 1u);
+  // After the cut the window holds (mostly) post-change data.
+  EXPECT_LT(detector.window_size(), before + 2000);
+}
+
+TEST(AdwinTest, WindowIsBounded) {
+  AdwinDetector detector(0.002, /*max_window=*/256, 32);
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    detector.Add(rng.Bernoulli(0.1) ? 1.0 : 0.0);
+  }
+  EXPECT_LE(detector.window_size(), 256u);
+}
+
+TEST(DriftStateTest, Names) {
+  EXPECT_STREQ(DriftStateName(DriftState::kStable), "stable");
+  EXPECT_STREQ(DriftStateName(DriftState::kWarning), "warning");
+  EXPECT_STREQ(DriftStateName(DriftState::kDrift), "drift");
+}
+
+TEST(FactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeDriftDetector("NoSuchDetector"), nullptr);
+}
+
+}  // namespace
+}  // namespace freeway

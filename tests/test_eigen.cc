@@ -1,0 +1,107 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix m = Matrix::FromData(3, 3, {3, 0, 0, 0, 1, 0, 0, 0, 2}).value();
+  auto eig = SymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig->values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/(1,-1).
+  Matrix m = Matrix::FromData(2, 2, {2, 1, 1, 2}).value();
+  auto eig = SymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+  const double v0x = eig->vectors.At(0, 0);
+  const double v0y = eig->vectors.At(1, 0);
+  EXPECT_NEAR(std::fabs(v0x), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v0x, v0y, 1e-8);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  Matrix m(2, 3);
+  EXPECT_FALSE(SymmetricEigen(m).ok());
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix m = Matrix::FromData(2, 2, {1, 5, -5, 1}).value();
+  auto eig = SymmetricEigen(m);
+  ASSERT_FALSE(eig.ok());
+  EXPECT_EQ(eig.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(13);
+  const size_t n = 8;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Gaussian(0.0, 1.0);
+      m.At(i, j) = v;
+      m.At(j, i) = v;
+    }
+  }
+  auto eig = SymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+
+  // Eigenvalues descending.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(eig->values[i], eig->values[i + 1] - 1e-12);
+  }
+
+  // V D V^T reconstructs M.
+  Matrix d(n, n);
+  for (size_t i = 0; i < n; ++i) d.At(i, i) = eig->values[i];
+  Matrix recon = eig->vectors.MatMul(d).MatMulTranspose(eig->vectors);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(recon.At(i, j), m.At(i, j), 1e-8);
+    }
+  }
+
+  // Eigenvectors orthonormal: V^T V = I.
+  Matrix vtv = eig->vectors.TransposeMatMul(eig->vectors);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(vtv.At(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(EigenTest, EigenpairsSatisfyDefinition) {
+  Rng rng(29);
+  const size_t n = 6;
+  // Positive semidefinite matrix A = B^T B.
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) b.At(i, j) = rng.Gaussian(0.0, 1.0);
+  }
+  Matrix a = b.TransposeMatMul(b);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_GE(eig->values[k], -1e-9);  // PSD: all non-negative.
+    // A v = lambda v.
+    for (size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (size_t j = 0; j < n; ++j) av += a.At(i, j) * eig->vectors.At(j, k);
+      EXPECT_NEAR(av, eig->values[k] * eig->vectors.At(i, k), 1e-8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "data/synthetic.h"
+#include "eval/perf.h"
+#include "eval/prequential.h"
+#include "eval/report.h"
+
+namespace freeway {
+namespace {
+
+TEST(PrequentialMetricsTest, GAccIsMeanOfBatchAccuracies) {
+  PrequentialResult r;
+  r.batch_accuracies = {0.8, 0.9, 1.0};
+  FinalizePrequentialMetrics(&r);
+  EXPECT_NEAR(r.g_acc, 0.9, 1e-12);
+}
+
+TEST(PrequentialMetricsTest, StabilityIndexFormula) {
+  PrequentialResult r;
+  r.batch_accuracies = {0.8, 0.9, 1.0};
+  FinalizePrequentialMetrics(&r);
+  const double mean = 0.9;
+  const double sd = std::sqrt((0.01 + 0.0 + 0.01) / 3.0);
+  EXPECT_NEAR(r.stability_index, std::exp(-sd / mean), 1e-12);
+}
+
+TEST(PrequentialMetricsTest, ConstantAccuracyGivesPerfectStability) {
+  PrequentialResult r;
+  r.batch_accuracies = {0.85, 0.85, 0.85, 0.85};
+  FinalizePrequentialMetrics(&r);
+  EXPECT_NEAR(r.stability_index, 1.0, 1e-12);
+}
+
+TEST(PrequentialMetricsTest, MoreVolatileStreamScoresLowerSi) {
+  PrequentialResult stable, shaky;
+  stable.batch_accuracies = {0.80, 0.82, 0.81, 0.80};
+  shaky.batch_accuracies = {0.95, 0.55, 0.95, 0.55};
+  FinalizePrequentialMetrics(&stable);
+  FinalizePrequentialMetrics(&shaky);
+  EXPECT_GT(stable.stability_index, shaky.stability_index);
+}
+
+TEST(PrequentialMetricsTest, EmptyResultSafe) {
+  PrequentialResult r;
+  FinalizePrequentialMetrics(&r);
+  EXPECT_DOUBLE_EQ(r.g_acc, 0.0);
+  EXPECT_DOUBLE_EQ(r.stability_index, 0.0);
+}
+
+TEST(PrequentialMetricsTest, PerPatternBuckets) {
+  PrequentialResult r;
+  r.batch_accuracies = {0.9, 0.5, 0.7, 0.8};
+  r.batch_kinds = {DriftKind::kDirectional, DriftKind::kSudden,
+                   DriftKind::kReoccurring, DriftKind::kLocalized};
+  r.shift_events = {false, true, true, false};
+  FinalizePrequentialMetrics(&r);
+  EXPECT_EQ(r.per_pattern.slight_batches, 2u);
+  EXPECT_NEAR(r.per_pattern.slight, 0.85, 1e-12);
+  EXPECT_EQ(r.per_pattern.sudden_batches, 1u);
+  EXPECT_NEAR(r.per_pattern.sudden, 0.5, 1e-12);
+  EXPECT_EQ(r.per_pattern.reoccurring_batches, 1u);
+  EXPECT_NEAR(r.per_pattern.reoccurring, 0.7, 1e-12);
+}
+
+TEST(RunPrequentialTest, EndToEndOnHyperplane) {
+  auto learner = MakeSystem("Plain", ModelKind::kMlp, 10, 2);
+  ASSERT_TRUE(learner.ok());
+  HyperplaneSource source;
+  PrequentialOptions opts;
+  opts.num_batches = 30;
+  opts.batch_size = 128;
+  opts.warmup_batches = 5;
+  auto result = RunPrequential(learner->get(), &source, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch_accuracies.size(), 25u);
+  EXPECT_GT(result->g_acc, 0.6);  // Learns well above chance.
+  EXPECT_GT(result->stability_index, 0.5);
+  EXPECT_LE(result->stability_index, 1.0);
+}
+
+TEST(RunPrequentialTest, NullArgsRejected) {
+  HyperplaneSource source;
+  EXPECT_FALSE(RunPrequential(nullptr, &source, {}).ok());
+  auto learner = MakeSystem("Plain", ModelKind::kMlp, 10, 2);
+  EXPECT_FALSE(RunPrequential(learner->get(), nullptr, {}).ok());
+}
+
+TEST(PerfTest, LatencyMeasurementPositive) {
+  auto learner = MakeSystem("Plain", ModelKind::kLogisticRegression, 10, 2);
+  ASSERT_TRUE(learner.ok());
+  HyperplaneSource source;
+  PerfOptions opts;
+  opts.batch_size = 256;
+  opts.measure_batches = 5;
+  opts.warmup_batches = 2;
+  auto lat = MeasureLatency(learner->get(), &source, opts);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_GT(lat->infer_micros, 0.0);
+  EXPECT_GT(lat->update_micros, 0.0);
+}
+
+TEST(PerfTest, ThroughputMeasurementPositive) {
+  auto learner = MakeSystem("Plain", ModelKind::kLogisticRegression, 10, 2);
+  ASSERT_TRUE(learner.ok());
+  HyperplaneSource source;
+  PerfOptions opts;
+  opts.batch_size = 256;
+  opts.measure_batches = 5;
+  opts.warmup_batches = 2;
+  auto tput = MeasureThroughput(learner->get(), &source, opts);
+  ASSERT_TRUE(tput.ok());
+  EXPECT_GT(tput.value(), 0.0);
+}
+
+TEST(TablePrinterTest, FormatsAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "23456"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 23456 |"), std::string::npos);
+}
+
+TEST(SeriesPrinterTest, AlignsUnevenSeries) {
+  SeriesPrinter series("batch");
+  series.AddSeries("a", {0.5, 0.6});
+  series.AddSeries("b", {0.7});
+  const std::string out = series.ToString(2);
+  EXPECT_NE(out.find("batch,a,b"), std::string::npos);
+  EXPECT_NE(out.find("0,0.50,0.70"), std::string::npos);
+  EXPECT_NE(out.find("1,0.60,-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,79 @@
+#include "core/exp_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+Batch SimpleBatch(size_t n, size_t dim, double fill, int label,
+                  int64_t index) {
+  Batch b;
+  b.index = index;
+  b.features = Matrix(n, dim, fill);
+  b.labels.assign(n, label);
+  return b;
+}
+
+TEST(ExpBufferTest, StartsEmpty) {
+  ExpBuffer buffer(16);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.Snapshot().ok());
+}
+
+TEST(ExpBufferTest, AddAndSnapshot) {
+  ExpBuffer buffer(16);
+  ASSERT_TRUE(buffer.Add(SimpleBatch(4, 3, 1.0, 2, 0)).ok());
+  EXPECT_EQ(buffer.size(), 4u);
+  auto snap = buffer.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), 4u);
+  EXPECT_EQ(snap->dim(), 3u);
+  EXPECT_EQ(snap->labels, (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(ExpBufferTest, CapacityKeepsNewest) {
+  ExpBuffer buffer(6);
+  ASSERT_TRUE(buffer.Add(SimpleBatch(4, 2, 1.0, 0, 0)).ok());
+  ASSERT_TRUE(buffer.Add(SimpleBatch(4, 2, 2.0, 1, 1)).ok());
+  EXPECT_EQ(buffer.size(), 6u);
+  auto snap = buffer.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  // Oldest two samples (fill 1.0, label 0) displaced.
+  EXPECT_EQ(snap->labels, (std::vector<int>{0, 0, 1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(snap->features.At(5, 0), 2.0);
+}
+
+TEST(ExpBufferTest, RejectsUnlabeledAndDimMismatch) {
+  ExpBuffer buffer(16);
+  Batch unlabeled;
+  unlabeled.features = Matrix(2, 3);
+  EXPECT_FALSE(buffer.Add(unlabeled).ok());
+
+  ASSERT_TRUE(buffer.Add(SimpleBatch(2, 3, 0.0, 0, 0)).ok());
+  EXPECT_FALSE(buffer.Add(SimpleBatch(2, 4, 0.0, 0, 1)).ok());
+}
+
+TEST(ExpBufferTest, ExpirationByAge) {
+  ExpBuffer buffer(100, /*max_age_batches=*/3);
+  ASSERT_TRUE(buffer.Add(SimpleBatch(2, 2, 1.0, 0, 0)).ok());
+  ASSERT_TRUE(buffer.Add(SimpleBatch(2, 2, 2.0, 1, 1)).ok());
+  EXPECT_EQ(buffer.size(), 4u);
+  // Batch index 4: samples from batch 0 (age 4 > 3) expire; batch 1
+  // (age 3) survives.
+  ASSERT_TRUE(buffer.Add(SimpleBatch(2, 2, 3.0, 0, 4)).ok());
+  auto snap = buffer.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), 4u);  // Batch-0 pair gone; batches 1 and 4 remain.
+  EXPECT_EQ(snap->labels, (std::vector<int>{1, 1, 0, 0}));
+}
+
+TEST(ExpBufferTest, NoExpirationWhenDisabled) {
+  ExpBuffer buffer(100, /*max_age_batches=*/0);
+  ASSERT_TRUE(buffer.Add(SimpleBatch(2, 2, 1.0, 0, 0)).ok());
+  ASSERT_TRUE(buffer.Add(SimpleBatch(2, 2, 2.0, 1, 1000)).ok());
+  EXPECT_EQ(buffer.size(), 4u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,267 @@
+#include "core/granularity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+Batch LabeledBatch(double center, size_t n, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(n, 2);
+  b.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    b.labels[i] = label;
+    b.features.At(i, 0) = center + rng.Gaussian(label == 0 ? -1.5 : 1.5, 0.5);
+    b.features.At(i, 1) = rng.Gaussian(label == 0 ? 1.0 : -1.0, 0.5);
+  }
+  return b;
+}
+
+MultiGranularityOptions SmallOptions() {
+  MultiGranularityOptions opts;
+  opts.long_window_batches = {4};
+  return opts;
+}
+
+TEST(GranularityTest, RejectsUnlabeledTraining) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityEnsemble ensemble(*proto, SmallOptions());
+  Batch unlabeled;
+  unlabeled.features = Matrix(4, 2);
+  EXPECT_FALSE(ensemble.Train(unlabeled).ok());
+}
+
+TEST(GranularityTest, ShortModelUpdatesEveryBatchLongOnRollover) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityEnsemble ensemble(*proto, SmallOptions());
+
+  const auto long_before = ensemble.long_model(0)->GetParameters();
+  size_t rollovers = 0;
+  for (int b = 0; b < 3; ++b) {
+    auto report = ensemble.Train(LabeledBatch(0.0, 64, b, b));
+    ASSERT_TRUE(report.ok());
+    rollovers += report->rollovers.size();
+    // Short model changed on the very first batch.
+    if (b == 0) {
+      EXPECT_NE(ensemble.short_model()->GetParameters(),
+                proto->GetParameters());
+    }
+  }
+  EXPECT_EQ(rollovers, 0u);
+  EXPECT_EQ(ensemble.long_model(0)->GetParameters(), long_before);
+
+  // Fourth batch fills the 4-batch window: long model updates.
+  auto report = ensemble.Train(LabeledBatch(0.0, 64, 3, 3));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->rollovers.size(), 1u);
+  EXPECT_EQ(report->rollovers[0].model_index, 0u);
+  EXPECT_FALSE(report->rollovers[0].window_centroid.empty());
+  EXPECT_NE(ensemble.long_model(0)->GetParameters(), long_before);
+}
+
+TEST(GranularityTest, PredictProbaRowsSumToOne) {
+  auto proto = MakeMlp(2, 2);
+  MultiGranularityEnsemble ensemble(*proto, SmallOptions());
+  for (int b = 0; b < 6; ++b) {
+    ASSERT_TRUE(ensemble.Train(LabeledBatch(0.0, 64, b, b)).ok());
+  }
+  Batch query = LabeledBatch(0.0, 32, 99, 99);
+  auto proba = ensemble.PredictProba(query.features);
+  ASSERT_TRUE(proba.ok());
+  for (size_t i = 0; i < proba->rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < proba->cols(); ++j) {
+      EXPECT_GE(proba->At(i, j), -1e-12);
+      sum += proba->At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GranularityTest, WeightsFavorNearbyModel) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityOptions opts = SmallOptions();
+  opts.long_window_batches = {8};
+  MultiGranularityEnsemble ensemble(*proto, opts);
+
+  // Long window accumulates around center 0; the latest short update is at
+  // center 6. A query at 6 is near the short model's data and far from the
+  // window centroid.
+  for (int b = 0; b < 6; ++b) {
+    ASSERT_TRUE(ensemble.Train(LabeledBatch(0.0, 64, b, b)).ok());
+  }
+  ASSERT_TRUE(ensemble.Train(LabeledBatch(6.0, 64, 50, 6)).ok());
+
+  Batch near_short = LabeledBatch(6.0, 32, 51, 7);
+  ASSERT_TRUE(ensemble.PredictProba(near_short.features).ok());
+  const auto& weights = ensemble.last_weights();
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights[0], weights[1]);  // Short model dominates.
+
+  const auto& distances = ensemble.last_distances();
+  EXPECT_LT(distances[0], distances[1]);
+}
+
+TEST(GranularityTest, EnsembleLearnsStream) {
+  auto proto = MakeMlp(2, 2);
+  MultiGranularityEnsemble ensemble(*proto, SmallOptions());
+  double last_acc = 0.0;
+  for (int b = 0; b < 20; ++b) {
+    Batch batch = LabeledBatch(0.0, 128, 200 + b, b);
+    if (b >= 15) {
+      auto proba = ensemble.PredictProba(batch.features);
+      ASSERT_TRUE(proba.ok());
+      size_t hits = 0;
+      for (size_t i = 0; i < proba->rows(); ++i) {
+        const int pred = proba->At(i, 0) > proba->At(i, 1) ? 0 : 1;
+        if (pred == batch.labels[i]) ++hits;
+      }
+      last_acc = static_cast<double>(hits) / static_cast<double>(batch.size());
+    }
+    ASSERT_TRUE(ensemble.Train(batch).ok());
+  }
+  EXPECT_GT(last_acc, 0.9);
+}
+
+TEST(GranularityTest, MultipleLongModels) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityOptions opts;
+  opts.long_window_batches = {2, 4};
+  MultiGranularityEnsemble ensemble(*proto, opts);
+  EXPECT_EQ(ensemble.num_long_models(), 2u);
+
+  size_t rollovers_fast = 0, rollovers_slow = 0;
+  for (int b = 0; b < 8; ++b) {
+    auto report = ensemble.Train(LabeledBatch(0.0, 32, b, b));
+    ASSERT_TRUE(report.ok());
+    for (const auto& r : report->rollovers) {
+      if (r.model_index == 0) ++rollovers_fast;
+      if (r.model_index == 1) ++rollovers_slow;
+    }
+  }
+  EXPECT_GT(rollovers_fast, rollovers_slow);
+  ASSERT_TRUE(
+      ensemble.PredictProba(LabeledBatch(0.0, 8, 99, 9).features).ok());
+  EXPECT_EQ(ensemble.last_weights().size(), 3u);
+}
+
+TEST(GranularityTest, FixedKernelSigmaRespected) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityOptions opts = SmallOptions();
+  opts.kernel_sigma = 0.5;
+  MultiGranularityEnsemble ensemble(*proto, opts);
+  ASSERT_TRUE(ensemble.Train(LabeledBatch(0.0, 64, 1, 0)).ok());
+  ASSERT_TRUE(
+      ensemble.PredictProba(LabeledBatch(0.0, 16, 2, 1).features).ok());
+  double sum = 0.0;
+  for (double w : ensemble.last_weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: precompute & async update modes -------------------------
+
+namespace freeway {
+namespace {
+
+TEST(GranularityTest, PrecomputeModeUpdatesLongModelAtRollover) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityOptions opts = SmallOptions();
+  opts.use_precompute = true;
+  MultiGranularityEnsemble ensemble(*proto, opts);
+
+  const auto before = ensemble.long_model(0)->GetParameters();
+  size_t rollovers = 0;
+  for (int b = 0; b < 4; ++b) {
+    auto report = ensemble.Train(LabeledBatch(0.0, 64, b, b));
+    ASSERT_TRUE(report.ok());
+    rollovers += report->rollovers.size();
+  }
+  EXPECT_EQ(rollovers, 1u);
+  // The aggregated pre-computed step moved the long model.
+  EXPECT_NE(ensemble.long_model(0)->GetParameters(), before);
+}
+
+TEST(GranularityTest, PrecomputeLearnsComparablyToReplay) {
+  auto proto = MakeMlp(2, 2);
+  MultiGranularityOptions replay_opts = SmallOptions();
+  MultiGranularityOptions precompute_opts = SmallOptions();
+  precompute_opts.use_precompute = true;
+
+  for (const auto* opts : {&replay_opts, &precompute_opts}) {
+    MultiGranularityEnsemble ensemble(*proto, *opts);
+    for (int b = 0; b < 16; ++b) {
+      ASSERT_TRUE(ensemble.Train(LabeledBatch(0.0, 128, 300 + b, b)).ok());
+    }
+    Batch test = LabeledBatch(0.0, 256, 999, 17);
+    auto proba = ensemble.PredictProba(test.features);
+    ASSERT_TRUE(proba.ok());
+    size_t hits = 0;
+    for (size_t i = 0; i < proba->rows(); ++i) {
+      const int pred = proba->At(i, 0) > proba->At(i, 1) ? 0 : 1;
+      if (pred == test.labels[i]) ++hits;
+    }
+    EXPECT_GT(static_cast<double>(hits) / static_cast<double>(test.size()),
+              0.85)
+        << (opts->use_precompute ? "precompute" : "replay");
+  }
+}
+
+TEST(GranularityTest, AsyncUpdatesLandAndLearn) {
+  auto proto = MakeMlp(2, 2);
+  MultiGranularityOptions opts = SmallOptions();
+  opts.async_long_updates = true;
+  MultiGranularityEnsemble ensemble(*proto, opts);
+
+  const auto before = ensemble.long_model(0)->GetParameters();
+  for (int b = 0; b < 20; ++b) {
+    ASSERT_TRUE(ensemble.Train(LabeledBatch(0.0, 128, 400 + b, b)).ok());
+    // Inference interleaves with in-flight updates without tearing.
+    Batch probe = LabeledBatch(0.0, 16, 500 + b, b);
+    ASSERT_TRUE(ensemble.PredictProba(probe.features).ok());
+  }
+  ensemble.WaitForAsyncUpdates();
+  EXPECT_NE(ensemble.LongModelParameters(0), before);
+
+  // After the updates land, the ensemble predicts the stream well.
+  Batch test = LabeledBatch(0.0, 256, 998, 21);
+  auto proba = ensemble.PredictProba(test.features);
+  ASSERT_TRUE(proba.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < proba->rows(); ++i) {
+    const int pred = proba->At(i, 0) > proba->At(i, 1) ? 0 : 1;
+    if (pred == test.labels[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(test.size()),
+            0.85);
+}
+
+TEST(GranularityTest, AsyncReportsPreviousUpdateLoss) {
+  auto proto = MakeLogisticRegression(2, 2);
+  MultiGranularityOptions opts = SmallOptions();
+  opts.async_long_updates = true;
+  MultiGranularityEnsemble ensemble(*proto, opts);
+
+  std::vector<double> losses;
+  for (int b = 0; b < 12; ++b) {
+    auto report = ensemble.Train(LabeledBatch(0.0, 64, 600 + b, b));
+    ASSERT_TRUE(report.ok());
+    for (const auto& rollover : report->rollovers) {
+      losses.push_back(rollover.long_loss);
+    }
+  }
+  ensemble.WaitForAsyncUpdates();
+  ASSERT_GE(losses.size(), 2u);
+  EXPECT_DOUBLE_EQ(losses[0], 0.0);  // First rollover: nothing landed yet.
+  EXPECT_GT(losses[1], 0.0);         // Second reports the first's loss.
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,104 @@
+#include "data/image_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+TEST(ImageStreamTest, ShapesAndLabels) {
+  auto src = MakeAnimalsSim(3);
+  EXPECT_EQ(src->input_dim(), 256u);
+  EXPECT_EQ(src->num_classes(), 8u);
+  EXPECT_EQ(src->shape().height, 16u);
+  auto batch = src->NextBatch(32);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 32u);
+  EXPECT_EQ(batch->dim(), 256u);
+  for (int label : batch->labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 8);
+  }
+}
+
+TEST(ImageStreamTest, Deterministic) {
+  auto a = MakeFlowersSim(9);
+  auto b = MakeFlowersSim(9);
+  auto ba = a->NextBatch(16);
+  auto bb = b->NextBatch(16);
+  ASSERT_TRUE(ba.ok() && bb.ok());
+  EXPECT_EQ(ba->labels, bb->labels);
+  EXPECT_DOUBLE_EQ(ba->features.At(3, 100), bb->features.At(3, 100));
+}
+
+TEST(ImageStreamTest, ClassesAreLearnableByCnn) {
+  // A CNN should separate the class-specific gratings well above chance.
+  ImageStreamOptions opts;
+  opts.num_classes = 3;
+  opts.noise_sigma = 0.1;
+  DriftScript script;
+  DriftSegment seg;
+  seg.kind = DriftKind::kStationary;
+  seg.num_batches = 1000;
+  script.segments = {seg};
+  ImageStreamSource src("learnable", opts, script);
+
+  ModelConfig config;
+  config.learning_rate = 0.03;
+  auto model = MakeImageCnn({1, 16, 16}, 3, config);
+  for (int b = 0; b < 25; ++b) {
+    auto batch = src.NextBatch(64);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(model->TrainBatch(batch->features, batch->labels).ok());
+  }
+  auto test = src.NextBatch(256);
+  ASSERT_TRUE(test.ok());
+  auto acc = Accuracy(model.get(), test->features, test->labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(acc.value(), 0.7);
+}
+
+TEST(ImageStreamTest, SuddenEventChangesTextures) {
+  ImageStreamOptions opts;
+  opts.num_classes = 2;
+  opts.noise_sigma = 0.0;
+  DriftScript script;
+  DriftSegment calm;
+  calm.kind = DriftKind::kStationary;
+  calm.num_batches = 2;
+  DriftSegment jump;
+  jump.kind = DriftKind::kSudden;
+  jump.num_batches = 2;
+  script.segments = {calm, jump};
+  ImageStreamSource src("sudden", opts, script);
+
+  auto before = src.NextBatch(128);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(src.NextBatch(128).ok());
+  auto after = src.NextBatch(128);  // First sudden batch.
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(src.LastBatchMeta().shift_event);
+
+  // Mean image (per class) changes substantially across the jump.
+  const double d = vec::EuclideanDistance(before->Mean(), after->Mean());
+  EXPECT_GT(d, 0.5);
+}
+
+TEST(ImageStreamTest, MetaAnnotationsFollowScript) {
+  auto src = MakeAnimalsSim(5);
+  size_t sudden = 0, reoccurring = 0;
+  for (int b = 0; b < 80; ++b) {
+    ASSERT_TRUE(src->NextBatch(8).ok());
+    const BatchMeta& meta = src->LastBatchMeta();
+    if (meta.shift_event && meta.segment_kind == DriftKind::kSudden) ++sudden;
+    if (meta.shift_event && meta.segment_kind == DriftKind::kReoccurring) {
+      ++reoccurring;
+    }
+  }
+  EXPECT_GT(sudden, 0u);
+  EXPECT_GT(reoccurring, 0u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,106 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+/// Three tight, well-separated blobs of `per` points each.
+Matrix ThreeBlobs(size_t per, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(per * 3, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      m.At(c * per + i, 0) = rng.Gaussian(centers[c][0], 0.3);
+      m.At(c * per + i, 1) = rng.Gaussian(centers[c][1], 0.3);
+    }
+  }
+  return m;
+}
+
+TEST(KMeansTest, ValidatesArguments) {
+  Matrix pts(5, 2);
+  EXPECT_FALSE(KMeans(pts, 0).ok());
+  EXPECT_FALSE(KMeans(pts, 6).ok());
+  EXPECT_FALSE(KMeans(Matrix(0, 2), 1).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Matrix pts = ThreeBlobs(50, 7);
+  auto result = KMeans(pts, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments.size(), 150u);
+
+  // All points of one blob share a cluster, and blobs get distinct clusters.
+  std::set<int> blob_clusters;
+  for (size_t blob = 0; blob < 3; ++blob) {
+    const int first = result->assignments[blob * 50];
+    for (size_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(result->assignments[blob * 50 + i], first);
+    }
+    blob_clusters.insert(first);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+
+  // Centroids land near the true centers.
+  double best_origin = 1e18;
+  for (size_t c = 0; c < 3; ++c) {
+    std::vector<double> zero = {0.0, 0.0};
+    best_origin = std::min(
+        best_origin, vec::EuclideanDistance(result->centroids.Row(c), zero));
+  }
+  EXPECT_LT(best_origin, 0.5);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Matrix pts = ThreeBlobs(40, 11);
+  auto k1 = KMeans(pts, 1);
+  auto k3 = KMeans(pts, 3);
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k3.ok());
+  EXPECT_LT(k3->inertia, k1->inertia * 0.2);
+}
+
+TEST(KMeansTest, DeterministicUnderSeed) {
+  Matrix pts = ThreeBlobs(30, 3);
+  KMeansOptions opts;
+  opts.seed = 5;
+  auto a = KMeans(pts, 3, opts);
+  auto b = KMeans(pts, 3, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, KEqualsNPutsOnePointPerCluster) {
+  Matrix pts = Matrix::FromData(3, 1, {0.0, 5.0, 10.0}).value();
+  auto result = KMeans(pts, 3);
+  ASSERT_TRUE(result.ok());
+  std::set<int> distinct(result->assignments.begin(),
+                         result->assignments.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  // All identical points: must terminate and produce zero inertia.
+  Matrix pts(20, 2);
+  pts.Fill(1.0);
+  auto result = KMeans(pts, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+}
+
+TEST(AssignToCentroidsTest, NearestWins) {
+  Matrix centroids = Matrix::FromData(2, 1, {0.0, 10.0}).value();
+  Matrix pts = Matrix::FromData(4, 1, {-1.0, 3.0, 7.0, 12.0}).value();
+  auto assign = AssignToCentroids(pts, centroids);
+  EXPECT_EQ(assign, (std::vector<int>{0, 0, 1, 1}));
+}
+
+}  // namespace
+}  // namespace freeway

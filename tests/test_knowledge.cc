@@ -1,0 +1,185 @@
+#include "core/knowledge.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+KnowledgeEntry MakeEntry(std::vector<double> rep, size_t param_count,
+                         double param_fill, int64_t index = 0) {
+  KnowledgeEntry e;
+  e.representation = std::move(rep);
+  e.parameters.assign(param_count, param_fill);
+  e.batch_index = index;
+  return e;
+}
+
+TEST(KnowledgeStoreTest, PreserveValidates) {
+  KnowledgeStore store;
+  KnowledgeEntry no_rep;
+  no_rep.parameters = {1.0};
+  EXPECT_FALSE(store.Preserve(no_rep).ok());
+  KnowledgeEntry no_params;
+  no_params.representation = {1.0};
+  EXPECT_FALSE(store.Preserve(no_params).ok());
+  EXPECT_TRUE(store.Preserve(MakeEntry({1.0, 2.0}, 4, 0.5)).ok());
+  EXPECT_EQ(store.hot_count(), 1u);
+}
+
+TEST(KnowledgeStoreTest, NearestMatchFindsClosest) {
+  KnowledgeStore store;
+  ASSERT_TRUE(store.Preserve(MakeEntry({0.0, 0.0}, 2, 1.0)).ok());
+  ASSERT_TRUE(store.Preserve(MakeEntry({10.0, 0.0}, 2, 2.0)).ok());
+  ASSERT_TRUE(store.Preserve(MakeEntry({0.0, 10.0}, 2, 3.0)).ok());
+
+  auto match = store.NearestMatch({9.0, 1.0});
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->entry_index, 1u);
+  EXPECT_NEAR(match->distance, std::sqrt(1.0 + 1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(store.entry(match->entry_index).parameters[0], 2.0);
+}
+
+TEST(KnowledgeStoreTest, EmptyStoreHasNoMatch) {
+  KnowledgeStore store;
+  auto match = store.NearestMatch({1.0});
+  ASSERT_FALSE(match.ok());
+  EXPECT_EQ(match.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KnowledgeStoreTest, DimensionMismatchIgnoredInMatch) {
+  KnowledgeStore store;
+  ASSERT_TRUE(store.Preserve(MakeEntry({1.0, 2.0, 3.0}, 2, 1.0)).ok());
+  EXPECT_FALSE(store.NearestMatch({1.0}).ok());
+}
+
+TEST(KnowledgeStoreTest, OverflowSpillsOldestHalf) {
+  KnowledgeStoreOptions opts;
+  opts.capacity = 4;
+  KnowledgeStore store(opts);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store
+                    .Preserve(MakeEntry({static_cast<double>(i), 0.0}, 3,
+                                        static_cast<double>(i), i))
+                    .ok());
+  }
+  EXPECT_EQ(store.hot_count(), 4u);
+  EXPECT_EQ(store.spilled_count(), 0u);
+
+  // Fifth insert: the oldest 2 are spilled, then the new entry lands.
+  ASSERT_TRUE(store.Preserve(MakeEntry({99.0, 0.0}, 3, 99.0, 4)).ok());
+  EXPECT_EQ(store.hot_count(), 3u);
+  EXPECT_EQ(store.spilled_count(), 2u);
+  EXPECT_GT(store.spilled_bytes(), 0u);
+
+  // Spilled entries no longer match: nearest to {0,0} is now entry index 0
+  // of the surviving hot entries (original index 2).
+  auto match = store.NearestMatch({0.0, 0.0});
+  ASSERT_TRUE(match.ok());
+  EXPECT_DOUBLE_EQ(store.entry(match->entry_index).parameters[0], 2.0);
+}
+
+TEST(KnowledgeStoreTest, SpillToFileWritesBytes) {
+  const std::string path = "/tmp/freeway_knowledge_spill_test.bin";
+  std::remove(path.c_str());
+
+  KnowledgeStoreOptions opts;
+  opts.capacity = 2;
+  opts.spill_path = path;
+  KnowledgeStore store(opts);
+  ASSERT_TRUE(store.Preserve(MakeEntry({1.0}, 8, 1.0)).ok());
+  ASSERT_TRUE(store.Preserve(MakeEntry({2.0}, 8, 2.0)).ok());
+  ASSERT_TRUE(store.Preserve(MakeEntry({3.0}, 8, 3.0)).ok());
+  EXPECT_EQ(store.spilled_count(), 1u);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  // Header (2 x uint64) + 1 rep double + 8 param doubles.
+  EXPECT_EQ(size, 16 + 8 * 9);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeStoreTest, SpaceAccounting) {
+  KnowledgeStore store;
+  ASSERT_TRUE(store.Preserve(MakeEntry({1.0, 2.0}, 10, 0.0)).ok());
+  // 16 header + 8 * (10 params + 2 rep) = 112.
+  EXPECT_EQ(store.HotSpaceBytes(), 112u);
+  ASSERT_TRUE(store.Preserve(MakeEntry({1.0, 2.0}, 10, 0.0)).ok());
+  EXPECT_EQ(store.HotSpaceBytes(), 224u);
+}
+
+TEST(KnowledgeEntryTest, SourceTagsPreserved) {
+  KnowledgeStore store;
+  KnowledgeEntry e = MakeEntry({1.0}, 2, 0.0, 42);
+  e.source = KnowledgeSource::kShortModel;
+  ASSERT_TRUE(store.Preserve(e).ok());
+  EXPECT_EQ(store.entry(0).source, KnowledgeSource::kShortModel);
+  EXPECT_EQ(store.entry(0).batch_index, 42);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: PreserveOrRefresh ---------------------------------------
+
+namespace freeway {
+namespace {
+
+TEST(KnowledgeStoreTest, RefreshOverwritesNearbyEntry) {
+  KnowledgeStore store;
+  ASSERT_TRUE(store.Preserve(MakeEntry({0.0, 0.0}, 2, 1.0, 1)).ok());
+  ASSERT_TRUE(store.Preserve(MakeEntry({5.0, 0.0}, 2, 2.0, 2)).ok());
+
+  // New entry near the first one: refreshed in place, not appended.
+  KnowledgeEntry fresh = MakeEntry({0.1, 0.0}, 2, 9.0, 3);
+  ASSERT_TRUE(store.PreserveOrRefresh(fresh, /*dedup_radius=*/0.5).ok());
+  EXPECT_EQ(store.hot_count(), 2u);
+  EXPECT_EQ(store.refresh_count(), 1u);
+  auto match = store.NearestMatch({0.0, 0.0});
+  ASSERT_TRUE(match.ok());
+  EXPECT_DOUBLE_EQ(store.entry(match->entry_index).parameters[0], 9.0);
+  EXPECT_EQ(store.entry(match->entry_index).batch_index, 3);
+}
+
+TEST(KnowledgeStoreTest, RefreshAppendsWhenDistant) {
+  KnowledgeStore store;
+  ASSERT_TRUE(store.Preserve(MakeEntry({0.0, 0.0}, 2, 1.0)).ok());
+  ASSERT_TRUE(
+      store.PreserveOrRefresh(MakeEntry({9.0, 0.0}, 2, 2.0), 0.5).ok());
+  EXPECT_EQ(store.hot_count(), 2u);
+  EXPECT_EQ(store.refresh_count(), 0u);
+}
+
+TEST(KnowledgeStoreTest, ZeroRadiusDisablesRefresh) {
+  KnowledgeStore store;
+  ASSERT_TRUE(store.Preserve(MakeEntry({0.0}, 2, 1.0)).ok());
+  ASSERT_TRUE(store.PreserveOrRefresh(MakeEntry({0.0}, 2, 2.0), 0.0).ok());
+  EXPECT_EQ(store.hot_count(), 2u);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: entry quality -------------------------------------------
+
+namespace freeway {
+namespace {
+
+TEST(KnowledgeEntryTest, QualityDefaultsToUnknown) {
+  KnowledgeEntry e = MakeEntry({1.0}, 2, 0.0);
+  EXPECT_LT(e.quality, 0.0);
+}
+
+TEST(KnowledgeEntryTest, QualityStoredAndRetrieved) {
+  KnowledgeStore store;
+  KnowledgeEntry e = MakeEntry({1.0}, 2, 0.0);
+  e.quality = 0.87;
+  ASSERT_TRUE(store.Preserve(e).ok());
+  EXPECT_DOUBLE_EQ(store.entry(0).quality, 0.87);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,281 @@
+#include "core/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/concept.h"
+#include "data/simulators.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+LearnerOptions FastOptions() {
+  LearnerOptions opts;
+  opts.base_window_batches = 4;
+  opts.detector.warmup_batches = 3;
+  opts.exp_buffer_capacity = 512;
+  return opts;
+}
+
+TEST(LearnerTest, OptionsMaterializeIntoComponents) {
+  auto proto = MakeLogisticRegression(4, 2);
+  LearnerOptions opts = FastOptions();
+  opts.model_num = 3;
+  opts.alpha = 2.5;
+  opts.kdg_buffer = 10;
+  Learner learner(*proto, opts);
+  EXPECT_EQ(learner.options().granularity.long_window_batches.size(), 2u);
+  EXPECT_EQ(learner.options().granularity.long_window_batches[0], 4u);
+  EXPECT_EQ(learner.options().granularity.long_window_batches[1], 8u);
+  EXPECT_DOUBLE_EQ(learner.options().detector.alpha, 2.5);
+  EXPECT_EQ(learner.options().knowledge.capacity, 10u);
+  EXPECT_EQ(learner.ensemble()->num_long_models(), 2u);
+}
+
+TEST(LearnerTest, RequiresLabeledBatches) {
+  auto proto = MakeLogisticRegression(4, 2);
+  Learner learner(*proto, FastOptions());
+  Batch unlabeled;
+  unlabeled.features = Matrix(8, 4);
+  EXPECT_FALSE(learner.InferThenTrain(unlabeled).ok());
+  EXPECT_FALSE(learner.Train(unlabeled).ok());
+}
+
+TEST(LearnerTest, PrequentialLearningOnStableStream) {
+  ConceptSourceOptions sopts;
+  sopts.dim = 4;
+  sopts.num_classes = 2;
+  sopts.seed = 3;
+  DriftScript script;
+  DriftSegment seg;
+  seg.kind = DriftKind::kStationary;
+  seg.num_batches = 1000;
+  script.segments = {seg};
+  GaussianConceptSource source("stable", sopts, script);
+
+  auto proto = MakeMlp(4, 2);
+  Learner learner(*proto, FastOptions());
+
+  double late_acc = 0.0;
+  size_t late_batches = 0;
+  for (int b = 0; b < 30; ++b) {
+    auto batch = source.NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    auto report = learner.InferThenTrain(*batch);
+    ASSERT_TRUE(report.ok());
+    if (b >= 20) {
+      size_t hits = 0;
+      for (size_t i = 0; i < batch->size(); ++i) {
+        if (report->predictions[i] == batch->labels[i]) ++hits;
+      }
+      late_acc += static_cast<double>(hits) / static_cast<double>(batch->size());
+      ++late_batches;
+    }
+  }
+  EXPECT_GT(late_acc / static_cast<double>(late_batches), 0.85);
+  EXPECT_EQ(learner.stats().batches_inferred, 30u);
+  EXPECT_EQ(learner.stats().batches_trained, 30u);
+  // A stable stream stays in the slight regime -> ensemble inference.
+  EXPECT_GT(learner.stats().ensemble_inferences, 25u);
+}
+
+TEST(LearnerTest, SuddenShiftTriggersCec) {
+  auto source = MakeNslKddSim(7);
+  auto proto = MakeMlp(source->input_dim(), source->num_classes());
+  Learner learner(*proto, FastOptions());
+
+  for (int b = 0; b < 60; ++b) {
+    auto batch = source->NextBatch(256);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  // The NSL-KDD script contains sudden waves: CEC must have fired.
+  EXPECT_GT(learner.stats().sudden_patterns, 0u);
+  EXPECT_GT(learner.stats().cec_inferences, 0u);
+}
+
+TEST(LearnerTest, ReoccurringShiftUsesKnowledge) {
+  auto source = MakeElectricitySim(11);
+  auto proto = MakeLogisticRegression(source->input_dim(),
+                                      source->num_classes());
+  LearnerOptions opts = FastOptions();
+  Learner learner(*proto, opts);
+
+  for (int b = 0; b < 90; ++b) {
+    auto batch = source->NextBatch(256);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  EXPECT_GT(learner.stats().knowledge_preserved, 0u);
+  EXPECT_GT(learner.knowledge().hot_count(), 0u);
+  EXPECT_GT(learner.stats().reoccurring_patterns, 0u);
+}
+
+TEST(LearnerTest, StrategySelectorRunsExactlyOneStrategyPerBatch) {
+  auto source = MakeAirlinesSim(5);
+  auto proto = MakeMlp(source->input_dim(), source->num_classes());
+  Learner learner(*proto, FastOptions());
+  for (int b = 0; b < 40; ++b) {
+    auto batch = source->NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  const LearnerStats& stats = learner.stats();
+  EXPECT_EQ(stats.ensemble_inferences + stats.cec_inferences +
+                stats.knowledge_inferences,
+            stats.batches_inferred);
+}
+
+TEST(LearnerTest, InferOnlyPathWorks) {
+  auto proto = MakeLogisticRegression(4, 2);
+  Learner learner(*proto, FastOptions());
+  Rng rng(1);
+  // Warm up with a few training batches.
+  for (int b = 0; b < 6; ++b) {
+    Batch batch;
+    batch.index = b;
+    batch.features = Matrix(64, 4);
+    batch.labels.resize(64);
+    for (size_t i = 0; i < 64; ++i) {
+      batch.labels[i] = static_cast<int>(rng.NextBelow(2));
+      for (size_t j = 0; j < 4; ++j) {
+        batch.features.At(i, j) = rng.Gaussian(batch.labels[i] * 2.0, 0.5);
+      }
+    }
+    ASSERT_TRUE(learner.Train(batch).ok());
+  }
+  Matrix query(16, 4);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < 4; ++j) query.At(i, j) = rng.Gaussian(0, 1);
+  }
+  auto report = learner.Infer(query);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->predictions.size(), 16u);
+  EXPECT_EQ(report->proba.rows(), 16u);
+}
+
+TEST(LearnerTest, ColdStartCecFallsBackToEnsemble) {
+  // Force a "sudden" classification immediately after warm-up with an empty
+  // experience buffer via an inference-only path: the learner must fall back
+  // to the ensemble rather than fail.
+  auto proto = MakeLogisticRegression(4, 2);
+  LearnerOptions opts = FastOptions();
+  Learner learner(*proto, opts);
+  Rng rng(2);
+  // Warm up the detector with inference-only traffic (never trains, so the
+  // ExpBuffer stays empty).
+  Matrix base(64, 4);
+  for (int b = 0; b < 10; ++b) {
+    for (size_t i = 0; i < 64; ++i) {
+      for (size_t j = 0; j < 4; ++j) base.At(i, j) = rng.Gaussian(0, 0.3);
+    }
+    ASSERT_TRUE(learner.Infer(base).ok());
+  }
+  // Now a massive jump: Pattern B, but no experience -> ensemble fallback.
+  Matrix jumped(64, 4);
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t j = 0; j < 4; ++j) jumped.At(i, j) = rng.Gaussian(50, 0.3);
+  }
+  auto report = learner.Infer(jumped);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->strategy, Strategy::kMultiGranularity);
+}
+
+TEST(LearnerTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kMultiGranularity),
+               "multi-granularity");
+  EXPECT_STREQ(StrategyName(Strategy::kCec), "cec");
+  EXPECT_STREQ(StrategyName(Strategy::kKnowledgeReuse), "knowledge-reuse");
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: selector gates & update-mode plumbing -------------------
+
+namespace freeway {
+namespace {
+
+TEST(LearnerTest, CecPurityGateConfigurable) {
+  // With an impossible purity floor CEC can never answer; every severe
+  // batch falls back to the ensemble or knowledge reuse.
+  auto source = MakeNslKddSim(41);
+  auto proto = MakeMlp(source->input_dim(), source->num_classes());
+  LearnerOptions opts = FastOptions();
+  opts.cec_min_purity = 1.1;
+  Learner learner(*proto, opts);
+  for (int b = 0; b < 50; ++b) {
+    auto batch = source->NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  EXPECT_EQ(learner.stats().cec_inferences, 0u);
+}
+
+TEST(LearnerTest, KnowledgeMatchFactorZeroDisablesReuse) {
+  auto source = MakeElectricitySim(43);
+  auto proto = MakeLogisticRegression(source->input_dim(),
+                                      source->num_classes());
+  LearnerOptions opts = FastOptions();
+  opts.knowledge_match_factor = 0.0;
+  Learner learner(*proto, opts);
+  for (int b = 0; b < 80; ++b) {
+    auto batch = source->NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  EXPECT_EQ(learner.stats().knowledge_inferences, 0u);
+  // Knowledge is still preserved — only reuse is disabled.
+  EXPECT_GT(learner.stats().knowledge_preserved, 0u);
+}
+
+TEST(LearnerTest, KnowledgeRefreshBoundsHotEntries) {
+  // A stream that keeps revisiting the same few concepts must not overflow
+  // the KdgBuffer with duplicates: refresh keeps the hot tier small.
+  auto source = MakeElectricitySim(47);
+  auto proto = MakeLogisticRegression(source->input_dim(),
+                                      source->num_classes());
+  LearnerOptions opts = FastOptions();
+  opts.kdg_buffer = 20;
+  Learner learner(*proto, opts);
+  for (int b = 0; b < 150; ++b) {
+    auto batch = source->NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  EXPECT_GT(learner.knowledge().refresh_count(), 0u);
+  EXPECT_LE(learner.knowledge().hot_count(), 20u);
+}
+
+TEST(LearnerTest, WorksWithAsyncUpdatesEnabled) {
+  auto source = MakeAirlinesSim(49);
+  auto proto = MakeMlp(source->input_dim(), source->num_classes());
+  LearnerOptions opts = FastOptions();
+  opts.granularity.async_long_updates = true;
+  {
+    Learner learner(*proto, opts);
+    for (int b = 0; b < 40; ++b) {
+      auto batch = source->NextBatch(128);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+    }
+    EXPECT_GT(learner.stats().long_model_updates, 0u);
+  }  // Destructor must join in-flight workers without issue.
+}
+
+TEST(LearnerTest, WorksWithPrecomputeEnabled) {
+  auto source = MakeAirlinesSim(51);
+  auto proto = MakeLogisticRegression(source->input_dim(),
+                                      source->num_classes());
+  LearnerOptions opts = FastOptions();
+  opts.granularity.use_precompute = true;
+  Learner learner(*proto, opts);
+  for (int b = 0; b < 40; ++b) {
+    auto batch = source->NextBatch(128);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(learner.InferThenTrain(*batch).ok());
+  }
+  EXPECT_GT(learner.stats().long_model_updates, 0u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,163 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(m.At(i, j), 0.0);
+  }
+
+  Matrix filled(2, 2, 1.5);
+  EXPECT_EQ(filled.At(1, 1), 1.5);
+
+  Matrix empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MatrixTest, FromDataValidatesSize) {
+  auto ok = Matrix::FromData(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->At(0, 1), 2.0);
+  EXPECT_EQ(ok->At(1, 0), 3.0);
+
+  auto bad = Matrix::FromData(2, 2, {1, 2, 3});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAccessAndSetRow) {
+  Matrix m(2, 3);
+  std::vector<double> row = {1.0, 2.0, 3.0};
+  m.SetRow(1, row);
+  EXPECT_EQ(m.At(1, 2), 3.0);
+  auto copied = m.RowVector(1);
+  EXPECT_EQ(copied, row);
+  m.Row(0)[1] = 9.0;
+  EXPECT_EQ(m.At(0, 1), 9.0);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromData(2, 2, {1, 2, 3, 4}).value();
+  Matrix b = Matrix::FromData(2, 2, {10, 20, 30, 40}).value();
+  a.AddInPlace(b);
+  EXPECT_EQ(a.At(1, 1), 44.0);
+  a.SubInPlace(b);
+  EXPECT_EQ(a.At(1, 1), 4.0);
+  a.ScaleInPlace(0.5);
+  EXPECT_EQ(a.At(0, 0), 0.5);
+  a.Axpy(2.0, b);
+  EXPECT_EQ(a.At(0, 1), 1.0 + 40.0);
+  a.Fill(7.0);
+  EXPECT_EQ(a.At(1, 0), 7.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = Matrix::FromData(2, 3, {1, 2, 3, 4, 5, 6}).value();
+  Matrix b = Matrix::FromData(3, 2, {7, 8, 9, 10, 11, 12}).value();
+  Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.At(0, 0), 58.0);
+  EXPECT_EQ(c.At(0, 1), 64.0);
+  EXPECT_EQ(c.At(1, 0), 139.0);
+  EXPECT_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeMatMulMatchesExplicitTranspose) {
+  Matrix a = Matrix::FromData(3, 2, {1, 2, 3, 4, 5, 6}).value();
+  Matrix b = Matrix::FromData(3, 2, {1, 0, 0, 1, 1, 1}).value();
+  Matrix direct = a.TransposeMatMul(b);
+  Matrix expected = a.Transposed().MatMul(b);
+  ASSERT_TRUE(direct.SameShape(expected));
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (size_t j = 0; j < direct.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(direct.At(i, j), expected.At(i, j));
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulTransposeMatchesExplicitTranspose) {
+  Matrix a = Matrix::FromData(2, 3, {1, 2, 3, 4, 5, 6}).value();
+  Matrix b = Matrix::FromData(4, 3, {1, 1, 1, 0, 1, 0, 2, 0, 1, 1, 2, 3})
+                 .value();
+  Matrix direct = a.MatMulTranspose(b);
+  Matrix expected = a.MatMul(b.Transposed());
+  ASSERT_TRUE(direct.SameShape(expected));
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (size_t j = 0; j < direct.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(direct.At(i, j), expected.At(i, j));
+    }
+  }
+}
+
+TEST(MatrixTest, ColumnMean) {
+  Matrix m = Matrix::FromData(2, 3, {1, 2, 3, 3, 4, 5}).value();
+  auto mean = m.ColumnMean();
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+  EXPECT_DOUBLE_EQ(mean[2], 4.0);
+}
+
+TEST(MatrixTest, NormsAndSum) {
+  Matrix m = Matrix::FromData(1, 2, {3, 4}).value();
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 7.0);
+}
+
+TEST(VecTest, DotNormDistance) {
+  std::vector<double> a = {1, 2, 2};
+  std::vector<double> b = {2, 0, 1};
+  EXPECT_DOUBLE_EQ(vec::Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(vec::Norm(a), 3.0);
+  EXPECT_DOUBLE_EQ(vec::SquaredDistance(a, b), 1 + 4 + 1);
+  EXPECT_DOUBLE_EQ(vec::EuclideanDistance(a, b), std::sqrt(6.0));
+}
+
+TEST(VecTest, AxpyAddSubScale) {
+  std::vector<double> a = {1, 1};
+  std::vector<double> b = {2, 3};
+  vec::Axpy(2.0, b, a);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 7.0);
+  auto sum = vec::Add(a, b);
+  EXPECT_DOUBLE_EQ(sum[1], 10.0);
+  auto diff = vec::Sub(a, b);
+  EXPECT_DOUBLE_EQ(diff[0], 3.0);
+  auto scaled = vec::Scale(b, -1.0);
+  EXPECT_DOUBLE_EQ(scaled[0], -2.0);
+}
+
+TEST(GaussianKernelTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(GaussianKernel(0.0, 1.0), 1.0);
+  EXPECT_NEAR(GaussianKernel(1.0, 1.0), std::exp(-0.5), 1e-12);
+  // Monotonically decreasing in distance.
+  EXPECT_GT(GaussianKernel(0.5, 1.0), GaussianKernel(1.0, 1.0));
+  // Wider sigma decays slower.
+  EXPECT_GT(GaussianKernel(1.0, 2.0), GaussianKernel(1.0, 1.0));
+  // Degenerate sigma acts as an indicator.
+  EXPECT_DOUBLE_EQ(GaussianKernel(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianKernel(0.1, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace freeway

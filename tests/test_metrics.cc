@@ -1,0 +1,79 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+TEST(ConfusionMatrixTest, ValidatesInput) {
+  ConfusionMatrix cm(3);
+  EXPECT_FALSE(cm.Add(-1, 0).ok());
+  EXPECT_FALSE(cm.Add(0, 3).ok());
+  EXPECT_FALSE(cm.AddAll({0, 1}, {0}).ok());
+  EXPECT_TRUE(cm.Add(2, 1).ok());
+  EXPECT_EQ(cm.total(), 1u);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  ConfusionMatrix cm(2);
+  ASSERT_TRUE(cm.AddAll({0, 1, 0, 1}, {0, 1, 0, 1}).ok());
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.F1(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.CohensKappa(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownMixedCase) {
+  // truth:      0 0 0 1 1
+  // prediction: 0 0 1 1 0
+  ConfusionMatrix cm(2);
+  ASSERT_TRUE(cm.AddAll({0, 0, 0, 1, 1}, {0, 0, 1, 1, 0}).ok());
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 2.0 / 3.0);  // 2 TP, 1 FP.
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 2.0 / 3.0);     // 2 TP, 1 FN.
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 1.0 / 2.0);
+  EXPECT_EQ(cm.Support(0), 3u);
+  EXPECT_EQ(cm.Support(1), 2u);
+}
+
+TEST(ConfusionMatrixTest, MajorityGuessingHasZeroKappa) {
+  // Truth is 90/10 imbalanced; predictor always says class 0. Accuracy is
+  // high (0.9) but kappa must be 0 — the minority class is never found.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 90; ++i) ASSERT_TRUE(cm.Add(0, 0).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(cm.Add(1, 0).ok());
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.9);
+  EXPECT_NEAR(cm.CohensKappa(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(1), 0.0);
+  EXPECT_LT(cm.MacroF1(), 0.5);  // Macro-F1 exposes the failure.
+}
+
+TEST(ConfusionMatrixTest, NeverPredictedClassHasZeroPrecision) {
+  ConfusionMatrix cm(3);
+  ASSERT_TRUE(cm.AddAll({0, 1, 2}, {0, 1, 1}).ok());
+  EXPECT_DOUBLE_EQ(cm.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixSafe) {
+  ConfusionMatrix cm(4);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.CohensKappa(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ReportContainsSummary) {
+  ConfusionMatrix cm(2);
+  ASSERT_TRUE(cm.AddAll({0, 1}, {0, 1}).ok());
+  const std::string report = cm.ToString();
+  EXPECT_NE(report.find("macro-F1"), std::string::npos);
+  EXPECT_NE(report.find("kappa"), std::string::npos);
+  EXPECT_NE(report.find("support"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,136 @@
+#include "ml/models.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/feature_extractor.h"
+#include "ml/optimizer.h"
+
+namespace freeway {
+namespace {
+
+TEST(ModelsTest, LogisticRegressionShape) {
+  auto m = MakeLogisticRegression(7, 3);
+  EXPECT_EQ(m->input_dim(), 7u);
+  EXPECT_EQ(m->num_classes(), 3u);
+  EXPECT_EQ(m->ParameterCount(), 7u * 3u + 3u);
+}
+
+TEST(ModelsTest, MlpShape) {
+  ModelConfig config;
+  config.hidden_dim = 16;
+  auto m = MakeMlp(5, 4, config);
+  EXPECT_EQ(m->ParameterCount(), 5u * 16u + 16u + 16u * 4u + 4u);
+}
+
+TEST(ModelsTest, SameSeedSameInit) {
+  auto a = MakeMlp(4, 2);
+  auto b = MakeMlp(4, 2);
+  EXPECT_EQ(a->GetParameters(), b->GetParameters());
+  ModelConfig other;
+  other.seed = 99;
+  auto c = MakeMlp(4, 2, other);
+  EXPECT_NE(a->GetParameters(), c->GetParameters());
+}
+
+TEST(ModelsTest, TabularCnnAcceptsFlatRows) {
+  auto m = MakeTabularCnn(10, 3);
+  EXPECT_EQ(m->input_dim(), 10u);
+  Rng rng(1);
+  Matrix x(4, 10);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 10; ++j) x.At(i, j) = rng.Gaussian(0, 1);
+  }
+  auto probs = m->PredictProba(x);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_EQ(probs->cols(), 3u);
+  ASSERT_TRUE(m->TrainBatch(x, {0, 1, 2, 0}).ok());
+}
+
+TEST(ModelsTest, ImageCnnShape) {
+  auto m = MakeImageCnn({1, 16, 16}, 5);
+  EXPECT_EQ(m->input_dim(), 256u);
+  EXPECT_EQ(m->num_classes(), 5u);
+  Rng rng(2);
+  Matrix x(2, 256);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 256; ++j) x.At(i, j) = rng.NextDouble();
+  }
+  auto probs = m->PredictProba(x);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_EQ(probs->rows(), 2u);
+  ASSERT_TRUE(m->TrainBatch(x, {1, 3}).ok());
+}
+
+TEST(ModelsTest, CnnLearnsClassSignal) {
+  // Class 0: rising values; class 1: falling values.
+  auto m = MakeTabularCnn(8, 2, {.learning_rate = 0.05});
+  Rng rng(3);
+  Matrix x(128, 8);
+  std::vector<int> y(128);
+  for (size_t i = 0; i < 128; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    y[i] = label;
+    for (size_t j = 0; j < 8; ++j) {
+      const double trend = label == 0 ? static_cast<double>(j)
+                                      : static_cast<double>(8 - j);
+      x.At(i, j) = trend * 0.3 + rng.Gaussian(0, 0.2);
+    }
+  }
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    ASSERT_TRUE(m->TrainBatch(x, y).ok());
+  }
+  auto acc = Accuracy(m.get(), x, y);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(acc.value(), 0.9);
+}
+
+TEST(ModelsTest, CustomOptimizerLr) {
+  auto m = MakeLogisticRegressionWithOptimizer(
+      4, 2, std::make_unique<FobosOptimizer>(0.05, 1e-4));
+  EXPECT_EQ(m->input_dim(), 4u);
+  Rng rng(5);
+  Matrix x(16, 4);
+  std::vector<int> y(16);
+  for (size_t i = 0; i < 16; ++i) {
+    y[i] = static_cast<int>(rng.NextBelow(2));
+    for (size_t j = 0; j < 4; ++j) x.At(i, j) = rng.Gaussian(y[i], 1);
+  }
+  ASSERT_TRUE(m->TrainBatch(x, y).ok());
+}
+
+TEST(FeatureExtractorTest, ShapeAndDeterminism) {
+  RandomProjectionExtractor ex(64, 16, 7);
+  EXPECT_EQ(ex.input_dim(), 64u);
+  EXPECT_EQ(ex.feature_dim(), 16u);
+
+  Rng rng(4);
+  Matrix x(3, 64);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 64; ++j) x.At(i, j) = rng.Gaussian(0, 1);
+  }
+  auto f1 = ex.Extract(x);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->rows(), 3u);
+  EXPECT_EQ(f1->cols(), 16u);
+
+  RandomProjectionExtractor same(64, 16, 7);
+  auto f2 = same.Extract(x);
+  ASSERT_TRUE(f2.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 16; ++j) {
+      EXPECT_DOUBLE_EQ(f1->At(i, j), f2->At(i, j));
+    }
+  }
+
+  // ReLU output is non-negative.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 16; ++j) EXPECT_GE(f1->At(i, j), 0.0);
+  }
+
+  Matrix wrong(2, 32);
+  EXPECT_FALSE(ex.Extract(wrong).ok());
+}
+
+}  // namespace
+}  // namespace freeway

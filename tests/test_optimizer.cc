@@ -1,0 +1,107 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+TEST(SgdOptimizerTest, PlainStep) {
+  Matrix p = Matrix::FromData(1, 2, {1.0, -2.0}).value();
+  Matrix g = Matrix::FromData(1, 2, {0.5, -1.0}).value();
+  SgdOptimizer sgd(0.1);
+  sgd.Step({&p}, {&g});
+  EXPECT_NEAR(p.At(0, 0), 1.0 - 0.05, 1e-12);
+  EXPECT_NEAR(p.At(0, 1), -2.0 + 0.1, 1e-12);
+}
+
+TEST(SgdOptimizerTest, MomentumAccumulates) {
+  Matrix p(1, 1);
+  Matrix g = Matrix::FromData(1, 1, {1.0}).value();
+  SgdOptimizer sgd(0.1, /*momentum=*/0.9);
+  sgd.Step({&p}, {&g});
+  EXPECT_NEAR(p.At(0, 0), -0.1, 1e-12);  // v = 1, step = -0.1*1.
+  sgd.Step({&p}, {&g});
+  // v = 0.9*1 + 1 = 1.9, step = -0.19.
+  EXPECT_NEAR(p.At(0, 0), -0.1 - 0.19, 1e-12);
+}
+
+TEST(SgdOptimizerTest, WeightDecayShrinksParameters) {
+  Matrix p = Matrix::FromData(1, 1, {10.0}).value();
+  Matrix g(1, 1);  // Zero gradient: only decay acts.
+  SgdOptimizer sgd(0.1, 0.0, /*l2=*/0.5);
+  sgd.Step({&p}, {&g});
+  EXPECT_NEAR(p.At(0, 0), 10.0 * (1.0 - 0.1 * 0.5), 1e-12);
+}
+
+TEST(FobosOptimizerTest, SoftThresholdingSparsifies) {
+  Matrix p = Matrix::FromData(1, 3, {0.005, -0.5, 0.2}).value();
+  Matrix g(1, 3);  // Zero gradient isolates the proximal step.
+  FobosOptimizer fobos(/*lr=*/1.0, /*l1=*/0.01);
+  fobos.Step({&p}, {&g});
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 0.0);            // |0.005| < 0.01 -> zeroed.
+  EXPECT_NEAR(p.At(0, 1), -0.49, 1e-12);        // Shrunk toward zero.
+  EXPECT_NEAR(p.At(0, 2), 0.19, 1e-12);
+}
+
+TEST(FobosOptimizerTest, GradientThenShrink) {
+  Matrix p = Matrix::FromData(1, 1, {1.0}).value();
+  Matrix g = Matrix::FromData(1, 1, {2.0}).value();
+  FobosOptimizer fobos(0.1, 0.05);
+  fobos.Step({&p}, {&g});
+  // Gradient step: 1 - 0.2 = 0.8; shrink by 0.1*0.05 = 0.005 -> 0.795.
+  EXPECT_NEAR(p.At(0, 0), 0.795, 1e-12);
+}
+
+TEST(RdaOptimizerTest, ZeroMeanGradientKeepsParametersAtZero) {
+  Matrix p = Matrix::FromData(1, 1, {5.0}).value();
+  Matrix g_pos = Matrix::FromData(1, 1, {1.0}).value();
+  Matrix g_neg = Matrix::FromData(1, 1, {-1.0}).value();
+  RdaOptimizer rda(/*gamma=*/1.0, /*l1=*/0.0);
+  rda.Step({&p}, {&g_pos});
+  rda.Step({&p}, {&g_neg});
+  // Mean gradient is 0 after two opposite steps: parameter derived to 0.
+  EXPECT_NEAR(p.At(0, 0), 0.0, 1e-12);
+}
+
+TEST(RdaOptimizerTest, L1ZeroesSmallMeanGradients) {
+  Matrix p(1, 2);
+  Matrix g = Matrix::FromData(1, 2, {0.05, 2.0}).value();
+  RdaOptimizer rda(1.0, /*l1=*/0.1);
+  rda.Step({&p}, {&g});
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 0.0);  // |0.05| < l1.
+  EXPECT_LT(p.At(0, 1), 0.0);         // Large gradient drives param negative.
+}
+
+TEST(RdaOptimizerTest, ConstantGradientGrowsWithSqrtT) {
+  Matrix p(1, 1);
+  Matrix g = Matrix::FromData(1, 1, {1.0}).value();
+  RdaOptimizer rda(1.0, 0.0);
+  rda.Step({&p}, {&g});
+  const double after1 = p.At(0, 0);
+  rda.Step({&p}, {&g});
+  rda.Step({&p}, {&g});
+  rda.Step({&p}, {&g});
+  // After t steps with unit mean gradient: theta = -sqrt(t).
+  EXPECT_NEAR(after1, -1.0, 1e-12);
+  EXPECT_NEAR(p.At(0, 0), -2.0, 1e-12);
+}
+
+TEST(OptimizerCloneTest, CloneDoesNotShareState) {
+  Matrix p(1, 1);
+  Matrix g = Matrix::FromData(1, 1, {1.0}).value();
+  SgdOptimizer sgd(0.1, 0.9);
+  sgd.Step({&p}, {&g});
+  auto clone = sgd.Clone();
+  Matrix p2(1, 1);
+  // The clone carries the velocity state at clone time; further steps on the
+  // original must not leak into the clone.
+  sgd.Step({&p}, {&g});
+  clone->Step({&p2}, {&g});
+  // Clone's velocity was 1.0 -> v=1.9 -> p2 = -0.19.
+  EXPECT_NEAR(p2.At(0, 0), -0.19, 1e-12);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,132 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+/// Samples with strong variance along a known direction.
+Matrix AnisotropicSample(size_t n, size_t dim, size_t strong_axis,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      const double scale = j == strong_axis ? 10.0 : 0.5;
+      m.At(i, j) = rng.Gaussian(j == 0 ? 2.0 : 0.0, scale);
+    }
+  }
+  return m;
+}
+
+TEST(PcaTest, FitValidatesInput) {
+  Pca pca;
+  EXPECT_FALSE(pca.Fit(Matrix(1, 3), 2).ok());   // Too few samples.
+  EXPECT_FALSE(pca.Fit(Matrix(10, 3), 0).ok());  // Zero components.
+  EXPECT_FALSE(pca.Fit(Matrix(10, 3), 4).ok());  // Too many components.
+  EXPECT_FALSE(pca.fitted());
+}
+
+TEST(PcaTest, TransformBeforeFitFails) {
+  Pca pca;
+  std::vector<double> point = {1.0, 2.0};
+  auto r = pca.Transform(point);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PcaTest, FirstComponentAlignsWithDominantVariance) {
+  Matrix sample = AnisotropicSample(500, 5, /*strong_axis=*/3, 17);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(sample, 2).ok());
+  // The first component should be (nearly) the strong axis.
+  double max_loading = 0.0;
+  size_t argmax = 0;
+  for (size_t j = 0; j < 5; ++j) {
+    const double loading = std::fabs(pca.components().At(j, 0));
+    if (loading > max_loading) {
+      max_loading = loading;
+      argmax = j;
+    }
+  }
+  EXPECT_EQ(argmax, 3u);
+  EXPECT_GT(max_loading, 0.95);
+  EXPECT_GT(pca.ExplainedVarianceRatio(), 0.9);
+}
+
+TEST(PcaTest, TransformCentersAtTrainingMean) {
+  Matrix sample = AnisotropicSample(300, 4, 1, 5);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(sample, 2).ok());
+  auto at_mean = pca.Transform(pca.mean());
+  ASSERT_TRUE(at_mean.ok());
+  for (double v : at_mean.value()) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(PcaTest, TransformDimensionMismatchFails) {
+  Matrix sample = AnisotropicSample(100, 4, 0, 5);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(sample, 2).ok());
+  std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_FALSE(pca.Transform(wrong).ok());
+}
+
+TEST(PcaTest, TransformBatchMatchesPerRowTransform) {
+  Matrix sample = AnisotropicSample(200, 3, 2, 9);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(sample, 2).ok());
+  Matrix query = AnisotropicSample(10, 3, 2, 10);
+  auto batch = pca.TransformBatch(query);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < query.rows(); ++i) {
+    auto row = pca.Transform(query.Row(i));
+    ASSERT_TRUE(row.ok());
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(batch->At(i, j), row.value()[j], 1e-12);
+    }
+  }
+}
+
+TEST(PcaTest, BatchMeanTransformIsLinear) {
+  // P^T(mu_batch - mu) must equal the mean of per-row projections.
+  Matrix sample = AnisotropicSample(200, 3, 0, 21);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(sample, 3).ok());
+  Matrix query = AnisotropicSample(32, 3, 0, 22);
+  auto mean_proj = pca.TransformBatchMean(query);
+  ASSERT_TRUE(mean_proj.ok());
+  auto all = pca.TransformBatch(query);
+  ASSERT_TRUE(all.ok());
+  auto col_mean = all->ColumnMean();
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(mean_proj.value()[j], col_mean[j], 1e-10);
+  }
+}
+
+TEST(PcaTest, ProjectionPreservesDistancesInFullRank) {
+  // With num_components == dim, PCA is an isometry: pairwise distances in
+  // the projected space equal those in the original space.
+  Matrix sample = AnisotropicSample(100, 4, 1, 33);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(sample, 4).ok());
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(4), b(4);
+    for (size_t j = 0; j < 4; ++j) {
+      a[j] = rng.Gaussian(0, 2);
+      b[j] = rng.Gaussian(0, 2);
+    }
+    auto pa = pca.Transform(a);
+    auto pb = pca.Transform(b);
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    EXPECT_NEAR(vec::EuclideanDistance(pa.value(), pb.value()),
+                vec::EuclideanDistance(a, b), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace freeway

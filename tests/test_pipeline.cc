@@ -1,0 +1,100 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(32, 4);
+  if (labeled) b.labels.resize(32);
+  for (size_t i = 0; i < 32; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+PipelineOptions FastOptions() {
+  PipelineOptions opts;
+  opts.learner.base_window_batches = 4;
+  opts.learner.detector.warmup_batches = 3;
+  return opts;
+}
+
+TEST(PipelineTest, RoutesLabeledToTraining) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  auto result = pipeline.Push(MakeBatch(true, 1, 0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());  // No inference report for training.
+  EXPECT_EQ(pipeline.learner().stats().batches_trained, 1u);
+  EXPECT_EQ(pipeline.batches_processed(), 1u);
+}
+
+TEST(PipelineTest, RoutesUnlabeledToInference) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(pipeline.Push(MakeBatch(true, b, b)).ok());
+  }
+  auto result = pipeline.Push(MakeBatch(false, 99, 5));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->has_value());
+  EXPECT_EQ((*result)->predictions.size(), 32u);
+  EXPECT_EQ(pipeline.learner().stats().batches_inferred, 1u);
+}
+
+TEST(PipelineTest, PrequentialPushInfersAndTrains) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  auto report = pipeline.PushPrequential(MakeBatch(true, 7, 0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->predictions.size(), 32u);
+  EXPECT_EQ(pipeline.learner().stats().batches_trained, 1u);
+  EXPECT_EQ(pipeline.learner().stats().batches_inferred, 1u);
+}
+
+TEST(PipelineTest, RateAdjusterObservesFlow) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(pipeline.Push(MakeBatch(true, b, b)).ok());
+  }
+  EXPECT_GT(pipeline.observed_rate(), 0.0);
+  EXPECT_GE(pipeline.last_adjustment().decay_boost, 1.0);
+}
+
+TEST(PipelineTest, AdjusterCanBeDisabled) {
+  auto proto = MakeLogisticRegression(4, 2);
+  PipelineOptions opts = FastOptions();
+  opts.enable_rate_adjuster = false;
+  StreamPipeline pipeline(*proto, opts);
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(pipeline.Push(MakeBatch(true, b, b)).ok());
+  }
+  EXPECT_DOUBLE_EQ(pipeline.observed_rate(), 0.0);
+}
+
+TEST(PipelineTest, MixedTrafficKeepsDetectorCurrent) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  for (int b = 0; b < 12; ++b) {
+    ASSERT_TRUE(pipeline.Push(MakeBatch(b % 3 != 0, b, b)).ok());
+  }
+  // Detector advanced on every batch regardless of routing.
+  EXPECT_TRUE(pipeline.learner().detector().warmed_up());
+  EXPECT_EQ(pipeline.batches_processed(), 12u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,113 @@
+#include "core/precompute.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+Batch RandomBatch(size_t n, size_t dim, size_t classes, uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.features = Matrix(n, dim);
+  b.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.labels[i] = static_cast<int>(rng.NextBelow(classes));
+    for (size_t j = 0; j < dim; ++j) {
+      b.features.At(i, j) = rng.Gaussian(b.labels[i], 1.0);
+    }
+  }
+  return b;
+}
+
+TEST(PrecomputeTest, RequiresLabeledSubsets) {
+  auto model = MakeLogisticRegression(3, 2);
+  PrecomputingWindow window(model.get());
+  Batch unlabeled;
+  unlabeled.features = Matrix(4, 3);
+  EXPECT_FALSE(window.AccumulateSubset(unlabeled).ok());
+}
+
+TEST(PrecomputeTest, ApplyWithoutAccumulationFails) {
+  auto model = MakeLogisticRegression(3, 2);
+  PrecomputingWindow window(model.get());
+  EXPECT_FALSE(window.ApplyUpdate(0.1).ok());
+}
+
+TEST(PrecomputeTest, SingleSubsetMatchesDirectSgdStep) {
+  // With one subset, the aggregated step IS a plain SGD step.
+  auto model_a = MakeLogisticRegression(3, 2, {.learning_rate = 0.1});
+  auto model_b = model_a->Clone();
+  Batch batch = RandomBatch(64, 3, 2, 5);
+
+  ASSERT_TRUE(model_a->TrainBatch(batch.features, batch.labels).ok());
+
+  PrecomputingWindow window(model_b.get());
+  ASSERT_TRUE(window.AccumulateSubset(batch).ok());
+  ASSERT_TRUE(window.ApplyUpdate(0.1).ok());
+
+  const auto pa = model_a->GetParameters();
+  const auto pb = model_b->GetParameters();
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+TEST(PrecomputeTest, MultipleSubsetsAverageGradients) {
+  auto model = MakeLogisticRegression(2, 2, {.learning_rate = 0.1});
+  auto reference = model->Clone();
+
+  Batch b1 = RandomBatch(32, 2, 2, 7);
+  Batch b2 = RandomBatch(32, 2, 2, 8);
+
+  // Reference: average of the two gradients at the SAME parameters.
+  std::vector<double> g1, g2;
+  ASSERT_TRUE(reference->ComputeGradient(b1.features, b1.labels, &g1).ok());
+  ASSERT_TRUE(reference->ComputeGradient(b2.features, b2.labels, &g2).ok());
+  for (size_t i = 0; i < g1.size(); ++i) {
+    g1[i] = -0.1 * 0.5 * (g1[i] + g2[i]);
+  }
+  ASSERT_TRUE(reference->ApplyStep(g1).ok());
+
+  PrecomputingWindow window(model.get());
+  ASSERT_TRUE(window.AccumulateSubset(b1).ok());
+  ASSERT_TRUE(window.AccumulateSubset(b2).ok());
+  EXPECT_EQ(window.pending_subsets(), 2u);
+  ASSERT_TRUE(window.ApplyUpdate(0.1).ok());
+  EXPECT_EQ(window.pending_subsets(), 0u);
+
+  const auto pm = model->GetParameters();
+  const auto pr = reference->GetParameters();
+  for (size_t i = 0; i < pm.size(); ++i) EXPECT_NEAR(pm[i], pr[i], 1e-12);
+}
+
+TEST(PrecomputeTest, ResetDiscardsPending) {
+  auto model = MakeLogisticRegression(2, 2);
+  PrecomputingWindow window(model.get());
+  ASSERT_TRUE(window.AccumulateSubset(RandomBatch(16, 2, 2, 9)).ok());
+  window.Reset();
+  EXPECT_EQ(window.pending_subsets(), 0u);
+  EXPECT_FALSE(window.ApplyUpdate(0.1).ok());
+}
+
+TEST(PrecomputeTest, LossDecreasesOverPrecomputedUpdates) {
+  auto model = MakeMlp(2, 2);
+  PrecomputingWindow window(model.get());
+  double first = 0.0, last = 0.0;
+  for (int round = 0; round < 20; ++round) {
+    double loss_sum = 0.0;
+    for (int s = 0; s < 4; ++s) {
+      auto loss = window.AccumulateSubset(
+          RandomBatch(32, 2, 2, static_cast<uint64_t>(100 + s)));
+      ASSERT_TRUE(loss.ok());
+      loss_sum += loss.value();
+    }
+    ASSERT_TRUE(window.ApplyUpdate(0.1).ok());
+    if (round == 0) first = loss_sum;
+    last = loss_sum;
+  }
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace freeway

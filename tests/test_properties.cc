@@ -1,0 +1,236 @@
+// Parameterized property sweeps: invariants that must hold across grids of
+// shapes, class counts, and seeds — not just the single configurations unit
+// tests pin down.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "clustering/kmeans.h"
+#include "common/rng.h"
+#include "core/adaptive_window.h"
+#include "core/disorder.h"
+#include "linalg/pca.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model invariants over (input_dim, num_classes) grid.
+// ---------------------------------------------------------------------------
+
+class ModelShapeProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModelShapeProperty,
+                         ::testing::Combine(::testing::Values(2, 7, 23),
+                                            ::testing::Values(2, 3, 6)));
+
+TEST_P(ModelShapeProperty, ProbabilitiesAreDistributionsForAllArchitectures) {
+  const auto [dim, classes] = GetParam();
+  Rng rng(dim * 100 + classes);
+  Matrix x(16, dim);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < dim; ++j) x.At(i, j) = rng.Gaussian(0, 3);
+  }
+  for (auto make : {MakeLogisticRegression, MakeMlp, MakeTabularCnn}) {
+    auto model = make(dim, classes, ModelConfig{});
+    auto probs = model->PredictProba(x);
+    ASSERT_TRUE(probs.ok());
+    ASSERT_EQ(probs->rows(), 16u);
+    ASSERT_EQ(probs->cols(), classes);
+    for (size_t i = 0; i < probs->rows(); ++i) {
+      double sum = 0.0;
+      for (size_t j = 0; j < probs->cols(); ++j) {
+        EXPECT_GE(probs->At(i, j), 0.0);
+        sum += probs->At(i, j);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(ModelShapeProperty, ParameterRoundTripIsExactForAllArchitectures) {
+  const auto [dim, classes] = GetParam();
+  for (auto make : {MakeLogisticRegression, MakeMlp, MakeTabularCnn}) {
+    auto model = make(dim, classes, ModelConfig{});
+    const auto params = model->GetParameters();
+    EXPECT_EQ(params.size(), model->ParameterCount());
+    auto clone = model->Clone();
+    ASSERT_TRUE(clone->SetParameters(params).ok());
+    EXPECT_EQ(clone->GetParameters(), params);
+  }
+}
+
+TEST_P(ModelShapeProperty, GradientStepReducesLossOnFixedBatch) {
+  const auto [dim, classes] = GetParam();
+  Rng rng(dim * 31 + classes);
+  Matrix x(64, dim);
+  std::vector<int> y(64);
+  for (size_t i = 0; i < 64; ++i) {
+    y[i] = static_cast<int>(rng.NextBelow(classes));
+    for (size_t j = 0; j < dim; ++j) {
+      x.At(i, j) = rng.Gaussian(static_cast<double>(y[i]), 0.5);
+    }
+  }
+  ModelConfig config;
+  config.learning_rate = 0.05;
+  auto model = MakeMlp(dim, classes, config);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 25; ++step) {
+    auto loss = model->TrainBatch(x, y);
+    ASSERT_TRUE(loss.ok());
+    if (step == 0) first = loss.value();
+    last = loss.value();
+  }
+  EXPECT_LT(last, first);
+}
+
+// ---------------------------------------------------------------------------
+// k-means invariants over (k, dim) grid.
+// ---------------------------------------------------------------------------
+
+class KMeansProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(Grid, KMeansProperty,
+                         ::testing::Combine(::testing::Values(2, 4, 9),
+                                            ::testing::Values(1, 3, 12)));
+
+TEST_P(KMeansProperty, AssignmentsValidAndInertiaNonIncreasingInK) {
+  const auto [k, dim] = GetParam();
+  Rng rng(k * 7 + dim);
+  Matrix points(120, dim);
+  for (size_t i = 0; i < 120; ++i) {
+    for (size_t j = 0; j < dim; ++j) points.At(i, j) = rng.Gaussian(0, 2);
+  }
+
+  auto result = KMeans(points, k);
+  ASSERT_TRUE(result.ok());
+  for (int assignment : result->assignments) {
+    ASSERT_GE(assignment, 0);
+    ASSERT_LT(assignment, static_cast<int>(k));
+  }
+  EXPECT_GE(result->inertia, 0.0);
+
+  // Every point's assigned centroid is (weakly) its nearest.
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double assigned = vec::SquaredDistance(
+        points.Row(i),
+        result->centroids.Row(static_cast<size_t>(result->assignments[i])));
+    for (size_t c = 0; c < k; ++c) {
+      EXPECT_LE(assigned,
+                vec::SquaredDistance(points.Row(i),
+                                     result->centroids.Row(c)) + 1e-9);
+    }
+  }
+
+  if (k > 2) {
+    auto fewer = KMeans(points, k - 1);
+    ASSERT_TRUE(fewer.ok());
+    // More clusters cannot fit worse than fewer (up to local-minimum
+    // slack; k-means++ makes big regressions vanishingly unlikely here).
+    EXPECT_LE(result->inertia, fewer->inertia * 1.05);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disorder invariants.
+// ---------------------------------------------------------------------------
+
+class DisorderProperty : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DisorderProperty,
+                         ::testing::Values(2, 5, 17, 64, 257));
+
+TEST_P(DisorderProperty, ReversalComplementsInversionCount) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextDouble();  // Distinct w.p. 1.
+  std::vector<double> reversed(v.rbegin(), v.rend());
+  const size_t total_pairs = n * (n - 1) / 2;
+  EXPECT_EQ(InversionCount(v) + InversionCount(reversed), total_pairs);
+}
+
+TEST_P(DisorderProperty, SingleAdjacentSwapChangesCountByOne) {
+  const size_t n = GetParam();
+  Rng rng(n * 13);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextDouble();
+  const size_t before = InversionCount(v);
+  std::swap(v[n / 2], v[n / 2 - 1]);
+  const size_t after = InversionCount(v);
+  EXPECT_EQ(before > after ? before - after : after - before, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PCA invariants over dimensionality.
+// ---------------------------------------------------------------------------
+
+class PcaProperty : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Dims, PcaProperty, ::testing::Values(2, 5, 16, 41));
+
+TEST_P(PcaProperty, ComponentsAreOrthonormal) {
+  const size_t dim = GetParam();
+  Rng rng(dim);
+  Matrix sample(200, dim);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      sample.At(i, j) = rng.Gaussian(0, 1.0 + static_cast<double>(j));
+    }
+  }
+  Pca pca;
+  const size_t components = dim < 8 ? dim : 8;
+  ASSERT_TRUE(pca.Fit(sample, components).ok());
+  const Matrix& p = pca.components();
+  Matrix gram = p.TransposeMatMul(p);
+  for (size_t i = 0; i < components; ++i) {
+    for (size_t j = 0; j < components; ++j) {
+      EXPECT_NEAR(gram.At(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  EXPECT_GT(pca.ExplainedVarianceRatio(), 0.0);
+  EXPECT_LE(pca.ExplainedVarianceRatio(), 1.0 + 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// ASW invariants over window capacity.
+// ---------------------------------------------------------------------------
+
+class AswProperty : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Caps, AswProperty, ::testing::Values(2, 4, 9, 16));
+
+TEST_P(AswProperty, WeightsStayInUnitIntervalAndWindowBounded) {
+  const size_t cap = GetParam();
+  AdaptiveWindowOptions opts;
+  opts.max_batches = cap;
+  AdaptiveStreamingWindow window(opts);
+  Rng rng(cap);
+  for (int t = 0; t < 40; ++t) {
+    Batch batch;
+    batch.index = t;
+    batch.features = Matrix(8, 3, rng.Gaussian(0, 2));
+    batch.labels.assign(8, 0);
+    auto full = window.Add(batch);
+    ASSERT_TRUE(full.ok());
+    EXPECT_LE(window.num_batches(), cap);
+    for (const auto& entry : window.entries()) {
+      EXPECT_GT(entry.weight, 0.0);
+      EXPECT_LE(entry.weight, 1.0);
+    }
+    EXPECT_GE(window.disorder(), 0.0);
+    EXPECT_LE(window.disorder(), 1.0);
+    if (full.value()) {
+      ASSERT_TRUE(window.TakeTrainingData().ok());
+      EXPECT_EQ(window.num_batches(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,74 @@
+#include "core/rate_adjuster.h"
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+RateAdjusterOptions Opts() {
+  RateAdjusterOptions o;
+  o.low_rate = 10.0;
+  o.high_rate = 100.0;
+  o.smoothing = 1.0;  // No smoothing: deterministic single-shot tests.
+  return o;
+}
+
+TEST(RateAdjusterTest, NormalRateIsNeutral) {
+  RateAwareAdjuster adjuster(Opts());
+  RateAdjustment adj = adjuster.Observe(50.0, 0.5);
+  EXPECT_DOUBLE_EQ(adj.inference_frequency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(adj.decay_boost, 1.0);
+  EXPECT_FALSE(adj.throttle_updates);
+}
+
+TEST(RateAdjusterTest, IdleStreamBoostsInference) {
+  RateAwareAdjuster adjuster(Opts());
+  RateAdjustment adj = adjuster.Observe(0.0, 0.0);
+  EXPECT_GT(adj.inference_frequency_factor, 1.0);
+  EXPECT_LE(adj.inference_frequency_factor, 4.0);
+  EXPECT_DOUBLE_EQ(adj.decay_boost, 1.0);
+}
+
+TEST(RateAdjusterTest, IdleBoostShrinksWithWindowPressure) {
+  RateAwareAdjuster a(Opts()), b(Opts());
+  const double empty = a.Observe(2.0, 0.0).inference_frequency_factor;
+  const double full = b.Observe(2.0, 1.0).inference_frequency_factor;
+  EXPECT_GT(empty, full);
+  EXPECT_DOUBLE_EQ(full, 1.0);
+}
+
+TEST(RateAdjusterTest, OverloadBoostsDecay) {
+  RateAwareAdjuster adjuster(Opts());
+  RateAdjustment adj = adjuster.Observe(200.0, 0.5);
+  EXPECT_GT(adj.decay_boost, 1.0);
+  EXPECT_LE(adj.decay_boost, 3.0);
+  EXPECT_DOUBLE_EQ(adj.inference_frequency_factor, 1.0);
+  EXPECT_FALSE(adj.throttle_updates);  // Pressure below threshold.
+}
+
+TEST(RateAdjusterTest, OverloadWithPressureThrottles) {
+  RateAwareAdjuster adjuster(Opts());
+  RateAdjustment adj = adjuster.Observe(500.0, 0.95);
+  EXPECT_TRUE(adj.throttle_updates);
+  EXPECT_GT(adj.decay_boost, 1.0);
+}
+
+TEST(RateAdjusterTest, SmoothingAveragesRates) {
+  RateAdjusterOptions opts = Opts();
+  opts.smoothing = 0.5;
+  RateAwareAdjuster adjuster(opts);
+  adjuster.Observe(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(adjuster.smoothed_rate(), 100.0);  // First obs seeds.
+  adjuster.Observe(0.0, 0.5);
+  EXPECT_DOUBLE_EQ(adjuster.smoothed_rate(), 50.0);
+}
+
+TEST(RateAdjusterTest, ClampsPathologicalInputs) {
+  RateAwareAdjuster adjuster(Opts());
+  RateAdjustment adj = adjuster.Observe(-5.0, 2.0);
+  EXPECT_GE(adj.inference_frequency_factor, 1.0);
+  EXPECT_GE(adj.decay_boost, 1.0);
+}
+
+}  // namespace
+}  // namespace freeway

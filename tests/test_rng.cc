@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 4u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRangeUniformly) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.NextBelow(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 10 * 0.9);
+    EXPECT_LT(c, draws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(5);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(3);
+  auto perm = rng.Permutation(50);
+  std::sort(perm.begin(), perm.end());
+  for (size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(3);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  auto one = rng.Permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelatedButDeterministic) {
+  Rng parent1(42), parent2(42);
+  Rng child1 = parent1.Fork(0);
+  Rng child2 = parent2.Fork(0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.NextUint64(), child2.NextUint64());
+  }
+
+  Rng parent3(42);
+  Rng a = parent3.Fork(1);
+  Rng b = parent3.Fork(2);
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 4u);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(77);
+  const uint64_t first = rng.NextUint64();
+  rng.NextUint64();
+  rng.Seed(77);
+  EXPECT_EQ(rng.NextUint64(), first);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,170 @@
+#include "ml/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+/// Two linearly separable Gaussian blobs.
+void MakeBlobs(size_t n, Matrix* x, std::vector<int>* y, uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    (*y)[i] = label;
+    const double cx = label == 0 ? -2.0 : 2.0;
+    x->At(i, 0) = rng.Gaussian(cx, 0.7);
+    x->At(i, 1) = rng.Gaussian(label == 0 ? 1.0 : -1.0, 0.7);
+  }
+}
+
+TEST(SequentialModelTest, MetadataAndValidation) {
+  auto model = MakeMlp(4, 3);
+  EXPECT_EQ(model->name(), "StreamingMLP");
+  EXPECT_EQ(model->input_dim(), 4u);
+  EXPECT_EQ(model->num_classes(), 3u);
+
+  Matrix wrong_dim(2, 5);
+  EXPECT_FALSE(model->PredictProba(wrong_dim).ok());
+  Matrix empty(0, 4);
+  EXPECT_FALSE(model->PredictProba(empty).ok());
+  Matrix ok_x(2, 4);
+  EXPECT_FALSE(model->TrainBatch(ok_x, {0}).ok());      // Label count.
+  EXPECT_FALSE(model->TrainBatch(ok_x, {0, 3}).ok());   // Label range.
+  EXPECT_FALSE(model->TrainBatch(ok_x, {0, -1}).ok());  // Negative label.
+}
+
+TEST(SequentialModelTest, PredictProbaRowsSumToOne) {
+  auto model = MakeMlp(3, 4);
+  Rng rng(2);
+  Matrix x(8, 3);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 3; ++j) x.At(i, j) = rng.Gaussian(0, 1);
+  }
+  auto probs = model->PredictProba(x);
+  ASSERT_TRUE(probs.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < 4; ++j) sum += probs->At(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SequentialModelTest, LearnsSeparableBlobs) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(512, &x, &y, 7);
+
+  ModelConfig config;
+  config.learning_rate = 0.2;
+  auto model = MakeLogisticRegression(2, 2, config);
+
+  auto initial = Accuracy(model.get(), x, y);
+  ASSERT_TRUE(initial.ok());
+
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    ASSERT_TRUE(model->TrainBatch(x, y).ok());
+  }
+  auto trained = Accuracy(model.get(), x, y);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_GT(trained.value(), 0.97);
+  EXPECT_GE(trained.value(), initial.value());
+}
+
+TEST(SequentialModelTest, TrainingReducesLoss) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(256, &x, &y, 9);
+  auto model = MakeMlp(2, 2);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    auto loss = model->TrainBatch(x, y);
+    ASSERT_TRUE(loss.ok());
+    if (step == 0) first_loss = loss.value();
+    last_loss = loss.value();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(SequentialModelTest, ParameterRoundTrip) {
+  auto model = MakeMlp(5, 3);
+  const std::vector<double> params = model->GetParameters();
+  EXPECT_EQ(params.size(), model->ParameterCount());
+
+  // Train to change the parameters.
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(64, &x, &y, 3);
+  Matrix x5(64, 5);
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t j = 0; j < 5; ++j) x5.At(i, j) = x.At(i, j % 2);
+  }
+  std::vector<int> y3(y.begin(), y.end());
+  ASSERT_TRUE(model->TrainBatch(x5, y3).ok());
+  EXPECT_NE(model->GetParameters(), params);
+
+  // Restore and verify identical predictions.
+  ASSERT_TRUE(model->SetParameters(params).ok());
+  EXPECT_EQ(model->GetParameters(), params);
+
+  EXPECT_FALSE(model->SetParameters(std::vector<double>(3, 0.0)).ok());
+}
+
+TEST(SequentialModelTest, ComputeGradientMatchesTrainBatchStep) {
+  // ApplyStep(-lr * grad) must reproduce TrainBatch exactly for plain SGD.
+  ModelConfig config;
+  config.learning_rate = 0.1;
+  auto model_a = MakeLogisticRegression(2, 2, config);
+  auto model_b = model_a->Clone();
+
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(128, &x, &y, 11);
+
+  ASSERT_TRUE(model_a->TrainBatch(x, y).ok());
+
+  std::vector<double> grad;
+  ASSERT_TRUE(model_b->ComputeGradient(x, y, &grad).ok());
+  for (auto& g : grad) g *= -config.learning_rate;
+  ASSERT_TRUE(model_b->ApplyStep(grad).ok());
+
+  const auto pa = model_a->GetParameters();
+  const auto pb = model_b->GetParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+TEST(SequentialModelTest, CloneIsIndependent) {
+  auto model = MakeMlp(2, 2);
+  auto clone = model->Clone();
+  EXPECT_EQ(model->GetParameters(), clone->GetParameters());
+
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(64, &x, &y, 13);
+  ASSERT_TRUE(clone->TrainBatch(x, y).ok());
+  EXPECT_NE(model->GetParameters(), clone->GetParameters());
+}
+
+TEST(SequentialModelTest, ApplyStepValidatesSize) {
+  auto model = MakeLogisticRegression(2, 2);
+  EXPECT_FALSE(model->ApplyStep(std::vector<double>(1, 0.0)).ok());
+  std::vector<double> zero(model->ParameterCount(), 0.0);
+  const auto before = model->GetParameters();
+  ASSERT_TRUE(model->ApplyStep(zero).ok());
+  EXPECT_EQ(model->GetParameters(), before);
+}
+
+TEST(SequentialModelTest, SerializedBytesTracksParameterCount) {
+  auto lr = MakeLogisticRegression(10, 2);
+  // 10*2 weights + 2 biases = 22 params.
+  EXPECT_EQ(lr->ParameterCount(), 22u);
+  EXPECT_EQ(lr->SerializedBytes(), 16u + 8u * 22u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,139 @@
+#include "ml/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/knowledge.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+TEST(SerializeTest, RoundTripInMemory) {
+  auto model = MakeMlp(6, 3);
+  std::vector<char> buffer;
+  SerializeModel(*model, &buffer);
+  auto snapshot = DeserializeModel(buffer);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->parameters, model->GetParameters());
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  auto model = MakeLogisticRegression(4, 2);
+  std::vector<char> buffer;
+  SerializeModel(*model, &buffer);
+  buffer[0] = 'X';
+  EXPECT_FALSE(DeserializeModel(buffer).ok());
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  auto model = MakeLogisticRegression(4, 2);
+  std::vector<char> buffer;
+  SerializeModel(*model, &buffer);
+  buffer.resize(buffer.size() - 8);
+  EXPECT_FALSE(DeserializeModel(buffer).ok());
+  std::vector<char> tiny(4, 0);
+  EXPECT_FALSE(DeserializeModel(tiny).ok());
+}
+
+TEST(SerializeTest, FileRoundTripRestoresPredictions) {
+  const std::string path = "/tmp/freeway_serialize_test.bin";
+  std::remove(path.c_str());
+
+  auto model = MakeMlp(4, 2);
+  // Train a little so the parameters are non-trivial.
+  Rng rng(3);
+  Matrix x(64, 4);
+  std::vector<int> y(64);
+  for (size_t i = 0; i < 64; ++i) {
+    y[i] = static_cast<int>(rng.NextBelow(2));
+    for (size_t j = 0; j < 4; ++j) x.At(i, j) = rng.Gaussian(y[i], 1.0);
+  }
+  ASSERT_TRUE(model->TrainBatch(x, y).ok());
+  ASSERT_TRUE(SaveModelToFile(*model, path).ok());
+
+  auto restored = MakeMlp(4, 2, {.seed = 999});  // Different init.
+  ASSERT_TRUE(LoadModelFromFile(path, restored.get()).ok());
+  EXPECT_EQ(restored->GetParameters(), model->GetParameters());
+
+  auto pa = model->PredictProba(x);
+  auto pb = restored->PredictProba(x);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  for (size_t i = 0; i < pa->rows(); ++i) {
+    for (size_t j = 0; j < pa->cols(); ++j) {
+      EXPECT_DOUBLE_EQ(pa->At(i, j), pb->At(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsArchitectureMismatch) {
+  const std::string path = "/tmp/freeway_serialize_mismatch.bin";
+  std::remove(path.c_str());
+  auto small = MakeLogisticRegression(4, 2);
+  ASSERT_TRUE(SaveModelToFile(*small, path).ok());
+  auto big = MakeMlp(4, 2);
+  EXPECT_FALSE(LoadModelFromFile(path, big.get()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  auto model = MakeLogisticRegression(4, 2);
+  auto status = LoadModelFromFile("/tmp/does_not_exist_freeway.bin",
+                                  model.get());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(KnowledgeSpillReloadTest, RoundTripThroughSpillFile) {
+  const std::string path = "/tmp/freeway_spill_reload_test.bin";
+  std::remove(path.c_str());
+
+  KnowledgeStoreOptions opts;
+  opts.capacity = 2;
+  opts.spill_path = path;
+  KnowledgeStore store(opts);
+  for (int i = 0; i < 5; ++i) {
+    KnowledgeEntry e;
+    e.representation = {static_cast<double>(i), 1.0};
+    e.parameters.assign(6, static_cast<double>(i) * 0.5);
+    ASSERT_TRUE(store.Preserve(std::move(e)).ok());
+  }
+  ASSERT_GT(store.spilled_count(), 0u);
+
+  auto reloaded = KnowledgeStore::ReadSpillFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->size(), store.spilled_count());
+  // Oldest-first: the first spilled entry was the i=0 entry.
+  EXPECT_DOUBLE_EQ((*reloaded)[0].representation[0], 0.0);
+  EXPECT_DOUBLE_EQ((*reloaded)[0].parameters[0], 0.0);
+  EXPECT_EQ((*reloaded)[0].parameters.size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeSpillReloadTest, MissingFileFails) {
+  EXPECT_FALSE(
+      KnowledgeStore::ReadSpillFile("/tmp/no_such_spill_freeway.bin").ok());
+}
+
+TEST(FiniteGuardTest, ModelRejectsNonFiniteInput) {
+  auto model = MakeMlp(3, 2);
+  Matrix x(2, 3);
+  x.At(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(model->PredictProba(x).ok());
+  EXPECT_FALSE(model->TrainBatch(x, {0, 1}).ok());
+  x.At(1, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(model->PredictProba(x).ok());
+}
+
+TEST(FiniteGuardTest, MatrixAllFinite) {
+  Matrix ok(2, 2, 1.0);
+  EXPECT_TRUE(ok.AllFinite());
+  ok.At(0, 1) = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ok.AllFinite());
+}
+
+}  // namespace
+}  // namespace freeway

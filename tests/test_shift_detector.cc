@@ -1,0 +1,143 @@
+#include "core/shift_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+/// Batch of n points around `center` with the given spread.
+Matrix BatchAround(const std::vector<double>& center, size_t n, double sigma,
+                   Rng* rng) {
+  Matrix m(n, center.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < center.size(); ++j) {
+      m.At(i, j) = center[j] + rng->Gaussian(0.0, sigma);
+    }
+  }
+  return m;
+}
+
+ShiftDetectorOptions SmallOptions() {
+  ShiftDetectorOptions opts;
+  opts.warmup_batches = 3;
+  opts.history_k = 10;
+  return opts;
+}
+
+TEST(ShiftDetectorTest, WarmupPhase) {
+  ShiftDetector detector(SmallOptions());
+  Rng rng(1);
+  for (int b = 0; b < 3; ++b) {
+    auto a = detector.Assess(BatchAround({0, 0, 0, 0}, 64, 0.5, &rng));
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(a->warmup);
+  }
+  EXPECT_TRUE(detector.warmed_up());
+  auto live = detector.Assess(BatchAround({0, 0, 0, 0}, 64, 0.5, &rng));
+  ASSERT_TRUE(live.ok());
+  EXPECT_FALSE(live->warmup);
+  // pca_components (default 8) clamps to the 4-dim input.
+  EXPECT_EQ(live->representation.size(), 4u);
+}
+
+TEST(ShiftDetectorTest, EmptyBatchRejected) {
+  ShiftDetector detector(SmallOptions());
+  EXPECT_FALSE(detector.Assess(Matrix(0, 4)).ok());
+}
+
+TEST(ShiftDetectorTest, StableStreamStaysSlight) {
+  ShiftDetector detector(SmallOptions());
+  Rng rng(2);
+  for (int b = 0; b < 20; ++b) {
+    auto a = detector.Assess(BatchAround({1, 2, 3, 4}, 128, 0.5, &rng));
+    ASSERT_TRUE(a.ok());
+    if (!a->warmup) {
+      EXPECT_EQ(a->pattern, ShiftPattern::kSlight);
+    }
+  }
+}
+
+TEST(ShiftDetectorTest, SuddenJumpDetected) {
+  ShiftDetector detector(SmallOptions());
+  Rng rng(3);
+  std::vector<double> center = {0, 0, 0, 0};
+  for (int b = 0; b < 15; ++b) {
+    // Slight directional motion establishes the distance statistics.
+    center[0] += 0.02;
+    ASSERT_TRUE(detector.Assess(BatchAround(center, 128, 0.3, &rng)).ok());
+  }
+  // A big jump to a brand-new region.
+  auto sudden =
+      detector.Assess(BatchAround({25, -25, 10, 5}, 128, 0.3, &rng));
+  ASSERT_TRUE(sudden.ok());
+  EXPECT_EQ(sudden->pattern, ShiftPattern::kSudden);
+  EXPECT_GT(sudden->m_score, detector.options().alpha);
+}
+
+TEST(ShiftDetectorTest, ReturnToOldRegionIsReoccurring) {
+  ShiftDetector detector(SmallOptions());
+  Rng rng(4);
+  // Phase 1: dwell at region A.
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(detector.Assess(BatchAround({0, 0, 0, 0}, 128, 0.3,
+                                            &rng)).ok());
+  }
+  // Phase 2: dwell at region B far away (first batch there is sudden).
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(detector.Assess(BatchAround({20, 20, 0, 0}, 128, 0.3,
+                                            &rng)).ok());
+  }
+  // Phase 3: jump back to region A: severe AND near history -> Pattern C.
+  auto back = detector.Assess(BatchAround({0, 0, 0, 0}, 128, 0.3, &rng));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->pattern, ShiftPattern::kReoccurring);
+  EXPECT_LT(back->d_h, back->distance);
+}
+
+TEST(ShiftDetectorTest, DistanceReflectsShiftMagnitude) {
+  ShiftDetector detector(SmallOptions());
+  Rng rng(5);
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(detector.Assess(BatchAround({0, 0, 0, 0}, 256, 0.2,
+                                            &rng)).ok());
+  }
+  auto small = detector.Assess(BatchAround({0.5, 0, 0, 0}, 256, 0.2, &rng));
+  auto large = detector.Assess(BatchAround({8, 0, 0, 0}, 256, 0.2, &rng));
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->distance, small->distance * 3);
+}
+
+TEST(ShiftDetectorTest, HistoryIsBounded) {
+  ShiftDetectorOptions opts = SmallOptions();
+  opts.max_history = 8;
+  ShiftDetector detector(opts);
+  Rng rng(6);
+  for (int b = 0; b < 40; ++b) {
+    ASSERT_TRUE(detector.Assess(BatchAround({0, 0, 0, 0}, 32, 0.3,
+                                            &rng)).ok());
+  }
+  EXPECT_LE(detector.history().size(), 8u);
+  EXPECT_LE(detector.recent_distances().size(), opts.history_k);
+}
+
+TEST(ShiftDetectorTest, ShiftGraphGrowsChronologically) {
+  ShiftDetector detector(SmallOptions());
+  Rng rng(7);
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(detector.Assess(BatchAround({0, 0, 0, 0}, 32, 0.3,
+                                            &rng)).ok());
+  }
+  // Warm-up seeds one node; each live batch appends one.
+  EXPECT_EQ(detector.history().size(), 8u);
+}
+
+TEST(ShiftPatternTest, Names) {
+  EXPECT_STREQ(ShiftPatternName(ShiftPattern::kSlight), "slight");
+  EXPECT_STREQ(ShiftPatternName(ShiftPattern::kSudden), "sudden");
+  EXPECT_STREQ(ShiftPatternName(ShiftPattern::kReoccurring), "reoccurring");
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,56 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringsTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.8123), "81.23%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcdef", 4), "abcdef");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcdef");
+}
+
+}  // namespace
+}  // namespace freeway

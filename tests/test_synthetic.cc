@@ -1,0 +1,203 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace freeway {
+namespace {
+
+TEST(HyperplaneTest, ShapesAndDeterminism) {
+  HyperplaneOptions opts;
+  opts.seed = 5;
+  HyperplaneSource a(opts), b(opts);
+  auto ba = a.NextBatch(64);
+  auto bb = b.NextBatch(64);
+  ASSERT_TRUE(ba.ok() && bb.ok());
+  EXPECT_EQ(ba->size(), 64u);
+  EXPECT_EQ(ba->dim(), 10u);
+  EXPECT_EQ(ba->labels, bb->labels);
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(ba->features.At(i, j), bb->features.At(i, j));
+    }
+  }
+}
+
+TEST(HyperplaneTest, FeaturesInUnitCubeAndLabelsBalanced) {
+  HyperplaneSource src;
+  size_t ones = 0, total = 0;
+  for (int b = 0; b < 20; ++b) {
+    auto batch = src.NextBatch(256);
+    ASSERT_TRUE(batch.ok());
+    for (size_t i = 0; i < batch->size(); ++i) {
+      for (size_t j = 0; j < batch->dim(); ++j) {
+        EXPECT_GE(batch->features.At(i, j), 0.0);
+        EXPECT_LT(batch->features.At(i, j), 1.0);
+      }
+      ones += batch->labels[i] == 1 ? 1 : 0;
+      ++total;
+    }
+  }
+  const double ratio = static_cast<double>(ones) / static_cast<double>(total);
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.7);
+}
+
+TEST(HyperplaneTest, WeightsDriftOverTime) {
+  HyperplaneSource src;
+  const auto w0 = src.weights();
+  for (int b = 0; b < 50; ++b) ASSERT_TRUE(src.NextBatch(32).ok());
+  const auto w1 = src.weights();
+  EXPECT_NE(w0, w1);
+  // Only the first `drift_features` weights move.
+  for (size_t f = 2; f < w0.size(); ++f) EXPECT_DOUBLE_EQ(w0[f], w1[f]);
+}
+
+TEST(HyperplaneTest, SuddenEventsAnnotated) {
+  HyperplaneOptions opts;
+  opts.sudden_every = 10;
+  HyperplaneSource src(opts);
+  size_t events = 0;
+  for (int b = 0; b < 35; ++b) {
+    ASSERT_TRUE(src.NextBatch(16).ok());
+    if (src.LastBatchMeta().shift_event) {
+      ++events;
+      EXPECT_EQ(src.LastBatchMeta().segment_kind, DriftKind::kSudden);
+    }
+  }
+  EXPECT_EQ(events, 3u);  // Batches 10, 20, 30.
+}
+
+TEST(HyperplaneTest, RejectsZeroBatchSize) {
+  HyperplaneSource src;
+  EXPECT_FALSE(src.NextBatch(0).ok());
+}
+
+TEST(SeaTest, LabelsFollowCurrentTheta) {
+  SeaOptions opts;
+  opts.noise = 0.0;
+  SeaSource src(opts);
+  auto batch = src.NextBatch(512);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const double sum = batch->features.At(i, 0) + batch->features.At(i, 1);
+    const int expected = sum <= src.current_theta() ? 1 : 0;
+    EXPECT_EQ(batch->labels[i], expected);
+  }
+}
+
+TEST(SeaTest, ConceptsCycleAndAnnotate) {
+  SeaOptions opts;
+  opts.concept_length = 5;
+  SeaSource src(opts);
+  std::vector<double> thetas;
+  size_t sudden = 0, reoccurring = 0;
+  for (int b = 0; b < 45; ++b) {
+    ASSERT_TRUE(src.NextBatch(16).ok());
+    if (b % 5 == 0) thetas.push_back(src.current_theta());
+    const BatchMeta& meta = src.LastBatchMeta();
+    if (meta.shift_event) {
+      if (meta.segment_kind == DriftKind::kSudden) ++sudden;
+      if (meta.segment_kind == DriftKind::kReoccurring) ++reoccurring;
+    }
+  }
+  // Theta cycles 8, 9, 7, 9.5, 8, ...
+  EXPECT_DOUBLE_EQ(thetas[0], 8.0);
+  EXPECT_DOUBLE_EQ(thetas[1], 9.0);
+  EXPECT_DOUBLE_EQ(thetas[2], 7.0);
+  EXPECT_DOUBLE_EQ(thetas[3], 9.5);
+  EXPECT_DOUBLE_EQ(thetas[4], 8.0);
+  // First 3 switches are sudden (new thetas), later ones reoccurring.
+  EXPECT_GT(sudden, 0u);
+  EXPECT_GT(reoccurring, 0u);
+}
+
+TEST(SeaTest, NoiseFlipsLabels) {
+  SeaOptions clean_opts;
+  clean_opts.noise = 0.0;
+  SeaOptions noisy_opts;
+  noisy_opts.noise = 0.3;
+  SeaSource clean(clean_opts), noisy(noisy_opts);
+  auto cb = clean.NextBatch(2048);
+  auto nb = noisy.NextBatch(2048);
+  ASSERT_TRUE(cb.ok() && nb.ok());
+  // With 30% flips, noisy labels disagree with the rule for ~30% of rows.
+  size_t disagreements = 0;
+  for (size_t i = 0; i < nb->size(); ++i) {
+    const double sum = nb->features.At(i, 0) + nb->features.At(i, 1);
+    const int rule = sum <= 8.0 ? 1 : 0;
+    if (nb->labels[i] != rule) ++disagreements;
+  }
+  const double rate =
+      static_cast<double>(disagreements) / static_cast<double>(nb->size());
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+}  // namespace
+}  // namespace freeway
+// -- appended tests: feature-visible concept switches ------------------------
+
+namespace freeway {
+namespace {
+
+TEST(HyperplaneTest, ClassOffsetsSeparateClassesInFeatureSpace) {
+  HyperplaneOptions opts;
+  opts.sudden_class_offset = 2.0;
+  opts.noise = 0.0;
+  HyperplaneSource src(opts);
+  auto batch = src.NextBatch(2048);
+  ASSERT_TRUE(batch.ok());
+  // Per-class feature means differ by roughly the configured offset norm
+  // (uniform-cube base means cancel in expectation).
+  std::vector<double> mean0(10, 0.0), mean1(10, 0.0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    auto row = batch->features.Row(i);
+    if (batch->labels[i] == 0) {
+      ++n0;
+      for (size_t d = 0; d < 10; ++d) mean0[d] += row[d];
+    } else {
+      ++n1;
+      for (size_t d = 0; d < 10; ++d) mean1[d] += row[d];
+    }
+  }
+  for (auto& v : mean0) v /= static_cast<double>(n0);
+  for (auto& v : mean1) v /= static_cast<double>(n1);
+  EXPECT_GT(vec::EuclideanDistance(mean0, mean1), 1.0);
+}
+
+TEST(HyperplaneTest, RerandomizationMovesFeatureDistribution) {
+  HyperplaneOptions opts;
+  opts.sudden_every = 3;
+  opts.sudden_class_offset = 1.5;
+  HyperplaneSource src(opts);
+  auto before = src.NextBatch(1024);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(src.NextBatch(1024).ok());
+  ASSERT_TRUE(src.NextBatch(1024).ok());
+  auto after = src.NextBatch(1024);  // Batch index 3 re-randomizes.
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(src.LastBatchMeta().shift_event);
+  EXPECT_GT(vec::EuclideanDistance(before->Mean(), after->Mean()), 0.3);
+}
+
+TEST(SeaTest, ConceptOffsetsReturnWithTheta) {
+  SeaOptions opts;
+  opts.concept_length = 2;
+  opts.concept_offset_scale = 3.0;
+  opts.noise = 0.0;
+  SeaSource src(opts);
+  // Concepts cycle with period 4*2 = 8 batches; concept 0's batches are
+  // 0,1 and 8,9. Their means must agree (same offsets), while concept 1's
+  // mean differs.
+  std::vector<std::vector<double>> means;
+  for (int b = 0; b < 10; ++b) {
+    auto batch = src.NextBatch(2048);
+    ASSERT_TRUE(batch.ok());
+    means.push_back(batch->Mean());
+  }
+  EXPECT_LT(vec::EuclideanDistance(means[0], means[8]), 0.5);
+  EXPECT_GT(vec::EuclideanDistance(means[0], means[2]), 0.5);
+}
+
+}  // namespace
+}  // namespace freeway
