@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_asw.dir/ablation_asw.cpp.o"
+  "CMakeFiles/ablation_asw.dir/ablation_asw.cpp.o.d"
+  "ablation_asw"
+  "ablation_asw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_asw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

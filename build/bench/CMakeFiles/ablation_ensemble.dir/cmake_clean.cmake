@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ensemble.dir/ablation_ensemble.cpp.o"
+  "CMakeFiles/ablation_ensemble.dir/ablation_ensemble.cpp.o.d"
+  "ablation_ensemble"
+  "ablation_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_modes.dir/ablation_update_modes.cpp.o"
+  "CMakeFiles/ablation_update_modes.dir/ablation_update_modes.cpp.o.d"
+  "ablation_update_modes"
+  "ablation_update_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cnn_series.dir/fig12_cnn_series.cpp.o"
+  "CMakeFiles/fig12_cnn_series.dir/fig12_cnn_series.cpp.o.d"
+  "fig12_cnn_series"
+  "fig12_cnn_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cnn_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_shift_graph.dir/fig2_shift_graph.cpp.o"
+  "CMakeFiles/fig2_shift_graph.dir/fig2_shift_graph.cpp.o.d"
+  "fig2_shift_graph"
+  "fig2_shift_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_shift_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

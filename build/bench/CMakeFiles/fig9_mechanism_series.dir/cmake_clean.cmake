@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mechanism_series.dir/fig9_mechanism_series.cpp.o"
+  "CMakeFiles/fig9_mechanism_series.dir/fig9_mechanism_series.cpp.o.d"
+  "fig9_mechanism_series"
+  "fig9_mechanism_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mechanism_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

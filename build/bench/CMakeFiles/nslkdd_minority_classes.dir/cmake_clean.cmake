@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nslkdd_minority_classes.dir/nslkdd_minority_classes.cpp.o"
+  "CMakeFiles/nslkdd_minority_classes.dir/nslkdd_minority_classes.cpp.o.d"
+  "nslkdd_minority_classes"
+  "nslkdd_minority_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nslkdd_minority_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

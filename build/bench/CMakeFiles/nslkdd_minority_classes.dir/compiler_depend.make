@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nslkdd_minority_classes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for nslkdd_minority_classes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pattern_improvement.dir/table2_pattern_improvement.cpp.o"
+  "CMakeFiles/table2_pattern_improvement.dir/table2_pattern_improvement.cpp.o.d"
+  "table2_pattern_improvement"
+  "table2_pattern_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pattern_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

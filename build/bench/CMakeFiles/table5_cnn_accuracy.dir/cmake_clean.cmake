@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cnn_accuracy.dir/table5_cnn_accuracy.cpp.o"
+  "CMakeFiles/table5_cnn_accuracy.dir/table5_cnn_accuracy.cpp.o.d"
+  "table5_cnn_accuracy"
+  "table5_cnn_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cnn_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cnn_latency.dir/table6_cnn_latency.cpp.o"
+  "CMakeFiles/table6_cnn_latency.dir/table6_cnn_latency.cpp.o.d"
+  "table6_cnn_latency"
+  "table6_cnn_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cnn_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electricity_forecast.dir/electricity_forecast.cpp.o"
+  "CMakeFiles/electricity_forecast.dir/electricity_forecast.cpp.o.d"
+  "electricity_forecast"
+  "electricity_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electricity_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

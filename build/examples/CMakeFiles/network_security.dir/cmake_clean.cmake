@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_security.dir/network_security.cpp.o"
+  "CMakeFiles/network_security.dir/network_security.cpp.o.d"
+  "network_security"
+  "network_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agem.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/agem.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/agem.cc.o.d"
+  "/root/repo/src/baselines/camel.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/camel.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/camel.cc.o.d"
+  "/root/repo/src/baselines/engine_learners.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/engine_learners.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/engine_learners.cc.o.d"
+  "/root/repo/src/baselines/factory.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/factory.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/factory.cc.o.d"
+  "/root/repo/src/baselines/freeway_adapter.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/freeway_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/freeway_adapter.cc.o.d"
+  "/root/repo/src/baselines/river.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/river.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/river.cc.o.d"
+  "/root/repo/src/baselines/streaming_learner.cc" "src/baselines/CMakeFiles/freeway_baselines.dir/streaming_learner.cc.o" "gcc" "src/baselines/CMakeFiles/freeway_baselines.dir/streaming_learner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/freeway_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/freeway_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/freeway_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/freeway_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/freeway_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freeway_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/freeway_clustering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

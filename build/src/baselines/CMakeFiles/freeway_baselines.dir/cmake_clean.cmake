@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_baselines.dir/agem.cc.o"
+  "CMakeFiles/freeway_baselines.dir/agem.cc.o.d"
+  "CMakeFiles/freeway_baselines.dir/camel.cc.o"
+  "CMakeFiles/freeway_baselines.dir/camel.cc.o.d"
+  "CMakeFiles/freeway_baselines.dir/engine_learners.cc.o"
+  "CMakeFiles/freeway_baselines.dir/engine_learners.cc.o.d"
+  "CMakeFiles/freeway_baselines.dir/factory.cc.o"
+  "CMakeFiles/freeway_baselines.dir/factory.cc.o.d"
+  "CMakeFiles/freeway_baselines.dir/freeway_adapter.cc.o"
+  "CMakeFiles/freeway_baselines.dir/freeway_adapter.cc.o.d"
+  "CMakeFiles/freeway_baselines.dir/river.cc.o"
+  "CMakeFiles/freeway_baselines.dir/river.cc.o.d"
+  "CMakeFiles/freeway_baselines.dir/streaming_learner.cc.o"
+  "CMakeFiles/freeway_baselines.dir/streaming_learner.cc.o.d"
+  "libfreeway_baselines.a"
+  "libfreeway_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

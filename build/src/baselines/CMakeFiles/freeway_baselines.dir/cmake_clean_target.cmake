@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfreeway_baselines.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/freeway_clustering.dir/kmeans.cc.o.d"
+  "libfreeway_clustering.a"
+  "libfreeway_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_common.dir/logging.cc.o"
+  "CMakeFiles/freeway_common.dir/logging.cc.o.d"
+  "CMakeFiles/freeway_common.dir/rng.cc.o"
+  "CMakeFiles/freeway_common.dir/rng.cc.o.d"
+  "CMakeFiles/freeway_common.dir/status.cc.o"
+  "CMakeFiles/freeway_common.dir/status.cc.o.d"
+  "CMakeFiles/freeway_common.dir/strings.cc.o"
+  "CMakeFiles/freeway_common.dir/strings.cc.o.d"
+  "libfreeway_common.a"
+  "libfreeway_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

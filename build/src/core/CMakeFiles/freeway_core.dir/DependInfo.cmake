@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_window.cc" "src/core/CMakeFiles/freeway_core.dir/adaptive_window.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/adaptive_window.cc.o.d"
+  "/root/repo/src/core/cec.cc" "src/core/CMakeFiles/freeway_core.dir/cec.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/cec.cc.o.d"
+  "/root/repo/src/core/disorder.cc" "src/core/CMakeFiles/freeway_core.dir/disorder.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/disorder.cc.o.d"
+  "/root/repo/src/core/exp_buffer.cc" "src/core/CMakeFiles/freeway_core.dir/exp_buffer.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/exp_buffer.cc.o.d"
+  "/root/repo/src/core/granularity.cc" "src/core/CMakeFiles/freeway_core.dir/granularity.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/granularity.cc.o.d"
+  "/root/repo/src/core/knowledge.cc" "src/core/CMakeFiles/freeway_core.dir/knowledge.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/knowledge.cc.o.d"
+  "/root/repo/src/core/learner.cc" "src/core/CMakeFiles/freeway_core.dir/learner.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/learner.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/freeway_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/precompute.cc" "src/core/CMakeFiles/freeway_core.dir/precompute.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/precompute.cc.o.d"
+  "/root/repo/src/core/rate_adjuster.cc" "src/core/CMakeFiles/freeway_core.dir/rate_adjuster.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/rate_adjuster.cc.o.d"
+  "/root/repo/src/core/shift_detector.cc" "src/core/CMakeFiles/freeway_core.dir/shift_detector.cc.o" "gcc" "src/core/CMakeFiles/freeway_core.dir/shift_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/freeway_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/freeway_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/freeway_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/freeway_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freeway_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

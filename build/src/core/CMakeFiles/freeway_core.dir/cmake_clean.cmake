@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_core.dir/adaptive_window.cc.o"
+  "CMakeFiles/freeway_core.dir/adaptive_window.cc.o.d"
+  "CMakeFiles/freeway_core.dir/cec.cc.o"
+  "CMakeFiles/freeway_core.dir/cec.cc.o.d"
+  "CMakeFiles/freeway_core.dir/disorder.cc.o"
+  "CMakeFiles/freeway_core.dir/disorder.cc.o.d"
+  "CMakeFiles/freeway_core.dir/exp_buffer.cc.o"
+  "CMakeFiles/freeway_core.dir/exp_buffer.cc.o.d"
+  "CMakeFiles/freeway_core.dir/granularity.cc.o"
+  "CMakeFiles/freeway_core.dir/granularity.cc.o.d"
+  "CMakeFiles/freeway_core.dir/knowledge.cc.o"
+  "CMakeFiles/freeway_core.dir/knowledge.cc.o.d"
+  "CMakeFiles/freeway_core.dir/learner.cc.o"
+  "CMakeFiles/freeway_core.dir/learner.cc.o.d"
+  "CMakeFiles/freeway_core.dir/pipeline.cc.o"
+  "CMakeFiles/freeway_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/freeway_core.dir/precompute.cc.o"
+  "CMakeFiles/freeway_core.dir/precompute.cc.o.d"
+  "CMakeFiles/freeway_core.dir/rate_adjuster.cc.o"
+  "CMakeFiles/freeway_core.dir/rate_adjuster.cc.o.d"
+  "CMakeFiles/freeway_core.dir/shift_detector.cc.o"
+  "CMakeFiles/freeway_core.dir/shift_detector.cc.o.d"
+  "libfreeway_core.a"
+  "libfreeway_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/concept.cc" "src/data/CMakeFiles/freeway_data.dir/concept.cc.o" "gcc" "src/data/CMakeFiles/freeway_data.dir/concept.cc.o.d"
+  "/root/repo/src/data/image_stream.cc" "src/data/CMakeFiles/freeway_data.dir/image_stream.cc.o" "gcc" "src/data/CMakeFiles/freeway_data.dir/image_stream.cc.o.d"
+  "/root/repo/src/data/simulators.cc" "src/data/CMakeFiles/freeway_data.dir/simulators.cc.o" "gcc" "src/data/CMakeFiles/freeway_data.dir/simulators.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/freeway_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/freeway_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/freeway_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/freeway_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/freeway_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freeway_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_data.dir/concept.cc.o"
+  "CMakeFiles/freeway_data.dir/concept.cc.o.d"
+  "CMakeFiles/freeway_data.dir/image_stream.cc.o"
+  "CMakeFiles/freeway_data.dir/image_stream.cc.o.d"
+  "CMakeFiles/freeway_data.dir/simulators.cc.o"
+  "CMakeFiles/freeway_data.dir/simulators.cc.o.d"
+  "CMakeFiles/freeway_data.dir/synthetic.cc.o"
+  "CMakeFiles/freeway_data.dir/synthetic.cc.o.d"
+  "libfreeway_data.a"
+  "libfreeway_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

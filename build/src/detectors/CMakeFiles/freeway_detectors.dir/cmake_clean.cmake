@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_detectors.dir/drift_detectors.cc.o"
+  "CMakeFiles/freeway_detectors.dir/drift_detectors.cc.o.d"
+  "libfreeway_detectors.a"
+  "libfreeway_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_eval.dir/metrics.cc.o"
+  "CMakeFiles/freeway_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/freeway_eval.dir/perf.cc.o"
+  "CMakeFiles/freeway_eval.dir/perf.cc.o.d"
+  "CMakeFiles/freeway_eval.dir/prequential.cc.o"
+  "CMakeFiles/freeway_eval.dir/prequential.cc.o.d"
+  "CMakeFiles/freeway_eval.dir/report.cc.o"
+  "CMakeFiles/freeway_eval.dir/report.cc.o.d"
+  "libfreeway_eval.a"
+  "libfreeway_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

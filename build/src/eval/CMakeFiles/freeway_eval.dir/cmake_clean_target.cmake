@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfreeway_eval.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_linalg.dir/eigen.cc.o"
+  "CMakeFiles/freeway_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/freeway_linalg.dir/matrix.cc.o"
+  "CMakeFiles/freeway_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/freeway_linalg.dir/pca.cc.o"
+  "CMakeFiles/freeway_linalg.dir/pca.cc.o.d"
+  "libfreeway_linalg.a"
+  "libfreeway_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for freeway_linalg.
+# This may be replaced when dependencies are built.

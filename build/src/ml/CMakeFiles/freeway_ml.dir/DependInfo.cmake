@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/feature_extractor.cc" "src/ml/CMakeFiles/freeway_ml.dir/feature_extractor.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/ml/layers.cc" "src/ml/CMakeFiles/freeway_ml.dir/layers.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/layers.cc.o.d"
+  "/root/repo/src/ml/losses.cc" "src/ml/CMakeFiles/freeway_ml.dir/losses.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/losses.cc.o.d"
+  "/root/repo/src/ml/models.cc" "src/ml/CMakeFiles/freeway_ml.dir/models.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/models.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/freeway_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/optimizer.cc.o.d"
+  "/root/repo/src/ml/sequential.cc" "src/ml/CMakeFiles/freeway_ml.dir/sequential.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/sequential.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/freeway_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/freeway_ml.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/freeway_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freeway_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

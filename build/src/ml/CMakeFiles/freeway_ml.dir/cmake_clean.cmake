@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_ml.dir/feature_extractor.cc.o"
+  "CMakeFiles/freeway_ml.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/freeway_ml.dir/layers.cc.o"
+  "CMakeFiles/freeway_ml.dir/layers.cc.o.d"
+  "CMakeFiles/freeway_ml.dir/losses.cc.o"
+  "CMakeFiles/freeway_ml.dir/losses.cc.o.d"
+  "CMakeFiles/freeway_ml.dir/models.cc.o"
+  "CMakeFiles/freeway_ml.dir/models.cc.o.d"
+  "CMakeFiles/freeway_ml.dir/optimizer.cc.o"
+  "CMakeFiles/freeway_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/freeway_ml.dir/sequential.cc.o"
+  "CMakeFiles/freeway_ml.dir/sequential.cc.o.d"
+  "CMakeFiles/freeway_ml.dir/serialize.cc.o"
+  "CMakeFiles/freeway_ml.dir/serialize.cc.o.d"
+  "libfreeway_ml.a"
+  "libfreeway_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeway_stream.dir/batch.cc.o"
+  "CMakeFiles/freeway_stream.dir/batch.cc.o.d"
+  "libfreeway_stream.a"
+  "libfreeway_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeway_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

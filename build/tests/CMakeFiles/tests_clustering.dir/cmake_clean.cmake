@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_clustering.dir/test_kmeans.cc.o"
+  "CMakeFiles/tests_clustering.dir/test_kmeans.cc.o.d"
+  "tests_clustering"
+  "tests_clustering.pdb"
+  "tests_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_window.cc" "tests/CMakeFiles/tests_core.dir/test_adaptive_window.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_adaptive_window.cc.o.d"
+  "/root/repo/tests/test_cec.cc" "tests/CMakeFiles/tests_core.dir/test_cec.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_cec.cc.o.d"
+  "/root/repo/tests/test_disorder.cc" "tests/CMakeFiles/tests_core.dir/test_disorder.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_disorder.cc.o.d"
+  "/root/repo/tests/test_exp_buffer.cc" "tests/CMakeFiles/tests_core.dir/test_exp_buffer.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_exp_buffer.cc.o.d"
+  "/root/repo/tests/test_granularity.cc" "tests/CMakeFiles/tests_core.dir/test_granularity.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_granularity.cc.o.d"
+  "/root/repo/tests/test_knowledge.cc" "tests/CMakeFiles/tests_core.dir/test_knowledge.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_knowledge.cc.o.d"
+  "/root/repo/tests/test_learner.cc" "tests/CMakeFiles/tests_core.dir/test_learner.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_learner.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/tests_core.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_precompute.cc" "tests/CMakeFiles/tests_core.dir/test_precompute.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_precompute.cc.o.d"
+  "/root/repo/tests/test_rate_adjuster.cc" "tests/CMakeFiles/tests_core.dir/test_rate_adjuster.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_rate_adjuster.cc.o.d"
+  "/root/repo/tests/test_shift_detector.cc" "tests/CMakeFiles/tests_core.dir/test_shift_detector.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_shift_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/freeway_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/freeway_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/freeway_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/freeway_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/freeway_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/freeway_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/freeway_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/freeway_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/freeway_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freeway_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

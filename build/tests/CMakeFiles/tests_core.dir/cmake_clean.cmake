@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/test_adaptive_window.cc.o"
+  "CMakeFiles/tests_core.dir/test_adaptive_window.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_cec.cc.o"
+  "CMakeFiles/tests_core.dir/test_cec.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_disorder.cc.o"
+  "CMakeFiles/tests_core.dir/test_disorder.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_exp_buffer.cc.o"
+  "CMakeFiles/tests_core.dir/test_exp_buffer.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_granularity.cc.o"
+  "CMakeFiles/tests_core.dir/test_granularity.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_knowledge.cc.o"
+  "CMakeFiles/tests_core.dir/test_knowledge.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_learner.cc.o"
+  "CMakeFiles/tests_core.dir/test_learner.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_pipeline.cc.o"
+  "CMakeFiles/tests_core.dir/test_pipeline.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_precompute.cc.o"
+  "CMakeFiles/tests_core.dir/test_precompute.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_rate_adjuster.cc.o"
+  "CMakeFiles/tests_core.dir/test_rate_adjuster.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_shift_detector.cc.o"
+  "CMakeFiles/tests_core.dir/test_shift_detector.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_detectors.dir/test_drift_detectors.cc.o"
+  "CMakeFiles/tests_detectors.dir/test_drift_detectors.cc.o.d"
+  "tests_detectors"
+  "tests_detectors.pdb"
+  "tests_detectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_eval.dir/test_eval.cc.o"
+  "CMakeFiles/tests_eval.dir/test_eval.cc.o.d"
+  "CMakeFiles/tests_eval.dir/test_integration.cc.o"
+  "CMakeFiles/tests_eval.dir/test_integration.cc.o.d"
+  "tests_eval"
+  "tests_eval.pdb"
+  "tests_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

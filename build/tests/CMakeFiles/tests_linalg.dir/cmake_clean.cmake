@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_linalg.dir/test_eigen.cc.o"
+  "CMakeFiles/tests_linalg.dir/test_eigen.cc.o.d"
+  "CMakeFiles/tests_linalg.dir/test_matrix.cc.o"
+  "CMakeFiles/tests_linalg.dir/test_matrix.cc.o.d"
+  "CMakeFiles/tests_linalg.dir/test_pca.cc.o"
+  "CMakeFiles/tests_linalg.dir/test_pca.cc.o.d"
+  "tests_linalg"
+  "tests_linalg.pdb"
+  "tests_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_metrics.dir/test_metrics.cc.o"
+  "CMakeFiles/tests_metrics.dir/test_metrics.cc.o.d"
+  "tests_metrics"
+  "tests_metrics.pdb"
+  "tests_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

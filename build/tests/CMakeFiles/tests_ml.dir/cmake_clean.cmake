@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ml.dir/test_layers.cc.o"
+  "CMakeFiles/tests_ml.dir/test_layers.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_losses.cc.o"
+  "CMakeFiles/tests_ml.dir/test_losses.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_models.cc.o"
+  "CMakeFiles/tests_ml.dir/test_models.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_optimizer.cc.o"
+  "CMakeFiles/tests_ml.dir/test_optimizer.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_sequential.cc.o"
+  "CMakeFiles/tests_ml.dir/test_sequential.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_serialize.cc.o"
+  "CMakeFiles/tests_ml.dir/test_serialize.cc.o.d"
+  "tests_ml"
+  "tests_ml.pdb"
+  "tests_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_stream_data.dir/test_batch.cc.o"
+  "CMakeFiles/tests_stream_data.dir/test_batch.cc.o.d"
+  "CMakeFiles/tests_stream_data.dir/test_concept.cc.o"
+  "CMakeFiles/tests_stream_data.dir/test_concept.cc.o.d"
+  "CMakeFiles/tests_stream_data.dir/test_image_stream.cc.o"
+  "CMakeFiles/tests_stream_data.dir/test_image_stream.cc.o.d"
+  "CMakeFiles/tests_stream_data.dir/test_synthetic.cc.o"
+  "CMakeFiles/tests_stream_data.dir/test_synthetic.cc.o.d"
+  "tests_stream_data"
+  "tests_stream_data.pdb"
+  "tests_stream_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_stream_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

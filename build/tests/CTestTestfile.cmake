@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_linalg[1]_include.cmake")
+include("/root/repo/build/tests/tests_ml[1]_include.cmake")
+include("/root/repo/build/tests/tests_clustering[1]_include.cmake")
+include("/root/repo/build/tests/tests_stream_data[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/tests_eval[1]_include.cmake")
+include("/root/repo/build/tests/tests_properties[1]_include.cmake")
+include("/root/repo/build/tests/tests_detectors[1]_include.cmake")
+include("/root/repo/build/tests/tests_metrics[1]_include.cmake")
