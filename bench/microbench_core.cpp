@@ -6,12 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "clustering/kmeans.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/adaptive_window.h"
 #include "core/disorder.h"
 #include "core/shift_detector.h"
 #include "linalg/pca.h"
+#include "ml/layers.h"
 #include "ml/models.h"
 
 namespace freeway {
@@ -128,6 +132,53 @@ void BM_ModelPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch.rows());
 }
 BENCHMARK(BM_ModelPredict)->Arg(256)->Arg(1024);
+
+// Thread sweep for the parallel kernels: benchmark argument = pool size,
+// applied via ThreadPool::SetGlobalThreads. Results must be bit-identical
+// across the sweep (static chunking); only the time may change.
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  const int n = static_cast<int>(std::thread::hardware_concurrency());
+  b->Arg(1)->Arg(2)->Arg(4);
+  if (n > 4) b->Arg(n);
+}
+
+void BM_MatMul(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  Matrix a = RandomBatch(512, 512, 11);
+  Matrix b = RandomBatch(512, 512, 12);
+  for (auto _ : state) {
+    Matrix c = a.MatMul(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512 * 2);
+}
+BENCHMARK(BM_MatMul)->Apply(ThreadSweep)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  Rng rng(13);
+  TensorShape shape{3, 32, 32};
+  Conv2dLayer conv(shape, 16, 5, 5, &rng);
+  Matrix batch = RandomBatch(64, shape.FlatSize(), 14);
+  for (auto _ : state) {
+    Matrix out = conv.Forward(batch);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.rows());
+}
+BENCHMARK(BM_Conv2dForward)->Apply(ThreadSweep)->Unit(benchmark::kMillisecond);
+
+void BM_KMeansAssign(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  Matrix points = RandomBatch(4096, 32, 15);
+  Matrix centroids = RandomBatch(16, 32, 16);
+  for (auto _ : state) {
+    auto assignments = AssignToCentroids(points, centroids);
+    benchmark::DoNotOptimize(assignments);
+  }
+  state.SetItemsProcessed(state.iterations() * points.rows());
+}
+BENCHMARK(BM_KMeansAssign)->Apply(ThreadSweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace freeway

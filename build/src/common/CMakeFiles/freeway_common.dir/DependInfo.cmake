@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/freeway_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/freeway_common.dir/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/freeway_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/freeway_common.dir/status.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/freeway_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/freeway_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/freeway_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/freeway_common.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

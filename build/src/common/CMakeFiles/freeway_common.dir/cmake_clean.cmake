@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/freeway_common.dir/status.cc.o.d"
   "CMakeFiles/freeway_common.dir/strings.cc.o"
   "CMakeFiles/freeway_common.dir/strings.cc.o.d"
+  "CMakeFiles/freeway_common.dir/thread_pool.cc.o"
+  "CMakeFiles/freeway_common.dir/thread_pool.cc.o.d"
   "libfreeway_common.a"
   "libfreeway_common.pdb"
 )

@@ -241,4 +241,14 @@ src/core/CMakeFiles/freeway_core.dir/granularity.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h

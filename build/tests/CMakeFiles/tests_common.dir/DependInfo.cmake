@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tests_common.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_rng.cc.o.d"
   "/root/repo/tests/test_status.cc" "tests/CMakeFiles/tests_common.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_status.cc.o.d"
   "/root/repo/tests/test_strings.cc" "tests/CMakeFiles/tests_common.dir/test_strings.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_strings.cc.o.d"
+  "/root/repo/tests/test_thread_pool.cc" "tests/CMakeFiles/tests_common.dir/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tests_common.dir/test_status.cc.o.d"
   "CMakeFiles/tests_common.dir/test_strings.cc.o"
   "CMakeFiles/tests_common.dir/test_strings.cc.o.d"
+  "CMakeFiles/tests_common.dir/test_thread_pool.cc.o"
+  "CMakeFiles/tests_common.dir/test_thread_pool.cc.o.d"
   "tests_common"
   "tests_common.pdb"
   "tests_common[1]_tests.cmake"

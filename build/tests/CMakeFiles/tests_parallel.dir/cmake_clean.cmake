@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_parallel.dir/test_parallel_determinism.cc.o"
+  "CMakeFiles/tests_parallel.dir/test_parallel_determinism.cc.o.d"
+  "tests_parallel"
+  "tests_parallel.pdb"
+  "tests_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

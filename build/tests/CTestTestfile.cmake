@@ -15,3 +15,4 @@ include("/root/repo/build/tests/tests_eval[1]_include.cmake")
 include("/root/repo/build/tests/tests_properties[1]_include.cmake")
 include("/root/repo/build/tests/tests_detectors[1]_include.cmake")
 include("/root/repo/build/tests/tests_metrics[1]_include.cmake")
+include("/root/repo/build/tests/tests_parallel[1]_include.cmake")

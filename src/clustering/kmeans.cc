@@ -1,12 +1,32 @@
 #include "clustering/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace freeway {
 namespace {
+
+/// Index of the centroid nearest to `point`.
+int NearestCentroid(std::span<const double> point, const Matrix& centroids) {
+  double best = std::numeric_limits<double>::infinity();
+  int best_c = 0;
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const double d2 = vec::SquaredDistance(point, centroids.Row(c));
+    if (d2 < best) {
+      best = d2;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+/// Points per parallel chunk for a pass that scans all k centroids per
+/// point. Shape-only, so the chunk/shard layout is thread-count invariant.
+size_t AssignGrain(size_t k, size_t dim) { return GrainForCost(k * dim); }
 
 /// k-means++ seeding: first center uniform, subsequent centers sampled
 /// proportionally to squared distance from the nearest existing center.
@@ -51,18 +71,12 @@ Matrix SeedPlusPlus(const Matrix& points, size_t k, Rng* rng) {
 std::vector<int> AssignToCentroids(const Matrix& points,
                                    const Matrix& centroids) {
   std::vector<int> out(points.rows(), 0);
-  for (size_t i = 0; i < points.rows(); ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    int best_c = 0;
-    for (size_t c = 0; c < centroids.rows(); ++c) {
-      const double d2 = vec::SquaredDistance(points.Row(i), centroids.Row(c));
-      if (d2 < best) {
-        best = d2;
-        best_c = static_cast<int>(c);
-      }
-    }
-    out[i] = best_c;
-  }
+  ParallelFor(0, points.rows(), AssignGrain(centroids.rows(), points.cols()),
+              [&](size_t p0, size_t p1) {
+                for (size_t i = p0; i < p1; ++i) {
+                  out[i] = NearestCentroid(points.Row(i), centroids);
+                }
+              });
   return out;
 }
 
@@ -83,31 +97,53 @@ Result<KMeansResult> KMeans(const Matrix& points, size_t k,
   result.centroids = SeedPlusPlus(points, k, &rng);
   result.assignments.assign(n, -1);
 
+  // Shard layout of the parallel assignment/accumulation pass. Each shard
+  // owns one contiguous point range and accumulates private per-center
+  // counts/sums; partials merge in ascending shard order, so the pass is
+  // bit-identical at every thread count (shard boundaries depend only on
+  // the problem shape).
+  const size_t grain = AssignGrain(k, dim);
+  const size_t num_shards = (n + grain - 1) / grain;
+  std::vector<int> shard_counts(num_shards * k);
+  Matrix shard_sums(num_shards * k, dim);
+  std::vector<char> shard_changed(num_shards);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: nearest centroid per point plus per-center
+    // accumulation (shared with CEC, whose clusters feed label histograms).
+    std::fill(shard_counts.begin(), shard_counts.end(), 0);
+    shard_sums.Fill(0.0);
+    std::fill(shard_changed.begin(), shard_changed.end(), 0);
+    ParallelFor(0, n, grain, [&](size_t p0, size_t p1) {
+      const size_t shard = p0 / grain;
+      int* counts = shard_counts.data() + shard * k;
+      bool shard_moved = false;
+      for (size_t i = p0; i < p1; ++i) {
+        const int best_c = NearestCentroid(points.Row(i), result.centroids);
+        if (result.assignments[i] != best_c) {
+          result.assignments[i] = best_c;
+          shard_moved = true;
+        }
+        ++counts[static_cast<size_t>(best_c)];
+        auto sum_row = shard_sums.Row(shard * k + static_cast<size_t>(best_c));
+        auto p_row = points.Row(i);
+        for (size_t d = 0; d < dim; ++d) sum_row[d] += p_row[d];
+      }
+      shard_changed[shard] = shard_moved ? 1 : 0;
+    });
+
     bool changed = false;
     std::vector<int> counts(k, 0);
     Matrix sums(k, dim);
-    for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_c = 0;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (shard_changed[shard]) changed = true;
       for (size_t c = 0; c < k; ++c) {
-        const double d2 =
-            vec::SquaredDistance(points.Row(i), result.centroids.Row(c));
-        if (d2 < best) {
-          best = d2;
-          best_c = static_cast<int>(c);
-        }
+        counts[c] += shard_counts[shard * k + c];
+        auto sum_row = sums.Row(c);
+        auto part = shard_sums.Row(shard * k + c);
+        for (size_t d = 0; d < dim; ++d) sum_row[d] += part[d];
       }
-      if (result.assignments[i] != best_c) {
-        result.assignments[i] = best_c;
-        changed = true;
-      }
-      ++counts[static_cast<size_t>(best_c)];
-      auto sum_row = sums.Row(static_cast<size_t>(best_c));
-      auto p_row = points.Row(i);
-      for (size_t d = 0; d < dim; ++d) sum_row[d] += p_row[d];
     }
 
     // Update step with empty-cluster repair.

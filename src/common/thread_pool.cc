@@ -1,0 +1,184 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace freeway {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// Shared state of one ParallelFor call. Heap-held (shared_ptr) so helper
+/// tasks that drain after the caller has already collected all chunks never
+/// touch a dead frame.
+struct ForLoopState {
+  size_t begin = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  size_t range_end = 0;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t completed_chunks = 0;
+  std::exception_ptr first_error;
+
+  /// Claims and runs chunks until none remain. Returns after contributing
+  /// at least zero chunks; safe to call from any thread.
+  void Drain() {
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const size_t lo = begin + chunk * grain;
+      size_t hi = lo + grain;
+      if (hi > range_end) hi = range_end;
+      std::exception_ptr error;
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (error && !first_error) first_error = error;
+      if (++completed_chunks == num_chunks) done.notify_all();
+    }
+  }
+};
+
+size_t GlobalPoolSize() {
+  if (const char* env = std::getenv("FREEWAY_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) return static_cast<size_t>(parsed);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  const size_t num_chunks = (range + grain - 1) / grain;
+
+  // Serial fallback: no workers, nothing to split, or a nested call from a
+  // worker thread (which must not block on the queue it is draining).
+  if (workers_.empty() || num_chunks <= 1 || InWorkerThread()) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t lo = begin + chunk * grain;
+      const size_t hi = lo + grain < end ? lo + grain : end;
+      fn(lo, hi);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForLoopState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+  state->range_end = end;
+
+  // One helper task per worker that could usefully contribute; each drains
+  // chunks from the shared atomic counter.
+  size_t helpers = workers_.size();
+  if (helpers > num_chunks - 1) helpers = num_chunks - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { state->Drain(); });
+    }
+  }
+  if (helpers == 1) {
+    work_available_.notify_one();
+  } else {
+    work_available_.notify_all();
+  }
+
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock,
+                   [&] { return state->completed_chunks == state->num_chunks; });
+  // `fn` may dangle once we return; helper tasks only read it while a chunk
+  // is still unclaimed, and all chunks are complete here.
+  state->fn = nullptr;
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+ThreadPool* ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = GlobalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(GlobalPoolSize());
+  return slot.get();
+}
+
+void ThreadPool::SetGlobalThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = GlobalSlot();
+  slot.reset();
+  slot = std::make_unique<ThreadPool>(num_threads >= 1 ? num_threads : 1);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global()->ParallelFor(begin, end, grain, fn);
+}
+
+size_t GrainForCost(size_t ops_per_item, size_t target_ops) {
+  if (ops_per_item == 0) ops_per_item = 1;
+  const size_t grain = target_ops / ops_per_item;
+  return grain >= 1 ? grain : 1;
+}
+
+}  // namespace freeway

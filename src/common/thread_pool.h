@@ -1,0 +1,87 @@
+#ifndef FREEWAYML_COMMON_THREAD_POOL_H_
+#define FREEWAYML_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace freeway {
+
+/// Fixed-size worker pool backing the library's parallel kernels (matmul,
+/// im2col convolution, k-means assignment, ensemble member inference).
+///
+/// The only parallel primitive is the blocking ParallelFor below. Its
+/// determinism contract: chunk boundaries depend solely on (begin, end,
+/// grain) — never on the pool size or on scheduling — so a kernel whose
+/// chunks write disjoint outputs, or whose per-chunk partials are merged in
+/// chunk order, produces bit-identical results at every thread count
+/// (including the serial fallback).
+///
+/// Nested calls are safe: a ParallelFor issued from inside a worker thread
+/// runs serially on that worker, so inner kernels (e.g. a MatMul inside an
+/// ensemble member's forward pass) neither deadlock nor oversubscribe.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 and 1 both mean "no workers" (every
+  /// ParallelFor degenerates to the serial fallback).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into
+  /// ceil((end-begin)/grain) contiguous chunks and blocks until all chunks
+  /// finish. The calling thread participates. Runs serially (in ascending
+  /// chunk order, on the caller) when the pool has no workers, the range
+  /// fits in one chunk, or the caller is itself a pool worker.
+  ///
+  /// The first exception thrown by `fn` is captured and rethrown on the
+  /// calling thread once every chunk has completed.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool InWorkerThread();
+
+  /// Process-global pool, created on first use. Sized by the
+  /// FREEWAY_NUM_THREADS environment variable when set (clamped to >= 1),
+  /// otherwise std::thread::hardware_concurrency().
+  static ThreadPool* Global();
+
+  /// Replaces the global pool with one of `num_threads` threads. Intended
+  /// for tests and benchmarks sweeping thread counts; callers must ensure
+  /// no ParallelFor is in flight on the old pool.
+  static void SetGlobalThreads(size_t num_threads);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stop_ = false;
+};
+
+/// ParallelFor on the global pool; the entry point used by the kernels.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Chunk size that gives each chunk roughly `target_ops` scalar operations
+/// of work when one item costs `ops_per_item`; never below 1. Keeps
+/// scheduling overhead negligible for small problems while still splitting
+/// big ones finely enough to balance load.
+size_t GrainForCost(size_t ops_per_item, size_t target_ops = 16384);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_COMMON_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "core/granularity.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace freeway {
 
@@ -270,16 +272,43 @@ Result<Matrix> MultiGranularityEnsemble::PredictProba(const Matrix& x) {
   }
   for (auto& w : last_weights_) w /= kept_sum;
 
-  FREEWAY_ASSIGN_OR_RETURN(Matrix blended, short_model_->PredictProba(x));
+  // Member forward passes touch disjoint models and only read `x`, so they
+  // run in parallel (the paper's parallel member inference). Blending stays
+  // serial in member order, so the result is identical at any thread count.
+  std::vector<size_t> active;
+  active.push_back(0);
+  for (size_t i = 0; i < long_.size(); ++i) {
+    if (last_weights_[i + 1] != 0.0) active.push_back(i + 1);
+  }
+  std::vector<Matrix> member_proba(long_.size() + 1);
+  std::vector<Status> member_status(long_.size() + 1);
+  ParallelFor(0, active.size(), 1, [&](size_t a0, size_t a1) {
+    for (size_t a = a0; a < a1; ++a) {
+      const size_t m = active[a];
+      Result<Matrix> proba = Status::Internal("unreached");
+      if (m == 0) {
+        proba = short_model_->PredictProba(x);
+      } else {
+        // The lock pins the member across its forward pass so an async
+        // update cannot swap the model out mid-inference (the paper's
+        // update atomicity); uncontended in synchronous mode.
+        std::lock_guard<std::mutex> lock(long_[m - 1].mutex);
+        proba = long_[m - 1].model->PredictProba(x);
+      }
+      if (proba.ok()) {
+        member_proba[m] = std::move(proba).value();
+      } else {
+        member_status[m] = proba.status();
+      }
+    }
+  });
+  for (size_t m : active) FREEWAY_RETURN_NOT_OK(member_status[m]);
+
+  Matrix blended = std::move(member_proba[0]);
   blended.ScaleInPlace(last_weights_[0]);
   for (size_t i = 0; i < long_.size(); ++i) {
     if (last_weights_[i + 1] == 0.0) continue;
-    // The lock pins the member across its forward pass so an async update
-    // cannot swap the model out mid-inference (the paper's update
-    // atomicity); uncontended in synchronous mode.
-    std::lock_guard<std::mutex> lock(long_[i].mutex);
-    FREEWAY_ASSIGN_OR_RETURN(Matrix proba, long_[i].model->PredictProba(x));
-    blended.Axpy(last_weights_[i + 1], proba);
+    blended.Axpy(last_weights_[i + 1], member_proba[i + 1]);
   }
   return blended;
 }

@@ -1,12 +1,37 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace freeway {
+namespace {
+
+/// Panel height for k-tiling inside a row block; 64 rows of a 512-wide B
+/// panel is 256 KiB. Tiles iterate in ascending k, so per-element
+/// accumulation order is the plain ascending-k order.
+constexpr size_t kPanelRows = 64;
+
+/// Output rows per parallel chunk for a matmul-shaped kernel whose per-row
+/// cost is `inner_ops` scalar multiply-adds. Two forces: chunks need
+/// >= ~128K ops so scheduling cost stays invisible, and wide outputs want
+/// >= kPanelRows rows per chunk so the k-panel of B is reused across the
+/// block. Depends only on the shapes involved, so chunk boundaries (and
+/// results) are independent of the pool size.
+size_t MatMulGrain(size_t inner_ops, size_t out_width, size_t rows) {
+  size_t grain =
+      std::max<size_t>(1, (size_t{1} << 17) / std::max<size_t>(1, inner_ops));
+  if (out_width >= kPanelRows) {
+    grain = std::max(grain, std::min(kPanelRows, rows));
+  }
+  return grain;
+}
+
+}  // namespace
 
 Result<Matrix> Matrix::FromData(size_t rows, size_t cols,
                                 std::vector<double> data) {
@@ -45,12 +70,16 @@ void Matrix::Fill(double value) {
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
-  FREEWAY_DCHECK(SameShape(other));
+  FREEWAY_DCHECK(SameShape(other))
+      << "Matrix::AddInPlace: shape mismatch " << ShapeString() << " vs "
+      << other.ShapeString();
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::SubInPlace(const Matrix& other) {
-  FREEWAY_DCHECK(SameShape(other));
+  FREEWAY_DCHECK(SameShape(other))
+      << "Matrix::SubInPlace: shape mismatch " << ShapeString() << " vs "
+      << other.ShapeString();
   for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
 }
 
@@ -59,55 +88,156 @@ void Matrix::ScaleInPlace(double factor) {
 }
 
 void Matrix::Axpy(double factor, const Matrix& other) {
-  FREEWAY_DCHECK(SameShape(other));
+  FREEWAY_DCHECK(SameShape(other))
+      << "Matrix::Axpy: shape mismatch " << ShapeString() << " vs "
+      << other.ShapeString();
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  FREEWAY_DCHECK(cols_ == other.rows_);
+  FREEWAY_DCHECK(cols_ == other.rows_)
+      << "Matrix::MatMul: shape mismatch " << ShapeString() << " * "
+      << other.ShapeString();
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streams through `other` rows for cache friendliness.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    double* out_row = out.data() + i * other.cols_;
-    for (size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.data() + k * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+  const size_t n = other.cols_;
+  // Row blocks run in parallel; within a block, B is consumed in k-panels so
+  // one ~256 KiB panel serves every row of the block. Each output row
+  // accumulates in plain ascending-k order regardless of blocking or thread
+  // count, so results are bit-identical to the serial kernel.
+  ParallelFor(0, rows_, MatMulGrain(cols_ * n, n, rows_),
+              [&](size_t r0, size_t r1) {
+    for (size_t kk = 0; kk < cols_; kk += kPanelRows) {
+      const size_t k_end = std::min(kk + kPanelRows, cols_);
+      for (size_t i = r0; i < r1; ++i) {
+        const double* a_row = data_.data() + i * cols_;
+        double* out_row = out.data() + i * n;
+        size_t k = kk;
+        // 4-way k-unroll: one pass over out_row per 4 B-rows. The adds stay
+        // sequential in ascending k, so each element's value is identical
+        // to the scalar loop. Groups with a zero fall back to the scalar
+        // zero-skip path (post-ReLU activations are full of zeros, and
+        // 0 * inf must keep contributing nothing).
+        for (; k + 4 <= k_end; k += 4) {
+          const double a0 = a_row[k];
+          const double a1 = a_row[k + 1];
+          const double a2 = a_row[k + 2];
+          const double a3 = a_row[k + 3];
+          if (a0 == 0.0 || a1 == 0.0 || a2 == 0.0 || a3 == 0.0) {
+            for (size_t kq = k; kq < k + 4; ++kq) {
+              const double a = a_row[kq];
+              if (a == 0.0) continue;
+              const double* b_row = other.data() + kq * n;
+              for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+            }
+            continue;
+          }
+          const double* b0 = other.data() + k * n;
+          const double* b1 = b0 + n;
+          const double* b2 = b1 + n;
+          const double* b3 = b2 + n;
+          for (size_t j = 0; j < n; ++j) {
+            double t = out_row[j];
+            t += a0 * b0[j];
+            t += a1 * b1[j];
+            t += a2 * b2[j];
+            t += a3 * b3[j];
+            out_row[j] = t;
+          }
+        }
+        for (; k < k_end; ++k) {
+          const double a = a_row[k];
+          if (a == 0.0) continue;
+          const double* b_row = other.data() + k * n;
+          for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
-  FREEWAY_DCHECK(rows_ == other.rows_);
+  FREEWAY_DCHECK(rows_ == other.rows_)
+      << "Matrix::TransposeMatMul: shape mismatch " << ShapeString() << "^T * "
+      << other.ShapeString();
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const double* a_row = data_.data() + k * cols_;
-    const double* b_row = other.data() + k * other.cols_;
-    for (size_t i = 0; i < cols_; ++i) {
-      const double a = a_row[i];
-      if (a == 0.0) continue;
-      double* out_row = out.data() + i * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+  const size_t n = other.cols_;
+  // Parallel over blocks of output rows (= columns of A); k stays the outer
+  // sequential loop inside each block, so every output element accumulates
+  // in ascending-k order — deterministic at any thread count.
+  ParallelFor(0, cols_, MatMulGrain(rows_ * n, n, cols_),
+              [&](size_t i0, size_t i1) {
+    size_t k = 0;
+    // Same 4-way k-unroll as MatMul: sequential adds in ascending k keep
+    // each element bit-identical to the scalar loop, groups containing a
+    // zero fall back to the zero-skip path.
+    for (; k + 4 <= rows_; k += 4) {
+      const double* a0_row = data_.data() + k * cols_;
+      const double* a1_row = a0_row + cols_;
+      const double* a2_row = a1_row + cols_;
+      const double* a3_row = a2_row + cols_;
+      const double* b0 = other.data() + k * n;
+      const double* b1 = b0 + n;
+      const double* b2 = b1 + n;
+      const double* b3 = b2 + n;
+      for (size_t i = i0; i < i1; ++i) {
+        const double a0 = a0_row[i];
+        const double a1 = a1_row[i];
+        const double a2 = a2_row[i];
+        const double a3 = a3_row[i];
+        double* out_row = out.data() + i * n;
+        if (a0 == 0.0 || a1 == 0.0 || a2 == 0.0 || a3 == 0.0) {
+          for (size_t kq = 0; kq < 4; ++kq) {
+            const double a = (data_.data() + (k + kq) * cols_)[i];
+            if (a == 0.0) continue;
+            const double* b_row = other.data() + (k + kq) * n;
+            for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+          }
+          continue;
+        }
+        for (size_t j = 0; j < n; ++j) {
+          double t = out_row[j];
+          t += a0 * b0[j];
+          t += a1 * b1[j];
+          t += a2 * b2[j];
+          t += a3 * b3[j];
+          out_row[j] = t;
+        }
+      }
     }
-  }
+    for (; k < rows_; ++k) {
+      const double* a_row = data_.data() + k * cols_;
+      const double* b_row = other.data() + k * n;
+      for (size_t i = i0; i < i1; ++i) {
+        const double a = a_row[i];
+        if (a == 0.0) continue;
+        double* out_row = out.data() + i * n;
+        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+      }
+    }
+  });
   return out;
 }
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
-  FREEWAY_DCHECK(cols_ == other.cols_);
+  FREEWAY_DCHECK(cols_ == other.cols_)
+      << "Matrix::MatMulTranspose: shape mismatch " << ShapeString() << " * "
+      << other.ShapeString() << "^T";
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.data() + j * other.cols_;
-      double acc = 0.0;
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out.At(i, j) = acc;
+  // Independent dot products; row blocks of the output run in parallel and
+  // each dot accumulates in ascending-k order.
+  ParallelFor(0, rows_, MatMulGrain(other.rows_ * cols_, other.rows_, rows_),
+              [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const double* a_row = data_.data() + i * cols_;
+      for (size_t j = 0; j < other.rows_; ++j) {
+        const double* b_row = other.data() + j * other.cols_;
+        double acc = 0.0;
+        for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+        out.At(i, j) = acc;
+      }
     }
-  }
+  });
   return out;
 }
 

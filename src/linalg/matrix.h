@@ -92,6 +92,11 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// "RxC" shape rendering for assertion/error messages.
+  std::string ShapeString() const {
+    return std::to_string(rows_) + "x" + std::to_string(cols_);
+  }
+
   /// True when every entry is finite (no NaN / infinity). Input validation
   /// for streaming data of unknown quality.
   bool AllFinite() const;

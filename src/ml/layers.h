@@ -90,6 +90,13 @@ struct TensorShape {
 /// 2-D convolution, stride 1, no padding. Tabular streams are treated as
 /// 1 x 1 x dim images with 1 x k kernels, matching the paper's appendix CNN
 /// on value-based datasets.
+///
+/// Forward/backward run as im2col + matmul: each sample's receptive fields
+/// are unpacked into rows of a patch matrix so the convolution becomes one
+/// dense product on the parallel matmul kernels. The patch matrix is cached
+/// per batch shape; batches whose patch matrix would exceed a fixed memory
+/// budget are processed in sample blocks (block boundaries depend only on
+/// shapes, keeping results deterministic at any thread count).
 class Conv2dLayer : public Layer {
  public:
   Conv2dLayer(TensorShape input_shape, size_t out_channels, size_t kernel_h,
@@ -107,6 +114,13 @@ class Conv2dLayer : public Layer {
   TensorShape output_shape() const { return output_shape_; }
 
  private:
+  /// Samples per im2col block: the whole batch when its patch matrix fits
+  /// the budget, else the largest block that does.
+  size_t SampleBlock(size_t batch_rows) const;
+  /// Unpacks samples [s0, s1) of `input` into `cols` (one row of kernel-
+  /// sized patches per output position); parallel over samples.
+  void FillCols(const Matrix& input, size_t s0, size_t s1, Matrix* cols) const;
+
   TensorShape input_shape_;
   TensorShape output_shape_;
   size_t kernel_h_, kernel_w_;
@@ -114,6 +128,10 @@ class Conv2dLayer : public Layer {
   Matrix kernels_, bias_;
   Matrix grad_kernels_, grad_bias_;
   Matrix cached_input_;
+  /// im2col scratch, reused while the batch shape is stable; after Forward
+  /// on a single-block batch it still holds that batch's patches, which
+  /// Backward reuses without rebuilding.
+  Matrix col_buffer_;
 };
 
 /// Max pooling with square-or-rectangular window; stride equals the window.

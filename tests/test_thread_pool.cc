@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace freeway {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t grain : {1u, 3u, 64u, 5000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(0, n, grain, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, CoversOffsetRange) {
+  ThreadPool pool(3);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(10, 110, 7, [&](size_t b, size_t e) {
+    size_t local = 0;
+    for (size_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  size_t expected = 0;
+  for (size_t i = 10; i < 110; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfPoolSize) {
+  // The determinism contract: the chunk partition is a pure function of
+  // (begin, end, grain). Collect the chunks at two pool sizes and compare.
+  auto chunks_at = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(3, 250, 16, [&](size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(chunks_at(1), chunks_at(4));
+  EXPECT_EQ(chunks_at(2), chunks_at(8));
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAfterDraining) {
+  ThreadPool pool(4);
+  std::atomic<size_t> visited{0};
+  try {
+    pool.ParallelFor(0, 100, 1, [&](size_t b, size_t) {
+      visited.fetch_add(1);
+      if (b == 50) throw std::runtime_error("chunk 50 failed");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 50 failed");
+  }
+  // Every chunk still ran: an error does not abandon queued work.
+  EXPECT_EQ(visited.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyOnWorkers) {
+  // Four chunks on a caller + 3 workers, with a rendezvous so each thread
+  // takes exactly one chunk: the caller cannot drain the whole range before
+  // the workers wake, so nested calls provably execute on worker threads.
+  ThreadPool pool(4);
+  std::atomic<size_t> arrived{0};
+  std::atomic<size_t> on_worker{0};
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(0, 4, 1, [&](size_t, size_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 4) {}
+    if (ThreadPool::InWorkerThread()) on_worker.fetch_add(1);
+    // Inner call from a worker must neither deadlock nor double-count.
+    pool.ParallelFor(0, 10, 1, [&](size_t b, size_t e) {
+      inner_total.fetch_add(e - b);
+    });
+  });
+  EXPECT_EQ(on_worker.load(), 3u);
+  EXPECT_EQ(inner_total.load(), 40u);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, SerialPoolStillCovers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  size_t total = 0;  // No atomics needed: everything runs on this thread.
+  pool.ParallelFor(0, 33, 4, [&](size_t b, size_t e) { total += e - b; });
+  EXPECT_EQ(total, 33u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolWorks) {
+  ThreadPool::SetGlobalThreads(3);
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 100, 9, [&](size_t b, size_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 100u);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ThreadPoolTest, GrainForCost) {
+  EXPECT_EQ(GrainForCost(1, 1024), 1024u);
+  EXPECT_EQ(GrainForCost(512, 1024), 2u);
+  EXPECT_EQ(GrainForCost(4096, 1024), 1u);  // Never below one item.
+  EXPECT_GE(GrainForCost(0), 1u);
+}
+
+}  // namespace
+}  // namespace freeway
