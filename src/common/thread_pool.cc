@@ -154,6 +154,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
 bool ThreadPool::InWorkerThread() { return t_in_worker; }
 
 ThreadPool* ThreadPool::Global() {

@@ -24,6 +24,13 @@ namespace freeway {
 /// Nested calls are safe: a ParallelFor issued from inside a worker thread
 /// runs serially on that worker, so inner kernels (e.g. a MatMul inside an
 /// ensemble member's forward pass) neither deadlock nor oversubscribe.
+///
+/// Alongside ParallelFor, Submit enqueues standalone tasks (the streaming
+/// runtime's shard drain tasks). Submitted tasks share the worker queue
+/// with ParallelFor helpers, so a submitted task must be *cooperative*:
+/// it should process a bounded amount of work and return (re-submitting
+/// itself if more arrives) rather than parking a worker in an endless
+/// loop, or ParallelFor chunks queued behind it starve.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers; 0 and 1 both mean "no workers" (every
@@ -48,6 +55,12 @@ class ThreadPool {
   /// calling thread once every chunk has completed.
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
+
+  /// Enqueues one standalone task for asynchronous execution on a worker.
+  /// Tasks start in FIFO order relative to other submitted tasks. When the
+  /// pool has no workers the task runs inline on the caller before Submit
+  /// returns — callers must not hold locks the task also takes.
+  void Submit(std::function<void()> task);
 
   /// True when called from one of this process's pool worker threads.
   static bool InWorkerThread();

@@ -24,11 +24,30 @@ double StreamPipeline::WindowPressure() const {
   return pressure > 1.0 ? 1.0 : pressure;
 }
 
+void StreamPipeline::SetExternalRate(double batches_per_sec) {
+  external_rate_ = batches_per_sec >= 0.0 ? batches_per_sec : 0.0;
+}
+
 void StreamPipeline::Tick() {
   if (!options_.enable_rate_adjuster) return;
   const double elapsed = since_last_batch_.ElapsedSeconds();
   since_last_batch_.Restart();
-  const double rate = elapsed > 1e-9 ? 1.0 / elapsed : 1e9;
+  double rate;
+  if (external_rate_.has_value()) {
+    rate = *external_rate_;
+    external_rate_.reset();
+  } else if (first_tick_) {
+    // The stopwatch spans construction → first batch, not an inter-batch
+    // gap; observing it would seed the adjuster's EMA with a garbage
+    // sample (near-infinite when the first push follows construction
+    // immediately) and the first adjustment would over-react. Skip — the
+    // EMA seeds with the first *real* inter-batch rate instead.
+    first_tick_ = false;
+    return;
+  } else {
+    rate = elapsed > 1e-9 ? 1.0 / elapsed : 1e9;
+  }
+  first_tick_ = false;
   last_adjustment_ = adjuster_.Observe(rate, WindowPressure());
   learner_.SetWindowDecayBoost(last_adjustment_.decay_boost);
 }

@@ -24,6 +24,13 @@ struct PipelineOptions {
 /// batches feed the inference path (strategy selector). A rate-aware
 /// adjuster observes the flow rate and window pressure and tunes the ASW
 /// decay / update throttling accordingly.
+///
+/// Threading contract: a StreamPipeline is externally synchronized — Push /
+/// PushPrequential / SetExternalRate mutate the learner, the adjuster, and
+/// the flow stopwatch with no internal locking, and none of them re-enter
+/// the pipeline. At most one thread may drive an instance at a time
+/// (StreamRuntime guarantees this by running one drain task per shard);
+/// const accessors are safe only while no push is in flight.
 class StreamPipeline {
  public:
   StreamPipeline(const Model& prototype, const PipelineOptions& options = {});
@@ -34,6 +41,13 @@ class StreamPipeline {
 
   /// Prequential push for labeled traffic: infer first, then train.
   Result<InferenceReport> PushPrequential(const Batch& batch);
+
+  /// Supplies an externally measured flow rate (batches/sec) consumed by
+  /// the next push in place of the internal inter-push stopwatch. A queued
+  /// runtime must use this: once batches wait in a queue, the stopwatch
+  /// measures the *service* rate (how fast this pipeline drains), while the
+  /// adjuster's contract wants the *arrival* rate the producers impose.
+  void SetExternalRate(double batches_per_sec);
 
   Learner* mutable_learner() { return &learner_; }
   const Learner& learner() const { return learner_; }
@@ -56,6 +70,11 @@ class StreamPipeline {
   RateAwareAdjuster adjuster_;
   RateAdjustment last_adjustment_;
   Stopwatch since_last_batch_;
+  /// Arrival rate supplied via SetExternalRate, consumed by the next Tick.
+  std::optional<double> external_rate_;
+  /// True until the first push: the stopwatch then spans construction →
+  /// first batch, which is not an inter-batch gap, so no rate is observed.
+  bool first_tick_ = true;
   size_t batches_processed_ = 0;
 };
 

@@ -1,6 +1,10 @@
 #include "eval/perf.h"
 
+#include <thread>
+
 #include "common/stopwatch.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
 
 namespace freeway {
 
@@ -80,6 +84,95 @@ Result<double> MeasureThroughput(StreamingLearner* learner,
     return Status::Internal("MeasureThroughput: zero elapsed time");
   }
   return static_cast<double>(records) / seconds;
+}
+
+Result<MultiStreamThroughput> MeasureMultiStreamThroughput(
+    const Model& prototype, const MultiStreamPerfOptions& options) {
+  if (options.num_streams == 0 || options.batches_per_stream == 0) {
+    return Status::InvalidArgument(
+        "MeasureMultiStreamThroughput: need >= 1 stream and >= 1 batch");
+  }
+
+  // Pre-generate every stream's schedule so data generation stays out of
+  // both measurements. Distinct seeds give each stream its own drift
+  // trajectory; every `unlabeled_every`-th batch becomes inference traffic.
+  std::vector<std::vector<Batch>> streams(options.num_streams);
+  for (size_t s = 0; s < options.num_streams; ++s) {
+    HyperplaneOptions hyper;
+    hyper.seed = options.seed + 17 * s;
+    HyperplaneSource source(hyper);
+    FREEWAY_ASSIGN_OR_RETURN(
+        streams[s],
+        TakeBatches(&source, options.batches_per_stream, options.batch_size));
+    if (options.unlabeled_every > 0) {
+      for (size_t b = 0; b < streams[s].size(); ++b) {
+        if ((b + 1) % options.unlabeled_every == 0) streams[s][b].labels.clear();
+      }
+    }
+  }
+
+  MultiStreamThroughput out;
+  out.total_batches = options.num_streams * options.batches_per_stream;
+  for (const auto& stream : streams) {
+    for (const Batch& batch : stream) out.total_records += batch.size();
+  }
+
+  // Leg (a): the paper's single-stream deployment, repeated per stream on
+  // one thread.
+  {
+    std::vector<std::unique_ptr<StreamPipeline>> pipelines;
+    for (size_t s = 0; s < options.num_streams; ++s) {
+      pipelines.push_back(std::make_unique<StreamPipeline>(
+          prototype, options.runtime.pipeline));
+    }
+    Stopwatch watch;
+    for (size_t s = 0; s < options.num_streams; ++s) {
+      for (const Batch& batch : streams[s]) {
+        FREEWAY_ASSIGN_OR_RETURN(std::optional<InferenceReport> report,
+                                 pipelines[s]->Push(batch));
+        (void)report;
+      }
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds <= 0.0) {
+      return Status::Internal("MeasureMultiStreamThroughput: zero time");
+    }
+    out.sequential_batches_per_sec =
+        static_cast<double>(out.total_batches) / seconds;
+  }
+
+  // Leg (b): one shard per stream, one producer thread per stream.
+  {
+    RuntimeOptions runtime_options = options.runtime;
+    runtime_options.num_shards = options.num_streams;
+    StreamRuntime runtime(prototype, runtime_options);
+    Stopwatch watch;
+    std::vector<std::thread> producers;
+    producers.reserve(options.num_streams);
+    for (size_t s = 0; s < options.num_streams; ++s) {
+      producers.emplace_back([&runtime, &streams, s] {
+        for (const Batch& batch : streams[s]) {
+          runtime.Submit(static_cast<uint64_t>(s), batch).CheckOk();
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    runtime.Flush();
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds <= 0.0) {
+      return Status::Internal("MeasureMultiStreamThroughput: zero time");
+    }
+    out.runtime_batches_per_sec =
+        static_cast<double>(out.total_batches) / seconds;
+    out.runtime_stats = runtime.Snapshot();
+    runtime.Shutdown();
+  }
+
+  out.speedup = out.sequential_batches_per_sec > 0.0
+                    ? out.runtime_batches_per_sec /
+                          out.sequential_batches_per_sec
+                    : 0.0;
+  return out;
 }
 
 }  // namespace freeway

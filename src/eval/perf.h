@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "baselines/streaming_learner.h"
+#include "runtime/stream_runtime.h"
 #include "stream/batch.h"
 
 namespace freeway {
@@ -37,6 +38,45 @@ Result<LatencyResult> MeasureLatency(StreamingLearner* learner,
 Result<double> MeasureThroughput(StreamingLearner* learner,
                                  StreamSource* source,
                                  const PerfOptions& options);
+
+/// Options for the multi-stream runtime throughput experiment.
+struct MultiStreamPerfOptions {
+  size_t num_streams = 8;
+  size_t batches_per_stream = 24;
+  size_t batch_size = 256;
+  /// Every Nth batch is stripped of labels (pure inference traffic); 0
+  /// keeps all batches labeled.
+  size_t unlabeled_every = 3;
+  /// Runtime configuration used for the concurrent leg; `num_shards` is
+  /// overridden to `num_streams`.
+  RuntimeOptions runtime;
+  uint64_t seed = 1234;
+};
+
+/// Outcome of the sequential-vs-runtime comparison.
+struct MultiStreamThroughput {
+  /// Aggregate batches/sec over N independent StreamPipeline::Push loops
+  /// run back-to-back on the calling thread.
+  double sequential_batches_per_sec = 0.0;
+  /// Aggregate batches/sec with N producer threads submitting into an
+  /// N-shard StreamRuntime (measured from first Submit to Flush-complete).
+  double runtime_batches_per_sec = 0.0;
+  double speedup = 0.0;
+  size_t total_batches = 0;
+  size_t total_records = 0;
+  /// Runtime stats captured after the concurrent leg flushed.
+  RuntimeStatsSnapshot runtime_stats;
+};
+
+/// Multi-stream throughput experiment: the same per-stream batch schedule
+/// (pre-generated Hyperplane streams with mixed labeled/unlabeled traffic)
+/// is pushed through (a) N sequential single-stream pipelines and (b) an
+/// N-shard StreamRuntime fed by N producer threads. Wall-clock speedup
+/// tracks the host's core count; the per-stream learning trajectory is
+/// identical in both legs because shards process their batches in
+/// submission order.
+Result<MultiStreamThroughput> MeasureMultiStreamThroughput(
+    const Model& prototype, const MultiStreamPerfOptions& options);
 
 }  // namespace freeway
 

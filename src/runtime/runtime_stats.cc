@@ -1,0 +1,79 @@
+#include "runtime/runtime_stats.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace freeway {
+
+ShardStatsSnapshot ShardStatsSnapshot::From(size_t shard,
+                                            const ShardCounters& counters,
+                                            size_t queue_depth,
+                                            size_t queue_high_water,
+                                            double arrival_rate) {
+  ShardStatsSnapshot s;
+  s.shard = shard;
+  s.enqueued = counters.enqueued.load(std::memory_order_relaxed);
+  s.processed = counters.processed.load(std::memory_order_relaxed);
+  s.shed = counters.shed.load(std::memory_order_relaxed);
+  s.errors = counters.errors.load(std::memory_order_relaxed);
+  s.blocked_micros = counters.blocked_micros.load(std::memory_order_relaxed);
+  const int64_t in_flight = static_cast<int64_t>(s.enqueued) -
+                            static_cast<int64_t>(s.processed) -
+                            static_cast<int64_t>(s.shed);
+  s.in_flight = in_flight > 0 ? static_cast<uint64_t>(in_flight) : 0;
+  s.queue_depth = queue_depth;
+  s.queue_high_water = queue_high_water;
+  s.arrival_rate = arrival_rate;
+  return s;
+}
+
+void RuntimeStatsSnapshot::Aggregate() {
+  totals = ShardStatsSnapshot();
+  for (const ShardStatsSnapshot& s : shards) {
+    totals.enqueued += s.enqueued;
+    totals.processed += s.processed;
+    totals.shed += s.shed;
+    totals.errors += s.errors;
+    totals.blocked_micros += s.blocked_micros;
+    totals.in_flight += s.in_flight;
+    totals.queue_depth += s.queue_depth;
+    if (s.queue_high_water > totals.queue_high_water) {
+      totals.queue_high_water = s.queue_high_water;
+    }
+    totals.arrival_rate += s.arrival_rate;
+  }
+}
+
+namespace {
+
+void AppendShard(std::ostringstream* out, const ShardStatsSnapshot& s,
+                 bool with_shard_index) {
+  *out << "{";
+  if (with_shard_index) *out << "\"shard\": " << s.shard << ", ";
+  *out << "\"enqueued\": " << s.enqueued
+       << ", \"processed\": " << s.processed << ", \"shed\": " << s.shed
+       << ", \"errors\": " << s.errors
+       << ", \"in_flight\": " << s.in_flight
+       << ", \"queue_depth\": " << s.queue_depth
+       << ", \"queue_high_water\": " << s.queue_high_water
+       << ", \"blocked_micros\": " << s.blocked_micros
+       << ", \"arrival_rate\": " << FormatDouble(s.arrival_rate, 2) << "}";
+}
+
+}  // namespace
+
+std::string RuntimeStatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"totals\": ";
+  AppendShard(&out, totals, /*with_shard_index=*/false);
+  out << ", \"shards\": [";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out << ", ";
+    AppendShard(&out, shards[i], /*with_shard_index=*/true);
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace freeway

@@ -1,0 +1,70 @@
+#ifndef FREEWAYML_RUNTIME_RUNTIME_STATS_H_
+#define FREEWAYML_RUNTIME_RUNTIME_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace freeway {
+
+/// Live per-shard counters, written by producers and the shard's drain
+/// task with relaxed atomics. Reads race benignly with writes: a snapshot
+/// taken mid-flight is approximate; after Flush()/Shutdown() (quiescent)
+/// it is exact.
+struct ShardCounters {
+  /// Batches accepted into the shard queue (Submit calls that enqueued).
+  std::atomic<uint64_t> enqueued{0};
+  /// Batches popped and pushed through the shard pipeline (errors
+  /// included; see `errors`).
+  std::atomic<uint64_t> processed{0};
+  /// Batches dropped by the load-shedding policy before processing.
+  std::atomic<uint64_t> shed{0};
+  /// Processed batches whose pipeline push returned a non-OK status.
+  std::atomic<uint64_t> errors{0};
+  /// Total wall time producers spent blocked on a full queue.
+  std::atomic<int64_t> blocked_micros{0};
+};
+
+/// Point-in-time view of one shard.
+struct ShardStatsSnapshot {
+  size_t shard = 0;
+  uint64_t enqueued = 0;
+  uint64_t processed = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  int64_t blocked_micros = 0;
+  /// Batches accepted but not yet processed or shed (queue + executing).
+  uint64_t in_flight = 0;
+  size_t queue_depth = 0;
+  size_t queue_high_water = 0;
+  /// Smoothed producer-side arrival rate (batches/sec) seen by the shard's
+  /// overload adjuster; 0 until two submits have arrived.
+  double arrival_rate = 0.0;
+
+  /// Builds a snapshot from live counters + queue observations, deriving
+  /// in_flight = enqueued - processed - shed (clamped at 0 for mid-flight
+  /// reads).
+  static ShardStatsSnapshot From(size_t shard, const ShardCounters& counters,
+                                 size_t queue_depth, size_t queue_high_water,
+                                 double arrival_rate);
+};
+
+/// Point-in-time view of the whole runtime: per-shard rows plus totals.
+struct RuntimeStatsSnapshot {
+  std::vector<ShardStatsSnapshot> shards;
+  /// Sums over shards (queue_high_water is the max, arrival_rate the sum).
+  ShardStatsSnapshot totals;
+
+  /// Recomputes `totals` from `shards`.
+  void Aggregate();
+
+  /// Renders the snapshot as a JSON object (stable key order) for the
+  /// bench/report layer.
+  std::string ToJson() const;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_RUNTIME_RUNTIME_STATS_H_

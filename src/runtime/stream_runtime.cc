@@ -1,0 +1,198 @@
+#include "runtime/stream_runtime.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "runtime/bounded_queue.h"
+
+namespace freeway {
+
+/// Per-shard state. The queue carries its own lock; `submit_mutex` guards
+/// only the producer-side arrival-rate measurement (multiple producers may
+/// hit one shard); the pipeline is touched exclusively by the shard's
+/// single active drain task.
+struct StreamRuntime::Shard {
+  struct Item {
+    uint64_t stream_id = 0;
+    Batch batch;
+  };
+
+  Shard(size_t index, const Model& prototype, const RuntimeOptions& options)
+      : index(index),
+        queue(options.queue_capacity),
+        pipeline(prototype, options.pipeline),
+        overload_adjuster(options.overload_rate) {}
+
+  const size_t index;
+  BoundedQueue<Item> queue;
+  StreamPipeline pipeline;
+  ShardCounters counters;
+
+  std::mutex submit_mutex;
+  RateAwareAdjuster overload_adjuster;
+  Stopwatch since_last_submit;
+  bool saw_submit = false;
+  RateAdjustment last_overload;
+  /// Smoothed arrival rate published for the drain task (which forwards it
+  /// into the pipeline) and for Snapshot().
+  std::atomic<double> arrival_rate{0.0};
+};
+
+StreamRuntime::StreamRuntime(const Model& prototype,
+                             const RuntimeOptions& options,
+                             ResultCallback on_result)
+    : options_(options), on_result_(std::move(on_result)) {
+  const size_t num_shards = options.num_shards > 0 ? options.num_shards : 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, prototype, options_));
+  }
+}
+
+StreamRuntime::~StreamRuntime() { Shutdown(); }
+
+Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("StreamRuntime is shut down");
+  }
+  Shard& shard = *shards_[ShardOf(stream_id)];
+
+  // Producer-side rate measurement. The first submit has no inter-arrival
+  // gap to observe (the stopwatch would span construction → first batch),
+  // so it only arms the stopwatch; the adjuster's EMA seeds with the first
+  // real gap.
+  bool overloaded = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.submit_mutex);
+    if (!shard.saw_submit) {
+      shard.saw_submit = true;
+      shard.since_last_submit.Restart();
+    } else {
+      const double gap = shard.since_last_submit.ElapsedSeconds();
+      shard.since_last_submit.Restart();
+      const double rate = gap > 1e-9 ? 1.0 / gap : 1e9;
+      shard.last_overload =
+          shard.overload_adjuster.Observe(rate, shard.queue.fill());
+      shard.arrival_rate.store(shard.overload_adjuster.smoothed_rate(),
+                               std::memory_order_relaxed);
+    }
+    // The adjuster reports overload through its decay/throttle knobs: both
+    // activate only once the smoothed rate reaches the high watermark.
+    overloaded = shard.last_overload.decay_boost > 1.0 ||
+                 shard.last_overload.throttle_updates;
+  }
+
+  Shard::Item item;
+  item.stream_id = stream_id;
+  item.batch = std::move(batch);
+
+  BoundedQueue<Shard::Item>::PushResult push;
+  if (options_.overload_policy == OverloadPolicy::kShed && overloaded) {
+    push = shard.queue.PushShedding(
+        std::move(item),
+        [](const Shard::Item& queued) { return !queued.batch.labeled(); });
+  } else {
+    push = shard.queue.PushBlocking(std::move(item));
+  }
+  if (!push.accepted) {
+    return Status::FailedPrecondition("StreamRuntime is shut down");
+  }
+
+  shard.counters.enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (push.shed) shard.counters.shed.fetch_add(1, std::memory_order_relaxed);
+  if (push.blocked_micros > 0) {
+    shard.counters.blocked_micros.fetch_add(push.blocked_micros,
+                                            std::memory_order_relaxed);
+  }
+  if (push.activate_consumer && options_.schedule_workers) {
+    Shard* target = &shard;
+    ThreadPool::Global()->Submit([this, target] { DrainShard(target); });
+  }
+  return Status::OK();
+}
+
+size_t StreamRuntime::DrainShard(Shard* shard) {
+  size_t processed = 0;
+  Shard::Item item;
+  while (shard->queue.Pop(&item)) {
+    if (options_.forward_rate_signal) {
+      const double rate = shard->arrival_rate.load(std::memory_order_relaxed);
+      if (rate > 0.0) shard->pipeline.SetExternalRate(rate);
+    }
+    Result<std::optional<InferenceReport>> result =
+        shard->pipeline.Push(item.batch);
+    if (!result.ok()) {
+      shard->counters.errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (result->has_value()) {
+      StreamResult delivered;
+      delivered.stream_id = item.stream_id;
+      delivered.batch_index = item.batch.index;
+      delivered.report = std::move(**result);
+      Deliver(std::move(delivered));
+    }
+    shard->counters.processed.fetch_add(1, std::memory_order_relaxed);
+    ++processed;
+  }
+  return processed;
+}
+
+void StreamRuntime::Deliver(StreamResult result) {
+  if (on_result_) {
+    on_result_(result);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  results_.push_back(std::move(result));
+}
+
+void StreamRuntime::Flush() {
+  for (auto& shard : shards_) shard->queue.WaitIdle();
+}
+
+void StreamRuntime::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) {
+    // A previous Shutdown already closed the queues; still wait for drains
+    // so concurrent callers also see a quiescent runtime on return.
+    for (auto& shard : shards_) shard->queue.WaitIdle();
+    return;
+  }
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    // Manual mode has no scheduled drain tasks; consume pending work here
+    // so shutdown-with-pending-work still drains.
+    if (!options_.schedule_workers) DrainShard(shard.get());
+    shard->queue.WaitIdle();
+  }
+}
+
+std::vector<StreamResult> StreamRuntime::Drain() {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  return std::exchange(results_, {});
+}
+
+RuntimeStatsSnapshot StreamRuntime::Snapshot() const {
+  RuntimeStatsSnapshot snapshot;
+  snapshot.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot.shards.push_back(ShardStatsSnapshot::From(
+        shard->index, shard->counters, shard->queue.size(),
+        shard->queue.high_water(),
+        shard->arrival_rate.load(std::memory_order_relaxed)));
+  }
+  snapshot.Aggregate();
+  return snapshot;
+}
+
+size_t StreamRuntime::PumpShard(size_t shard) {
+  FREEWAY_DCHECK(shard < shards_.size());
+  return DrainShard(shards_[shard].get());
+}
+
+const StreamPipeline& StreamRuntime::shard_pipeline(size_t shard) const {
+  FREEWAY_DCHECK(shard < shards_.size());
+  return shards_[shard]->pipeline;
+}
+
+}  // namespace freeway

@@ -1,0 +1,137 @@
+#ifndef FREEWAYML_RUNTIME_STREAM_RUNTIME_H_
+#define FREEWAYML_RUNTIME_STREAM_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "runtime/runtime_stats.h"
+
+namespace freeway {
+
+/// What Submit does when a shard queue is full.
+enum class OverloadPolicy {
+  /// Backpressure: the producer blocks until the drain task frees space.
+  kBlock,
+  /// Load shedding: under *sustained* overload (the shard's arrival-rate
+  /// adjuster reports a rate at or above its high watermark) the oldest
+  /// unlabeled batch in the queue is dropped to make room. Labeled batches
+  /// are never shed — they are training data — and transient bursts that
+  /// the adjuster has not confirmed as overload still get backpressure, so
+  /// shedding only engages when the paper's rate-adaptation signal says
+  /// the stream genuinely outruns the pipeline.
+  kShed,
+};
+
+/// Configuration of the multi-stream runtime.
+struct RuntimeOptions {
+  /// Number of independent pipeline shards. Streams are mapped to shards
+  /// by `stream_id % num_shards`.
+  size_t num_shards = 8;
+  /// Capacity of each shard's bounded batch queue.
+  size_t queue_capacity = 64;
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Arrival-rate adjuster driving shed decisions; `high_rate` is the
+  /// sustained-overload watermark in batches/sec, and queue fill serves as
+  /// the pressure input.
+  RateAdjusterOptions overload_rate;
+  /// Options for every shard's StreamPipeline.
+  PipelineOptions pipeline;
+  /// Forward the measured producer-side arrival rate into each shard
+  /// pipeline (StreamPipeline::SetExternalRate) so the paper's rate-aware
+  /// adjuster reacts to the offered load, not the drain rate.
+  bool forward_rate_signal = true;
+  /// When false, no drain tasks are scheduled on the thread pool; work
+  /// accumulates until PumpShard() is called. For deterministic tests of
+  /// the queue policies; production callers leave this true.
+  bool schedule_workers = true;
+};
+
+/// One inference outcome delivered by the runtime.
+struct StreamResult {
+  uint64_t stream_id = 0;
+  /// `Batch::index` of the unlabeled batch that produced this report.
+  int64_t batch_index = 0;
+  InferenceReport report;
+};
+
+/// Sharded executor serving many concurrent streams on the process thread
+/// pool. Each shard owns a StreamPipeline and a bounded MPSC queue;
+/// producers call Submit from any thread, and drain tasks — scheduled on
+/// demand, one active per shard — pop batches and push them through the
+/// shard's pipeline. Because a shard never has more than one active drain
+/// task and its queue is FIFO, batches of a stream are processed in
+/// submission order.
+///
+/// Results for unlabeled batches are delivered through the constructor
+/// callback when one is given (invoked on drain-task threads — the
+/// callback must be thread-safe and must not call Shutdown/Flush), or
+/// accumulated internally and collected with Drain().
+class StreamRuntime {
+ public:
+  using ResultCallback = std::function<void(const StreamResult&)>;
+
+  StreamRuntime(const Model& prototype, const RuntimeOptions& options = {},
+                ResultCallback on_result = nullptr);
+
+  /// Calls Shutdown().
+  ~StreamRuntime();
+
+  StreamRuntime(const StreamRuntime&) = delete;
+  StreamRuntime& operator=(const StreamRuntime&) = delete;
+
+  /// Routes one batch to its stream's shard: enqueues, blocks for space,
+  /// or sheds per the overload policy. Thread-safe. Returns
+  /// FailedPrecondition after Shutdown().
+  Status Submit(uint64_t stream_id, Batch batch);
+
+  /// Blocks until every batch accepted before the call has been processed.
+  /// Concurrent Submits may keep individual shards busy past the return.
+  void Flush();
+
+  /// Stops accepting new work, processes everything already accepted, and
+  /// returns once all shards are idle. Idempotent.
+  void Shutdown();
+
+  /// Takes the results accumulated since the last Drain (callback-less
+  /// mode; empty when a callback was installed).
+  std::vector<StreamResult> Drain();
+
+  /// Point-in-time stats: per-shard counters + totals. Exact when the
+  /// runtime is quiescent (after Flush/Shutdown), approximate mid-flight.
+  RuntimeStatsSnapshot Snapshot() const;
+
+  /// Drains one shard inline on the calling thread; returns the number of
+  /// batches processed. The manual-mode pump (schedule_workers = false);
+  /// must not race with a scheduled drain task for the same shard.
+  size_t PumpShard(size_t shard);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t ShardOf(uint64_t stream_id) const {
+    return static_cast<size_t>(stream_id % shards_.size());
+  }
+  /// The shard's pipeline. Safe to inspect only while the shard is idle.
+  const StreamPipeline& shard_pipeline(size_t shard) const;
+
+ private:
+  struct Shard;
+
+  /// Body of a drain task: pops until the shard queue is empty.
+  size_t DrainShard(Shard* shard);
+  void Deliver(StreamResult result);
+
+  RuntimeOptions options_;
+  ResultCallback on_result_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex results_mutex_;
+  std::vector<StreamResult> results_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_RUNTIME_STREAM_RUNTIME_H_

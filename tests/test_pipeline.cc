@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "common/rng.h"
 #include "ml/models.h"
 
@@ -83,6 +86,32 @@ TEST(PipelineTest, AdjusterCanBeDisabled) {
     ASSERT_TRUE(pipeline.Push(MakeBatch(true, b, b)).ok());
   }
   EXPECT_DOUBLE_EQ(pipeline.observed_rate(), 0.0);
+}
+
+TEST(PipelineTest, FirstTickDoesNotObserveStartupGap) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  // Time passes between construction and the first push; that gap is not
+  // an inter-batch interval and must not seed the adjuster's EMA (the
+  // first adjustment would over-react to a near-zero or huge rate).
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 1, 0)).ok());
+  EXPECT_DOUBLE_EQ(pipeline.observed_rate(), 0.0);  // No observation yet.
+  EXPECT_DOUBLE_EQ(pipeline.last_adjustment().decay_boost, 1.0);
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 2, 1)).ok());
+  EXPECT_GT(pipeline.observed_rate(), 0.0);  // Seeded by a real gap.
+}
+
+TEST(PipelineTest, ExternalRateOverridesStopwatch) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  pipeline.SetExternalRate(42.0);
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 1, 0)).ok());
+  // The supplied arrival rate seeds the EMA, even on the first tick.
+  EXPECT_DOUBLE_EQ(pipeline.observed_rate(), 42.0);
+  // Consumed: the next push falls back to the stopwatch.
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 2, 1)).ok());
+  EXPECT_NE(pipeline.observed_rate(), 42.0);
 }
 
 TEST(PipelineTest, MixedTrafficKeepsDetectorCurrent) {

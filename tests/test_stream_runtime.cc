@@ -1,0 +1,308 @@
+#include "runtime/stream_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(16, 4);
+  if (labeled) b.labels.resize(16);
+  for (size_t i = 0; i < 16; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+RuntimeOptions FastOptions() {
+  RuntimeOptions opts;
+  opts.pipeline.learner.base_window_batches = 4;
+  opts.pipeline.learner.detector.warmup_batches = 3;
+  return opts;
+}
+
+/// Overload adjuster tuned so any realistic submit rate reads as sustained
+/// overload from the second submit on (watermarks far below 1 batch/sec).
+RateAdjusterOptions AlwaysOverloaded() {
+  RateAdjusterOptions rate;
+  rate.low_rate = 0.0005;
+  rate.high_rate = 0.001;
+  return rate;
+}
+
+TEST(StreamRuntimeTest, MixedTrafficRoutesAndDeliversResults) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 2;
+  StreamRuntime runtime(*proto, opts);
+
+  size_t unlabeled = 0;
+  for (int b = 0; b < 12; ++b) {
+    const bool labeled = b % 3 != 2;
+    if (!labeled) ++unlabeled;
+    ASSERT_TRUE(runtime.Submit(b % 2, MakeBatch(labeled, b, b)).ok());
+  }
+  runtime.Flush();
+
+  std::vector<StreamResult> results = runtime.Drain();
+  EXPECT_EQ(results.size(), unlabeled);
+  for (const StreamResult& r : results) {
+    EXPECT_EQ(r.report.predictions.size(), 16u);
+  }
+  EXPECT_EQ(runtime.shard_pipeline(0).batches_processed() +
+                runtime.shard_pipeline(1).batches_processed(),
+            12u);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, PerShardOrderingIsPreserved) {
+  ThreadPool::SetGlobalThreads(4);
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 4;
+
+  std::mutex mutex;
+  std::map<uint64_t, std::vector<int64_t>> seen;
+  StreamRuntime runtime(*proto, opts, [&](const StreamResult& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen[r.stream_id].push_back(r.batch_index);
+  });
+
+  constexpr int kStreams = 4;
+  constexpr int kBatches = 16;
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kStreams; ++s) {
+    producers.emplace_back([&runtime, s] {
+      for (int b = 0; b < kBatches; ++b) {
+        // Unlabeled traffic only, so every batch yields a result.
+        ASSERT_TRUE(
+            runtime.Submit(s, MakeBatch(false, s * 1000 + b, b)).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  runtime.Flush();
+  runtime.Shutdown();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kStreams));
+  for (const auto& [stream_id, indices] : seen) {
+    ASSERT_EQ(indices.size(), static_cast<size_t>(kBatches))
+        << "stream " << stream_id;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(indices[i], static_cast<int64_t>(i)) << "stream " << stream_id;
+    }
+  }
+}
+
+TEST(StreamRuntimeTest, StatsReconcileAfterFlush) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 3;
+  StreamRuntime runtime(*proto, opts);
+
+  constexpr int kSubmitted = 21;
+  for (int b = 0; b < kSubmitted; ++b) {
+    ASSERT_TRUE(runtime.Submit(b % 5, MakeBatch(b % 2 == 0, b, b)).ok());
+  }
+  runtime.Flush();
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, static_cast<uint64_t>(kSubmitted));
+  EXPECT_EQ(snapshot.totals.processed + snapshot.totals.shed,
+            snapshot.totals.enqueued);
+  EXPECT_EQ(snapshot.totals.shed, 0u);  // Block policy never drops.
+  EXPECT_EQ(snapshot.totals.in_flight, 0u);
+  EXPECT_EQ(snapshot.totals.errors, 0u);
+  EXPECT_EQ(snapshot.totals.queue_depth, 0u);
+  EXPECT_EQ(snapshot.shards.size(), 3u);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, BlockPolicyAppliesBackpressure) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 2;
+  opts.schedule_workers = false;  // Nothing drains until we pump.
+  StreamRuntime runtime(*proto, opts);
+
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 0, 0)).ok());
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 1, 1)).ok());
+
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 2, 2)).ok());
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load());  // Full queue blocked the producer.
+
+  runtime.PumpShard(0);
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+  runtime.PumpShard(0);
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.processed, 3u);
+  EXPECT_GT(snapshot.totals.blocked_micros, 0);
+  EXPECT_EQ(snapshot.totals.queue_high_water, 2u);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, ShedPolicyDropsOldestUnlabeledUnderOverload) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 2;
+  opts.overload_policy = OverloadPolicy::kShed;
+  opts.overload_rate = AlwaysOverloaded();
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(false, b, b)).ok());
+  }
+  // Capacity 2: batches 0..2 were shed to admit 3 and 4.
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, 5u);
+  EXPECT_EQ(snapshot.totals.shed, 3u);
+  EXPECT_EQ(snapshot.totals.in_flight, 2u);
+
+  runtime.Shutdown();  // Drains the two survivors.
+  snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.processed, 2u);
+  EXPECT_EQ(snapshot.totals.processed + snapshot.totals.shed,
+            snapshot.totals.enqueued);
+
+  std::vector<StreamResult> results = runtime.Drain();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].batch_index, 3);
+  EXPECT_EQ(results[1].batch_index, 4);
+}
+
+TEST(StreamRuntimeTest, LabeledBatchesAreNeverShed) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 2;
+  opts.overload_policy = OverloadPolicy::kShed;
+  opts.overload_rate = AlwaysOverloaded();
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 0, 0)).ok());
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 1, 1)).ok());
+
+  // The queue holds only labeled (training) batches, so the shed policy
+  // degrades to backpressure for the third submit.
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(false, 2, 2)).ok());
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load());
+  EXPECT_EQ(runtime.Snapshot().totals.shed, 0u);
+
+  runtime.PumpShard(0);
+  producer.join();
+  runtime.PumpShard(0);
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.shed, 0u);
+  EXPECT_EQ(snapshot.totals.processed, 3u);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, ShutdownWithPendingWorkDrainsCleanly) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 2;
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(runtime.Submit(b % 2, MakeBatch(true, b, b)).ok());
+  }
+  runtime.Shutdown();
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.processed, 8u);
+  EXPECT_EQ(snapshot.totals.in_flight, 0u);
+
+  // Post-shutdown submissions are rejected, and Shutdown is idempotent.
+  Status rejected = runtime.Submit(0, MakeBatch(true, 9, 9));
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, ForwardsArrivalRateIntoPipelines) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  for (int b = 0; b < 4; ++b) {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, b, b)).ok());
+  }
+  runtime.PumpShard(0);
+  // Submits arrived back-to-back, so the forwarded arrival rate is high
+  // and the shard pipeline's adjuster has observed it.
+  EXPECT_GT(runtime.shard_pipeline(0).observed_rate(), 0.0);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, ConcurrentProducersReconcileUnderLoad) {
+  ThreadPool::SetGlobalThreads(4);
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 8;
+  opts.queue_capacity = 4;  // Small queues force real backpressure.
+  StreamRuntime runtime(*proto, opts);
+
+  constexpr int kStreams = 8;
+  constexpr int kBatches = 24;
+  std::atomic<size_t> unlabeled{0};
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kStreams; ++s) {
+    producers.emplace_back([&runtime, &unlabeled, s] {
+      for (int b = 0; b < kBatches; ++b) {
+        const bool labeled = b % 3 != 2;
+        if (!labeled) unlabeled.fetch_add(1);
+        ASSERT_TRUE(
+            runtime.Submit(s, MakeBatch(labeled, s * 777 + b, b)).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  runtime.Flush();
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued,
+            static_cast<uint64_t>(kStreams * kBatches));
+  EXPECT_EQ(snapshot.totals.processed, snapshot.totals.enqueued);
+  EXPECT_EQ(snapshot.totals.shed, 0u);
+  EXPECT_EQ(snapshot.totals.in_flight, 0u);
+  EXPECT_EQ(snapshot.totals.errors, 0u);
+  EXPECT_EQ(runtime.Drain().size(), unlabeled.load());
+  runtime.Shutdown();
+}
+
+}  // namespace
+}  // namespace freeway
