@@ -16,6 +16,7 @@
 #include "data/synthetic.h"
 #include "eval/report.h"
 #include "ml/models.h"
+#include "obs/metrics.h"
 #include "runtime/stream_runtime.h"
 
 using namespace freeway;  // NOLINT — example driver.
@@ -68,13 +69,17 @@ int main() {
   auto proto = MakeLogisticRegression(10, 2);
 
   // Phase 1 — normal serving with backpressure. One shard per stream; the
-  // callback runs on drain-task threads, so it only touches atomics.
+  // callback runs on drain-task threads, so it only touches atomics. A
+  // MetricsRegistry rides along: this is the text a /metrics endpoint
+  // would serve to a Prometheus scraper.
+  MetricsRegistry registry;
   std::atomic<size_t> results{0};
   std::atomic<size_t> records{0};
   {
     RuntimeOptions options;
     options.num_shards = kStreams;
     options.queue_capacity = 16;
+    options.metrics = &registry;
     StreamRuntime runtime(*proto, options, [&](const StreamResult& r) {
       results.fetch_add(1);
       records.fetch_add(r.report.predictions.size());
@@ -92,6 +97,10 @@ int main() {
                 results.load(), records.load());
     PrintSnapshot(runtime.Snapshot());
     runtime.Shutdown();
+
+    std::printf("\nPrometheus exposition (scrape of the attached "
+                "registry):\n%s",
+                registry.ToPrometheusText().c_str());
   }
 
   // Phase 2 — overload. Two shards absorb all eight streams through

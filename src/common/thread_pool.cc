@@ -6,8 +6,26 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace freeway {
+
+/// Handles into an attached MetricsRegistry; one immutable bundle per
+/// AttachMetrics call.
+struct ThreadPool::PoolMetrics {
+  Counter* tasks_total = nullptr;
+  Gauge* queue_depth = nullptr;
+  Histogram* queue_wait_seconds = nullptr;
+  Histogram* run_seconds = nullptr;
+};
+
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 thread_local bool t_in_worker = false;
 
@@ -88,7 +106,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::WorkerLoop() {
   t_in_worker = true;
   for (;;) {
-    std::function<void()> task;
+    QueueTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -99,8 +117,36 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunTask(std::move(task));
   }
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  QueueTask task;
+  task.fn = std::move(fn);
+  const PoolMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics) {
+    task.enqueued = std::chrono::steady_clock::now();
+    task.counted = true;
+    metrics->queue_depth->Inc();
+  }
+  queue_.push_back(std::move(task));
+}
+
+void ThreadPool::RunTask(QueueTask task) {
+  const PoolMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics == nullptr) {
+    task.fn();
+    return;
+  }
+  if (task.counted) {
+    metrics->queue_depth->Dec();
+    metrics->queue_wait_seconds->Observe(SecondsSince(task.enqueued));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  task.fn();
+  metrics->run_seconds->Observe(SecondsSince(started));
+  metrics->tasks_total->Inc();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
@@ -135,7 +181,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = 0; i < helpers; ++i) {
-      queue_.emplace_back([state] { state->Drain(); });
+      Enqueue([state] { state->Drain(); });
     }
   }
   if (helpers == 1) {
@@ -156,17 +202,36 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    QueueTask inline_task;
+    inline_task.fn = std::move(task);
+    RunTask(std::move(inline_task));
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.emplace_back(std::move(task));
+    Enqueue(std::move(task));
   }
   work_available_.notify_one();
 }
 
 bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+void ThreadPool::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    metrics_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto handles = std::make_unique<PoolMetrics>();
+  handles->tasks_total = registry->GetCounter("freeway_threadpool_tasks_total");
+  handles->queue_depth = registry->GetGauge("freeway_threadpool_queue_depth");
+  handles->queue_wait_seconds =
+      registry->GetHistogram("freeway_threadpool_task_wait_seconds");
+  handles->run_seconds =
+      registry->GetHistogram("freeway_threadpool_task_run_seconds");
+  metrics_.store(handles.get(), std::memory_order_release);
+  metrics_storage_.push_back(std::move(handles));
+}
 
 ThreadPool* ThreadPool::Global() {
   std::lock_guard<std::mutex> lock(g_global_mutex);

@@ -1,15 +1,20 @@
 #ifndef FREEWAYML_COMMON_THREAD_POOL_H_
 #define FREEWAYML_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace freeway {
+
+class MetricsRegistry;
 
 /// Fixed-size worker pool backing the library's parallel kernels (matmul,
 /// im2col convolution, k-means assignment, ensemble member inference).
@@ -65,6 +70,12 @@ class ThreadPool {
   /// True when called from one of this process's pool worker threads.
   static bool InWorkerThread();
 
+  /// Attaches observability: task count, queue depth, queue-wait and run
+  /// latency land in `registry` (`freeway_threadpool_*`). Call before
+  /// traffic — tasks enqueued while detached are executed but not timed.
+  /// Pass nullptr to detach. `registry` must outlive the pool.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Process-global pool, created on first use. Sized by the
   /// FREEWAY_NUM_THREADS environment variable when set (clamped to >= 1),
   /// otherwise std::thread::hardware_concurrency().
@@ -76,13 +87,33 @@ class ThreadPool {
   static void SetGlobalThreads(size_t num_threads);
 
  private:
+  struct PoolMetrics;
+
+  /// One queued unit of work. `enqueued`/`counted` carry the observability
+  /// bookkeeping: only tasks enqueued while metrics were attached update
+  /// the depth gauge and wait histogram on dequeue, so attaching mid-flight
+  /// never leaves the gauge negative.
+  struct QueueTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool counted = false;
+  };
+
   void WorkerLoop();
+  void Enqueue(std::function<void()> fn);
+  /// Instrumented execution of one dequeued task.
+  void RunTask(QueueTask task);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueueTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   bool stop_ = false;
+  /// Published metric handles; null while detached. Heap-held so readers
+  /// can load the pointer without holding mutex_; retired attachments stay
+  /// alive in the vector so in-flight readers never dangle.
+  std::vector<std::unique_ptr<PoolMetrics>> metrics_storage_;
+  std::atomic<const PoolMetrics*> metrics_{nullptr};
 };
 
 /// ParallelFor on the global pool; the entry point used by the kernels.

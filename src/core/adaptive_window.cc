@@ -16,15 +16,17 @@ AdaptiveStreamingWindow::AdaptiveStreamingWindow(
   FREEWAY_DCHECK(options_.min_weight > 0.0 && options_.min_weight < 1.0);
 }
 
-size_t AdaptiveStreamingWindow::num_items() const {
+void AdaptiveStreamingWindow::CheckItemCount() const {
+#ifndef NDEBUG
   size_t total = 0;
   for (const Entry& e : entries_) total += e.batch.size();
-  return total;
+  FREEWAY_DCHECK(total == num_items_);
+#endif
 }
 
 bool AdaptiveStreamingWindow::Full() const {
   return entries_.size() >= options_.max_batches ||
-         num_items() >= options_.max_items;
+         num_items_ >= options_.max_items;
 }
 
 void AdaptiveStreamingWindow::SetDecayBoost(double boost) {
@@ -77,9 +79,13 @@ Result<bool> AdaptiveStreamingWindow::Add(const Batch& batch) {
       if (decay > 0.95) decay = 0.95;
       entries_[i].weight *= (1.0 - decay);
     }
-    // Evict fully-decayed batches.
+    // Evict fully-decayed batches, keeping the running item count in step.
     std::erase_if(entries_, [this](const Entry& e) {
-      return e.weight < options_.min_weight;
+      if (e.weight < options_.min_weight) {
+        num_items_ -= e.batch.size();
+        return true;
+      }
+      return false;
     });
   } else {
     disorder_ = 0.0;
@@ -89,7 +95,9 @@ Result<bool> AdaptiveStreamingWindow::Add(const Batch& batch) {
   entry.batch = batch;
   entry.mean = new_mean;
   entry.weight = 1.0;
+  num_items_ += entry.batch.size();
   entries_.push_back(std::move(entry));
+  CheckItemCount();
 
   return Full();
 }
@@ -120,8 +128,10 @@ Result<Batch> AdaptiveStreamingWindow::TakeTrainingData() {
   Entry last = std::move(entries_.back());
   entries_.clear();
   last.weight = 1.0;
+  num_items_ = last.batch.size();
   entries_.push_back(std::move(last));
   disorder_ = 0.0;
+  CheckItemCount();
 
   return merged;
 }

@@ -69,7 +69,10 @@ class AdaptiveStreamingWindow {
   std::vector<double> Centroid() const;
 
   size_t num_batches() const { return entries_.size(); }
-  size_t num_items() const;
+  /// Total resident samples. O(1): maintained incrementally by Add /
+  /// eviction / TakeTrainingData (and reconciled against the entries in
+  /// debug builds), so the per-push Full() check never walks the window.
+  size_t num_items() const { return num_items_; }
   const std::deque<Entry>& entries() const { return entries_; }
 
   /// Scales all decay rates up by `boost` >= 1 — the rate-aware adjuster's
@@ -78,8 +81,13 @@ class AdaptiveStreamingWindow {
   double decay_boost() const { return decay_boost_; }
 
  private:
+  /// Debug-build check that num_items_ matches the resident batches.
+  void CheckItemCount() const;
+
   AdaptiveWindowOptions options_;
   std::deque<Entry> entries_;
+  /// Running sum of entries_[i].batch.size().
+  size_t num_items_ = 0;
   double disorder_ = 0.0;
   double decay_boost_ = 1.0;
 };

@@ -18,7 +18,7 @@ void ExpBuffer::ExpireOld(int64_t current_batch_index) {
   }
 }
 
-void ExpBuffer::EnforceCapacity() {
+Status ExpBuffer::EnforceCapacity() {
   // Drop whole oldest batches first, then trim the (new) front batch so the
   // retained samples are exactly the newest `capacity_`.
   while (total_samples_ > capacity_ && !batches_.empty() &&
@@ -30,11 +30,14 @@ void ExpBuffer::EnforceCapacity() {
     const size_t excess = total_samples_ - capacity_;
     Batch& front = batches_.front();
     auto trimmed = SliceBatch(front, excess, front.size());
-    if (trimmed.ok()) {
-      total_samples_ -= excess;
-      front = std::move(trimmed).value();
+    if (!trimmed.ok()) {
+      if (trim_errors_ != nullptr) trim_errors_->Inc();
+      return trimmed.status();
     }
+    total_samples_ -= excess;
+    front = std::move(trimmed).value();
   }
+  return Status::OK();
 }
 
 Status ExpBuffer::Add(const Batch& batch) {
@@ -54,7 +57,7 @@ Status ExpBuffer::Add(const Batch& batch) {
   } else {
     batches_.push_back(batch);
     total_samples_ += batch.size();
-    EnforceCapacity();
+    FREEWAY_RETURN_NOT_OK(EnforceCapacity());
   }
   ExpireOld(batch.index);
   return Status::OK();

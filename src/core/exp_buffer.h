@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
 #include "stream/batch.h"
 
 namespace freeway {
@@ -36,15 +37,22 @@ class ExpBuffer {
   /// oldest samples first. Fails with FailedPrecondition when empty.
   Result<Batch> Snapshot() const;
 
+  /// Counter bumped when a capacity trim fails (the error is also
+  /// propagated out of Add). Null disables the accounting.
+  void set_trim_errors_counter(Counter* counter) { trim_errors_ = counter; }
+
  private:
   void ExpireOld(int64_t current_batch_index);
-  /// Drops/trims oldest batches until total_samples_ <= capacity_.
-  void EnforceCapacity();
+  /// Drops/trims oldest batches until total_samples_ <= capacity_. A
+  /// failed trim leaves the buffer over capacity and must be surfaced: the
+  /// returned Status reports it (and `trim_errors_` counts it).
+  Status EnforceCapacity();
 
   size_t capacity_;
   int64_t max_age_batches_;
   std::deque<Batch> batches_;
   size_t total_samples_ = 0;
+  Counter* trim_errors_ = nullptr;
 };
 
 }  // namespace freeway

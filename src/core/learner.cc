@@ -1,6 +1,7 @@
 #include "core/learner.h"
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace freeway {
 
@@ -60,6 +61,53 @@ void Learner::SetWindowDecayBoost(double boost) {
   for (size_t i = 0; i < ensemble_->num_long_models(); ++i) {
     ensemble_->mutable_window(i)->SetDecayBoost(boost);
   }
+}
+
+void Learner::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = StageMetrics();
+    exp_buffer_.set_trim_errors_counter(nullptr);
+    return;
+  }
+  metrics_.detect_seconds = registry->GetHistogram(
+      "freeway_learner_stage_seconds{stage=\"detect\"}");
+  metrics_.infer_seconds =
+      registry->GetHistogram("freeway_learner_stage_seconds{stage=\"infer\"}");
+  metrics_.train_seconds =
+      registry->GetHistogram("freeway_learner_stage_seconds{stage=\"train\"}");
+  exp_buffer_.set_trim_errors_counter(
+      registry->GetCounter("freeway_expbuffer_trim_errors_total"));
+}
+
+Result<ShiftAssessment> Learner::AssessTimed(const Matrix& features) {
+  if (metrics_.detect_seconds == nullptr) return detector_.Assess(features);
+  Stopwatch watch;
+  Result<ShiftAssessment> out = detector_.Assess(features);
+  metrics_.detect_seconds->Observe(watch.ElapsedSeconds());
+  return out;
+}
+
+Result<InferenceReport> Learner::RunStrategiesTimed(
+    const Matrix& features, ShiftAssessment assessment) {
+  if (metrics_.infer_seconds == nullptr) {
+    return RunStrategies(features, std::move(assessment));
+  }
+  Stopwatch watch;
+  Result<InferenceReport> out =
+      RunStrategies(features, std::move(assessment));
+  metrics_.infer_seconds->Observe(watch.ElapsedSeconds());
+  return out;
+}
+
+Status Learner::TrainInternalTimed(const Batch& batch,
+                                   const std::vector<double>& representation) {
+  if (metrics_.train_seconds == nullptr) {
+    return TrainInternal(batch, representation);
+  }
+  Stopwatch watch;
+  Status out = TrainInternal(batch, representation);
+  metrics_.train_seconds->Observe(watch.ElapsedSeconds());
+  return out;
 }
 
 Result<InferenceReport> Learner::RunStrategies(const Matrix& features,
@@ -241,18 +289,18 @@ Result<InferenceReport> Learner::InferThenTrain(const Batch& batch) {
     return Status::InvalidArgument("InferThenTrain requires a labeled batch");
   }
   FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment,
-                           detector_.Assess(batch.features));
+                           AssessTimed(batch.features));
   FREEWAY_ASSIGN_OR_RETURN(
       InferenceReport report,
-      RunStrategies(batch.features, std::move(assessment)));
-  FREEWAY_RETURN_NOT_OK(TrainInternal(batch, report.assessment.representation));
+      RunStrategiesTimed(batch.features, std::move(assessment)));
+  FREEWAY_RETURN_NOT_OK(
+      TrainInternalTimed(batch, report.assessment.representation));
   return report;
 }
 
 Result<InferenceReport> Learner::Infer(const Matrix& features) {
-  FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment,
-                           detector_.Assess(features));
-  return RunStrategies(features, std::move(assessment));
+  FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment, AssessTimed(features));
+  return RunStrategiesTimed(features, std::move(assessment));
 }
 
 Status Learner::Train(const Batch& batch) {
@@ -260,9 +308,9 @@ Status Learner::Train(const Batch& batch) {
     return Status::InvalidArgument("Train requires a labeled batch");
   }
   FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment,
-                           detector_.Assess(batch.features));
+                           AssessTimed(batch.features));
   if (!assessment.warmup) last_mu_d_ = assessment.mu_d;
-  return TrainInternal(batch, assessment.representation);
+  return TrainInternalTimed(batch, assessment.representation);
 }
 
 }  // namespace freeway

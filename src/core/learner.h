@@ -133,6 +133,7 @@ class Learner {
   const LearnerStats& stats() const { return stats_; }
   const ShiftDetector& detector() const { return detector_; }
   MultiGranularityEnsemble* ensemble() { return ensemble_.get(); }
+  const MultiGranularityEnsemble* ensemble() const { return ensemble_.get(); }
   const KnowledgeStore& knowledge() const { return knowledge_; }
   const ExpBuffer& experience() const { return exp_buffer_; }
   const LearnerOptions& options() const { return options_; }
@@ -140,7 +141,28 @@ class Learner {
   /// Applies a rate-aware decay boost to every long window (Section V-B).
   void SetWindowDecayBoost(double boost);
 
+  /// Attaches observability: per-stage latency histograms
+  /// (`freeway_learner_stage_seconds{stage="detect"|"infer"|"train"}`) and
+  /// the experience buffer's trim-error counter. Near-zero cost while
+  /// detached (each stage is one null check). Call before traffic, from
+  /// the thread driving the learner; `registry` must outlive the learner.
+  void AttachMetrics(MetricsRegistry* registry);
+
  private:
+  /// Stage handles, null until AttachMetrics.
+  struct StageMetrics {
+    Histogram* detect_seconds = nullptr;
+    Histogram* infer_seconds = nullptr;
+    Histogram* train_seconds = nullptr;
+  };
+
+  /// Timed wrappers: identical to calling the wrapped stage directly while
+  /// detached.
+  Result<ShiftAssessment> AssessTimed(const Matrix& features);
+  Result<InferenceReport> RunStrategiesTimed(const Matrix& features,
+                                             ShiftAssessment assessment);
+  Status TrainInternalTimed(const Batch& batch,
+                            const std::vector<double>& representation);
   /// Runs the strategy selector + chosen strategy on already-assessed
   /// features.
   Result<InferenceReport> RunStrategies(const Matrix& features,
@@ -171,6 +193,7 @@ class Learner {
   /// EMA of the short model's accuracy on rollover batches — the reference
   /// level preserved-knowledge quality is gated against.
   double accuracy_ema_ = -1.0;
+  StageMetrics metrics_;
 };
 
 }  // namespace freeway

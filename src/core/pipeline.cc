@@ -8,9 +8,35 @@ StreamPipeline::StreamPipeline(const Model& prototype,
       learner_(prototype, options.learner),
       adjuster_(options.rate) {}
 
+void StreamPipeline::AttachMetrics(MetricsRegistry* registry) {
+  learner_.AttachMetrics(registry);
+  if (registry == nullptr) {
+    metrics_ = PushMetrics();
+    return;
+  }
+  metrics_.batches_ok =
+      registry->GetCounter("freeway_pipeline_batches_total{result=\"ok\"}");
+  metrics_.batches_error =
+      registry->GetCounter("freeway_pipeline_batches_total{result=\"error\"}");
+  metrics_.push_seconds =
+      registry->GetHistogram("freeway_pipeline_push_seconds");
+}
+
+void StreamPipeline::RecordPush(bool ok, const Stopwatch& watch) {
+  if (ok) {
+    ++batches_ok_;
+    if (metrics_.batches_ok != nullptr) metrics_.batches_ok->Inc();
+  } else {
+    ++batches_failed_;
+    if (metrics_.batches_error != nullptr) metrics_.batches_error->Inc();
+  }
+  if (metrics_.push_seconds != nullptr) {
+    metrics_.push_seconds->Observe(watch.ElapsedSeconds());
+  }
+}
+
 double StreamPipeline::WindowPressure() const {
-  const MultiGranularityEnsemble* ensemble =
-      const_cast<StreamPipeline*>(this)->learner_.ensemble();
+  const MultiGranularityEnsemble* ensemble = learner_.ensemble();
   double pressure = 0.0;
   for (size_t i = 0; i < ensemble->num_long_models(); ++i) {
     const AdaptiveStreamingWindow& window = ensemble->window(i);
@@ -55,20 +81,25 @@ void StreamPipeline::Tick() {
 Result<std::optional<InferenceReport>> StreamPipeline::Push(
     const Batch& batch) {
   Tick();
-  ++batches_processed_;
+  Stopwatch watch;
   if (batch.labeled()) {
-    FREEWAY_RETURN_NOT_OK(learner_.Train(batch));
+    Status trained = learner_.Train(batch);
+    RecordPush(trained.ok(), watch);
+    FREEWAY_RETURN_NOT_OK(trained);
     return std::optional<InferenceReport>();
   }
-  FREEWAY_ASSIGN_OR_RETURN(InferenceReport report,
-                           learner_.Infer(batch.features));
-  return std::optional<InferenceReport>(std::move(report));
+  Result<InferenceReport> report = learner_.Infer(batch.features);
+  RecordPush(report.ok(), watch);
+  FREEWAY_RETURN_NOT_OK(report.status());
+  return std::optional<InferenceReport>(std::move(report).value());
 }
 
 Result<InferenceReport> StreamPipeline::PushPrequential(const Batch& batch) {
   Tick();
-  ++batches_processed_;
-  return learner_.InferThenTrain(batch);
+  Stopwatch watch;
+  Result<InferenceReport> report = learner_.InferThenTrain(batch);
+  RecordPush(report.ok(), watch);
+  return report;
 }
 
 }  // namespace freeway

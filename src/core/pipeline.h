@@ -57,13 +57,34 @@ class StreamPipeline {
   /// Last adjustment decided by the rate-aware controller.
   const RateAdjustment& last_adjustment() const { return last_adjustment_; }
 
-  size_t batches_processed() const { return batches_processed_; }
+  /// Batches that completed their Push / PushPrequential successfully. A
+  /// batch the learner rejects (bad shape, NaNs, unlabeled prequential
+  /// traffic) is *not* processed — it counts under batches_failed().
+  size_t batches_processed() const { return batches_ok_; }
+  size_t batches_failed() const { return batches_failed_; }
+
+  /// Attaches observability: push outcome counters
+  /// (`freeway_pipeline_batches_total{result="ok"|"error"}`), an
+  /// end-to-end push latency histogram (`freeway_pipeline_push_seconds`),
+  /// and the learner's stage histograms. Same threading contract as Push:
+  /// call before traffic from the driving thread; `registry` (or nullptr to
+  /// detach) must outlive the pipeline.
+  void AttachMetrics(MetricsRegistry* registry);
 
  private:
+  /// Push handles, null until AttachMetrics.
+  struct PushMetrics {
+    Counter* batches_ok = nullptr;
+    Counter* batches_error = nullptr;
+    Histogram* push_seconds = nullptr;
+  };
+
   /// Measures flow + pressure and applies the adjuster's decision.
   void Tick();
   /// Max fill fraction over the ensemble's long windows.
   double WindowPressure() const;
+  /// Books one completed push: outcome counters + latency observation.
+  void RecordPush(bool ok, const Stopwatch& watch);
 
   PipelineOptions options_;
   Learner learner_;
@@ -75,7 +96,9 @@ class StreamPipeline {
   /// True until the first push: the stopwatch then spans construction →
   /// first batch, which is not an inter-batch gap, so no rate is observed.
   bool first_tick_ = true;
-  size_t batches_processed_ = 0;
+  size_t batches_ok_ = 0;
+  size_t batches_failed_ = 0;
+  PushMetrics metrics_;
 };
 
 }  // namespace freeway

@@ -124,6 +124,9 @@ Result<MultiStreamThroughput> MeasureMultiStreamThroughput(
     for (size_t s = 0; s < options.num_streams; ++s) {
       pipelines.push_back(std::make_unique<StreamPipeline>(
           prototype, options.runtime.pipeline));
+      if (options.metrics != nullptr) {
+        pipelines.back()->AttachMetrics(options.metrics);
+      }
     }
     Stopwatch watch;
     for (size_t s = 0; s < options.num_streams; ++s) {
@@ -145,6 +148,7 @@ Result<MultiStreamThroughput> MeasureMultiStreamThroughput(
   {
     RuntimeOptions runtime_options = options.runtime;
     runtime_options.num_shards = options.num_streams;
+    if (options.metrics != nullptr) runtime_options.metrics = options.metrics;
     StreamRuntime runtime(prototype, runtime_options);
     Stopwatch watch;
     std::vector<std::thread> producers;

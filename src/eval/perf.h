@@ -51,6 +51,11 @@ struct MultiStreamPerfOptions {
   /// overridden to `num_streams`.
   RuntimeOptions runtime;
   uint64_t seed = 1234;
+  /// When non-null, both legs run instrumented: the sequential pipelines
+  /// attach to this registry directly and the concurrent leg's runtime gets
+  /// it via RuntimeOptions::metrics. Lets the bench quantify instrumented
+  /// vs detached overhead with otherwise identical schedules.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of the sequential-vs-runtime comparison.

@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace freeway {
+namespace obs_internal {
+
+size_t ThisThreadSlot() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMetricSlots;
+  return slot;
+}
+
+}  // namespace obs_internal
+
+namespace {
+
+/// Shortest round-trippable rendering of a double for exposition output
+/// ("0.001" rather than "1e-03" for the common bucket bounds).
+std::string RenderDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+/// Splits `name` into (family, labels): "a_total{x=\"1\"}" -> ("a_total",
+/// "x=\"1\""). Labels come back without braces; empty when absent.
+void SplitName(const std::string& name, std::string* family,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  *labels = close != std::string::npos && close > brace
+                ? name.substr(brace + 1, close - brace - 1)
+                : name.substr(brace + 1);
+}
+
+/// `family` with `extra` merged into the (possibly absent) label set of the
+/// original name.
+std::string WithLabels(const std::string& family, const std::string& labels,
+                       const std::string& extra) {
+  std::string merged = labels;
+  if (!merged.empty() && !extra.empty()) merged += ",";
+  merged += extra;
+  if (merged.empty()) return family;
+  return family + "{" + merged + "}";
+}
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return {1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 1.0, 10.0};
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBounds();
+  for (Slot& slot : slots_) {
+    slot.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slot.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) total += BucketCount(i);
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Slot& slot : slots_) {
+    total += slot.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::BucketCount(size_t bucket) const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.counts[bucket].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.gauge || entry.histogram) return nullptr;
+  if (!entry.counter) entry.counter.reset(new Counter(name));
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.counter || entry.histogram) return nullptr;
+  if (!entry.gauge) entry.gauge.reset(new Gauge(name));
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.counter || entry.gauge) return nullptr;
+  if (!entry.histogram) {
+    entry.histogram.reset(new Histogram(name, std::move(bounds)));
+  }
+  return entry.histogram.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, entry] : metrics_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << EscapeJson(name) << "\": ";
+    if (entry.counter) {
+      out << entry.counter->Value();
+    } else if (entry.gauge) {
+      out << entry.gauge->Value();
+    } else if (entry.histogram) {
+      const Histogram& h = *entry.histogram;
+      out << "{\"count\": " << h.TotalCount()
+          << ", \"sum\": " << RenderDouble(h.Sum()) << ", \"buckets\": {";
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        out << "\"" << RenderDouble(h.bounds()[i])
+            << "\": " << h.BucketCount(i) << ", ";
+      }
+      out << "\"+Inf\": " << h.BucketCount(h.bounds().size()) << "}}";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  std::string last_family;  // Map order groups families; emit TYPE once.
+  for (const auto& [name, entry] : metrics_) {
+    std::string family;
+    std::string labels;
+    SplitName(name, &family, &labels);
+    if (family != last_family) {
+      const char* type = entry.counter ? "counter"
+                         : entry.gauge ? "gauge"
+                                       : "histogram";
+      out << "# TYPE " << family << " " << type << "\n";
+      last_family = family;
+    }
+    if (entry.counter) {
+      out << name << " " << entry.counter->Value() << "\n";
+    } else if (entry.gauge) {
+      out << name << " " << entry.gauge->Value() << "\n";
+    } else if (entry.histogram) {
+      const Histogram& h = *entry.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += h.BucketCount(i);
+        out << WithLabels(family + "_bucket", labels,
+                          "le=\"" + RenderDouble(h.bounds()[i]) + "\"")
+            << " " << cumulative << "\n";
+      }
+      cumulative += h.BucketCount(h.bounds().size());
+      out << WithLabels(family + "_bucket", labels, "le=\"+Inf\"") << " "
+          << cumulative << "\n";
+      out << WithLabels(family + "_sum", labels, "") << " "
+          << RenderDouble(h.Sum()) << "\n";
+      out << WithLabels(family + "_count", labels, "") << " " << cumulative
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace freeway

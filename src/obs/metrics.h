@@ -1,0 +1,205 @@
+#ifndef FREEWAYML_OBS_METRICS_H_
+#define FREEWAYML_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace freeway {
+
+/// Observability primitives for the streaming runtime. Design goals, in
+/// order:
+///
+///  1. Hot-path updates are wait-free relaxed atomics with no shared cache
+///     line between threads (counters and histograms shard their state
+///     across per-thread slots), so instrumented code stays TSan-clean and
+///     contention-free at any producer/drain concurrency.
+///  2. Instrumentation is compile-always but near-zero-cost when detached:
+///     instrumented layers hold plain `Counter*`/`Histogram*` handles that
+///     are null until a `MetricsRegistry` is attached, and every update
+///     site is a single null check when it is not.
+///  3. Handles are stable: the registry owns every metric and never removes
+///     or reallocates one, so a handle obtained once is valid for the
+///     registry's lifetime and is safe to use from any thread.
+///
+/// Metric names follow the Prometheus convention
+/// `freeway_<layer>_<noun>[_<unit>][_total]` and may carry a label set in
+/// braces, e.g. `freeway_runtime_batches_total{event="shed"}`. The label
+/// text is part of the name string (the registry does not interpret it);
+/// the Prometheus renderer splices `le` buckets into an existing label set
+/// and groups TYPE comments by the name's family (the part before `{`).
+
+namespace obs_internal {
+
+/// Number of update slots counters/histograms shard across. Threads map to
+/// slots round-robin at first use; 16 slots keep slot collisions rare for
+/// the pool sizes this library runs (collisions only cost cache-line
+/// sharing, never correctness).
+inline constexpr size_t kMetricSlots = 16;
+
+/// Stable per-thread slot index in [0, kMetricSlots).
+size_t ThisThreadSlot();
+
+/// Relaxed add for pre-C++20-style atomic doubles (portable CAS loop).
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace obs_internal
+
+/// Monotonically increasing counter. Inc is a relaxed fetch_add on the
+/// calling thread's slot; Value sums the slots (approximate while updates
+/// are in flight, exact once the writers are quiescent).
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    slots_[obs_internal::ThisThreadSlot()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  /// One cache line per slot so concurrent writers never share one.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::string name_;
+  Slot slots_[obs_internal::kMetricSlots];
+};
+
+/// Point-in-time signed value (queue depths, fill levels). A single atomic:
+/// gauges are updated far less often than counters and readers want the
+/// latest value, not a per-thread sum.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+  void Dec() { Add(-1); }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: per-bucket counts plus
+/// total sum and count; buckets render cumulatively). Bucket bounds are
+/// fixed at creation; Observe is a linear scan over the bounds (latency
+/// histograms have ~10) plus two relaxed atomic updates on the thread's
+/// slot.
+class Histogram {
+ public:
+  /// Exponential latency grid in seconds: 1 µs .. 10 s, one decade apart,
+  /// with extra resolution in the 0.1–100 ms band where batch pushes land.
+  static std::vector<double> DefaultLatencyBounds();
+
+  void Observe(double value) {
+    Slot& slot = slots_[obs_internal::ThisThreadSlot()];
+    size_t bucket = bounds_.size();
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    obs_internal::AtomicAddDouble(&slot.sum, value);
+  }
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+  /// Per-bucket (non-cumulative) count; index bounds_.size() is +Inf.
+  uint64_t BucketCount(size_t bucket) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  struct alignas(64) Slot {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;  ///< Ascending upper bounds; +Inf implicit.
+  Slot slots_[obs_internal::kMetricSlots];
+};
+
+/// Owner and namespace of all metrics of one process/component. Get* calls
+/// are idempotent — the first call for a name creates the metric, later
+/// calls return the same handle — and thread-safe (a mutex guards only
+/// creation/lookup; updates through the returned handles are lock-free).
+/// Requesting an existing name as a different kind returns nullptr.
+///
+/// Threading contract: the registry must outlive every object holding one
+/// of its handles. ToJson/ToPrometheusText may run concurrently with
+/// updates; they render a relaxed point-in-time view (exact when writers
+/// are quiescent).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be ascending; empty means DefaultLatencyBounds(). The
+  /// bounds of the first creation win.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Flat JSON object, metric name -> value (histograms expand to
+  /// {count, sum, buckets}). Keys are sorted (map order) for stable diffs.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format, with `# TYPE` comments per family
+  /// and cumulative `_bucket{le=...}` lines for histograms.
+  std::string ToPrometheusText() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_OBS_METRICS_H_

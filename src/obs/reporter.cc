@@ -1,0 +1,57 @@
+#include "obs/reporter.h"
+
+namespace freeway {
+
+PeriodicReporter::PeriodicReporter(const MetricsRegistry* registry,
+                                   std::chrono::milliseconds interval,
+                                   Sink sink, Format format)
+    : registry_(registry),
+      interval_(interval.count() >= 1 ? interval
+                                      : std::chrono::milliseconds(1)),
+      sink_(std::move(sink)),
+      format_(format) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+std::string PeriodicReporter::Render() const {
+  return format_ == Format::kJson ? registry_->ToJson()
+                                  : registry_->ToPrometheusText();
+}
+
+void PeriodicReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (wake_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    // Render/deliver outside the lock so a slow sink never blocks Stop.
+    lock.unlock();
+    const std::string snapshot = Render();
+    sink_(snapshot);
+    lock.lock();
+    ++reports_emitted_;
+  }
+}
+
+void PeriodicReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;
+    joined_ = true;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  // Final flush: the loop is down, so this cannot interleave with a
+  // periodic emission.
+  sink_(Render());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++reports_emitted_;
+}
+
+size_t PeriodicReporter::reports_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reports_emitted_;
+}
+
+}  // namespace freeway

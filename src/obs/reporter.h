@@ -1,0 +1,66 @@
+#ifndef FREEWAYML_OBS_REPORTER_H_
+#define FREEWAYML_OBS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace freeway {
+
+/// Periodically renders a MetricsRegistry snapshot and hands it to a sink —
+/// the scrape loop of a deployment that has no HTTP endpoint (file append,
+/// stderr, a test buffer). Owns one background thread; the sink runs on it
+/// and must be thread-safe with respect to the caller's world.
+///
+/// Stop() (and destruction) emits one final snapshot after the loop exits,
+/// so short-lived runs still record their end-state even when they never
+/// spanned a full interval.
+class PeriodicReporter {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  enum class Format { kJson, kPrometheusText };
+
+  /// `registry` must outlive the reporter. `interval` is clamped to >= 1ms.
+  PeriodicReporter(const MetricsRegistry* registry,
+                   std::chrono::milliseconds interval, Sink sink,
+                   Format format = Format::kJson);
+
+  /// Calls Stop().
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stops the loop, joins the thread, and emits the final snapshot.
+  /// Idempotent.
+  void Stop();
+
+  /// Snapshots delivered so far (including the final one after Stop).
+  size_t reports_emitted() const;
+
+ private:
+  std::string Render() const;
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  std::chrono::milliseconds interval_;
+  Sink sink_;
+  Format format_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  bool joined_ = false;
+  size_t reports_emitted_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_OBS_REPORTER_H_

@@ -1,5 +1,7 @@
 #include "runtime/stream_runtime.h"
 
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -17,6 +19,9 @@ struct StreamRuntime::Shard {
   struct Item {
     uint64_t stream_id = 0;
     Batch batch;
+    /// Stamped at Submit when metrics are attached; feeds the queue-wait
+    /// histogram at dequeue.
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   Shard(size_t index, const Model& prototype, const RuntimeOptions& options)
@@ -38,6 +43,8 @@ struct StreamRuntime::Shard {
   /// Smoothed arrival rate published for the drain task (which forwards it
   /// into the pipeline) and for Snapshot().
   std::atomic<double> arrival_rate{0.0};
+  /// Live queue depth for this shard; null while metrics are detached.
+  Gauge* queue_depth = nullptr;
 };
 
 StreamRuntime::StreamRuntime(const Model& prototype,
@@ -48,6 +55,27 @@ StreamRuntime::StreamRuntime(const Model& prototype,
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, prototype, options_));
+  }
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* registry = options_.metrics;
+    metrics_.enqueued = registry->GetCounter(
+        "freeway_runtime_batches_total{event=\"enqueued\"}");
+    metrics_.processed = registry->GetCounter(
+        "freeway_runtime_batches_total{event=\"processed\"}");
+    metrics_.shed =
+        registry->GetCounter("freeway_runtime_batches_total{event=\"shed\"}");
+    metrics_.errors =
+        registry->GetCounter("freeway_runtime_batches_total{event=\"error\"}");
+    metrics_.queue_wait_seconds =
+        registry->GetHistogram("freeway_runtime_queue_wait_seconds");
+    for (auto& shard : shards_) {
+      shard->queue_depth = registry->GetGauge(
+          "freeway_runtime_queue_depth{shard=\"" +
+          std::to_string(shard->index) + "\"}");
+      // Shards share the registry: pipeline/learner series aggregate
+      // across shards under the same names.
+      shard->pipeline.AttachMetrics(registry);
+    }
   }
 }
 
@@ -87,6 +115,9 @@ Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
   Shard::Item item;
   item.stream_id = stream_id;
   item.batch = std::move(batch);
+  if (metrics_.queue_wait_seconds != nullptr) {
+    item.enqueued_at = std::chrono::steady_clock::now();
+  }
 
   BoundedQueue<Shard::Item>::PushResult push;
   if (options_.overload_policy == OverloadPolicy::kShed && overloaded) {
@@ -101,7 +132,15 @@ Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
   }
 
   shard.counters.enqueued.fetch_add(1, std::memory_order_relaxed);
-  if (push.shed) shard.counters.shed.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.enqueued != nullptr) metrics_.enqueued->Inc();
+  if (push.shed) {
+    shard.counters.shed.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.shed != nullptr) metrics_.shed->Inc();
+  } else if (shard.queue_depth != nullptr) {
+    // A shed push replaces a resident item, so depth only grows when
+    // nothing was dropped.
+    shard.queue_depth->Inc();
+  }
   if (push.blocked_micros > 0) {
     shard.counters.blocked_micros.fetch_add(push.blocked_micros,
                                             std::memory_order_relaxed);
@@ -117,6 +156,12 @@ size_t StreamRuntime::DrainShard(Shard* shard) {
   size_t processed = 0;
   Shard::Item item;
   while (shard->queue.Pop(&item)) {
+    if (shard->queue_depth != nullptr) shard->queue_depth->Dec();
+    if (metrics_.queue_wait_seconds != nullptr) {
+      const std::chrono::duration<double> waited =
+          std::chrono::steady_clock::now() - item.enqueued_at;
+      metrics_.queue_wait_seconds->Observe(waited.count());
+    }
     if (options_.forward_rate_signal) {
       const double rate = shard->arrival_rate.load(std::memory_order_relaxed);
       if (rate > 0.0) shard->pipeline.SetExternalRate(rate);
@@ -125,6 +170,7 @@ size_t StreamRuntime::DrainShard(Shard* shard) {
         shard->pipeline.Push(item.batch);
     if (!result.ok()) {
       shard->counters.errors.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.errors != nullptr) metrics_.errors->Inc();
     } else if (result->has_value()) {
       StreamResult delivered;
       delivered.stream_id = item.stream_id;
@@ -133,6 +179,7 @@ size_t StreamRuntime::DrainShard(Shard* shard) {
       Deliver(std::move(delivered));
     }
     shard->counters.processed.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.processed != nullptr) metrics_.processed->Inc();
     ++processed;
   }
   return processed;

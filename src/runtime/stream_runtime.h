@@ -49,6 +49,14 @@ struct RuntimeOptions {
   /// accumulates until PumpShard() is called. For deterministic tests of
   /// the queue policies; production callers leave this true.
   bool schedule_workers = true;
+  /// Observability sink. When non-null the runtime registers
+  /// `freeway_runtime_batches_total{event="enqueued"|"processed"|"shed"|
+  /// "error"}` counters, a `freeway_runtime_queue_wait_seconds` histogram,
+  /// and one `freeway_runtime_queue_depth{shard="N"}` gauge per shard, and
+  /// attaches every shard pipeline (stage histograms and push counters
+  /// aggregate across shards under shared names). The registry must outlive
+  /// the runtime. Null (the default) disables all instrumentation.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// One inference outcome delivered by the runtime.
@@ -120,11 +128,23 @@ class StreamRuntime {
  private:
   struct Shard;
 
+  /// Runtime-level handles, null while options_.metrics is null. The
+  /// counters mirror ShardCounters one-for-one so the exposition obeys the
+  /// same invariant: enqueued = processed + shed + in_flight.
+  struct RuntimeMetrics {
+    Counter* enqueued = nullptr;
+    Counter* processed = nullptr;
+    Counter* shed = nullptr;
+    Counter* errors = nullptr;
+    Histogram* queue_wait_seconds = nullptr;
+  };
+
   /// Body of a drain task: pops until the shard queue is empty.
   size_t DrainShard(Shard* shard);
   void Deliver(StreamResult result);
 
   RuntimeOptions options_;
+  RuntimeMetrics metrics_;
   ResultCallback on_result_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::mutex results_mutex_;

@@ -171,6 +171,30 @@ TEST(AdaptiveWindowTest, FullyDecayedBatchesAreEvicted) {
   EXPECT_LE(window.num_batches(), 3u);
 }
 
+TEST(AdaptiveWindowTest, NumItemsTracksAddsEvictionsAndTake) {
+  AdaptiveWindowOptions opts;
+  opts.max_batches = 100;
+  opts.base_decay = 0.5;  // Aggressive decay forces evictions.
+  opts.min_weight = 0.3;
+  AdaptiveStreamingWindow window(opts);
+  EXPECT_EQ(window.num_items(), 0u);
+
+  // The running count must equal the resident batches' total rows at every
+  // step, including across evictions of fully-decayed batches.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(window.Add(BatchAt(static_cast<double>(i), 16, 2,
+                                   static_cast<uint64_t>(i))).ok());
+    size_t expected = 0;
+    for (const auto& entry : window.entries()) expected += entry.batch.size();
+    EXPECT_EQ(window.num_items(), expected) << "after add " << i;
+  }
+
+  ASSERT_TRUE(window.TakeTrainingData().ok());
+  // Take keeps only the newest batch (16 rows).
+  EXPECT_EQ(window.num_batches(), 1u);
+  EXPECT_EQ(window.num_items(), 16u);
+}
+
 TEST(AdaptiveWindowTest, DecayBoostAcceleratesForgetting) {
   AdaptiveWindowOptions opts;
   opts.max_batches = 50;

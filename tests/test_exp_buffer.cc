@@ -75,5 +75,32 @@ TEST(ExpBufferTest, NoExpirationWhenDisabled) {
   EXPECT_EQ(buffer.size(), 4u);
 }
 
+TEST(ExpBufferTest, CapacityInvariantHoldsAcrossManyAdds) {
+  // EnforceCapacity's Status now propagates through Add; on the success
+  // path the buffer must never exceed its capacity, whatever mix of batch
+  // sizes arrives.
+  ExpBuffer buffer(10);
+  for (int i = 0; i < 20; ++i) {
+    const size_t n = 1 + static_cast<size_t>(i % 7);
+    ASSERT_TRUE(buffer.Add(SimpleBatch(n, 2, 1.0 * i, i % 2, i)).ok());
+    EXPECT_LE(buffer.size(), 10u) << "after add " << i;
+  }
+  EXPECT_EQ(buffer.size(), 10u);
+}
+
+TEST(ExpBufferTest, TrimErrorCounterStaysZeroOnHealthyTraffic) {
+  MetricsRegistry registry;
+  Counter* trim_errors =
+      registry.GetCounter("freeway_expbuffer_trim_errors_total");
+  ExpBuffer buffer(6);
+  buffer.set_trim_errors_counter(trim_errors);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(buffer.Add(SimpleBatch(4, 2, 1.0 * i, 0, i)).ok());
+  }
+  // Plenty of trims happened (capacity 6, 32 samples offered), all clean.
+  EXPECT_EQ(buffer.size(), 6u);
+  EXPECT_EQ(trim_errors->Value(), 0u);
+}
+
 }  // namespace
 }  // namespace freeway

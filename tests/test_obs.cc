@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/reporter.h"
+
+namespace freeway {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("freeway_test_total");
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Inc();
+  counter->Inc(41);
+  EXPECT_EQ(counter->Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  // The TSan canary: many threads hammering one counter must be data-race
+  // free and lose no increments (each thread writes its own slot).
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("freeway_test_concurrent_total");
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (size_t i = 0; i < kIncrements; ++i) counter->Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), kThreads * kIncrements);
+}
+
+TEST(GaugeTest, SetAddIncDec) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("freeway_test_depth");
+  EXPECT_EQ(gauge->Value(), 0);
+  gauge->Set(10);
+  gauge->Add(-3);
+  gauge->Inc();
+  gauge->Dec();
+  gauge->Dec();
+  EXPECT_EQ(gauge->Value(), 6);
+}
+
+TEST(GaugeTest, ConcurrentBalancedUpdatesReturnToZero) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("freeway_test_balanced_depth");
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (size_t i = 0; i < 5000; ++i) {
+        gauge->Inc();
+        gauge->Dec();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(HistogramTest, BucketsByUpperBoundInclusive) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("freeway_test_seconds", {1.0, 2.0, 4.0});
+  histogram->Observe(0.5);  // bucket 0 (<= 1.0)
+  histogram->Observe(1.0);  // bucket 0 (bound is inclusive)
+  histogram->Observe(1.5);  // bucket 1
+  histogram->Observe(9.0);  // +Inf bucket
+  EXPECT_EQ(histogram->TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 12.0);
+  EXPECT_EQ(histogram->BucketCount(0), 2u);
+  EXPECT_EQ(histogram->BucketCount(1), 1u);
+  EXPECT_EQ(histogram->BucketCount(2), 0u);
+  EXPECT_EQ(histogram->BucketCount(3), 1u);  // +Inf
+}
+
+TEST(HistogramTest, DefaultBoundsAreAscending) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("freeway_test_concurrent_seconds", {0.5});
+  constexpr size_t kThreads = 8;
+  constexpr size_t kObservations = 4000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (size_t i = 0; i < kObservations; ++i) {
+        histogram->Observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram->TotalCount(), kThreads * kObservations);
+  EXPECT_EQ(histogram->BucketCount(0), kThreads * kObservations / 2);
+  EXPECT_EQ(histogram->BucketCount(1), kThreads * kObservations / 2);
+}
+
+TEST(MetricsRegistryTest, GetIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("freeway_test_total");
+  Counter* second = registry.GetCounter("freeway_test_total");
+  EXPECT_EQ(first, second);
+  Histogram* h1 = registry.GetHistogram("freeway_test_seconds", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("freeway_test_seconds");
+  EXPECT_EQ(h1, h2);
+  // The bounds of the first creation win.
+  EXPECT_EQ(h2->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("freeway_test_total"), nullptr);
+  EXPECT_EQ(registry.GetGauge("freeway_test_total"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("freeway_test_total"), nullptr);
+  ASSERT_NE(registry.GetGauge("freeway_test_depth"), nullptr);
+  EXPECT_EQ(registry.GetCounter("freeway_test_depth"), nullptr);
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("freeway_a_total")->Inc(3);
+  registry.GetGauge("freeway_b_depth")->Set(-2);
+  registry.GetHistogram("freeway_c_seconds", {1.0})->Observe(0.5);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"freeway_a_total\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"freeway_b_depth\": -2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("+Inf"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("freeway_runtime_batches_total{event=\"shed\"}")
+      ->Inc(2);
+  registry.GetCounter("freeway_runtime_batches_total{event=\"enqueued\"}")
+      ->Inc(7);
+  registry.GetGauge("freeway_runtime_queue_depth{shard=\"0\"}")->Set(4);
+  Histogram* histogram =
+      registry.GetHistogram("freeway_pipeline_push_seconds", {1.0, 2.0});
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  const std::string text = registry.ToPrometheusText();
+  // One TYPE comment per family, not per labeled series.
+  EXPECT_NE(text.find("# TYPE freeway_runtime_batches_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("# TYPE freeway_runtime_batches_total counter"),
+            text.rfind("# TYPE freeway_runtime_batches_total counter"))
+      << text;
+  EXPECT_NE(
+      text.find("freeway_runtime_batches_total{event=\"shed\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("freeway_runtime_queue_depth{shard=\"0\"} 4"),
+            std::string::npos)
+      << text;
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("freeway_pipeline_push_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("freeway_pipeline_push_seconds_bucket{le=\"2\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("freeway_pipeline_push_seconds_bucket{le=\"+Inf\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("freeway_pipeline_push_seconds_count 2"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PeriodicReporterTest, EmitsSnapshotsAndFinalOnStop) {
+  MetricsRegistry registry;
+  registry.GetCounter("freeway_test_total")->Inc(5);
+  std::mutex mutex;
+  std::vector<std::string> delivered;
+  PeriodicReporter reporter(
+      &registry, std::chrono::milliseconds(5),
+      [&](const std::string& snapshot) {
+        std::lock_guard<std::mutex> lock(mutex);
+        delivered.push_back(snapshot);
+      },
+      PeriodicReporter::Format::kPrometheusText);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  reporter.Stop();
+  reporter.Stop();  // Idempotent.
+  ASSERT_GE(reporter.reports_emitted(), 1u);
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(delivered.size(), reporter.reports_emitted());
+  EXPECT_NE(delivered.back().find("freeway_test_total 5"), std::string::npos);
+}
+
+TEST(PeriodicReporterTest, FinalSnapshotSeesLateUpdates) {
+  // A run shorter than the interval still records its end-state.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("freeway_test_total");
+  std::mutex mutex;
+  std::string last;
+  {
+    PeriodicReporter reporter(&registry, std::chrono::hours(1),
+                              [&](const std::string& snapshot) {
+                                std::lock_guard<std::mutex> lock(mutex);
+                                last = snapshot;
+                              });
+    counter->Inc(3);
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_NE(last.find("\"freeway_test_total\": 3"), std::string::npos)
+      << last;
+}
+
+}  // namespace
+}  // namespace freeway

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "common/rng.h"
@@ -123,6 +124,91 @@ TEST(PipelineTest, MixedTrafficKeepsDetectorCurrent) {
   // Detector advanced on every batch regardless of routing.
   EXPECT_TRUE(pipeline.learner().detector().warmed_up());
   EXPECT_EQ(pipeline.batches_processed(), 12u);
+  EXPECT_EQ(pipeline.batches_failed(), 0u);
+}
+
+/// An unlabeled batch with zero rows: the shift detector rejects it with a
+/// Status (no abort), exercising the inference-path failure route.
+Batch EmptyUnlabeledBatch(int64_t index) {
+  Batch b;
+  b.index = index;
+  b.features = Matrix(0, 4);
+  return b;
+}
+
+/// A labeled batch whose features contain a NaN: rejected by the detector's
+/// finiteness check, exercising the training-path failure route.
+Batch NanLabeledBatch(int64_t index) {
+  Batch b = MakeBatch(true, 5, index);
+  b.features.At(0, 0) = std::nan("");
+  return b;
+}
+
+TEST(PipelineTest, FailedPushIsNotCountedAsProcessed) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 1, 0)).ok());
+
+  EXPECT_FALSE(pipeline.Push(EmptyUnlabeledBatch(1)).ok());
+  EXPECT_FALSE(pipeline.Push(NanLabeledBatch(2)).ok());
+  EXPECT_FALSE(pipeline.PushPrequential(NanLabeledBatch(3)).ok());
+
+  // Only the good batch is processed; the rejects are booked as failures.
+  EXPECT_EQ(pipeline.batches_processed(), 1u);
+  EXPECT_EQ(pipeline.batches_failed(), 3u);
+
+  // The pipeline stays usable after failures.
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 2, 4)).ok());
+  EXPECT_EQ(pipeline.batches_processed(), 2u);
+}
+
+TEST(PipelineTest, MetricsCountOutcomesAndStages) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  MetricsRegistry registry;
+  pipeline.AttachMetrics(&registry);
+
+  for (int b = 0; b < 4; ++b) {
+    ASSERT_TRUE(pipeline.Push(MakeBatch(true, b, b)).ok());  // Train path.
+  }
+  ASSERT_TRUE(pipeline.Push(MakeBatch(false, 50, 4)).ok());  // Infer path.
+  ASSERT_TRUE(pipeline.PushPrequential(MakeBatch(true, 51, 5)).ok());
+  EXPECT_FALSE(pipeline.Push(EmptyUnlabeledBatch(6)).ok());
+
+  Counter* ok =
+      registry.GetCounter("freeway_pipeline_batches_total{result=\"ok\"}");
+  Counter* error =
+      registry.GetCounter("freeway_pipeline_batches_total{result=\"error\"}");
+  ASSERT_NE(ok, nullptr);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(ok->Value(), 6u);
+  EXPECT_EQ(error->Value(), 1u);
+  EXPECT_EQ(ok->Value(), pipeline.batches_processed());
+  EXPECT_EQ(error->Value(), pipeline.batches_failed());
+
+  // Every push (including the failed one) times an Assess; only unlabeled /
+  // prequential pushes run the infer stage, only labeled ones train.
+  Histogram* detect = registry.GetHistogram(
+      "freeway_learner_stage_seconds{stage=\"detect\"}");
+  Histogram* infer =
+      registry.GetHistogram("freeway_learner_stage_seconds{stage=\"infer\"}");
+  Histogram* train =
+      registry.GetHistogram("freeway_learner_stage_seconds{stage=\"train\"}");
+  ASSERT_NE(detect, nullptr);
+  EXPECT_EQ(detect->TotalCount(), 7u);
+  EXPECT_EQ(infer->TotalCount(), 2u);
+  EXPECT_EQ(train->TotalCount(), 5u);
+
+  Histogram* push = registry.GetHistogram("freeway_pipeline_push_seconds");
+  EXPECT_EQ(push->TotalCount(), 7u);
+  EXPECT_GT(push->Sum(), 0.0);
+}
+
+TEST(PipelineTest, DetachedPipelineRegistersNothing) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline pipeline(*proto, FastOptions());
+  ASSERT_TRUE(pipeline.Push(MakeBatch(true, 1, 0)).ok());
+  EXPECT_EQ(pipeline.batches_processed(), 1u);
 }
 
 }  // namespace

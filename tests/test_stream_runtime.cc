@@ -304,5 +304,133 @@ TEST(StreamRuntimeTest, ConcurrentProducersReconcileUnderLoad) {
   runtime.Shutdown();
 }
 
+TEST(StreamRuntimeTest, RegistryReconcilesExactlyWithSnapshot) {
+  ThreadPool::SetGlobalThreads(4);
+  auto proto = MakeLogisticRegression(4, 2);
+  MetricsRegistry registry;
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 4;
+  opts.queue_capacity = 4;
+  opts.metrics = &registry;
+  StreamRuntime runtime(*proto, opts);
+
+  constexpr int kStreams = 4;
+  constexpr int kBatches = 16;
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kStreams; ++s) {
+    producers.emplace_back([&runtime, s] {
+      for (int b = 0; b < kBatches; ++b) {
+        ASSERT_TRUE(
+            runtime.Submit(s, MakeBatch(b % 3 != 2, s * 31 + b, b)).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  runtime.Flush();
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  Counter* enqueued = registry.GetCounter(
+      "freeway_runtime_batches_total{event=\"enqueued\"}");
+  Counter* processed = registry.GetCounter(
+      "freeway_runtime_batches_total{event=\"processed\"}");
+  Counter* shed =
+      registry.GetCounter("freeway_runtime_batches_total{event=\"shed\"}");
+  Counter* errors =
+      registry.GetCounter("freeway_runtime_batches_total{event=\"error\"}");
+  ASSERT_NE(enqueued, nullptr);
+  EXPECT_EQ(enqueued->Value(), snapshot.totals.enqueued);
+  EXPECT_EQ(processed->Value(), snapshot.totals.processed);
+  EXPECT_EQ(shed->Value(), snapshot.totals.shed);
+  EXPECT_EQ(errors->Value(), snapshot.totals.errors);
+  EXPECT_EQ(enqueued->Value(), processed->Value() + shed->Value());
+
+  // Quiescent: every per-shard depth gauge is back to zero, and every
+  // processed batch recorded a queue wait.
+  for (size_t s = 0; s < runtime.num_shards(); ++s) {
+    Gauge* depth = registry.GetGauge(
+        "freeway_runtime_queue_depth{shard=\"" + std::to_string(s) + "\"}");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->Value(), 0) << "shard " << s;
+  }
+  Histogram* wait =
+      registry.GetHistogram("freeway_runtime_queue_wait_seconds");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->TotalCount(), snapshot.totals.processed);
+
+  // Shard pipelines aggregate into shared registry series: every processed
+  // batch succeeded, so pipeline "ok" pushes match runtime "processed".
+  Counter* pipeline_ok =
+      registry.GetCounter("freeway_pipeline_batches_total{result=\"ok\"}");
+  ASSERT_NE(pipeline_ok, nullptr);
+  EXPECT_EQ(pipeline_ok->Value(), snapshot.totals.processed);
+  runtime.Shutdown();
+}
+
+TEST(StreamRuntimeTest, RegistryCountsShedBatchesAndLiveDepth) {
+  auto proto = MakeLogisticRegression(4, 2);
+  MetricsRegistry registry;
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 2;
+  opts.overload_policy = OverloadPolicy::kShed;
+  opts.overload_rate = AlwaysOverloaded();
+  opts.schedule_workers = false;
+  opts.metrics = &registry;
+  StreamRuntime runtime(*proto, opts);
+
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(false, b, b)).ok());
+  }
+  // Capacity 2: three batches shed, two resident. A shed admit swaps one
+  // queue item for another, so the live depth gauge reads the residents.
+  Counter* shed =
+      registry.GetCounter("freeway_runtime_batches_total{event=\"shed\"}");
+  Gauge* depth =
+      registry.GetGauge("freeway_runtime_queue_depth{shard=\"0\"}");
+  EXPECT_EQ(shed->Value(), 3u);
+  EXPECT_EQ(depth->Value(), 2);
+
+  runtime.Shutdown();
+  EXPECT_EQ(depth->Value(), 0);
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(shed->Value(), snapshot.totals.shed);
+  Counter* processed = registry.GetCounter(
+      "freeway_runtime_batches_total{event=\"processed\"}");
+  EXPECT_EQ(processed->Value(), snapshot.totals.processed);
+}
+
+TEST(StreamRuntimeTest, ErrorBatchCountsAsErrorNotSuccess) {
+  auto proto = MakeLogisticRegression(4, 2);
+  MetricsRegistry registry;
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  opts.metrics = &registry;
+  StreamRuntime runtime(*proto, opts);
+
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 1, 0)).ok());
+  Batch bad;  // Zero-row unlabeled batch: the detector rejects it.
+  bad.index = 1;
+  bad.features = Matrix(0, 4);
+  ASSERT_TRUE(runtime.Submit(0, std::move(bad)).ok());
+  runtime.PumpShard(0);
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.errors, 1u);
+  EXPECT_EQ(snapshot.totals.processed, 2u);  // Error pushes still drain.
+  EXPECT_EQ(
+      registry.GetCounter("freeway_runtime_batches_total{event=\"error\"}")
+          ->Value(),
+      1u);
+  // The shard pipeline books it as a failure, not a processed batch.
+  EXPECT_EQ(runtime.shard_pipeline(0).batches_processed(), 1u);
+  EXPECT_EQ(runtime.shard_pipeline(0).batches_failed(), 1u);
+  EXPECT_EQ(
+      registry.GetCounter("freeway_pipeline_batches_total{result=\"error\"}")
+          ->Value(),
+      1u);
+  runtime.Shutdown();
+}
+
 }  // namespace
 }  // namespace freeway

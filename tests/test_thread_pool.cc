@@ -6,8 +6,11 @@
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace freeway {
 namespace {
@@ -112,6 +115,67 @@ TEST(ThreadPoolTest, GlobalPoolWorks) {
   ParallelFor(0, 100, 9, [&](size_t b, size_t e) { total.fetch_add(e - b); });
   EXPECT_EQ(total.load(), 100u);
   ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ThreadPoolTest, MetricsCountSubmittedTasks) {
+  MetricsRegistry registry;
+  {
+    // Single-thread pool: Submit runs inline, so task accounting is exact
+    // and nothing ever sits in the queue.
+    ThreadPool pool(1);
+    pool.AttachMetrics(&registry);
+    std::atomic<size_t> ran{0};
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 5u);
+  }
+  EXPECT_EQ(registry.GetCounter("freeway_threadpool_tasks_total")->Value(),
+            5u);
+  EXPECT_EQ(registry.GetGauge("freeway_threadpool_queue_depth")->Value(), 0);
+  EXPECT_EQ(
+      registry.GetHistogram("freeway_threadpool_task_run_seconds")
+          ->TotalCount(),
+      5u);
+  // Inline execution never queued, so no waits were recorded.
+  EXPECT_EQ(
+      registry.GetHistogram("freeway_threadpool_task_wait_seconds")
+          ->TotalCount(),
+      0u);
+}
+
+TEST(ThreadPoolTest, MetricsTrackQueuedTasksThroughWorkers) {
+  MetricsRegistry registry;
+  std::atomic<size_t> ran{0};
+  {
+    ThreadPool pool(3);
+    pool.AttachMetrics(&registry);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // Destruction drains the queue before joining the workers.
+  }
+  EXPECT_EQ(ran.load(), 20u);
+  EXPECT_EQ(registry.GetCounter("freeway_threadpool_tasks_total")->Value(),
+            20u);
+  // Quiescent: every enqueued task was dequeued.
+  EXPECT_EQ(registry.GetGauge("freeway_threadpool_queue_depth")->Value(), 0);
+  EXPECT_EQ(
+      registry.GetHistogram("freeway_threadpool_task_wait_seconds")
+          ->TotalCount(),
+      20u);
+}
+
+TEST(ThreadPoolTest, DetachedPoolRunsWithoutMetrics) {
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.AttachMetrics(nullptr);  // Explicit detach is a no-op when detached.
+  pool.ParallelFor(0, 10, 1, [&](size_t, size_t) { ran.fetch_add(1); });
+  while (ran.load() < 11) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 11u);
 }
 
 TEST(ThreadPoolTest, GrainForCost) {
