@@ -147,19 +147,25 @@ class Result {
 
 }  // namespace freeway
 
-/// Propagates a non-OK Status to the caller: `FREEWAY_RETURN_NOT_OK(Fn());`
-#define FREEWAY_RETURN_NOT_OK(expr)               \
+/// Propagates a non-OK Status to the caller: `RETURN_IF_ERROR(Fn());`
+#define RETURN_IF_ERROR(expr)                     \
   do {                                            \
     ::freeway::Status _st = (expr);               \
     if (!_st.ok()) return _st;                    \
   } while (false)
 
-/// Unwraps a Result into `lhs`, propagating the error Status on failure.
-#define FREEWAY_ASSIGN_OR_RETURN(lhs, rexpr)      \
+/// Unwraps a Result into `lhs`, propagating the error Status on failure:
+/// `ASSIGN_OR_RETURN(Batch chunk, SliceBatch(batch, begin, end));`
+#define ASSIGN_OR_RETURN(lhs, rexpr)              \
   auto FREEWAY_CONCAT_(_res_, __LINE__) = (rexpr);          \
   if (!FREEWAY_CONCAT_(_res_, __LINE__).ok())               \
     return FREEWAY_CONCAT_(_res_, __LINE__).status();       \
   lhs = std::move(FREEWAY_CONCAT_(_res_, __LINE__)).value()
+
+/// Historical spellings, kept so existing call sites outside the converted
+/// core/ml layers keep compiling; new code uses the short names above.
+#define FREEWAY_RETURN_NOT_OK(expr) RETURN_IF_ERROR(expr)
+#define FREEWAY_ASSIGN_OR_RETURN(lhs, rexpr) ASSIGN_OR_RETURN(lhs, rexpr)
 
 #define FREEWAY_CONCAT_IMPL_(a, b) a##b
 #define FREEWAY_CONCAT_(a, b) FREEWAY_CONCAT_IMPL_(a, b)

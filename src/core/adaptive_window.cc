@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/disorder.h"
+#include "fault/snapshot.h"
 
 namespace freeway {
 
@@ -115,13 +116,13 @@ Result<Batch> AdaptiveStreamingWindow::TakeTrainingData() {
         std::ceil(e.weight * static_cast<double>(e.batch.size())));
     const size_t take = rows > e.batch.size() ? e.batch.size() : rows;
     if (take == 0) continue;
-    FREEWAY_ASSIGN_OR_RETURN(Batch slice, SliceBatch(e.batch, 0, take));
+    ASSIGN_OR_RETURN(Batch slice, SliceBatch(e.batch, 0, take));
     slices.push_back(std::move(slice));
   }
   std::vector<const Batch*> ptrs;
   ptrs.reserve(slices.size());
   for (const Batch& s : slices) ptrs.push_back(&s);
-  FREEWAY_ASSIGN_OR_RETURN(Batch merged, ConcatBatches(ptrs));
+  ASSIGN_OR_RETURN(Batch merged, ConcatBatches(ptrs));
 
   // Keep the newest batch to seed the next window with the live
   // distribution; drop everything older.
@@ -149,6 +150,49 @@ std::vector<double> AdaptiveStreamingWindow::Centroid() const {
     for (auto& v : centroid) v /= total_weight;
   }
   return centroid;
+}
+
+
+namespace {
+constexpr uint32_t kAdaptiveWindowTag = 0x41535721;  // 'ASW!'
+}  // namespace
+
+void AdaptiveStreamingWindow::SaveState(SnapshotWriter* writer) const {
+  writer->WriteSection(kAdaptiveWindowTag);
+  writer->WriteU64(entries_.size());
+  for (const Entry& entry : entries_) {
+    writer->WriteBatch(entry.batch);
+    writer->WriteDoubleVec(entry.mean);
+    writer->WriteDouble(entry.weight);
+  }
+  writer->WriteDouble(disorder_);
+  writer->WriteDouble(decay_boost_);
+}
+
+Status AdaptiveStreamingWindow::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kAdaptiveWindowTag));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&count));
+  std::deque<Entry> entries;
+  size_t num_items = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    RETURN_IF_ERROR(reader->ReadBatch(&entry.batch));
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&entry.mean));
+    RETURN_IF_ERROR(reader->ReadDouble(&entry.weight));
+    if (!entry.batch.labeled()) {
+      return Status::InvalidArgument(
+          "AdaptiveStreamingWindow: snapshot holds an unlabeled batch");
+    }
+    num_items += entry.batch.size();
+    entries.push_back(std::move(entry));
+  }
+  RETURN_IF_ERROR(reader->ReadDouble(&disorder_));
+  RETURN_IF_ERROR(reader->ReadDouble(&decay_boost_));
+  entries_ = std::move(entries);
+  num_items_ = num_items;
+  CheckItemCount();
+  return Status::OK();
 }
 
 }  // namespace freeway

@@ -9,6 +9,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Configuration of the adaptive streaming window.
 struct AdaptiveWindowOptions {
   /// Window caps (Alg. 1 line 1): an update triggers when either is reached.
@@ -79,6 +82,11 @@ class AdaptiveStreamingWindow {
   /// lever under high load (Section V-B).
   void SetDecayBoost(double boost);
   double decay_boost() const { return decay_boost_; }
+
+  /// Serializes resident entries, disorder, and the decay boost; the item
+  /// count is recomputed on load. Options are not serialized.
+  void SaveState(SnapshotWriter* writer) const;
+  Status LoadState(SnapshotReader* reader);
 
  private:
   /// Debug-build check that num_items_ matches the resident batches.

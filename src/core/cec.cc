@@ -38,12 +38,12 @@ Result<CecPrediction> CoherentExperienceClustering::Predict(
   for (size_t i = 0; i < m; ++i) joint.SetRow(i, experience.features.Row(i));
   for (size_t i = 0; i < n; ++i) joint.SetRow(m + i, query.Row(i));
   if (options_.extractor != nullptr) {
-    FREEWAY_ASSIGN_OR_RETURN(joint, options_.extractor->Extract(joint));
+    ASSIGN_OR_RETURN(joint, options_.extractor->Extract(joint));
   }
 
   size_t k = num_classes * std::max<size_t>(options_.clusters_per_class, 1);
   if (k > (m + n) / 2) k = num_classes;  // Tiny batches: paper's c groups.
-  FREEWAY_ASSIGN_OR_RETURN(KMeansResult clusters,
+  ASSIGN_OR_RETURN(KMeansResult clusters,
                            KMeans(joint, k, options_.kmeans));
 
   // Label histogram of each cluster over the labeled (experience) members.

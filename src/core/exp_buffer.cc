@@ -1,6 +1,7 @@
 #include "core/exp_buffer.h"
 
 #include "common/logging.h"
+#include "fault/snapshot.h"
 
 namespace freeway {
 
@@ -49,7 +50,7 @@ Status ExpBuffer::Add(const Batch& batch) {
   }
   if (batch.size() >= capacity_) {
     // The new batch alone fills the buffer: keep only its newest samples.
-    FREEWAY_ASSIGN_OR_RETURN(
+    ASSIGN_OR_RETURN(
         Batch tail, SliceBatch(batch, batch.size() - capacity_, batch.size()));
     batches_.clear();
     batches_.push_back(std::move(tail));
@@ -57,7 +58,7 @@ Status ExpBuffer::Add(const Batch& batch) {
   } else {
     batches_.push_back(batch);
     total_samples_ += batch.size();
-    FREEWAY_RETURN_NOT_OK(EnforceCapacity());
+    RETURN_IF_ERROR(EnforceCapacity());
   }
   ExpireOld(batch.index);
   return Status::OK();
@@ -71,6 +72,40 @@ Result<Batch> ExpBuffer::Snapshot() const {
   parts.reserve(batches_.size());
   for (const Batch& b : batches_) parts.push_back(&b);
   return ConcatBatches(parts);
+}
+
+
+namespace {
+constexpr uint32_t kExpBufferTag = 0x45585042;  // 'EXPB'
+}  // namespace
+
+void ExpBuffer::SaveState(SnapshotWriter* writer) const {
+  writer->WriteSection(kExpBufferTag);
+  writer->WriteU64(batches_.size());
+  for (const Batch& batch : batches_) writer->WriteBatch(batch);
+}
+
+Status ExpBuffer::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kExpBufferTag));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&count));
+  std::deque<Batch> batches;
+  size_t total = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Batch batch;
+    RETURN_IF_ERROR(reader->ReadBatch(&batch));
+    if (!batch.labeled()) {
+      return Status::InvalidArgument(
+          "ExpBuffer: snapshot holds an unlabeled batch");
+    }
+    total += batch.size();
+    batches.push_back(std::move(batch));
+  }
+  batches_ = std::move(batches);
+  total_samples_ = total;
+  // The snapshot may come from a buffer with a larger capacity; trim down
+  // to this buffer's own limit before anyone reads the experience.
+  return EnforceCapacity();
 }
 
 }  // namespace freeway

@@ -12,6 +12,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Bounded store of the most recent labeled samples — the "coherent
 /// experience" that seeds CEC (Section V-A2: the ExpBuffer interface).
 /// Entries expire either by displacement (capacity) or by age in batches
@@ -40,6 +43,12 @@ class ExpBuffer {
   /// Counter bumped when a capacity trim fails (the error is also
   /// propagated out of Add). Null disables the accounting.
   void set_trim_errors_counter(Counter* counter) { trim_errors_ = counter; }
+
+  /// Serializes the retained batches. LoadState re-enforces this buffer's
+  /// own capacity, so a snapshot from a larger buffer restores into a
+  /// smaller one by trimming the oldest experience.
+  void SaveState(SnapshotWriter* writer) const;
+  Status LoadState(SnapshotReader* reader);
 
  private:
   void ExpireOld(int64_t current_batch_index);

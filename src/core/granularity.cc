@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "fault/snapshot.h"
+#include "ml/serialize.h"
 
 namespace freeway {
 
@@ -102,9 +104,9 @@ Result<double> MultiGranularityEnsemble::ReplayWindow(
          begin += options_.update_chunk) {
       const size_t end =
           std::min(begin + options_.update_chunk, window_data.size());
-      FREEWAY_ASSIGN_OR_RETURN(Batch chunk,
+      ASSIGN_OR_RETURN(Batch chunk,
                                SliceBatch(window_data, begin, end));
-      FREEWAY_ASSIGN_OR_RETURN(double chunk_loss,
+      ASSIGN_OR_RETURN(double chunk_loss,
                                model->TrainBatch(chunk.features,
                                                  chunk.labels));
       loss += chunk_loss;
@@ -123,7 +125,7 @@ Result<MultiGranularityEnsemble::TrainReport> MultiGranularityEnsemble::Train(
   TrainReport report;
 
   // Short granularity: update on every batch (fixed frequency).
-  FREEWAY_ASSIGN_OR_RETURN(report.short_loss,
+  ASSIGN_OR_RETURN(report.short_loss,
                            short_model_->TrainBatch(batch.features,
                                                     batch.labels));
 
@@ -138,16 +140,16 @@ Result<MultiGranularityEnsemble::TrainReport> MultiGranularityEnsemble::Train(
         slot.precompute =
             std::make_unique<PrecomputingWindow>(slot.model.get());
       }
-      FREEWAY_ASSIGN_OR_RETURN(double subset_loss,
+      ASSIGN_OR_RETURN(double subset_loss,
                                slot.precompute->AccumulateSubset(batch));
       (void)subset_loss;
     }
 
-    FREEWAY_ASSIGN_OR_RETURN(bool full, slot.window.Add(batch));
+    ASSIGN_OR_RETURN(bool full, slot.window.Add(batch));
     if (!full) continue;
     const double disorder = slot.window.disorder();
     std::vector<double> centroid = slot.window.Centroid();
-    FREEWAY_ASSIGN_OR_RETURN(Batch window_data,
+    ASSIGN_OR_RETURN(Batch window_data,
                              slot.window.TakeTrainingData());
 
     TrainReport::Rollover rollover;
@@ -157,7 +159,7 @@ Result<MultiGranularityEnsemble::TrainReport> MultiGranularityEnsemble::Train(
 
     if (options_.use_precompute) {
       // One aggregated step from the pre-accumulated gradients.
-      FREEWAY_RETURN_NOT_OK(slot.precompute->ApplyUpdate(
+      RETURN_IF_ERROR(slot.precompute->ApplyUpdate(
           options_.precompute_learning_rate));
       rollover.long_loss = 0.0;
     } else if (options_.async_long_updates) {
@@ -183,7 +185,7 @@ Result<MultiGranularityEnsemble::TrainReport> MultiGranularityEnsemble::Train(
         }
       });
     } else {
-      FREEWAY_ASSIGN_OR_RETURN(rollover.long_loss,
+      ASSIGN_OR_RETURN(rollover.long_loss,
                                ReplayWindow(slot.model.get(), window_data));
     }
 
@@ -302,7 +304,7 @@ Result<Matrix> MultiGranularityEnsemble::PredictProba(const Matrix& x) {
       }
     }
   });
-  for (size_t m : active) FREEWAY_RETURN_NOT_OK(member_status[m]);
+  for (size_t m : active) RETURN_IF_ERROR(member_status[m]);
 
   Matrix blended = std::move(member_proba[0]);
   blended.ScaleInPlace(last_weights_[0]);
@@ -311,6 +313,103 @@ Result<Matrix> MultiGranularityEnsemble::PredictProba(const Matrix& x) {
     blended.Axpy(last_weights_[i + 1], member_proba[i + 1]);
   }
   return blended;
+}
+
+
+namespace {
+constexpr uint32_t kEnsembleTag = 0x454e534d;  // 'ENSM'
+}  // namespace
+
+Status MultiGranularityEnsemble::SaveState(SnapshotWriter* writer) {
+  // Settle in-flight async updates first so the saved long models are the
+  // post-rollover parameters, not a mid-swap clone.
+  WaitForAsyncUpdates();
+  writer->WriteSection(kEnsembleTag);
+  std::vector<char> blob;
+  SerializeModel(*short_model_, &blob);
+  writer->WriteBlob(blob);
+  writer->WriteU64(long_.size());
+  for (LongSlot& slot : long_) {
+    SerializeModel(*slot.model, &blob);
+    writer->WriteBlob(blob);
+    slot.window.SaveState(writer);
+    writer->WriteBool(slot.precompute != nullptr);
+    if (slot.precompute != nullptr) slot.precompute->SaveState(writer);
+    writer->WriteU64(slot.updates);
+    writer->WriteDouble(slot.last_async_loss);
+    writer->WriteDouble(slot.quality_ema);
+    writer->WriteBool(slot.quality_init);
+  }
+  writer->WriteBool(last_train_representation_.has_value());
+  if (last_train_representation_.has_value()) {
+    writer->WriteDoubleVec(*last_train_representation_);
+  }
+  writer->WriteDouble(distance_ema_);
+  writer->WriteBool(distance_ema_init_);
+  return Status::OK();
+}
+
+Status MultiGranularityEnsemble::LoadState(SnapshotReader* reader) {
+  WaitForAsyncUpdates();
+  RETURN_IF_ERROR(reader->ExpectSection(kEnsembleTag));
+  std::vector<char> blob;
+  RETURN_IF_ERROR(reader->ReadBlob(&blob));
+  ASSIGN_OR_RETURN(ModelSnapshot short_snap, DeserializeModel(blob));
+  if (short_snap.parameters.size() != short_model_->ParameterCount()) {
+    return Status::InvalidArgument(
+        "ensemble snapshot: short-model parameter count does not match "
+        "this architecture");
+  }
+  RETURN_IF_ERROR(short_model_->SetParameters(short_snap.parameters));
+  uint64_t long_count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&long_count));
+  if (long_count != long_.size()) {
+    return Status::InvalidArgument(
+        "ensemble snapshot: long-model count " + std::to_string(long_count) +
+        " does not match the configured " + std::to_string(long_.size()));
+  }
+  for (LongSlot& slot : long_) {
+    RETURN_IF_ERROR(reader->ReadBlob(&blob));
+    ASSIGN_OR_RETURN(ModelSnapshot snap, DeserializeModel(blob));
+    if (snap.parameters.size() != slot.model->ParameterCount()) {
+      return Status::InvalidArgument(
+          "ensemble snapshot: long-model parameter count does not match "
+          "this architecture");
+    }
+    RETURN_IF_ERROR(slot.model->SetParameters(snap.parameters));
+    RETURN_IF_ERROR(slot.window.LoadState(reader));
+    bool has_precompute = false;
+    RETURN_IF_ERROR(reader->ReadBool(&has_precompute));
+    if (has_precompute) {
+      if (slot.precompute == nullptr) {
+        slot.precompute =
+            std::make_unique<PrecomputingWindow>(slot.model.get());
+      }
+      RETURN_IF_ERROR(slot.precompute->LoadState(reader));
+    } else {
+      slot.precompute.reset();
+    }
+    uint64_t updates = 0;
+    RETURN_IF_ERROR(reader->ReadU64(&updates));
+    slot.updates = updates;
+    RETURN_IF_ERROR(reader->ReadDouble(&slot.last_async_loss));
+    RETURN_IF_ERROR(reader->ReadDouble(&slot.quality_ema));
+    RETURN_IF_ERROR(reader->ReadBool(&slot.quality_init));
+  }
+  bool has_last_rep = false;
+  RETURN_IF_ERROR(reader->ReadBool(&has_last_rep));
+  if (has_last_rep) {
+    std::vector<double> rep;
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&rep));
+    last_train_representation_ = std::move(rep);
+  } else {
+    last_train_representation_.reset();
+  }
+  RETURN_IF_ERROR(reader->ReadDouble(&distance_ema_));
+  RETURN_IF_ERROR(reader->ReadBool(&distance_ema_init_));
+  last_distances_.clear();
+  last_weights_.clear();
+  return Status::OK();
 }
 
 }  // namespace freeway

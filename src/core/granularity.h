@@ -16,6 +16,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Configuration of the multi-time-granularity ensemble.
 struct MultiGranularityOptions {
   /// ASW window caps for each long-granularity model; one long model per
@@ -122,6 +125,14 @@ class MultiGranularityEnsemble {
   }
   /// Ensemble weights from the last PredictProba call, short first.
   const std::vector<double>& last_weights() const { return last_weights_; }
+
+  /// Serializes every member model (via ml/serialize, so restores go
+  /// through the hardened snapshot validation), the ASWs, the precompute
+  /// accumulators, and the kernel statistics. Joins in-flight async
+  /// updates first so the saved parameters are the settled ones. Restore
+  /// into an ensemble built from the same prototype and options.
+  Status SaveState(SnapshotWriter* writer);
+  Status LoadState(SnapshotReader* reader);
 
  private:
   struct LongSlot {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "fault/snapshot.h"
 #include "linalg/matrix.h"
 
 namespace freeway {
@@ -48,7 +49,7 @@ Status KnowledgeStore::Preserve(KnowledgeEntry entry) {
         "KnowledgeStore::Preserve: empty representation or parameters");
   }
   if (hot_.size() >= options_.capacity) {
-    FREEWAY_RETURN_NOT_OK(SpillOldestHalf());
+    RETURN_IF_ERROR(SpillOldestHalf());
   }
   hot_.push_back(std::move(entry));
   return Status::OK();
@@ -124,6 +125,59 @@ Result<std::vector<KnowledgeEntry>> KnowledgeStore::ReadSpillFile(
   }
   std::fclose(file);
   return entries;
+}
+
+
+namespace {
+constexpr uint32_t kKnowledgeTag = 0x4b4e4f57;  // 'KNOW'
+}  // namespace
+
+void KnowledgeStore::SaveState(SnapshotWriter* writer) const {
+  writer->WriteSection(kKnowledgeTag);
+  writer->WriteU64(hot_.size());
+  for (const KnowledgeEntry& entry : hot_) {
+    writer->WriteDoubleVec(entry.representation);
+    writer->WriteDoubleVec(entry.parameters);
+    writer->WriteU32(static_cast<uint32_t>(entry.source));
+    writer->WriteI64(entry.batch_index);
+    writer->WriteDouble(entry.quality);
+  }
+  writer->WriteU64(spilled_count_);
+  writer->WriteU64(spilled_bytes_);
+  writer->WriteU64(refresh_count_);
+}
+
+Status KnowledgeStore::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kKnowledgeTag));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&count));
+  std::deque<KnowledgeEntry> hot;
+  for (uint64_t i = 0; i < count; ++i) {
+    KnowledgeEntry entry;
+    uint32_t source = 0;
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&entry.representation));
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&entry.parameters));
+    RETURN_IF_ERROR(reader->ReadU32(&source));
+    RETURN_IF_ERROR(reader->ReadI64(&entry.batch_index));
+    RETURN_IF_ERROR(reader->ReadDouble(&entry.quality));
+    if (source > static_cast<uint32_t>(KnowledgeSource::kLongModel)) {
+      return Status::InvalidArgument(
+          "KnowledgeStore: snapshot has an unknown source tag");
+    }
+    entry.source = static_cast<KnowledgeSource>(source);
+    hot.push_back(std::move(entry));
+  }
+  uint64_t spilled_count = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t refresh_count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&spilled_count));
+  RETURN_IF_ERROR(reader->ReadU64(&spilled_bytes));
+  RETURN_IF_ERROR(reader->ReadU64(&refresh_count));
+  hot_ = std::move(hot);
+  spilled_count_ = spilled_count;
+  spilled_bytes_ = spilled_bytes;
+  refresh_count_ = refresh_count;
+  return Status::OK();
 }
 
 }  // namespace freeway

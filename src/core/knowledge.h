@@ -10,6 +10,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Which granularity produced a preserved model.
 enum class KnowledgeSource { kShortModel, kLongModel };
 
@@ -94,6 +97,11 @@ class KnowledgeStore {
   /// carry defaults for those fields.
   static Result<std::vector<KnowledgeEntry>> ReadSpillFile(
       const std::string& path);
+
+  /// Serializes the hot tier and the spill accounting. Spilled entries
+  /// stay in their spill file; only the counters are carried over.
+  void SaveState(SnapshotWriter* writer) const;
+  Status LoadState(SnapshotReader* reader);
 
  private:
   Status SpillOldestHalf();

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "fault/failpoint.h"
+#include "fault/snapshot.h"
 
 namespace freeway {
 
@@ -112,6 +114,7 @@ Status Learner::TrainInternalTimed(const Batch& batch,
 
 Result<InferenceReport> Learner::RunStrategies(const Matrix& features,
                                                ShiftAssessment assessment) {
+  FREEWAY_FAILPOINT("learner.infer");
   InferenceReport report;
   report.assessment = std::move(assessment);
   const ShiftAssessment& shift = report.assessment;
@@ -159,7 +162,7 @@ Result<InferenceReport> Learner::RunStrategies(const Matrix& features,
         const KnowledgeEntry& entry = knowledge_.entry(match->entry_index);
         Status set = scratch_model_->SetParameters(entry.parameters);
         if (set.ok()) {
-          FREEWAY_ASSIGN_OR_RETURN(report.proba,
+          ASSIGN_OR_RETURN(report.proba,
                                    scratch_model_->PredictProba(features));
           report.knowledge_distance = match->distance;
           reused = true;
@@ -202,7 +205,7 @@ Result<InferenceReport> Learner::RunStrategies(const Matrix& features,
   }
 
   if (strategy == Strategy::kMultiGranularity) {
-    FREEWAY_ASSIGN_OR_RETURN(report.proba, ensemble_->PredictProba(features));
+    ASSIGN_OR_RETURN(report.proba, ensemble_->PredictProba(features));
   }
 
   report.strategy = strategy;
@@ -238,9 +241,10 @@ void Learner::FillPredictions(InferenceReport* report) {
 
 Status Learner::TrainInternal(const Batch& batch,
                               const std::vector<double>& representation) {
-  FREEWAY_ASSIGN_OR_RETURN(MultiGranularityEnsemble::TrainReport train_report,
+  FREEWAY_FAILPOINT("learner.train");
+  ASSIGN_OR_RETURN(MultiGranularityEnsemble::TrainReport train_report,
                            ensemble_->Train(batch));
-  FREEWAY_RETURN_NOT_OK(exp_buffer_.Add(batch));
+  RETURN_IF_ERROR(exp_buffer_.Add(batch));
   ++stats_.batches_trained;
   stats_.long_model_updates += train_report.rollovers.size();
 
@@ -263,7 +267,7 @@ Status Learner::TrainInternal(const Batch& batch,
     long_entry.source = KnowledgeSource::kLongModel;
     long_entry.batch_index = batch.index;
     long_entry.quality = rollover.long_accuracy;
-    FREEWAY_RETURN_NOT_OK(
+    RETURN_IF_ERROR(
         knowledge_.PreserveOrRefresh(std::move(long_entry), dedup_radius));
     ++stats_.knowledge_preserved;
 
@@ -276,7 +280,7 @@ Status Learner::TrainInternal(const Batch& batch,
       short_entry.source = KnowledgeSource::kShortModel;
       short_entry.batch_index = batch.index;
       short_entry.quality = rollover.short_accuracy;
-      FREEWAY_RETURN_NOT_OK(
+      RETURN_IF_ERROR(
           knowledge_.PreserveOrRefresh(std::move(short_entry), dedup_radius));
       ++stats_.knowledge_preserved;
     }
@@ -288,18 +292,18 @@ Result<InferenceReport> Learner::InferThenTrain(const Batch& batch) {
   if (!batch.labeled()) {
     return Status::InvalidArgument("InferThenTrain requires a labeled batch");
   }
-  FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment,
+  ASSIGN_OR_RETURN(ShiftAssessment assessment,
                            AssessTimed(batch.features));
-  FREEWAY_ASSIGN_OR_RETURN(
+  ASSIGN_OR_RETURN(
       InferenceReport report,
       RunStrategiesTimed(batch.features, std::move(assessment)));
-  FREEWAY_RETURN_NOT_OK(
+  RETURN_IF_ERROR(
       TrainInternalTimed(batch, report.assessment.representation));
   return report;
 }
 
 Result<InferenceReport> Learner::Infer(const Matrix& features) {
-  FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment, AssessTimed(features));
+  ASSIGN_OR_RETURN(ShiftAssessment assessment, AssessTimed(features));
   return RunStrategiesTimed(features, std::move(assessment));
 }
 
@@ -307,10 +311,72 @@ Status Learner::Train(const Batch& batch) {
   if (!batch.labeled()) {
     return Status::InvalidArgument("Train requires a labeled batch");
   }
-  FREEWAY_ASSIGN_OR_RETURN(ShiftAssessment assessment,
+  ASSIGN_OR_RETURN(ShiftAssessment assessment,
                            AssessTimed(batch.features));
   if (!assessment.warmup) last_mu_d_ = assessment.mu_d;
   return TrainInternalTimed(batch, assessment.representation);
+}
+
+
+namespace {
+constexpr uint32_t kLearnerTag = 0x4c524e52;  // 'LRNR'
+}  // namespace
+
+Status Learner::SaveState(SnapshotWriter* writer) {
+  writer->WriteSection(kLearnerTag);
+  detector_.SaveState(writer);
+  RETURN_IF_ERROR(ensemble_->SaveState(writer));
+  exp_buffer_.SaveState(writer);
+  knowledge_.SaveState(writer);
+  writer->WriteU64(stats_.batches_inferred);
+  writer->WriteU64(stats_.batches_trained);
+  writer->WriteU64(stats_.ensemble_inferences);
+  writer->WriteU64(stats_.cec_inferences);
+  writer->WriteU64(stats_.knowledge_inferences);
+  writer->WriteU64(stats_.slight_patterns);
+  writer->WriteU64(stats_.sudden_patterns);
+  writer->WriteU64(stats_.reoccurring_patterns);
+  writer->WriteU64(stats_.knowledge_preserved);
+  writer->WriteU64(stats_.long_model_updates);
+  writer->WriteDouble(last_mu_d_);
+  writer->WriteDouble(accuracy_ema_);
+  return Status::OK();
+}
+
+Status Learner::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kLearnerTag));
+  RETURN_IF_ERROR(detector_.LoadState(reader));
+  RETURN_IF_ERROR(ensemble_->LoadState(reader));
+  RETURN_IF_ERROR(exp_buffer_.LoadState(reader));
+  RETURN_IF_ERROR(knowledge_.LoadState(reader));
+  uint64_t counters[10] = {};
+  for (auto& c : counters) RETURN_IF_ERROR(reader->ReadU64(&c));
+  stats_.batches_inferred = counters[0];
+  stats_.batches_trained = counters[1];
+  stats_.ensemble_inferences = counters[2];
+  stats_.cec_inferences = counters[3];
+  stats_.knowledge_inferences = counters[4];
+  stats_.slight_patterns = counters[5];
+  stats_.sudden_patterns = counters[6];
+  stats_.reoccurring_patterns = counters[7];
+  stats_.knowledge_preserved = counters[8];
+  stats_.long_model_updates = counters[9];
+  RETURN_IF_ERROR(reader->ReadDouble(&last_mu_d_));
+  RETURN_IF_ERROR(reader->ReadDouble(&accuracy_ema_));
+  return Status::OK();
+}
+
+Status Learner::Snapshot(std::vector<char>* out) {
+  SnapshotWriter writer;
+  RETURN_IF_ERROR(SaveState(&writer));
+  *out = writer.Take();
+  return Status::OK();
+}
+
+Status Learner::Restore(const std::vector<char>& snapshot) {
+  SnapshotReader reader(snapshot);
+  RETURN_IF_ERROR(LoadState(&reader));
+  return reader.ExpectEnd();
 }
 
 }  // namespace freeway

@@ -14,6 +14,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Inference strategy chosen by the selector for one batch. Exactly one
 /// strategy executes per inference batch (Section V-A).
 enum class Strategy {
@@ -140,6 +143,20 @@ class Learner {
 
   /// Applies a rate-aware decay boost to every long window (Section V-B).
   void SetWindowDecayBoost(double boost);
+
+  /// Serializes the learner's full mutable state — shift detector,
+  /// ensemble member parameters (through ml/serialize), adaptive windows,
+  /// experience buffer, knowledge store, and counters — into `out`
+  /// (cleared first). Restore into a learner constructed with the same
+  /// prototype and options; a restored learner's Infer is bit-identical
+  /// to the original's on the same traffic.
+  Status Snapshot(std::vector<char>* out);
+  Status Restore(const std::vector<char>& snapshot);
+
+  /// Composable forms used by StreamPipeline::Snapshot: state only, no
+  /// end-of-buffer check.
+  Status SaveState(SnapshotWriter* writer);
+  Status LoadState(SnapshotReader* reader);
 
   /// Attaches observability: per-stage latency histograms
   /// (`freeway_learner_stage_seconds{stage="detect"|"infer"|"train"}`) and

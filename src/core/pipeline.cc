@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include "fault/snapshot.h"
+
 namespace freeway {
 
 StreamPipeline::StreamPipeline(const Model& prototype,
@@ -85,12 +87,12 @@ Result<std::optional<InferenceReport>> StreamPipeline::Push(
   if (batch.labeled()) {
     Status trained = learner_.Train(batch);
     RecordPush(trained.ok(), watch);
-    FREEWAY_RETURN_NOT_OK(trained);
+    RETURN_IF_ERROR(trained);
     return std::optional<InferenceReport>();
   }
   Result<InferenceReport> report = learner_.Infer(batch.features);
   RecordPush(report.ok(), watch);
-  FREEWAY_RETURN_NOT_OK(report.status());
+  RETURN_IF_ERROR(report.status());
   return std::optional<InferenceReport>(std::move(report).value());
 }
 
@@ -100,6 +102,55 @@ Result<InferenceReport> StreamPipeline::PushPrequential(const Batch& batch) {
   Result<InferenceReport> report = learner_.InferThenTrain(batch);
   RecordPush(report.ok(), watch);
   return report;
+}
+
+
+namespace {
+constexpr uint32_t kPipelineTag = 0x50495045;  // 'PIPE'
+}  // namespace
+
+Status StreamPipeline::Snapshot(std::vector<char>* out) {
+  SnapshotWriter writer;
+  writer.WriteSection(kPipelineTag);
+  RETURN_IF_ERROR(learner_.SaveState(&writer));
+  writer.WriteDouble(adjuster_.smoothed_rate());
+  writer.WriteBool(adjuster_.initialized());
+  writer.WriteDouble(last_adjustment_.inference_frequency_factor);
+  writer.WriteDouble(last_adjustment_.decay_boost);
+  writer.WriteBool(last_adjustment_.throttle_updates);
+  writer.WriteU64(batches_ok_);
+  writer.WriteU64(batches_failed_);
+  *out = writer.Take();
+  return Status::OK();
+}
+
+Status StreamPipeline::Restore(const std::vector<char>& snapshot) {
+  SnapshotReader reader(snapshot);
+  RETURN_IF_ERROR(reader.ExpectSection(kPipelineTag));
+  RETURN_IF_ERROR(learner_.LoadState(&reader));
+  double smoothed_rate = 0.0;
+  bool initialized = false;
+  RETURN_IF_ERROR(reader.ReadDouble(&smoothed_rate));
+  RETURN_IF_ERROR(reader.ReadBool(&initialized));
+  adjuster_.RestoreState(smoothed_rate, initialized);
+  RETURN_IF_ERROR(
+      reader.ReadDouble(&last_adjustment_.inference_frequency_factor));
+  RETURN_IF_ERROR(reader.ReadDouble(&last_adjustment_.decay_boost));
+  RETURN_IF_ERROR(reader.ReadBool(&last_adjustment_.throttle_updates));
+  uint64_t ok_count = 0;
+  uint64_t failed_count = 0;
+  RETURN_IF_ERROR(reader.ReadU64(&ok_count));
+  RETURN_IF_ERROR(reader.ReadU64(&failed_count));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  batches_ok_ = ok_count;
+  batches_failed_ = failed_count;
+  // The stopwatch now spans restore → next push, which is not an
+  // inter-batch gap; treat the next push like the first.
+  first_tick_ = true;
+  external_rate_.reset();
+  since_last_batch_.Restart();
+  learner_.SetWindowDecayBoost(last_adjustment_.decay_boost);
+  return Status::OK();
 }
 
 }  // namespace freeway

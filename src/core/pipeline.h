@@ -63,6 +63,15 @@ class StreamPipeline {
   size_t batches_processed() const { return batches_ok_; }
   size_t batches_failed() const { return batches_failed_; }
 
+  /// Serializes the pipeline's full state (learner + rate-adjuster EMA +
+  /// push counters) into `out` (cleared first). Restore into a pipeline
+  /// built with the same prototype and options. The flow stopwatch is not
+  /// saved: the first post-restore inter-batch gap is not observed, which
+  /// only matters when the internal stopwatch (not SetExternalRate) drives
+  /// the adjuster.
+  Status Snapshot(std::vector<char>* out);
+  Status Restore(const std::vector<char>& snapshot);
+
   /// Attaches observability: push outcome counters
   /// (`freeway_pipeline_batches_total{result="ok"|"error"}`), an
   /// end-to-end push latency histogram (`freeway_pipeline_push_seconds`),

@@ -1,6 +1,7 @@
 #include "core/precompute.h"
 
 #include "common/logging.h"
+#include "fault/snapshot.h"
 
 namespace freeway {
 
@@ -12,7 +13,7 @@ Result<double> PrecomputingWindow::AccumulateSubset(const Batch& subset) {
   if (!subset.labeled()) {
     return Status::InvalidArgument("PrecomputingWindow: unlabeled subset");
   }
-  FREEWAY_ASSIGN_OR_RETURN(
+  ASSIGN_OR_RETURN(
       double loss,
       model_->ComputeGradient(subset.features, subset.labels, &scratch_));
   if (accumulated_.empty()) {
@@ -35,7 +36,7 @@ Status PrecomputingWindow::ApplyUpdate(double learning_rate) {
   }
   const double scale = -learning_rate / static_cast<double>(subsets_);
   for (auto& g : accumulated_) g *= scale;
-  FREEWAY_RETURN_NOT_OK(model_->ApplyStep(accumulated_));
+  RETURN_IF_ERROR(model_->ApplyStep(accumulated_));
   Reset();
   return Status::OK();
 }
@@ -43,6 +44,38 @@ Status PrecomputingWindow::ApplyUpdate(double learning_rate) {
 void PrecomputingWindow::Reset() {
   accumulated_.clear();
   subsets_ = 0;
+}
+
+
+namespace {
+constexpr uint32_t kPrecomputeTag = 0x50524543;  // 'PREC'
+}  // namespace
+
+void PrecomputingWindow::SaveState(SnapshotWriter* writer) const {
+  writer->WriteSection(kPrecomputeTag);
+  writer->WriteDoubleVec(accumulated_);
+  writer->WriteU64(subsets_);
+}
+
+Status PrecomputingWindow::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kPrecomputeTag));
+  std::vector<double> accumulated;
+  uint64_t subsets = 0;
+  RETURN_IF_ERROR(reader->ReadDoubleVec(&accumulated));
+  RETURN_IF_ERROR(reader->ReadU64(&subsets));
+  if (!accumulated.empty() &&
+      accumulated.size() != model_->ParameterCount()) {
+    return Status::InvalidArgument(
+        "PrecomputingWindow: accumulator length does not match the model");
+  }
+  if (subsets > 0 && accumulated.empty()) {
+    return Status::InvalidArgument(
+        "PrecomputingWindow: pending subsets with an empty accumulator");
+  }
+  accumulated_ = std::move(accumulated);
+  scratch_.clear();
+  subsets_ = subsets;
+  return Status::OK();
 }
 
 }  // namespace freeway

@@ -9,6 +9,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Section V-B's pre-computing window mechanism: instead of computing the
 /// gradient of a full window at update time, gradients of the window's data
 /// subsets are computed incrementally as the subsets arrive and accumulated;
@@ -32,6 +35,12 @@ class PrecomputingWindow {
 
   size_t pending_subsets() const { return subsets_; }
   void Reset();
+
+  /// Serializes the gradient accumulator (the model itself is restored by
+  /// its owner). LoadState rejects an accumulator whose length does not
+  /// match the attached model's parameter count.
+  void SaveState(SnapshotWriter* writer) const;
+  Status LoadState(SnapshotReader* reader);
 
  private:
   Model* model_;

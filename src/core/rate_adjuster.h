@@ -45,6 +45,13 @@ class RateAwareAdjuster {
   RateAdjustment Observe(double batches_per_sec, double window_pressure);
 
   double smoothed_rate() const { return smoothed_rate_; }
+  bool initialized() const { return initialized_; }
+
+  /// Reinstalls a previously observed EMA, e.g. from a checkpoint.
+  void RestoreState(double smoothed_rate, bool initialized) {
+    smoothed_rate_ = smoothed_rate;
+    initialized_ = initialized;
+  }
 
  private:
   RateAdjusterOptions options_;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "fault/snapshot.h"
 
 namespace freeway {
 
@@ -77,20 +78,20 @@ Result<ShiftAssessment> ShiftDetector::Assess(const Matrix& features) {
     for (size_t i = 0; i < warmup_rows_.size(); ++i) {
       sample.SetRow(i, warmup_rows_[i]);
     }
-    FREEWAY_RETURN_NOT_OK(pca_.Fit(sample, components));
+    RETURN_IF_ERROR(pca_.Fit(sample, components));
     warmup_rows_.clear();
     warmup_rows_.shrink_to_fit();
     out.warmup = true;
     // The final warm-up batch seeds the history so the first live batch has
     // a predecessor for d_t.
-    FREEWAY_ASSIGN_OR_RETURN(std::vector<double> seed_rep,
+    ASSIGN_OR_RETURN(std::vector<double> seed_rep,
                              pca_.TransformBatchMean(features));
     history_.push_back(seed_rep);
     previous_representation_ = std::move(seed_rep);
     return out;
   }
 
-  FREEWAY_ASSIGN_OR_RETURN(out.representation,
+  ASSIGN_OR_RETURN(out.representation,
                            pca_.TransformBatchMean(features));
 
   // d_t (Eq. 7).
@@ -139,6 +140,76 @@ Result<ShiftAssessment> ShiftDetector::Assess(const Matrix& features) {
   previous_representation_ = out.representation;
 
   return out;
+}
+
+
+namespace {
+constexpr uint32_t kShiftDetectorTag = 0x53484654;  // 'SHFT'
+}  // namespace
+
+void ShiftDetector::SaveState(SnapshotWriter* writer) const {
+  writer->WriteSection(kShiftDetectorTag);
+  writer->WriteBool(pca_.fitted());
+  writer->WriteDoubleVec(pca_.mean());
+  writer->WriteMatrix(pca_.components());
+  writer->WriteDouble(pca_.ExplainedVarianceRatio());
+  writer->WriteU64(warmup_rows_.size());
+  for (const auto& row : warmup_rows_) writer->WriteDoubleVec(row);
+  writer->WriteU64(warmup_batches_seen_);
+  writer->WriteU64(history_.size());
+  for (const auto& rep : history_) writer->WriteDoubleVec(rep);
+  writer->WriteDoubleVec(
+      std::vector<double>(distances_.begin(), distances_.end()));
+  writer->WriteBool(previous_representation_.has_value());
+  if (previous_representation_.has_value()) {
+    writer->WriteDoubleVec(*previous_representation_);
+  }
+}
+
+Status ShiftDetector::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kShiftDetectorTag));
+  bool fitted = false;
+  std::vector<double> mean;
+  Matrix components;
+  double explained = 0.0;
+  RETURN_IF_ERROR(reader->ReadBool(&fitted));
+  RETURN_IF_ERROR(reader->ReadDoubleVec(&mean));
+  RETURN_IF_ERROR(reader->ReadMatrix(&components));
+  RETURN_IF_ERROR(reader->ReadDouble(&explained));
+  RETURN_IF_ERROR(
+      pca_.SetState(std::move(mean), std::move(components), explained,
+                    fitted));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&count));
+  warmup_rows_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<double> row;
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&row));
+    warmup_rows_.push_back(std::move(row));
+  }
+  uint64_t seen = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&seen));
+  warmup_batches_seen_ = seen;
+  RETURN_IF_ERROR(reader->ReadU64(&count));
+  history_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<double> rep;
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&rep));
+    history_.push_back(std::move(rep));
+  }
+  std::vector<double> distances;
+  RETURN_IF_ERROR(reader->ReadDoubleVec(&distances));
+  distances_.assign(distances.begin(), distances.end());
+  bool has_previous = false;
+  RETURN_IF_ERROR(reader->ReadBool(&has_previous));
+  if (has_previous) {
+    std::vector<double> rep;
+    RETURN_IF_ERROR(reader->ReadDoubleVec(&rep));
+    previous_representation_ = std::move(rep);
+  } else {
+    previous_representation_.reset();
+  }
+  return Status::OK();
 }
 
 }  // namespace freeway

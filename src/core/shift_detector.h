@@ -12,6 +12,9 @@
 
 namespace freeway {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// The three shift patterns of Section III. Slight shifts are further split
 /// by the ASW's disorder into directional (A1) and localized (A2), but the
 /// detector itself distinguishes only the three inference-strategy classes.
@@ -95,6 +98,12 @@ class ShiftDetector {
 
   /// Recent shift distances, most recent last.
   const std::deque<double>& recent_distances() const { return distances_; }
+
+  /// Serializes the mutable state (PCA fit, warm-up sample, history,
+  /// distance statistics). Options are not serialized: restore into a
+  /// detector constructed with the same options.
+  void SaveState(SnapshotWriter* writer) const;
+  Status LoadState(SnapshotReader* reader);
 
  private:
   /// Computes Eqs. 8-10 from `distances_`.

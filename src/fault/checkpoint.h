@@ -1,0 +1,83 @@
+#ifndef FREEWAYML_FAULT_CHECKPOINT_H_
+#define FREEWAYML_FAULT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace freeway {
+
+/// Options for the on-disk checkpoint store.
+struct CheckpointStoreOptions {
+  /// Directory all checkpoint files live in (created on first use).
+  std::string directory;
+  /// Validated versions kept per name; older ones are pruned after each
+  /// successful write. >= 1. Keeping two means a crash *during* a write can
+  /// never leave a name without a restorable version.
+  size_t keep_versions = 2;
+  /// fsync file contents before the atomic rename (and the directory after
+  /// it), so a renamed checkpoint is durable, not just visible.
+  bool fsync = true;
+};
+
+/// One stored checkpoint version.
+struct CheckpointInfo {
+  uint64_t sequence = 0;
+  std::string path;
+};
+
+/// Versioned, checksummed, atomic on-disk checkpoint store.
+///
+/// Disk format per file (`<name>-<seq>.ckpt`):
+///   u32 magic 'FWCP'  |  u32 format version  |  u64 payload size
+///   u32 CRC-32 of the payload  |  payload bytes
+///
+/// Writes go to `<file>.tmp` first and are renamed into place only after a
+/// complete (optionally fsynced) write, so a reader never observes a
+/// partial checkpoint: a file either has its final name and validates, or
+/// it does not exist. Reads re-verify magic, version, size, and CRC, so
+/// truncation and bit flips are rejected with a clean Status — corruption
+/// can never produce a silent partial restore.
+///
+/// Thread-safe: concurrent Write/ReadLatest calls (e.g. different runtime
+/// shards sharing one store) serialize on an internal mutex.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(CheckpointStoreOptions options);
+
+  /// Writes `payload` as the next version of `name` and prunes versions
+  /// beyond `keep_versions`. Failpoint site: "checkpoint.write".
+  Status Write(const std::string& name, const std::vector<char>& payload);
+
+  /// Returns the payload of the newest version of `name` that validates.
+  /// A corrupt newest version is skipped (each rejection is clean) and the
+  /// next-older one is tried; fails only when no version validates.
+  Result<std::vector<char>> ReadLatest(const std::string& name) const;
+
+  /// Reads and validates one checkpoint file. Failpoint site:
+  /// "checkpoint.read".
+  static Result<std::vector<char>> ReadFile(const std::string& path);
+
+  /// Stored versions of `name`, ascending by sequence.
+  Result<std::vector<CheckpointInfo>> List(const std::string& name) const;
+
+  const CheckpointStoreOptions& options() const { return options_; }
+
+ private:
+  Status EnsureDirectory() const;
+  Result<std::vector<CheckpointInfo>> ListLocked(
+      const std::string& name) const;
+
+  CheckpointStoreOptions options_;
+  mutable std::mutex mutex_;
+  /// Next sequence per name, seeded from the directory scan on first write.
+  std::map<std::string, uint64_t> next_sequence_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_FAULT_CHECKPOINT_H_

@@ -1,0 +1,94 @@
+#include "fault/failpoint.h"
+
+#include <map>
+#include <mutex>
+
+namespace freeway {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct Point {
+  FailPointSpec spec;
+  bool armed = false;
+  /// Check calls seen while armed (drives the skip window).
+  uint64_t triggers = 0;
+  /// Failures injected, cumulative across re-arms.
+  uint64_t hits = 0;
+};
+
+std::mutex& Mutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::map<std::string, Point, std::less<>>& Points() {
+  static auto* points = new std::map<std::string, Point, std::less<>>;
+  return *points;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Point& point = Points()[site];
+  if (!point.armed) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  point.spec = std::move(spec);
+  point.armed = true;
+  point.triggers = 0;
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(site);
+  if (it == Points().end() || !it->second.armed) return;
+  it->second.armed = false;
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  for (auto& [site, point] : Points()) {
+    if (point.armed) {
+      internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  Points().clear();
+}
+
+Status Check(std::string_view site) {
+  if (!internal::AnyArmed()) return Status::OK();
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(site);
+  if (it == Points().end() || !it->second.armed) return Status::OK();
+  Point& point = it->second;
+  ++point.triggers;
+  if (point.triggers <= point.spec.skip) return Status::OK();
+  const uint64_t fired = point.triggers - point.spec.skip;
+  if (fired >= point.spec.count) {
+    // Final injected failure: auto-disarm so recovery paths run clean.
+    point.armed = false;
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ++point.hits;
+  const std::string message =
+      point.spec.message.empty()
+          ? "failpoint " + std::string(site) + " fired"
+          : point.spec.message;
+  return Status(point.spec.code, message);
+}
+
+uint64_t Hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(site);
+  return it == Points().end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoint
+}  // namespace freeway

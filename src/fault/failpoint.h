@@ -1,0 +1,71 @@
+#ifndef FREEWAYML_FAULT_FAILPOINT_H_
+#define FREEWAYML_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace freeway {
+namespace failpoint {
+
+/// What an armed failpoint injects and when. A spec fires `count` failures
+/// after letting `skip` triggers pass through, then disarms itself — so a
+/// chaos test can say "kill the 6th and 7th drain of shard 0" and the
+/// stream recovers on its own schedule.
+struct FailPointSpec {
+  StatusCode code = StatusCode::kInternal;
+  /// Injected error message; empty uses "failpoint <site> fired".
+  std::string message;
+  /// Triggers that pass through before the first injected failure.
+  size_t skip = 0;
+  /// Injected failures before the point auto-disarms. SIZE_MAX = forever.
+  size_t count = 1;
+};
+
+namespace internal {
+/// Process-wide count of currently armed failpoints. Exposed so the
+/// instrumentation fast path is a single relaxed load when nothing is
+/// armed (the same compile-always / attach-to-enable discipline as the
+/// observability layer).
+extern std::atomic<int> g_armed_count;
+inline bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+}  // namespace internal
+
+/// Arms (or re-arms, resetting trigger/hit counts) the named site.
+void Arm(const std::string& site, FailPointSpec spec = {});
+
+/// Disarms the named site; trigger/hit history stays queryable.
+void Disarm(const std::string& site);
+
+/// Disarms everything and clears all history. Tests call this in
+/// SetUp/TearDown so armed points never leak across test cases.
+void DisarmAll();
+
+/// The instrumentation hook: returns the injected error while the site is
+/// armed and due, OK otherwise. One relaxed atomic load when no failpoint
+/// is armed anywhere in the process.
+Status Check(std::string_view site);
+
+/// Injected failures delivered by the named site so far (across re-arms
+/// since the last DisarmAll).
+uint64_t Hits(const std::string& site);
+
+}  // namespace failpoint
+}  // namespace freeway
+
+/// Propagates an injected failure out of a Status/Result-returning
+/// function: `FREEWAY_FAILPOINT("learner.train");`
+#define FREEWAY_FAILPOINT(site)                                   \
+  do {                                                            \
+    if (::freeway::failpoint::internal::AnyArmed()) {             \
+      ::freeway::Status _fp = ::freeway::failpoint::Check(site);  \
+      if (!_fp.ok()) return _fp;                                  \
+    }                                                             \
+  } while (false)
+
+#endif  // FREEWAYML_FAULT_FAILPOINT_H_

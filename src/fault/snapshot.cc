@@ -1,0 +1,200 @@
+#include "fault/snapshot.h"
+
+#include <array>
+#include <cstring>
+
+namespace freeway {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::Append(const void* data, size_t size) {
+  const size_t offset = buffer_.size();
+  buffer_.resize(offset + size);
+  std::memcpy(buffer_.data() + offset, data, size);
+}
+
+void SnapshotWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  if (!value.empty()) Append(value.data(), value.size());
+}
+
+void SnapshotWriter::WriteDoubleVec(const std::vector<double>& values) {
+  WriteU64(values.size());
+  if (!values.empty()) {
+    Append(values.data(), values.size() * sizeof(double));
+  }
+}
+
+void SnapshotWriter::WriteIntVec(const std::vector<int>& values) {
+  WriteU64(values.size());
+  for (int v : values) WriteI64(v);
+}
+
+void SnapshotWriter::WriteBlob(const std::vector<char>& bytes) {
+  WriteU64(bytes.size());
+  if (!bytes.empty()) Append(bytes.data(), bytes.size());
+}
+
+void SnapshotWriter::WriteMatrix(const Matrix& matrix) {
+  WriteU64(matrix.rows());
+  WriteU64(matrix.cols());
+  if (matrix.size() > 0) {
+    Append(matrix.data(), matrix.size() * sizeof(double));
+  }
+}
+
+void SnapshotWriter::WriteBatch(const Batch& batch) {
+  WriteI64(batch.index);
+  WriteMatrix(batch.features);
+  WriteIntVec(batch.labels);
+}
+
+Status SnapshotReader::Take(void* out, size_t size) {
+  if (size > remaining()) {
+    return Status::InvalidArgument("snapshot: truncated (need " +
+                                   std::to_string(size) + " bytes, have " +
+                                   std::to_string(remaining()) + ")");
+  }
+  std::memcpy(out, buffer_.data() + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+Status SnapshotReader::CheckCount(uint64_t count, size_t elem_size) const {
+  if (count > remaining() / elem_size) {
+    return Status::InvalidArgument(
+        "snapshot: embedded count " + std::to_string(count) +
+        " exceeds the remaining " + std::to_string(remaining()) + " bytes");
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::ReadBool(bool* out) {
+  uint8_t byte = 0;
+  RETURN_IF_ERROR(Take(&byte, 1));
+  if (byte > 1) {
+    return Status::InvalidArgument("snapshot: bool byte out of range");
+  }
+  *out = byte == 1;
+  return Status::OK();
+}
+
+Status SnapshotReader::ReadString(std::string* out) {
+  uint64_t size = 0;
+  RETURN_IF_ERROR(ReadU64(&size));
+  RETURN_IF_ERROR(CheckCount(size, 1));
+  out->resize(size);
+  return size > 0 ? Take(out->data(), size) : Status::OK();
+}
+
+Status SnapshotReader::ReadDoubleVec(std::vector<double>* out) {
+  uint64_t size = 0;
+  RETURN_IF_ERROR(ReadU64(&size));
+  RETURN_IF_ERROR(CheckCount(size, sizeof(double)));
+  out->resize(size);
+  return size > 0 ? Take(out->data(), size * sizeof(double)) : Status::OK();
+}
+
+Status SnapshotReader::ReadIntVec(std::vector<int>* out) {
+  uint64_t size = 0;
+  RETURN_IF_ERROR(ReadU64(&size));
+  RETURN_IF_ERROR(CheckCount(size, sizeof(int64_t)));
+  out->clear();
+  out->reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    int64_t v = 0;
+    RETURN_IF_ERROR(ReadI64(&v));
+    out->push_back(static_cast<int>(v));
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::ReadBlob(std::vector<char>* out) {
+  uint64_t size = 0;
+  RETURN_IF_ERROR(ReadU64(&size));
+  RETURN_IF_ERROR(CheckCount(size, 1));
+  out->resize(size);
+  return size > 0 ? Take(out->data(), size) : Status::OK();
+}
+
+Status SnapshotReader::ReadMatrix(Matrix* out) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  RETURN_IF_ERROR(ReadU64(&rows));
+  RETURN_IF_ERROR(ReadU64(&cols));
+  // Validate both factors before multiplying so a corrupted shape can
+  // neither overflow uint64 nor trigger an absurd allocation.
+  RETURN_IF_ERROR(CheckCount(rows, 1));
+  RETURN_IF_ERROR(CheckCount(cols, 1));
+  if (rows > 0) RETURN_IF_ERROR(CheckCount(rows * cols, sizeof(double)));
+  std::vector<double> data(rows * cols);
+  if (!data.empty()) {
+    RETURN_IF_ERROR(Take(data.data(), data.size() * sizeof(double)));
+  }
+  ASSIGN_OR_RETURN(*out, Matrix::FromData(rows, cols, std::move(data)));
+  return Status::OK();
+}
+
+Status SnapshotReader::ReadBatch(Batch* out) {
+  RETURN_IF_ERROR(ReadI64(&out->index));
+  RETURN_IF_ERROR(ReadMatrix(&out->features));
+  RETURN_IF_ERROR(ReadIntVec(&out->labels));
+  if (!out->labels.empty() && out->labels.size() != out->features.rows()) {
+    return Status::InvalidArgument(
+        "snapshot: batch label count does not match feature rows");
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::ExpectSection(uint32_t tag, uint32_t* version_out) {
+  uint32_t read_tag = 0;
+  uint32_t version = 0;
+  RETURN_IF_ERROR(ReadU32(&read_tag));
+  RETURN_IF_ERROR(ReadU32(&version));
+  if (read_tag != tag) {
+    return Status::InvalidArgument(
+        "snapshot: section tag mismatch (expected " + std::to_string(tag) +
+        ", found " + std::to_string(read_tag) + ")");
+  }
+  if (version_out != nullptr) {
+    *version_out = version;
+  } else if (version != 1) {
+    return Status::InvalidArgument("snapshot: unsupported section version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument("snapshot: " + std::to_string(remaining()) +
+                                   " trailing bytes after the final section");
+  }
+  return Status::OK();
+}
+
+}  // namespace freeway

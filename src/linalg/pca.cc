@@ -28,7 +28,7 @@ Status Pca::Fit(const Matrix& samples, size_t num_components) {
   Matrix cov = centered.TransposeMatMul(centered);
   cov.ScaleInPlace(1.0 / static_cast<double>(n));
 
-  FREEWAY_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(cov));
+  ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(cov));
 
   components_ = Matrix(dim, num_components);
   for (size_t j = 0; j < num_components; ++j) {
@@ -47,6 +47,22 @@ Status Pca::Fit(const Matrix& samples, size_t num_components) {
   explained_ratio_ = total > 0.0 ? kept / total : 0.0;
 
   fitted_ = true;
+  return Status::OK();
+}
+
+Status Pca::SetState(std::vector<double> mean, Matrix components,
+                     double explained_ratio, bool fitted) {
+  if (fitted) {
+    if (mean.empty() || components.rows() != mean.size() ||
+        components.cols() == 0 || components.cols() > mean.size()) {
+      return Status::InvalidArgument(
+          "Pca::SetState: component shape inconsistent with mean");
+    }
+  }
+  mean_ = std::move(mean);
+  components_ = std::move(components);
+  explained_ratio_ = explained_ratio;
+  fitted_ = fitted;
   return Status::OK();
 }
 
@@ -75,7 +91,7 @@ Result<Matrix> Pca::TransformBatch(const Matrix& batch) const {
   }
   Matrix out(batch.rows(), components_.cols());
   for (size_t r = 0; r < batch.rows(); ++r) {
-    FREEWAY_ASSIGN_OR_RETURN(std::vector<double> proj,
+    ASSIGN_OR_RETURN(std::vector<double> proj,
                              Transform(batch.Row(r)));
     out.SetRow(r, proj);
   }

@@ -42,6 +42,11 @@ class Pca {
   /// Component matrix P_d (input_dim x num_components).
   const Matrix& components() const { return components_; }
 
+  /// Installs previously fitted state, e.g. from a checkpoint. `components`
+  /// must have one row per mean entry when `fitted` is set.
+  Status SetState(std::vector<double> mean, Matrix components,
+                  double explained_ratio, bool fitted);
+
  private:
   bool fitted_ = false;
   std::vector<double> mean_;

@@ -1,5 +1,6 @@
 #include "ml/serialize.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -8,6 +9,10 @@ namespace {
 
 constexpr uint32_t kMagic = 0x46574d4c;  // "FWML"
 constexpr uint32_t kVersion = 1;
+/// Upper bound on restorable parameters (8 GiB of doubles) — far above any
+/// model this library builds, low enough that a corrupted count can never
+/// drive the resize below into an absurd allocation.
+constexpr uint64_t kMaxParameters = uint64_t{1} << 30;
 
 struct Header {
   uint32_t magic;
@@ -40,6 +45,19 @@ Result<ModelSnapshot> DeserializeModel(const std::vector<char>& buffer) {
     return Status::InvalidArgument("model snapshot: unsupported version " +
                                    std::to_string(header.version));
   }
+  // A model with zero trainable scalars cannot exist; a zero count is a
+  // corrupted header, not an empty model.
+  if (header.parameter_count == 0) {
+    return Status::InvalidArgument("model snapshot: zero parameter count");
+  }
+  if (header.parameter_count > kMaxParameters ||
+      header.parameter_count >
+          (buffer.size() - sizeof(Header)) / sizeof(double)) {
+    return Status::InvalidArgument(
+        "model snapshot: absurd parameter count " +
+        std::to_string(header.parameter_count) + " for a " +
+        std::to_string(buffer.size()) + "-byte buffer");
+  }
   const size_t expected =
       sizeof(Header) + header.parameter_count * sizeof(double);
   if (buffer.size() != expected) {
@@ -49,6 +67,15 @@ Result<ModelSnapshot> DeserializeModel(const std::vector<char>& buffer) {
   snapshot.parameters.resize(header.parameter_count);
   std::memcpy(snapshot.parameters.data(), buffer.data() + sizeof(Header),
               header.parameter_count * sizeof(double));
+  for (size_t i = 0; i < snapshot.parameters.size(); ++i) {
+    if (!std::isfinite(snapshot.parameters[i])) {
+      // A flipped exponent bit turns a weight into NaN/Inf; loading it
+      // would silently poison every later prediction.
+      return Status::InvalidArgument(
+          "model snapshot: non-finite parameter at index " +
+          std::to_string(i));
+    }
+  }
   return snapshot;
 }
 
@@ -84,7 +111,7 @@ Status LoadModelFromFile(const std::string& path, Model* model) {
   if (read != buffer.size()) {
     return Status::IoError("short read from " + path);
   }
-  FREEWAY_ASSIGN_OR_RETURN(ModelSnapshot snapshot, DeserializeModel(buffer));
+  ASSIGN_OR_RETURN(ModelSnapshot snapshot, DeserializeModel(buffer));
   return model->SetParameters(snapshot.parameters);
 }
 

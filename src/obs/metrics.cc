@@ -69,6 +69,12 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   return {1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 1.0, 10.0};
 }
 
+std::vector<double> Histogram::DefaultSizeBounds() {
+  return {256.0,   1024.0,   4096.0,    16384.0,   65536.0,   262144.0,
+          1048576.0, 4194304.0, 16777216.0, 67108864.0, 268435456.0,
+          1073741824.0};
+}
+
 Histogram::Histogram(std::string name, std::vector<double> bounds)
     : name_(std::move(name)), bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = DefaultLatencyBounds();

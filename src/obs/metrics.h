@@ -123,6 +123,10 @@ class Histogram {
   /// with extra resolution in the 0.1–100 ms band where batch pushes land.
   static std::vector<double> DefaultLatencyBounds();
 
+  /// Exponential byte-size grid: 256 B .. 1 GiB in powers of 4 — used by
+  /// size-valued series such as `freeway_fault_checkpoint_bytes`.
+  static std::vector<double> DefaultSizeBounds();
+
   void Observe(double value) {
     Slot& slot = slots_[obs_internal::ThisThreadSlot()];
     size_t bucket = bounds_.size();

@@ -104,6 +104,21 @@ class BoundedQueue {
     space_available_.notify_all();
   }
 
+  /// Removes and returns every queued item without consuming them — the
+  /// no-drain shutdown path, where the caller accounts for the abandoned
+  /// items instead of processing them. Wakes blocked producers (space
+  /// freed) and idle waiters (queue now empty).
+  std::deque<T> TakeAll() {
+    std::deque<T> taken;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      taken.swap(items_);
+      if (!consumer_active_) idle_.notify_all();
+    }
+    space_available_.notify_all();
+    return taken;
+  }
+
   /// Blocks until the queue is empty and the consumer has deactivated —
   /// i.e. all items accepted before the call are fully consumed.
   void WaitIdle() {

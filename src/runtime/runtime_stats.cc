@@ -17,10 +17,16 @@ ShardStatsSnapshot ShardStatsSnapshot::From(size_t shard,
   s.processed = counters.processed.load(std::memory_order_relaxed);
   s.shed = counters.shed.load(std::memory_order_relaxed);
   s.errors = counters.errors.load(std::memory_order_relaxed);
+  s.quarantined = counters.quarantined.load(std::memory_order_relaxed);
+  s.undrained = counters.undrained.load(std::memory_order_relaxed);
+  s.retries = counters.retries.load(std::memory_order_relaxed);
+  s.restores = counters.restores.load(std::memory_order_relaxed);
   s.blocked_micros = counters.blocked_micros.load(std::memory_order_relaxed);
   const int64_t in_flight = static_cast<int64_t>(s.enqueued) -
                             static_cast<int64_t>(s.processed) -
-                            static_cast<int64_t>(s.shed);
+                            static_cast<int64_t>(s.shed) -
+                            static_cast<int64_t>(s.quarantined) -
+                            static_cast<int64_t>(s.undrained);
   s.in_flight = in_flight > 0 ? static_cast<uint64_t>(in_flight) : 0;
   s.queue_depth = queue_depth;
   s.queue_high_water = queue_high_water;
@@ -35,6 +41,10 @@ void RuntimeStatsSnapshot::Aggregate() {
     totals.processed += s.processed;
     totals.shed += s.shed;
     totals.errors += s.errors;
+    totals.quarantined += s.quarantined;
+    totals.undrained += s.undrained;
+    totals.retries += s.retries;
+    totals.restores += s.restores;
     totals.blocked_micros += s.blocked_micros;
     totals.in_flight += s.in_flight;
     totals.queue_depth += s.queue_depth;
@@ -54,6 +64,10 @@ void AppendShard(std::ostringstream* out, const ShardStatsSnapshot& s,
   *out << "\"enqueued\": " << s.enqueued
        << ", \"processed\": " << s.processed << ", \"shed\": " << s.shed
        << ", \"errors\": " << s.errors
+       << ", \"quarantined\": " << s.quarantined
+       << ", \"undrained\": " << s.undrained
+       << ", \"retries\": " << s.retries
+       << ", \"restores\": " << s.restores
        << ", \"in_flight\": " << s.in_flight
        << ", \"queue_depth\": " << s.queue_depth
        << ", \"queue_high_water\": " << s.queue_high_water

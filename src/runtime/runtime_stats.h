@@ -21,8 +21,19 @@ struct ShardCounters {
   std::atomic<uint64_t> processed{0};
   /// Batches dropped by the load-shedding policy before processing.
   std::atomic<uint64_t> shed{0};
-  /// Processed batches whose pipeline push returned a non-OK status.
+  /// Push attempts (including retries) that returned a non-OK status.
   std::atomic<uint64_t> errors{0};
+  /// Batches moved to the dead-letter queue after exhausting their retry
+  /// budget (fault-tolerant mode only; never counted as processed).
+  std::atomic<uint64_t> quarantined{0};
+  /// Batches abandoned in the queue by a no-drain shutdown (labeled ones
+  /// are preserved on the dead-letter queue).
+  std::atomic<uint64_t> undrained{0};
+  /// Retry attempts made by the shard supervisor.
+  std::atomic<uint64_t> retries{0};
+  /// Pipeline restores performed by the shard supervisor (from checkpoint
+  /// or fresh rebuild).
+  std::atomic<uint64_t> restores{0};
   /// Total wall time producers spent blocked on a full queue.
   std::atomic<int64_t> blocked_micros{0};
 };
@@ -34,8 +45,13 @@ struct ShardStatsSnapshot {
   uint64_t processed = 0;
   uint64_t shed = 0;
   uint64_t errors = 0;
+  uint64_t quarantined = 0;
+  uint64_t undrained = 0;
+  uint64_t retries = 0;
+  uint64_t restores = 0;
   int64_t blocked_micros = 0;
-  /// Batches accepted but not yet processed or shed (queue + executing).
+  /// Batches accepted but not yet processed, shed, quarantined, or
+  /// abandoned (queue + executing).
   uint64_t in_flight = 0;
   size_t queue_depth = 0;
   size_t queue_high_water = 0;
@@ -44,8 +60,8 @@ struct ShardStatsSnapshot {
   double arrival_rate = 0.0;
 
   /// Builds a snapshot from live counters + queue observations, deriving
-  /// in_flight = enqueued - processed - shed (clamped at 0 for mid-flight
-  /// reads).
+  /// in_flight = enqueued - processed - shed - quarantined - undrained
+  /// (clamped at 0 for mid-flight reads).
   static ShardStatsSnapshot From(size_t shard, const ShardCounters& counters,
                                  size_t queue_depth, size_t queue_high_water,
                                  double arrival_rate);

@@ -1,38 +1,46 @@
 #include "runtime/stream_runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "fault/failpoint.h"
 #include "runtime/bounded_queue.h"
 
 namespace freeway {
 
+/// One queued unit of work.
+struct StreamRuntime::ShardItem {
+  uint64_t stream_id = 0;
+  Batch batch;
+  /// Stamped at Submit when metrics are attached; feeds the queue-wait
+  /// histogram at dequeue.
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
 /// Per-shard state. The queue carries its own lock; `submit_mutex` guards
 /// only the producer-side arrival-rate measurement (multiple producers may
 /// hit one shard); the pipeline is touched exclusively by the shard's
-/// single active drain task.
+/// single active drain task (which is also why the supervisor can swap it
+/// wholesale during recovery).
 struct StreamRuntime::Shard {
-  struct Item {
-    uint64_t stream_id = 0;
-    Batch batch;
-    /// Stamped at Submit when metrics are attached; feeds the queue-wait
-    /// histogram at dequeue.
-    std::chrono::steady_clock::time_point enqueued_at;
-  };
-
   Shard(size_t index, const Model& prototype, const RuntimeOptions& options)
       : index(index),
         queue(options.queue_capacity),
-        pipeline(prototype, options.pipeline),
-        overload_adjuster(options.overload_rate) {}
+        pipeline(
+            std::make_unique<StreamPipeline>(prototype, options.pipeline)),
+        overload_adjuster(options.overload_rate),
+        drain_site("runtime.drain.shard" + std::to_string(index)),
+        checkpoint_name("shard" + std::to_string(index)) {}
 
   const size_t index;
-  BoundedQueue<Item> queue;
-  StreamPipeline pipeline;
+  BoundedQueue<ShardItem> queue;
+  std::unique_ptr<StreamPipeline> pipeline;
   ShardCounters counters;
 
   std::mutex submit_mutex;
@@ -45,12 +53,23 @@ struct StreamRuntime::Shard {
   std::atomic<double> arrival_rate{0.0};
   /// Live queue depth for this shard; null while metrics are detached.
   Gauge* queue_depth = nullptr;
+
+  /// Fault-injection site of this shard's drain path
+  /// ("runtime.drain.shard<i>"), precomputed so the hot path never
+  /// concatenates strings.
+  const std::string drain_site;
+  /// Checkpoint name of this shard in the store ("shard<i>").
+  const std::string checkpoint_name;
+  /// Successful pushes since the last checkpoint; drain-task-only.
+  size_t batches_since_checkpoint = 0;
 };
 
 StreamRuntime::StreamRuntime(const Model& prototype,
                              const RuntimeOptions& options,
                              ResultCallback on_result)
-    : options_(options), on_result_(std::move(on_result)) {
+    : options_(options),
+      on_result_(std::move(on_result)),
+      prototype_(prototype.Clone()) {
   const size_t num_shards = options.num_shards > 0 ? options.num_shards : 1;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -74,7 +93,40 @@ StreamRuntime::StreamRuntime(const Model& prototype,
           std::to_string(shard->index) + "\"}");
       // Shards share the registry: pipeline/learner series aggregate
       // across shards under the same names.
-      shard->pipeline.AttachMetrics(registry);
+      shard->pipeline->AttachMetrics(registry);
+    }
+    if (options_.fault.enabled) {
+      metrics_.fault_retries =
+          registry->GetCounter("freeway_fault_retries_total");
+      metrics_.fault_quarantined =
+          registry->GetCounter("freeway_fault_quarantined_total");
+      metrics_.fault_restores =
+          registry->GetCounter("freeway_fault_restores_total");
+      metrics_.fault_checkpoints_ok = registry->GetCounter(
+          "freeway_fault_checkpoints_total{result=\"ok\"}");
+      metrics_.fault_checkpoints_error = registry->GetCounter(
+          "freeway_fault_checkpoints_total{result=\"error\"}");
+      metrics_.fault_checkpoint_bytes = registry->GetHistogram(
+          "freeway_fault_checkpoint_bytes", Histogram::DefaultSizeBounds());
+      metrics_.fault_checkpoint_write_seconds =
+          registry->GetHistogram("freeway_fault_checkpoint_write_seconds");
+    }
+  }
+  if (options_.fault.enabled) {
+    CheckpointStoreOptions store_options;
+    store_options.directory = options_.fault.checkpoint_dir;
+    store_options.keep_versions = options_.fault.keep_checkpoints;
+    store_options.fsync = options_.fault.fsync_checkpoints;
+    store_ = std::make_unique<CheckpointStore>(std::move(store_options));
+    // Seed one checkpoint per shard: a failure on the very first batch
+    // must have a restore point, and it exercises the store (a bad
+    // checkpoint_dir surfaces here, not mid-recovery).
+    for (auto& shard : shards_) {
+      Status seeded = WriteShardCheckpoint(shard.get());
+      if (!seeded.ok()) {
+        FREEWAY_LOG(kWarning) << "shard " << shard->index
+                          << ": initial checkpoint failed: " << seeded;
+      }
     }
   }
 }
@@ -112,18 +164,18 @@ Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
                  shard.last_overload.throttle_updates;
   }
 
-  Shard::Item item;
+  ShardItem item;
   item.stream_id = stream_id;
   item.batch = std::move(batch);
   if (metrics_.queue_wait_seconds != nullptr) {
     item.enqueued_at = std::chrono::steady_clock::now();
   }
 
-  BoundedQueue<Shard::Item>::PushResult push;
+  BoundedQueue<ShardItem>::PushResult push;
   if (options_.overload_policy == OverloadPolicy::kShed && overloaded) {
     push = shard.queue.PushShedding(
         std::move(item),
-        [](const Shard::Item& queued) { return !queued.batch.labeled(); });
+        [](const ShardItem& queued) { return !queued.batch.labeled(); });
   } else {
     push = shard.queue.PushBlocking(std::move(item));
   }
@@ -152,9 +204,157 @@ Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
   return Status::OK();
 }
 
+Status StreamRuntime::PushOnce(Shard* shard, const ShardItem& item) {
+  Status injected = failpoint::Check(shard->drain_site);
+  if (!injected.ok()) return injected;
+  if (options_.forward_rate_signal) {
+    const double rate = shard->arrival_rate.load(std::memory_order_relaxed);
+    if (rate > 0.0) shard->pipeline->SetExternalRate(rate);
+  }
+  Result<std::optional<InferenceReport>> result =
+      shard->pipeline->Push(item.batch);
+  RETURN_IF_ERROR(result.status());
+  if (result->has_value()) {
+    StreamResult delivered;
+    delivered.stream_id = item.stream_id;
+    delivered.batch_index = item.batch.index;
+    delivered.report = std::move(**result);
+    Deliver(std::move(delivered));
+  }
+  return Status::OK();
+}
+
+void StreamRuntime::RestoreShardPipeline(Shard* shard) {
+  shard->counters.restores.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.fault_restores != nullptr) metrics_.fault_restores->Inc();
+  if (store_ != nullptr) {
+    Result<std::vector<char>> payload =
+        store_->ReadLatest(shard->checkpoint_name);
+    if (payload.ok()) {
+      // Restore into a *fresh* pipeline and swap only on success: a
+      // payload that fails validation partway must not leave the live
+      // pipeline half-restored.
+      auto fresh = std::make_unique<StreamPipeline>(*prototype_,
+                                                    options_.pipeline);
+      Status restored = fresh->Restore(*payload);
+      if (restored.ok()) {
+        if (options_.metrics != nullptr) {
+          fresh->AttachMetrics(options_.metrics);
+        }
+        shard->pipeline = std::move(fresh);
+        return;
+      }
+      FREEWAY_LOG(kWarning) << "shard " << shard->index
+                        << ": checkpoint restore failed (" << restored
+                        << "); rebuilding fresh";
+    } else {
+      FREEWAY_LOG(kWarning) << "shard " << shard->index
+                        << ": no restorable checkpoint ("
+                        << payload.status() << "); rebuilding fresh";
+    }
+  }
+  shard->pipeline =
+      std::make_unique<StreamPipeline>(*prototype_, options_.pipeline);
+  if (options_.metrics != nullptr) {
+    shard->pipeline->AttachMetrics(options_.metrics);
+  }
+}
+
+Status StreamRuntime::WriteShardCheckpoint(Shard* shard) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("fault tolerance is not enabled");
+  }
+  Stopwatch watch;
+  std::vector<char> payload;
+  Status status = shard->pipeline->Snapshot(&payload);
+  if (status.ok()) {
+    status = store_->Write(shard->checkpoint_name, payload);
+  }
+  shard->batches_since_checkpoint = 0;
+  if (status.ok()) {
+    if (metrics_.fault_checkpoints_ok != nullptr) {
+      metrics_.fault_checkpoints_ok->Inc();
+      metrics_.fault_checkpoint_bytes->Observe(
+          static_cast<double>(payload.size()));
+      metrics_.fault_checkpoint_write_seconds->Observe(
+          watch.ElapsedSeconds());
+    }
+  } else if (metrics_.fault_checkpoints_error != nullptr) {
+    metrics_.fault_checkpoints_error->Inc();
+  }
+  return status;
+}
+
+void StreamRuntime::Quarantine(Shard* shard, ShardItem item, Status error,
+                               size_t attempts) {
+  shard->counters.quarantined.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.fault_quarantined != nullptr) metrics_.fault_quarantined->Inc();
+  DeadLetter letter;
+  letter.stream_id = item.stream_id;
+  letter.shard = shard->index;
+  letter.batch = std::move(item.batch);
+  letter.error = std::move(error);
+  letter.attempts = attempts;
+  std::lock_guard<std::mutex> lock(dead_letters_mutex_);
+  dead_letters_.push_back(std::move(letter));
+}
+
+void StreamRuntime::ProcessWithRecovery(Shard* shard, ShardItem item) {
+  Status status = PushOnce(shard, item);
+  size_t attempts = 1;
+  if (!status.ok()) {
+    shard->counters.errors.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.errors != nullptr) metrics_.errors->Inc();
+  }
+  if (!status.ok() && options_.fault.enabled) {
+    // Supervised recovery: the failed push may have left the pipeline in a
+    // partially-updated state (e.g. ensemble trained, experience append
+    // failed), so every retry first rolls the pipeline back to its last
+    // checkpoint, then backs off and re-attempts the batch.
+    int64_t backoff = std::max<int64_t>(options_.fault.backoff_initial_micros,
+                                        0);
+    for (size_t retry = 0; retry < options_.fault.max_batch_retries;
+         ++retry) {
+      RestoreShardPipeline(shard);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+        backoff = std::min(backoff * 2, options_.fault.backoff_max_micros);
+      }
+      shard->counters.retries.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.fault_retries != nullptr) metrics_.fault_retries->Inc();
+      status = PushOnce(shard, item);
+      ++attempts;
+      if (status.ok()) break;
+      shard->counters.errors.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.errors != nullptr) metrics_.errors->Inc();
+    }
+    if (!status.ok()) {
+      // Retry budget exhausted: a poison batch. Quarantine it — counted
+      // `quarantined`, never `processed`, and the batch itself survives on
+      // the dead-letter queue (labeled training data is never dropped).
+      Quarantine(shard, std::move(item), status, attempts);
+      return;
+    }
+  }
+  // Legacy mode counts failed pushes as processed errors (the batch is
+  // consumed either way); fault-tolerant mode only reaches here with OK.
+  shard->counters.processed.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.processed != nullptr) metrics_.processed->Inc();
+  if (status.ok() && store_ != nullptr) {
+    if (++shard->batches_since_checkpoint >=
+        options_.fault.checkpoint_interval_batches) {
+      Status written = WriteShardCheckpoint(shard);
+      if (!written.ok()) {
+        FREEWAY_LOG(kWarning) << "shard " << shard->index
+                          << ": periodic checkpoint failed: " << written;
+      }
+    }
+  }
+}
+
 size_t StreamRuntime::DrainShard(Shard* shard) {
-  size_t processed = 0;
-  Shard::Item item;
+  size_t drained = 0;
+  ShardItem item;
   while (shard->queue.Pop(&item)) {
     if (shard->queue_depth != nullptr) shard->queue_depth->Dec();
     if (metrics_.queue_wait_seconds != nullptr) {
@@ -162,27 +362,10 @@ size_t StreamRuntime::DrainShard(Shard* shard) {
           std::chrono::steady_clock::now() - item.enqueued_at;
       metrics_.queue_wait_seconds->Observe(waited.count());
     }
-    if (options_.forward_rate_signal) {
-      const double rate = shard->arrival_rate.load(std::memory_order_relaxed);
-      if (rate > 0.0) shard->pipeline.SetExternalRate(rate);
-    }
-    Result<std::optional<InferenceReport>> result =
-        shard->pipeline.Push(item.batch);
-    if (!result.ok()) {
-      shard->counters.errors.fetch_add(1, std::memory_order_relaxed);
-      if (metrics_.errors != nullptr) metrics_.errors->Inc();
-    } else if (result->has_value()) {
-      StreamResult delivered;
-      delivered.stream_id = item.stream_id;
-      delivered.batch_index = item.batch.index;
-      delivered.report = std::move(**result);
-      Deliver(std::move(delivered));
-    }
-    shard->counters.processed.fetch_add(1, std::memory_order_relaxed);
-    if (metrics_.processed != nullptr) metrics_.processed->Inc();
-    ++processed;
+    ProcessWithRecovery(shard, std::move(item));
+    ++drained;
   }
-  return processed;
+  return drained;
 }
 
 void StreamRuntime::Deliver(StreamResult result) {
@@ -207,16 +390,57 @@ void StreamRuntime::Shutdown() {
   }
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
-    // Manual mode has no scheduled drain tasks; consume pending work here
-    // so shutdown-with-pending-work still drains.
-    if (!options_.schedule_workers) DrainShard(shard.get());
+    if (options_.drain_on_shutdown) {
+      // Manual mode has no scheduled drain tasks; consume pending work
+      // here so shutdown-with-pending-work still drains.
+      if (!options_.schedule_workers) DrainShard(shard.get());
+    } else {
+      // Abandon queued work, but account for every batch: `undrained` in
+      // the stats (the invariant stays reconcilable) and labeled batches
+      // — training data — onto the dead-letter queue instead of the
+      // floor.
+      std::deque<ShardItem> abandoned = shard->queue.TakeAll();
+      for (ShardItem& item : abandoned) {
+        shard->counters.undrained.fetch_add(1, std::memory_order_relaxed);
+        if (shard->queue_depth != nullptr) shard->queue_depth->Dec();
+        if (item.batch.labeled()) {
+          DeadLetter letter;
+          letter.stream_id = item.stream_id;
+          letter.shard = shard->index;
+          letter.batch = std::move(item.batch);
+          letter.error = Status::FailedPrecondition(
+              "abandoned by no-drain shutdown");
+          letter.attempts = 0;
+          std::lock_guard<std::mutex> lock(dead_letters_mutex_);
+          dead_letters_.push_back(std::move(letter));
+        }
+      }
+      // Manual mode: Submit marked the consumer active but no drain task
+      // exists to observe the now-empty queue and deactivate it, which
+      // would hang WaitIdle. One pop of the emptied queue clears the flag.
+      if (!options_.schedule_workers) DrainShard(shard.get());
+    }
     shard->queue.WaitIdle();
+    if (store_ != nullptr) {
+      // Final checkpoint: the shard is quiescent, so this snapshot is the
+      // one a successor runtime restores from.
+      Status written = WriteShardCheckpoint(shard.get());
+      if (!written.ok()) {
+        FREEWAY_LOG(kWarning) << "shard " << shard->index
+                          << ": final checkpoint failed: " << written;
+      }
+    }
   }
 }
 
 std::vector<StreamResult> StreamRuntime::Drain() {
   std::lock_guard<std::mutex> lock(results_mutex_);
   return std::exchange(results_, {});
+}
+
+std::vector<DeadLetter> StreamRuntime::TakeDeadLetters() {
+  std::lock_guard<std::mutex> lock(dead_letters_mutex_);
+  return std::exchange(dead_letters_, {});
 }
 
 RuntimeStatsSnapshot StreamRuntime::Snapshot() const {
@@ -239,7 +463,17 @@ size_t StreamRuntime::PumpShard(size_t shard) {
 
 const StreamPipeline& StreamRuntime::shard_pipeline(size_t shard) const {
   FREEWAY_DCHECK(shard < shards_.size());
-  return shards_[shard]->pipeline;
+  return *shards_[shard]->pipeline;
+}
+
+StreamPipeline* StreamRuntime::mutable_shard_pipeline(size_t shard) {
+  FREEWAY_DCHECK(shard < shards_.size());
+  return shards_[shard]->pipeline.get();
+}
+
+Status StreamRuntime::CheckpointShard(size_t shard) {
+  FREEWAY_DCHECK(shard < shards_.size());
+  return WriteShardCheckpoint(shards_[shard].get());
 }
 
 }  // namespace freeway

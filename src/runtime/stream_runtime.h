@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "fault/checkpoint.h"
 #include "runtime/runtime_stats.h"
 
 namespace freeway {
@@ -25,6 +26,33 @@ enum class OverloadPolicy {
   /// shedding only engages when the paper's rate-adaptation signal says
   /// the stream genuinely outruns the pipeline.
   kShed,
+};
+
+/// Supervision + checkpointing knobs of the fault-tolerant runtime.
+struct FaultToleranceOptions {
+  /// Master switch. Off (the default) preserves the legacy behaviour:
+  /// a failed push is counted as a processed error and the batch is gone.
+  bool enabled = false;
+  /// Directory of the per-shard checkpoint store. Required when enabled.
+  std::string checkpoint_dir;
+  /// A shard writes a checkpoint after this many successful pushes (and
+  /// once at construction, so the very first failure has a restore point).
+  size_t checkpoint_interval_batches = 64;
+  /// Push attempts per batch after the first failure. Each retry restores
+  /// the shard pipeline from its last checkpoint first; a batch that fails
+  /// every attempt is quarantined to the dead-letter queue.
+  size_t max_batch_retries = 2;
+  /// Exponential backoff between retries: initial delay, doubling up to
+  /// the cap.
+  int64_t backoff_initial_micros = 100;
+  int64_t backoff_max_micros = 100000;
+  /// Checkpoint versions kept per shard.
+  size_t keep_checkpoints = 2;
+  /// fsync checkpoint files (CheckpointStoreOptions::fsync). Defaults off:
+  /// the runtime checkpoints frequently and a torn write is already
+  /// survived via the previous version; durability-critical deployments
+  /// turn it on.
+  bool fsync_checkpoints = false;
 };
 
 /// Configuration of the multi-stream runtime.
@@ -56,7 +84,18 @@ struct RuntimeOptions {
   /// attaches every shard pipeline (stage histograms and push counters
   /// aggregate across shards under shared names). The registry must outlive
   /// the runtime. Null (the default) disables all instrumentation.
+  /// With fault tolerance enabled it additionally registers the
+  /// `freeway_fault_*` family: retries/quarantined/restores totals,
+  /// `freeway_fault_checkpoints_total{result="ok"|"error"}`, checkpoint
+  /// size and write-latency histograms.
   MetricsRegistry* metrics = nullptr;
+  /// Shard supervision + checkpointing (see FaultToleranceOptions).
+  FaultToleranceOptions fault;
+  /// When false, Shutdown() abandons still-queued batches instead of
+  /// processing them: each is counted `undrained` in the stats snapshot,
+  /// and labeled ones (training data) are preserved on the dead-letter
+  /// queue rather than discarded.
+  bool drain_on_shutdown = true;
 };
 
 /// One inference outcome delivered by the runtime.
@@ -65,6 +104,20 @@ struct StreamResult {
   /// `Batch::index` of the unlabeled batch that produced this report.
   int64_t batch_index = 0;
   InferenceReport report;
+};
+
+/// One batch on the dead-letter queue: quarantined after exhausting its
+/// retry budget, or abandoned (labeled only) by a no-drain shutdown. The
+/// batch itself is preserved so an operator can inspect, repair, and
+/// resubmit it — labeled training data is never silently dropped.
+struct DeadLetter {
+  uint64_t stream_id = 0;
+  size_t shard = 0;
+  Batch batch;
+  /// Status of the final failed attempt (or the shutdown reason).
+  Status error;
+  /// Push attempts made before quarantine (0 for shutdown abandonment).
+  size_t attempts = 0;
 };
 
 /// Sharded executor serving many concurrent streams on the process thread
@@ -109,6 +162,10 @@ class StreamRuntime {
   /// mode; empty when a callback was installed).
   std::vector<StreamResult> Drain();
 
+  /// Takes the accumulated dead letters (quarantined + abandoned batches).
+  /// Thread-safe; each letter is delivered exactly once.
+  std::vector<DeadLetter> TakeDeadLetters();
+
   /// Point-in-time stats: per-shard counters + totals. Exact when the
   /// runtime is quiescent (after Flush/Shutdown), approximate mid-flight.
   RuntimeStatsSnapshot Snapshot() const;
@@ -124,31 +181,75 @@ class StreamRuntime {
   }
   /// The shard's pipeline. Safe to inspect only while the shard is idle.
   const StreamPipeline& shard_pipeline(size_t shard) const;
+  /// Mutable access for recovery tooling (e.g. restoring a checkpoint into
+  /// a fresh runtime). Same idle-only contract as shard_pipeline.
+  StreamPipeline* mutable_shard_pipeline(size_t shard);
+
+  /// The runtime's checkpoint store; null while fault tolerance is off.
+  CheckpointStore* checkpoint_store() { return store_.get(); }
+
+  /// Writes a checkpoint of shard `shard` now (also done automatically at
+  /// the configured interval and at shutdown). Idle-only contract.
+  Status CheckpointShard(size_t shard);
 
  private:
   struct Shard;
+  /// One queued unit of work (stream id + batch + enqueue timestamp);
+  /// defined in the .cc alongside Shard.
+  struct ShardItem;
 
   /// Runtime-level handles, null while options_.metrics is null. The
   /// counters mirror ShardCounters one-for-one so the exposition obeys the
-  /// same invariant: enqueued = processed + shed + in_flight.
+  /// same invariant: enqueued = processed + shed + quarantined + undrained
+  /// + in_flight.
   struct RuntimeMetrics {
     Counter* enqueued = nullptr;
     Counter* processed = nullptr;
     Counter* shed = nullptr;
     Counter* errors = nullptr;
     Histogram* queue_wait_seconds = nullptr;
+    /// freeway_fault_* family, registered only in fault-tolerant mode.
+    Counter* fault_retries = nullptr;
+    Counter* fault_quarantined = nullptr;
+    Counter* fault_restores = nullptr;
+    Counter* fault_checkpoints_ok = nullptr;
+    Counter* fault_checkpoints_error = nullptr;
+    Histogram* fault_checkpoint_bytes = nullptr;
+    Histogram* fault_checkpoint_write_seconds = nullptr;
   };
 
   /// Body of a drain task: pops until the shard queue is empty.
   size_t DrainShard(Shard* shard);
   void Deliver(StreamResult result);
 
+  /// One push attempt: drain failpoint -> rate signal -> pipeline push ->
+  /// result delivery on success.
+  Status PushOnce(Shard* shard, const ShardItem& item);
+  /// Supervised processing of one popped item: push, and on failure
+  /// restore-retry with exponential backoff, quarantining to the
+  /// dead-letter queue when the retry budget is exhausted. Also books the
+  /// processed/quarantined counters and the periodic checkpoint.
+  void ProcessWithRecovery(Shard* shard, ShardItem item);
+  /// Swaps in a pipeline restored from the shard's latest valid checkpoint
+  /// (fresh rebuild from the prototype when no checkpoint validates).
+  void RestoreShardPipeline(Shard* shard);
+  /// Snapshot + store write for one shard, with fault metrics.
+  Status WriteShardCheckpoint(Shard* shard);
+  void Quarantine(Shard* shard, ShardItem item, Status error,
+                  size_t attempts);
+
   RuntimeOptions options_;
   RuntimeMetrics metrics_;
   ResultCallback on_result_;
+  /// Clone of the construction prototype, kept for pipeline rebuilds when
+  /// a shard has no restorable checkpoint.
+  std::unique_ptr<Model> prototype_;
+  std::unique_ptr<CheckpointStore> store_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::mutex results_mutex_;
   std::vector<StreamResult> results_;
+  std::mutex dead_letters_mutex_;
+  std::vector<DeadLetter> dead_letters_;
   std::atomic<bool> shutdown_{false};
 };
 

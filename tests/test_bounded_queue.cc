@@ -181,5 +181,72 @@ TEST(BoundedQueueTest, ManyProducersOneConsumer) {
   }
 }
 
+TEST(BoundedQueueTest, CloseWhileProducerBlockedRejectsThatPush) {
+  Queue queue(1);
+  queue.PushBlocking(1);
+
+  // Several producers park on the full queue; Close must wake every one of
+  // them and reject every parked push — none may hang, none may enqueue.
+  constexpr int kBlocked = 3;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kBlocked; ++p) {
+    producers.emplace_back([&queue, &rejected, p] {
+      if (!queue.PushBlocking(100 + p).accepted) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kBlocked);
+  EXPECT_EQ(queue.size(), 1u);  // Only the pre-close item remains.
+}
+
+TEST(BoundedQueueTest, CloseWithItemsKeepsThemPoppableInOrder) {
+  Queue queue(8);
+  for (int i = 0; i < 5; ++i) queue.PushBlocking(i);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+
+  std::vector<int> drained;
+  int out = 0;
+  while (queue.Pop(&out)) drained.push_back(out);
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
+  // Drained to empty: the queue reports idle immediately.
+  queue.WaitIdle();
+}
+
+TEST(BoundedQueueTest, TakeAllRemovesEverythingAndFreesSpace) {
+  Queue queue(2);
+  queue.PushBlocking(1);
+  queue.PushBlocking(2);
+
+  std::atomic<bool> third_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.PushBlocking(3).accepted);
+    third_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_done.load());
+
+  // TakeAll empties the queue without consuming: the blocked producer gets
+  // its slot and the taken items come back to the caller untouched.
+  std::deque<int> taken = queue.TakeAll();
+  producer.join();
+  EXPECT_TRUE(third_done.load());
+  EXPECT_EQ(taken, (std::deque<int>{1, 2}));
+  EXPECT_EQ(queue.size(), 1u);  // The unblocked push landed after the take.
+}
+
+TEST(BoundedQueueTest, TakeAllOnEmptyQueueUnblocksWaitIdle) {
+  Queue queue(4);
+  queue.PushBlocking(1);  // Consumer marked active, nothing ever drains it.
+  std::deque<int> taken = queue.TakeAll();
+  EXPECT_EQ(taken.size(), 1u);
+  int out = 0;
+  EXPECT_FALSE(queue.Pop(&out));  // Deactivates the consumer.
+  queue.WaitIdle();               // Returns immediately: empty and idle.
+}
+
 }  // namespace
 }  // namespace freeway

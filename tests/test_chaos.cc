@@ -1,0 +1,516 @@
+/// Deterministic chaos tests for the fault-tolerance layer: failpoint-driven
+/// shard kills, poison-batch quarantine, checkpoint/restore equivalence, and
+/// exact accounting reconciliation. On failure each test dumps its dead
+/// letters under fault_artifacts/ (uploaded by CI) for post-mortem.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "fault/checkpoint.h"
+#include "fault/failpoint.h"
+#include "ml/models.h"
+#include "runtime/stream_runtime.h"
+
+namespace freeway {
+namespace {
+
+namespace fs = std::filesystem;
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(16, 4);
+  if (labeled) b.labels.resize(16);
+  for (size_t i = 0; i < 16; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+/// A labeled batch the learner rejects on every attempt (NaN feature): the
+/// canonical poison batch.
+Batch PoisonBatch(int64_t index) {
+  Batch b = MakeBatch(true, 1234, index);
+  b.features.At(0, 0) = std::nan("");
+  return b;
+}
+
+/// Deterministic pipeline options: small windows, wall-clock-driven rate
+/// adjuster off (its EMA depends on real elapsed time, which no two runs
+/// share), synchronous long-model updates (the default).
+PipelineOptions DeterministicPipeline() {
+  PipelineOptions opts;
+  opts.learner.base_window_batches = 4;
+  opts.learner.detector.warmup_batches = 3;
+  opts.enable_rate_adjuster = false;
+  return opts;
+}
+
+void ExpectReportsBitIdentical(const InferenceReport& a,
+                               const InferenceReport& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  EXPECT_EQ(a.predictions, b.predictions);
+  ASSERT_EQ(a.proba.rows(), b.proba.rows());
+  ASSERT_EQ(a.proba.cols(), b.proba.cols());
+  for (size_t i = 0; i < a.proba.rows(); ++i) {
+    for (size_t j = 0; j < a.proba.cols(); ++j) {
+      // Exact double equality: the round trip must be bit-identical.
+      EXPECT_EQ(a.proba.At(i, j), b.proba.At(i, j))
+          << "proba(" << i << ", " << j << ")";
+    }
+  }
+  EXPECT_EQ(a.assessment.distance, b.assessment.distance);
+  EXPECT_EQ(a.assessment.m_score, b.assessment.m_score);
+  EXPECT_EQ(a.assessment.pattern, b.assessment.pattern);
+}
+
+/// Per-test scratch directory + failpoint hygiene + dead-letter forensics.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string test_name = ::testing::UnitTest::GetInstance()
+                                      ->current_test_info()
+                                      ->name();
+    dir_ = fs::path(::testing::TempDir()) / ("freeway_chaos_" + test_name);
+    fs::remove_all(dir_);
+    failpoint::DisarmAll();
+  }
+
+  void TearDown() override {
+    failpoint::DisarmAll();
+    if (HasFailure() && !dead_letters_.empty()) DumpArtifacts();
+    fs::remove_all(dir_);
+  }
+
+  RuntimeOptions FaultyRuntimeOptions() {
+    RuntimeOptions opts;
+    opts.pipeline = DeterministicPipeline();
+    opts.forward_rate_signal = false;
+    opts.fault.enabled = true;
+    opts.fault.checkpoint_dir = (dir_ / "ckpt").string();
+    opts.fault.checkpoint_interval_batches = 4;
+    opts.fault.max_batch_retries = 2;
+    opts.fault.backoff_initial_micros = 10;  // Fast tests.
+    opts.fault.backoff_max_micros = 100;
+    return opts;
+  }
+
+  /// Records the runtime's dead letters for assertions and, on failure, for
+  /// the artifact dump.
+  std::vector<DeadLetter> CollectDeadLetters(StreamRuntime* runtime) {
+    dead_letters_ = runtime->TakeDeadLetters();
+    return dead_letters_;
+  }
+
+  /// Writes a forensic summary of the quarantined batches where CI picks
+  /// artifacts up (fault_artifacts/ under the test's working directory).
+  void DumpArtifacts() const {
+    const std::string test_name = ::testing::UnitTest::GetInstance()
+                                      ->current_test_info()
+                                      ->name();
+    fs::create_directories("fault_artifacts");
+    std::ofstream out("fault_artifacts/" + test_name + ".dead_letters.txt");
+    out << "test: " << test_name << "\n"
+        << "dead_letters: " << dead_letters_.size() << "\n";
+    for (const DeadLetter& letter : dead_letters_) {
+      out << "- stream=" << letter.stream_id << " shard=" << letter.shard
+          << " batch_index=" << letter.batch.index
+          << " rows=" << letter.batch.features.rows()
+          << " labeled=" << (letter.batch.labeled() ? 1 : 0)
+          << " attempts=" << letter.attempts << " error=\""
+          << letter.error.ToString() << "\"\n";
+    }
+  }
+
+  fs::path dir_;
+  std::vector<DeadLetter> dead_letters_;
+};
+
+// ---------------------------------------------------------------------------
+// Checkpoint round-trip equivalence
+
+TEST_F(ChaosTest, PipelineSnapshotRestoreIsBitIdentical) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline original(*proto, DeterministicPipeline());
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(original.Push(MakeBatch(b % 3 != 2, b, b)).ok());
+  }
+
+  std::vector<char> payload;
+  ASSERT_TRUE(original.Snapshot(&payload).ok());
+  ASSERT_FALSE(payload.empty());
+
+  StreamPipeline restored(*proto, DeterministicPipeline());
+  ASSERT_TRUE(restored.Restore(payload).ok());
+  EXPECT_EQ(restored.batches_processed(), original.batches_processed());
+  EXPECT_EQ(restored.learner().stats().batches_trained,
+            original.learner().stats().batches_trained);
+
+  // Replay an identical tail through both pipelines: every inference report
+  // must match bit for bit (predictions AND probabilities).
+  for (int b = 10; b < 18; ++b) {
+    const bool labeled = b % 2 == 0;
+    Batch tail = MakeBatch(labeled, 1000 + b, b);
+    auto from_original = original.Push(tail);
+    auto from_restored = restored.Push(tail);
+    ASSERT_TRUE(from_original.ok());
+    ASSERT_TRUE(from_restored.ok());
+    ASSERT_EQ(from_original->has_value(), from_restored->has_value());
+    if (from_original->has_value()) {
+      ExpectReportsBitIdentical(**from_original, **from_restored);
+    }
+  }
+  EXPECT_EQ(restored.batches_processed(), original.batches_processed());
+}
+
+TEST_F(ChaosTest, SnapshotSurvivesCheckpointStoreRoundTrip) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline original(*proto, DeterministicPipeline());
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(original.Push(MakeBatch(true, b, b)).ok());
+  }
+  std::vector<char> payload;
+  ASSERT_TRUE(original.Snapshot(&payload).ok());
+
+  CheckpointStoreOptions store_opts;
+  store_opts.directory = (dir_ / "store").string();
+  store_opts.fsync = false;
+  CheckpointStore store(store_opts);
+  ASSERT_TRUE(store.Write("pipeline", payload).ok());
+  auto reloaded = store.ReadLatest("pipeline");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*reloaded, payload);  // Byte-for-byte through the disk format.
+
+  StreamPipeline restored(*proto, DeterministicPipeline());
+  ASSERT_TRUE(restored.Restore(*reloaded).ok());
+  Batch probe = MakeBatch(false, 777, 8);
+  auto from_original = original.Push(probe);
+  auto from_restored = restored.Push(probe);
+  ASSERT_TRUE(from_original.ok() && from_restored.ok());
+  ASSERT_TRUE(from_original->has_value() && from_restored->has_value());
+  ExpectReportsBitIdentical(**from_original, **from_restored);
+}
+
+TEST_F(ChaosTest, CorruptSnapshotsAreRejectedNotPartiallyApplied) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamPipeline original(*proto, DeterministicPipeline());
+  for (int b = 0; b < 6; ++b) {
+    ASSERT_TRUE(original.Push(MakeBatch(true, b, b)).ok());
+  }
+  std::vector<char> payload;
+  ASSERT_TRUE(original.Snapshot(&payload).ok());
+
+  // Truncations at a spread of prefix lengths: every one must fail with a
+  // clean Status (no crash, no silent success).
+  for (size_t len = 0; len < payload.size();
+       len += std::max<size_t>(1, payload.size() / 97)) {
+    StreamPipeline victim(*proto, DeterministicPipeline());
+    std::vector<char> truncated(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(victim.Restore(truncated).ok()) << "prefix " << len;
+  }
+  // Trailing garbage is also rejected (ExpectEnd guard).
+  std::vector<char> padded = payload;
+  padded.push_back('x');
+  StreamPipeline victim(*proto, DeterministicPipeline());
+  EXPECT_FALSE(victim.Restore(padded).ok());
+
+  // A rejected restore leaves the victim usable as a fresh pipeline.
+  EXPECT_TRUE(victim.Push(MakeBatch(true, 50, 0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Supervised shard recovery
+
+TEST_F(ChaosTest, ShardKilledTwiceMidRunRecoversWithZeroLoss) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;  // Deterministic: we pump manually.
+  StreamRuntime runtime(*proto, opts);
+
+  // Kill the drain twice in a row starting at the 6th attempt: the 6th
+  // batch fails, its first retry fails, its second retry succeeds.
+  failpoint::FailPointSpec kill;
+  kill.skip = 5;
+  kill.count = 2;
+  failpoint::Arm("runtime.drain.shard0", kill);
+
+  constexpr int kBatches = 12;
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, b, b)).ok());
+  }
+  runtime.PumpShard(0);
+
+  EXPECT_EQ(failpoint::Hits("runtime.drain.shard0"), 2u);
+  RuntimeStatsSnapshot stats = runtime.Snapshot();
+  EXPECT_EQ(stats.totals.enqueued, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.totals.processed, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.totals.quarantined, 0u);
+  EXPECT_EQ(stats.totals.errors, 2u);
+  EXPECT_EQ(stats.totals.retries, 2u);
+  EXPECT_EQ(stats.totals.restores, 2u);
+  EXPECT_EQ(stats.totals.in_flight, 0u);
+  EXPECT_TRUE(CollectDeadLetters(&runtime).empty());  // Nothing lost.
+  runtime.Shutdown();
+}
+
+TEST_F(ChaosTest, PoisonBatchIsQuarantinedNeverDropped) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 0, 0)).ok());
+  ASSERT_TRUE(runtime.Submit(0, PoisonBatch(1)).ok());
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 2, 2)).ok());
+  runtime.PumpShard(0);
+
+  RuntimeStatsSnapshot stats = runtime.Snapshot();
+  EXPECT_EQ(stats.totals.enqueued, 3u);
+  EXPECT_EQ(stats.totals.processed, 2u);  // The good neighbours survive.
+  EXPECT_EQ(stats.totals.quarantined, 1u);
+  EXPECT_EQ(stats.totals.in_flight, 0u);
+  // Initial attempt + max_batch_retries, every one an error.
+  EXPECT_EQ(stats.totals.errors, 3u);
+  EXPECT_EQ(stats.totals.retries, 2u);
+
+  std::vector<DeadLetter> letters = CollectDeadLetters(&runtime);
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_EQ(letters[0].batch.index, 1);
+  EXPECT_TRUE(letters[0].batch.labeled());  // Training data preserved.
+  EXPECT_EQ(letters[0].attempts, 3u);
+  EXPECT_FALSE(letters[0].error.ok());
+  EXPECT_EQ(letters[0].shard, 0u);
+  runtime.Shutdown();
+}
+
+TEST_F(ChaosTest, EveryShardKilledTwiceInvariantReconcilesExactly) {
+  ThreadPool::SetGlobalThreads(4);
+  auto proto = MakeLogisticRegression(4, 2);
+  MetricsRegistry registry;
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 3;
+  opts.metrics = &registry;
+  StreamRuntime runtime(*proto, opts);
+
+  // Two kills per shard, mid-run, plus one poison batch per shard.
+  for (size_t s = 0; s < 3; ++s) {
+    failpoint::FailPointSpec kill;
+    kill.skip = 4;
+    kill.count = 2;
+    failpoint::Arm("runtime.drain.shard" + std::to_string(s), kill);
+  }
+
+  constexpr int kStreams = 6;
+  constexpr int kBatches = 10;
+  for (int s = 0; s < kStreams; ++s) {
+    for (int b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE(
+          runtime.Submit(s, MakeBatch(b % 3 != 2, s * 100 + b, b)).ok());
+    }
+  }
+  for (size_t s = 0; s < 3; ++s) {  // One poison batch per shard.
+    ASSERT_TRUE(runtime.Submit(s, PoisonBatch(kBatches)).ok());
+  }
+  runtime.Flush();
+
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_GE(failpoint::Hits("runtime.drain.shard" + std::to_string(s)), 2u)
+        << "shard " << s << " was not killed twice";
+  }
+
+  RuntimeStatsSnapshot stats = runtime.Snapshot();
+  const uint64_t submitted = kStreams * kBatches + 3;
+  EXPECT_EQ(stats.totals.enqueued, submitted);
+  // The reconciliation invariant, exactly:
+  //   enqueued = processed + shed + quarantined + undrained + in_flight.
+  EXPECT_EQ(stats.totals.enqueued,
+            stats.totals.processed + stats.totals.shed +
+                stats.totals.quarantined + stats.totals.undrained +
+                stats.totals.in_flight);
+  EXPECT_EQ(stats.totals.shed, 0u);        // Block policy.
+  EXPECT_EQ(stats.totals.undrained, 0u);   // Fully drained.
+  EXPECT_EQ(stats.totals.in_flight, 0u);   // Quiescent.
+  EXPECT_EQ(stats.totals.quarantined, 3u);  // Exactly the poison batches.
+  EXPECT_EQ(stats.totals.processed, submitted - 3);
+  EXPECT_GE(stats.totals.restores, 6u);  // >= 2 kills x 3 shards.
+
+  // The registry tells the same story as the snapshot.
+  EXPECT_EQ(registry.GetCounter("freeway_fault_quarantined_total")->Value(),
+            stats.totals.quarantined);
+  EXPECT_EQ(registry.GetCounter("freeway_fault_restores_total")->Value(),
+            stats.totals.restores);
+  EXPECT_EQ(registry.GetCounter("freeway_fault_retries_total")->Value(),
+            stats.totals.retries);
+  EXPECT_GT(
+      registry.GetCounter("freeway_fault_checkpoints_total{result=\"ok\"}")
+          ->Value(),
+      0u);
+
+  // Every quarantined batch is a labeled poison batch, preserved intact.
+  std::vector<DeadLetter> letters = CollectDeadLetters(&runtime);
+  ASSERT_EQ(letters.size(), 3u);
+  for (const DeadLetter& letter : letters) {
+    EXPECT_TRUE(letter.batch.labeled());
+    EXPECT_EQ(letter.batch.index, kBatches);
+    EXPECT_TRUE(std::isnan(letter.batch.features.At(0, 0)));
+  }
+  runtime.Shutdown();
+}
+
+TEST_F(ChaosTest, FaultDisabledKeepsLegacyErrorAccounting) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts;
+  opts.pipeline = DeterministicPipeline();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);  // fault.enabled = false.
+
+  ASSERT_TRUE(runtime.Submit(0, PoisonBatch(0)).ok());
+  runtime.PumpShard(0);
+
+  RuntimeStatsSnapshot stats = runtime.Snapshot();
+  EXPECT_EQ(stats.totals.errors, 1u);
+  EXPECT_EQ(stats.totals.processed, 1u);  // Legacy: consumed either way.
+  EXPECT_EQ(stats.totals.quarantined, 0u);
+  EXPECT_EQ(stats.totals.retries, 0u);
+  EXPECT_TRUE(runtime.TakeDeadLetters().empty());
+  EXPECT_EQ(runtime.checkpoint_store(), nullptr);
+  runtime.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics
+
+TEST_F(ChaosTest, NoDrainShutdownReportsUndrainedAndPreservesLabeled) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  opts.drain_on_shutdown = false;
+  StreamRuntime runtime(*proto, opts);
+
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 0, 0)).ok());
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(false, 1, 1)).ok());
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 2, 2)).ok());
+  runtime.Shutdown();  // Nothing was pumped: all three abandoned.
+
+  RuntimeStatsSnapshot stats = runtime.Snapshot();
+  EXPECT_EQ(stats.totals.enqueued, 3u);
+  EXPECT_EQ(stats.totals.processed, 0u);
+  EXPECT_EQ(stats.totals.undrained, 3u);
+  EXPECT_EQ(stats.totals.in_flight, 0u);  // The invariant still closes.
+
+  // Only the labeled (training) batches land on the dead-letter queue.
+  std::vector<DeadLetter> letters = CollectDeadLetters(&runtime);
+  ASSERT_EQ(letters.size(), 2u);
+  EXPECT_EQ(letters[0].batch.index, 0);
+  EXPECT_EQ(letters[1].batch.index, 2);
+  for (const DeadLetter& letter : letters) {
+    EXPECT_TRUE(letter.batch.labeled());
+    EXPECT_EQ(letter.attempts, 0u);
+    EXPECT_EQ(letter.error.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(ChaosTest, ShutdownWritesFinalCheckpointRestorableIntoNewRuntime) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  // An interval the run never reaches: only the initial and the final
+  // (shutdown) checkpoints exist, proving Shutdown flushed one.
+  opts.fault.checkpoint_interval_batches = 10000;
+
+  auto first = std::make_unique<StreamRuntime>(*proto, opts);
+  for (int b = 0; b < 9; ++b) {
+    ASSERT_TRUE(first->Submit(0, MakeBatch(true, b, b)).ok());
+  }
+  first->PumpShard(0);
+  first->Shutdown();
+
+  // Read the final checkpoint before any new runtime writes its own.
+  CheckpointStoreOptions store_opts;
+  store_opts.directory = opts.fault.checkpoint_dir;
+  store_opts.fsync = false;
+  CheckpointStore store(store_opts);
+  auto final_payload = store.ReadLatest("shard0");
+  ASSERT_TRUE(final_payload.ok()) << final_payload.status();
+
+  StreamRuntime second(*proto, opts);
+  ASSERT_TRUE(second.mutable_shard_pipeline(0)->Restore(*final_payload).ok());
+
+  // Identical probes through the old (quiescent) and recovered pipelines
+  // produce bit-identical inference.
+  Batch probe = MakeBatch(false, 999, 9);
+  auto before = first->mutable_shard_pipeline(0)->Push(probe);
+  auto after = second.mutable_shard_pipeline(0)->Push(probe);
+  ASSERT_TRUE(before.ok() && after.ok());
+  ASSERT_TRUE(before->has_value() && after->has_value());
+  ExpectReportsBitIdentical(**before, **after);
+  second.Shutdown();
+}
+
+TEST_F(ChaosTest, ManualCheckpointIsAvailableToOperators) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 2;
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+  ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, 1, 0)).ok());
+  runtime.PumpShard(0);
+  ASSERT_TRUE(runtime.CheckpointShard(0).ok());
+  ASSERT_NE(runtime.checkpoint_store(), nullptr);
+  auto list = runtime.checkpoint_store()->List("shard0");
+  ASSERT_TRUE(list.ok());
+  EXPECT_GE(list->size(), 2u);  // Initial + manual.
+  runtime.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Learner-internal failpoints
+
+TEST_F(ChaosTest, LearnerTrainFailpointTriggersSupervisedRecovery) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FaultyRuntimeOptions();
+  opts.num_shards = 1;
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  failpoint::FailPointSpec kill;
+  kill.skip = 2;
+  kill.count = 1;
+  failpoint::Arm("learner.train", kill);
+
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, b, b)).ok());
+  }
+  runtime.PumpShard(0);
+
+  RuntimeStatsSnapshot stats = runtime.Snapshot();
+  EXPECT_EQ(stats.totals.processed, 5u);  // Recovered: nothing lost.
+  EXPECT_EQ(stats.totals.quarantined, 0u);
+  EXPECT_EQ(stats.totals.restores, 1u);
+  EXPECT_EQ(failpoint::Hits("learner.train"), 1u);
+  runtime.Shutdown();
+}
+
+}  // namespace
+}  // namespace freeway

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/snapshot.h"
+#include "obs/metrics.h"
+
 namespace freeway {
 namespace {
 
@@ -100,6 +103,64 @@ TEST(ExpBufferTest, TrimErrorCounterStaysZeroOnHealthyTraffic) {
   // Plenty of trims happened (capacity 6, 32 samples offered), all clean.
   EXPECT_EQ(buffer.size(), 6u);
   EXPECT_EQ(trim_errors->Value(), 0u);
+}
+
+TEST(ExpBufferTest, SaveLoadStateRoundTrips) {
+  ExpBuffer original(16);
+  ASSERT_TRUE(original.Add(SimpleBatch(4, 3, 1.0, 0, 0)).ok());
+  ASSERT_TRUE(original.Add(SimpleBatch(4, 3, 2.0, 1, 1)).ok());
+  SnapshotWriter writer;
+  original.SaveState(&writer);
+
+  ExpBuffer restored(16);
+  SnapshotReader reader(writer.buffer());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  EXPECT_EQ(restored.size(), original.size());
+  auto a = original.Snapshot();
+  auto b = restored.Snapshot();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  for (size_t i = 0; i < a->features.rows(); ++i) {
+    for (size_t j = 0; j < a->features.cols(); ++j) {
+      EXPECT_EQ(a->features.At(i, j), b->features.At(i, j));
+    }
+  }
+}
+
+TEST(ExpBufferTest, RestoreIntoSmallerBufferEnforcesCapacity) {
+  // Snapshot taken by a buffer holding 12 samples...
+  ExpBuffer big(16);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(big.Add(SimpleBatch(4, 2, 1.0 * i, i % 2, i)).ok());
+  }
+  ASSERT_EQ(big.size(), 12u);
+  SnapshotWriter writer;
+  big.SaveState(&writer);
+
+  // ...restored into a buffer configured for 6: the restore itself trims
+  // down to capacity (keeping the newest experience) instead of leaving an
+  // over-full buffer behind.
+  ExpBuffer small(6);
+  SnapshotReader reader(writer.buffer());
+  ASSERT_TRUE(small.LoadState(&reader).ok());
+  EXPECT_EQ(small.size(), 6u);
+  auto snap = small.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  // The oldest batch (fill 0.0) was dropped; the newest (fill 2.0) stayed.
+  EXPECT_EQ(snap->features.At(snap->features.rows() - 1, 0), 2.0);
+}
+
+TEST(ExpBufferTest, LoadStateRejectsUnlabeledBatches) {
+  SnapshotWriter writer;
+  Batch unlabeled;
+  unlabeled.index = 0;
+  unlabeled.features = Matrix(4, 2, 1.0);
+  writer.WriteSection(0x45585042);     // 'EXPB'
+  writer.WriteU64(1);                  // One batch follows...
+  writer.WriteBatch(unlabeled);        // ...but it carries no labels.
+  ExpBuffer buffer(16);
+  SnapshotReader reader(writer.buffer());
+  EXPECT_FALSE(buffer.LoadState(&reader).ok());
 }
 
 }  // namespace

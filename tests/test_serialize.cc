@@ -1,6 +1,9 @@
 #include "ml/serialize.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +119,84 @@ TEST(KnowledgeSpillReloadTest, RoundTripThroughSpillFile) {
 TEST(KnowledgeSpillReloadTest, MissingFileFails) {
   EXPECT_FALSE(
       KnowledgeStore::ReadSpillFile("/tmp/no_such_spill_freeway.bin").ok());
+}
+
+/// Byte offsets of the snapshot header fields (see Header in serialize.cc):
+/// magic u32 @ 0, version u32 @ 4, parameter_count u64 @ 8.
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kVersionOffset = 4;
+constexpr size_t kCountOffset = 8;
+constexpr size_t kHeaderSize = 16;
+
+std::vector<char> SerializedModel() {
+  auto model = MakeLogisticRegression(4, 2);
+  std::vector<char> buffer;
+  SerializeModel(*model, &buffer);
+  return buffer;
+}
+
+TEST(SerializeCorruptionTest, BitFlipInEveryHeaderFieldIsRejected) {
+  const std::vector<char> clean = SerializedModel();
+  ASSERT_TRUE(DeserializeModel(clean).ok());
+  for (size_t offset : {kMagicOffset, kVersionOffset, kCountOffset}) {
+    std::vector<char> corrupt = clean;
+    corrupt[offset] ^= 0x01;
+    EXPECT_FALSE(DeserializeModel(corrupt).ok())
+        << "header byte " << offset << " accepted after a bit flip";
+  }
+}
+
+TEST(SerializeCorruptionTest, ZeroParameterCountIsRejected) {
+  std::vector<char> buffer = SerializedModel();
+  // parameter_count := 0 with the payload still attached.
+  std::fill(buffer.begin() + kCountOffset, buffer.begin() + kHeaderSize, 0);
+  auto result = DeserializeModel(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeCorruptionTest, AbsurdParameterCountCannotAllocate) {
+  std::vector<char> buffer = SerializedModel();
+  const uint64_t absurd = uint64_t{1} << 62;  // 32 EiB of doubles.
+  std::memcpy(buffer.data() + kCountOffset, &absurd, sizeof(absurd));
+  auto result = DeserializeModel(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeCorruptionTest, OversizedBufferIsRejected) {
+  std::vector<char> buffer = SerializedModel();
+  buffer.resize(buffer.size() + 8, 0);  // Count and payload now disagree.
+  EXPECT_FALSE(DeserializeModel(buffer).ok());
+}
+
+TEST(SerializeCorruptionTest, TruncationAtEveryHeaderPrefixIsRejected) {
+  const std::vector<char> clean = SerializedModel();
+  for (size_t len = 0; len <= kHeaderSize; ++len) {
+    std::vector<char> truncated(clean.begin(), clean.begin() + len);
+    EXPECT_FALSE(DeserializeModel(truncated).ok()) << "prefix " << len;
+  }
+}
+
+TEST(SerializeCorruptionTest, NonFiniteParametersAreRejected) {
+  for (double poison : {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()}) {
+    std::vector<char> buffer = SerializedModel();
+    std::memcpy(buffer.data() + kHeaderSize, &poison, sizeof(poison));
+    auto result = DeserializeModel(buffer);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SerializeCorruptionTest, ExponentBitFlipInPayloadIsCaught) {
+  std::vector<char> buffer = SerializedModel();
+  // Set a weight's exponent bits to all-ones: NaN/Inf territory. A store
+  // that skipped the finiteness sweep would accept this silently.
+  buffer[kHeaderSize + 6] = static_cast<char>(0xF0);
+  buffer[kHeaderSize + 7] = static_cast<char>(0x7F);
+  EXPECT_FALSE(DeserializeModel(buffer).ok());
 }
 
 TEST(FiniteGuardTest, ModelRejectsNonFiniteInput) {
