@@ -1,0 +1,211 @@
+// Network serving benchmark: submit→ACK round-trip latency and frame
+// throughput of the loopback TCP path versus the same batches submitted
+// in-process through StreamRuntime::Submit. The gap is the cost of the
+// serving layer itself — frame encode + CRC, two socket hops, the poll
+// loop, and the decode on the far side — measured on the identical batch
+// schedule. Emits BENCH_net.json for the report layer.
+//
+// Expected shape: in-process Submit is an enqueue (microseconds); the wire
+// RTT adds two loopback traversals and one event-loop dispatch, so p50
+// lands in the tens-to-hundreds of microseconds. Aggregate frames/sec is
+// reported from the server's own freeway_net_frames_total counters over
+// the measured wall time.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "eval/report.h"
+#include "ml/models.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+constexpr size_t kDim = 10;
+constexpr size_t kBatchSize = 128;
+constexpr size_t kWarmup = 16;
+constexpr size_t kMeasured = 160;
+
+using Clock = std::chrono::steady_clock;
+
+double Micros(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t at = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[at];
+}
+
+std::vector<Batch> MakeSchedule(size_t count) {
+  HyperplaneOptions options;
+  options.dim = kDim;
+  options.seed = 42;
+  HyperplaneSource source(options);
+  std::vector<Batch> batches;
+  batches.reserve(count);
+  for (size_t b = 0; b < count; ++b) {
+    auto batch = source.NextBatch(kBatchSize);
+    batch.status().CheckOk();
+    batches.push_back(*std::move(batch));
+  }
+  return batches;
+}
+
+RuntimeOptions BenchRuntime() {
+  RuntimeOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 256;  // RTT, not admission control, is measured.
+  return options;
+}
+
+struct LegResult {
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double batches_per_sec = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// In-process leg: Submit() latency is the enqueue cost (the shard drains
+/// concurrently, exactly as it does behind the server).
+LegResult RunInProcess(const Model& proto, const std::vector<Batch>& batches) {
+  StreamRuntime runtime(proto, BenchRuntime());
+  std::vector<double> lat;
+  lat.reserve(kMeasured);
+  for (size_t b = 0; b < kWarmup; ++b) {
+    runtime.Submit(0, batches[b]).CheckOk();
+  }
+  const auto start = Clock::now();
+  for (size_t b = kWarmup; b < batches.size(); ++b) {
+    const auto t0 = Clock::now();
+    runtime.Submit(0, batches[b]).CheckOk();
+    lat.push_back(Micros(t0, Clock::now()));
+  }
+  const auto end = Clock::now();
+  runtime.Shutdown();
+  LegResult result;
+  result.p50_micros = Percentile(lat, 0.50);
+  result.p99_micros = Percentile(lat, 0.99);
+  result.wall_seconds = Micros(start, end) / 1e6;
+  result.batches_per_sec = lat.size() / result.wall_seconds;
+  return result;
+}
+
+/// Wire leg: Submit() latency is the full round trip — encode, two
+/// loopback hops, server decode + TrySubmit, ACK back.
+LegResult RunOverWire(const Model& proto, const std::vector<Batch>& batches,
+                      uint64_t* frames, double* frames_per_sec) {
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  options.runtime = BenchRuntime();
+  StreamServer server(proto, options);
+  server.Start().CheckOk();
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  StreamClient client(client_options);
+  std::vector<double> lat;
+  lat.reserve(kMeasured);
+  for (size_t b = 0; b < kWarmup; ++b) {
+    client.Submit(0, batches[b]).CheckOk();
+  }
+  const auto start = Clock::now();
+  for (size_t b = kWarmup; b < batches.size(); ++b) {
+    const auto t0 = Clock::now();
+    client.Submit(0, batches[b]).CheckOk();
+    lat.push_back(Micros(t0, Clock::now()));
+  }
+  const auto end = Clock::now();
+  client.Disconnect();
+
+  const double wall = Micros(start, end) / 1e6;
+  Counter* in = registry.GetCounter("freeway_net_frames_total{dir=\"in\"}");
+  Counter* out = registry.GetCounter("freeway_net_frames_total{dir=\"out\"}");
+  *frames = in->Value() + out->Value();
+  *frames_per_sec = *frames / (wall > 0.0 ? wall : 1.0);
+  server.Stop();
+
+  LegResult result;
+  result.p50_micros = Percentile(lat, 0.50);
+  result.p99_micros = Percentile(lat, 0.99);
+  result.wall_seconds = wall;
+  result.batches_per_sec = lat.size() / wall;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Banner("net_throughput", "Network serving",
+         "Submit->ACK round trip and frame throughput of the loopback TCP "
+         "serving path vs in-process StreamRuntime::Submit.");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  ThreadPool::SetGlobalThreads(4);
+  auto proto = MakeLogisticRegression(kDim, 2);
+  const std::vector<Batch> batches = MakeSchedule(kWarmup + kMeasured);
+
+  const LegResult local = RunInProcess(*proto, batches);
+  uint64_t frames = 0;
+  double frames_per_sec = 0.0;
+  const LegResult wire =
+      RunOverWire(*proto, batches, &frames, &frames_per_sec);
+
+  TablePrinter table(
+      {"Leg", "p50 us", "p99 us", "Batches/s"});
+  table.AddRow({"in-process Submit", FormatDouble(local.p50_micros, 1),
+                FormatDouble(local.p99_micros, 1),
+                FormatDouble(local.batches_per_sec, 1)});
+  table.AddRow({"loopback TCP", FormatDouble(wire.p50_micros, 1),
+                FormatDouble(wire.p99_micros, 1),
+                FormatDouble(wire.batches_per_sec, 1)});
+  table.Print();
+  std::printf("\nwire frames: %llu total, %s frames/s "
+              "(SUBMIT+ACK+RESULT, both directions)\n",
+              static_cast<unsigned long long>(frames),
+              FormatDouble(frames_per_sec, 1).c_str());
+  std::printf("hardware_concurrency = %u\n", cores);
+
+  std::ofstream out("BENCH_net.json");
+  out << "{\n"
+      << "  \"description\": \"Submit->ACK RTT and frame throughput of the "
+         "loopback StreamServer (2 shards, capacity 256) vs in-process "
+         "StreamRuntime::Submit over the identical labeled Hyperplane "
+         "schedule (" << kMeasured << " batches x " << kBatchSize
+      << " records, single producer). From bench/net_throughput.\",\n"
+      << "  \"hardware\": {\"hardware_concurrency\": " << cores << "},\n"
+      << "  \"batch_size\": " << kBatchSize << ",\n"
+      << "  \"measured_batches\": " << kMeasured << ",\n"
+      << "  \"in_process\": {\"p50_micros\": "
+      << FormatDouble(local.p50_micros, 1)
+      << ", \"p99_micros\": " << FormatDouble(local.p99_micros, 1)
+      << ", \"batches_per_sec\": " << FormatDouble(local.batches_per_sec, 1)
+      << "},\n"
+      << "  \"loopback_tcp\": {\"p50_micros\": "
+      << FormatDouble(wire.p50_micros, 1)
+      << ", \"p99_micros\": " << FormatDouble(wire.p99_micros, 1)
+      << ", \"batches_per_sec\": " << FormatDouble(wire.batches_per_sec, 1)
+      << ", \"frames_total\": " << frames
+      << ", \"frames_per_sec\": " << FormatDouble(frames_per_sec, 1)
+      << "},\n"
+      << "  \"rtt_overhead_p50_micros\": "
+      << FormatDouble(wire.p50_micros - local.p50_micros, 1) << "\n"
+      << "}\n";
+  std::printf("Wrote BENCH_net.json\n");
+  return 0;
+}

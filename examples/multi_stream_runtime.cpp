@@ -42,11 +42,14 @@ void ProduceStream(StreamRuntime* runtime, uint64_t stream_id) {
 }
 
 void PrintSnapshot(const RuntimeStatsSnapshot& snapshot) {
-  TablePrinter table({"Shard", "Enqueued", "Processed", "Shed", "HighWater",
+  TablePrinter table({"Shard", "Enqueued", "Processed", "Shed", "Rejected",
+                      "Errors", "Quarantined", "Undrained", "HighWater",
                       "Blocked us", "Rate b/s"});
   for (const ShardStatsSnapshot& s : snapshot.shards) {
     table.AddRow({std::to_string(s.shard), std::to_string(s.enqueued),
                   std::to_string(s.processed), std::to_string(s.shed),
+                  std::to_string(s.rejected), std::to_string(s.errors),
+                  std::to_string(s.quarantined), std::to_string(s.undrained),
                   std::to_string(s.queue_high_water),
                   std::to_string(s.blocked_micros),
                   FormatDouble(s.arrival_rate, 1)});
@@ -54,6 +57,10 @@ void PrintSnapshot(const RuntimeStatsSnapshot& snapshot) {
   table.AddRow({"total", std::to_string(snapshot.totals.enqueued),
                 std::to_string(snapshot.totals.processed),
                 std::to_string(snapshot.totals.shed),
+                std::to_string(snapshot.totals.rejected),
+                std::to_string(snapshot.totals.errors),
+                std::to_string(snapshot.totals.quarantined),
+                std::to_string(snapshot.totals.undrained),
                 std::to_string(snapshot.totals.queue_high_water),
                 std::to_string(snapshot.totals.blocked_micros), "-"});
   table.Print();
@@ -129,6 +136,8 @@ int main() {
                 static_cast<unsigned long long>(snapshot.totals.enqueued));
     PrintSnapshot(snapshot);
     runtime.Shutdown();
+    std::printf("Dead letters after shutdown: %zu\n",
+                runtime.TakeDeadLetters().size());
   }
 
   std::printf("\nDone.\n");

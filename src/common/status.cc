@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

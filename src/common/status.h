@@ -22,6 +22,11 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kIoError,
+  /// Transient overload / resource exhaustion: the operation was rejected
+  /// without side effects and is safe to retry after backing off (e.g. a
+  /// full shard queue behind StreamRuntime::TrySubmit, an OVERLOAD reply
+  /// from StreamServer).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -62,6 +67,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

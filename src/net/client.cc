@@ -1,0 +1,294 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "fault/failpoint.h"
+#include "net/socket_util.h"
+
+namespace freeway {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+
+int64_t MillisLeft(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count();
+}
+}  // namespace
+
+StreamClient::StreamClient(ClientOptions options)
+    : options_(std::move(options)),
+      backoff_micros_(options_.backoff_initial_micros) {}
+
+StreamClient::~StreamClient() { Disconnect(); }
+
+Status StreamClient::Connect() {
+  if (connected()) return Status::OK();
+  ASSIGN_OR_RETURN(fd_, net::ConnectSocket(options_.host, options_.port,
+                                           options_.connect_timeout_millis));
+  // Fresh connection, fresh framing: any partial frame from the previous
+  // connection is unusable.
+  decoder_ = FrameDecoder();
+  return Status::OK();
+}
+
+void StreamClient::Disconnect() {
+  if (fd_ >= 0) {
+    net::CloseFd(fd_);
+    fd_ = -1;
+  }
+}
+
+Status StreamClient::SendFrame(const std::vector<char>& encoded) {
+  Status injected = failpoint::Check("net.client.send");
+  if (!injected.ok()) {
+    // Injected torn write: half the frame leaves, then the connection
+    // dies — the server sees a mid-frame disconnect.
+    const size_t half = encoded.size() / 2;
+    net::SendAll(fd_, encoded.data(), half);
+    Disconnect();
+    return injected;
+  }
+  Status sent = net::SendAll(fd_, encoded.data(), encoded.size());
+  if (!sent.ok()) Disconnect();
+  return sent;
+}
+
+Result<Frame> StreamClient::ReadFrame(int64_t timeout_millis) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  while (true) {
+    Result<Frame> frame = decoder_.Next();
+    if (frame.ok()) return frame;
+    if (frame.status().code() != StatusCode::kNotFound) {
+      // Corrupt stream — unrecoverable framing loss.
+      Disconnect();
+      return frame.status();
+    }
+    const int64_t left = MillisLeft(deadline);
+    if (left <= 0) return Status::Unavailable("reply timed out");
+    RETURN_IF_ERROR(net::WaitReadable(fd_, left));
+    char chunk[kReadChunk];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Disconnect();
+      return Status::IoError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Disconnect();
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    decoder_.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+void StreamClient::AbsorbResult(const Frame& frame) {
+  Result<StreamResult> result = DecodeResult(frame);
+  if (!result.ok()) {
+    FREEWAY_LOG(kWarning) << "dropping malformed RESULT frame: "
+                      << result.status();
+    return;
+  }
+  ++tallies_.results;
+  results_.push_back(*std::move(result));
+}
+
+void StreamClient::Backoff(int64_t floor_micros) {
+  const int64_t wait = std::max(backoff_micros_, floor_micros);
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(wait));
+  }
+  backoff_micros_ = std::min(backoff_micros_ * 2, options_.backoff_max_micros);
+}
+
+Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
+  SubmitMessage message;
+  message.stream_id = stream_id;
+  message.batch = batch;
+  const std::vector<char> encoded = EncodeSubmit(message);
+  backoff_micros_ = options_.backoff_initial_micros;
+  Status last_error = Status::Unavailable("no submit attempt made");
+  for (size_t attempt = 0; attempt < options_.max_submit_attempts;
+       ++attempt) {
+    if (!connected()) {
+      Status connected_now = Connect();
+      if (!connected_now.ok()) {
+        last_error = connected_now;
+        Backoff(0);
+        continue;
+      }
+      if (attempt > 0) ++tallies_.reconnects;
+    }
+    Status sent = SendFrame(encoded);
+    if (!sent.ok()) {
+      last_error = sent;
+      continue;  // Reconnect-and-resend on the next attempt.
+    }
+    ++tallies_.submits_sent;
+    // Read replies until ours arrives; results for earlier batches stream
+    // past and are buffered.
+    bool resend = false;
+    while (!resend) {
+      Result<Frame> frame = ReadFrame(options_.reply_timeout_millis);
+      if (!frame.ok()) {
+        last_error = frame.status();
+        Disconnect();
+        resend = true;
+        break;
+      }
+      switch (frame->type) {
+        case FrameType::kResult:
+          AbsorbResult(*frame);
+          break;
+        case FrameType::kAck: {
+          Result<AckMessage> ack = DecodeAck(*frame);
+          if (ack.ok() && ack->stream_id == stream_id &&
+              ack->batch_index == batch.index) {
+            ++tallies_.acked;
+            return Status::OK();
+          }
+          // A stale ACK from a resend whose first copy was admitted after
+          // all; ignore (the duplicate is documented at-least-once cost).
+          break;
+        }
+        case FrameType::kOverload: {
+          Result<OverloadMessage> overload = DecodeOverload(*frame);
+          if (overload.ok() && overload->stream_id == stream_id &&
+              overload->batch_index == batch.index) {
+            ++tallies_.overloads;
+            last_error = Status::Unavailable("server overloaded");
+            Backoff(overload->retry_after_micros);
+            resend = true;
+          }
+          break;
+        }
+        case FrameType::kError: {
+          Result<ErrorMessage> error = DecodeError(*frame);
+          if (error.ok() && error->stream_id == stream_id &&
+              error->batch_index == batch.index) {
+            ++tallies_.errors;
+            return error->ToStatus();
+          }
+          break;
+        }
+        default:
+          // STATS or other out-of-band frames: not ours, drop.
+          break;
+      }
+    }
+  }
+  return Status::Unavailable("submit failed after " +
+                             std::to_string(options_.max_submit_attempts) +
+                             " attempts: " + last_error.ToString());
+}
+
+Result<std::vector<StreamResult>> StreamClient::PollResults(
+    int64_t timeout_millis) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  while (results_.empty()) {
+    if (!connected()) RETURN_IF_ERROR(Connect());
+    const int64_t left = MillisLeft(deadline);
+    if (left <= 0) break;
+    Result<Frame> frame = ReadFrame(left);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kUnavailable) break;  // Timeout.
+      return frame.status();
+    }
+    if (frame->type == FrameType::kResult) AbsorbResult(*frame);
+  }
+  return TakeResults();
+}
+
+std::vector<StreamResult> StreamClient::TakeResults() {
+  std::vector<StreamResult> taken;
+  taken.swap(results_);
+  return taken;
+}
+
+Result<std::string> StreamClient::Stats() {
+  RETURN_IF_ERROR(Connect());
+  RETURN_IF_ERROR(SendFrame(EncodeFrame(FrameType::kStatsRequest)));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.reply_timeout_millis);
+  while (true) {
+    const int64_t left = MillisLeft(deadline);
+    if (left <= 0) return Status::Unavailable("stats reply timed out");
+    ASSIGN_OR_RETURN(Frame frame, ReadFrame(left));
+    if (frame.type == FrameType::kStats) return DecodeStats(frame);
+    if (frame.type == FrameType::kResult) AbsorbResult(frame);
+  }
+}
+
+Status StreamClient::RequestShutdown() {
+  RETURN_IF_ERROR(Connect());
+  RETURN_IF_ERROR(SendFrame(EncodeFrame(FrameType::kShutdown)));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.reply_timeout_millis);
+  while (true) {
+    const int64_t left = MillisLeft(deadline);
+    if (left <= 0) return Status::Unavailable("shutdown ack timed out");
+    ASSIGN_OR_RETURN(Frame frame, ReadFrame(left));
+    if (frame.type == FrameType::kAck) return Status::OK();
+    if (frame.type == FrameType::kResult) AbsorbResult(frame);
+  }
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, int64_t timeout_millis) {
+  ASSIGN_OR_RETURN(int fd, net::ConnectSocket(host, port, timeout_millis));
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  Status sent = net::SendAll(fd, request.data(), request.size());
+  if (!sent.ok()) {
+    net::CloseFd(fd);
+    return sent;
+  }
+  // The server closes after the response, so read to EOF.
+  std::string response;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  while (true) {
+    const int64_t left = MillisLeft(deadline);
+    if (left <= 0) {
+      net::CloseFd(fd);
+      return Status::Unavailable("http response timed out");
+    }
+    Status readable = net::WaitReadable(fd, left);
+    if (!readable.ok()) {
+      net::CloseFd(fd);
+      return readable;
+    }
+    char chunk[kReadChunk];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      net::CloseFd(fd);
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  net::CloseFd(fd);
+  const size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status::InvalidArgument("malformed http response");
+  }
+  if (response.rfind("HTTP/1.1 200", 0) != 0) {
+    return Status::NotFound(
+        "http status: " + response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace freeway

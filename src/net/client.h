@@ -1,0 +1,121 @@
+#ifndef FREEWAYML_NET_CLIENT_H_
+#define FREEWAYML_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace freeway {
+
+/// Configuration of the blocking client.
+struct ClientOptions {
+  /// Numeric IPv4 server address.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int64_t connect_timeout_millis = 2000;
+  /// How long one Submit waits for its ACK/OVERLOAD/ERROR reply before
+  /// treating the connection as dead and reconnecting.
+  int64_t reply_timeout_millis = 5000;
+  /// Total tries per batch: overload rejections, reconnects, and resends
+  /// all consume attempts. Exhaustion returns Unavailable.
+  size_t max_submit_attempts = 16;
+  /// Exponential backoff after an OVERLOAD reply or a failed connect:
+  /// starts at `backoff_initial_micros` (or the server's retry_after,
+  /// whichever is larger), doubling up to the cap.
+  int64_t backoff_initial_micros = 500;
+  int64_t backoff_max_micros = 100000;
+};
+
+/// Client-side tallies, for overload studies and for reconciling against
+/// the server's `freeway_net_*` counters in tests. Plain integers: a
+/// StreamClient is single-threaded by contract.
+struct ClientTallies {
+  uint64_t submits_sent = 0;  ///< SUBMIT frames written (includes resends).
+  uint64_t acked = 0;
+  uint64_t overloads = 0;
+  uint64_t errors = 0;
+  uint64_t results = 0;
+  uint64_t reconnects = 0;  ///< Successful re-connects after a drop.
+};
+
+/// Blocking client for the FreewayML wire protocol.
+///
+/// Submit() is at-least-once: it retries on OVERLOAD with exponential
+/// backoff (honouring the server's retry_after floor) and transparently
+/// reconnects and re-sends when the connection drops before the ACK
+/// arrives. A drop after the server admitted the batch but before the ACK
+/// reached us therefore duplicates that batch — ingest pipelines behind
+/// lossy networks want idempotent stream design (the runtime treats a
+/// duplicate as one more batch of the same stream).
+///
+/// RESULT frames arriving while Submit waits for its reply are buffered;
+/// collect them with PollResults()/TakeResults(). One StreamClient must be
+/// driven by a single thread; run one client per producer thread instead
+/// of sharing.
+class StreamClient {
+ public:
+  explicit StreamClient(ClientOptions options);
+  /// Disconnects.
+  ~StreamClient();
+
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+
+  /// Explicit connect. Submit() connects lazily, so this is only needed to
+  /// fail fast on a bad address.
+  Status Connect();
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one batch and blocks until the server accepts it (ACK), turns
+  /// it away permanently (ERROR → that status), or the attempt budget is
+  /// exhausted across overloads/drops (Unavailable).
+  Status Submit(uint64_t stream_id, const Batch& batch);
+
+  /// Blocks until at least one result is buffered or `timeout_millis`
+  /// elapses, then returns everything buffered (possibly empty on
+  /// timeout). Fails on connection errors.
+  Result<std::vector<StreamResult>> PollResults(int64_t timeout_millis);
+
+  /// Takes the already-buffered results without touching the socket.
+  std::vector<StreamResult> TakeResults();
+
+  /// Fetches the server's runtime stats snapshot (JSON).
+  Result<std::string> Stats();
+
+  /// Asks the server to stop gracefully; returns once the ACK arrives.
+  Status RequestShutdown();
+
+  const ClientTallies& tallies() const { return tallies_; }
+
+ private:
+  /// Writes one encoded frame. FailPoint site "net.client.send" makes the
+  /// write tear: half the frame goes out, then the socket dies — how chaos
+  /// tests manufacture torn frames on the server.
+  Status SendFrame(const std::vector<char>& encoded);
+  /// Reads the next frame within the deadline, feeding the decoder.
+  Result<Frame> ReadFrame(int64_t timeout_millis);
+  /// Buffers a RESULT frame; ignores stale replies from superseded sends.
+  void AbsorbResult(const Frame& frame);
+  void Backoff(int64_t floor_micros);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::vector<StreamResult> results_;
+  ClientTallies tallies_;
+  int64_t backoff_micros_ = 0;
+};
+
+/// Minimal HTTP/1.1 GET against the server's metrics endpoint (the
+/// curl-equivalent used by tests and examples). Returns the response body
+/// on 200 and an error Status for anything else.
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path,
+                            int64_t timeout_millis = 2000);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_NET_CLIENT_H_

@@ -1,0 +1,508 @@
+#include "net/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "fault/failpoint.h"
+#include "net/socket_util.h"
+
+namespace freeway {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+/// An HTTP request line + headers larger than this is not a scraper.
+constexpr size_t kMaxHttpRequest = 8 * 1024;
+
+bool StartsWithGet(const std::vector<char>& buf) {
+  return buf.size() >= 4 && std::memcmp(buf.data(), "GET ", 4) == 0;
+}
+
+}  // namespace
+
+StreamServer::StreamServer(const Model& prototype, ServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.runtime.metrics == nullptr) {
+    options_.runtime.metrics = options_.metrics;
+  }
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* registry = options_.metrics;
+    metrics_.accepted = registry->GetCounter(
+        "freeway_net_connections_total{event=\"accepted\"}");
+    metrics_.closed = registry->GetCounter(
+        "freeway_net_connections_total{event=\"closed\"}");
+    metrics_.active = registry->GetGauge("freeway_net_active_connections");
+    metrics_.frames_in =
+        registry->GetCounter("freeway_net_frames_total{dir=\"in\"}");
+    metrics_.frames_out =
+        registry->GetCounter("freeway_net_frames_total{dir=\"out\"}");
+    metrics_.submits = registry->GetCounter("freeway_net_submits_total");
+    metrics_.acks = registry->GetCounter("freeway_net_acks_total");
+    metrics_.results = registry->GetCounter("freeway_net_results_total");
+    metrics_.overloads = registry->GetCounter("freeway_net_overloads_total");
+    metrics_.errors_sent = registry->GetCounter("freeway_net_errors_total");
+    metrics_.decode_errors =
+        registry->GetCounter("freeway_net_decode_errors_total");
+    metrics_.torn_frames =
+        registry->GetCounter("freeway_net_torn_frames_total");
+    metrics_.results_dropped =
+        registry->GetCounter("freeway_net_results_dropped_total");
+    metrics_.http_requests =
+        registry->GetCounter("freeway_net_http_requests_total");
+    metrics_.frame_bytes = registry->GetHistogram(
+        "freeway_net_frame_bytes", Histogram::DefaultSizeBounds());
+    metrics_.request_seconds =
+        registry->GetHistogram("freeway_net_request_seconds");
+  }
+  runtime_ = std::make_unique<StreamRuntime>(
+      prototype, options_.runtime,
+      [this](const StreamResult& result) { OnResult(result); });
+}
+
+StreamServer::~StreamServer() {
+  Stop();
+  // The wake pipe outlives the loop so that late WakeLoop() calls (result
+  // callbacks racing a graceful stop, Stop() itself) always hit a valid
+  // fd; with the loop joined it is finally safe to close.
+  net::CloseFd(wake_read_fd_);
+  net::CloseFd(wake_write_fd_);
+  wake_read_fd_ = -1;
+  wake_write_fd_ = -1;
+}
+
+Status StreamServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server is stopped");
+  }
+  ASSIGN_OR_RETURN(listen_fd_,
+                   net::CreateListenSocket(options_.bind_address,
+                                           options_.port,
+                                           options_.listen_backlog));
+  ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_));
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  net::SetNonBlocking(wake_read_fd_, true).CheckOk();
+  net::SetNonBlocking(wake_write_fd_, true).CheckOk();
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void StreamServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  stop_requested_.store(true, std::memory_order_release);
+  if (!started_) {
+    // Never started: still quiesce the runtime so queued batches (from
+    // direct runtime()->Submit use in tests) are processed.
+    runtime_->Shutdown();
+    return;
+  }
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void StreamServer::Wait() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void StreamServer::OnResult(const StreamResult& result) {
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    outbox_.push_back(result);
+  }
+  WakeLoop();
+}
+
+void StreamServer::WakeLoop() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 1;
+  // Non-blocking: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t ignored = ::write(wake_write_fd_, &byte, 1);
+}
+
+void StreamServer::Loop() {
+  std::vector<pollfd> pollfds;
+  std::vector<int> conn_fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfds.clear();
+    conn_fds.clear();
+    pollfds.push_back({listen_fd_, POLLIN, 0});
+    pollfds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (conn->out_pos < conn->outbuf.size()) events |= POLLOUT;
+      pollfds.push_back({fd, events, 0});
+      conn_fds.push_back(fd);
+    }
+    const int ready =
+        ::poll(pollfds.data(), pollfds.size(), options_.poll_timeout_millis);
+    if (ready < 0 && errno != EINTR) {
+      FREEWAY_LOG(kWarning) << "server poll failed: " << std::strerror(errno);
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if ((pollfds[1].revents & POLLIN) != 0) {
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    DrainOutbox();
+    if ((pollfds[0].revents & POLLIN) != 0) AcceptPending();
+    for (size_t i = 0; i < conn_fds.size(); ++i) {
+      const int fd = conn_fds[i];
+      const short revents = pollfds[i + 2].revents;
+      if (conns_.find(fd) == conns_.end()) continue;  // Closed this round.
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) HandleReadable(fd);
+      if (conns_.find(fd) == conns_.end()) continue;
+      if ((revents & POLLOUT) != 0) FlushWrites(fd);
+    }
+  }
+  GracefulStop();
+}
+
+void StreamServer::AcceptPending() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      FREEWAY_LOG(kWarning) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (metrics_.accepted != nullptr) metrics_.accepted->Inc();
+    Status injected = failpoint::Check("net.accept");
+    if (!injected.ok() || conns_.size() >= options_.max_connections) {
+      if (injected.ok()) {
+        FREEWAY_LOG(kWarning) << "connection limit ("
+                          << options_.max_connections << ") reached";
+      }
+      net::CloseFd(fd);
+      if (metrics_.closed != nullptr) metrics_.closed->Inc();
+      continue;
+    }
+    if (!net::SetNonBlocking(fd, true).ok()) {
+      net::CloseFd(fd);
+      if (metrics_.closed != nullptr) metrics_.closed->Inc();
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    if (metrics_.active != nullptr) metrics_.active->Inc();
+  }
+}
+
+void StreamServer::HandleReadable(int fd) {
+  char chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      ProcessBuffered(fd, chunk, static_cast<size_t>(n));
+      if (conns_.find(fd) == conns_.end()) return;  // Closed while parsing.
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+}
+
+void StreamServer::ProcessBuffered(int fd, const char* data, size_t size) {
+  Connection& conn = *conns_.at(fd);
+  if (!conn.protocol_decided) {
+    conn.http_buf.insert(conn.http_buf.end(), data, data + size);
+    if (conn.http_buf.size() < 4) return;
+    conn.protocol_decided = true;
+    conn.http = StartsWithGet(conn.http_buf);
+    if (!conn.http) {
+      conn.decoder.Feed(conn.http_buf.data(), conn.http_buf.size());
+      conn.http_buf.clear();
+      conn.http_buf.shrink_to_fit();
+      ProcessFrames(fd);
+    } else {
+      HandleHttp(fd);
+    }
+    return;
+  }
+  if (conn.http) {
+    conn.http_buf.insert(conn.http_buf.end(), data, data + size);
+    HandleHttp(fd);
+  } else {
+    conn.decoder.Feed(data, size);
+    ProcessFrames(fd);
+  }
+}
+
+void StreamServer::ProcessFrames(int fd) {
+  while (true) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Result<Frame> frame = it->second->decoder.Next();
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kNotFound) return;
+      // Corrupt stream: framing is unrecoverable, drop the connection.
+      if (metrics_.decode_errors != nullptr) metrics_.decode_errors->Inc();
+      FREEWAY_LOG(kWarning) << "closing connection " << fd << ": "
+                        << frame.status();
+      CloseConnection(fd);
+      return;
+    }
+    // Injected network failure, checked per decoded frame rather than per
+    // readable event: the recv loop above chases fast loopback peers past
+    // EAGAIN, so read-event counts are timing-dependent while frame counts
+    // are exact. The connection dies with this frame parsed but not yet
+    // dispatched — exactly as if the peer's packets stopped arriving.
+    if (!failpoint::Check("net.read").ok()) {
+      CloseConnection(fd);
+      return;
+    }
+    if (metrics_.frames_in != nullptr) {
+      metrics_.frames_in->Inc();
+      metrics_.frame_bytes->Observe(
+          static_cast<double>(kFrameHeaderBytes + frame->payload.size()));
+    }
+    HandleFrame(fd, *frame);
+  }
+}
+
+void StreamServer::HandleFrame(int fd, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kSubmit:
+      HandleSubmit(fd, frame);
+      return;
+    case FrameType::kStatsRequest:
+      QueueFrame(fd, EncodeStats(runtime_->Snapshot().ToJson()));
+      return;
+    case FrameType::kShutdown: {
+      QueueFrame(fd, EncodeAck({0, 0}));
+      if (metrics_.acks != nullptr) metrics_.acks->Inc();
+      stop_requested_.store(true, std::memory_order_release);
+      return;
+    }
+    default: {
+      // Clients must not send server-to-client frame types.
+      ErrorMessage error;
+      error.code = StatusCode::kInvalidArgument;
+      error.message = std::string("unexpected frame type ") +
+                      FrameTypeName(frame.type);
+      if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
+      QueueFrame(fd, EncodeError(error));
+      return;
+    }
+  }
+}
+
+void StreamServer::HandleSubmit(int fd, const Frame& frame) {
+  if (metrics_.submits != nullptr) metrics_.submits->Inc();
+  Result<SubmitMessage> message = DecodeSubmit(frame);
+  if (!message.ok()) {
+    // The frame passed CRC but its payload is malformed — a client bug,
+    // not line noise. Report it on the connection and keep serving.
+    if (metrics_.decode_errors != nullptr) metrics_.decode_errors->Inc();
+    ErrorMessage error;
+    error.code = message.status().code();
+    error.message = message.status().message();
+    if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
+    QueueFrame(fd, EncodeError(error));
+    return;
+  }
+  const uint64_t stream_id = message->stream_id;
+  const int64_t batch_index = message->batch.index;
+  const bool unlabeled = !message->batch.labeled();
+  routes_[stream_id] = fd;
+  Status admitted =
+      runtime_->TrySubmit(stream_id, std::move(message->batch));
+  if (admitted.ok()) {
+    if (unlabeled && metrics_.request_seconds != nullptr) {
+      pending_latency_[{stream_id, batch_index}] =
+          std::chrono::steady_clock::now();
+    }
+    if (metrics_.acks != nullptr) metrics_.acks->Inc();
+    QueueFrame(fd, EncodeAck({stream_id, batch_index}));
+    return;
+  }
+  if (admitted.code() == StatusCode::kUnavailable) {
+    // Admission control: the shard queue is full and the loop must not
+    // block — reply OVERLOAD so backpressure propagates to the producer.
+    if (metrics_.overloads != nullptr) metrics_.overloads->Inc();
+    OverloadMessage overload;
+    overload.stream_id = stream_id;
+    overload.batch_index = batch_index;
+    overload.retry_after_micros = options_.overload_retry_micros;
+    QueueFrame(fd, EncodeOverload(overload));
+    return;
+  }
+  ErrorMessage error;
+  error.stream_id = stream_id;
+  error.batch_index = batch_index;
+  error.code = admitted.code();
+  error.message = admitted.message();
+  if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
+  QueueFrame(fd, EncodeError(error));
+}
+
+void StreamServer::HandleHttp(int fd) {
+  Connection& conn = *conns_.at(fd);
+  const std::string request(conn.http_buf.begin(), conn.http_buf.end());
+  if (request.find("\r\n\r\n") == std::string::npos) {
+    if (conn.http_buf.size() > kMaxHttpRequest) CloseConnection(fd);
+    return;  // Headers not complete yet.
+  }
+  if (metrics_.http_requests != nullptr) metrics_.http_requests->Inc();
+  const bool metrics_path = request.rfind("GET /metrics", 0) == 0;
+  std::string body;
+  std::string status_line;
+  if (metrics_path && options_.metrics != nullptr) {
+    body = options_.metrics->ToPrometheusText();
+    status_line = "HTTP/1.1 200 OK";
+  } else {
+    body = "not found\n";
+    status_line = "HTTP/1.1 404 Not Found";
+  }
+  std::string response = status_line +
+                         "\r\nContent-Type: text/plain; version=0.0.4"
+                         "\r\nConnection: close"
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body;
+  conn.close_after_flush = true;
+  QueueFrame(fd, std::vector<char>(response.begin(), response.end()));
+}
+
+void StreamServer::QueueFrame(int fd, std::vector<char> encoded) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (!conn.http && metrics_.frames_out != nullptr) {
+    metrics_.frames_out->Inc();
+    metrics_.frame_bytes->Observe(static_cast<double>(encoded.size()));
+  }
+  conn.outbuf.insert(conn.outbuf.end(), encoded.begin(), encoded.end());
+  FlushWrites(fd);
+}
+
+void StreamServer::FlushWrites(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  Status injected = failpoint::Check("net.write");
+  if (!injected.ok()) {
+    CloseConnection(fd);
+    return;
+  }
+  while (conn.out_pos < conn.outbuf.size()) {
+    const ssize_t n = ::send(fd, conn.outbuf.data() + conn.out_pos,
+                             conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // POLLOUT resumes.
+    if (errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_pos = 0;
+  if (conn.close_after_flush) CloseConnection(fd);
+}
+
+void StreamServer::CloseConnection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (!conn.http && conn.decoder.buffered() > 0) {
+    // The peer vanished mid-frame; the partial bytes are discarded (the
+    // client re-sends unacknowledged batches on its new connection).
+    if (metrics_.torn_frames != nullptr) metrics_.torn_frames->Inc();
+  }
+  net::CloseFd(fd);
+  conns_.erase(it);
+  if (metrics_.closed != nullptr) metrics_.closed->Inc();
+  if (metrics_.active != nullptr) metrics_.active->Dec();
+}
+
+void StreamServer::DrainOutbox() {
+  std::vector<StreamResult> results;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    results.swap(outbox_);
+  }
+  for (StreamResult& result : results) {
+    auto route = routes_.find(result.stream_id);
+    if (route == routes_.end() || conns_.find(route->second) == conns_.end()) {
+      if (metrics_.results_dropped != nullptr) {
+        metrics_.results_dropped->Inc();
+      }
+      continue;
+    }
+    if (metrics_.request_seconds != nullptr) {
+      auto pending =
+          pending_latency_.find({result.stream_id, result.batch_index});
+      if (pending != pending_latency_.end()) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - pending->second;
+        metrics_.request_seconds->Observe(elapsed.count());
+        pending_latency_.erase(pending);
+      }
+    }
+    if (metrics_.results != nullptr) metrics_.results->Inc();
+    QueueFrame(route->second, EncodeResult(result));
+  }
+}
+
+void StreamServer::GracefulStop() {
+  // 1. Stop accepting.
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Quiesce the runtime: everything admitted is processed and its
+  // results land in the outbox (drain threads are still allowed to wake
+  // the now-defunct pipe; that is harmless).
+  runtime_->Shutdown();
+  DrainOutbox();
+  // 3. Best-effort flush of pending replies within the budget.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.shutdown_flush_millis);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::vector<pollfd> pollfds;
+    std::vector<int> fds;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->out_pos < conn->outbuf.size()) {
+        pollfds.push_back({fd, POLLOUT, 0});
+        fds.push_back(fd);
+      }
+    }
+    if (pollfds.empty()) break;
+    const int ready = ::poll(pollfds.data(), pollfds.size(), 50);
+    if (ready < 0 && errno != EINTR) break;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if ((pollfds[i].revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+        FlushWrites(fds[i]);
+      }
+    }
+  }
+  // 4. Tear down every connection; the wake pipe stays open until the
+  // destructor (late wakeups must never hit a closed/reused fd).
+  while (!conns_.empty()) CloseConnection(conns_.begin()->first);
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace freeway

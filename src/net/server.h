@@ -1,0 +1,195 @@
+#ifndef FREEWAYML_NET_SERVER_H_
+#define FREEWAYML_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "runtime/stream_runtime.h"
+
+namespace freeway {
+
+/// Configuration of the TCP batch-ingest server.
+struct ServerOptions {
+  /// Numeric IPv4 listen address; loopback by default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port — recover the actual one with port().
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Connections beyond this are accepted and immediately closed (the
+  /// kernel backlog would otherwise queue them invisibly).
+  size_t max_connections = 64;
+  /// `retry_after` carried by OVERLOAD replies. Fixed advice: one drain of
+  /// a typical batch is in the low milliseconds, so by default clients are
+  /// told to stay away for 2 ms and then ramp their own backoff.
+  int64_t overload_retry_micros = 2000;
+  /// poll() timeout when nothing is happening. The self-pipe wakes the
+  /// loop early for result delivery and Stop(), so this only bounds how
+  /// stale the loop can be when truly idle.
+  int poll_timeout_millis = 100;
+  /// Wall-clock budget for flushing pending replies during graceful stop.
+  int64_t shutdown_flush_millis = 2000;
+  /// Observability sink for the `freeway_net_*` family; also serves as the
+  /// `GET /metrics` document. When RuntimeOptions.metrics is null it is
+  /// forwarded to the embedded runtime so one scrape covers both layers.
+  /// Null disables instrumentation and makes /metrics return 404.
+  MetricsRegistry* metrics = nullptr;
+  /// Options of the embedded StreamRuntime.
+  RuntimeOptions runtime;
+};
+
+/// TCP batch-ingest frontend over a StreamRuntime.
+///
+/// One thread runs a poll()-driven accept/read/write loop over non-blocking
+/// sockets; decoded SUBMIT frames enter the runtime through TrySubmit, so
+/// the event loop never blocks on a full shard queue — admission control
+/// turns queue pressure into OVERLOAD(retry_after) replies and the remote
+/// producer backs off (the Envoy idiom: reject at the edge, never stall
+/// the data plane). Inference results surface on runtime drain threads via
+/// the result callback, are handed to the loop through a mutex-guarded
+/// outbox plus a self-pipe wakeup, and are written back on the connection
+/// that submitted the stream — per-stream FIFO order is preserved end to
+/// end because each shard has a single drain task and each connection's
+/// write buffer is FIFO.
+///
+/// The same listener speaks minimal HTTP: a connection whose first bytes
+/// are "GET " receives the Prometheus text exposition of the attached
+/// registry at `/metrics` (404 otherwise) and is closed — curl and a
+/// Prometheus scraper need no second port.
+///
+/// Threading contract: Start/Stop/Wait are called by the owner thread.
+/// Everything network-facing runs on the loop thread; the runtime result
+/// callback runs on drain threads and only touches the outbox. FailPoint
+/// sites "net.accept", "net.read", and "net.write" let chaos tests sever
+/// connections at each stage of the loop.
+class StreamServer {
+ public:
+  StreamServer(const Model& prototype, ServerOptions options);
+  /// Calls Stop().
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Binds, listens, and starts the loop thread. Fails on bind errors
+  /// (address in use, bad address). Not restartable after Stop().
+  Status Start();
+
+  /// Graceful stop: stops accepting, shuts the runtime down (processing
+  /// everything already admitted), flushes pending replies within
+  /// shutdown_flush_millis, closes all connections, joins the loop thread.
+  /// Idempotent; safe to call even if Start() was never called.
+  void Stop();
+
+  /// Blocks until the loop thread exits — either Stop() or a client's
+  /// SHUTDOWN frame. No-op when the server never started.
+  void Wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// The embedded runtime — for stats snapshots and tests. Submit-side use
+  /// must go through the network path.
+  StreamRuntime* runtime() { return runtime_.get(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Encoded-but-unwritten reply bytes ([out_pos, size) pending).
+    std::vector<char> outbuf;
+    size_t out_pos = 0;
+    /// First bytes decide the grammar: wire frames or HTTP.
+    bool protocol_decided = false;
+    bool http = false;
+    std::vector<char> http_buf;
+    bool close_after_flush = false;
+  };
+
+  /// freeway_net_* handles; null while options_.metrics is null.
+  struct NetMetrics {
+    Counter* accepted = nullptr;
+    Counter* closed = nullptr;
+    Gauge* active = nullptr;
+    Counter* frames_in = nullptr;
+    Counter* frames_out = nullptr;
+    Counter* submits = nullptr;
+    Counter* acks = nullptr;
+    Counter* results = nullptr;
+    Counter* overloads = nullptr;
+    Counter* errors_sent = nullptr;
+    Counter* decode_errors = nullptr;
+    Counter* torn_frames = nullptr;
+    Counter* results_dropped = nullptr;
+    Counter* http_requests = nullptr;
+    Histogram* frame_bytes = nullptr;
+    Histogram* request_seconds = nullptr;
+  };
+
+  void Loop();
+  void AcceptPending();
+  /// Reads everything available on `fd`; may close the connection.
+  void HandleReadable(int fd);
+  /// Routes buffered bytes: protocol sniffing, then frame or HTTP handling.
+  void ProcessBuffered(int fd, const char* data, size_t size);
+  void ProcessFrames(int fd);
+  void HandleFrame(int fd, const Frame& frame);
+  void HandleSubmit(int fd, const Frame& frame);
+  void HandleHttp(int fd);
+  /// Appends an encoded frame to the connection's write buffer and flushes
+  /// as much as the socket accepts right now.
+  void QueueFrame(int fd, std::vector<char> encoded);
+  void FlushWrites(int fd);
+  void CloseConnection(int fd);
+  /// Moves results from the outbox onto their connections' write buffers.
+  void DrainOutbox();
+  /// Runtime result callback (drain threads): outbox append + wakeup.
+  void OnResult(const StreamResult& result);
+  void WakeLoop();
+  void GracefulStop();
+
+  ServerOptions options_;
+  NetMetrics metrics_;
+  std::unique_ptr<StreamRuntime> runtime_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::mutex lifecycle_mutex_;  ///< Serializes Start/Stop/Wait joins.
+  bool started_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  // Loop-thread state.
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  /// stream_id → fd of the connection that most recently submitted it.
+  std::unordered_map<uint64_t, int> routes_;
+  /// (stream_id, batch_index) → admission time of unlabeled batches, for
+  /// the request-latency histogram. Entries whose batch is shed or whose
+  /// connection vanishes are dropped on delivery-lookup misses.
+  std::map<std::pair<uint64_t, int64_t>,
+           std::chrono::steady_clock::time_point>
+      pending_latency_;
+
+  std::mutex outbox_mutex_;
+  std::vector<StreamResult> outbox_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_NET_SERVER_H_

@@ -1,0 +1,161 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace freeway {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddress(const std::string& address, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + address);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> CreateListenSocket(const std::string& address, uint16_t port,
+                               int backlog) {
+  ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(address, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = ErrnoStatus("bind " + address + ":" +
+                                std::to_string(port));
+    CloseFd(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = ErrnoStatus("listen");
+    CloseFd(fd);
+    return status;
+  }
+  Status nonblocking = SetNonBlocking(fd, true);
+  if (!nonblocking.ok()) {
+    CloseFd(fd);
+    return nonblocking;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectSocket(const std::string& host, uint16_t port,
+                          int64_t timeout_millis) {
+  ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  // Connect non-blocking so the timeout is enforceable, then flip the fd
+  // back to blocking for the client's synchronous read/write calls.
+  Status status = SetNonBlocking(fd, true);
+  if (status.ok()) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        status = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+      } else {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_millis));
+        if (ready == 0) {
+          status = Status::Unavailable("connect timed out after " +
+                                       std::to_string(timeout_millis) +
+                                       " ms");
+        } else if (ready < 0) {
+          status = ErrnoStatus("poll");
+        } else {
+          int error = 0;
+          socklen_t len = sizeof(error);
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+          if (error != 0) {
+            status = Status::IoError("connect " + host + ":" +
+                                     std::to_string(port) + ": " +
+                                     std::strerror(error));
+          }
+        }
+      }
+    }
+  }
+  if (status.ok()) status = SetNonBlocking(fd, false);
+  if (!status.ok()) {
+    CloseFd(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) != 0) return ErrnoStatus("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WaitReadable(int fd, int64_t timeout_millis) {
+  pollfd pfd{fd, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_millis));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (ready == 0) return Status::Unavailable("read timed out");
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+      return Status::IoError("socket error");
+    }
+    // POLLHUP still allows draining buffered bytes; report readable and
+    // let recv() observe the orderly EOF.
+    return Status::OK();
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  while (::close(fd) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace net
+}  // namespace freeway

@@ -1,0 +1,47 @@
+#ifndef FREEWAYML_NET_SOCKET_UTIL_H_
+#define FREEWAYML_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace freeway {
+namespace net {
+
+/// Thin Status-returning wrappers over the POSIX socket calls the serving
+/// layer uses. Addresses are numeric IPv4 (dotted quad) — the layer
+/// targets loopback and VPC-internal listeners, so no resolver dependency.
+
+/// Creates a non-blocking listening TCP socket bound to `address:port`
+/// (port 0 picks an ephemeral port; recover it with LocalPort). SO_REUSEADDR
+/// is set so tests can rebind quickly.
+Result<int> CreateListenSocket(const std::string& address, uint16_t port,
+                               int backlog);
+
+/// The locally bound port of a socket (resolves ephemeral binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to `host:port` with a timeout; returns a *blocking*
+/// connected fd. TCP_NODELAY is set: frames are latency-sensitive and
+/// already batched by the caller.
+Result<int> ConnectSocket(const std::string& host, uint16_t port,
+                          int64_t timeout_millis);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Writes the whole buffer to a blocking fd, resuming on EINTR / partial
+/// writes. Fails with IoError on a broken connection.
+Status SendAll(int fd, const char* data, size_t size);
+
+/// Waits until `fd` is readable. Ok = readable; Unavailable = timeout;
+/// IoError = poll failure or socket error/hangup.
+Status WaitReadable(int fd, int64_t timeout_millis);
+
+/// EINTR-safe close.
+void CloseFd(int fd);
+
+}  // namespace net
+}  // namespace freeway
+
+#endif  // FREEWAYML_NET_SOCKET_UTIL_H_

@@ -1,0 +1,300 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace freeway {
+
+namespace {
+
+/// Section tags inside frame payloads (validated by SnapshotReader, so a
+/// payload of the wrong type fails with a clean error instead of
+/// misinterpreting bytes).
+constexpr uint32_t kTagSubmit = 0x4E535542;    // 'BUSN'
+constexpr uint32_t kTagResult = 0x4E534552;    // 'RESN'
+constexpr uint32_t kTagAck = 0x4E4B4341;       // 'ACKN'
+constexpr uint32_t kTagOverload = 0x4E56554F;  // 'OUVN'
+constexpr uint32_t kTagError = 0x4E525245;     // 'ERRN'
+constexpr uint32_t kTagStats = 0x4E415453;     // 'STAN'
+
+Status CheckFrameType(const Frame& frame, FrameType expected) {
+  if (frame.type != expected) {
+    return Status::InvalidArgument(
+        std::string("wire: expected ") + FrameTypeName(expected) +
+        " frame, got " + FrameTypeName(frame.type));
+  }
+  return Status::OK();
+}
+
+void WriteReport(SnapshotWriter* writer, const InferenceReport& report) {
+  writer->WriteU32(static_cast<uint32_t>(report.strategy));
+  writer->WriteU32(static_cast<uint32_t>(report.assessment.pattern));
+  writer->WriteDoubleVec(report.assessment.representation);
+  writer->WriteDouble(report.assessment.distance);
+  writer->WriteDouble(report.assessment.m_score);
+  writer->WriteDouble(report.assessment.mu_d);
+  writer->WriteDouble(report.assessment.sigma_d);
+  writer->WriteDouble(report.assessment.d_h);
+  writer->WriteBool(report.assessment.warmup);
+  writer->WriteIntVec(report.predictions);
+  writer->WriteMatrix(report.proba);
+  writer->WriteDouble(report.knowledge_distance);
+}
+
+Status ReadReport(SnapshotReader* reader, InferenceReport* report) {
+  uint32_t strategy = 0;
+  uint32_t pattern = 0;
+  RETURN_IF_ERROR(reader->ReadU32(&strategy));
+  if (strategy > static_cast<uint32_t>(Strategy::kKnowledgeReuse)) {
+    return Status::InvalidArgument("wire: strategy enum out of range");
+  }
+  report->strategy = static_cast<Strategy>(strategy);
+  RETURN_IF_ERROR(reader->ReadU32(&pattern));
+  if (pattern > static_cast<uint32_t>(ShiftPattern::kReoccurring)) {
+    return Status::InvalidArgument("wire: shift pattern enum out of range");
+  }
+  report->assessment.pattern = static_cast<ShiftPattern>(pattern);
+  RETURN_IF_ERROR(reader->ReadDoubleVec(&report->assessment.representation));
+  RETURN_IF_ERROR(reader->ReadDouble(&report->assessment.distance));
+  RETURN_IF_ERROR(reader->ReadDouble(&report->assessment.m_score));
+  RETURN_IF_ERROR(reader->ReadDouble(&report->assessment.mu_d));
+  RETURN_IF_ERROR(reader->ReadDouble(&report->assessment.sigma_d));
+  RETURN_IF_ERROR(reader->ReadDouble(&report->assessment.d_h));
+  RETURN_IF_ERROR(reader->ReadBool(&report->assessment.warmup));
+  RETURN_IF_ERROR(reader->ReadIntVec(&report->predictions));
+  RETURN_IF_ERROR(reader->ReadMatrix(&report->proba));
+  RETURN_IF_ERROR(reader->ReadDouble(&report->knowledge_distance));
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit:
+      return "SUBMIT";
+    case FrameType::kResult:
+      return "RESULT";
+    case FrameType::kAck:
+      return "ACK";
+    case FrameType::kOverload:
+      return "OVERLOAD";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kStatsRequest:
+      return "STATS_REQUEST";
+    case FrameType::kStats:
+      return "STATS";
+    case FrameType::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<char> EncodeFrame(FrameType type,
+                              const std::vector<char>& payload) {
+  std::vector<char> frame(kFrameHeaderBytes + payload.size());
+  char* out = frame.data();
+  const uint32_t magic = kFrameMagic;
+  std::memcpy(out, &magic, 4);
+  out[4] = static_cast<char>(kWireVersion);
+  out[5] = static_cast<char>(type);
+  out[6] = 0;
+  out[7] = 0;
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  std::memcpy(out + 8, &size, 4);
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  std::memcpy(out + 12, &crc, 4);
+  if (!payload.empty()) {
+    std::memcpy(out + kFrameHeaderBytes, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  // Compact lazily: drop fully consumed bytes before appending so the
+  // buffer never grows past one partial frame plus the newest read.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Result<Frame> FrameDecoder::Next() {
+  if (poisoned_) return Status::InvalidArgument(poison_message_);
+  if (buffered() < kFrameHeaderBytes) {
+    return Status::NotFound("wire: incomplete header");
+  }
+  const char* head = buffer_.data() + consumed_;
+  uint32_t magic = 0;
+  std::memcpy(&magic, head, 4);
+  const uint8_t version = static_cast<uint8_t>(head[4]);
+  const uint8_t type = static_cast<uint8_t>(head[5]);
+  uint32_t payload_size = 0;
+  std::memcpy(&payload_size, head + 8, 4);
+  uint32_t payload_crc = 0;
+  std::memcpy(&payload_crc, head + 12, 4);
+
+  // Validate the header before trusting the length: a stream that lost
+  // framing must fail here, never allocate from attacker-controlled sizes.
+  std::string error;
+  if (magic != kFrameMagic) {
+    error = "wire: bad frame magic";
+  } else if (version != kWireVersion) {
+    error = "wire: unsupported protocol version " + std::to_string(version);
+  } else if (type < static_cast<uint8_t>(FrameType::kSubmit) ||
+             type > static_cast<uint8_t>(FrameType::kShutdown)) {
+    error = "wire: unknown frame type " + std::to_string(type);
+  } else if (payload_size > kMaxFramePayload) {
+    error = "wire: frame payload of " + std::to_string(payload_size) +
+            " bytes exceeds the protocol maximum";
+  }
+  if (!error.empty()) {
+    poisoned_ = true;
+    poison_message_ = std::move(error);
+    return Status::InvalidArgument(poison_message_);
+  }
+
+  if (buffered() < kFrameHeaderBytes + payload_size) {
+    return Status::NotFound("wire: incomplete payload");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  const char* payload = head + kFrameHeaderBytes;
+  if (Crc32(payload, payload_size) != payload_crc) {
+    poisoned_ = true;
+    poison_message_ = "wire: frame payload CRC mismatch";
+    return Status::InvalidArgument(poison_message_);
+  }
+  frame.payload.assign(payload, payload + payload_size);
+  consumed_ += kFrameHeaderBytes + payload_size;
+  return frame;
+}
+
+std::vector<char> EncodeSubmit(const SubmitMessage& message) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagSubmit);
+  writer.WriteU64(message.stream_id);
+  writer.WriteBatch(message.batch);
+  return EncodeFrame(FrameType::kSubmit, writer.buffer());
+}
+
+Result<SubmitMessage> DecodeSubmit(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kSubmit));
+  SnapshotReader reader(frame.payload);
+  SubmitMessage message;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagSubmit));
+  RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadBatch(&message.batch));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return message;
+}
+
+std::vector<char> EncodeResult(const StreamResult& result) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagResult);
+  writer.WriteU64(result.stream_id);
+  writer.WriteI64(result.batch_index);
+  WriteReport(&writer, result.report);
+  return EncodeFrame(FrameType::kResult, writer.buffer());
+}
+
+Result<StreamResult> DecodeResult(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kResult));
+  SnapshotReader reader(frame.payload);
+  StreamResult result;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagResult));
+  RETURN_IF_ERROR(reader.ReadU64(&result.stream_id));
+  RETURN_IF_ERROR(reader.ReadI64(&result.batch_index));
+  RETURN_IF_ERROR(ReadReport(&reader, &result.report));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return result;
+}
+
+std::vector<char> EncodeAck(const AckMessage& message) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagAck);
+  writer.WriteU64(message.stream_id);
+  writer.WriteI64(message.batch_index);
+  return EncodeFrame(FrameType::kAck, writer.buffer());
+}
+
+Result<AckMessage> DecodeAck(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kAck));
+  SnapshotReader reader(frame.payload);
+  AckMessage message;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagAck));
+  RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadI64(&message.batch_index));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return message;
+}
+
+std::vector<char> EncodeOverload(const OverloadMessage& message) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagOverload);
+  writer.WriteU64(message.stream_id);
+  writer.WriteI64(message.batch_index);
+  writer.WriteI64(message.retry_after_micros);
+  return EncodeFrame(FrameType::kOverload, writer.buffer());
+}
+
+Result<OverloadMessage> DecodeOverload(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kOverload));
+  SnapshotReader reader(frame.payload);
+  OverloadMessage message;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagOverload));
+  RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadI64(&message.batch_index));
+  RETURN_IF_ERROR(reader.ReadI64(&message.retry_after_micros));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return message;
+}
+
+std::vector<char> EncodeError(const ErrorMessage& message) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagError);
+  writer.WriteU64(message.stream_id);
+  writer.WriteI64(message.batch_index);
+  writer.WriteU32(static_cast<uint32_t>(message.code));
+  writer.WriteString(message.message);
+  return EncodeFrame(FrameType::kError, writer.buffer());
+}
+
+Result<ErrorMessage> DecodeError(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kError));
+  SnapshotReader reader(frame.payload);
+  ErrorMessage message;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagError));
+  RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadI64(&message.batch_index));
+  uint32_t code = 0;
+  RETURN_IF_ERROR(reader.ReadU32(&code));
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("wire: status code out of range");
+  }
+  message.code = static_cast<StatusCode>(code);
+  RETURN_IF_ERROR(reader.ReadString(&message.message));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return message;
+}
+
+std::vector<char> EncodeStats(const std::string& json) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagStats);
+  writer.WriteString(json);
+  return EncodeFrame(FrameType::kStats, writer.buffer());
+}
+
+Result<std::string> DecodeStats(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kStats));
+  SnapshotReader reader(frame.payload);
+  std::string json;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagStats));
+  RETURN_IF_ERROR(reader.ReadString(&json));
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return json;
+}
+
+}  // namespace freeway

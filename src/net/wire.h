@@ -1,0 +1,151 @@
+#ifndef FREEWAYML_NET_WIRE_H_
+#define FREEWAYML_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/stream_runtime.h"
+#include "stream/batch.h"
+#include "stream/batch_codec.h"
+
+namespace freeway {
+
+/// Versioned length-prefixed binary wire protocol of the network serving
+/// layer. Every message is one frame:
+///
+///   u32 magic 'FWNP' | u8 version | u8 type | u16 reserved(0)
+///   u32 payload size | u32 payload CRC-32 | payload bytes
+///
+/// The 16-byte header is validated field-by-field before the payload is
+/// trusted: wrong magic/version/type or a size above kMaxFramePayload
+/// rejects the stream outright (the connection is corrupt, not slow), and
+/// the CRC is re-verified once the payload is complete, so a flipped bit
+/// in transit can never reach the payload decoders. Payloads are encoded
+/// with the shared stream/batch_codec (SnapshotWriter/SnapshotReader) —
+/// the same audited codec the checkpoint store uses, so a Batch or Matrix
+/// is bit-identical whether it crossed the wire or a restart.
+///
+/// Protocol flow (client → server requests, server → client replies):
+///   SUBMIT(stream_id, Batch)        → ACK(stream_id, batch_index)
+///                                   | OVERLOAD(stream_id, batch_index,
+///                                              retry_after_micros)
+///                                   | ERROR(stream_id, batch_index, status)
+///   RESULT(StreamResult)            server-push, one per unlabeled batch
+///   STATS_REQUEST()                 → STATS(json)
+///   SHUTDOWN()                      → ACK, then graceful server stop
+///
+/// A connection whose first four bytes are "GET " is not speaking this
+/// protocol: StreamServer hands it to the HTTP responder (`GET /metrics`
+/// Prometheus exposition). The frame magic is chosen so the two grammars
+/// can never be confused.
+
+enum class FrameType : uint8_t {
+  kSubmit = 1,
+  kResult = 2,
+  kAck = 3,
+  kOverload = 4,
+  kError = 5,
+  kStatsRequest = 6,
+  kStats = 7,
+  kShutdown = 8,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// 'FWNP' read little-endian from the first four bytes.
+inline constexpr uint32_t kFrameMagic = 0x504E5746u;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound an honest peer never hits (a 1024×1024-feature double batch
+/// is ~8 MiB); anything larger is treated as corruption, not a request to
+/// allocate.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// One decoded frame: the type plus its raw (CRC-verified) payload.
+struct Frame {
+  FrameType type = FrameType::kAck;
+  std::vector<char> payload;
+};
+
+/// Encodes a complete frame (header + payload) ready to write to a socket.
+std::vector<char> EncodeFrame(FrameType type,
+                              const std::vector<char>& payload = {});
+
+/// Incremental frame parser for a byte stream. Feed() appends received
+/// bytes; Next() pops complete frames. A malformed header or CRC mismatch
+/// poisons the decoder permanently (every later Next() returns the same
+/// error) because a byte stream that lost framing cannot be resynchronized
+/// — the connection must be dropped.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, size_t size);
+
+  /// Ok: the next complete frame. NotFound: need more bytes (not an
+  /// error). InvalidArgument: the stream is corrupt; close the connection.
+  Result<Frame> Next();
+
+  /// Bytes buffered but not yet consumed by a complete frame. Non-zero at
+  /// connection EOF means the peer died mid-frame (a torn frame).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<char> buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+  std::string poison_message_;
+};
+
+// --- Typed payloads ------------------------------------------------------
+
+struct SubmitMessage {
+  uint64_t stream_id = 0;
+  Batch batch;
+};
+
+/// ACK / OVERLOAD / ERROR all reference the submit they answer.
+struct AckMessage {
+  uint64_t stream_id = 0;
+  int64_t batch_index = 0;
+};
+
+struct OverloadMessage {
+  uint64_t stream_id = 0;
+  int64_t batch_index = 0;
+  /// Server's advice: retry no sooner than this. Clients combine it with
+  /// their own exponential backoff.
+  int64_t retry_after_micros = 0;
+};
+
+struct ErrorMessage {
+  uint64_t stream_id = 0;
+  int64_t batch_index = 0;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+};
+
+std::vector<char> EncodeSubmit(const SubmitMessage& message);
+Result<SubmitMessage> DecodeSubmit(const Frame& frame);
+
+std::vector<char> EncodeResult(const StreamResult& result);
+Result<StreamResult> DecodeResult(const Frame& frame);
+
+std::vector<char> EncodeAck(const AckMessage& message);
+Result<AckMessage> DecodeAck(const Frame& frame);
+
+std::vector<char> EncodeOverload(const OverloadMessage& message);
+Result<OverloadMessage> DecodeOverload(const Frame& frame);
+
+std::vector<char> EncodeError(const ErrorMessage& message);
+Result<ErrorMessage> DecodeError(const Frame& frame);
+
+/// STATS payload: a JSON document (RuntimeStatsSnapshot::ToJson).
+std::vector<char> EncodeStats(const std::string& json);
+Result<std::string> DecodeStats(const Frame& frame);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_NET_WIRE_H_

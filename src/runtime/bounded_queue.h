@@ -41,6 +41,9 @@ class BoundedQueue {
     bool activate_consumer = false;
     /// True when an existing item was shed to make room.
     bool shed = false;
+    /// TryPush only: the queue was full (and open), so the item was
+    /// rejected without waiting. Distinguishes overload from closure.
+    bool rejected_full = false;
     /// Wall time this producer spent blocked waiting for space.
     int64_t blocked_micros = 0;
   };
@@ -55,6 +58,21 @@ class BoundedQueue {
   /// or the queue closes).
   PushResult PushBlocking(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
+    return PushLocked(std::move(lock), std::move(item));
+  }
+
+  /// Admission-control push: never waits. When the queue is full the item
+  /// is rejected with `rejected_full = true` so the caller can propagate
+  /// backpressure out-of-band (e.g. an OVERLOAD reply on a network
+  /// connection) instead of stalling its thread. Closed queues reject with
+  /// `rejected_full = false`, matching the other push flavours.
+  PushResult TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!closed_ && items_.size() >= capacity_) {
+      PushResult result;
+      result.rejected_full = true;
+      return result;
+    }
     return PushLocked(std::move(lock), std::move(item));
   }
 

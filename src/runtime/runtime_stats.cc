@@ -16,6 +16,7 @@ ShardStatsSnapshot ShardStatsSnapshot::From(size_t shard,
   s.enqueued = counters.enqueued.load(std::memory_order_relaxed);
   s.processed = counters.processed.load(std::memory_order_relaxed);
   s.shed = counters.shed.load(std::memory_order_relaxed);
+  s.rejected = counters.rejected.load(std::memory_order_relaxed);
   s.errors = counters.errors.load(std::memory_order_relaxed);
   s.quarantined = counters.quarantined.load(std::memory_order_relaxed);
   s.undrained = counters.undrained.load(std::memory_order_relaxed);
@@ -40,6 +41,7 @@ void RuntimeStatsSnapshot::Aggregate() {
     totals.enqueued += s.enqueued;
     totals.processed += s.processed;
     totals.shed += s.shed;
+    totals.rejected += s.rejected;
     totals.errors += s.errors;
     totals.quarantined += s.quarantined;
     totals.undrained += s.undrained;
@@ -63,6 +65,7 @@ void AppendShard(std::ostringstream* out, const ShardStatsSnapshot& s,
   if (with_shard_index) *out << "\"shard\": " << s.shard << ", ";
   *out << "\"enqueued\": " << s.enqueued
        << ", \"processed\": " << s.processed << ", \"shed\": " << s.shed
+       << ", \"rejected\": " << s.rejected
        << ", \"errors\": " << s.errors
        << ", \"quarantined\": " << s.quarantined
        << ", \"undrained\": " << s.undrained

@@ -21,6 +21,11 @@ struct ShardCounters {
   std::atomic<uint64_t> processed{0};
   /// Batches dropped by the load-shedding policy before processing.
   std::atomic<uint64_t> shed{0};
+  /// TrySubmit calls turned away because the shard queue was full — the
+  /// admission-control signal a serving frontend converts into OVERLOAD
+  /// replies. Rejected batches were never accepted, so they are *not* part
+  /// of `enqueued` (the reconciliation invariant is unchanged).
+  std::atomic<uint64_t> rejected{0};
   /// Push attempts (including retries) that returned a non-OK status.
   std::atomic<uint64_t> errors{0};
   /// Batches moved to the dead-letter queue after exhausting their retry
@@ -44,6 +49,7 @@ struct ShardStatsSnapshot {
   uint64_t enqueued = 0;
   uint64_t processed = 0;
   uint64_t shed = 0;
+  uint64_t rejected = 0;
   uint64_t errors = 0;
   uint64_t quarantined = 0;
   uint64_t undrained = 0;

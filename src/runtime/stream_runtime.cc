@@ -70,9 +70,20 @@ StreamRuntime::StreamRuntime(const Model& prototype,
     : options_(options),
       on_result_(std::move(on_result)),
       prototype_(prototype.Clone()) {
-  const size_t num_shards = options.num_shards > 0 ? options.num_shards : 1;
-  shards_.reserve(num_shards);
-  for (size_t i = 0; i < num_shards; ++i) {
+  // RuntimeOptions validation policy (see the header): zero shards would
+  // divide by zero in ShardOf and zero capacity would deadlock every
+  // Submit, so both clamp to 1 — a misconfigured runtime degrades to a
+  // serial one instead of crashing or hanging.
+  if (options_.num_shards == 0) {
+    FREEWAY_LOG(kWarning) << "RuntimeOptions.num_shards = 0 clamped to 1";
+    options_.num_shards = 1;
+  }
+  if (options_.queue_capacity == 0) {
+    FREEWAY_LOG(kWarning) << "RuntimeOptions.queue_capacity = 0 clamped to 1";
+    options_.queue_capacity = 1;
+  }
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, prototype, options_));
   }
   if (options_.metrics != nullptr) {
@@ -83,6 +94,8 @@ StreamRuntime::StreamRuntime(const Model& prototype,
         "freeway_runtime_batches_total{event=\"processed\"}");
     metrics_.shed =
         registry->GetCounter("freeway_runtime_batches_total{event=\"shed\"}");
+    metrics_.rejected = registry->GetCounter(
+        "freeway_runtime_batches_total{event=\"rejected\"}");
     metrics_.errors =
         registry->GetCounter("freeway_runtime_batches_total{event=\"error\"}");
     metrics_.queue_wait_seconds =
@@ -134,6 +147,15 @@ StreamRuntime::StreamRuntime(const Model& prototype,
 StreamRuntime::~StreamRuntime() { Shutdown(); }
 
 Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
+  return SubmitInternal(stream_id, std::move(batch), /*allow_block=*/true);
+}
+
+Status StreamRuntime::TrySubmit(uint64_t stream_id, Batch batch) {
+  return SubmitInternal(stream_id, std::move(batch), /*allow_block=*/false);
+}
+
+Status StreamRuntime::SubmitInternal(uint64_t stream_id, Batch batch,
+                                     bool allow_block) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("StreamRuntime is shut down");
   }
@@ -176,8 +198,22 @@ Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
     push = shard.queue.PushShedding(
         std::move(item),
         [](const ShardItem& queued) { return !queued.batch.labeled(); });
-  } else {
+  } else if (allow_block) {
     push = shard.queue.PushBlocking(std::move(item));
+  } else {
+    push = shard.queue.TryPush(std::move(item));
+  }
+  if (push.rejected_full) {
+    // TrySubmit admission control: the queue is full and the caller opted
+    // out of backpressure. The batch was not accepted, so only the
+    // rejection counters move — `enqueued` and the reconciliation
+    // invariant are untouched.
+    shard.counters.rejected.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.rejected != nullptr) metrics_.rejected->Inc();
+    return Status::Unavailable("shard " + std::to_string(shard.index) +
+                               " queue full (" +
+                               std::to_string(options_.queue_capacity) +
+                               " batches)");
   }
   if (!push.accepted) {
     return Status::FailedPrecondition("StreamRuntime is shut down");

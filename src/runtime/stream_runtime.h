@@ -56,11 +56,18 @@ struct FaultToleranceOptions {
 };
 
 /// Configuration of the multi-stream runtime.
+///
+/// Validation policy: zero is never a usable value for `num_shards` (it
+/// would make the stream→shard mapping divide by zero) or `queue_capacity`
+/// (every Submit would deadlock against a queue that can hold nothing), so
+/// the constructor clamps both to 1 and logs a warning — a misconfigured
+/// runtime degrades to a serial one instead of crashing or hanging. The
+/// clamped values are visible through num_shards() / queue_capacity().
 struct RuntimeOptions {
   /// Number of independent pipeline shards. Streams are mapped to shards
-  /// by `stream_id % num_shards`.
+  /// by `stream_id % num_shards`. 0 is clamped to 1.
   size_t num_shards = 8;
-  /// Capacity of each shard's bounded batch queue.
+  /// Capacity of each shard's bounded batch queue. 0 is clamped to 1.
   size_t queue_capacity = 64;
   OverloadPolicy overload_policy = OverloadPolicy::kBlock;
   /// Arrival-rate adjuster driving shed decisions; `high_rate` is the
@@ -150,6 +157,18 @@ class StreamRuntime {
   /// FailedPrecondition after Shutdown().
   Status Submit(uint64_t stream_id, Batch batch);
 
+  /// Non-blocking admission-control variant for serving frontends that must
+  /// never stall (e.g. a network event loop): identical to Submit except
+  /// that a full shard queue under kBlock returns Unavailable immediately —
+  /// counted `rejected` in the shard stats — instead of applying
+  /// backpressure to the calling thread. Under kShed with confirmed
+  /// overload it sheds exactly like Submit; an unconfirmed burst against a
+  /// full queue is also rejected rather than blocked. The caller owns
+  /// retry/backoff (StreamServer turns the rejection into an
+  /// OVERLOAD(retry_after) reply so backpressure propagates to the remote
+  /// producer).
+  Status TrySubmit(uint64_t stream_id, Batch batch);
+
   /// Blocks until every batch accepted before the call has been processed.
   /// Concurrent Submits may keep individual shards busy past the return.
   void Flush();
@@ -176,6 +195,8 @@ class StreamRuntime {
   size_t PumpShard(size_t shard);
 
   size_t num_shards() const { return shards_.size(); }
+  /// Post-validation queue capacity (RuntimeOptions clamp policy).
+  size_t queue_capacity() const { return options_.queue_capacity; }
   size_t ShardOf(uint64_t stream_id) const {
     return static_cast<size_t>(stream_id % shards_.size());
   }
@@ -206,6 +227,7 @@ class StreamRuntime {
     Counter* enqueued = nullptr;
     Counter* processed = nullptr;
     Counter* shed = nullptr;
+    Counter* rejected = nullptr;
     Counter* errors = nullptr;
     Histogram* queue_wait_seconds = nullptr;
     /// freeway_fault_* family, registered only in fault-tolerant mode.
@@ -218,6 +240,9 @@ class StreamRuntime {
     Histogram* fault_checkpoint_write_seconds = nullptr;
   };
 
+  /// Shared body of Submit / TrySubmit: rate measurement, policy-selected
+  /// push, counter/metric accounting, and drain-task activation.
+  Status SubmitInternal(uint64_t stream_id, Batch batch, bool allow_block);
   /// Body of a drain task: pops until the shard queue is empty.
   size_t DrainShard(Shard* shard);
   void Deliver(StreamResult result);

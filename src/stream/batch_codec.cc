@@ -1,4 +1,4 @@
-#include "fault/snapshot.h"
+#include "stream/batch_codec.h"
 
 #include <array>
 #include <cstring>

@@ -1,0 +1,113 @@
+#ifndef FREEWAYML_STREAM_BATCH_CODEC_H_
+#define FREEWAYML_STREAM_BATCH_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// The shared binary codec of the library. One audited encoder/decoder pair
+/// serializes `Matrix` and `Batch` payloads everywhere bytes leave a
+/// process: shard checkpoints (fault/CheckpointStore), pipeline snapshots,
+/// and the network wire protocol (net/wire) all delegate here, so a batch
+/// is bit-identical whether it was restored from disk or decoded off a
+/// socket.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// `seed` chains multiple ranges: pass the previous call's return value.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Append-only binary encoder for snapshot/checkpoint/wire payloads. All
+/// integers are written in the host's byte order as fixed-width raw bytes
+/// (the library targets a single architecture per deployment; the
+/// CheckpointStore and wire-frame headers carry version fields for future
+/// migrations). Doubles are written as their raw 8-byte representation,
+/// which is what makes an encode -> decode round trip *bit-identical*: no
+/// value passes through a decimal representation.
+///
+/// Every composite value is length-prefixed so the paired SnapshotReader
+/// can bounds-check before allocating.
+class SnapshotWriter {
+ public:
+  void WriteU32(uint32_t value) { Append(&value, sizeof(value)); }
+  void WriteU64(uint64_t value) { Append(&value, sizeof(value)); }
+  void WriteI64(int64_t value) { Append(&value, sizeof(value)); }
+  void WriteDouble(double value) { Append(&value, sizeof(value)); }
+  void WriteBool(bool value) {
+    const uint8_t byte = value ? 1 : 0;
+    Append(&byte, 1);
+  }
+  void WriteString(const std::string& value);
+  void WriteDoubleVec(const std::vector<double>& values);
+  void WriteIntVec(const std::vector<int>& values);
+  /// Raw byte blob (e.g. an ml/serialize model snapshot).
+  void WriteBlob(const std::vector<char>& bytes);
+  void WriteMatrix(const Matrix& matrix);
+  void WriteBatch(const Batch& batch);
+
+  /// Section marker: a tag + format version pair that the reader validates,
+  /// so a truncated or reordered payload fails fast with a clean error
+  /// instead of misinterpreting bytes.
+  void WriteSection(uint32_t tag, uint32_t version = 1) {
+    WriteU32(tag);
+    WriteU32(version);
+  }
+
+  const std::vector<char>& buffer() const { return buffer_; }
+  std::vector<char> Take() { return std::move(buffer_); }
+
+ private:
+  void Append(const void* data, size_t size);
+
+  std::vector<char> buffer_;
+};
+
+/// Bounds-checked decoder over a byte span produced by SnapshotWriter. Every
+/// Read fails with a clean InvalidArgument on truncation — never reads past
+/// the buffer and never trusts an embedded length that exceeds the bytes
+/// actually present (so a corrupted length cannot trigger an absurd
+/// allocation).
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const char> buffer) : buffer_(buffer) {}
+
+  Status ReadU32(uint32_t* out) { return Take(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return Take(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return Take(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return Take(out, sizeof(*out)); }
+  Status ReadBool(bool* out);
+  Status ReadString(std::string* out);
+  Status ReadDoubleVec(std::vector<double>* out);
+  Status ReadIntVec(std::vector<int>* out);
+  Status ReadBlob(std::vector<char>* out);
+  Status ReadMatrix(Matrix* out);
+  Status ReadBatch(Batch* out);
+
+  /// Reads a section marker and checks the tag matches; returns the version
+  /// through `version_out` (null to require version 1).
+  Status ExpectSection(uint32_t tag, uint32_t* version_out = nullptr);
+
+  /// Fails unless every byte has been consumed — a trailing-garbage guard
+  /// for top-level Restore calls.
+  Status ExpectEnd() const;
+
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  Status Take(void* out, size_t size);
+  /// Validates that `count` elements of `elem_size` bytes are present.
+  Status CheckCount(uint64_t count, size_t elem_size) const;
+
+  std::span<const char> buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_STREAM_BATCH_CODEC_H_

@@ -1,0 +1,156 @@
+#include "stream/batch_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace freeway {
+namespace {
+
+Batch SpecialValueBatch() {
+  Batch b;
+  b.index = 31;
+  b.features = Matrix(3, 4);
+  b.labels = {0, 1, 2};
+  const double specials[] = {std::nan(""),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             -0.0};
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) = specials[(i * 4 + j) % 4] * (i + 1.0);
+    }
+  }
+  return b;
+}
+
+TEST(BatchCodecTest, Crc32MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  // Chaining over split ranges equals one pass.
+  const uint32_t first = Crc32("12345", 5);
+  EXPECT_EQ(Crc32("6789", 4, first), 0xCBF43926u);
+}
+
+TEST(BatchCodecTest, BatchRoundTripIsBitIdentical) {
+  const Batch original = SpecialValueBatch();
+  SnapshotWriter writer;
+  writer.WriteBatch(original);
+
+  SnapshotReader reader(writer.buffer());
+  Batch decoded;
+  ASSERT_TRUE(reader.ReadBatch(&decoded).ok());
+  ASSERT_TRUE(reader.ExpectEnd().ok());
+  EXPECT_EQ(decoded.index, original.index);
+  EXPECT_EQ(decoded.labels, original.labels);
+  ASSERT_EQ(decoded.features.rows(), original.features.rows());
+  ASSERT_EQ(decoded.features.cols(), original.features.cols());
+  for (size_t i = 0; i < original.features.rows(); ++i) {
+    for (size_t j = 0; j < original.features.cols(); ++j) {
+      const double a = original.features.At(i, j);
+      const double b = decoded.features.At(i, j);
+      // memcmp, not ==: NaN != NaN and -0.0 == +0.0 would both lie here.
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << i << "," << j;
+    }
+  }
+}
+
+TEST(BatchCodecTest, UnlabeledBatchRoundTrips) {
+  Batch b;
+  b.index = 7;
+  b.features = Matrix(2, 2);
+  SnapshotWriter writer;
+  writer.WriteBatch(b);
+  SnapshotReader reader(writer.buffer());
+  Batch decoded;
+  ASSERT_TRUE(reader.ReadBatch(&decoded).ok());
+  EXPECT_FALSE(decoded.labeled());
+  EXPECT_EQ(decoded.features.rows(), 2u);
+}
+
+TEST(BatchCodecTest, EveryTruncationFailsCleanly) {
+  SnapshotWriter writer;
+  writer.WriteBatch(SpecialValueBatch());
+  const std::vector<char>& full = writer.buffer();
+  // A decode of any strict prefix must fail with a clean error — no crash,
+  // no partially-populated success.
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    SnapshotReader reader(std::span<const char>(full.data(), keep));
+    Batch decoded;
+    const Status status = reader.ReadBatch(&decoded);
+    EXPECT_FALSE(status.ok()) << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST(BatchCodecTest, CorruptLengthDoesNotOverAllocate) {
+  SnapshotWriter writer;
+  writer.WriteBatch(SpecialValueBatch());
+  std::vector<char> bytes = writer.buffer();
+  // Overwrite an embedded length with an absurd element count; the reader
+  // must reject it against the bytes actually present instead of trying to
+  // allocate.
+  const uint64_t absurd = ~uint64_t{0} / 2;
+  for (size_t at = 0; at + sizeof(absurd) <= bytes.size();
+       at += sizeof(absurd)) {
+    std::vector<char> corrupt = bytes;
+    std::memcpy(corrupt.data() + at, &absurd, sizeof(absurd));
+    SnapshotReader reader(corrupt);
+    Batch decoded;
+    // Either a clean failure or — when the stomped bytes were not a length
+    // field — a successful decode of garbage values; never a crash.
+    (void)reader.ReadBatch(&decoded);
+  }
+}
+
+TEST(BatchCodecTest, SectionMismatchIsDetected) {
+  SnapshotWriter writer;
+  writer.WriteSection(0x1111);
+  writer.WriteU32(5);
+  SnapshotReader reader(writer.buffer());
+  EXPECT_FALSE(reader.ExpectSection(0x2222).ok());
+}
+
+TEST(BatchCodecTest, TrailingGarbageIsDetected) {
+  SnapshotWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  SnapshotReader reader(writer.buffer());
+  uint32_t value = 0;
+  ASSERT_TRUE(reader.ReadU32(&value).ok());
+  EXPECT_FALSE(reader.ExpectEnd().ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+TEST(BatchCodecTest, ScalarAndVectorRoundTrips) {
+  SnapshotWriter writer;
+  writer.WriteString("drift");
+  writer.WriteDoubleVec({1.5, std::nan(""), -2.5});
+  writer.WriteIntVec({3, -4, 5});
+  writer.WriteBool(true);
+  writer.WriteI64(-9);
+
+  SnapshotReader reader(writer.buffer());
+  std::string s;
+  std::vector<double> dv;
+  std::vector<int> iv;
+  bool flag = false;
+  int64_t i64 = 0;
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadDoubleVec(&dv).ok());
+  ASSERT_TRUE(reader.ReadIntVec(&iv).ok());
+  ASSERT_TRUE(reader.ReadBool(&flag).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ExpectEnd().ok());
+  EXPECT_EQ(s, "drift");
+  ASSERT_EQ(dv.size(), 3u);
+  EXPECT_DOUBLE_EQ(dv[0], 1.5);
+  EXPECT_TRUE(std::isnan(dv[1]));
+  EXPECT_EQ(iv, (std::vector<int>{3, -4, 5}));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(i64, -9);
+}
+
+}  // namespace
+}  // namespace freeway

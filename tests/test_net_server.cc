@@ -1,0 +1,334 @@
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ml/models.h"
+#include "net/client.h"
+#include "net/socket_util.h"
+
+namespace freeway {
+namespace {
+
+constexpr size_t kDim = 4;
+constexpr size_t kBatchRows = 16;
+
+RuntimeOptions FastRuntime() {
+  RuntimeOptions opts;
+  opts.num_shards = 2;
+  opts.pipeline.learner.base_window_batches = 4;
+  opts.pipeline.learner.detector.warmup_batches = 3;
+  return opts;
+}
+
+/// A drifting labeled source for one client thread.
+HyperplaneSource MakeSource(uint64_t seed) {
+  HyperplaneOptions opts;
+  opts.dim = kDim;
+  opts.seed = seed;
+  return HyperplaneSource(opts);
+}
+
+Batch NextBatch(HyperplaneSource& source, bool labeled) {
+  Result<Batch> batch = source.NextBatch(kBatchRows);
+  EXPECT_TRUE(batch.ok()) << batch.status();
+  if (!labeled) batch->labels.clear();
+  return *std::move(batch);
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    options.metrics = &registry_;
+    auto proto = MakeLogisticRegression(kDim, 2);
+    server_ = std::make_unique<StreamServer>(*proto, std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  ClientOptions ClientFor() {
+    ClientOptions opts;
+    opts.port = server_->port();
+    return opts;
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return registry_.GetCounter(name)->Value();
+  }
+
+  MetricsRegistry registry_;
+  std::unique_ptr<StreamServer> server_;
+};
+
+TEST_F(NetServerTest, StartStopSmoke) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+  EXPECT_TRUE(server_->running());
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(NetServerTest, SingleClientSubmitAndResults) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(7);
+  constexpr int kBatches = 12;
+  size_t unlabeled = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    const bool labeled = b % 3 != 2;
+    if (!labeled) ++unlabeled;
+    ASSERT_TRUE(client.Submit(5, NextBatch(source, labeled)).ok());
+  }
+  EXPECT_EQ(client.tallies().acked, static_cast<uint64_t>(kBatches));
+
+  // Every unlabeled batch produces exactly one RESULT frame.
+  std::vector<StreamResult> results = client.TakeResults();
+  while (results.size() < unlabeled) {
+    Result<std::vector<StreamResult>> more = client.PollResults(2000);
+    ASSERT_TRUE(more.ok()) << more.status();
+    ASSERT_FALSE(more->empty()) << "timed out with " << results.size()
+                                << "/" << unlabeled << " results";
+    results.insert(results.end(), more->begin(), more->end());
+  }
+  EXPECT_EQ(results.size(), unlabeled);
+  for (const StreamResult& r : results) {
+    EXPECT_EQ(r.stream_id, 5u);
+    EXPECT_EQ(r.report.predictions.size(), kBatchRows);
+  }
+
+  client.Disconnect();
+  server_->Stop();
+
+  // Exact reconciliation: client tallies vs freeway_net_* vs the runtime.
+  EXPECT_EQ(CounterValue("freeway_net_submits_total"),
+            client.tallies().submits_sent);
+  EXPECT_EQ(CounterValue("freeway_net_acks_total"), client.tallies().acked);
+  EXPECT_EQ(CounterValue("freeway_net_results_total"),
+            client.tallies().results);
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(snapshot.totals.processed, static_cast<uint64_t>(kBatches));
+}
+
+TEST_F(NetServerTest, MultiClientThreadsReconcileExactly) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  opts.runtime.num_shards = 4;
+  StartServer(opts);
+
+  constexpr int kClients = 4;
+  constexpr int kBatches = 10;
+  std::vector<ClientTallies> tallies(kClients);
+  std::vector<std::thread> producers;
+  for (int c = 0; c < kClients; ++c) {
+    producers.emplace_back([this, c, &tallies] {
+      StreamClient client(ClientFor());
+      HyperplaneSource source = MakeSource(100 + c);
+      for (int b = 0; b < kBatches; ++b) {
+        // Labeled traffic only: no RESULT frames, so every counter on both
+        // sides has an exact expected value.
+        ASSERT_TRUE(client.Submit(c, NextBatch(source, true)).ok());
+      }
+      tallies[c] = client.tallies();
+    });
+  }
+  for (auto& t : producers) t.join();
+  server_->Stop();
+
+  uint64_t sent = 0, acked = 0, overloads = 0;
+  for (const ClientTallies& t : tallies) {
+    sent += t.submits_sent;
+    acked += t.acked;
+    overloads += t.overloads;
+  }
+  EXPECT_EQ(acked, static_cast<uint64_t>(kClients * kBatches));
+  EXPECT_EQ(CounterValue("freeway_net_submits_total"), sent);
+  EXPECT_EQ(CounterValue("freeway_net_acks_total"), acked);
+  EXPECT_EQ(CounterValue("freeway_net_overloads_total"), overloads);
+  EXPECT_EQ(CounterValue("freeway_runtime_batches_total{event=\"enqueued\"}"),
+            acked);
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, acked);
+  EXPECT_EQ(snapshot.totals.processed, acked);
+  EXPECT_EQ(snapshot.totals.shed, 0u);
+}
+
+TEST_F(NetServerTest, FullQueueRepliesOverloadNotBlock) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  opts.runtime.num_shards = 1;
+  opts.runtime.queue_capacity = 1;
+  // No drain tasks: the queue stays full, so overload replies are
+  // deterministic rather than a race against the drain thread.
+  opts.runtime.schedule_workers = false;
+  opts.overload_retry_micros = 1000;
+  StartServer(opts);
+
+  ClientOptions copts = ClientFor();
+  copts.max_submit_attempts = 3;
+  copts.backoff_initial_micros = 100;
+  copts.backoff_max_micros = 1000;
+  StreamClient client(copts);
+  HyperplaneSource source = MakeSource(9);
+
+  ASSERT_TRUE(client.Submit(0, NextBatch(source, true)).ok());
+  Status second = client.Submit(0, NextBatch(source, true));
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable) << second;
+  EXPECT_EQ(client.tallies().overloads, 3u);
+  EXPECT_EQ(client.tallies().acked, 1u);
+
+  client.Disconnect();
+  server_->Stop();
+  EXPECT_EQ(CounterValue("freeway_net_overloads_total"), 3u);
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.rejected, 3u);
+  EXPECT_EQ(snapshot.totals.enqueued, 1u);
+}
+
+TEST_F(NetServerTest, PerStreamFifoOverTheWire) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(11);
+  constexpr int kBatches = 8;
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(client.Submit(3, NextBatch(source, false)).ok());
+  }
+  std::vector<StreamResult> results = client.TakeResults();
+  while (results.size() < kBatches) {
+    Result<std::vector<StreamResult>> more = client.PollResults(2000);
+    ASSERT_TRUE(more.ok()) << more.status();
+    ASSERT_FALSE(more->empty());
+    results.insert(results.end(), more->begin(), more->end());
+  }
+  ASSERT_EQ(results.size(), static_cast<size_t>(kBatches));
+  for (int b = 0; b < kBatches; ++b) {
+    EXPECT_EQ(results[b].batch_index, b) << "results out of order";
+  }
+  server_->Stop();
+}
+
+TEST_F(NetServerTest, MetricsEndpointServesPrometheusText) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(13);
+  ASSERT_TRUE(client.Submit(1, NextBatch(source, true)).ok());
+  ASSERT_TRUE(client.Submit(2, NextBatch(source, true)).ok());
+
+  Result<std::string> body = HttpGet("127.0.0.1", server_->port(), "/metrics");
+  ASSERT_TRUE(body.ok()) << body.status();
+  // One scrape covers the net layer and the embedded runtime.
+  EXPECT_NE(body->find("freeway_net_submits_total 2"), std::string::npos)
+      << *body;
+  EXPECT_NE(body->find("freeway_net_acks_total 2"), std::string::npos);
+  EXPECT_NE(body->find("freeway_runtime_batches_total"), std::string::npos);
+  EXPECT_NE(body->find("freeway_net_active_connections"), std::string::npos);
+
+  Result<std::string> missing =
+      HttpGet("127.0.0.1", server_->port(), "/nope");
+  EXPECT_FALSE(missing.ok());
+  server_->Stop();
+  EXPECT_GE(CounterValue("freeway_net_http_requests_total"), 2u);
+}
+
+TEST_F(NetServerTest, StatsRequestReturnsRuntimeJson) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(17);
+  ASSERT_TRUE(client.Submit(0, NextBatch(source, true)).ok());
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"shards\""), std::string::npos) << *stats;
+  server_->Stop();
+}
+
+TEST_F(NetServerTest, ShutdownFrameStopsServerGracefully) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(19);
+  ASSERT_TRUE(client.Submit(0, NextBatch(source, true)).ok());
+  ASSERT_TRUE(client.RequestShutdown().ok());
+  server_->Wait();
+  EXPECT_FALSE(server_->running());
+  // Work admitted before the shutdown frame was still processed.
+  EXPECT_EQ(server_->runtime()->Snapshot().totals.processed, 1u);
+}
+
+TEST_F(NetServerTest, MalformedSubmitGetsErrorReplyAndConnectionSurvives) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+
+  // Hand-craft a SUBMIT frame whose payload passes CRC but is not a
+  // SubmitMessage (it is an ACK payload): the server must reply ERROR and
+  // keep the connection alive — a client bug is not line noise.
+  const std::vector<char> ack_frame = EncodeAck({1, 2});
+  const std::vector<char> payload(ack_frame.begin() + kFrameHeaderBytes,
+                                  ack_frame.end());
+  const std::vector<char> bogus = EncodeFrame(FrameType::kSubmit, payload);
+
+  Result<int> fd = net::ConnectSocket("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  ASSERT_TRUE(net::SendAll(*fd, bogus.data(), bogus.size()).ok());
+
+  FrameDecoder decoder;
+  Frame reply;
+  char chunk[4096];
+  while (true) {
+    Result<Frame> next = decoder.Next();
+    if (next.ok()) {
+      reply = *next;
+      break;
+    }
+    ASSERT_TRUE(net::WaitReadable(*fd, 2000).ok());
+    const ssize_t n = ::recv(*fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "server closed the connection on a client bug";
+    decoder.Feed(chunk, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(reply.type, FrameType::kError);
+
+  // The same connection still serves a well-formed submit.
+  HyperplaneSource source = MakeSource(23);
+  SubmitMessage good;
+  good.stream_id = 0;
+  good.batch = NextBatch(source, true);
+  const std::vector<char> encoded = EncodeSubmit(good);
+  ASSERT_TRUE(net::SendAll(*fd, encoded.data(), encoded.size()).ok());
+  while (true) {
+    Result<Frame> next = decoder.Next();
+    if (next.ok()) {
+      EXPECT_EQ(next->type, FrameType::kAck);
+      break;
+    }
+    ASSERT_TRUE(net::WaitReadable(*fd, 2000).ok());
+    const ssize_t n = ::recv(*fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    decoder.Feed(chunk, static_cast<size_t>(n));
+  }
+  net::CloseFd(*fd);
+  server_->Stop();
+  EXPECT_EQ(CounterValue("freeway_net_errors_total"), 1u);
+  EXPECT_GE(CounterValue("freeway_net_decode_errors_total"), 1u);
+}
+
+}  // namespace
+}  // namespace freeway

@@ -432,5 +432,85 @@ TEST(StreamRuntimeTest, ErrorBatchCountsAsErrorNotSuccess) {
   runtime.Shutdown();
 }
 
+TEST(StreamRuntimeTest, ZeroShardsIsClampedToOneInsteadOfDividingByZero) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 0;  // Would make ShardOf divide by zero unclamped.
+  StreamRuntime runtime(*proto, opts);
+  EXPECT_EQ(runtime.num_shards(), 1u);
+  EXPECT_EQ(runtime.ShardOf(12345), 0u);
+  for (int b = 0; b < 3; ++b) {
+    ASSERT_TRUE(runtime.Submit(b, MakeBatch(true, b, b)).ok());
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Snapshot().totals.processed, 3u);
+}
+
+TEST(StreamRuntimeTest, ZeroQueueCapacityIsClampedToOneInsteadOfDeadlock) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 0;  // Every Submit would block forever unclamped.
+  StreamRuntime runtime(*proto, opts);
+  EXPECT_EQ(runtime.queue_capacity(), 1u);
+  for (int b = 0; b < 3; ++b) {
+    ASSERT_TRUE(runtime.Submit(0, MakeBatch(true, b, b)).ok());
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Snapshot().totals.processed, 3u);
+}
+
+TEST(StreamRuntimeTest, TrySubmitRejectsInsteadOfBlockingWhenFull) {
+  auto proto = MakeLogisticRegression(4, 2);
+  MetricsRegistry registry;
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 2;
+  opts.schedule_workers = false;  // Queue fills deterministically.
+  opts.metrics = &registry;
+  StreamRuntime runtime(*proto, opts);
+
+  ASSERT_TRUE(runtime.TrySubmit(0, MakeBatch(true, 1, 0)).ok());
+  ASSERT_TRUE(runtime.TrySubmit(0, MakeBatch(true, 2, 1)).ok());
+  Status full = runtime.TrySubmit(0, MakeBatch(true, 3, 2));
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable) << full;
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.rejected, 1u);
+  // A rejection never enters the enqueued invariant.
+  EXPECT_EQ(snapshot.totals.enqueued, 2u);
+  EXPECT_EQ(
+      registry.GetCounter("freeway_runtime_batches_total{event=\"rejected\"}")
+          ->Value(),
+      1u);
+
+  // Draining frees space and TrySubmit admits again.
+  EXPECT_EQ(runtime.PumpShard(0), 2u);
+  EXPECT_TRUE(runtime.TrySubmit(0, MakeBatch(true, 4, 3)).ok());
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Snapshot().totals.processed, 3u);
+}
+
+TEST(StreamRuntimeTest, TrySubmitStillShedsUnderConfirmedOverload) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = FastOptions();
+  opts.num_shards = 1;
+  opts.queue_capacity = 2;
+  opts.overload_policy = OverloadPolicy::kShed;
+  opts.overload_rate = AlwaysOverloaded();
+  opts.schedule_workers = false;
+  StreamRuntime runtime(*proto, opts);
+
+  // Unlabeled traffic under confirmed overload: the full queue sheds its
+  // oldest unlabeled batch instead of rejecting the new one.
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(runtime.TrySubmit(0, MakeBatch(false, b, b)).ok());
+  }
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.shed, 3u);
+  EXPECT_EQ(snapshot.totals.rejected, 0u);
+  runtime.Shutdown();
+}
+
 }  // namespace
 }  // namespace freeway

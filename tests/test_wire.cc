@@ -1,0 +1,269 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace freeway {
+namespace {
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(8, 3);
+  if (labeled) b.labels.resize(8);
+  for (size_t i = 0; i < 8; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < 3; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+Frame DecodeWhole(const std::vector<char>& encoded) {
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  Result<Frame> frame = decoder.Next();
+  EXPECT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return frame.ok() ? *frame : Frame{};
+}
+
+TEST(WireTest, SubmitRoundTripIsBitIdentical) {
+  SubmitMessage message;
+  message.stream_id = 77;
+  message.batch = MakeBatch(true, 1, 42);
+  message.batch.features.At(0, 0) = std::nan("");
+  message.batch.features.At(0, 1) = std::numeric_limits<double>::infinity();
+
+  const Frame frame = DecodeWhole(EncodeSubmit(message));
+  ASSERT_EQ(frame.type, FrameType::kSubmit);
+  Result<SubmitMessage> decoded = DecodeSubmit(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->stream_id, 77u);
+  EXPECT_EQ(decoded->batch.index, 42);
+  EXPECT_EQ(decoded->batch.labels, message.batch.labels);
+  ASSERT_EQ(decoded->batch.features.rows(), 8u);
+  ASSERT_EQ(decoded->batch.features.cols(), 3u);
+  // Bit-identical, not just value-equal: NaN survives.
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      const double a = message.batch.features.At(i, j);
+      const double b = decoded->batch.features.At(i, j);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << i << "," << j;
+    }
+  }
+}
+
+TEST(WireTest, ControlFramesRoundTrip) {
+  {
+    const Frame frame = DecodeWhole(EncodeAck({9, 123}));
+    ASSERT_EQ(frame.type, FrameType::kAck);
+    Result<AckMessage> ack = DecodeAck(frame);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->stream_id, 9u);
+    EXPECT_EQ(ack->batch_index, 123);
+  }
+  {
+    OverloadMessage overload{3, 7, 2500};
+    const Frame frame = DecodeWhole(EncodeOverload(overload));
+    ASSERT_EQ(frame.type, FrameType::kOverload);
+    Result<OverloadMessage> decoded = DecodeOverload(frame);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->retry_after_micros, 2500);
+  }
+  {
+    ErrorMessage error;
+    error.stream_id = 1;
+    error.batch_index = 2;
+    error.code = StatusCode::kInvalidArgument;
+    error.message = "bad batch";
+    const Frame frame = DecodeWhole(EncodeError(error));
+    ASSERT_EQ(frame.type, FrameType::kError);
+    Result<ErrorMessage> decoded = DecodeError(frame);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(decoded->message, "bad batch");
+  }
+  {
+    const Frame frame = DecodeWhole(EncodeStats("{\"shards\":[]}"));
+    ASSERT_EQ(frame.type, FrameType::kStats);
+    Result<std::string> json = DecodeStats(frame);
+    ASSERT_TRUE(json.ok());
+    EXPECT_EQ(*json, "{\"shards\":[]}");
+  }
+  {
+    const Frame frame = DecodeWhole(EncodeFrame(FrameType::kShutdown));
+    EXPECT_EQ(frame.type, FrameType::kShutdown);
+    EXPECT_TRUE(frame.payload.empty());
+  }
+}
+
+TEST(WireTest, ResultRoundTripPreservesReport) {
+  StreamResult result;
+  result.stream_id = 5;
+  result.batch_index = 17;
+  result.report.strategy = Strategy::kCec;
+  result.report.predictions = {1, 0, 1};
+  result.report.assessment.m_score = 0.75;
+  result.report.assessment.warmup = true;
+
+  const Frame frame = DecodeWhole(EncodeResult(result));
+  ASSERT_EQ(frame.type, FrameType::kResult);
+  Result<StreamResult> decoded = DecodeResult(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->stream_id, 5u);
+  EXPECT_EQ(decoded->batch_index, 17);
+  EXPECT_EQ(decoded->report.strategy, Strategy::kCec);
+  EXPECT_EQ(decoded->report.predictions, result.report.predictions);
+  EXPECT_DOUBLE_EQ(decoded->report.assessment.m_score, 0.75);
+  EXPECT_TRUE(decoded->report.assessment.warmup);
+}
+
+TEST(WireTest, DecoderHandlesByteAtATimeDelivery) {
+  SubmitMessage message;
+  message.stream_id = 4;
+  message.batch = MakeBatch(false, 2, 3);
+  const std::vector<char> encoded = EncodeSubmit(message);
+
+  FrameDecoder decoder;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    Result<Frame> premature = decoder.Next();
+    EXPECT_FALSE(premature.ok());
+    EXPECT_EQ(premature.status().code(), StatusCode::kNotFound);
+    decoder.Feed(&encoded[i], 1);
+  }
+  Result<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kSubmit);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireTest, DecoderPopsBackToBackFrames) {
+  std::vector<char> stream = EncodeAck({1, 1});
+  const std::vector<char> second = EncodeAck({2, 2});
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  Result<Frame> first = decoder.Next();
+  ASSERT_TRUE(first.ok());
+  Result<AckMessage> ack1 = DecodeAck(*first);
+  ASSERT_TRUE(ack1.ok());
+  EXPECT_EQ(ack1->stream_id, 1u);
+  Result<Frame> next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  Result<AckMessage> ack2 = DecodeAck(*next);
+  ASSERT_TRUE(ack2.ok());
+  EXPECT_EQ(ack2->stream_id, 2u);
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(WireTest, BadMagicPoisonsDecoderPermanently) {
+  std::vector<char> encoded = EncodeAck({1, 1});
+  encoded[0] = 'X';
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  Result<Frame> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // Feeding a pristine frame afterwards cannot resurrect the stream: the
+  // framing is gone for good.
+  const std::vector<char> good = EncodeAck({2, 2});
+  decoder.Feed(good.data(), good.size());
+  Result<Frame> later = decoder.Next();
+  ASSERT_FALSE(later.ok());
+  EXPECT_EQ(later.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, WrongVersionRejected) {
+  std::vector<char> encoded = EncodeAck({1, 1});
+  encoded[4] = static_cast<char>(kWireVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  Result<Frame> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, UnknownFrameTypeRejected) {
+  std::vector<char> encoded = EncodeAck({1, 1});
+  encoded[5] = 99;
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(WireTest, OversizedPayloadLengthRejectedWithoutAllocation) {
+  std::vector<char> encoded = EncodeAck({1, 1});
+  const uint32_t absurd = kMaxFramePayload + 1;
+  std::memcpy(encoded.data() + 8, &absurd, sizeof(absurd));
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  Result<Frame> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, FlippedPayloadBitFailsCrc) {
+  SubmitMessage message;
+  message.stream_id = 6;
+  message.batch = MakeBatch(true, 3, 9);
+  std::vector<char> encoded = EncodeSubmit(message);
+  encoded[kFrameHeaderBytes + 5] ^= 0x40;
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  Result<Frame> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, TornFrameLeavesBufferedBytes) {
+  SubmitMessage message;
+  message.stream_id = 8;
+  message.batch = MakeBatch(true, 4, 11);
+  const std::vector<char> encoded = EncodeSubmit(message);
+
+  FrameDecoder decoder;
+  const size_t half = encoded.size() / 2;
+  decoder.Feed(encoded.data(), half);
+  Result<Frame> frame = decoder.Next();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+  // This is how the server detects a torn frame at connection EOF.
+  EXPECT_EQ(decoder.buffered(), half);
+}
+
+TEST(WireTest, TruncatedSubmitPayloadFailsCleanly) {
+  SubmitMessage message;
+  message.stream_id = 10;
+  message.batch = MakeBatch(true, 5, 13);
+  Frame frame = DecodeWhole(EncodeSubmit(message));
+  // Drop trailing payload bytes: the typed decoder must fail, not crash or
+  // fabricate a batch.
+  for (size_t keep : {size_t{0}, size_t{4}, frame.payload.size() / 2,
+                      frame.payload.size() - 1}) {
+    Frame torn;
+    torn.type = FrameType::kSubmit;
+    torn.payload.assign(frame.payload.begin(),
+                        frame.payload.begin() + static_cast<long>(keep));
+    Result<SubmitMessage> decoded = DecodeSubmit(torn);
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(WireTest, TypePayloadMismatchRejected) {
+  const Frame frame = DecodeWhole(EncodeAck({1, 2}));
+  EXPECT_FALSE(DecodeSubmit(frame).ok());
+  EXPECT_FALSE(DecodeOverload(frame).ok());
+  EXPECT_FALSE(DecodeStats(frame).ok());
+}
+
+}  // namespace
+}  // namespace freeway
