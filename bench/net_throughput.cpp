@@ -37,6 +37,8 @@ constexpr size_t kDim = 10;
 constexpr size_t kBatchSize = 128;
 constexpr size_t kWarmup = 16;
 constexpr size_t kMeasured = 160;
+/// Per-client measured batches in the multi-reactor worker sweep.
+constexpr size_t kSweepMeasured = 48;
 
 using Clock = std::chrono::steady_clock;
 
@@ -148,6 +150,74 @@ LegResult RunOverWire(const Model& proto, const std::vector<Batch>& batches,
   return result;
 }
 
+/// One cell of the multi-reactor sweep: a server with `workers` reactor
+/// threads, `clients` concurrent loadgen connections, each submitting the
+/// same labeled schedule on its own stream. RTTs are merged across
+/// clients; frames/s comes from the server's own counters over the
+/// measured wall time.
+LegResult RunWorkerSweepCell(const Model& proto,
+                             const std::vector<Batch>& batches,
+                             size_t workers, size_t clients,
+                             double* frames_per_sec) {
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  options.runtime = BenchRuntime();
+  options.runtime.num_shards = 4;
+  options.num_workers = workers;
+  options.max_connections = clients + 8;
+  StreamServer server(proto, options);
+  server.Start().CheckOk();
+
+  constexpr size_t kSweepWarmup = 4;
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> threads;
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions client_options;
+      client_options.port = server.port();
+      StreamClient client(client_options);
+      for (size_t b = 0; b < kSweepWarmup; ++b) {
+        client.Submit(c, batches[b]).CheckOk();
+      }
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      lat[c].reserve(batches.size() - kSweepWarmup);
+      for (size_t b = kSweepWarmup; b < batches.size(); ++b) {
+        const auto t0 = Clock::now();
+        client.Submit(c, batches[b]).CheckOk();
+        lat[c].push_back(Micros(t0, Clock::now()));
+      }
+      client.Disconnect();
+    });
+  }
+  while (ready.load() < clients) std::this_thread::yield();
+  Counter* in = registry.GetCounter("freeway_net_frames_total{dir=\"in\"}");
+  Counter* out = registry.GetCounter("freeway_net_frames_total{dir=\"out\"}");
+  const uint64_t frames_before = in->Value() + out->Value();
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const auto end = Clock::now();
+  const uint64_t frames = in->Value() + out->Value() - frames_before;
+  server.Stop();
+
+  std::vector<double> merged;
+  for (const auto& per_client : lat) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  const double wall = Micros(start, end) / 1e6;
+  *frames_per_sec = frames / (wall > 0.0 ? wall : 1.0);
+  LegResult result;
+  result.p50_micros = Percentile(merged, 0.50);
+  result.p99_micros = Percentile(merged, 0.99);
+  result.wall_seconds = wall;
+  result.batches_per_sec = merged.size() / (wall > 0.0 ? wall : 1.0);
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -181,6 +251,36 @@ int main() {
               FormatDouble(frames_per_sec, 1).c_str());
   std::printf("hardware_concurrency = %u\n", cores);
 
+  // Multi-reactor sweep: workers x concurrent clients. Each client
+  // submits its own labeled stream; frames/s aggregates both directions.
+  // On a single-core host the sweep measures dispatch overhead, not
+  // scaling — read it alongside the recorded hardware_concurrency.
+  std::printf("\nMulti-reactor sweep (%zu measured batches per client):\n",
+              kSweepMeasured);
+  const std::vector<Batch> sweep_batches = MakeSchedule(4 + kSweepMeasured);
+  TablePrinter sweep_table(
+      {"Workers", "Clients", "p50 us", "p99 us", "Frames/s"});
+  std::string sweep_json;
+  for (size_t workers : {1, 2, 4}) {
+    for (size_t clients : {1, 4, 16}) {
+      double cell_fps = 0.0;
+      const LegResult cell = RunWorkerSweepCell(*proto, sweep_batches,
+                                                workers, clients, &cell_fps);
+      sweep_table.AddRow({std::to_string(workers), std::to_string(clients),
+                          FormatDouble(cell.p50_micros, 1),
+                          FormatDouble(cell.p99_micros, 1),
+                          FormatDouble(cell_fps, 1)});
+      if (!sweep_json.empty()) sweep_json += ",\n";
+      sweep_json += "    {\"workers\": " + std::to_string(workers) +
+                    ", \"clients\": " + std::to_string(clients) +
+                    ", \"p50_micros\": " + FormatDouble(cell.p50_micros, 1) +
+                    ", \"p99_micros\": " + FormatDouble(cell.p99_micros, 1) +
+                    ", \"frames_per_sec\": " + FormatDouble(cell_fps, 1) +
+                    "}";
+    }
+  }
+  sweep_table.Print();
+
   std::ofstream out("BENCH_net.json");
   out << "{\n"
       << "  \"description\": \"Submit->ACK RTT and frame throughput of the "
@@ -204,7 +304,10 @@ int main() {
       << ", \"frames_per_sec\": " << FormatDouble(frames_per_sec, 1)
       << "},\n"
       << "  \"rtt_overhead_p50_micros\": "
-      << FormatDouble(wire.p50_micros - local.p50_micros, 1) << "\n"
+      << FormatDouble(wire.p50_micros - local.p50_micros, 1) << ",\n"
+      << "  \"worker_sweep_measured_batches_per_client\": " << kSweepMeasured
+      << ",\n"
+      << "  \"worker_sweep\": [\n" << sweep_json << "\n  ]\n"
       << "}\n";
   std::printf("Wrote BENCH_net.json\n");
   return 0;

@@ -7,6 +7,10 @@
 // replies and the clients back off exponentially instead of stalling the
 // server's event loop. The same port answers `GET /metrics` with the
 // Prometheus exposition — the run scrapes itself and prints an excerpt.
+//
+// Set FREEWAY_NET_WORKERS=N to run the server multi-reactor: N worker
+// event loops share the port via SO_REUSEPORT and the kernel shards the
+// client connections across them.
 
 #include <atomic>
 #include <cstdio>
@@ -75,7 +79,11 @@ int main() {
   options.runtime.queue_capacity = 4;
   StreamServer server(*proto, options);
   server.Start().CheckOk();
-  std::printf("serving on 127.0.0.1:%u\n\n", server.port());
+  std::printf("serving on 127.0.0.1:%u (%zu worker%s, %s)\n\n", server.port(),
+              server.num_workers(), server.num_workers() == 1 ? "" : "s",
+              server.num_workers() == 1       ? "single reactor"
+              : server.reuseport_sharding()   ? "SO_REUSEPORT sharding"
+                                              : "dup-listener fallback");
 
   std::vector<ClientTallies> tallies(kClients);
   std::vector<std::thread> clients;

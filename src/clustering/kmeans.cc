@@ -6,22 +6,17 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "linalg/simd.h"
 
 namespace freeway {
 namespace {
 
-/// Index of the centroid nearest to `point`.
+/// Index of the centroid nearest to `point` — the dispatched assignment
+/// microkernel (raw-pointer scan with early abandonment in scalar mode,
+/// AVX2/FMA distances when available).
 int NearestCentroid(std::span<const double> point, const Matrix& centroids) {
-  double best = std::numeric_limits<double>::infinity();
-  int best_c = 0;
-  for (size_t c = 0; c < centroids.rows(); ++c) {
-    const double d2 = vec::SquaredDistance(point, centroids.Row(c));
-    if (d2 < best) {
-      best = d2;
-      best_c = static_cast<int>(c);
-    }
-  }
-  return best_c;
+  return simd::NearestCentroid(point.data(), centroids.data(),
+                               centroids.rows(), centroids.cols());
 }
 
 /// Points per parallel chunk for a pass that scans all k centroids per
@@ -70,12 +65,15 @@ Matrix SeedPlusPlus(const Matrix& points, size_t k, Rng* rng) {
 
 std::vector<int> AssignToCentroids(const Matrix& points,
                                    const Matrix& centroids) {
+  const size_t dim = points.cols();
   std::vector<int> out(points.rows(), 0);
-  ParallelFor(0, points.rows(), AssignGrain(centroids.rows(), points.cols()),
+  // Batch kernel per chunk: dispatch resolves once and the per-point scan
+  // inlines inside the kernel, so the chunk loop carries no call overhead.
+  ParallelFor(0, points.rows(), AssignGrain(centroids.rows(), dim),
               [&](size_t p0, size_t p1) {
-                for (size_t i = p0; i < p1; ++i) {
-                  out[i] = NearestCentroid(points.Row(i), centroids);
-                }
+                simd::NearestCentroids(points.data() + p0 * dim, p1 - p0,
+                                       centroids.data(), centroids.rows(),
+                                       dim, out.data() + p0);
               });
   return out;
 }

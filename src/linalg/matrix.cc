@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "linalg/simd.h"
 
 namespace freeway {
 namespace {
@@ -112,11 +113,13 @@ Matrix Matrix::MatMul(const Matrix& other) const {
         const double* a_row = data_.data() + i * cols_;
         double* out_row = out.data() + i * n;
         size_t k = kk;
-        // 4-way k-unroll: one pass over out_row per 4 B-rows. The adds stay
-        // sequential in ascending k, so each element's value is identical
-        // to the scalar loop. Groups with a zero fall back to the scalar
-        // zero-skip path (post-ReLU activations are full of zeros, and
-        // 0 * inf must keep contributing nothing).
+        // 4-way k-unroll through the dispatched panel microkernel (FMA
+        // vectors under AVX2, the historical scalar loop otherwise). The
+        // adds stay sequential in ascending k, so each element's value is
+        // reproducible per dispatch target at any thread count. Groups
+        // with a zero fall back to the zero-skip path (post-ReLU
+        // activations are full of zeros, and 0 * inf must keep
+        // contributing nothing).
         for (; k + 4 <= k_end; k += 4) {
           const double a0 = a_row[k];
           const double a1 = a_row[k + 1];
@@ -126,29 +129,18 @@ Matrix Matrix::MatMul(const Matrix& other) const {
             for (size_t kq = k; kq < k + 4; ++kq) {
               const double a = a_row[kq];
               if (a == 0.0) continue;
-              const double* b_row = other.data() + kq * n;
-              for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+              simd::AxpyRow(out_row, other.data() + kq * n, a, n);
             }
             continue;
           }
           const double* b0 = other.data() + k * n;
-          const double* b1 = b0 + n;
-          const double* b2 = b1 + n;
-          const double* b3 = b2 + n;
-          for (size_t j = 0; j < n; ++j) {
-            double t = out_row[j];
-            t += a0 * b0[j];
-            t += a1 * b1[j];
-            t += a2 * b2[j];
-            t += a3 * b3[j];
-            out_row[j] = t;
-          }
+          simd::AccumPanel4(out_row, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, a0,
+                            a1, a2, a3, n);
         }
         for (; k < k_end; ++k) {
           const double a = a_row[k];
           if (a == 0.0) continue;
-          const double* b_row = other.data() + k * n;
-          for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+          simd::AxpyRow(out_row, other.data() + k * n, a, n);
         }
       }
     }
@@ -168,18 +160,16 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   ParallelFor(0, cols_, MatMulGrain(rows_ * n, n, cols_),
               [&](size_t i0, size_t i1) {
     size_t k = 0;
-    // Same 4-way k-unroll as MatMul: sequential adds in ascending k keep
-    // each element bit-identical to the scalar loop, groups containing a
-    // zero fall back to the zero-skip path.
+    // Same 4-way k-unroll as MatMul, through the dispatched panel
+    // microkernel: sequential adds in ascending k keep each element
+    // reproducible per dispatch target, groups containing a zero fall back
+    // to the zero-skip path.
     for (; k + 4 <= rows_; k += 4) {
       const double* a0_row = data_.data() + k * cols_;
       const double* a1_row = a0_row + cols_;
       const double* a2_row = a1_row + cols_;
       const double* a3_row = a2_row + cols_;
       const double* b0 = other.data() + k * n;
-      const double* b1 = b0 + n;
-      const double* b2 = b1 + n;
-      const double* b3 = b2 + n;
       for (size_t i = i0; i < i1; ++i) {
         const double a0 = a0_row[i];
         const double a1 = a1_row[i];
@@ -190,19 +180,12 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
           for (size_t kq = 0; kq < 4; ++kq) {
             const double a = (data_.data() + (k + kq) * cols_)[i];
             if (a == 0.0) continue;
-            const double* b_row = other.data() + (k + kq) * n;
-            for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+            simd::AxpyRow(out_row, other.data() + (k + kq) * n, a, n);
           }
           continue;
         }
-        for (size_t j = 0; j < n; ++j) {
-          double t = out_row[j];
-          t += a0 * b0[j];
-          t += a1 * b1[j];
-          t += a2 * b2[j];
-          t += a3 * b3[j];
-          out_row[j] = t;
-        }
+        simd::AccumPanel4(out_row, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, a0,
+                          a1, a2, a3, n);
       }
     }
     for (; k < rows_; ++k) {
@@ -211,8 +194,7 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
       for (size_t i = i0; i < i1; ++i) {
         const double a = a_row[i];
         if (a == 0.0) continue;
-        double* out_row = out.data() + i * n;
-        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+        simd::AxpyRow(out.data() + i * n, b_row, a, n);
       }
     }
   });
@@ -231,10 +213,7 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
     for (size_t i = r0; i < r1; ++i) {
       const double* a_row = data_.data() + i * cols_;
       for (size_t j = 0; j < other.rows_; ++j) {
-        const double* b_row = other.data() + j * other.cols_;
-        double acc = 0.0;
-        for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-        out.At(i, j) = acc;
+        out.At(i, j) = simd::Dot(a_row, other.data() + j * other.cols_, cols_);
       }
     }
   });

@@ -1,0 +1,398 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FREEWAY_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define FREEWAY_SIMD_X86 0
+#endif
+
+namespace freeway {
+namespace simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels. Operation order is exactly the pre-SIMD inner loops of
+// matrix.cc / kmeans.cc, so the scalar target is bit-compatible with the
+// historical (FREEWAY_SIMD=off) behaviour.
+// ---------------------------------------------------------------------------
+
+// The scalar kernels take __restrict pointers: call sites never alias the
+// output with an input row, and the qualifier is worth ~5% on the k-means
+// scan (the compiler can keep accumulators in registers across the inner
+// loop without re-checking memory). It does not license reassociation, so
+// the historical operation order — and therefore the bit patterns — hold.
+
+void AccumPanel4Scalar(double* __restrict out, const double* __restrict b0,
+                       const double* __restrict b1,
+                       const double* __restrict b2,
+                       const double* __restrict b3, double a0, double a1,
+                       double a2, double a3, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    double t = out[j];
+    t += a0 * b0[j];
+    t += a1 * b1[j];
+    t += a2 * b2[j];
+    t += a3 * b3[j];
+    out[j] = t;
+  }
+}
+
+void AxpyRowScalar(double* __restrict out, const double* __restrict b,
+                   double a, size_t n) {
+  for (size_t j = 0; j < n; ++j) out[j] += a * b[j];
+}
+
+double DotScalar(const double* __restrict a, const double* __restrict b,
+                 size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double SquaredDistanceScalar(const double* __restrict a,
+                             const double* __restrict b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Straight-line distance scan. Early-abandonment variants (bailing when a
+/// prefix sum exceeds the incumbent) were measured ~1.6x *slower* here —
+/// the per-stride branch defeats pipelining at these shapes — so the
+/// kernel stays branch-free per centroid, preserving the historical
+/// accumulation order exactly.
+int NearestCentroidScalar(const double* __restrict point,
+                          const double* __restrict centroids, size_t k,
+                          size_t dim, double* best_d2_out) {
+  double best = std::numeric_limits<double>::infinity();
+  int best_c = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const double* row = centroids + c * dim;
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = point[i] - row[i];
+      acc += d * d;
+    }
+    if (acc < best) {
+      best = acc;
+      best_c = static_cast<int>(c);
+    }
+  }
+  if (best_d2_out != nullptr) *best_d2_out = best;
+  return best_c;
+}
+
+void NearestCentroidsScalar(const double* __restrict points, size_t n,
+                            const double* __restrict centroids, size_t k,
+                            size_t dim, int* __restrict out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = NearestCentroidScalar(points + i * dim, centroids, k, dim,
+                                   nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels. Per-function target attributes keep the rest of the
+// tree buildable with the portable baseline flags; these bodies are only
+// ever reached after the cpuid check below.
+// ---------------------------------------------------------------------------
+
+#if FREEWAY_SIMD_X86
+
+__attribute__((target("avx2,fma"))) void AccumPanel4Avx2(
+    double* out, const double* b0, const double* b1, const double* b2,
+    const double* b3, double a0, double a1, double a2, double a3, size_t n) {
+  const __m256d va0 = _mm256_set1_pd(a0);
+  const __m256d va1 = _mm256_set1_pd(a1);
+  const __m256d va2 = _mm256_set1_pd(a2);
+  const __m256d va3 = _mm256_set1_pd(a3);
+  size_t j = 0;
+  // 8 output elements in flight: two independent 4-lane accumulators hide
+  // the FMA latency chain. Element-wise the four adds stay in ascending
+  // row order, so only FMA fusion separates this from the scalar kernel.
+  for (; j + 8 <= n; j += 8) {
+    __m256d t0 = _mm256_loadu_pd(out + j);
+    __m256d t1 = _mm256_loadu_pd(out + j + 4);
+    t0 = _mm256_fmadd_pd(va0, _mm256_loadu_pd(b0 + j), t0);
+    t1 = _mm256_fmadd_pd(va0, _mm256_loadu_pd(b0 + j + 4), t1);
+    t0 = _mm256_fmadd_pd(va1, _mm256_loadu_pd(b1 + j), t0);
+    t1 = _mm256_fmadd_pd(va1, _mm256_loadu_pd(b1 + j + 4), t1);
+    t0 = _mm256_fmadd_pd(va2, _mm256_loadu_pd(b2 + j), t0);
+    t1 = _mm256_fmadd_pd(va2, _mm256_loadu_pd(b2 + j + 4), t1);
+    t0 = _mm256_fmadd_pd(va3, _mm256_loadu_pd(b3 + j), t0);
+    t1 = _mm256_fmadd_pd(va3, _mm256_loadu_pd(b3 + j + 4), t1);
+    _mm256_storeu_pd(out + j, t0);
+    _mm256_storeu_pd(out + j + 4, t1);
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m256d t = _mm256_loadu_pd(out + j);
+    t = _mm256_fmadd_pd(va0, _mm256_loadu_pd(b0 + j), t);
+    t = _mm256_fmadd_pd(va1, _mm256_loadu_pd(b1 + j), t);
+    t = _mm256_fmadd_pd(va2, _mm256_loadu_pd(b2 + j), t);
+    t = _mm256_fmadd_pd(va3, _mm256_loadu_pd(b3 + j), t);
+    _mm256_storeu_pd(out + j, t);
+  }
+  for (; j < n; ++j) {
+    double t = out[j];
+    t = __builtin_fma(a0, b0[j], t);
+    t = __builtin_fma(a1, b1[j], t);
+    t = __builtin_fma(a2, b2[j], t);
+    t = __builtin_fma(a3, b3[j], t);
+    out[j] = t;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void AxpyRowAvx2(double* out,
+                                                     const double* b,
+                                                     double a, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256d t0 = _mm256_loadu_pd(out + j);
+    __m256d t1 = _mm256_loadu_pd(out + j + 4);
+    t0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(b + j), t0);
+    t1 = _mm256_fmadd_pd(va, _mm256_loadu_pd(b + j + 4), t1);
+    _mm256_storeu_pd(out + j, t0);
+    _mm256_storeu_pd(out + j + 4, t1);
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m256d t = _mm256_loadu_pd(out + j);
+    t = _mm256_fmadd_pd(va, _mm256_loadu_pd(b + j), t);
+    _mm256_storeu_pd(out + j, t);
+  }
+  for (; j < n; ++j) out[j] = __builtin_fma(a, b[j], out[j]);
+}
+
+/// Lane-order reduction of 4 vector accumulators: pairwise adds, then the
+/// fixed low→high horizontal sum. Deterministic, but a different
+/// association than the scalar ascending sum — the documented tolerance.
+__attribute__((target("avx2,fma"))) double Reduce4(__m256d acc0, __m256d acc1,
+                                                   __m256d acc2,
+                                                   __m256d acc3) {
+  const __m256d s01 = _mm256_add_pd(acc0, acc1);
+  const __m256d s23 = _mm256_add_pd(acc2, acc3);
+  const __m256d s = _mm256_add_pd(s01, s23);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, s);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const double* a,
+                                                   const double* b,
+                                                   size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double acc = Reduce4(acc0, acc1, acc2, acc3);
+  for (; i < n; ++i) acc = __builtin_fma(a[i], b[i], acc);
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) double SquaredDistanceAvx2(
+    const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_fmadd_pd(d, d, acc0);
+  }
+  double acc = Reduce4(acc0, acc1, _mm256_setzero_pd(), _mm256_setzero_pd());
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc = __builtin_fma(d, d, acc);
+  }
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) int NearestCentroidAvx2(
+    const double* point, const double* centroids, size_t k, size_t dim,
+    double* best_d2_out) {
+  double best = std::numeric_limits<double>::infinity();
+  int best_c = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const double d2 = SquaredDistanceAvx2(point, centroids + c * dim, dim);
+    if (d2 < best) {
+      best = d2;
+      best_c = static_cast<int>(c);
+    }
+  }
+  if (best_d2_out != nullptr) *best_d2_out = best;
+  return best_c;
+}
+
+__attribute__((target("avx2,fma"))) void NearestCentroidsAvx2(
+    const double* __restrict points, size_t n,
+    const double* __restrict centroids, size_t k, size_t dim,
+    int* __restrict out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = NearestCentroidAvx2(points + i * dim, centroids, k, dim, nullptr);
+  }
+}
+
+#endif  // FREEWAY_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+constexpr int kUnresolved = -1;
+std::atomic<int> g_target{kUnresolved};
+
+bool DetectAvx2() {
+#if FREEWAY_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// First-use resolution: FREEWAY_SIMD intersected with cpuid. Races are
+/// benign — every thread resolves to the same value.
+DispatchTarget Resolve() {
+  int current = g_target.load(std::memory_order_acquire);
+  if (current != kUnresolved) return static_cast<DispatchTarget>(current);
+  DispatchTarget target =
+      DetectAvx2() ? DispatchTarget::kAvx2 : DispatchTarget::kScalar;
+  const char* env = std::getenv("FREEWAY_SIMD");
+  if (env != nullptr) {
+    std::string value(env);
+    for (char& ch : value) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    if (value == "off" || value == "scalar" || value == "0") {
+      target = DispatchTarget::kScalar;
+    } else if (value == "avx2" || value == "on" || value == "1" ||
+               value == "auto" || value.empty()) {
+      if (target != DispatchTarget::kAvx2 &&
+          (value == "avx2" || value == "on" || value == "1")) {
+        FREEWAY_LOG(kWarning) << "FREEWAY_SIMD=" << env
+                              << " requested but this CPU lacks AVX2/FMA; "
+                                 "using scalar kernels";
+      }
+    } else {
+      FREEWAY_LOG(kWarning) << "unknown FREEWAY_SIMD value '" << env
+                            << "' (want off|scalar|avx2|auto); auto-detecting";
+    }
+  }
+  g_target.store(static_cast<int>(target), std::memory_order_release);
+  return target;
+}
+
+}  // namespace
+
+DispatchTarget ActiveTarget() { return Resolve(); }
+
+const char* TargetName(DispatchTarget target) {
+  return target == DispatchTarget::kAvx2 ? "avx2" : "scalar";
+}
+
+bool Avx2Supported() { return DetectAvx2(); }
+
+DispatchTarget ForceTarget(DispatchTarget target) {
+  if (target == DispatchTarget::kAvx2 && !DetectAvx2()) {
+    target = DispatchTarget::kScalar;
+  }
+  g_target.store(static_cast<int>(target), std::memory_order_release);
+  return target;
+}
+
+void AccumPanel4(double* out, const double* b0, const double* b1,
+                 const double* b2, const double* b3, double a0, double a1,
+                 double a2, double a3, size_t n) {
+#if FREEWAY_SIMD_X86
+  if (Resolve() == DispatchTarget::kAvx2) {
+    AccumPanel4Avx2(out, b0, b1, b2, b3, a0, a1, a2, a3, n);
+    return;
+  }
+#endif
+  AccumPanel4Scalar(out, b0, b1, b2, b3, a0, a1, a2, a3, n);
+}
+
+void AxpyRow(double* out, const double* b, double a, size_t n) {
+#if FREEWAY_SIMD_X86
+  if (Resolve() == DispatchTarget::kAvx2) {
+    AxpyRowAvx2(out, b, a, n);
+    return;
+  }
+#endif
+  AxpyRowScalar(out, b, a, n);
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+#if FREEWAY_SIMD_X86
+  if (Resolve() == DispatchTarget::kAvx2) return DotAvx2(a, b, n);
+#endif
+  return DotScalar(a, b, n);
+}
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+#if FREEWAY_SIMD_X86
+  if (Resolve() == DispatchTarget::kAvx2) {
+    return SquaredDistanceAvx2(a, b, n);
+  }
+#endif
+  return SquaredDistanceScalar(a, b, n);
+}
+
+int NearestCentroid(const double* point, const double* centroids, size_t k,
+                    size_t dim, double* best_d2) {
+#if FREEWAY_SIMD_X86
+  if (Resolve() == DispatchTarget::kAvx2) {
+    return NearestCentroidAvx2(point, centroids, k, dim, best_d2);
+  }
+#endif
+  return NearestCentroidScalar(point, centroids, k, dim, best_d2);
+}
+
+void NearestCentroids(const double* points, size_t n, const double* centroids,
+                      size_t k, size_t dim, int* out) {
+#if FREEWAY_SIMD_X86
+  if (Resolve() == DispatchTarget::kAvx2) {
+    NearestCentroidsAvx2(points, n, centroids, k, dim, out);
+    return;
+  }
+#endif
+  NearestCentroidsScalar(points, n, centroids, k, dim, out);
+}
+
+}  // namespace simd
+}  // namespace freeway

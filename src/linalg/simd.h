@@ -1,0 +1,92 @@
+#ifndef FREEWAYML_LINALG_SIMD_H_
+#define FREEWAYML_LINALG_SIMD_H_
+
+#include <cstddef>
+#include <string>
+
+namespace freeway {
+namespace simd {
+
+/// Runtime-dispatched SIMD microkernels behind the dense hot paths (MatMul
+/// panel accumulation, dot products, k-means squared distance). One
+/// dispatch target is selected at first use and cached for the process:
+///
+///  - kAvx2: AVX2 + FMA vector kernels (8 doubles in flight per loop
+///    iteration, fused multiply-add accumulators).
+///  - kScalar: portable kernels whose floating-point operation order is
+///    exactly the pre-SIMD code's, so `FREEWAY_SIMD=off` reproduces the
+///    historical bit patterns.
+///
+/// Selection: the FREEWAY_SIMD environment variable ("off"/"scalar" forces
+/// kScalar, "avx2"/"on" requests AVX2, unset auto-detects) intersected with
+/// what the CPU actually supports — requesting AVX2 on a machine without it
+/// logs a warning and falls back to scalar.
+///
+/// Determinism contract: every kernel here is branch-deterministic and
+/// threading-free, so for a *fixed* dispatch target results are bit-exact
+/// regardless of caller thread count (the PR-1 contract). Across targets
+/// results differ within a small tolerance: the AVX2 kernels fuse
+/// multiply-adds (no intermediate rounding of the product) and the
+/// reduction kernels (Dot / SquaredDistance) split the accumulation across
+/// vector lanes, which reassociates the sum. tests/test_simd.cc pins the
+/// scalar↔AVX2 tolerance; DESIGN.md "SIMD dispatch" documents the policy.
+enum class DispatchTarget {
+  kScalar,
+  kAvx2,
+};
+
+/// The target all kernels currently dispatch to (resolving it on first
+/// call). Thread-safe.
+DispatchTarget ActiveTarget();
+
+/// "scalar" / "avx2".
+const char* TargetName(DispatchTarget target);
+
+/// True when this CPU can run the AVX2+FMA kernels.
+bool Avx2Supported();
+
+/// Test hook: force a specific target (kAvx2 silently degrades to kScalar
+/// when unsupported; returns the target actually installed). Not for
+/// production use — callers must ensure no kernel is concurrently in
+/// flight, and the choice is process-global.
+DispatchTarget ForceTarget(DispatchTarget target);
+
+/// out[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] for j in [0, n).
+/// The 4-row GEMM panel accumulator behind MatMul / TransposeMatMul. Per
+/// output element the four adds stay in ascending row order; the AVX2
+/// version vectorizes across j and fuses each multiply-add.
+void AccumPanel4(double* out, const double* b0, const double* b1,
+                 const double* b2, const double* b3, double a0, double a1,
+                 double a2, double a3, size_t n);
+
+/// out[j] += a * b[j] for j in [0, n). Panel-tail / zero-skip companion of
+/// AccumPanel4; callers keep the a == 0 skip so 0 * inf never contributes.
+void AxpyRow(double* out, const double* b, double a, size_t n);
+
+/// Ascending-index dot product (single accumulator in scalar mode, 4
+/// vector accumulators in AVX2 mode).
+double Dot(const double* a, const double* b, size_t n);
+
+/// Squared Euclidean distance between two length-n vectors.
+double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// Index of the row of `centroids` (k rows of length dim, row-major)
+/// nearest to `point` in squared Euclidean distance; ties break to the
+/// lowest index in both targets. The k-means assignment kernel. When
+/// `best_d2` is non-null it receives the winning squared distance.
+int NearestCentroid(const double* point, const double* centroids, size_t k,
+                    size_t dim, double* best_d2 = nullptr);
+
+/// Batch form of NearestCentroid: out[i] = index of the centroid nearest to
+/// row i of `points` (n rows of length dim, row-major), for i in [0, n).
+/// Dispatch is resolved once per call and the per-point scan is inlined
+/// inside the kernel, so per-point overhead is zero — this is the kernel
+/// the parallel assignment passes call per chunk. `points`, `centroids`
+/// and `out` must not overlap.
+void NearestCentroids(const double* points, size_t n, const double* centroids,
+                      size_t k, size_t dim, int* out);
+
+}  // namespace simd
+}  // namespace freeway
+
+#endif  // FREEWAYML_LINALG_SIMD_H_

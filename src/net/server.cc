@@ -1,6 +1,7 @@
 #include "net/server.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
 #include <poll.h>
@@ -18,9 +19,34 @@ namespace {
 constexpr size_t kReadChunk = 64 * 1024;
 /// An HTTP request line + headers larger than this is not a scraper.
 constexpr size_t kMaxHttpRequest = 8 * 1024;
+/// Sanity cap on FREEWAY_NET_WORKERS / ServerOptions::num_workers.
+constexpr size_t kMaxWorkers = 256;
 
 bool StartsWithGet(const std::vector<char>& buf) {
   return buf.size() >= 4 && std::memcmp(buf.data(), "GET ", 4) == 0;
+}
+
+/// Worker-thread count: explicit option, else FREEWAY_NET_WORKERS, else 1.
+size_t ResolveWorkerCount(size_t option_value) {
+  size_t workers = option_value;
+  if (workers == 0) {
+    if (const char* env = std::getenv("FREEWAY_NET_WORKERS")) {
+      const long parsed = std::atol(env);
+      if (parsed >= 1) {
+        workers = static_cast<size_t>(parsed);
+      } else {
+        FREEWAY_LOG(kWarning) << "ignoring FREEWAY_NET_WORKERS='" << env
+                              << "' (want a positive integer)";
+      }
+    }
+  }
+  if (workers == 0) workers = 1;
+  if (workers > kMaxWorkers) {
+    FREEWAY_LOG(kWarning) << "clamping server workers from " << workers
+                          << " to " << kMaxWorkers;
+    workers = kMaxWorkers;
+  }
+  return workers;
 }
 
 }  // namespace
@@ -66,13 +92,15 @@ StreamServer::StreamServer(const Model& prototype, ServerOptions options)
 
 StreamServer::~StreamServer() {
   Stop();
-  // The wake pipe outlives the loop so that late WakeLoop() calls (result
-  // callbacks racing a graceful stop, Stop() itself) always hit a valid
-  // fd; with the loop joined it is finally safe to close.
-  net::CloseFd(wake_read_fd_);
-  net::CloseFd(wake_write_fd_);
-  wake_read_fd_ = -1;
-  wake_write_fd_ = -1;
+  // The wake pipes outlive the loops so that late WakeWorker() calls
+  // (result callbacks racing a graceful stop, Stop() itself) always hit a
+  // valid fd; with every loop joined it is finally safe to close them.
+  for (auto& worker : workers_) {
+    net::CloseFd(worker->wake_read_fd);
+    net::CloseFd(worker->wake_write_fd);
+    worker->wake_read_fd = -1;
+    worker->wake_write_fd = -1;
+  }
 }
 
 Status StreamServer::Start() {
@@ -81,24 +109,88 @@ Status StreamServer::Start() {
   if (stop_requested_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server is stopped");
   }
-  ASSIGN_OR_RETURN(listen_fd_,
-                   net::CreateListenSocket(options_.bind_address,
-                                           options_.port,
-                                           options_.listen_backlog));
-  ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_));
-  int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) {
-    net::CloseFd(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  const size_t num_workers = ResolveWorkerCount(options_.num_workers);
+
+  // Listener set-up. With several workers the first choice is SO_REUSEPORT
+  // sharding: every worker binds its own listener on the shared port and
+  // the kernel spreads incoming connections across them. Where the kernel
+  // refuses (NotImplemented), each worker instead polls a dup of one
+  // listener and accept() arbitrates — no sharding, but identical
+  // semantics.
+  std::vector<int> listen_fds;
+  auto cleanup = [&listen_fds] {
+    for (int fd : listen_fds) net::CloseFd(fd);
+  };
+  reuseport_sharding_ = num_workers > 1;
+  Result<int> first = net::CreateListenSocket(
+      options_.bind_address, options_.port, options_.listen_backlog,
+      reuseport_sharding_);
+  if (!first.ok() && reuseport_sharding_ &&
+      first.status().code() == StatusCode::kNotImplemented) {
+    reuseport_sharding_ = false;
+    first = net::CreateListenSocket(options_.bind_address, options_.port,
+                                    options_.listen_backlog, false);
   }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  net::SetNonBlocking(wake_read_fd_, true).CheckOk();
-  net::SetNonBlocking(wake_write_fd_, true).CheckOk();
+  RETURN_IF_ERROR(first.status());
+  listen_fds.push_back(*first);
+  Result<uint16_t> port = net::LocalPort(listen_fds[0]);
+  if (!port.ok()) {
+    cleanup();
+    return port.status();
+  }
+  port_ = *port;
+  for (size_t i = 1; i < num_workers; ++i) {
+    Result<int> fd =
+        reuseport_sharding_
+            ? net::CreateListenSocket(options_.bind_address, port_,
+                                      options_.listen_backlog, true)
+            : net::DuplicateSocket(listen_fds[0]);
+    if (!fd.ok()) {
+      cleanup();
+      return fd.status();
+    }
+    listen_fds.push_back(*fd);
+  }
+
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = i;
+    worker->listen_fd = listen_fds[i];
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      Status status =
+          Status::IoError(std::string("pipe: ") + std::strerror(errno));
+      cleanup();
+      for (auto& w : workers_) {
+        net::CloseFd(w->wake_read_fd);
+        net::CloseFd(w->wake_write_fd);
+      }
+      workers_.clear();
+      return status;
+    }
+    worker->wake_read_fd = pipe_fds[0];
+    worker->wake_write_fd = pipe_fds[1];
+    net::SetNonBlocking(worker->wake_read_fd, true).CheckOk();
+    net::SetNonBlocking(worker->wake_write_fd, true).CheckOk();
+    if (options_.metrics != nullptr) {
+      const std::string label = "{worker=\"" + std::to_string(i) + "\"}";
+      worker->connections = options_.metrics->GetCounter(
+          "freeway_net_worker_connections_total" + label);
+      worker->frames = options_.metrics->GetCounter(
+          "freeway_net_worker_frames_total" + label);
+      worker->loop_iterations = options_.metrics->GetCounter(
+          "freeway_net_worker_loop_iterations_total" + label);
+    }
+    workers_.push_back(std::move(worker));
+  }
+
   started_ = true;
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { Loop(); });
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { Loop(*w); });
+  }
   return Status::OK();
 }
 
@@ -111,39 +203,72 @@ void StreamServer::Stop() {
     runtime_->Shutdown();
     return;
   }
-  WakeLoop();
-  if (loop_thread_.joinable()) loop_thread_.join();
+  WakeAllWorkers();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
 }
 
 void StreamServer::Wait() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void StreamServer::RouteStreamTo(uint64_t stream_id, size_t worker_index) {
+  RouteShard& shard = route_table_[stream_id % kRouteShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.worker_of[stream_id] = worker_index;
 }
 
 void StreamServer::OnResult(const StreamResult& result) {
+  size_t worker_index = 0;
+  bool routed = false;
   {
-    std::lock_guard<std::mutex> lock(outbox_mutex_);
-    outbox_.push_back(result);
+    RouteShard& shard = route_table_[result.stream_id % kRouteShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.worker_of.find(result.stream_id);
+    if (it != shard.worker_of.end()) {
+      worker_index = it->second;
+      routed = true;
+    }
   }
-  WakeLoop();
+  if (!routed || worker_index >= workers_.size()) {
+    // No worker ever saw this stream (direct runtime()->Submit use) or the
+    // server never started; there is no connection to write to.
+    if (metrics_.results_dropped != nullptr) metrics_.results_dropped->Inc();
+    return;
+  }
+  Worker& w = *workers_[worker_index];
+  {
+    std::lock_guard<std::mutex> lock(w.outbox_mutex);
+    w.outbox.push_back(result);
+  }
+  WakeWorker(w);
 }
 
-void StreamServer::WakeLoop() {
-  if (wake_write_fd_ < 0) return;
+void StreamServer::WakeWorker(Worker& w) {
+  if (w.wake_write_fd < 0) return;
   const char byte = 1;
   // Non-blocking: a full pipe already guarantees a pending wakeup.
-  [[maybe_unused]] ssize_t ignored = ::write(wake_write_fd_, &byte, 1);
+  [[maybe_unused]] ssize_t ignored = ::write(w.wake_write_fd, &byte, 1);
 }
 
-void StreamServer::Loop() {
+void StreamServer::WakeAllWorkers() {
+  for (auto& worker : workers_) WakeWorker(*worker);
+}
+
+void StreamServer::Loop(Worker& w) {
   std::vector<pollfd> pollfds;
   std::vector<int> conn_fds;
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (w.loop_iterations != nullptr) w.loop_iterations->Inc();
     pollfds.clear();
     conn_fds.clear();
-    pollfds.push_back({listen_fd_, POLLIN, 0});
-    pollfds.push_back({wake_read_fd_, POLLIN, 0});
-    for (const auto& [fd, conn] : conns_) {
+    pollfds.push_back({w.listen_fd, POLLIN, 0});
+    pollfds.push_back({w.wake_read_fd, POLLIN, 0});
+    for (const auto& [fd, conn] : w.conns) {
       short events = POLLIN;
       if (conn->out_pos < conn->outbuf.size()) events |= POLLOUT;
       pollfds.push_back({fd, events, 0});
@@ -158,34 +283,37 @@ void StreamServer::Loop() {
     if (stop_requested_.load(std::memory_order_acquire)) break;
     if ((pollfds[1].revents & POLLIN) != 0) {
       char drain[256];
-      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      while (::read(w.wake_read_fd, drain, sizeof(drain)) > 0) {
       }
     }
-    DrainOutbox();
-    if ((pollfds[0].revents & POLLIN) != 0) AcceptPending();
+    DrainOutbox(w);
+    if ((pollfds[0].revents & POLLIN) != 0) AcceptPending(w);
     for (size_t i = 0; i < conn_fds.size(); ++i) {
       const int fd = conn_fds[i];
       const short revents = pollfds[i + 2].revents;
-      if (conns_.find(fd) == conns_.end()) continue;  // Closed this round.
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) HandleReadable(fd);
-      if (conns_.find(fd) == conns_.end()) continue;
-      if ((revents & POLLOUT) != 0) FlushWrites(fd);
+      if (w.conns.find(fd) == w.conns.end()) continue;  // Closed this round.
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) HandleReadable(w, fd);
+      if (w.conns.find(fd) == w.conns.end()) continue;
+      if ((revents & POLLOUT) != 0) FlushWrites(w, fd);
     }
   }
-  GracefulStop();
+  GracefulStop(w);
 }
 
-void StreamServer::AcceptPending() {
+void StreamServer::AcceptPending(Worker& w) {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(w.listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       FREEWAY_LOG(kWarning) << "accept failed: " << std::strerror(errno);
       return;
     }
     if (metrics_.accepted != nullptr) metrics_.accepted->Inc();
+    if (w.connections != nullptr) w.connections->Inc();
     Status injected = failpoint::Check("net.accept");
-    if (!injected.ok() || conns_.size() >= options_.max_connections) {
+    if (!injected.ok() ||
+        active_connections_.load(std::memory_order_acquire) >=
+            options_.max_connections) {
       if (injected.ok()) {
         FREEWAY_LOG(kWarning) << "connection limit ("
                           << options_.max_connections << ") reached";
@@ -201,33 +329,35 @@ void StreamServer::AcceptPending() {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
-    conns_.emplace(fd, std::move(conn));
+    w.conns.emplace(fd, std::move(conn));
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
     if (metrics_.active != nullptr) metrics_.active->Inc();
   }
 }
 
-void StreamServer::HandleReadable(int fd) {
+void StreamServer::HandleReadable(Worker& w, int fd) {
   char chunk[kReadChunk];
   while (true) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
-      ProcessBuffered(fd, chunk, static_cast<size_t>(n));
-      if (conns_.find(fd) == conns_.end()) return;  // Closed while parsing.
+      ProcessBuffered(w, fd, chunk, static_cast<size_t>(n));
+      if (w.conns.find(fd) == w.conns.end()) return;  // Closed while parsing.
       continue;
     }
     if (n == 0) {
-      CloseConnection(fd);
+      CloseConnection(w, fd);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
-    CloseConnection(fd);
+    CloseConnection(w, fd);
     return;
   }
 }
 
-void StreamServer::ProcessBuffered(int fd, const char* data, size_t size) {
-  Connection& conn = *conns_.at(fd);
+void StreamServer::ProcessBuffered(Worker& w, int fd, const char* data,
+                                   size_t size) {
+  Connection& conn = *w.conns.at(fd);
   if (!conn.protocol_decided) {
     conn.http_buf.insert(conn.http_buf.end(), data, data + size);
     if (conn.http_buf.size() < 4) return;
@@ -237,25 +367,25 @@ void StreamServer::ProcessBuffered(int fd, const char* data, size_t size) {
       conn.decoder.Feed(conn.http_buf.data(), conn.http_buf.size());
       conn.http_buf.clear();
       conn.http_buf.shrink_to_fit();
-      ProcessFrames(fd);
+      ProcessFrames(w, fd);
     } else {
-      HandleHttp(fd);
+      HandleHttp(w, fd);
     }
     return;
   }
   if (conn.http) {
     conn.http_buf.insert(conn.http_buf.end(), data, data + size);
-    HandleHttp(fd);
+    HandleHttp(w, fd);
   } else {
     conn.decoder.Feed(data, size);
-    ProcessFrames(fd);
+    ProcessFrames(w, fd);
   }
 }
 
-void StreamServer::ProcessFrames(int fd) {
+void StreamServer::ProcessFrames(Worker& w, int fd) {
   while (true) {
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) return;
+    auto it = w.conns.find(fd);
+    if (it == w.conns.end()) return;
     Result<Frame> frame = it->second->decoder.Next();
     if (!frame.ok()) {
       if (frame.status().code() == StatusCode::kNotFound) return;
@@ -263,7 +393,7 @@ void StreamServer::ProcessFrames(int fd) {
       if (metrics_.decode_errors != nullptr) metrics_.decode_errors->Inc();
       FREEWAY_LOG(kWarning) << "closing connection " << fd << ": "
                         << frame.status();
-      CloseConnection(fd);
+      CloseConnection(w, fd);
       return;
     }
     // Injected network failure, checked per decoded frame rather than per
@@ -272,7 +402,7 @@ void StreamServer::ProcessFrames(int fd) {
     // are exact. The connection dies with this frame parsed but not yet
     // dispatched — exactly as if the peer's packets stopped arriving.
     if (!failpoint::Check("net.read").ok()) {
-      CloseConnection(fd);
+      CloseConnection(w, fd);
       return;
     }
     if (metrics_.frames_in != nullptr) {
@@ -280,22 +410,24 @@ void StreamServer::ProcessFrames(int fd) {
       metrics_.frame_bytes->Observe(
           static_cast<double>(kFrameHeaderBytes + frame->payload.size()));
     }
-    HandleFrame(fd, *frame);
+    if (w.frames != nullptr) w.frames->Inc();
+    HandleFrame(w, fd, *frame);
   }
 }
 
-void StreamServer::HandleFrame(int fd, const Frame& frame) {
+void StreamServer::HandleFrame(Worker& w, int fd, const Frame& frame) {
   switch (frame.type) {
     case FrameType::kSubmit:
-      HandleSubmit(fd, frame);
+      HandleSubmit(w, fd, frame);
       return;
     case FrameType::kStatsRequest:
-      QueueFrame(fd, EncodeStats(runtime_->Snapshot().ToJson()));
+      QueueFrame(w, fd, EncodeStats(runtime_->Snapshot().ToJson()));
       return;
     case FrameType::kShutdown: {
-      QueueFrame(fd, EncodeAck({0, 0}));
+      QueueFrame(w, fd, EncodeAck({0, 0}));
       if (metrics_.acks != nullptr) metrics_.acks->Inc();
       stop_requested_.store(true, std::memory_order_release);
+      WakeAllWorkers();
       return;
     }
     default: {
@@ -305,13 +437,13 @@ void StreamServer::HandleFrame(int fd, const Frame& frame) {
       error.message = std::string("unexpected frame type ") +
                       FrameTypeName(frame.type);
       if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
-      QueueFrame(fd, EncodeError(error));
+      QueueFrame(w, fd, EncodeError(error));
       return;
     }
   }
 }
 
-void StreamServer::HandleSubmit(int fd, const Frame& frame) {
+void StreamServer::HandleSubmit(Worker& w, int fd, const Frame& frame) {
   if (metrics_.submits != nullptr) metrics_.submits->Inc();
   Result<SubmitMessage> message = DecodeSubmit(frame);
   if (!message.ok()) {
@@ -322,22 +454,25 @@ void StreamServer::HandleSubmit(int fd, const Frame& frame) {
     error.code = message.status().code();
     error.message = message.status().message();
     if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
-    QueueFrame(fd, EncodeError(error));
+    QueueFrame(w, fd, EncodeError(error));
     return;
   }
   const uint64_t stream_id = message->stream_id;
   const int64_t batch_index = message->batch.index;
   const bool unlabeled = !message->batch.labeled();
-  routes_[stream_id] = fd;
+  // Route publication must precede admission: the drain thread may deliver
+  // the result before TrySubmit even returns.
+  w.routes[stream_id] = fd;
+  RouteStreamTo(stream_id, w.index);
   Status admitted =
       runtime_->TrySubmit(stream_id, std::move(message->batch));
   if (admitted.ok()) {
     if (unlabeled && metrics_.request_seconds != nullptr) {
-      pending_latency_[{stream_id, batch_index}] =
+      w.pending_latency[{stream_id, batch_index}] =
           std::chrono::steady_clock::now();
     }
     if (metrics_.acks != nullptr) metrics_.acks->Inc();
-    QueueFrame(fd, EncodeAck({stream_id, batch_index}));
+    QueueFrame(w, fd, EncodeAck({stream_id, batch_index}));
     return;
   }
   if (admitted.code() == StatusCode::kUnavailable) {
@@ -348,7 +483,7 @@ void StreamServer::HandleSubmit(int fd, const Frame& frame) {
     overload.stream_id = stream_id;
     overload.batch_index = batch_index;
     overload.retry_after_micros = options_.overload_retry_micros;
-    QueueFrame(fd, EncodeOverload(overload));
+    QueueFrame(w, fd, EncodeOverload(overload));
     return;
   }
   ErrorMessage error;
@@ -357,55 +492,58 @@ void StreamServer::HandleSubmit(int fd, const Frame& frame) {
   error.code = admitted.code();
   error.message = admitted.message();
   if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
-  QueueFrame(fd, EncodeError(error));
+  QueueFrame(w, fd, EncodeError(error));
 }
 
-void StreamServer::HandleHttp(int fd) {
-  Connection& conn = *conns_.at(fd);
+void StreamServer::HandleHttp(Worker& w, int fd) {
+  Connection& conn = *w.conns.at(fd);
   const std::string request(conn.http_buf.begin(), conn.http_buf.end());
   if (request.find("\r\n\r\n") == std::string::npos) {
-    if (conn.http_buf.size() > kMaxHttpRequest) CloseConnection(fd);
+    if (conn.http_buf.size() > kMaxHttpRequest) CloseConnection(w, fd);
     return;  // Headers not complete yet.
   }
   if (metrics_.http_requests != nullptr) metrics_.http_requests->Inc();
-  const bool metrics_path = request.rfind("GET /metrics", 0) == 0;
   std::string body;
   std::string status_line;
-  if (metrics_path && options_.metrics != nullptr) {
+  std::string content_type = "text/plain; version=0.0.4";
+  if (request.rfind("GET /metrics", 0) == 0 && options_.metrics != nullptr) {
     body = options_.metrics->ToPrometheusText();
+    status_line = "HTTP/1.1 200 OK";
+  } else if (request.rfind("GET /stats", 0) == 0) {
+    body = runtime_->Snapshot().ToJson();
+    content_type = "application/json";
     status_line = "HTTP/1.1 200 OK";
   } else {
     body = "not found\n";
     status_line = "HTTP/1.1 404 Not Found";
   }
-  std::string response = status_line +
-                         "\r\nContent-Type: text/plain; version=0.0.4"
+  std::string response = status_line + "\r\nContent-Type: " + content_type +
                          "\r\nConnection: close"
                          "\r\nContent-Length: " +
                          std::to_string(body.size()) + "\r\n\r\n" + body;
   conn.close_after_flush = true;
-  QueueFrame(fd, std::vector<char>(response.begin(), response.end()));
+  QueueFrame(w, fd, std::vector<char>(response.begin(), response.end()));
 }
 
-void StreamServer::QueueFrame(int fd, std::vector<char> encoded) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void StreamServer::QueueFrame(Worker& w, int fd, std::vector<char> encoded) {
+  auto it = w.conns.find(fd);
+  if (it == w.conns.end()) return;
   Connection& conn = *it->second;
   if (!conn.http && metrics_.frames_out != nullptr) {
     metrics_.frames_out->Inc();
     metrics_.frame_bytes->Observe(static_cast<double>(encoded.size()));
   }
   conn.outbuf.insert(conn.outbuf.end(), encoded.begin(), encoded.end());
-  FlushWrites(fd);
+  FlushWrites(w, fd);
 }
 
-void StreamServer::FlushWrites(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void StreamServer::FlushWrites(Worker& w, int fd) {
+  auto it = w.conns.find(fd);
+  if (it == w.conns.end()) return;
   Connection& conn = *it->second;
   Status injected = failpoint::Check("net.write");
   if (!injected.ok()) {
-    CloseConnection(fd);
+    CloseConnection(w, fd);
     return;
   }
   while (conn.out_pos < conn.outbuf.size()) {
@@ -417,17 +555,17 @@ void StreamServer::FlushWrites(int fd) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // POLLOUT resumes.
     if (errno == EINTR) continue;
-    CloseConnection(fd);
+    CloseConnection(w, fd);
     return;
   }
   conn.outbuf.clear();
   conn.out_pos = 0;
-  if (conn.close_after_flush) CloseConnection(fd);
+  if (conn.close_after_flush) CloseConnection(w, fd);
 }
 
-void StreamServer::CloseConnection(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void StreamServer::CloseConnection(Worker& w, int fd) {
+  auto it = w.conns.find(fd);
+  if (it == w.conns.end()) return;
   Connection& conn = *it->second;
   if (!conn.http && conn.decoder.buffered() > 0) {
     // The peer vanished mid-frame; the partial bytes are discarded (the
@@ -435,20 +573,22 @@ void StreamServer::CloseConnection(int fd) {
     if (metrics_.torn_frames != nullptr) metrics_.torn_frames->Inc();
   }
   net::CloseFd(fd);
-  conns_.erase(it);
+  w.conns.erase(it);
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
   if (metrics_.closed != nullptr) metrics_.closed->Inc();
   if (metrics_.active != nullptr) metrics_.active->Dec();
 }
 
-void StreamServer::DrainOutbox() {
+void StreamServer::DrainOutbox(Worker& w) {
   std::vector<StreamResult> results;
   {
-    std::lock_guard<std::mutex> lock(outbox_mutex_);
-    results.swap(outbox_);
+    std::lock_guard<std::mutex> lock(w.outbox_mutex);
+    results.swap(w.outbox);
   }
   for (StreamResult& result : results) {
-    auto route = routes_.find(result.stream_id);
-    if (route == routes_.end() || conns_.find(route->second) == conns_.end()) {
+    auto route = w.routes.find(result.stream_id);
+    if (route == w.routes.end() ||
+        w.conns.find(route->second) == w.conns.end()) {
       if (metrics_.results_dropped != nullptr) {
         metrics_.results_dropped->Inc();
       }
@@ -456,35 +596,88 @@ void StreamServer::DrainOutbox() {
     }
     if (metrics_.request_seconds != nullptr) {
       auto pending =
-          pending_latency_.find({result.stream_id, result.batch_index});
-      if (pending != pending_latency_.end()) {
+          w.pending_latency.find({result.stream_id, result.batch_index});
+      if (pending != w.pending_latency.end()) {
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - pending->second;
         metrics_.request_seconds->Observe(elapsed.count());
-        pending_latency_.erase(pending);
+        w.pending_latency.erase(pending);
       }
     }
     if (metrics_.results != nullptr) metrics_.results->Inc();
-    QueueFrame(route->second, EncodeResult(result));
+    QueueFrame(w, route->second, EncodeResult(result));
   }
 }
 
-void StreamServer::GracefulStop() {
-  // 1. Stop accepting.
-  net::CloseFd(listen_fd_);
-  listen_fd_ = -1;
-  // 2. Quiesce the runtime: everything admitted is processed and its
-  // results land in the outbox (drain threads are still allowed to wake
-  // the now-defunct pipe; that is harmless).
-  runtime_->Shutdown();
-  DrainOutbox();
-  // 3. Best-effort flush of pending replies within the budget.
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(options_.shutdown_flush_millis);
+void StreamServer::GracefulStop(Worker& w) {
+  // 1. Every worker stops accepting. With dup-listener sharding the
+  // underlying socket only stops listening once the last dup closes, which
+  // is exactly the barrier below.
+  net::CloseFd(w.listen_fd);
+  w.listen_fd = -1;
+  accept_closed_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (w.index == 0) {
+    // 2. Worker 0 coordinates: wait until no worker can accept, then
+    // quiesce the runtime. Everything admitted is processed and its
+    // results land in the per-worker outboxes; the other workers keep
+    // servicing their outboxes and sockets below while this blocks.
+    while (accept_closed_.load(std::memory_order_acquire) <
+           workers_.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    runtime_->Shutdown();
+    drained_.store(true, std::memory_order_release);
+    WakeAllWorkers();
+  } else {
+    // 2'. Stay responsive (deliver results, flush replies) until worker 0
+    // reports the runtime fully drained.
+    std::vector<pollfd> pollfds;
+    std::vector<int> fds;
+    while (!drained_.load(std::memory_order_acquire)) {
+      pollfds.clear();
+      fds.clear();
+      pollfds.push_back({w.wake_read_fd, POLLIN, 0});
+      for (const auto& [fd, conn] : w.conns) {
+        if (conn->out_pos < conn->outbuf.size()) {
+          pollfds.push_back({fd, POLLOUT, 0});
+          fds.push_back(fd);
+        }
+      }
+      const int ready = ::poll(pollfds.data(), pollfds.size(), 20);
+      if (ready < 0 && errno != EINTR) break;
+      if ((pollfds[0].revents & POLLIN) != 0) {
+        char drain[256];
+        while (::read(w.wake_read_fd, drain, sizeof(drain)) > 0) {
+        }
+      }
+      DrainOutbox(w);
+      for (size_t i = 0; i < fds.size(); ++i) {
+        if ((pollfds[i + 1].revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+          FlushWrites(w, fds[i]);
+        }
+      }
+    }
+  }
+
+  // 3. Final result delivery + best-effort reply flush, then teardown.
+  DrainOutbox(w);
+  FlushAndCloseAll(w);
+  const size_t exited =
+      workers_exited_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (exited == workers_.size()) {
+    running_.store(false, std::memory_order_release);
+  }
+}
+
+void StreamServer::FlushAndCloseAll(Worker& w) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.shutdown_flush_millis);
   while (std::chrono::steady_clock::now() < deadline) {
     std::vector<pollfd> pollfds;
     std::vector<int> fds;
-    for (const auto& [fd, conn] : conns_) {
+    for (const auto& [fd, conn] : w.conns) {
       if (conn->out_pos < conn->outbuf.size()) {
         pollfds.push_back({fd, POLLOUT, 0});
         fds.push_back(fd);
@@ -495,14 +688,13 @@ void StreamServer::GracefulStop() {
     if (ready < 0 && errno != EINTR) break;
     for (size_t i = 0; i < fds.size(); ++i) {
       if ((pollfds[i].revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
-        FlushWrites(fds[i]);
+        FlushWrites(w, fds[i]);
       }
     }
   }
-  // 4. Tear down every connection; the wake pipe stays open until the
-  // destructor (late wakeups must never hit a closed/reused fd).
-  while (!conns_.empty()) CloseConnection(conns_.begin()->first);
-  running_.store(false, std::memory_order_release);
+  // The wake pipes stay open until the destructor (late wakeups must never
+  // hit a closed/reused fd).
+  while (!w.conns.empty()) CloseConnection(w, w.conns.begin()->first);
 }
 
 }  // namespace freeway

@@ -1,6 +1,7 @@
 #ifndef FREEWAYML_NET_SERVER_H_
 #define FREEWAYML_NET_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -26,16 +27,23 @@ struct ServerOptions {
   /// 0 binds an ephemeral port — recover the actual one with port().
   uint16_t port = 0;
   int listen_backlog = 64;
-  /// Connections beyond this are accepted and immediately closed (the
-  /// kernel backlog would otherwise queue them invisibly).
+  /// Reactor (event-loop worker) threads. 0 resolves from the
+  /// FREEWAY_NET_WORKERS environment variable, defaulting to 1. Each worker
+  /// runs its own poll() loop over its own listener (SO_REUSEPORT accept
+  /// sharding, or dups of one listener where the kernel lacks it) and owns
+  /// every connection it accepts for that connection's whole life.
+  size_t num_workers = 0;
+  /// Connections beyond this (across all workers) are accepted and
+  /// immediately closed (the kernel backlog would otherwise queue them
+  /// invisibly).
   size_t max_connections = 64;
   /// `retry_after` carried by OVERLOAD replies. Fixed advice: one drain of
   /// a typical batch is in the low milliseconds, so by default clients are
   /// told to stay away for 2 ms and then ramp their own backoff.
   int64_t overload_retry_micros = 2000;
-  /// poll() timeout when nothing is happening. The self-pipe wakes the
-  /// loop early for result delivery and Stop(), so this only bounds how
-  /// stale the loop can be when truly idle.
+  /// poll() timeout when nothing is happening. The per-worker self-pipe
+  /// wakes a loop early for result delivery and Stop(), so this only
+  /// bounds how stale an idle loop can be.
   int poll_timeout_millis = 100;
   /// Wall-clock budget for flushing pending replies during graceful stop.
   int64_t shutdown_flush_millis = 2000;
@@ -50,28 +58,43 @@ struct ServerOptions {
 
 /// TCP batch-ingest frontend over a StreamRuntime.
 ///
-/// One thread runs a poll()-driven accept/read/write loop over non-blocking
-/// sockets; decoded SUBMIT frames enter the runtime through TrySubmit, so
-/// the event loop never blocks on a full shard queue — admission control
-/// turns queue pressure into OVERLOAD(retry_after) replies and the remote
-/// producer backs off (the Envoy idiom: reject at the edge, never stall
-/// the data plane). Inference results surface on runtime drain threads via
-/// the result callback, are handed to the loop through a mutex-guarded
-/// outbox plus a self-pipe wakeup, and are written back on the connection
-/// that submitted the stream — per-stream FIFO order is preserved end to
-/// end because each shard has a single drain task and each connection's
-/// write buffer is FIFO.
+/// Multi-reactor (Envoy listener-per-worker style): N worker threads each
+/// run a poll()-driven accept/read/write loop. Accepts are sharded across
+/// workers by SO_REUSEPORT (each worker binds its own listener on the
+/// shared port; kernels without SO_REUSEPORT fall back to every worker
+/// polling a dup of one listener, where accept() naturally arbitrates).
+/// A connection is pinned for life to the worker that accepted it: decoder
+/// state, write buffers, stream routes, and latency bookkeeping are
+/// worker-local, so no connection state is ever shared across threads.
 ///
-/// The same listener speaks minimal HTTP: a connection whose first bytes
-/// are "GET " receives the Prometheus text exposition of the attached
-/// registry at `/metrics` (404 otherwise) and is closed — curl and a
-/// Prometheus scraper need no second port.
+/// Decoded SUBMIT frames enter the runtime through TrySubmit, so an event
+/// loop never blocks on a full shard queue — admission control turns queue
+/// pressure into OVERLOAD(retry_after) replies and the remote producer
+/// backs off (the Envoy idiom: reject at the edge, never stall the data
+/// plane). Inference results surface on runtime drain threads via the
+/// result callback; a sharded stream→worker route table directs each
+/// result to the owning worker's outbox, and that worker's self-pipe wakes
+/// its loop to write the RESULT on the connection that submitted the
+/// stream. Per-stream FIFO order is preserved end to end because each
+/// runtime shard has a single drain task and each connection's write
+/// buffer is FIFO.
+///
+/// Every worker's listener speaks minimal HTTP: a connection whose first
+/// bytes are "GET " receives the Prometheus text exposition of the
+/// attached registry at `/metrics`, the runtime stats JSON at `/stats`
+/// (404 otherwise), and is closed — curl and a Prometheus scraper need no
+/// second port, regardless of which worker the kernel routes them to.
 ///
 /// Threading contract: Start/Stop/Wait are called by the owner thread.
-/// Everything network-facing runs on the loop thread; the runtime result
-/// callback runs on drain threads and only touches the outbox. FailPoint
-/// sites "net.accept", "net.read", and "net.write" let chaos tests sever
-/// connections at each stage of the loop.
+/// Everything network-facing runs on worker loop threads; the runtime
+/// result callback runs on drain threads and only touches the route table
+/// and per-worker outboxes. Graceful stop is coordinated: every worker
+/// first closes its listener, then worker 0 shuts the runtime down
+/// (draining admitted batches into the outboxes) while the others keep
+/// flushing replies, and each worker finally flushes its own connections
+/// within the shutdown budget. FailPoint sites "net.accept", "net.read",
+/// and "net.write" let chaos tests sever connections at each stage on any
+/// worker.
 class StreamServer {
  public:
   StreamServer(const Model& prototype, ServerOptions options);
@@ -81,24 +104,32 @@ class StreamServer {
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
 
-  /// Binds, listens, and starts the loop thread. Fails on bind errors
-  /// (address in use, bad address). Not restartable after Stop().
+  /// Binds the per-worker listeners and starts the worker threads. Fails
+  /// on bind errors (address in use, bad address). Not restartable after
+  /// Stop().
   Status Start();
 
   /// Graceful stop: stops accepting, shuts the runtime down (processing
   /// everything already admitted), flushes pending replies within
-  /// shutdown_flush_millis, closes all connections, joins the loop thread.
+  /// shutdown_flush_millis, closes all connections, joins every worker.
   /// Idempotent; safe to call even if Start() was never called.
   void Stop();
 
-  /// Blocks until the loop thread exits — either Stop() or a client's
+  /// Blocks until the worker threads exit — either Stop() or a client's
   /// SHUTDOWN frame. No-op when the server never started.
   void Wait();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// The bound port (after Start()).
+  /// The bound port (after Start()). All workers share it.
   uint16_t port() const { return port_; }
+
+  /// Worker threads actually running (after Start()).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// True when accept sharding runs on SO_REUSEPORT; false on the
+  /// dup-listener fallback.
+  bool reuseport_sharding() const { return reuseport_sharding_; }
 
   /// The embedded runtime — for stats snapshots and tests. Submit-side use
   /// must go through the network path.
@@ -116,6 +147,37 @@ class StreamServer {
     bool http = false;
     std::vector<char> http_buf;
     bool close_after_flush = false;
+  };
+
+  /// One reactor: a listener, a self-pipe, and every piece of connection
+  /// state for the connections it accepted. Only `outbox` (+ its mutex)
+  /// is ever touched by other threads.
+  struct Worker {
+    size_t index = 0;
+    int listen_fd = -1;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    std::thread thread;
+
+    // Loop-thread state.
+    std::map<int, std::unique_ptr<Connection>> conns;
+    /// stream_id → fd of the connection that most recently submitted it
+    /// on this worker.
+    std::unordered_map<uint64_t, int> routes;
+    /// (stream_id, batch_index) → admission time of unlabeled batches, for
+    /// the request-latency histogram.
+    std::map<std::pair<uint64_t, int64_t>,
+             std::chrono::steady_clock::time_point>
+        pending_latency;
+
+    /// Results handed off from runtime drain threads.
+    std::mutex outbox_mutex;
+    std::vector<StreamResult> outbox;
+
+    /// freeway_net_worker_* handles; null while metrics are detached.
+    Counter* connections = nullptr;
+    Counter* frames = nullptr;
+    Counter* loop_iterations = nullptr;
   };
 
   /// freeway_net_* handles; null while options_.metrics is null.
@@ -138,56 +200,68 @@ class StreamServer {
     Histogram* request_seconds = nullptr;
   };
 
-  void Loop();
-  void AcceptPending();
+  /// Sharded stream_id → worker-index table: written by workers on SUBMIT,
+  /// read by drain threads delivering results. Sharding keeps the
+  /// submit-path lock nearly uncontended.
+  static constexpr size_t kRouteShards = 16;
+  struct RouteShard {
+    std::mutex mutex;
+    std::unordered_map<uint64_t, size_t> worker_of;
+  };
+
+  void Loop(Worker& w);
+  void AcceptPending(Worker& w);
   /// Reads everything available on `fd`; may close the connection.
-  void HandleReadable(int fd);
+  void HandleReadable(Worker& w, int fd);
   /// Routes buffered bytes: protocol sniffing, then frame or HTTP handling.
-  void ProcessBuffered(int fd, const char* data, size_t size);
-  void ProcessFrames(int fd);
-  void HandleFrame(int fd, const Frame& frame);
-  void HandleSubmit(int fd, const Frame& frame);
-  void HandleHttp(int fd);
+  void ProcessBuffered(Worker& w, int fd, const char* data, size_t size);
+  void ProcessFrames(Worker& w, int fd);
+  void HandleFrame(Worker& w, int fd, const Frame& frame);
+  void HandleSubmit(Worker& w, int fd, const Frame& frame);
+  void HandleHttp(Worker& w, int fd);
   /// Appends an encoded frame to the connection's write buffer and flushes
   /// as much as the socket accepts right now.
-  void QueueFrame(int fd, std::vector<char> encoded);
-  void FlushWrites(int fd);
-  void CloseConnection(int fd);
-  /// Moves results from the outbox onto their connections' write buffers.
-  void DrainOutbox();
-  /// Runtime result callback (drain threads): outbox append + wakeup.
+  void QueueFrame(Worker& w, int fd, std::vector<char> encoded);
+  void FlushWrites(Worker& w, int fd);
+  void CloseConnection(Worker& w, int fd);
+  /// Moves results from the worker's outbox onto its connections' write
+  /// buffers.
+  void DrainOutbox(Worker& w);
+  /// Runtime result callback (drain threads): route lookup + owning
+  /// worker's outbox append + that worker's wakeup.
   void OnResult(const StreamResult& result);
-  void WakeLoop();
-  void GracefulStop();
+  void WakeWorker(Worker& w);
+  void WakeAllWorkers();
+  /// Publishes `stream_id → w` for result handoff.
+  void RouteStreamTo(uint64_t stream_id, size_t worker_index);
+  /// Coordinated teardown tail of Loop(): accept-closed barrier, runtime
+  /// drain on worker 0, then per-worker reply flush and close.
+  void GracefulStop(Worker& w);
+  /// Best-effort reply flush within the shutdown budget, then closes every
+  /// connection of `w`.
+  void FlushAndCloseAll(Worker& w);
 
   ServerOptions options_;
   NetMetrics metrics_;
   std::unique_ptr<StreamRuntime> runtime_;
 
-  int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool reuseport_sharding_ = false;
   uint16_t port_ = 0;
 
-  std::thread loop_thread_;
+  std::array<RouteShard, kRouteShards> route_table_;
+  std::atomic<size_t> active_connections_{0};
+
   std::mutex lifecycle_mutex_;  ///< Serializes Start/Stop/Wait joins.
   bool started_ = false;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-
-  // Loop-thread state.
-  std::map<int, std::unique_ptr<Connection>> conns_;
-  /// stream_id → fd of the connection that most recently submitted it.
-  std::unordered_map<uint64_t, int> routes_;
-  /// (stream_id, batch_index) → admission time of unlabeled batches, for
-  /// the request-latency histogram. Entries whose batch is shed or whose
-  /// connection vanishes are dropped on delivery-lookup misses.
-  std::map<std::pair<uint64_t, int64_t>,
-           std::chrono::steady_clock::time_point>
-      pending_latency_;
-
-  std::mutex outbox_mutex_;
-  std::vector<StreamResult> outbox_;
+  /// Graceful-stop coordination: workers that closed their listeners, the
+  /// "runtime fully drained" flag worker 0 raises, and the count of loops
+  /// that exited (the last one clears running_).
+  std::atomic<size_t> accept_closed_{0};
+  std::atomic<bool> drained_{false};
+  std::atomic<size_t> workers_exited_{0};
 };
 
 }  // namespace freeway

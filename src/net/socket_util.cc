@@ -32,12 +32,25 @@ Result<sockaddr_in> MakeAddress(const std::string& address, uint16_t port) {
 }  // namespace
 
 Result<int> CreateListenSocket(const std::string& address, uint16_t port,
-                               int backlog) {
+                               int backlog, bool reuse_port) {
   ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(address, port));
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoStatus("socket");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      Status status = Status::NotImplemented(
+          std::string("SO_REUSEPORT unsupported: ") + std::strerror(errno));
+      CloseFd(fd);
+      return status;
+    }
+#else
+    CloseFd(fd);
+    return Status::NotImplemented("SO_REUSEPORT not defined on this platform");
+#endif
+  }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     Status status = ErrnoStatus("bind " + address + ":" +
@@ -56,6 +69,12 @@ Result<int> CreateListenSocket(const std::string& address, uint16_t port,
     return nonblocking;
   }
   return fd;
+}
+
+Result<int> DuplicateSocket(int fd) {
+  const int dup_fd = ::dup(fd);
+  if (dup_fd < 0) return ErrnoStatus("dup");
+  return dup_fd;
 }
 
 Result<uint16_t> LocalPort(int fd) {

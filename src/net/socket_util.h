@@ -15,9 +15,20 @@ namespace net {
 
 /// Creates a non-blocking listening TCP socket bound to `address:port`
 /// (port 0 picks an ephemeral port; recover it with LocalPort). SO_REUSEADDR
-/// is set so tests can rebind quickly.
+/// is set so tests can rebind quickly. With `reuse_port` the socket is
+/// additionally marked SO_REUSEPORT *before* binding, so several listeners
+/// can share one port and the kernel shards incoming connections across
+/// them (the multi-reactor accept path); a kernel without SO_REUSEPORT
+/// support makes this fail with NotImplemented, which callers treat as
+/// "use the dup-listener fallback".
 Result<int> CreateListenSocket(const std::string& address, uint16_t port,
-                               int backlog);
+                               int backlog, bool reuse_port = false);
+
+/// Duplicates a socket fd (the shared-listener fallback when SO_REUSEPORT
+/// sharding is unavailable: every worker polls its own dup of one
+/// listener). The dup shares the underlying socket, so the listen state
+/// dies when the last dup is closed.
+Result<int> DuplicateSocket(int fd);
 
 /// The locally bound port of a socket (resolves ephemeral binds).
 Result<uint16_t> LocalPort(int fd);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,7 +23,11 @@ constexpr size_t kBatchRows = 16;
 /// client reports acked was admitted by the runtime, and every admitted
 /// labeled batch is processed (never silently dropped), because the client
 /// re-sends anything unacknowledged on its next connection.
-class NetChaosTest : public ::testing::Test {
+///
+/// The whole suite runs once single-reactor and once with two workers: a
+/// severed connection's replacement may land on a different worker, so the
+/// resend path also exercises cross-worker stream re-routing.
+class NetChaosTest : public ::testing::TestWithParam<size_t> {
  protected:
   void SetUp() override { failpoint::DisarmAll(); }
   void TearDown() override { failpoint::DisarmAll(); }
@@ -30,12 +35,14 @@ class NetChaosTest : public ::testing::Test {
   void StartServer() {
     ServerOptions opts;
     opts.metrics = &registry_;
+    opts.num_workers = GetParam();
     opts.runtime.num_shards = 2;
     opts.runtime.pipeline.learner.base_window_batches = 4;
     opts.runtime.pipeline.learner.detector.warmup_batches = 3;
     auto proto = MakeLogisticRegression(kDim, 2);
     server_ = std::make_unique<StreamServer>(*proto, std::move(opts));
     ASSERT_TRUE(server_->Start().ok());
+    ASSERT_EQ(server_->num_workers(), GetParam());
   }
 
   ClientOptions ClientFor() {
@@ -72,7 +79,7 @@ class NetChaosTest : public ::testing::Test {
   std::unique_ptr<StreamServer> server_;
 };
 
-TEST_F(NetChaosTest, TornClientFrameIsResentAfterReconnect) {
+TEST_P(NetChaosTest, TornClientFrameIsResentAfterReconnect) {
   StartServer();
   // The 3rd SUBMIT write tears: half the frame leaves, then the socket
   // dies. The server must count one torn frame and never see the batch;
@@ -103,7 +110,7 @@ TEST_F(NetChaosTest, TornClientFrameIsResentAfterReconnect) {
   ExpectZeroLabeledLoss(kBatches);
 }
 
-TEST_F(NetChaosTest, ServerSideReadDropForcesResendWithoutLoss) {
+TEST_P(NetChaosTest, ServerSideReadDropForcesResendWithoutLoss) {
   StartServer();
   // The server kills the connection mid-stream (the net.read site fires
   // once per decoded frame, so skip=2 lands deterministically on the 3rd
@@ -135,7 +142,7 @@ TEST_F(NetChaosTest, ServerSideReadDropForcesResendWithoutLoss) {
   ExpectZeroLabeledLoss(kBatches);
 }
 
-TEST_F(NetChaosTest, DroppedAcceptIsRetriedTransparently) {
+TEST_P(NetChaosTest, DroppedAcceptIsRetriedTransparently) {
   StartServer();
   // The first accepted connection is closed before a byte is served.
   failpoint::FailPointSpec spec;
@@ -160,7 +167,7 @@ TEST_F(NetChaosTest, DroppedAcceptIsRetriedTransparently) {
   ExpectZeroLabeledLoss(kBatches);
 }
 
-TEST_F(NetChaosTest, ConcurrentClientsSurviveScatteredDrops) {
+TEST_P(NetChaosTest, ConcurrentClientsSurviveScatteredDrops) {
   StartServer();
   // Drops land mid-run across all connections (the loop shares the site);
   // each affected client reconnects and resends independently.
@@ -198,6 +205,11 @@ TEST_F(NetChaosTest, ConcurrentClientsSurviveScatteredDrops) {
   server_->Stop();
   ExpectZeroLabeledLoss(acked);
 }
+
+INSTANTIATE_TEST_SUITE_P(Workers, NetChaosTest, ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "workers" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace freeway

@@ -330,5 +330,184 @@ TEST_F(NetServerTest, MalformedSubmitGetsErrorReplyAndConnectionSurvives) {
   EXPECT_GE(CounterValue("freeway_net_decode_errors_total"), 1u);
 }
 
+/// ---- Multi-reactor (num_workers > 1) coverage ----
+
+class MultiWorkerServerTest : public NetServerTest {
+ protected:
+  uint64_t WorkerConnections(size_t worker) {
+    return CounterValue("freeway_net_worker_connections_total{worker=\"" +
+                        std::to_string(worker) + "\"}");
+  }
+
+  bool EveryWorkerAccepted(size_t num_workers) {
+    for (size_t i = 0; i < num_workers; ++i) {
+      if (WorkerConnections(i) == 0) return false;
+    }
+    return true;
+  }
+};
+
+TEST_F(MultiWorkerServerTest, AcceptShardingReachesEveryWorker) {
+  constexpr size_t kWorkers = 4;
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  opts.num_workers = kWorkers;
+  opts.max_connections = 256;
+  StartServer(opts);
+  ASSERT_EQ(server_->num_workers(), kWorkers);
+
+  // Keep opening connections (each proves itself with one labeled submit)
+  // until every worker has accepted at least one. The kernel hashes the
+  // 4-tuple across SO_REUSEPORT listeners, so with 128 distinct source
+  // ports the chance of starving one of 4 workers is ~4*(3/4)^128 — zero
+  // in practice. The dup-listener fallback makes no spread promise (any
+  // worker's accept() may win every race), so there the test only demands
+  // that the fallback path carries all traffic correctly.
+  HyperplaneSource source = MakeSource(31);
+  std::vector<std::unique_ptr<StreamClient>> clients;
+  constexpr size_t kMaxConnections = 128;
+  while (clients.size() < kMaxConnections &&
+         !EveryWorkerAccepted(kWorkers)) {
+    clients.push_back(std::make_unique<StreamClient>(ClientFor()));
+    const uint64_t stream_id = clients.size();
+    ASSERT_TRUE(
+        clients.back()->Submit(stream_id, NextBatch(source, true)).ok());
+  }
+  if (server_->reuseport_sharding()) {
+    EXPECT_TRUE(EveryWorkerAccepted(kWorkers))
+        << "a worker accepted nothing after " << clients.size()
+        << " connections";
+  }
+
+  // Per-worker accept counters partition the global accept counter.
+  uint64_t across_workers = 0;
+  for (size_t i = 0; i < kWorkers; ++i) across_workers += WorkerConnections(i);
+  EXPECT_EQ(across_workers,
+            CounterValue("freeway_net_connections_total{event=\"accepted\"}"));
+
+  const uint64_t submitted = clients.size();
+  for (auto& client : clients) client->Disconnect();
+  server_->Stop();
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, submitted);
+  EXPECT_EQ(snapshot.totals.processed, submitted);
+}
+
+TEST_F(MultiWorkerServerTest, CrossWorkerExactReconciliation) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  opts.runtime.num_shards = 4;
+  opts.num_workers = 3;
+  StartServer(opts);
+
+  // Mixed labeled/inference traffic from concurrent clients whose
+  // connections land on different workers. Every RESULT must find its way
+  // from a drain thread through the route table to the owning worker.
+  constexpr int kClients = 6;
+  constexpr int kBatches = 12;
+  std::vector<ClientTallies> tallies(kClients);
+  std::vector<std::thread> producers;
+  for (int c = 0; c < kClients; ++c) {
+    producers.emplace_back([this, c, &tallies] {
+      StreamClient client(ClientFor());
+      HyperplaneSource source = MakeSource(300 + c);
+      size_t unlabeled = 0;
+      for (int b = 0; b < kBatches; ++b) {
+        const bool labeled = b % 4 != 3;
+        if (!labeled) ++unlabeled;
+        ASSERT_TRUE(client.Submit(c, NextBatch(source, labeled)).ok());
+      }
+      size_t results = client.TakeResults().size();
+      while (results < unlabeled) {
+        Result<std::vector<StreamResult>> more = client.PollResults(2000);
+        ASSERT_TRUE(more.ok()) << more.status();
+        ASSERT_FALSE(more->empty());
+        results += more->size();
+      }
+      tallies[c] = client.tallies();
+    });
+  }
+  for (auto& t : producers) t.join();
+  server_->Stop();
+
+  uint64_t sent = 0, acked = 0, results = 0;
+  for (const ClientTallies& t : tallies) {
+    sent += t.submits_sent;
+    acked += t.acked;
+    results += t.results;
+  }
+  EXPECT_EQ(acked, static_cast<uint64_t>(kClients * kBatches));
+  EXPECT_EQ(CounterValue("freeway_net_submits_total"), sent);
+  EXPECT_EQ(CounterValue("freeway_net_acks_total"), acked);
+  EXPECT_EQ(CounterValue("freeway_net_results_total"), results);
+  EXPECT_EQ(CounterValue("freeway_net_results_dropped_total"), 0u);
+
+  // The exact ledger after a quiescent stop, summed over every worker's
+  // traffic: enqueued = processed + shed + quarantined + undrained +
+  // in_flight, with everything but processed pinned at zero.
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, acked);
+  EXPECT_EQ(snapshot.totals.enqueued,
+            snapshot.totals.processed + snapshot.totals.shed +
+                snapshot.totals.quarantined + snapshot.totals.undrained +
+                snapshot.totals.in_flight);
+  EXPECT_EQ(snapshot.totals.processed, acked);
+  EXPECT_EQ(snapshot.totals.shed, 0u);
+  EXPECT_EQ(snapshot.totals.quarantined, 0u);
+  EXPECT_EQ(snapshot.totals.undrained, 0u);
+  EXPECT_EQ(snapshot.totals.in_flight, 0u);
+}
+
+TEST_F(MultiWorkerServerTest, HttpServedRegardlessOfWorker) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  opts.num_workers = 4;
+  StartServer(opts);
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(41);
+  ASSERT_TRUE(client.Submit(0, NextBatch(source, true)).ok());
+
+  // Each scrape is a fresh connection the kernel routes to some worker;
+  // 16 in a row exercise several of them, and every one must serve both
+  // endpoints.
+  for (int i = 0; i < 16; ++i) {
+    Result<std::string> metrics =
+        HttpGet("127.0.0.1", server_->port(), "/metrics");
+    ASSERT_TRUE(metrics.ok()) << metrics.status();
+    EXPECT_NE(metrics->find("freeway_net_submits_total"), std::string::npos);
+    Result<std::string> stats =
+        HttpGet("127.0.0.1", server_->port(), "/stats");
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_NE(stats->find("\"shards\""), std::string::npos) << *stats;
+  }
+  server_->Stop();
+}
+
+TEST_F(MultiWorkerServerTest, ShutdownFrameDrainsAllWorkers) {
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  opts.num_workers = 3;
+  StartServer(opts);
+
+  // Admit work through several connections (spread across workers), then
+  // let one of them pull the plug: the coordinated stop must still process
+  // everything admitted on every worker.
+  constexpr int kClients = 5;
+  std::vector<std::unique_ptr<StreamClient>> clients;
+  HyperplaneSource source = MakeSource(43);
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<StreamClient>(ClientFor()));
+    ASSERT_TRUE(clients.back()->Submit(c, NextBatch(source, true)).ok());
+    ASSERT_TRUE(clients.back()->Submit(c, NextBatch(source, true)).ok());
+  }
+  ASSERT_TRUE(clients.front()->RequestShutdown().ok());
+  server_->Wait();
+  EXPECT_FALSE(server_->running());
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.processed,
+            static_cast<uint64_t>(kClients * 2));
+  EXPECT_EQ(snapshot.totals.undrained, 0u);
+}
+
 }  // namespace
 }  // namespace freeway

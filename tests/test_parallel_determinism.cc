@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/granularity.h"
+#include "linalg/simd.h"
 #include "ml/layers.h"
 #include "ml/models.h"
 
@@ -140,6 +141,34 @@ TEST(ParallelDeterminismTest, EnsemblePredictProba) {
   };
   auto [s, p] = AtOneAndFourThreads<Matrix>(run);
   ExpectBitIdentical(s, p);
+}
+
+TEST(ParallelDeterminismTest, HoldsUnderEverySimdDispatchTarget) {
+  // The contract is per dispatch target: scalar and AVX2 kernels each give
+  // bit-identical results at any thread count (chunk layout depends only
+  // on shape; per-element accumulation order is fixed inside each kernel).
+  // Cross-target equality is NOT promised — that tolerance lives in
+  // tests/test_simd.cc.
+  Matrix a = RandomMatrix(61, 47, 31);
+  Matrix b = RandomMatrix(47, 29, 32);
+  Matrix points = RandomMatrix(300, 16, 33);
+  const simd::DispatchTarget restore = simd::ActiveTarget();
+  for (simd::DispatchTarget target :
+       {simd::DispatchTarget::kScalar, simd::DispatchTarget::kAvx2}) {
+    simd::ForceTarget(target);
+    auto [s, p] = AtOneAndFourThreads<Matrix>([&] { return a.MatMul(b); });
+    ExpectBitIdentical(s, p);
+    auto [sk, pk] = AtOneAndFourThreads<KMeansResult>([&] {
+      KMeansOptions opts;
+      opts.max_iterations = 10;
+      auto r = KMeans(points, 4, opts);
+      EXPECT_TRUE(r.ok());
+      return std::move(r).value();
+    });
+    EXPECT_EQ(sk.assignments, pk.assignments);
+    ExpectBitIdentical(sk.centroids, pk.centroids);
+  }
+  simd::ForceTarget(restore);
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+#include "linalg/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace freeway {
+namespace {
+
+/// Scalar ↔ AVX2 equivalence for every dispatched kernel, plus the
+/// dispatch machinery itself. On hosts without AVX2 the ForceTarget calls
+/// degrade to scalar and the comparisons become trivially exact — the
+/// suite still runs, it just stops being a cross-target test (CI covers
+/// both by also running with FREEWAY_SIMD=off).
+///
+/// Tolerances: AVX2 kernels fuse multiply-adds and lane-split reductions,
+/// so scalar and vector results are NOT bit-identical — they differ by
+/// reassociation-level rounding. The bound used here is a relative 1e-12
+/// (double epsilon is ~2.2e-16; thousands of accumulations stay far below
+/// 1e-12 relative for well-conditioned inputs).
+
+constexpr double kRelTol = 1e-12;
+
+void ExpectClose(double a, double b, const char* what) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  EXPECT_LE(std::fabs(a - b), kRelTol * scale)
+      << what << ": scalar=" << a << " avx2=" << b;
+}
+
+std::vector<double> RandomVector(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+/// RAII guard: force a target for one scope, restore the auto-resolved
+/// target afterwards so test order does not leak state.
+class TargetGuard {
+ public:
+  explicit TargetGuard(simd::DispatchTarget target)
+      : previous_(simd::ActiveTarget()) {
+    installed_ = simd::ForceTarget(target);
+  }
+  ~TargetGuard() { simd::ForceTarget(previous_); }
+  simd::DispatchTarget installed() const { return installed_; }
+
+ private:
+  simd::DispatchTarget previous_;
+  simd::DispatchTarget installed_;
+};
+
+TEST(SimdDispatchTest, ForceTargetInstallsAndReports) {
+  {
+    TargetGuard scalar(simd::DispatchTarget::kScalar);
+    EXPECT_EQ(simd::ActiveTarget(), simd::DispatchTarget::kScalar);
+    EXPECT_STREQ(simd::TargetName(simd::ActiveTarget()), "scalar");
+  }
+  {
+    TargetGuard avx2(simd::DispatchTarget::kAvx2);
+    if (simd::Avx2Supported()) {
+      EXPECT_EQ(avx2.installed(), simd::DispatchTarget::kAvx2);
+      EXPECT_STREQ(simd::TargetName(simd::ActiveTarget()), "avx2");
+    } else {
+      // Requesting AVX2 on a host without it must degrade, not crash.
+      EXPECT_EQ(avx2.installed(), simd::DispatchTarget::kScalar);
+    }
+  }
+}
+
+TEST(SimdKernelTest, DotMatchesAcrossTargets) {
+  Rng rng(17);
+  // Lengths straddle every AVX2 code path: sub-lane, one lane, unaligned
+  // tails, and a long reduction.
+  for (size_t n : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 16u, 17u, 64u, 1001u}) {
+    const std::vector<double> a = RandomVector(rng, n);
+    const std::vector<double> b = RandomVector(rng, n);
+    double scalar = 0.0, vector = 0.0;
+    {
+      TargetGuard g(simd::DispatchTarget::kScalar);
+      scalar = simd::Dot(a.data(), b.data(), n);
+    }
+    {
+      TargetGuard g(simd::DispatchTarget::kAvx2);
+      vector = simd::Dot(a.data(), b.data(), n);
+    }
+    ExpectClose(scalar, vector, "Dot");
+  }
+}
+
+TEST(SimdKernelTest, SquaredDistanceMatchesAcrossTargets) {
+  Rng rng(19);
+  for (size_t n : {1u, 2u, 8u, 9u, 31u, 32u, 33u, 257u}) {
+    const std::vector<double> a = RandomVector(rng, n);
+    const std::vector<double> b = RandomVector(rng, n);
+    double scalar = 0.0, vector = 0.0;
+    {
+      TargetGuard g(simd::DispatchTarget::kScalar);
+      scalar = simd::SquaredDistance(a.data(), b.data(), n);
+    }
+    {
+      TargetGuard g(simd::DispatchTarget::kAvx2);
+      vector = simd::SquaredDistance(a.data(), b.data(), n);
+    }
+    ExpectClose(scalar, vector, "SquaredDistance");
+    EXPECT_GE(vector, 0.0);
+  }
+}
+
+TEST(SimdKernelTest, AccumPanel4MatchesAcrossTargets) {
+  Rng rng(23);
+  for (size_t n : {1u, 4u, 5u, 8u, 12u, 13u, 100u}) {
+    const std::vector<double> b0 = RandomVector(rng, n);
+    const std::vector<double> b1 = RandomVector(rng, n);
+    const std::vector<double> b2 = RandomVector(rng, n);
+    const std::vector<double> b3 = RandomVector(rng, n);
+    const std::vector<double> base = RandomVector(rng, n);
+    const double a0 = rng.NextDouble(), a1 = rng.NextDouble(),
+                 a2 = rng.NextDouble(), a3 = rng.NextDouble();
+    std::vector<double> scalar = base, vector = base;
+    {
+      TargetGuard g(simd::DispatchTarget::kScalar);
+      simd::AccumPanel4(scalar.data(), b0.data(), b1.data(), b2.data(),
+                        b3.data(), a0, a1, a2, a3, n);
+    }
+    {
+      TargetGuard g(simd::DispatchTarget::kAvx2);
+      simd::AccumPanel4(vector.data(), b0.data(), b1.data(), b2.data(),
+                        b3.data(), a0, a1, a2, a3, n);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      ExpectClose(scalar[j], vector[j], "AccumPanel4");
+    }
+  }
+}
+
+TEST(SimdKernelTest, AxpyRowMatchesAcrossTargets) {
+  Rng rng(29);
+  for (size_t n : {1u, 3u, 8u, 11u, 64u}) {
+    const std::vector<double> b = RandomVector(rng, n);
+    const std::vector<double> base = RandomVector(rng, n);
+    const double a = rng.Uniform(-2.0, 2.0);
+    std::vector<double> scalar = base, vector = base;
+    {
+      TargetGuard g(simd::DispatchTarget::kScalar);
+      simd::AxpyRow(scalar.data(), b.data(), a, n);
+    }
+    {
+      TargetGuard g(simd::DispatchTarget::kAvx2);
+      simd::AxpyRow(vector.data(), b.data(), a, n);
+    }
+    for (size_t j = 0; j < n; ++j) ExpectClose(scalar[j], vector[j], "Axpy");
+  }
+}
+
+TEST(SimdKernelTest, NearestCentroidAgreesAndBreaksTiesLow) {
+  Rng rng(31);
+  for (size_t dim : {2u, 8u, 9u, 33u}) {
+    const size_t k = 7;
+    std::vector<double> centroids(k * dim);
+    for (double& x : centroids) x = rng.NextDouble();
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::vector<double> point = RandomVector(rng, dim);
+      double d2_scalar = 0.0, d2_vector = 0.0;
+      int scalar = -1, vector = -1;
+      {
+        TargetGuard g(simd::DispatchTarget::kScalar);
+        scalar = simd::NearestCentroid(point.data(), centroids.data(), k, dim,
+                                       &d2_scalar);
+      }
+      {
+        TargetGuard g(simd::DispatchTarget::kAvx2);
+        vector = simd::NearestCentroid(point.data(), centroids.data(), k, dim,
+                                       &d2_vector);
+      }
+      // Random points have distinct distances, so the winner must agree
+      // exactly (a tolerance-level distance tie would be a different test).
+      EXPECT_EQ(scalar, vector) << "dim=" << dim << " trial=" << trial;
+      ExpectClose(d2_scalar, d2_vector, "NearestCentroid d2");
+    }
+  }
+
+  // Exact duplicate centroids: both targets must pick the lowest index.
+  const std::vector<double> point = {0.5, 0.5};
+  const std::vector<double> dup = {3.0, 3.0, 0.5, 0.5, 0.5, 0.5, 9.0, 9.0};
+  for (simd::DispatchTarget t :
+       {simd::DispatchTarget::kScalar, simd::DispatchTarget::kAvx2}) {
+    TargetGuard g(t);
+    EXPECT_EQ(simd::NearestCentroid(point.data(), dup.data(), 4, 2), 1);
+  }
+}
+
+TEST(SimdIntegrationTest, MatMulToleranceAcrossTargets) {
+  Rng rng(37);
+  // Odd shapes force the k-tail and column-tail paths inside the GEMM.
+  Matrix a(35, 27), b(27, 19);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j)
+      a.At(i, j) = rng.Uniform(-1.0, 1.0);
+  for (size_t i = 0; i < b.rows(); ++i)
+    for (size_t j = 0; j < b.cols(); ++j)
+      b.At(i, j) = rng.Uniform(-1.0, 1.0);
+
+  Matrix scalar, vector;
+  {
+    TargetGuard g(simd::DispatchTarget::kScalar);
+    scalar = a.MatMul(b);
+  }
+  {
+    TargetGuard g(simd::DispatchTarget::kAvx2);
+    vector = a.MatMul(b);
+  }
+  for (size_t i = 0; i < scalar.rows(); ++i) {
+    for (size_t j = 0; j < scalar.cols(); ++j) {
+      ExpectClose(scalar.At(i, j), vector.At(i, j), "MatMul");
+    }
+  }
+}
+
+TEST(SimdIntegrationTest, MatMulZeroSkipStillShortCircuitsNonFinite) {
+  // The zero-skip contract: a == 0 entries are skipped entirely, so a 0 row
+  // weight times an inf/NaN operand contributes nothing under BOTH targets
+  // (the AVX2 panel only runs on all-nonzero groups).
+  Matrix a(1, 4), b(4, 3);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 0.0;  // row of b with non-finite values — must be skipped
+  a.At(0, 2) = 2.0;
+  a.At(0, 3) = 0.0;
+  for (size_t j = 0; j < 3; ++j) {
+    b.At(0, j) = 1.0;
+    b.At(1, j) = std::numeric_limits<double>::infinity();
+    b.At(2, j) = 10.0;
+    b.At(3, j) = std::nan("");
+  }
+  for (simd::DispatchTarget t :
+       {simd::DispatchTarget::kScalar, simd::DispatchTarget::kAvx2}) {
+    TargetGuard g(t);
+    const Matrix out = a.MatMul(b);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(out.At(0, j), 21.0) << simd::TargetName(t);
+    }
+  }
+}
+
+TEST(SimdIntegrationTest, KMeansAssignmentsAgreeAcrossTargets) {
+  Rng rng(41);
+  Matrix points(200, 16);
+  for (size_t i = 0; i < points.rows(); ++i)
+    for (size_t j = 0; j < points.cols(); ++j)
+      points.At(i, j) = rng.Uniform(0.0, 10.0);
+
+  KMeansOptions opts;
+  opts.seed = 7;
+  std::vector<int> scalar_assign, vector_assign;
+  {
+    TargetGuard g(simd::DispatchTarget::kScalar);
+    Result<KMeansResult> km = KMeans(points, 5, opts);
+    ASSERT_TRUE(km.ok()) << km.status();
+    scalar_assign = AssignToCentroids(points, km->centroids);
+  }
+  {
+    TargetGuard g(simd::DispatchTarget::kAvx2);
+    Result<KMeansResult> km = KMeans(points, 5, opts);
+    ASSERT_TRUE(km.ok()) << km.status();
+    vector_assign = AssignToCentroids(points, km->centroids);
+  }
+  // Same seed, same data: Lloyd's iterations see tolerance-level
+  // differences at most, and on random data the argmin per point is stable
+  // under 1e-12-relative perturbation.
+  EXPECT_EQ(scalar_assign, vector_assign);
+}
+
+}  // namespace
+}  // namespace freeway
