@@ -2,8 +2,11 @@
 #define FREEWAYML_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "baselines/factory.h"
 #include "common/strings.h"
@@ -12,6 +15,40 @@
 
 namespace freeway {
 namespace bench {
+
+/// Host context stamped into every BENCH_*.json. Numbers measured on a
+/// loaded or frequency-scaled machine are not comparable to quiet ones, and
+/// a single-core host cannot exhibit parallel speedups at all — the
+/// fingerprint says which regime a given JSON was recorded in.
+struct HostFingerprint {
+  unsigned cores = 0;
+  /// 1-minute load average at emit time; -1 when unreadable.
+  double load_avg_1m = -1.0;
+  /// cpu0's cpufreq scaling governor (e.g. "performance", "powersave");
+  /// empty when sysfs does not expose one (VMs, containers).
+  std::string governor;
+  bool single_core = false;
+};
+
+inline HostFingerprint FingerprintHost() {
+  HostFingerprint fp;
+  fp.cores = std::thread::hardware_concurrency();
+  fp.single_core = fp.cores <= 1;
+  double load[1] = {0.0};
+  if (::getloadavg(load, 1) == 1) fp.load_avg_1m = load[0];
+  std::ifstream gov("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (gov) std::getline(gov, fp.governor);
+  return fp;
+}
+
+/// The fingerprint as a JSON object, ready to embed under a "host" key.
+inline std::string HostJson() {
+  const HostFingerprint fp = FingerprintHost();
+  return "{\"cores\": " + std::to_string(fp.cores) +
+         ", \"single_core\": " + (fp.single_core ? "true" : "false") +
+         ", \"load_avg_1m\": " + FormatDouble(fp.load_avg_1m, 2) +
+         ", \"governor\": \"" + fp.governor + "\"}";
+}
 
 /// Standard accuracy-experiment scale. The paper streams full datasets with
 /// batch 1024; these defaults keep every bench binary in the tens of

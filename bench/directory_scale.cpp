@@ -1,0 +1,333 @@
+// Stream-directory scale benchmark: (a) drives >= 100k logical streams
+// (default 120k, FREEWAY_BENCH_DIR_STREAMS to rescale) through a 4-shard
+// directory-mode StreamRuntime whose hydrated working set is bounded far
+// below the stream count, reporting sustained submit throughput and exact
+// activation (hydrate) latency percentiles; and (b) floods one pressured
+// shard from a heavy (weight 8, standard) and a light (weight 1,
+// best-effort) tenant through the non-blocking TrySubmit path, reporting
+// per-tenant admitted/rejected so the weighted-fairness contract — heavy
+// throttled proportionally more slowly, light throttled but never starved —
+// is visible in numbers. Emits BENCH_directory.json.
+//
+// Acceptance bar: the working set stays at/below its configured cap while
+// every logical stream is activated at least once (the whole point of the
+// directory: stream count no longer bounds memory), the quiescent
+// hydration invariant holds, and the light tenant's admitted count is > 0.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "directory/working_set.h"
+#include "eval/report.h"
+#include "ml/models.h"
+#include "runtime/stream_runtime.h"
+
+using namespace freeway;        // NOLINT — bench driver.
+using namespace freeway::bench; // NOLINT
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kDim = 8;
+constexpr size_t kBatchSize = 8;
+constexpr size_t kNumShards = 4;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0) {
+    std::fprintf(stderr, "ignoring %s=%s (want a positive integer)\n", name,
+                 raw);
+    return fallback;
+  }
+  return static_cast<size_t>(value);
+}
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(kBatchSize, kDim);
+  if (labeled) b.labels.resize(kBatchSize);
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < kDim; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+struct Percentiles {
+  size_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Percentiles Summarize(std::vector<double> micros) {
+  Percentiles p;
+  p.count = micros.size();
+  if (micros.empty()) return p;
+  std::sort(micros.begin(), micros.end());
+  p.p50 = micros[micros.size() / 2];
+  p.p99 = micros[std::min(micros.size() - 1, (micros.size() * 99) / 100)];
+  p.max = micros.back();
+  return p;
+}
+
+RuntimeOptions BaseOptions() {
+  RuntimeOptions opts;
+  opts.num_shards = kNumShards;
+  opts.queue_capacity = 256;
+  // The learner is deliberately tiny: the quantity under test is directory
+  // overhead (placement, hydrate, evict-to-park), not model math.
+  opts.pipeline.learner.base_window_batches = 4;
+  opts.pipeline.learner.detector.warmup_batches = 3;
+  opts.pipeline.enable_rate_adjuster = false;
+  opts.forward_rate_signal = false;
+  opts.directory.enabled = true;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  Banner("directory_scale", "Stream directory",
+         "Activation latency and sustained throughput of >= 100k logical "
+         "streams over a bounded hydrated working set, plus per-tenant "
+         "weighted-admission fairness under a pressured shard.");
+
+  ThreadPool::SetGlobalThreads(4);
+  const size_t kStreams = EnvSize("FREEWAY_BENCH_DIR_STREAMS", 120000);
+  auto proto = MakeLogisticRegression(kDim, 2);
+
+  const std::string scratch = "bench_directory_park";
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  // ---- Phase A: activation at scale ----------------------------------
+  RuntimeOptions opts = BaseOptions();
+  opts.directory.park_dir = scratch + "/scale";
+  opts.directory.working_set_capacity = 2048;
+  opts.directory.record_activation_latency = true;
+  opts.directory.ApplyEnv();  // FREEWAY_DIRECTORY_WORKING_SET overrides.
+  const size_t kWorkingSet = opts.directory.working_set_capacity;
+
+  std::atomic<uint64_t> results{0};
+  StreamRuntime runtime(*proto, opts,
+                        [&results](const StreamResult&) { ++results; });
+
+  // One cold touch per logical stream, every 2nd labeled, plus a retouch
+  // of a recently-activated stream every 8th submit so the LRU hit path is
+  // exercised alongside the miss path. Recent means "within the last ~512
+  // activations", which is inside the working set at every capacity the
+  // bench supports.
+  Stopwatch watch;
+  uint64_t submits = 0;
+  for (size_t i = 0; i < kStreams; ++i) {
+    runtime
+        .Submit(i, MakeBatch(/*labeled=*/i % 2 == 0, /*seed=*/1000 + i,
+                             /*index=*/0))
+        .CheckOk();
+    ++submits;
+    if (i % 8 == 7 && i > 512) {
+      const uint64_t recent = i - 1 - (i % 512);
+      runtime
+          .Submit(recent, MakeBatch(/*labeled=*/false, /*seed=*/9000 + i,
+                                    /*index=*/1))
+          .CheckOk();
+      ++submits;
+    }
+    // A long-range retouch every 32nd submit reaches a long-evicted stream,
+    // so the activation percentiles include real park-restore hydrations,
+    // not just fresh ones.
+    if (i % 32 == 31 && i > 4096) {
+      runtime
+          .Submit(i / 2, MakeBatch(/*labeled=*/false, /*seed=*/5000 + i,
+                                   /*index=*/1))
+          .CheckOk();
+      ++submits;
+    }
+  }
+  runtime.Flush();
+  const double scale_secs = watch.ElapsedSeconds();
+
+  // The runtime is quiescent after Flush, so working-set inspection and the
+  // hydration invariant are exact.
+  std::vector<double> activation;
+  for (size_t s = 0; s < runtime.num_shards(); ++s) {
+    const WorkingSetStats& stats = runtime.shard_working_set(s)->stats();
+    activation.insert(activation.end(), stats.activation_micros.begin(),
+                      stats.activation_micros.end());
+  }
+  const Percentiles act = Summarize(activation);
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  const DirectoryStatsSnapshot& dir = snapshot.directory;
+
+  bool ok = true;
+  if (dir.hydrations_fresh + dir.hydrations_restored !=
+      dir.evictions + dir.discards + dir.resident) {
+    std::fprintf(stderr, "FAIL: hydration invariant violated\n");
+    ok = false;
+  }
+  if (dir.resident > dir.capacity) {
+    std::fprintf(stderr, "FAIL: working set exceeded its cap (%llu > %llu)\n",
+                 static_cast<unsigned long long>(dir.resident),
+                 static_cast<unsigned long long>(dir.capacity));
+    ok = false;
+  }
+  if (act.count < kStreams) {
+    std::fprintf(stderr,
+                 "FAIL: only %zu activations recorded for %zu streams\n",
+                 act.count, kStreams);
+    ok = false;
+  }
+  runtime.Shutdown();
+
+  const double submits_per_sec =
+      scale_secs > 0.0 ? static_cast<double>(submits) / scale_secs : 0.0;
+  TablePrinter scale_table({"Metric", "Value"});
+  scale_table.AddRow({"logical streams", std::to_string(kStreams)});
+  scale_table.AddRow({"working-set cap", std::to_string(kWorkingSet)});
+  scale_table.AddRow({"submits/sec", FormatDouble(submits_per_sec, 1)});
+  scale_table.AddRow({"activation p50 (us)", FormatDouble(act.p50, 1)});
+  scale_table.AddRow({"activation p99 (us)", FormatDouble(act.p99, 1)});
+  scale_table.AddRow(
+      {"evictions", std::to_string(static_cast<unsigned long long>(
+                        dir.evictions))});
+  scale_table.Print();
+  std::printf("\n");
+
+  // ---- Phase B: weighted-admission fairness --------------------------
+  // Manual-pump rounds keep the single shard *continuously* pressured:
+  // each round floods far more attempts than the queue holds, then drains
+  // it once. Free-running producers against a scheduled drain on a small
+  // host let the queue oscillate through the uncontended band (fill < 0.5,
+  // where by design nobody is throttled), which measures the scheduler,
+  // not the admission contract.
+  RuntimeOptions fopts = BaseOptions();
+  fopts.num_shards = 1;  // Single contended shard: the fairness crucible.
+  fopts.queue_capacity = 40;
+  fopts.schedule_workers = false;
+  fopts.directory.park_dir = scratch + "/fairness";
+  fopts.directory.working_set_capacity = 64;
+  fopts.directory.admission.enabled = true;
+  fopts.directory.admission.tenants = {
+      {/*tenant_id=*/1, /*weight=*/8.0, TenantPriority::kStandard},
+      {/*tenant_id=*/2, /*weight=*/1.0, TenantPriority::kBestEffort},
+  };
+  // Shares with the implicit weight-1 "other" bucket: heavy 40*8/10 = 32,
+  // light 40*1/10 = 4 — so every pressured round admits exactly 32 + 4.
+
+  const size_t kRounds = EnvSize("FREEWAY_BENCH_DIR_ROUNDS", 50);
+  const size_t kAttemptsPerRound = EnvSize("FREEWAY_BENCH_DIR_ATTEMPTS", 500);
+  StreamRuntime fair(*proto, fopts);
+  auto flood = [&fair, kAttemptsPerRound](uint32_t tenant,
+                                          TenantPriority priority,
+                                          uint64_t stream_base) {
+    SubmitContext ctx;
+    ctx.tenant_id = tenant;
+    ctx.priority = priority;
+    for (size_t i = 0; i < kAttemptsPerRound; ++i) {
+      // Unlabeled on purpose: labeled batches bypass tenant quotas.
+      Batch b = MakeBatch(/*labeled=*/false, /*seed=*/stream_base + i,
+                          static_cast<int64_t>(i));
+      (void)fair.TrySubmit(stream_base + (i % 8), std::move(b), ctx);
+    }
+  };
+  for (size_t round = 0; round < kRounds; ++round) {
+    flood(1, TenantPriority::kStandard, 100);
+    flood(2, TenantPriority::kBestEffort, 200);
+    fair.PumpShard(0);
+  }
+  RuntimeStatsSnapshot fair_snapshot = fair.Snapshot();
+  fair.Shutdown();
+
+  TenantStatsSnapshot heavy_row, light_row;
+  for (const TenantStatsSnapshot& row : fair_snapshot.tenants) {
+    if (row.tenant_id == 1 && !row.is_other) heavy_row = row;
+    if (row.tenant_id == 2 && !row.is_other) light_row = row;
+  }
+  if (light_row.admitted == 0) {
+    std::fprintf(stderr, "FAIL: light tenant starved (0 admitted)\n");
+    ok = false;
+  }
+  const double admit_ratio =
+      light_row.admitted > 0
+          ? static_cast<double>(heavy_row.admitted) /
+                static_cast<double>(light_row.admitted)
+          : 0.0;
+
+  TablePrinter fair_table(
+      {"Tenant", "Weight", "Priority", "Admitted", "Rejected"});
+  fair_table.AddRow({"1 (heavy)", "8", "standard",
+                     std::to_string(heavy_row.admitted),
+                     std::to_string(heavy_row.rejected)});
+  fair_table.AddRow({"2 (light)", "1", "best_effort",
+                     std::to_string(light_row.admitted),
+                     std::to_string(light_row.rejected)});
+  fair_table.Print();
+  std::printf("admitted ratio heavy/light = %s (configured shares admit "
+              "exactly 32 heavy + 4 light per pressured round: throttled "
+              "8:1, never to zero)\n\n",
+              FormatDouble(admit_ratio, 2).c_str());
+
+  std::ofstream out("BENCH_directory.json");
+  out << "{\n"
+      << "  \"description\": \"Directory-mode StreamRuntime: "
+      << kStreams << " logical streams (one cold touch each + recent-window "
+         "retouches) over a " << kWorkingSet << "-pipeline hydrated working "
+         "set on " << kNumShards << " shards, exact activation-latency "
+         "percentiles; then " << kRounds << " continuously-pressured "
+         "heavy(w=8)/light(w=1) TrySubmit flood rounds against one 40-slot "
+         "shard with weighted admission. From bench/directory_scale.\",\n"
+      << "  \"host\": " << HostJson() << ",\n"
+      << "  \"config\": {\"streams\": " << kStreams
+      << ", \"working_set_capacity\": " << kWorkingSet
+      << ", \"num_shards\": " << kNumShards
+      << ", \"batch_size\": " << kBatchSize << ", \"dim\": " << kDim
+      << "},\n"
+      << "  \"scale\": {\"wall_seconds\": " << FormatDouble(scale_secs, 2)
+      << ", \"total_submits\": " << submits
+      << ", \"submits_per_sec\": " << FormatDouble(submits_per_sec, 1)
+      << ", \"results_delivered\": " << results.load()
+      << ", \"activation\": {\"count\": " << act.count
+      << ", \"p50_micros\": " << FormatDouble(act.p50, 1)
+      << ", \"p99_micros\": " << FormatDouble(act.p99, 1)
+      << ", \"max_micros\": " << FormatDouble(act.max, 1) << "}},\n"
+      << "  \"fairness\": {\"queue_capacity\": 40, \"rounds\": " << kRounds
+      << ", \"attempts_per_tenant_per_round\": " << kAttemptsPerRound
+      << ",\n"
+      << "    \"heavy\": {\"tenant_id\": 1, \"weight\": 8, \"priority\": "
+         "\"standard\", \"admitted\": " << heavy_row.admitted
+      << ", \"rejected\": " << heavy_row.rejected << "},\n"
+      << "    \"light\": {\"tenant_id\": 2, \"weight\": 1, \"priority\": "
+         "\"best_effort\", \"admitted\": " << light_row.admitted
+      << ", \"rejected\": " << light_row.rejected << "},\n"
+      << "    \"admitted_ratio\": " << FormatDouble(admit_ratio, 2)
+      << ", \"never_starved\": " << (light_row.admitted > 0 ? "true" : "false")
+      << "},\n"
+      << "  \"invariants_ok\": " << (ok ? "true" : "false") << ",\n"
+      << "  \"runtime_stats_scale\": " << snapshot.ToJson() << "\n"
+      << "}\n";
+  std::printf("Wrote BENCH_directory.json\n");
+
+  fs::remove_all(scratch, ec);
+  return ok ? 0 : 1;
+}

@@ -220,6 +220,7 @@ int main() {
          "steady-state throughput of a 4-shard StreamRuntime over 1536 "
          "batches with fault tolerance off vs on at the default "
          "checkpoint interval (64). From bench/fault_checkpoint.\",\n"
+      << "  \"host\": " << HostJson() << ",\n"
       << "  \"snapshot_bytes\": " << blob.size() << ",\n"
       << "  \"latency\": {\n"
       << "    \"pipeline_snapshot\": " << StatsJson(snap_stats) << ",\n"

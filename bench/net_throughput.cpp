@@ -289,6 +289,7 @@ int main() {
          "schedule (" << kMeasured << " batches x " << kBatchSize
       << " records, single producer). From bench/net_throughput.\",\n"
       << "  \"hardware\": {\"hardware_concurrency\": " << cores << "},\n"
+      << "  \"host\": " << HostJson() << ",\n"
       << "  \"batch_size\": " << kBatchSize << ",\n"
       << "  \"measured_batches\": " << kMeasured << ",\n"
       << "  \"in_process\": {\"p50_micros\": "

@@ -133,6 +133,7 @@ int main() {
          "3rd batch unlabeled). From bench/runtime_throughput.\",\n"
       << "  \"hardware\": {\"hardware_concurrency\": " << cores
       << ", \"pool_threads\": 8},\n"
+      << "  \"host\": " << HostJson() << ",\n"
       << "  \"hardware_note\": \""
       << (cores >= 4
               ? "Multi-core host: the speedup column reflects real "

@@ -1,0 +1,245 @@
+// Million-stream directory e2e: drives 100k+ logical streams (default
+// 100000, FREEWAY_MS_STREAMS to rescale) from three mixed-priority tenants
+// through a directory-mode StreamRuntime whose hydrated working set is
+// capped orders of magnitude below the stream count. Labeled batches go
+// through blocking Submit (training data takes backpressure, never loss);
+// unlabeled traffic goes through TrySubmit with a bounded retry, the
+// serving-frontend idiom. The run ends with hard checks of the directory
+// contracts — hydration invariant, bounded residency, zero labeled-batch
+// loss, parked streams restorable after shutdown — writes the stats to
+// DIRECTORY_stats.json, and exits non-zero if any check fails, so CI can
+// run it under ASan/TSan as an end-to-end gate.
+//
+// Environment:
+//   FREEWAY_MS_STREAMS             logical stream count (default 100000)
+//   FREEWAY_DIRECTORY_WORKING_SET  hydrated-pipeline cap (default 1024)
+//   FREEWAY_TENANT_WEIGHTS         tenant spec (default 1:8:critical,
+//                                  2:4:standard,3:1:best_effort)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "directory/working_set.h"
+#include "ml/models.h"
+#include "runtime/stream_runtime.h"
+
+using namespace freeway;  // NOLINT — example driver.
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kDim = 4;
+constexpr size_t kBatchSize = 4;
+constexpr size_t kProducers = 2;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0) return fallback;
+  return static_cast<size_t>(value);
+}
+
+Batch MakeBatch(bool labeled, uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.index = 0;
+  b.features = Matrix(kBatchSize, kDim);
+  if (labeled) b.labels.resize(kBatchSize);
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < kDim; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+/// Tenants 1..3: stream id decides ownership, each tenant in a different
+/// priority band so admission and shed-band selection both see a mix.
+SubmitContext ContextFor(uint64_t stream_id) {
+  SubmitContext ctx;
+  ctx.tenant_id = static_cast<uint32_t>(stream_id % 3) + 1;
+  switch (ctx.tenant_id) {
+    case 1: ctx.priority = TenantPriority::kCritical; break;
+    case 2: ctx.priority = TenantPriority::kStandard; break;
+    default: ctx.priority = TenantPriority::kBestEffort; break;
+  }
+  return ctx;
+}
+
+struct ProducerTally {
+  uint64_t accepted = 0;
+  uint64_t labeled = 0;
+  uint64_t dropped_unlabeled = 0;
+};
+
+/// One producer thread: cold-touches its half of the stream space in order,
+/// retouching a recent stream (LRU hit) every 8th submit and a long-evicted
+/// one (park-restore hydration) every 32nd.
+void Produce(StreamRuntime* runtime, size_t worker, size_t num_streams,
+             ProducerTally* tally) {
+  auto submit = [&](uint64_t stream_id, uint64_t seed) {
+    // Labeled traffic blocks (backpressure, never loss); unlabeled traffic
+    // uses the non-blocking path with a bounded retry and is droppable.
+    const bool labeled = stream_id % 2 == 0;
+    const SubmitContext ctx = ContextFor(stream_id);
+    if (labeled) {
+      runtime->Submit(stream_id, MakeBatch(true, seed), ctx).CheckOk();
+      ++tally->accepted;
+      ++tally->labeled;
+      return;
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const Status status =
+          runtime->TrySubmit(stream_id, MakeBatch(false, seed), ctx);
+      if (status.ok()) {
+        ++tally->accepted;
+        return;
+      }
+      std::this_thread::yield();
+    }
+    ++tally->dropped_unlabeled;
+  };
+
+  for (uint64_t id = worker; id < num_streams; id += kProducers) {
+    submit(id, /*seed=*/1000 + id);
+    if (id % 8 == 7 && id > 128) submit(id - 64, /*seed=*/9000 + id);
+    if (id % 32 == 31 && id > 8192) submit(id / 2, /*seed=*/5000 + id);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const size_t kStreams = EnvSize("FREEWAY_MS_STREAMS", 100000);
+  std::printf("== Stream directory e2e: %zu logical streams ==\n\n",
+              kStreams);
+  ThreadPool::SetGlobalThreads(4);
+  auto proto = MakeLogisticRegression(kDim, 2);
+
+  const std::string park_dir = "million_streams_park";
+  std::error_code ec;
+  fs::remove_all(park_dir, ec);
+
+  RuntimeOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 256;
+  options.pipeline.learner.base_window_batches = 4;
+  options.pipeline.learner.detector.warmup_batches = 3;
+  options.directory.enabled = true;
+  options.directory.park_dir = park_dir;
+  options.directory.working_set_capacity = 1024;
+  options.directory.admission.enabled = true;
+  options.directory.admission.tenants = {
+      {/*tenant_id=*/1, /*weight=*/8.0, TenantPriority::kCritical},
+      {/*tenant_id=*/2, /*weight=*/4.0, TenantPriority::kStandard},
+      {/*tenant_id=*/3, /*weight=*/1.0, TenantPriority::kBestEffort},
+  };
+  options.directory.ApplyEnv();
+
+  std::atomic<uint64_t> results{0};
+  StreamRuntime runtime(*proto, options,
+                        [&results](const StreamResult&) { ++results; });
+
+  std::vector<ProducerTally> tallies(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t w = 0; w < kProducers; ++w) {
+    producers.emplace_back(Produce, &runtime, w, kStreams, &tallies[w]);
+  }
+  for (auto& t : producers) t.join();
+  runtime.Flush();
+
+  uint64_t accepted = 0, labeled = 0, dropped = 0;
+  for (const ProducerTally& t : tallies) {
+    accepted += t.accepted;
+    labeled += t.labeled;
+    dropped += t.dropped_unlabeled;
+  }
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  const DirectoryStatsSnapshot& dir = snapshot.directory;
+  runtime.Shutdown();
+
+  // ---- Contract checks ----------------------------------------------
+  struct Check {
+    const char* name;
+    bool ok;
+  };
+  std::vector<Check> checks;
+  checks.push_back({"hydration_invariant",
+                    dir.hydrations_fresh + dir.hydrations_restored ==
+                        dir.evictions + dir.discards + dir.resident});
+  checks.push_back({"working_set_bounded", dir.resident <= dir.capacity});
+  // Every stream whose traffic was accepted activated; the only streams
+  // that may never hydrate are those whose sole (unlabeled, droppable)
+  // batch was admission-rejected on a pressured queue.
+  checks.push_back(
+      {"all_streams_activated", dir.hydrations_fresh + dropped >= kStreams});
+  checks.push_back({"evict_hydrate_cycled",
+                    dir.evictions > 0 && dir.hydrations_restored > 0});
+  checks.push_back(
+      {"every_accepted_batch_processed",
+       snapshot.totals.enqueued == accepted &&
+           snapshot.totals.processed == snapshot.totals.enqueued});
+  checks.push_back({"zero_labeled_loss",
+                    snapshot.totals.quarantined == 0 &&
+                        snapshot.totals.undrained == 0 &&
+                        runtime.TakeDeadLetters().empty()});
+
+  // Shutdown parked every resident and evictions parked the rest, so every
+  // stream that carried labeled traffic (even ids — the blocking-Submit
+  // class that can never be dropped) must be restorable from the park
+  // store. A 512-stream sample keeps the e2e fast.
+  bool parked_ok = true;
+  for (uint64_t id = 0; id < kStreams && parked_ok; id += kStreams / 512) {
+    const uint64_t even = id & ~uint64_t{1};
+    parked_ok = runtime.park_store()
+                    ->ReadLatest("stream-" + std::to_string(even))
+                    .ok();
+  }
+  checks.push_back({"labeled_streams_restorable", parked_ok});
+
+  bool ok = true;
+  for (const Check& c : checks) {
+    std::printf("%-32s %s\n", c.name, c.ok ? "OK" : "FAIL");
+    ok = ok && c.ok;
+  }
+  std::printf("\naccepted=%llu (labeled=%llu) dropped_unlabeled=%llu "
+              "results=%llu\nresident=%llu/%llu evictions=%llu "
+              "restored=%llu\n",
+              static_cast<unsigned long long>(accepted),
+              static_cast<unsigned long long>(labeled),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(results.load()),
+              static_cast<unsigned long long>(dir.resident),
+              static_cast<unsigned long long>(dir.capacity),
+              static_cast<unsigned long long>(dir.evictions),
+              static_cast<unsigned long long>(dir.hydrations_restored));
+
+  std::ofstream out("DIRECTORY_stats.json");
+  out << "{\n  \"streams\": " << kStreams
+      << ",\n  \"accepted\": " << accepted << ",\n  \"labeled\": " << labeled
+      << ",\n  \"dropped_unlabeled\": " << dropped
+      << ",\n  \"results\": " << results.load() << ",\n  \"checks\": {";
+  for (size_t i = 0; i < checks.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << checks[i].name
+        << "\": " << (checks[i].ok ? "true" : "false");
+  }
+  out << "},\n  \"runtime_stats\": " << snapshot.ToJson() << "\n}\n";
+  std::printf("Wrote DIRECTORY_stats.json\n");
+
+  fs::remove_all(park_dir, ec);
+  std::printf("%s\n", ok ? "All directory contracts hold." : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,179 @@
+#include "directory/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace freeway {
+
+const char* TenantPriorityName(TenantPriority priority) {
+  switch (priority) {
+    case TenantPriority::kBestEffort:
+      return "best_effort";
+    case TenantPriority::kStandard:
+      return "standard";
+    case TenantPriority::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+TenantAdmission::TenantAdmission(const AdmissionOptions& options,
+                                 size_t num_shards, size_t queue_capacity,
+                                 MetricsRegistry* metrics)
+    : options_(options) {
+  slots_.reserve(options_.tenants.size() + 1);
+  double total_weight = 0.0;
+  for (const TenantQuota& quota : options_.tenants) {
+    total_weight += std::max(quota.weight, 0.0);
+  }
+  total_weight += std::max(options_.default_weight, 0.0);
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  auto make_slot = [&](uint32_t tenant_id, double weight,
+                       TenantPriority priority, bool is_other) {
+    Slot slot;
+    slot.tenant_id = tenant_id;
+    slot.weight = std::max(weight, 0.0);
+    slot.priority = priority;
+    slot.is_other = is_other;
+    slot.share = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::floor(
+               static_cast<double>(queue_capacity) * slot.weight /
+               total_weight)));
+    if (metrics != nullptr) {
+      const std::string label =
+          is_other ? "other" : std::to_string(tenant_id);
+      slot.admitted_metric = metrics->GetCounter(
+          "freeway_directory_admission_total{tenant=\"" + label +
+          "\",decision=\"admitted\"}");
+      slot.rejected_metric = metrics->GetCounter(
+          "freeway_directory_admission_total{tenant=\"" + label +
+          "\",decision=\"rejected\"}");
+    }
+    return slot;
+  };
+
+  for (const TenantQuota& quota : options_.tenants) {
+    if (slot_of_.count(quota.tenant_id) > 0) {
+      FREEWAY_LOG(kWarning) << "duplicate tenant " << quota.tenant_id
+                        << " in admission options; first entry wins";
+      continue;
+    }
+    slot_of_[quota.tenant_id] = slots_.size();
+    slots_.push_back(
+        make_slot(quota.tenant_id, quota.weight, quota.priority, false));
+  }
+  // The shared bucket every unconfigured tenant lands in.
+  slots_.push_back(make_slot(0, options_.default_weight,
+                             options_.default_priority, true));
+
+  in_flight_ = std::vector<InFlightCell>(num_shards * slots_.size());
+  admitted_.reserve(slots_.size());
+  rejected_.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    admitted_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    rejected_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+size_t TenantAdmission::SlotOf(uint32_t tenant_id) const {
+  auto it = slot_of_.find(tenant_id);
+  return it != slot_of_.end() ? it->second : slots_.size() - 1;
+}
+
+bool TenantAdmission::Admit(size_t shard, size_t slot, bool labeled,
+                            double fill) {
+  const Slot& s = slots_[slot];
+  bool admit = true;
+  if (!labeled && s.priority != TenantPriority::kCritical) {
+    if (fill >= options_.hard_threshold &&
+        s.priority == TenantPriority::kBestEffort) {
+      // Hard band: the queue is nearly full, so the lowest band is turned
+      // away before its share is even consulted.
+      admit = false;
+    } else if (fill >= options_.pressure_threshold) {
+      admit = InFlight(shard, slot).load(std::memory_order_relaxed) < s.share;
+    }
+  }
+  if (!admit) {
+    rejected_[slot]->fetch_add(1, std::memory_order_relaxed);
+    if (s.rejected_metric != nullptr) s.rejected_metric->Inc();
+  }
+  return admit;
+}
+
+void TenantAdmission::OnAdmitted(size_t shard, size_t slot) {
+  InFlight(shard, slot).fetch_add(1, std::memory_order_relaxed);
+  admitted_[slot]->fetch_add(1, std::memory_order_relaxed);
+  if (slots_[slot].admitted_metric != nullptr) {
+    slots_[slot].admitted_metric->Inc();
+  }
+}
+
+void TenantAdmission::OnRetired(size_t shard, size_t slot) {
+  InFlight(shard, slot).fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<TenantStatsSnapshot> TenantAdmission::Snapshot() const {
+  std::vector<TenantStatsSnapshot> rows;
+  rows.reserve(slots_.size());
+  const size_t num_shards = in_flight_.size() / slots_.size();
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    TenantStatsSnapshot row;
+    row.tenant_id = slots_[slot].tenant_id;
+    row.weight = slots_[slot].weight;
+    row.priority = static_cast<uint8_t>(slots_[slot].priority);
+    row.is_other = slots_[slot].is_other;
+    row.admitted = admitted_[slot]->load(std::memory_order_relaxed);
+    row.rejected = rejected_[slot]->load(std::memory_order_relaxed);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      row.in_flight += InFlight(shard, slot).load(std::memory_order_relaxed);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Result<std::vector<TenantQuota>> ParseTenantWeights(const std::string& spec) {
+  std::vector<TenantQuota> quotas;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> fields = Split(entry, ':');
+    if (fields.size() < 2 || fields.size() > 3) {
+      return Status::InvalidArgument(
+          "tenant weight entry '" + entry +
+          "' is not <tenant>:<weight>[:<priority>]");
+    }
+    TenantQuota quota;
+    try {
+      quota.tenant_id = static_cast<uint32_t>(std::stoul(fields[0]));
+      quota.weight = std::stod(fields[1]);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("tenant weight entry '" + entry +
+                                     "' has a non-numeric field");
+    }
+    if (!(quota.weight > 0.0)) {
+      return Status::InvalidArgument("tenant weight entry '" + entry +
+                                     "' needs a positive weight");
+    }
+    if (fields.size() == 3) {
+      if (fields[2] == "best_effort") {
+        quota.priority = TenantPriority::kBestEffort;
+      } else if (fields[2] == "standard") {
+        quota.priority = TenantPriority::kStandard;
+      } else if (fields[2] == "critical") {
+        quota.priority = TenantPriority::kCritical;
+      } else {
+        return Status::InvalidArgument("unknown tenant priority '" +
+                                       fields[2] + "' in '" + entry + "'");
+      }
+    }
+    quotas.push_back(quota);
+  }
+  return quotas;
+}
+
+}  // namespace freeway

@@ -1,0 +1,153 @@
+#ifndef FREEWAYML_DIRECTORY_ADMISSION_H_
+#define FREEWAYML_DIRECTORY_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace freeway {
+
+/// Envoy overload-manager style priority bands. Under queue pressure the
+/// runtime sheds work from the lowest band first; kCritical traffic is
+/// exempt from tenant quotas entirely (it competes only against physical
+/// queue capacity).
+enum class TenantPriority : uint8_t {
+  kBestEffort = 0,
+  kStandard = 1,
+  kCritical = 2,
+};
+
+const char* TenantPriorityName(TenantPriority priority);
+
+/// One tenant's admission contract. `weight` is its proportional share of
+/// contended queue capacity (shares only matter once a shard queue crosses
+/// the pressure threshold); `priority` picks the shedding band.
+struct TenantQuota {
+  uint32_t tenant_id = 0;
+  double weight = 1.0;
+  TenantPriority priority = TenantPriority::kStandard;
+};
+
+/// Weighted-admission configuration. Disabled (the default) admits every
+/// submit exactly as before the directory existed.
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Configured tenants. Tenants not listed here share one "other" bucket
+  /// with `default_weight` / `default_priority`.
+  std::vector<TenantQuota> tenants;
+  double default_weight = 1.0;
+  TenantPriority default_priority = TenantPriority::kStandard;
+  /// Queue fill fraction at which weighted shares engage. Below it every
+  /// tenant is admitted (no reason to throttle an uncontended queue).
+  double pressure_threshold = 0.5;
+  /// Queue fill fraction at which best-effort *unlabeled* traffic is
+  /// turned away outright (the Envoy "shed the lowest band first" step).
+  /// Labeled batches are training data and are never quota-rejected.
+  double hard_threshold = 0.9;
+};
+
+/// Point-in-time per-tenant admission accounting, summed over shards.
+struct TenantStatsSnapshot {
+  uint32_t tenant_id = 0;
+  double weight = 1.0;
+  uint8_t priority = 1;
+  /// True for the aggregate bucket of unconfigured tenants.
+  bool is_other = false;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t in_flight = 0;
+};
+
+/// Thread-safe per-tenant weighted admission controller, shared by every
+/// shard of one runtime.
+///
+/// The mechanism is in-flight accounting: each admitted batch counts
+/// against its tenant's (shard, tenant) in-flight slot until the batch is
+/// processed, shed, quarantined, or abandoned. Under pressure a tenant may
+/// only hold its weight-proportional share of the shard queue:
+///
+///   share = max(1, floor(queue_capacity * weight / total_weight))
+///
+/// The floor of 1 is the starvation guarantee — a low-weight tenant is
+/// throttled to a trickle, never to zero. Decisions use relaxed atomics and
+/// are deliberately approximate under concurrency (two producers may both
+/// observe the last free slot); the bounded queue itself remains the hard
+/// capacity guarantee.
+class TenantAdmission {
+ public:
+  TenantAdmission(const AdmissionOptions& options, size_t num_shards,
+                  size_t queue_capacity, MetricsRegistry* metrics);
+
+  TenantAdmission(const TenantAdmission&) = delete;
+  TenantAdmission& operator=(const TenantAdmission&) = delete;
+
+  /// Tenant slot index (configured tenants first, then the shared "other"
+  /// bucket). Resolving once per submit keeps the hot path to one hash
+  /// lookup on an immutable map.
+  size_t SlotOf(uint32_t tenant_id) const;
+
+  /// Admission decision for one non-blocking submit against a shard whose
+  /// queue is `fill` full. Labeled batches are always admitted — they are
+  /// training data and backpressure for them is the queue itself.
+  /// Rejections are counted; admissions are not booked until OnAdmitted.
+  bool Admit(size_t shard, size_t slot, bool labeled, double fill);
+
+  /// Books an accepted batch against its tenant's share.
+  void OnAdmitted(size_t shard, size_t slot);
+  /// Releases a batch previously booked by OnAdmitted (processed, shed,
+  /// quarantined, or abandoned by shutdown).
+  void OnRetired(size_t shard, size_t slot);
+
+  size_t num_slots() const { return slots_.size(); }
+  uint64_t share(size_t slot) const { return slots_[slot].share; }
+
+  std::vector<TenantStatsSnapshot> Snapshot() const;
+
+ private:
+  struct Slot {
+    uint32_t tenant_id = 0;
+    double weight = 1.0;
+    TenantPriority priority = TenantPriority::kStandard;
+    bool is_other = false;
+    /// Per-shard queue-slot entitlement under pressure.
+    uint64_t share = 1;
+    Counter* admitted_metric = nullptr;
+    Counter* rejected_metric = nullptr;
+  };
+
+  /// Cache-line padded (shard, slot) in-flight cell: producers of
+  /// different shards never share a line.
+  struct alignas(64) InFlightCell {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::atomic<uint64_t>& InFlight(size_t shard, size_t slot) {
+    return in_flight_[shard * slots_.size() + slot].value;
+  }
+  const std::atomic<uint64_t>& InFlight(size_t shard, size_t slot) const {
+    return in_flight_[shard * slots_.size() + slot].value;
+  }
+
+  AdmissionOptions options_;
+  std::vector<Slot> slots_;
+  std::unordered_map<uint32_t, size_t> slot_of_;
+  std::vector<InFlightCell> in_flight_;
+  /// Totals per slot (all shards), for stats and the fairness bench.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> admitted_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> rejected_;
+};
+
+/// Parses the FREEWAY_TENANT_WEIGHTS grammar:
+///   "<tenant_id>:<weight>[:<priority>]" joined by commas,
+/// where priority is one of best_effort|standard|critical (default
+/// standard), e.g. "1:8:critical,2:4,7:1:best_effort".
+Result<std::vector<TenantQuota>> ParseTenantWeights(const std::string& spec);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DIRECTORY_ADMISSION_H_

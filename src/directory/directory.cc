@@ -1,0 +1,34 @@
+#include "directory/directory.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+void DirectoryOptions::ApplyEnv() {
+  if (const char* env = std::getenv("FREEWAY_DIRECTORY_WORKING_SET")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      working_set_capacity = static_cast<size_t>(parsed);
+    } else {
+      FREEWAY_LOG(kWarning) << "FREEWAY_DIRECTORY_WORKING_SET=\"" << env
+                        << "\" is not a positive integer; keeping "
+                        << working_set_capacity;
+    }
+  }
+  if (const char* env = std::getenv("FREEWAY_TENANT_WEIGHTS")) {
+    Result<std::vector<TenantQuota>> parsed = ParseTenantWeights(env);
+    if (parsed.ok()) {
+      admission.tenants = std::move(parsed).value();
+      admission.enabled = !admission.tenants.empty();
+    } else {
+      FREEWAY_LOG(kWarning) << "FREEWAY_TENANT_WEIGHTS ignored: "
+                        << parsed.status().message();
+    }
+  }
+}
+
+}  // namespace freeway

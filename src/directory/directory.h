@@ -1,0 +1,71 @@
+#ifndef FREEWAYML_DIRECTORY_DIRECTORY_H_
+#define FREEWAYML_DIRECTORY_DIRECTORY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "directory/admission.h"
+
+namespace freeway {
+
+/// Stream-directory configuration, carried by RuntimeOptions. Disabled (the
+/// default) the runtime behaves exactly as before the directory existed:
+/// modulo placement, one permanent pipeline per shard.
+///
+/// Enabled, the runtime becomes a directory over millions of *logical*
+/// streams: consistent-hash placement onto the fixed shard set, one
+/// independent pipeline per logical stream hydrated on demand into a
+/// bounded per-shard LRU working set, evicted-to-checkpoint when the set is
+/// full, with optional per-tenant weighted admission on the non-blocking
+/// submit path.
+struct DirectoryOptions {
+  bool enabled = false;
+
+  /// Directory parked-stream checkpoints live in. Empty is clamped (with a
+  /// warning) to "freeway_directory_park".
+  std::string park_dir;
+
+  /// Total hydrated pipelines across the runtime; each shard gets
+  /// max(1, working_set_capacity / num_shards). Zero is clamped to
+  /// num_shards (one resident stream per shard).
+  size_t working_set_capacity = 8192;
+
+  /// Ring points per shard; more vnodes spread streams more evenly at
+  /// O(vnodes * num_shards) ring memory. Changing this re-places streams,
+  /// so treat it like num_shards: fixed for the lifetime of a park_dir.
+  size_t vnodes_per_shard = 64;
+
+  /// Parked-checkpoint versions retained per stream. 1 is safe here
+  /// because the store writes are atomic (tmp + rename) and pruning only
+  /// follows a successful write; bump it to survive on-disk corruption of
+  /// the newest version at double the park footprint.
+  size_t keep_versions = 1;
+
+  /// fsync parked checkpoints. Off by default: an eviction park is a cache
+  /// spill, not a durability event — crash-consistency for labeled data is
+  /// the fault layer's interval checkpointing, which fsyncs through its
+  /// own store options.
+  bool fsync = false;
+
+  /// Per-tenant weighted admission (see AdmissionOptions). Only consulted
+  /// when the directory is enabled.
+  AdmissionOptions admission;
+
+  /// Record every hydration latency exactly (WorkingSetStats::
+  /// activation_micros) instead of only the histogram — for benchmarks
+  /// that report precise activation percentiles. Unbounded memory per
+  /// hydration; leave off in production.
+  bool record_activation_latency = false;
+
+  /// Overrides fields from the environment:
+  ///   FREEWAY_DIRECTORY_WORKING_SET  total hydrated-pipeline cap
+  ///   FREEWAY_TENANT_WEIGHTS         "<id>:<weight>[:<priority>]," list;
+  ///                                  parse errors are logged and skipped,
+  ///                                  a valid list enables admission
+  /// Malformed numbers are ignored with a warning (clamp-and-warn policy).
+  void ApplyEnv();
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DIRECTORY_DIRECTORY_H_

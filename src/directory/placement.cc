@@ -1,0 +1,44 @@
+#include "directory/placement.h"
+
+#include <algorithm>
+
+namespace freeway {
+
+uint64_t ConsistentHashRing::Mix(uint64_t x) {
+  // SplitMix64 finalizer: full-avalanche, stable across platforms.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+ConsistentHashRing::ConsistentHashRing(size_t num_shards,
+                                       size_t vnodes_per_shard)
+    : num_shards_(num_shards > 0 ? num_shards : 1),
+      vnodes_per_shard_(vnodes_per_shard > 0 ? vnodes_per_shard : 1) {
+  ring_.reserve(num_shards_ * vnodes_per_shard_);
+  for (size_t shard = 0; shard < num_shards_; ++shard) {
+    for (size_t vnode = 0; vnode < vnodes_per_shard_; ++vnode) {
+      // Distinct namespaces for shard and vnode: the point stream of shard
+      // s is independent of every other shard's, which is what makes
+      // adding a shard leave existing points untouched.
+      const uint64_t point =
+          Mix((static_cast<uint64_t>(shard) << 32) | (vnode + 1));
+      ring_.emplace_back(point, shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ConsistentHashRing::ShardOf(uint64_t stream_id) const {
+  const uint64_t point = Mix(stream_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<uint64_t, size_t>& entry, uint64_t value) {
+        return entry.first < value;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+  return it->second;
+}
+
+}  // namespace freeway

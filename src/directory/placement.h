@@ -1,0 +1,50 @@
+#ifndef FREEWAYML_DIRECTORY_PLACEMENT_H_
+#define FREEWAYML_DIRECTORY_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace freeway {
+
+/// Consistent-hash stream → shard placement for the stream directory.
+///
+/// Each shard owns `vnodes_per_shard` pseudo-random points on a 64-bit
+/// ring; a stream lands on the first point clockwise of its own hash. Two
+/// properties matter to the directory:
+///
+///  1. *Stability*: placement depends only on (stream_id, shard count,
+///     vnode count) — never on arrival order or process lifetime — so a
+///     stream's parked checkpoint is found again by any successor runtime
+///     built with the same topology, and growing the shard set from N to
+///     N+1 moves only ~1/(N+1) of the streams (the modulo mapping would
+///     reshuffle nearly all of them, orphaning their parked state).
+///  2. *Spread*: with enough vnodes the ring splits the key space evenly,
+///     so a million streams load the fixed shard set uniformly.
+///
+/// Immutable after construction and therefore freely shared across
+/// submitting threads.
+class ConsistentHashRing {
+ public:
+  ConsistentHashRing(size_t num_shards, size_t vnodes_per_shard = 64);
+
+  /// The shard owning `stream_id`. O(log(num_shards * vnodes)).
+  size_t ShardOf(uint64_t stream_id) const;
+
+  size_t num_shards() const { return num_shards_; }
+  size_t vnodes_per_shard() const { return vnodes_per_shard_; }
+
+  /// The stable 64-bit mixer the ring hashes ids and vnode points with
+  /// (SplitMix64 finalizer). Exposed so tests can pin the placement.
+  static uint64_t Mix(uint64_t x);
+
+ private:
+  size_t num_shards_;
+  size_t vnodes_per_shard_;
+  /// (point, shard) sorted by point for binary search.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DIRECTORY_PLACEMENT_H_

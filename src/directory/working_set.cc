@@ -1,0 +1,198 @@
+#include "directory/working_set.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "fault/failpoint.h"
+
+namespace freeway {
+
+PipelineWorkingSet::PipelineWorkingSet(WorkingSetOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* m = options_.metrics;
+    hydrations_fresh_metric_ =
+        m->GetCounter("freeway_directory_hydrations_total{result=\"fresh\"}");
+    hydrations_restored_metric_ = m->GetCounter(
+        "freeway_directory_hydrations_total{result=\"restored\"}");
+    evictions_metric_ = m->GetCounter("freeway_directory_evictions_total");
+    hydrate_errors_metric_ = m->GetCounter(
+        "freeway_directory_errors_total{op=\"hydrate\"}");
+    evict_errors_metric_ =
+        m->GetCounter("freeway_directory_errors_total{op=\"evict\"}");
+    resident_metric_ = m->GetGauge("freeway_directory_resident_streams");
+    activation_seconds_metric_ =
+        m->GetHistogram("freeway_directory_activation_seconds");
+    park_bytes_metric_ = m->GetHistogram(
+        "freeway_directory_park_bytes",
+        {256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
+  }
+}
+
+PipelineWorkingSet::~PipelineWorkingSet() {
+  if (resident_metric_ != nullptr) {
+    resident_metric_->Add(-static_cast<double>(entries_.size()));
+  }
+}
+
+StreamPipeline* PipelineWorkingSet::Acquire(uint64_t stream_id) {
+  auto it = entries_.find(stream_id);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.pipeline.get();
+  }
+
+  Stopwatch activation;
+  // Make room *before* hydrating so the peak is capacity, not capacity + 1.
+  EvictToCapacity();
+
+  auto pipeline = std::make_unique<StreamPipeline>(*options_.prototype,
+                                                   options_.pipeline);
+  bool restored = false;
+  Status read_status = failpoint::Check("directory.hydrate");
+  Result<std::vector<char>> snapshot = Status::NotFound("failpoint armed");
+  if (read_status.ok() && options_.store != nullptr) {
+    snapshot = options_.store->ReadLatest(CheckpointName(stream_id));
+  } else if (!read_status.ok()) {
+    snapshot = read_status;
+  }
+  if (snapshot.ok()) {
+    Status restore = pipeline->Restore(*snapshot);
+    if (restore.ok()) {
+      restored = true;
+    } else {
+      FREEWAY_LOG(kWarning) << "directory: restore of stream " << stream_id
+                        << " failed (" << restore.message()
+                        << "); starting fresh";
+      ++stats_.hydrate_errors;
+      if (hydrate_errors_metric_ != nullptr) hydrate_errors_metric_->Inc();
+      // The pipeline may be half-restored; rebuild from the prototype.
+      pipeline = std::make_unique<StreamPipeline>(*options_.prototype,
+                                                  options_.pipeline);
+    }
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    FREEWAY_LOG(kWarning) << "directory: hydrate read of stream " << stream_id
+                      << " failed (" << snapshot.status().message()
+                      << "); starting fresh";
+    ++stats_.hydrate_errors;
+    if (hydrate_errors_metric_ != nullptr) hydrate_errors_metric_->Inc();
+  }
+  pipeline->AttachMetrics(options_.metrics);
+
+  lru_.push_front(stream_id);
+  Entry entry;
+  entry.stream_id = stream_id;
+  entry.pipeline = std::move(pipeline);
+  entry.lru_pos = lru_.begin();
+  StreamPipeline* raw = entry.pipeline.get();
+  entries_.emplace(stream_id, std::move(entry));
+
+  if (restored) {
+    ++stats_.hydrations_restored;
+    if (hydrations_restored_metric_ != nullptr) {
+      hydrations_restored_metric_->Inc();
+    }
+  } else {
+    ++stats_.hydrations_fresh;
+    if (hydrations_fresh_metric_ != nullptr) hydrations_fresh_metric_->Inc();
+  }
+  if (resident_metric_ != nullptr) resident_metric_->Inc();
+  const double micros = static_cast<double>(activation.ElapsedMicros());
+  if (activation_seconds_metric_ != nullptr) {
+    activation_seconds_metric_->Observe(micros * 1e-6);
+  }
+  if (options_.record_activation_latency) {
+    stats_.activation_micros.push_back(micros);
+  }
+  return raw;
+}
+
+StreamPipeline* PipelineWorkingSet::Resident(uint64_t stream_id) {
+  auto it = entries_.find(stream_id);
+  return it != entries_.end() ? it->second.pipeline.get() : nullptr;
+}
+
+Status PipelineWorkingSet::ParkEntry(Entry* entry) {
+  if (options_.store == nullptr) {
+    return Status::FailedPrecondition("directory: no checkpoint store");
+  }
+  RETURN_IF_ERROR(failpoint::Check("directory.evict"));
+  std::vector<char> snapshot;
+  RETURN_IF_ERROR(entry->pipeline->Snapshot(&snapshot));
+  const size_t bytes = snapshot.size();
+  RETURN_IF_ERROR(
+      options_.store->Write(CheckpointName(entry->stream_id), snapshot));
+  ++stats_.parks;
+  entry->pushes_since_park = 0;
+  if (park_bytes_metric_ != nullptr) {
+    park_bytes_metric_->Observe(static_cast<double>(bytes));
+  }
+  return Status::OK();
+}
+
+void PipelineWorkingSet::EvictToCapacity() {
+  if (entries_.size() < options_.capacity) return;
+  // Walk victims from least-recently-used; a victim whose park fails stays
+  // resident (its state has nowhere safe to go) and the next-older one is
+  // tried. All candidates failing means the set soft-overflows its cap.
+  size_t to_evict = entries_.size() - options_.capacity + 1;
+  auto victim = lru_.end();
+  while (to_evict > 0 && victim != lru_.begin()) {
+    --victim;
+    auto it = entries_.find(*victim);
+    Status parked = ParkEntry(&it->second);
+    if (!parked.ok()) {
+      ++stats_.evict_errors;
+      if (evict_errors_metric_ != nullptr) evict_errors_metric_->Inc();
+      FREEWAY_LOG(kWarning) << "directory: eviction park of stream "
+                        << it->first << " failed (" << parked.message()
+                        << "); keeping it resident";
+      continue;
+    }
+    victim = lru_.erase(victim);
+    entries_.erase(it);
+    ++stats_.evictions;
+    if (evictions_metric_ != nullptr) evictions_metric_->Inc();
+    if (resident_metric_ != nullptr) resident_metric_->Dec();
+    --to_evict;
+  }
+}
+
+Status PipelineWorkingSet::Park(uint64_t stream_id) {
+  auto it = entries_.find(stream_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("directory: stream " + std::to_string(stream_id) +
+                            " is not resident");
+  }
+  return ParkEntry(&it->second);
+}
+
+Status PipelineWorkingSet::ParkAll() {
+  Status first;
+  for (auto& [id, entry] : entries_) {
+    Status parked = ParkEntry(&entry);
+    if (!parked.ok() && first.ok()) first = parked;
+  }
+  return first;
+}
+
+void PipelineWorkingSet::Discard(uint64_t stream_id) {
+  auto it = entries_.find(stream_id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.discards;
+  if (resident_metric_ != nullptr) resident_metric_->Dec();
+}
+
+Status PipelineWorkingSet::NotePush(uint64_t stream_id, size_t interval) {
+  if (interval == 0) return Status::OK();
+  auto it = entries_.find(stream_id);
+  if (it == entries_.end()) return Status::OK();
+  if (++it->second.pushes_since_park < interval) return Status::OK();
+  return ParkEntry(&it->second);
+}
+
+}  // namespace freeway

@@ -1,0 +1,166 @@
+#ifndef FREEWAYML_DIRECTORY_WORKING_SET_H_
+#define FREEWAYML_DIRECTORY_WORKING_SET_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "fault/checkpoint.h"
+#include "obs/metrics.h"
+
+namespace freeway {
+
+/// Configuration of one shard's hydrated-pipeline working set.
+struct WorkingSetOptions {
+  /// Maximum resident pipelines before eviction kicks in. This is a *soft*
+  /// cap: when every eviction candidate fails to park (checkpoint store
+  /// down), the set grows past it rather than destroy un-parked state —
+  /// bounded memory yields to zero labeled-batch loss.
+  size_t capacity = 1024;
+  /// Parked-stream checkpoint store; shared with the caller, not owned.
+  /// Required.
+  CheckpointStore* store = nullptr;
+  /// Prototype every fresh pipeline is built from; not owned, must outlive
+  /// the working set.
+  const Model* prototype = nullptr;
+  PipelineOptions pipeline;
+  /// Checkpoint name of stream `id` is `name_prefix + id` — shard-agnostic
+  /// on purpose, so re-sharding (a different ring) still finds every
+  /// parked stream.
+  std::string name_prefix = "stream-";
+  /// Observability sink. Registers the `freeway_directory_*` family
+  /// (hydrations by result, evictions, resident gauge, activation-latency
+  /// histogram, park bytes) and attaches hydrated pipelines. Null disables.
+  MetricsRegistry* metrics = nullptr;
+  /// Record every hydrate latency (micros) in stats().activation_micros —
+  /// for benches that need exact percentiles rather than histogram buckets.
+  bool record_activation_latency = false;
+};
+
+/// Single-shard working-set accounting. Plain integers: a working set is
+/// driven only by its shard's drain thread (see class comment).
+struct WorkingSetStats {
+  /// Streams activated with no restorable checkpoint (brand-new streams,
+  /// or fallback after a failed hydrate read).
+  uint64_t hydrations_fresh = 0;
+  /// Streams activated by restoring their parked snapshot.
+  uint64_t hydrations_restored = 0;
+  /// Residents parked-and-destroyed to make room.
+  uint64_t evictions = 0;
+  /// Residents dropped *without* parking (supervised recovery rolls a
+  /// misbehaving stream back to its last checkpoint this way).
+  uint64_t discards = 0;
+  /// Snapshots written to the store (evictions + interval parks + park-all).
+  uint64_t parks = 0;
+  /// Hydrate reads/restores that fell back to a fresh pipeline.
+  uint64_t hydrate_errors = 0;
+  /// Failed evictions (park error; the stream stayed resident).
+  uint64_t evict_errors = 0;
+  /// Hydrate latencies in microseconds, recorded only when
+  /// WorkingSetOptions::record_activation_latency is set.
+  std::vector<double> activation_micros;
+};
+
+/// LRU working set of hydrated `StreamPipeline`s for one runtime shard —
+/// the mechanism that lets millions of logical streams share a fixed shard
+/// set on bounded memory. A stream is either *resident* (live pipeline,
+/// costs ~memory) or *parked* (its checkpoint in the store, costs ~nothing);
+/// Acquire moves it to resident on demand, evicting the least-recently-used
+/// resident through the store to stay under capacity.
+///
+/// Invariant (exact whenever the owning drain thread is between batches):
+///   hydrations_fresh + hydrations_restored == evictions + discards +
+///   resident()
+///
+/// Threading contract: NOT thread-safe. Exactly one thread — the owning
+/// shard's single active drain task — may call any non-const method, which
+/// is the same externally-synchronized contract as StreamPipeline itself.
+///
+/// FailPoint sites: "directory.hydrate" (checkpoint read path; an injected
+/// failure falls back to a fresh pipeline) and "directory.evict" (park
+/// write path; an injected failure keeps the victim resident).
+class PipelineWorkingSet {
+ public:
+  explicit PipelineWorkingSet(WorkingSetOptions options);
+
+  PipelineWorkingSet(const PipelineWorkingSet&) = delete;
+  PipelineWorkingSet& operator=(const PipelineWorkingSet&) = delete;
+
+  ~PipelineWorkingSet();
+
+  /// The stream's resident pipeline, hydrating (and evicting) as needed.
+  /// Infallible by design: a failed checkpoint read falls back to a fresh
+  /// pipeline (counted `hydrate_errors`), and a failed eviction overflows
+  /// the soft cap (counted `evict_errors`). Touches the LRU.
+  StreamPipeline* Acquire(uint64_t stream_id);
+
+  /// The stream's resident pipeline without hydrating or touching the LRU;
+  /// null while parked.
+  StreamPipeline* Resident(uint64_t stream_id);
+
+  /// Snapshots one resident stream to the store without evicting it (the
+  /// interval-checkpoint path of the fault supervisor).
+  Status Park(uint64_t stream_id);
+
+  /// Parks every resident stream (shutdown: a successor working set must
+  /// be able to hydrate each one). Returns the first error but attempts
+  /// every stream.
+  Status ParkAll();
+
+  /// Drops a resident stream without parking: its state rolls back to the
+  /// last checkpoint on the next Acquire. The supervised-recovery hook.
+  void Discard(uint64_t stream_id);
+
+  /// Successful pushes since the stream's last park, incremented by the
+  /// caller via NotePush; parks and resets when `interval` is reached.
+  Status NotePush(uint64_t stream_id, size_t interval);
+
+  size_t resident() const { return entries_.size(); }
+  size_t capacity() const { return options_.capacity; }
+  const WorkingSetStats& stats() const { return stats_; }
+
+  /// The store name of a stream's parked checkpoint.
+  std::string CheckpointName(uint64_t stream_id) const {
+    return options_.name_prefix + std::to_string(stream_id);
+  }
+
+ private:
+  struct Entry {
+    uint64_t stream_id = 0;
+    std::unique_ptr<StreamPipeline> pipeline;
+    size_t pushes_since_park = 0;
+    /// Position in lru_ (front = most recent).
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  /// Snapshot + store write for one entry.
+  Status ParkEntry(Entry* entry);
+  /// Evicts LRU victims until under capacity; tolerates park failures by
+  /// skipping the victim (soft cap).
+  void EvictToCapacity();
+  void DestroyEntry(uint64_t stream_id);
+
+  WorkingSetOptions options_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  /// LRU order, most-recently-used first.
+  std::list<uint64_t> lru_;
+  WorkingSetStats stats_;
+
+  /// freeway_directory_* handles, null while metrics are detached.
+  Counter* hydrations_fresh_metric_ = nullptr;
+  Counter* hydrations_restored_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
+  Counter* hydrate_errors_metric_ = nullptr;
+  Counter* evict_errors_metric_ = nullptr;
+  Gauge* resident_metric_ = nullptr;
+  Histogram* activation_seconds_metric_ = nullptr;
+  Histogram* park_bytes_metric_ = nullptr;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_DIRECTORY_WORKING_SET_H_

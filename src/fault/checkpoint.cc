@@ -95,27 +95,33 @@ Status FsyncPath(const std::string& path) {
   return Status::OK();
 }
 
-/// Parses "<name>-<seq>.ckpt"; returns false when `filename` does not belong
-/// to `name` (including other names that share a prefix).
-bool ParseSequence(const std::string& filename, const std::string& name,
-                   uint64_t* sequence) {
-  const std::string prefix = name + "-";
+/// Parses "<name>-<seq>.ckpt" into its name and sequence. The split point
+/// is the *last* '-' whose remainder is all digits, which inverts the
+/// writer exactly even for names that themselves contain dashes and digits
+/// ("stream-42-7.ckpt" is name "stream-42", sequence 7 — never name
+/// "stream" with non-digit sequence "42-7").
+bool ParseCheckpointFilename(const std::string& filename, std::string* name,
+                             uint64_t* sequence) {
   const std::string suffix = ".ckpt";
-  if (filename.size() <= prefix.size() + suffix.size()) return false;
-  if (filename.compare(0, prefix.size(), prefix) != 0) return false;
+  if (filename.size() <= suffix.size()) return false;
   if (filename.compare(filename.size() - suffix.size(), suffix.size(),
                        suffix) != 0) {
     return false;
   }
-  const std::string digits = filename.substr(
-      prefix.size(), filename.size() - prefix.size() - suffix.size());
-  if (digits.empty()) return false;
+  const std::string stem =
+      filename.substr(0, filename.size() - suffix.size());
+  const size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= stem.size()) {
+    return false;
+  }
   uint64_t value = 0;
-  for (char c : digits) {
+  for (size_t i = dash + 1; i < stem.size(); ++i) {
+    const char c = stem[i];
     if (c < '0' || c > '9') return false;
     if (value > (UINT64_MAX - (c - '0')) / 10) return false;
     value = value * 10 + static_cast<uint64_t>(c - '0');
   }
+  *name = stem.substr(0, dash);
   *sequence = value;
   return true;
 }
@@ -140,32 +146,44 @@ Status CheckpointStore::EnsureDirectory() const {
   return Status::OK();
 }
 
-Result<std::vector<CheckpointInfo>> CheckpointStore::ListLocked(
-    const std::string& name) const {
+Status CheckpointStore::EnsureScannedLocked() const {
+  if (scanned_) return Status::OK();
   std::error_code ec;
   fs::directory_iterator it(options_.directory, ec);
   if (ec) {
     // A store directory nothing was written to yet simply holds no
-    // versions; only an existing-but-unlistable directory is an I/O error.
-    if (!fs::exists(options_.directory)) {
-      return std::vector<CheckpointInfo>{};
-    }
+    // versions (and stays unlatched so a later Write's mkdir is scanned);
+    // only an existing-but-unlistable directory is an I/O error.
+    if (!fs::exists(options_.directory)) return Status::OK();
     return Status::IoError("checkpoint: cannot list directory " +
                            options_.directory + ": " + ec.message());
   }
-  std::vector<CheckpointInfo> versions;
+  versions_.clear();
   for (const auto& entry : it) {
+    std::string name;
     uint64_t sequence = 0;
-    if (!ParseSequence(entry.path().filename().string(), name, &sequence)) {
+    if (!ParseCheckpointFilename(entry.path().filename().string(), &name,
+                                 &sequence)) {
       continue;
     }
-    versions.push_back({sequence, entry.path().string()});
+    versions_[name].push_back({sequence, entry.path().string()});
   }
-  std::sort(versions.begin(), versions.end(),
-            [](const CheckpointInfo& a, const CheckpointInfo& b) {
-              return a.sequence < b.sequence;
-            });
-  return versions;
+  for (auto& [name, versions] : versions_) {
+    std::sort(versions.begin(), versions.end(),
+              [](const CheckpointInfo& a, const CheckpointInfo& b) {
+                return a.sequence < b.sequence;
+              });
+  }
+  scanned_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<CheckpointInfo>> CheckpointStore::ListLocked(
+    const std::string& name) const {
+  RETURN_IF_ERROR(EnsureScannedLocked());
+  auto it = versions_.find(name);
+  if (it == versions_.end()) return std::vector<CheckpointInfo>{};
+  return it->second;
 }
 
 Status CheckpointStore::Write(const std::string& name,
@@ -176,17 +194,11 @@ Status CheckpointStore::Write(const std::string& name,
   }
   std::lock_guard<std::mutex> lock(mutex_);
   RETURN_IF_ERROR(EnsureDirectory());
-
-  auto seq_it = next_sequence_.find(name);
-  if (seq_it == next_sequence_.end()) {
-    // First write for this name in this process: resume after whatever the
-    // directory already holds so restarts never reuse a sequence number.
-    ASSIGN_OR_RETURN(std::vector<CheckpointInfo> existing, ListLocked(name));
-    const uint64_t next =
-        existing.empty() ? 1 : existing.back().sequence + 1;
-    seq_it = next_sequence_.emplace(name, next).first;
-  }
-  const uint64_t sequence = seq_it->second;
+  // The index resumes after whatever the directory already held at scan
+  // time, so restarts never reuse a sequence number.
+  RETURN_IF_ERROR(EnsureScannedLocked());
+  std::vector<CheckpointInfo>& versions = versions_[name];
+  const uint64_t sequence = versions.empty() ? 1 : versions.back().sequence + 1;
 
   CheckpointHeader header;
   header.payload_size = payload.size();
@@ -224,10 +236,9 @@ Status CheckpointStore::Write(const std::string& name,
   if (options_.fsync) {
     RETURN_IF_ERROR(FsyncPath(options_.directory));
   }
-  seq_it->second = sequence + 1;
+  versions.push_back({sequence, final_path.string()});
 
   // Prune only after the new version is durably in place.
-  ASSIGN_OR_RETURN(std::vector<CheckpointInfo> versions, ListLocked(name));
   while (versions.size() > options_.keep_versions) {
     fs::remove(versions.front().path, ec);
     versions.erase(versions.begin());

@@ -45,6 +45,16 @@ struct CheckpointInfo {
 ///
 /// Thread-safe: concurrent Write/ReadLatest calls (e.g. different runtime
 /// shards sharing one store) serialize on an internal mutex.
+///
+/// The store keeps an in-memory index of every stored version, built from
+/// one directory scan at first use and maintained by Write from then on.
+/// The directory-mode runtime parks hundreds of thousands of streams
+/// through a single store; re-listing the directory per operation would
+/// make parking stream k cost O(k) — O(N^2) across a working-set sweep.
+/// Consequence of the index: the store assumes it owns its directory.
+/// Checkpoint files added or removed behind a live store's back are not
+/// observed until a new store instance scans the directory (mutating file
+/// *contents* is still seen immediately — reads validate from disk).
 class CheckpointStore {
  public:
   explicit CheckpointStore(CheckpointStoreOptions options);
@@ -69,13 +79,19 @@ class CheckpointStore {
 
  private:
   Status EnsureDirectory() const;
+  /// Builds versions_ from one full directory scan. No-op once scanned; a
+  /// not-yet-existing directory yields an empty index without latching, so
+  /// a directory created by a later Write is still scanned.
+  Status EnsureScannedLocked() const;
   Result<std::vector<CheckpointInfo>> ListLocked(
       const std::string& name) const;
 
   CheckpointStoreOptions options_;
   mutable std::mutex mutex_;
-  /// Next sequence per name, seeded from the directory scan on first write.
-  std::map<std::string, uint64_t> next_sequence_;
+  mutable bool scanned_ = false;
+  /// Stored versions per name, ascending by sequence (the newest version is
+  /// .back(), and the next write sequence is .back().sequence + 1).
+  mutable std::map<std::string, std::vector<CheckpointInfo>> versions_;
 };
 
 }  // namespace freeway

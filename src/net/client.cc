@@ -103,6 +103,11 @@ void StreamClient::AbsorbResult(const Frame& frame) {
 }
 
 void StreamClient::Backoff(int64_t floor_micros) {
+  // The floor comes off the wire (OVERLOAD retry_after): clamp before
+  // trusting it, so a misbehaving server can neither park this thread for
+  // minutes nor feed a negative duration to sleep_for.
+  const int64_t ceiling = std::max<int64_t>(options_.max_retry_after_micros, 0);
+  floor_micros = std::clamp<int64_t>(floor_micros, 0, ceiling);
   const int64_t wait = std::max(backoff_micros_, floor_micros);
   if (wait > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(wait));
@@ -113,6 +118,8 @@ void StreamClient::Backoff(int64_t floor_micros) {
 Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
   SubmitMessage message;
   message.stream_id = stream_id;
+  message.tenant_id = options_.tenant_id;
+  message.priority = static_cast<uint8_t>(options_.priority);
   message.batch = batch;
   const std::vector<char> encoded = EncodeSubmit(message);
   backoff_micros_ = options_.backoff_initial_micros;

@@ -26,6 +26,16 @@ struct ClientOptions {
   /// whichever is larger), doubling up to the cap.
   int64_t backoff_initial_micros = 500;
   int64_t backoff_max_micros = 100000;
+  /// Ceiling on the server-advised retry_after the client will honour. A
+  /// remote peer must not be able to park this thread arbitrarily long (a
+  /// buggy — or hostile — server once sent retry_after in minutes);
+  /// anything above the cap is clamped, and a negative retry_after is
+  /// treated as 0 rather than fed to the sleep.
+  int64_t max_retry_after_micros = 1'000'000;
+  /// Tenant identity + priority band stamped on every SUBMIT this client
+  /// sends (wire v2); defaults reproduce single-tenant behaviour.
+  uint32_t tenant_id = 0;
+  TenantPriority priority = TenantPriority::kStandard;
 };
 
 /// Client-side tallies, for overload studies and for reconciling against

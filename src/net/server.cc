@@ -464,8 +464,11 @@ void StreamServer::HandleSubmit(Worker& w, int fd, const Frame& frame) {
   // the result before TrySubmit even returns.
   w.routes[stream_id] = fd;
   RouteStreamTo(stream_id, w.index);
+  SubmitContext context;
+  context.tenant_id = message->tenant_id;
+  context.priority = static_cast<TenantPriority>(message->priority);
   Status admitted =
-      runtime_->TrySubmit(stream_id, std::move(message->batch));
+      runtime_->TrySubmit(stream_id, std::move(message->batch), context);
   if (admitted.ok()) {
     if (unlabeled && metrics_.request_seconds != nullptr) {
       w.pending_latency[{stream_id, batch_index}] =

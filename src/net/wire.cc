@@ -176,6 +176,8 @@ std::vector<char> EncodeSubmit(const SubmitMessage& message) {
   SnapshotWriter writer;
   writer.WriteSection(kTagSubmit);
   writer.WriteU64(message.stream_id);
+  writer.WriteU32(message.tenant_id);
+  writer.WriteU32(message.priority);
   writer.WriteBatch(message.batch);
   return EncodeFrame(FrameType::kSubmit, writer.buffer());
 }
@@ -186,6 +188,15 @@ Result<SubmitMessage> DecodeSubmit(const Frame& frame) {
   SubmitMessage message;
   RETURN_IF_ERROR(reader.ExpectSection(kTagSubmit));
   RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadU32(&message.tenant_id));
+  uint32_t priority = 0;
+  RETURN_IF_ERROR(reader.ReadU32(&priority));
+  if (priority > static_cast<uint32_t>(TenantPriority::kCritical)) {
+    return Status::InvalidArgument("submit: priority " +
+                                   std::to_string(priority) +
+                                   " is not a TenantPriority");
+  }
+  message.priority = static_cast<uint8_t>(priority);
   RETURN_IF_ERROR(reader.ReadBatch(&message.batch));
   RETURN_IF_ERROR(reader.ExpectEnd());
   return message;

@@ -56,7 +56,10 @@ const char* FrameTypeName(FrameType type);
 
 /// 'FWNP' read little-endian from the first four bytes.
 inline constexpr uint32_t kFrameMagic = 0x504E5746u;
-inline constexpr uint8_t kWireVersion = 1;
+/// v2 added tenant_id + priority to SUBMIT (multi-tenant stream
+/// directory). The protocol is versioned per connection, not per message,
+/// so the bump is a clean break: v1 peers are rejected at the header.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Upper bound an honest peer never hits (a 1024×1024-feature double batch
 /// is ~8 MiB); anything larger is treated as corruption, not a request to
@@ -101,6 +104,13 @@ class FrameDecoder {
 
 struct SubmitMessage {
   uint64_t stream_id = 0;
+  /// Tenant identity + priority band the server feeds into weighted
+  /// admission (see SubmitContext). Zero / standard — the v1 behaviour —
+  /// when the client does not set them.
+  uint32_t tenant_id = 0;
+  /// Encoded as the TenantPriority numeric value; decode rejects values
+  /// outside the enum so a corrupt byte cannot invent a priority band.
+  uint8_t priority = 1;
   Batch batch;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -46,6 +47,9 @@ class BoundedQueue {
     bool rejected_full = false;
     /// Wall time this producer spent blocked waiting for space.
     int64_t blocked_micros = 0;
+    /// The item removed by a shedding push (set exactly when `shed`), so
+    /// the caller can release any accounting booked against it.
+    std::optional<T> victim;
   };
 
   explicit BoundedQueue(size_t capacity)
@@ -86,12 +90,40 @@ class BoundedQueue {
     if (!closed_ && items_.size() >= capacity_) {
       for (auto it = items_.begin(); it != items_.end(); ++it) {
         if (victim(*it)) {
+          T dropped = std::move(*it);
           items_.erase(it);
           PushResult result = PushLocked(std::move(lock), std::move(item));
           result.shed = true;
+          result.victim = std::move(dropped);
           return result;
         }
       }
+    }
+    return PushLocked(std::move(lock), std::move(item));
+  }
+
+  /// Non-blocking load-shedding push: like PushShedding, but when the
+  /// queue is full and no item qualifies as a victim (only must-keep work
+  /// is queued) the item is rejected with `rejected_full = true` instead of
+  /// degrading to backpressure — the TrySubmit flavour, for callers that
+  /// must never stall.
+  template <typename Pred>
+  PushResult TryPushShedding(T item, Pred&& victim) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!closed_ && items_.size() >= capacity_) {
+      for (auto it = items_.begin(); it != items_.end(); ++it) {
+        if (victim(*it)) {
+          T dropped = std::move(*it);
+          items_.erase(it);
+          PushResult result = PushLocked(std::move(lock), std::move(item));
+          result.shed = true;
+          result.victim = std::move(dropped);
+          return result;
+        }
+      }
+      PushResult result;
+      result.rejected_full = true;
+      return result;
     }
     return PushLocked(std::move(lock), std::move(item));
   }

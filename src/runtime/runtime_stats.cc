@@ -89,7 +89,38 @@ std::string RuntimeStatsSnapshot::ToJson() const {
     if (i > 0) out << ", ";
     AppendShard(&out, shards[i], /*with_shard_index=*/true);
   }
-  out << "]}";
+  out << "]";
+  if (directory_enabled) {
+    out << ", \"directory\": {"
+        << "\"hydrations_fresh\": " << directory.hydrations_fresh
+        << ", \"hydrations_restored\": " << directory.hydrations_restored
+        << ", \"evictions\": " << directory.evictions
+        << ", \"discards\": " << directory.discards
+        << ", \"parks\": " << directory.parks
+        << ", \"hydrate_errors\": " << directory.hydrate_errors
+        << ", \"evict_errors\": " << directory.evict_errors
+        << ", \"resident\": " << directory.resident
+        << ", \"capacity\": " << directory.capacity << "}";
+  }
+  if (!tenants.empty()) {
+    out << ", \"tenants\": [";
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      if (i > 0) out << ", ";
+      const TenantStatsSnapshot& t = tenants[i];
+      out << "{\"tenant\": "
+          << (t.is_other ? std::string("\"other\"")
+                         : std::to_string(t.tenant_id))
+          << ", \"weight\": " << FormatDouble(t.weight, 3)
+          << ", \"priority\": \""
+          << TenantPriorityName(static_cast<TenantPriority>(t.priority))
+          << "\""
+          << ", \"admitted\": " << t.admitted
+          << ", \"rejected\": " << t.rejected
+          << ", \"in_flight\": " << t.in_flight << "}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "directory/admission.h"
+
 namespace freeway {
 
 /// Live per-shard counters, written by producers and the shard's drain
@@ -73,17 +75,48 @@ struct ShardStatsSnapshot {
                                  double arrival_rate);
 };
 
+/// Directory working-set accounting summed across shards (directory mode
+/// only). Unlike the shard counters these are plain integers maintained by
+/// the drain threads, so they are exact — and safe to read — only while
+/// the runtime is quiescent (after Flush/Shutdown).
+///
+/// Invariant when quiescent:
+///   hydrations_fresh + hydrations_restored == evictions + discards +
+///   resident
+struct DirectoryStatsSnapshot {
+  uint64_t hydrations_fresh = 0;
+  uint64_t hydrations_restored = 0;
+  uint64_t evictions = 0;
+  uint64_t discards = 0;
+  uint64_t parks = 0;
+  uint64_t hydrate_errors = 0;
+  uint64_t evict_errors = 0;
+  /// Currently hydrated pipelines across all shards.
+  uint64_t resident = 0;
+  /// Sum of the per-shard working-set caps (>= the configured total
+  /// because each shard gets at least one slot).
+  uint64_t capacity = 0;
+};
+
 /// Point-in-time view of the whole runtime: per-shard rows plus totals.
 struct RuntimeStatsSnapshot {
   std::vector<ShardStatsSnapshot> shards;
   /// Sums over shards (queue_high_water is the max, arrival_rate the sum).
   ShardStatsSnapshot totals;
+  /// Directory-mode extras; `directory` is meaningful (and rendered by
+  /// ToJson) only when directory_enabled, `tenants` only when weighted
+  /// admission is on.
+  bool directory_enabled = false;
+  DirectoryStatsSnapshot directory;
+  std::vector<TenantStatsSnapshot> tenants;
 
   /// Recomputes `totals` from `shards`.
   void Aggregate();
 
   /// Renders the snapshot as a JSON object (stable key order) for the
-  /// bench/report layer.
+  /// bench/report layer. The legacy {"totals", "shards"} shape is extended
+  /// with "directory" / "tenants" keys only in directory mode, so existing
+  /// consumers are unaffected.
   std::string ToJson() const;
 };
 

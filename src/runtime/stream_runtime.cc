@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "directory/working_set.h"
 #include "fault/failpoint.h"
 #include "runtime/bounded_queue.h"
 
@@ -21,6 +22,13 @@ struct StreamRuntime::ShardItem {
   /// Stamped at Submit when metrics are attached; feeds the queue-wait
   /// histogram at dequeue.
   std::chrono::steady_clock::time_point enqueued_at;
+  /// Tenant admission slot (resolved once at submit) and priority band,
+  /// meaningful only while weighted admission is enabled. The slot lets
+  /// every retire point (processed, shed victim, quarantined, undrained)
+  /// release the booking without re-hashing; the band gates shed-victim
+  /// selection.
+  size_t tenant_slot = 0;
+  uint8_t priority = 1;
 };
 
 /// Per-shard state. The queue carries its own lock; `submit_mutex` guards
@@ -32,8 +40,12 @@ struct StreamRuntime::Shard {
   Shard(size_t index, const Model& prototype, const RuntimeOptions& options)
       : index(index),
         queue(options.queue_capacity),
-        pipeline(
-            std::make_unique<StreamPipeline>(prototype, options.pipeline)),
+        // Directory mode has no per-shard pipeline: streams hydrate their
+        // own into the working set on demand.
+        pipeline(options.directory.enabled
+                     ? nullptr
+                     : std::make_unique<StreamPipeline>(prototype,
+                                                        options.pipeline)),
         overload_adjuster(options.overload_rate),
         drain_site("runtime.drain.shard" + std::to_string(index)),
         checkpoint_name("shard" + std::to_string(index)) {}
@@ -41,6 +53,10 @@ struct StreamRuntime::Shard {
   const size_t index;
   BoundedQueue<ShardItem> queue;
   std::unique_ptr<StreamPipeline> pipeline;
+  /// Directory mode only: the shard's LRU set of hydrated per-stream
+  /// pipelines. Touched exclusively by the shard's single active drain
+  /// task, like `pipeline`.
+  std::unique_ptr<PipelineWorkingSet> working_set;
   ShardCounters counters;
 
   std::mutex submit_mutex;
@@ -82,9 +98,49 @@ StreamRuntime::StreamRuntime(const Model& prototype,
     FREEWAY_LOG(kWarning) << "RuntimeOptions.queue_capacity = 0 clamped to 1";
     options_.queue_capacity = 1;
   }
+  if (options_.directory.enabled) {
+    // Directory validation follows the same clamp-and-warn policy.
+    if (options_.directory.park_dir.empty()) {
+      FREEWAY_LOG(kWarning) << "DirectoryOptions.park_dir is empty; using "
+                        << "\"freeway_directory_park\"";
+      options_.directory.park_dir = "freeway_directory_park";
+    }
+    if (options_.directory.working_set_capacity == 0) {
+      FREEWAY_LOG(kWarning)
+          << "DirectoryOptions.working_set_capacity = 0 clamped to "
+          << options_.num_shards << " (one resident stream per shard)";
+      options_.directory.working_set_capacity = options_.num_shards;
+    }
+    CheckpointStoreOptions park_options;
+    park_options.directory = options_.directory.park_dir;
+    park_options.keep_versions =
+        std::max<size_t>(1, options_.directory.keep_versions);
+    park_options.fsync = options_.directory.fsync;
+    park_store_ = std::make_unique<CheckpointStore>(std::move(park_options));
+    ring_ = std::make_unique<ConsistentHashRing>(
+        options_.num_shards, options_.directory.vnodes_per_shard);
+    if (options_.directory.admission.enabled) {
+      admission_ = std::make_unique<TenantAdmission>(
+          options_.directory.admission, options_.num_shards,
+          options_.queue_capacity, options_.metrics);
+    }
+  }
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, prototype, options_));
+    if (options_.directory.enabled) {
+      WorkingSetOptions ws;
+      ws.capacity = std::max<size_t>(
+          1, options_.directory.working_set_capacity / options_.num_shards);
+      ws.store = park_store_.get();
+      ws.prototype = prototype_.get();
+      ws.pipeline = options_.pipeline;
+      ws.metrics = options_.metrics;
+      ws.record_activation_latency =
+          options_.directory.record_activation_latency;
+      shards_.back()->working_set =
+          std::make_unique<PipelineWorkingSet>(std::move(ws));
+    }
   }
   if (options_.metrics != nullptr) {
     MetricsRegistry* registry = options_.metrics;
@@ -105,8 +161,9 @@ StreamRuntime::StreamRuntime(const Model& prototype,
           "freeway_runtime_queue_depth{shard=\"" +
           std::to_string(shard->index) + "\"}");
       // Shards share the registry: pipeline/learner series aggregate
-      // across shards under the same names.
-      shard->pipeline->AttachMetrics(registry);
+      // across shards under the same names. (Directory mode attaches at
+      // hydration instead — there is no shard pipeline.)
+      if (shard->pipeline != nullptr) shard->pipeline->AttachMetrics(registry);
     }
     if (options_.fault.enabled) {
       metrics_.fault_retries =
@@ -133,12 +190,18 @@ StreamRuntime::StreamRuntime(const Model& prototype,
     store_ = std::make_unique<CheckpointStore>(std::move(store_options));
     // Seed one checkpoint per shard: a failure on the very first batch
     // must have a restore point, and it exercises the store (a bad
-    // checkpoint_dir surfaces here, not mid-recovery).
-    for (auto& shard : shards_) {
-      Status seeded = WriteShardCheckpoint(shard.get());
-      if (!seeded.ok()) {
-        FREEWAY_LOG(kWarning) << "shard " << shard->index
-                          << ": initial checkpoint failed: " << seeded;
+    // checkpoint_dir surfaces here, not mid-recovery). Directory mode
+    // skips this — recovery rolls individual streams back through the
+    // park store, and a fresh stream's rollback target *is* a fresh
+    // pipeline, so there is nothing to seed (and seeding millions of
+    // streams up front would defeat hydrate-on-demand).
+    if (!options_.directory.enabled) {
+      for (auto& shard : shards_) {
+        Status seeded = WriteShardCheckpoint(shard.get());
+        if (!seeded.ok()) {
+          FREEWAY_LOG(kWarning) << "shard " << shard->index
+                            << ": initial checkpoint failed: " << seeded;
+        }
       }
     }
   }
@@ -146,15 +209,20 @@ StreamRuntime::StreamRuntime(const Model& prototype,
 
 StreamRuntime::~StreamRuntime() { Shutdown(); }
 
-Status StreamRuntime::Submit(uint64_t stream_id, Batch batch) {
-  return SubmitInternal(stream_id, std::move(batch), /*allow_block=*/true);
+Status StreamRuntime::Submit(uint64_t stream_id, Batch batch,
+                             SubmitContext context) {
+  return SubmitInternal(stream_id, std::move(batch), context,
+                        /*allow_block=*/true);
 }
 
-Status StreamRuntime::TrySubmit(uint64_t stream_id, Batch batch) {
-  return SubmitInternal(stream_id, std::move(batch), /*allow_block=*/false);
+Status StreamRuntime::TrySubmit(uint64_t stream_id, Batch batch,
+                                SubmitContext context) {
+  return SubmitInternal(stream_id, std::move(batch), context,
+                        /*allow_block=*/false);
 }
 
 Status StreamRuntime::SubmitInternal(uint64_t stream_id, Batch batch,
+                                     SubmitContext context,
                                      bool allow_block) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("StreamRuntime is shut down");
@@ -189,15 +257,47 @@ Status StreamRuntime::SubmitInternal(uint64_t stream_id, Batch batch,
   ShardItem item;
   item.stream_id = stream_id;
   item.batch = std::move(batch);
+  item.priority = static_cast<uint8_t>(context.priority);
   if (metrics_.queue_wait_seconds != nullptr) {
     item.enqueued_at = std::chrono::steady_clock::now();
   }
+  if (admission_ != nullptr) {
+    item.tenant_slot = admission_->SlotOf(context.tenant_id);
+    // Weighted admission applies only to the non-blocking path: a caller
+    // accepting backpressure already pays with its own blocked time, and a
+    // serving frontend (TrySubmit) is exactly where Envoy-style tenant
+    // shedding belongs. A rejection here counts like a queue-full
+    // rejection — the batch was never accepted, `enqueued` is untouched.
+    if (!allow_block &&
+        !admission_->Admit(shard.index, item.tenant_slot,
+                           item.batch.labeled(), shard.queue.fill())) {
+      shard.counters.rejected.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.rejected != nullptr) metrics_.rejected->Inc();
+      return Status::Unavailable(
+          "tenant " + std::to_string(context.tenant_id) +
+          " over its admission share on shard " +
+          std::to_string(shard.index));
+    }
+  }
+
+  // Read out what the accounting below needs before the item is moved into
+  // the queue.
+  const size_t tenant_slot = item.tenant_slot;
+  const uint8_t incoming_priority = item.priority;
 
   BoundedQueue<ShardItem>::PushResult push;
   if (options_.overload_policy == OverloadPolicy::kShed && overloaded) {
-    push = shard.queue.PushShedding(
-        std::move(item),
-        [](const ShardItem& queued) { return !queued.batch.labeled(); });
+    // Shed the lowest band first: a queued unlabeled batch is a victim
+    // only for an incoming batch of an equal or higher priority band, so
+    // best-effort work never displaces standard or critical work. When
+    // nothing qualifies (only must-keep work is queued), the blocking path
+    // degrades to backpressure while the non-blocking path rejects — a
+    // TrySubmit caller must never stall.
+    const auto victim = [incoming_priority](const ShardItem& queued) {
+      return !queued.batch.labeled() && queued.priority <= incoming_priority;
+    };
+    push = allow_block ? shard.queue.PushShedding(std::move(item), victim)
+                       : shard.queue.TryPushShedding(std::move(item), victim);
   } else if (allow_block) {
     push = shard.queue.PushBlocking(std::move(item));
   } else {
@@ -221,9 +321,18 @@ Status StreamRuntime::SubmitInternal(uint64_t stream_id, Batch batch,
 
   shard.counters.enqueued.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.enqueued != nullptr) metrics_.enqueued->Inc();
+  if (admission_ != nullptr) {
+    // Book every accepted batch (blocking path included) so per-tenant
+    // in-flight reflects total queue holdings; retired on process, shed,
+    // quarantine, or shutdown abandonment.
+    admission_->OnAdmitted(shard.index, tenant_slot);
+  }
   if (push.shed) {
     shard.counters.shed.fetch_add(1, std::memory_order_relaxed);
     if (metrics_.shed != nullptr) metrics_.shed->Inc();
+    if (admission_ != nullptr && push.victim.has_value()) {
+      admission_->OnRetired(shard.index, push.victim->tenant_slot);
+    }
   } else if (shard.queue_depth != nullptr) {
     // A shed push replaces a resident item, so depth only grows when
     // nothing was dropped.
@@ -243,12 +352,16 @@ Status StreamRuntime::SubmitInternal(uint64_t stream_id, Batch batch,
 Status StreamRuntime::PushOnce(Shard* shard, const ShardItem& item) {
   Status injected = failpoint::Check(shard->drain_site);
   if (!injected.ok()) return injected;
+  // Directory mode: the stream's own pipeline, hydrated into the working
+  // set on demand (evicting an LRU resident if the shard is at its cap).
+  StreamPipeline* pipeline = shard->working_set != nullptr
+                                 ? shard->working_set->Acquire(item.stream_id)
+                                 : shard->pipeline.get();
   if (options_.forward_rate_signal) {
     const double rate = shard->arrival_rate.load(std::memory_order_relaxed);
-    if (rate > 0.0) shard->pipeline->SetExternalRate(rate);
+    if (rate > 0.0) pipeline->SetExternalRate(rate);
   }
-  Result<std::optional<InferenceReport>> result =
-      shard->pipeline->Push(item.batch);
+  Result<std::optional<InferenceReport>> result = pipeline->Push(item.batch);
   RETURN_IF_ERROR(result.status());
   if (result->has_value()) {
     StreamResult delivered;
@@ -260,9 +373,16 @@ Status StreamRuntime::PushOnce(Shard* shard, const ShardItem& item) {
   return Status::OK();
 }
 
-void StreamRuntime::RestoreShardPipeline(Shard* shard) {
+void StreamRuntime::RestoreShardPipeline(Shard* shard, uint64_t stream_id) {
   shard->counters.restores.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.fault_restores != nullptr) metrics_.fault_restores->Inc();
+  if (shard->working_set != nullptr) {
+    // Directory mode: roll only the failing stream back. Discarding drops
+    // its (possibly half-updated) resident pipeline; the retry's Acquire
+    // re-hydrates from the last park, or fresh when it was never parked.
+    shard->working_set->Discard(stream_id);
+    return;
+  }
   if (store_ != nullptr) {
     Result<std::vector<char>> payload =
         store_->ReadLatest(shard->checkpoint_name);
@@ -297,6 +417,11 @@ void StreamRuntime::RestoreShardPipeline(Shard* shard) {
 }
 
 Status StreamRuntime::WriteShardCheckpoint(Shard* shard) {
+  if (shard->working_set != nullptr) {
+    // Directory mode: "checkpoint the shard" means park every resident
+    // stream — there is no shard pipeline to snapshot.
+    return shard->working_set->ParkAll();
+  }
   if (store_ == nullptr) {
     return Status::FailedPrecondition("fault tolerance is not enabled");
   }
@@ -325,6 +450,9 @@ void StreamRuntime::Quarantine(Shard* shard, ShardItem item, Status error,
                                size_t attempts) {
   shard->counters.quarantined.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.fault_quarantined != nullptr) metrics_.fault_quarantined->Inc();
+  if (admission_ != nullptr) {
+    admission_->OnRetired(shard->index, item.tenant_slot);
+  }
   DeadLetter letter;
   letter.stream_id = item.stream_id;
   letter.shard = shard->index;
@@ -351,7 +479,7 @@ void StreamRuntime::ProcessWithRecovery(Shard* shard, ShardItem item) {
                                         0);
     for (size_t retry = 0; retry < options_.fault.max_batch_retries;
          ++retry) {
-      RestoreShardPipeline(shard);
+      RestoreShardPipeline(shard, item.stream_id);
       if (backoff > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff));
         backoff = std::min(backoff * 2, options_.fault.backoff_max_micros);
@@ -376,7 +504,22 @@ void StreamRuntime::ProcessWithRecovery(Shard* shard, ShardItem item) {
   // consumed either way); fault-tolerant mode only reaches here with OK.
   shard->counters.processed.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.processed != nullptr) metrics_.processed->Inc();
-  if (status.ok() && store_ != nullptr) {
+  if (admission_ != nullptr) {
+    admission_->OnRetired(shard->index, item.tenant_slot);
+  }
+  if (status.ok() && shard->working_set != nullptr) {
+    // Directory mode intervals are per stream: the stream parks itself
+    // (snapshot to the store, staying resident) every N of *its own*
+    // pushes, so recovery rollback distance is bounded per stream.
+    if (options_.fault.enabled) {
+      Status parked = shard->working_set->NotePush(
+          item.stream_id, options_.fault.checkpoint_interval_batches);
+      if (!parked.ok()) {
+        FREEWAY_LOG(kWarning) << "stream " << item.stream_id
+                          << ": interval park failed: " << parked;
+      }
+    }
+  } else if (status.ok() && store_ != nullptr) {
     if (++shard->batches_since_checkpoint >=
         options_.fault.checkpoint_interval_batches) {
       Status written = WriteShardCheckpoint(shard);
@@ -439,6 +582,9 @@ void StreamRuntime::Shutdown() {
       for (ShardItem& item : abandoned) {
         shard->counters.undrained.fetch_add(1, std::memory_order_relaxed);
         if (shard->queue_depth != nullptr) shard->queue_depth->Dec();
+        if (admission_ != nullptr) {
+          admission_->OnRetired(shard->index, item.tenant_slot);
+        }
         if (item.batch.labeled()) {
           DeadLetter letter;
           letter.stream_id = item.stream_id;
@@ -457,9 +603,12 @@ void StreamRuntime::Shutdown() {
       if (!options_.schedule_workers) DrainShard(shard.get());
     }
     shard->queue.WaitIdle();
-    if (store_ != nullptr) {
+    if (store_ != nullptr || shard->working_set != nullptr) {
       // Final checkpoint: the shard is quiescent, so this snapshot is the
-      // one a successor runtime restores from.
+      // one a successor runtime restores from. Directory mode parks every
+      // resident stream (evicted streams are already parked), fault
+      // tolerance or not — a bounded cache must not be the only copy of
+      // trained state at exit.
       Status written = WriteShardCheckpoint(shard.get());
       if (!written.ok()) {
         FREEWAY_LOG(kWarning) << "shard " << shard->index
@@ -489,6 +638,26 @@ RuntimeStatsSnapshot StreamRuntime::Snapshot() const {
         shard->arrival_rate.load(std::memory_order_relaxed)));
   }
   snapshot.Aggregate();
+  if (ring_ != nullptr) {
+    // Working-set stats are plain integers owned by the drain threads, so
+    // this section is exact only when the runtime is quiescent (the same
+    // caveat the snapshot already carries, just without atomics softening
+    // mid-flight reads).
+    snapshot.directory_enabled = true;
+    for (const auto& shard : shards_) {
+      const WorkingSetStats& ws = shard->working_set->stats();
+      snapshot.directory.hydrations_fresh += ws.hydrations_fresh;
+      snapshot.directory.hydrations_restored += ws.hydrations_restored;
+      snapshot.directory.evictions += ws.evictions;
+      snapshot.directory.discards += ws.discards;
+      snapshot.directory.parks += ws.parks;
+      snapshot.directory.hydrate_errors += ws.hydrate_errors;
+      snapshot.directory.evict_errors += ws.evict_errors;
+      snapshot.directory.resident += shard->working_set->resident();
+      snapshot.directory.capacity += shard->working_set->capacity();
+    }
+  }
+  if (admission_ != nullptr) snapshot.tenants = admission_->Snapshot();
   return snapshot;
 }
 
@@ -499,12 +668,25 @@ size_t StreamRuntime::PumpShard(size_t shard) {
 
 const StreamPipeline& StreamRuntime::shard_pipeline(size_t shard) const {
   FREEWAY_DCHECK(shard < shards_.size());
+  FREEWAY_DCHECK(shards_[shard]->pipeline != nullptr);
   return *shards_[shard]->pipeline;
 }
 
 StreamPipeline* StreamRuntime::mutable_shard_pipeline(size_t shard) {
   FREEWAY_DCHECK(shard < shards_.size());
   return shards_[shard]->pipeline.get();
+}
+
+StreamPipeline* StreamRuntime::resident_stream_pipeline(uint64_t stream_id) {
+  Shard& shard = *shards_[ShardOf(stream_id)];
+  if (shard.working_set == nullptr) return shard.pipeline.get();
+  return shard.working_set->Acquire(stream_id);
+}
+
+const PipelineWorkingSet* StreamRuntime::shard_working_set(
+    size_t shard) const {
+  FREEWAY_DCHECK(shard < shards_.size());
+  return shards_[shard]->working_set.get();
 }
 
 Status StreamRuntime::CheckpointShard(size_t shard) {

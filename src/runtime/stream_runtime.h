@@ -9,10 +9,14 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "directory/directory.h"
+#include "directory/placement.h"
 #include "fault/checkpoint.h"
 #include "runtime/runtime_stats.h"
 
 namespace freeway {
+
+class PipelineWorkingSet;
 
 /// What Submit does when a shard queue is full.
 enum class OverloadPolicy {
@@ -98,11 +102,31 @@ struct RuntimeOptions {
   MetricsRegistry* metrics = nullptr;
   /// Shard supervision + checkpointing (see FaultToleranceOptions).
   FaultToleranceOptions fault;
+  /// Stream directory (see DirectoryOptions). Enabled, the runtime serves
+  /// millions of logical streams: consistent-hash placement, one pipeline
+  /// per *stream* (not per shard) hydrated on demand into a bounded LRU
+  /// working set and evicted to its parked checkpoint, plus optional
+  /// per-tenant weighted admission on the TrySubmit path. With fault
+  /// tolerance also on, interval checkpointing and supervised recovery
+  /// operate per stream through the park store instead of per shard.
+  DirectoryOptions directory;
   /// When false, Shutdown() abandons still-queued batches instead of
   /// processing them: each is counted `undrained` in the stats snapshot,
   /// and labeled ones (training data) are preserved on the dead-letter
   /// queue rather than discarded.
   bool drain_on_shutdown = true;
+};
+
+/// Producer-supplied context of one submit: which tenant the batch belongs
+/// to and the priority band it rides in. The default (tenant 0, standard)
+/// reproduces pre-directory behaviour, so two-argument Submit calls are
+/// unaffected. `priority` drives shed-victim selection (a queued unlabeled
+/// batch is only shed for an incoming batch of an equal or higher band);
+/// admission *quotas* use the tenant's configured priority, so a client
+/// cannot self-promote past its contract.
+struct SubmitContext {
+  uint32_t tenant_id = 0;
+  TenantPriority priority = TenantPriority::kStandard;
 };
 
 /// One inference outcome delivered by the runtime.
@@ -155,7 +179,7 @@ class StreamRuntime {
   /// Routes one batch to its stream's shard: enqueues, blocks for space,
   /// or sheds per the overload policy. Thread-safe. Returns
   /// FailedPrecondition after Shutdown().
-  Status Submit(uint64_t stream_id, Batch batch);
+  Status Submit(uint64_t stream_id, Batch batch, SubmitContext context = {});
 
   /// Non-blocking admission-control variant for serving frontends that must
   /// never stall (e.g. a network event loop): identical to Submit except
@@ -166,8 +190,10 @@ class StreamRuntime {
   /// full queue is also rejected rather than blocked. The caller owns
   /// retry/backoff (StreamServer turns the rejection into an
   /// OVERLOAD(retry_after) reply so backpressure propagates to the remote
-  /// producer).
-  Status TrySubmit(uint64_t stream_id, Batch batch);
+  /// producer). With weighted admission enabled, a tenant over its share of
+  /// a pressured queue is also rejected Unavailable — unless the batch is
+  /// labeled (training data is never quota-rejected).
+  Status TrySubmit(uint64_t stream_id, Batch batch, SubmitContext context = {});
 
   /// Blocks until every batch accepted before the call has been processed.
   /// Concurrent Submits may keep individual shards busy past the return.
@@ -197,17 +223,33 @@ class StreamRuntime {
   size_t num_shards() const { return shards_.size(); }
   /// Post-validation queue capacity (RuntimeOptions clamp policy).
   size_t queue_capacity() const { return options_.queue_capacity; }
+  /// The shard serving `stream_id`: modulo placement in legacy mode, the
+  /// consistent-hash ring in directory mode.
   size_t ShardOf(uint64_t stream_id) const {
-    return static_cast<size_t>(stream_id % shards_.size());
+    return ring_ != nullptr ? ring_->ShardOf(stream_id)
+                            : static_cast<size_t>(stream_id % shards_.size());
   }
+  bool directory_enabled() const { return ring_ != nullptr; }
   /// The shard's pipeline. Safe to inspect only while the shard is idle.
+  /// Legacy mode only: in directory mode shards own a working set of
+  /// per-stream pipelines instead (see resident_stream_pipeline).
   const StreamPipeline& shard_pipeline(size_t shard) const;
   /// Mutable access for recovery tooling (e.g. restoring a checkpoint into
   /// a fresh runtime). Same idle-only contract as shard_pipeline.
   StreamPipeline* mutable_shard_pipeline(size_t shard);
+  /// Directory mode: the stream's pipeline, hydrating it into the working
+  /// set if parked (so inspection is always possible, at the usual
+  /// hydration cost). Idle-only contract — this drives the shard's working
+  /// set from the calling thread. Legacy mode falls back to the shard
+  /// pipeline.
+  StreamPipeline* resident_stream_pipeline(uint64_t stream_id);
+  /// The shard's working set; null in legacy mode. Idle-only contract.
+  const PipelineWorkingSet* shard_working_set(size_t shard) const;
 
   /// The runtime's checkpoint store; null while fault tolerance is off.
   CheckpointStore* checkpoint_store() { return store_.get(); }
+  /// The directory's parked-stream store; null while the directory is off.
+  CheckpointStore* park_store() { return park_store_.get(); }
 
   /// Writes a checkpoint of shard `shard` now (also done automatically at
   /// the configured interval and at shutdown). Idle-only contract.
@@ -240,9 +282,11 @@ class StreamRuntime {
     Histogram* fault_checkpoint_write_seconds = nullptr;
   };
 
-  /// Shared body of Submit / TrySubmit: rate measurement, policy-selected
-  /// push, counter/metric accounting, and drain-task activation.
-  Status SubmitInternal(uint64_t stream_id, Batch batch, bool allow_block);
+  /// Shared body of Submit / TrySubmit: rate measurement, tenant
+  /// admission, policy-selected push, counter/metric accounting, and
+  /// drain-task activation.
+  Status SubmitInternal(uint64_t stream_id, Batch batch, SubmitContext context,
+                        bool allow_block);
   /// Body of a drain task: pops until the shard queue is empty.
   size_t DrainShard(Shard* shard);
   void Deliver(StreamResult result);
@@ -255,9 +299,11 @@ class StreamRuntime {
   /// dead-letter queue when the retry budget is exhausted. Also books the
   /// processed/quarantined counters and the periodic checkpoint.
   void ProcessWithRecovery(Shard* shard, ShardItem item);
-  /// Swaps in a pipeline restored from the shard's latest valid checkpoint
-  /// (fresh rebuild from the prototype when no checkpoint validates).
-  void RestoreShardPipeline(Shard* shard);
+  /// Swaps in a pipeline restored from the latest valid checkpoint (fresh
+  /// rebuild from the prototype when no checkpoint validates). Legacy mode
+  /// restores the shard pipeline; directory mode discards the stream's
+  /// resident pipeline so the retry re-hydrates it from its last park.
+  void RestoreShardPipeline(Shard* shard, uint64_t stream_id);
   /// Snapshot + store write for one shard, with fault metrics.
   Status WriteShardCheckpoint(Shard* shard);
   void Quarantine(Shard* shard, ShardItem item, Status error,
@@ -270,6 +316,11 @@ class StreamRuntime {
   /// a shard has no restorable checkpoint.
   std::unique_ptr<Model> prototype_;
   std::unique_ptr<CheckpointStore> store_;
+  /// Directory-mode state: placement ring, parked-stream store, and the
+  /// optional tenant admission controller. All null in legacy mode.
+  std::unique_ptr<ConsistentHashRing> ring_;
+  std::unique_ptr<CheckpointStore> park_store_;
+  std::unique_ptr<TenantAdmission> admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::mutex results_mutex_;
   std::vector<StreamResult> results_;

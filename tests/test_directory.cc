@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "directory/admission.h"
+#include "directory/directory.h"
+#include "directory/placement.h"
+#include "directory/working_set.h"
+#include "fault/failpoint.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// ConsistentHashRing
+
+TEST(ConsistentHashRingTest, PlacementIsDeterministic) {
+  ConsistentHashRing a(8), b(8);
+  for (uint64_t id = 0; id < 1000; ++id) {
+    EXPECT_EQ(a.ShardOf(id), b.ShardOf(id));
+  }
+}
+
+TEST(ConsistentHashRingTest, ZeroInputsClampToOne) {
+  ConsistentHashRing ring(0, 0);
+  EXPECT_EQ(ring.num_shards(), 1u);
+  EXPECT_EQ(ring.vnodes_per_shard(), 1u);
+  EXPECT_EQ(ring.ShardOf(12345), 0u);
+}
+
+TEST(ConsistentHashRingTest, SpreadsStreamsAcrossShards) {
+  const size_t shards = 8;
+  ConsistentHashRing ring(shards);
+  std::vector<size_t> counts(shards, 0);
+  const size_t streams = 100000;
+  for (uint64_t id = 0; id < streams; ++id) ++counts[ring.ShardOf(id)];
+  // With 64 vnodes/shard the split should be within ~2x of ideal — loose
+  // enough to never flake, tight enough to catch a broken ring.
+  const size_t ideal = streams / shards;
+  for (size_t shard = 0; shard < shards; ++shard) {
+    EXPECT_GT(counts[shard], ideal / 2) << "shard " << shard;
+    EXPECT_LT(counts[shard], ideal * 2) << "shard " << shard;
+  }
+}
+
+TEST(ConsistentHashRingTest, GrowingShardSetMovesFewStreams) {
+  ConsistentHashRing before(8), after(9);
+  const size_t streams = 50000;
+  size_t moved = 0;
+  for (uint64_t id = 0; id < streams; ++id) {
+    if (before.ShardOf(id) != after.ShardOf(id)) ++moved;
+  }
+  // Ideal is 1/9 ≈ 11%; the modulo mapping would move ~8/9 ≈ 89%. Assert
+  // the consistent-hash regime with a wide margin.
+  EXPECT_LT(moved, streams / 3);
+  EXPECT_GT(moved, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ParseTenantWeights
+
+TEST(ParseTenantWeightsTest, ParsesFullGrammar) {
+  auto parsed = ParseTenantWeights("1:8:critical,2:4,7:0.5:best_effort");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].tenant_id, 1u);
+  EXPECT_DOUBLE_EQ((*parsed)[0].weight, 8.0);
+  EXPECT_EQ((*parsed)[0].priority, TenantPriority::kCritical);
+  EXPECT_EQ((*parsed)[1].tenant_id, 2u);
+  EXPECT_EQ((*parsed)[1].priority, TenantPriority::kStandard);
+  EXPECT_EQ((*parsed)[2].tenant_id, 7u);
+  EXPECT_DOUBLE_EQ((*parsed)[2].weight, 0.5);
+  EXPECT_EQ((*parsed)[2].priority, TenantPriority::kBestEffort);
+}
+
+TEST(ParseTenantWeightsTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(ParseTenantWeights("1").ok());
+  EXPECT_FALSE(ParseTenantWeights("1:abc").ok());
+  EXPECT_FALSE(ParseTenantWeights("1:0").ok());
+  EXPECT_FALSE(ParseTenantWeights("1:-2").ok());
+  EXPECT_FALSE(ParseTenantWeights("1:2:vip").ok());
+  EXPECT_FALSE(ParseTenantWeights("1:2:standard:extra").ok());
+}
+
+TEST(ParseTenantWeightsTest, EmptySpecYieldsNoTenants) {
+  auto parsed = ParseTenantWeights("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+// ---------------------------------------------------------------------------
+// TenantAdmission
+
+AdmissionOptions TwoTenantOptions() {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.tenants.push_back({1, 8.0, TenantPriority::kStandard});
+  options.tenants.push_back({2, 1.0, TenantPriority::kBestEffort});
+  return options;
+}
+
+TEST(TenantAdmissionTest, SharesAreWeightProportionalWithFloorOfOne) {
+  // total weight 8 + 1 + 1 (other) = 10; capacity 100.
+  TenantAdmission admission(TwoTenantOptions(), 2, 100, nullptr);
+  EXPECT_EQ(admission.share(admission.SlotOf(1)), 80u);
+  EXPECT_EQ(admission.share(admission.SlotOf(2)), 10u);
+  // A tiny weight still gets one slot — the starvation guarantee.
+  AdmissionOptions tiny = TwoTenantOptions();
+  tiny.tenants.push_back({3, 0.001, TenantPriority::kBestEffort});
+  TenantAdmission floored(tiny, 2, 100, nullptr);
+  EXPECT_EQ(floored.share(floored.SlotOf(3)), 1u);
+}
+
+TEST(TenantAdmissionTest, UnconfiguredTenantsShareTheOtherBucket) {
+  TenantAdmission admission(TwoTenantOptions(), 2, 100, nullptr);
+  EXPECT_EQ(admission.SlotOf(999), admission.SlotOf(12345));
+  EXPECT_NE(admission.SlotOf(999), admission.SlotOf(1));
+}
+
+TEST(TenantAdmissionTest, UncontendedQueueAdmitsEveryone) {
+  TenantAdmission admission(TwoTenantOptions(), 1, 100, nullptr);
+  const size_t slot = admission.SlotOf(2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(admission.Admit(0, slot, false, 0.3));
+    admission.OnAdmitted(0, slot);
+  }
+}
+
+TEST(TenantAdmissionTest, PressureEnforcesShares) {
+  TenantAdmission admission(TwoTenantOptions(), 1, 100, nullptr);
+  const size_t heavy = admission.SlotOf(1);
+  const size_t light = admission.SlotOf(2);
+  // Fill both tenants to their shares at fill 0.6 (pressure band).
+  size_t heavy_admitted = 0, light_admitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (admission.Admit(0, heavy, false, 0.6)) {
+      admission.OnAdmitted(0, heavy);
+      ++heavy_admitted;
+    }
+    if (admission.Admit(0, light, false, 0.6)) {
+      admission.OnAdmitted(0, light);
+      ++light_admitted;
+    }
+  }
+  EXPECT_EQ(heavy_admitted, 80u);
+  EXPECT_EQ(light_admitted, 10u);
+  // Retiring frees share.
+  admission.OnRetired(0, heavy);
+  EXPECT_TRUE(admission.Admit(0, heavy, false, 0.6));
+}
+
+TEST(TenantAdmissionTest, LabeledBatchesAreNeverQuotaRejected) {
+  TenantAdmission admission(TwoTenantOptions(), 1, 100, nullptr);
+  const size_t light = admission.SlotOf(2);
+  for (int i = 0; i < 50; ++i) admission.OnAdmitted(0, light);  // Over share.
+  EXPECT_TRUE(admission.Admit(0, light, /*labeled=*/true, 0.99));
+  EXPECT_FALSE(admission.Admit(0, light, /*labeled=*/false, 0.99));
+}
+
+TEST(TenantAdmissionTest, HardThresholdShedsBestEffortOutright) {
+  TenantAdmission admission(TwoTenantOptions(), 1, 100, nullptr);
+  const size_t best_effort = admission.SlotOf(2);
+  const size_t standard = admission.SlotOf(1);
+  // Best-effort is turned away at the hard threshold even with zero
+  // in-flight; standard still gets its share.
+  EXPECT_FALSE(admission.Admit(0, best_effort, false, 0.95));
+  EXPECT_TRUE(admission.Admit(0, standard, false, 0.95));
+}
+
+TEST(TenantAdmissionTest, CriticalTenantsBypassQuotas) {
+  AdmissionOptions options = TwoTenantOptions();
+  options.tenants.push_back({3, 0.001, TenantPriority::kCritical});
+  TenantAdmission admission(options, 1, 100, nullptr);
+  const size_t critical = admission.SlotOf(3);
+  for (int i = 0; i < 50; ++i) admission.OnAdmitted(0, critical);
+  EXPECT_TRUE(admission.Admit(0, critical, false, 0.99));
+}
+
+TEST(TenantAdmissionTest, SnapshotReportsPerTenantAccounting) {
+  TenantAdmission admission(TwoTenantOptions(), 1, 100, nullptr);
+  const size_t heavy = admission.SlotOf(1);
+  admission.OnAdmitted(0, heavy);
+  admission.OnAdmitted(0, heavy);
+  EXPECT_FALSE(admission.Admit(0, admission.SlotOf(2), false, 0.95));
+  std::vector<TenantStatsSnapshot> rows = admission.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);  // Two configured + "other".
+  EXPECT_EQ(rows[0].tenant_id, 1u);
+  EXPECT_EQ(rows[0].in_flight, 2u);
+  EXPECT_EQ(rows[1].rejected, 1u);
+  EXPECT_TRUE(rows[2].is_other);
+}
+
+// ---------------------------------------------------------------------------
+// DirectoryOptions env overrides
+
+TEST(DirectoryOptionsTest, ApplyEnvReadsWorkingSetAndTenantWeights) {
+  ::setenv("FREEWAY_DIRECTORY_WORKING_SET", "4096", 1);
+  ::setenv("FREEWAY_TENANT_WEIGHTS", "1:8:critical,2:1", 1);
+  DirectoryOptions options;
+  options.ApplyEnv();
+  ::unsetenv("FREEWAY_DIRECTORY_WORKING_SET");
+  ::unsetenv("FREEWAY_TENANT_WEIGHTS");
+  EXPECT_EQ(options.working_set_capacity, 4096u);
+  ASSERT_TRUE(options.admission.enabled);
+  ASSERT_EQ(options.admission.tenants.size(), 2u);
+  EXPECT_EQ(options.admission.tenants[0].priority, TenantPriority::kCritical);
+}
+
+TEST(DirectoryOptionsTest, ApplyEnvIgnoresMalformedValues) {
+  ::setenv("FREEWAY_DIRECTORY_WORKING_SET", "not-a-number", 1);
+  ::setenv("FREEWAY_TENANT_WEIGHTS", "1:soup", 1);
+  DirectoryOptions options;
+  const size_t default_capacity = options.working_set_capacity;
+  options.ApplyEnv();
+  ::unsetenv("FREEWAY_DIRECTORY_WORKING_SET");
+  ::unsetenv("FREEWAY_TENANT_WEIGHTS");
+  EXPECT_EQ(options.working_set_capacity, default_capacity);
+  EXPECT_FALSE(options.admission.enabled);
+}
+
+// ---------------------------------------------------------------------------
+// PipelineWorkingSet
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(16, 4);
+  if (labeled) b.labels.resize(16);
+  for (size_t i = 0; i < 16; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+class WorkingSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("freeway_ws_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    failpoint::DisarmAll();
+    prototype_ = MakeLogisticRegression(4, 2);
+    CheckpointStoreOptions store_options;
+    store_options.directory = dir_.string();
+    store_options.keep_versions = 1;
+    store_options.fsync = false;
+    store_ = std::make_unique<CheckpointStore>(std::move(store_options));
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    store_.reset();
+    fs::remove_all(dir_);
+  }
+
+  WorkingSetOptions Options(size_t capacity) {
+    WorkingSetOptions ws;
+    ws.capacity = capacity;
+    ws.store = store_.get();
+    ws.prototype = prototype_.get();
+    ws.pipeline.learner.base_window_batches = 4;
+    ws.pipeline.learner.detector.warmup_batches = 3;
+    return ws;
+  }
+
+  void CheckInvariant(const PipelineWorkingSet& set) {
+    const WorkingSetStats& s = set.stats();
+    EXPECT_EQ(s.hydrations_fresh + s.hydrations_restored,
+              s.evictions + s.discards + set.resident());
+  }
+
+  fs::path dir_;
+  std::unique_ptr<Model> prototype_;
+  std::unique_ptr<CheckpointStore> store_;
+};
+
+TEST_F(WorkingSetTest, AcquireHydratesFreshAndCachesResident) {
+  PipelineWorkingSet set(Options(4));
+  StreamPipeline* a = set.Acquire(1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(set.Acquire(1), a);  // Second acquire hits the cache.
+  EXPECT_EQ(set.stats().hydrations_fresh, 1u);
+  EXPECT_EQ(set.resident(), 1u);
+  CheckInvariant(set);
+}
+
+TEST_F(WorkingSetTest, EvictsLeastRecentlyUsedAtCapacity) {
+  PipelineWorkingSet set(Options(2));
+  set.Acquire(1);
+  set.Acquire(2);
+  set.Acquire(1);  // Touch 1: the LRU victim is now 2.
+  set.Acquire(3);  // Evicts 2.
+  EXPECT_EQ(set.resident(), 2u);
+  EXPECT_NE(set.Resident(1), nullptr);
+  EXPECT_EQ(set.Resident(2), nullptr);
+  EXPECT_NE(set.Resident(3), nullptr);
+  EXPECT_EQ(set.stats().evictions, 1u);
+  // The evicted stream's state is parked in the store.
+  EXPECT_TRUE(store_->ReadLatest(set.CheckpointName(2)).ok());
+  CheckInvariant(set);
+}
+
+TEST_F(WorkingSetTest, EvictHydrateRoundTripIsBitIdentical) {
+  PipelineWorkingSet set(Options(1));
+  StreamPipeline* p = set.Acquire(7);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(p->Push(MakeBatch(true, 100 + i, i)).ok());
+  }
+  std::vector<char> before;
+  ASSERT_TRUE(p->Snapshot(&before).ok());
+
+  set.Acquire(8);  // Capacity 1: evicts 7 through the store.
+  EXPECT_EQ(set.Resident(7), nullptr);
+  StreamPipeline* back = set.Acquire(7);  // Evicts 8, restores 7.
+  std::vector<char> after;
+  ASSERT_TRUE(back->Snapshot(&after).ok());
+  ASSERT_EQ(before.size(), after.size());
+  EXPECT_EQ(std::memcmp(before.data(), after.data(), before.size()), 0);
+  EXPECT_EQ(set.stats().hydrations_restored, 1u);
+  EXPECT_EQ(back->batches_processed(), 6u);
+  CheckInvariant(set);
+}
+
+TEST_F(WorkingSetTest, HydrateFailureFallsBackToFreshPipeline) {
+  PipelineWorkingSet set(Options(1));
+  StreamPipeline* p = set.Acquire(7);
+  ASSERT_TRUE(p->Push(MakeBatch(true, 1, 0)).ok());
+  set.Acquire(8);  // Park 7.
+
+  failpoint::Arm("directory.hydrate",
+                 {StatusCode::kIoError, "injected hydrate failure", 0, 1});
+  StreamPipeline* back = set.Acquire(7);
+  ASSERT_NE(back, nullptr);  // Infallible: fresh pipeline.
+  EXPECT_EQ(back->batches_processed(), 0u);
+  EXPECT_EQ(set.stats().hydrate_errors, 1u);
+  CheckInvariant(set);
+}
+
+TEST_F(WorkingSetTest, EvictFailureKeepsVictimResidentAndOverflows) {
+  PipelineWorkingSet set(Options(1));
+  set.Acquire(1);
+  failpoint::Arm("directory.evict",
+                 {StatusCode::kIoError, "injected evict failure", 0, 1});
+  StreamPipeline* second = set.Acquire(2);
+  ASSERT_NE(second, nullptr);
+  // The park failed, so stream 1 stayed resident (soft overflow) and its
+  // state was not lost.
+  EXPECT_EQ(set.resident(), 2u);
+  EXPECT_NE(set.Resident(1), nullptr);
+  EXPECT_EQ(set.stats().evict_errors, 1u);
+  EXPECT_EQ(set.stats().evictions, 0u);
+  CheckInvariant(set);
+  // With the failpoint gone the next pressure evicts normally.
+  set.Acquire(3);
+  EXPECT_EQ(set.stats().evictions, 2u);
+  EXPECT_EQ(set.resident(), 1u);
+  CheckInvariant(set);
+}
+
+TEST_F(WorkingSetTest, ParkAllMakesEveryResidentRestorable) {
+  PipelineWorkingSet set(Options(8));
+  for (uint64_t id = 1; id <= 5; ++id) {
+    StreamPipeline* p = set.Acquire(id);
+    ASSERT_TRUE(p->Push(MakeBatch(true, id, 0)).ok());
+  }
+  ASSERT_TRUE(set.ParkAll().ok());
+  for (uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_TRUE(store_->ReadLatest(set.CheckpointName(id)).ok()) << id;
+  }
+  EXPECT_EQ(set.stats().parks, 5u);
+  EXPECT_EQ(set.resident(), 5u);  // ParkAll does not evict.
+}
+
+TEST_F(WorkingSetTest, DiscardRollsBackToLastPark) {
+  PipelineWorkingSet set(Options(4));
+  StreamPipeline* p = set.Acquire(7);
+  ASSERT_TRUE(p->Push(MakeBatch(true, 1, 0)).ok());
+  ASSERT_TRUE(set.Park(7).ok());
+  ASSERT_TRUE(p->Push(MakeBatch(true, 2, 1)).ok());  // Past the park.
+
+  set.Discard(7);
+  StreamPipeline* back = set.Acquire(7);
+  // The post-park push is gone: state rolled back to the checkpoint.
+  EXPECT_EQ(back->batches_processed(), 1u);
+  EXPECT_EQ(set.stats().discards, 1u);
+  EXPECT_EQ(set.stats().hydrations_restored, 1u);
+  CheckInvariant(set);
+}
+
+TEST_F(WorkingSetTest, NotePushParksAtInterval) {
+  PipelineWorkingSet set(Options(4));
+  StreamPipeline* p = set.Acquire(7);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(p->Push(MakeBatch(true, i, i)).ok());
+    ASSERT_TRUE(set.NotePush(7, 3).ok());
+  }
+  EXPECT_EQ(set.stats().parks, 1u);  // Parked exactly at the third push.
+  EXPECT_TRUE(store_->ReadLatest(set.CheckpointName(7)).ok());
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,0 +1,359 @@
+#include "runtime/stream_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "directory/working_set.h"
+#include "fault/failpoint.h"
+#include "ml/models.h"
+
+namespace freeway {
+namespace {
+
+namespace fs = std::filesystem;
+
+Batch MakeBatch(bool labeled, uint64_t seed, int64_t index) {
+  Rng rng(seed);
+  Batch b;
+  b.index = index;
+  b.features = Matrix(16, 4);
+  if (labeled) b.labels.resize(16);
+  for (size_t i = 0; i < 16; ++i) {
+    const int label = static_cast<int>(rng.NextBelow(2));
+    if (labeled) b.labels[i] = label;
+    for (size_t j = 0; j < 4; ++j) {
+      b.features.At(i, j) = rng.Gaussian(label * 2.0, 0.5);
+    }
+  }
+  return b;
+}
+
+class DirectoryRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ThreadPool::SetGlobalThreads(4);
+    dir_ = fs::path(::testing::TempDir()) /
+           ("freeway_dirrt_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+    failpoint::DisarmAll();
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    fs::remove_all(dir_);
+  }
+
+  RuntimeOptions Options(size_t num_shards, size_t working_set_capacity) {
+    RuntimeOptions opts;
+    opts.pipeline.learner.base_window_batches = 4;
+    opts.pipeline.learner.detector.warmup_batches = 3;
+    opts.num_shards = num_shards;
+    opts.directory.enabled = true;
+    opts.directory.park_dir = (dir_ / "park").string();
+    opts.directory.working_set_capacity = working_set_capacity;
+    return opts;
+  }
+
+  void CheckInvariant(const RuntimeStatsSnapshot& snapshot) {
+    ASSERT_TRUE(snapshot.directory_enabled);
+    const DirectoryStatsSnapshot& d = snapshot.directory;
+    EXPECT_EQ(d.hydrations_fresh + d.hydrations_restored,
+              d.evictions + d.discards + d.resident);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DirectoryRuntimeTest, ManyStreamsShareBoundedWorkingSet) {
+  auto proto = MakeLogisticRegression(4, 2);
+  StreamRuntime runtime(*proto, Options(2, 4));
+  ASSERT_TRUE(runtime.directory_enabled());
+
+  constexpr uint64_t kStreams = 24;
+  constexpr int kBatches = 3;
+  size_t unlabeled = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    for (uint64_t id = 0; id < kStreams; ++id) {
+      const bool labeled = b != 1;
+      if (!labeled) ++unlabeled;
+      ASSERT_TRUE(runtime.Submit(id, MakeBatch(labeled, id * 31 + b, b)).ok());
+    }
+  }
+  runtime.Flush();
+
+  EXPECT_EQ(runtime.Drain().size(), unlabeled);
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.processed, kStreams * kBatches);
+  CheckInvariant(snapshot);
+  // 24 streams over a 4-pipeline working set: far more hydrations than
+  // capacity, memory bounded by the cap.
+  EXPECT_LE(snapshot.directory.resident, snapshot.directory.capacity);
+  EXPECT_EQ(snapshot.directory.capacity, 4u);
+  EXPECT_GT(snapshot.directory.evictions, 0u);
+  EXPECT_GT(snapshot.directory.hydrations_restored, 0u);
+
+  // Shutdown parks every resident stream: each of the 24 is restorable.
+  runtime.Shutdown();
+  ASSERT_NE(runtime.park_store(), nullptr);
+  for (uint64_t id = 0; id < kStreams; ++id) {
+    EXPECT_TRUE(
+        runtime.park_store()->ReadLatest("stream-" + std::to_string(id)).ok())
+        << "stream " << id;
+  }
+}
+
+TEST_F(DirectoryRuntimeTest, PerStreamStateSurvivesEvictionWithZeroLoss) {
+  auto proto = MakeLogisticRegression(4, 2);
+  // One hydrated pipeline total: every interleaved submit below evicts the
+  // previous stream through the park store.
+  StreamRuntime runtime(*proto, Options(1, 1));
+
+  constexpr uint64_t kStreams = 6;
+  constexpr int kBatches = 4;
+  for (int b = 0; b < kBatches; ++b) {
+    for (uint64_t id = 0; id < kStreams; ++id) {
+      ASSERT_TRUE(
+          runtime.Submit(id, MakeBatch(true, id * 97 + b, b)).ok());
+    }
+  }
+  runtime.Flush();
+
+  // Every stream's pipeline remembers *all* of its batches despite having
+  // been evicted and re-hydrated repeatedly.
+  for (uint64_t id = 0; id < kStreams; ++id) {
+    StreamPipeline* pipeline = runtime.resident_stream_pipeline(id);
+    ASSERT_NE(pipeline, nullptr);
+    EXPECT_EQ(pipeline->batches_processed(), static_cast<uint64_t>(kBatches))
+        << "stream " << id;
+  }
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.processed, kStreams * kBatches);
+  EXPECT_GT(snapshot.directory.hydrations_restored, 0u);
+  CheckInvariant(snapshot);
+  runtime.Shutdown();
+}
+
+TEST_F(DirectoryRuntimeTest, EvictHydrateReplayIsBitIdentical) {
+  auto proto = MakeLogisticRegression(4, 2);
+  constexpr uint64_t kStreams = 5;
+  constexpr int kBatches = 5;
+
+  auto run = [&](const std::string& park, size_t capacity) {
+    RuntimeOptions opts = Options(1, capacity);
+    opts.directory.park_dir = (dir_ / park).string();
+    // Bit-identity across two *runs* requires state that is purely a
+    // function of the batch sequence: the rate adjuster folds wall-clock
+    // inter-arrival gaps into the snapshot, so it stays off here.
+    opts.pipeline.enable_rate_adjuster = false;
+    opts.forward_rate_signal = false;
+    auto runtime = std::make_unique<StreamRuntime>(*proto, opts);
+    for (int b = 0; b < kBatches; ++b) {
+      for (uint64_t id = 0; id < kStreams; ++id) {
+        const bool labeled = b % 2 == 0;
+        EXPECT_TRUE(
+            runtime->Submit(id, MakeBatch(labeled, id * 131 + b, b)).ok());
+      }
+    }
+    runtime->Flush();
+    return runtime;
+  };
+
+  // Same traffic twice: a thrashing one-slot working set vs. one large
+  // enough to never evict. If eviction/hydration perturbed any state, the
+  // final snapshots would diverge.
+  auto thrashed = run("park_a", 1);
+  auto resident = run("park_b", 64);
+  EXPECT_GT(thrashed->Snapshot().directory.evictions, 0u);
+  EXPECT_EQ(resident->Snapshot().directory.evictions, 0u);
+
+  for (uint64_t id = 0; id < kStreams; ++id) {
+    StreamPipeline* a = thrashed->resident_stream_pipeline(id);
+    StreamPipeline* b = resident->resident_stream_pipeline(id);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    std::vector<char> bytes_a, bytes_b;
+    ASSERT_TRUE(a->Snapshot(&bytes_a).ok());
+    ASSERT_TRUE(b->Snapshot(&bytes_b).ok());
+    ASSERT_EQ(bytes_a.size(), bytes_b.size()) << "stream " << id;
+    EXPECT_EQ(std::memcmp(bytes_a.data(), bytes_b.data(), bytes_a.size()), 0)
+        << "stream " << id;
+  }
+  thrashed->Shutdown();
+  resident->Shutdown();
+}
+
+TEST_F(DirectoryRuntimeTest, WeightedAdmissionThrottlesWithoutStarving) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = Options(1, 8);
+  opts.queue_capacity = 40;
+  opts.schedule_workers = false;  // Deterministic queue fill.
+  opts.directory.admission.enabled = true;
+  opts.directory.admission.tenants.push_back(
+      {1, 8.0, TenantPriority::kStandard});
+  opts.directory.admission.tenants.push_back(
+      {2, 1.0, TenantPriority::kBestEffort});
+  StreamRuntime runtime(*proto, opts);
+
+  SubmitContext heavy{1, TenantPriority::kStandard};
+  SubmitContext light{2, TenantPriority::kBestEffort};
+
+  // The heavy tenant floods: free admission below the pressure threshold,
+  // then throttled at its share = floor(40 * 8 / 10) = 32.
+  size_t heavy_admitted = 0;
+  Status last = Status::OK();
+  for (int i = 0; i < 40; ++i) {
+    last = runtime.TrySubmit(100 + i, MakeBatch(false, i, i), heavy);
+    if (!last.ok()) break;
+    ++heavy_admitted;
+  }
+  EXPECT_EQ(heavy_admitted, 32u);
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+  EXPECT_NE(last.message().find("tenant 1"), std::string::npos);
+
+  // The light tenant is NOT starved by the flood: its share (4 slots) is
+  // still free, and it is admitted until the hard threshold engages.
+  size_t light_admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (runtime.TrySubmit(200 + i, MakeBatch(false, 50 + i, i), light).ok()) {
+      ++light_admitted;
+    }
+  }
+  EXPECT_EQ(light_admitted, 4u);
+
+  // Labeled traffic (training data) is never quota-rejected, even for the
+  // over-share best-effort tenant at the hard threshold.
+  EXPECT_TRUE(
+      runtime.TrySubmit(300, MakeBatch(true, 99, 0), light).ok());
+
+  // Draining retires the in-flight bookings; the throttled tenants flow
+  // again — throttled to a trickle under pressure, never to zero.
+  EXPECT_GT(runtime.PumpShard(0), 0u);
+  EXPECT_TRUE(
+      runtime.TrySubmit(301, MakeBatch(false, 100, 1), light).ok());
+  EXPECT_GT(runtime.PumpShard(0), 0u);
+
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  ASSERT_EQ(snapshot.tenants.size(), 3u);
+  EXPECT_EQ(snapshot.tenants[0].tenant_id, 1u);
+  EXPECT_EQ(snapshot.tenants[0].admitted, 32u);
+  EXPECT_GE(snapshot.tenants[0].rejected, 1u);
+  EXPECT_EQ(snapshot.tenants[1].tenant_id, 2u);
+  EXPECT_EQ(snapshot.tenants[1].admitted, 6u);  // 4 + labeled + post-drain.
+  EXPECT_GE(snapshot.tenants[1].rejected, 6u);
+  EXPECT_TRUE(snapshot.tenants[2].is_other);
+  EXPECT_EQ(snapshot.tenants[0].in_flight, 0u);
+  EXPECT_EQ(snapshot.tenants[1].in_flight, 0u);
+  runtime.Shutdown();
+}
+
+TEST_F(DirectoryRuntimeTest, BlockingSubmitBypassesTenantQuotas) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = Options(1, 8);
+  opts.queue_capacity = 40;
+  opts.schedule_workers = false;
+  opts.directory.admission.enabled = true;
+  opts.directory.admission.tenants.push_back(
+      {2, 1.0, TenantPriority::kBestEffort});
+  StreamRuntime runtime(*proto, opts);
+
+  // A producer accepting backpressure pays with its own blocked time;
+  // quotas only guard the non-blocking serving path. 30 submits is far
+  // over tenant 2's share but well under queue capacity — all accepted.
+  SubmitContext light{2, TenantPriority::kBestEffort};
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(runtime.Submit(400 + i, MakeBatch(false, i, i), light).ok());
+  }
+  EXPECT_EQ(runtime.PumpShard(0), 30u);
+  runtime.Shutdown();
+}
+
+TEST_F(DirectoryRuntimeTest, ShedVictimSelectionRespectsPriorityBands) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = Options(1, 8);
+  opts.queue_capacity = 2;
+  opts.schedule_workers = false;
+  opts.overload_policy = OverloadPolicy::kShed;
+  // Watermarks far below any realistic submit rate: overload is confirmed
+  // from the second submit on.
+  opts.overload_rate.low_rate = 0.0005;
+  opts.overload_rate.high_rate = 0.001;
+  StreamRuntime runtime(*proto, opts);
+
+  SubmitContext standard{1, TenantPriority::kStandard};
+  SubmitContext best_effort{2, TenantPriority::kBestEffort};
+
+  // Fill the queue with standard-band unlabeled batches.
+  ASSERT_TRUE(runtime.Submit(1, MakeBatch(false, 1, 0), standard).ok());
+  ASSERT_TRUE(runtime.Submit(2, MakeBatch(false, 2, 0), standard).ok());
+
+  // A best-effort arrival must not displace standard-band work: no eligible
+  // victim, so the non-blocking submit is rejected.
+  EXPECT_FALSE(
+      runtime.TrySubmit(3, MakeBatch(false, 3, 0), best_effort).ok());
+  EXPECT_EQ(runtime.Snapshot().totals.shed, 0u);
+  EXPECT_EQ(runtime.Snapshot().totals.rejected, 1u);
+
+  // An equal-band arrival sheds the oldest queued unlabeled batch.
+  EXPECT_TRUE(runtime.TrySubmit(4, MakeBatch(false, 4, 0), standard).ok());
+  EXPECT_EQ(runtime.Snapshot().totals.shed, 1u);
+
+  runtime.PumpShard(0);
+  runtime.Shutdown();
+}
+
+TEST_F(DirectoryRuntimeTest, HydrateEvictChaosLosesNoBatches) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = Options(1, 1);
+  opts.fault.enabled = true;
+  opts.fault.checkpoint_dir = (dir_ / "ckpt").string();
+  StreamRuntime runtime(*proto, opts);
+
+  failpoint::Arm("directory.evict",
+                 {StatusCode::kIoError, "chaos: park failed", 1, 2});
+  failpoint::Arm("directory.hydrate",
+                 {StatusCode::kIoError, "chaos: hydrate failed", 1, 1});
+
+  constexpr uint64_t kStreams = 4;
+  constexpr int kBatches = 3;
+  for (int b = 0; b < kBatches; ++b) {
+    for (uint64_t id = 0; id < kStreams; ++id) {
+      ASSERT_TRUE(
+          runtime.Submit(id, MakeBatch(true, id * 7 + b, b)).ok());
+    }
+  }
+  runtime.Flush();
+
+  // Every batch was processed despite injected park/hydrate failures: a
+  // failed evict overflows the soft cap, a failed hydrate falls back to a
+  // fresh pipeline. Labeled data never reaches the dead-letter queue.
+  RuntimeStatsSnapshot snapshot = runtime.Snapshot();
+  EXPECT_EQ(snapshot.totals.processed, kStreams * kBatches);
+  EXPECT_EQ(snapshot.totals.quarantined, 0u);
+  EXPECT_TRUE(runtime.TakeDeadLetters().empty());
+  EXPECT_GE(snapshot.directory.evict_errors, 1u);
+  EXPECT_GE(snapshot.directory.hydrate_errors, 1u);
+  CheckInvariant(snapshot);
+  runtime.Shutdown();
+}
+
+TEST_F(DirectoryRuntimeTest, ConsistentHashPlacementIsStableAcrossRuntimes) {
+  auto proto = MakeLogisticRegression(4, 2);
+  RuntimeOptions opts = Options(4, 16);
+  StreamRuntime a(*proto, opts);
+  StreamRuntime b(*proto, opts);
+  for (uint64_t id = 0; id < 500; ++id) {
+    EXPECT_EQ(a.ShardOf(id), b.ShardOf(id));
+    EXPECT_LT(a.ShardOf(id), 4u);
+  }
+  a.Shutdown();
+  b.Shutdown();
+}
+
+}  // namespace
+}  // namespace freeway

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/checkpoint.h"
@@ -356,6 +358,54 @@ TEST_F(CheckpointStoreTest, ReadFailpointInjectsCleanly) {
   auto read = store.ReadLatest("shard0");  // Disarmed: reads fine again.
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, Payload("data"));
+}
+
+TEST_F(CheckpointStoreTest, ConcurrentWritersReadersAndListersAreSafe) {
+  // One store shared by many threads — the directory-mode shape, where
+  // every shard's drain thread parks and hydrates streams through the same
+  // park store. keep_versions=1 maximizes prune churn under the writers.
+  CheckpointStore store(Options(/*keep=*/1));
+  constexpr int kNames = 2;
+  constexpr int kOpsPerThread = 40;
+  ASSERT_TRUE(store.Write("shared-0", Payload("seed")).ok());
+  ASSERT_TRUE(store.Write("shared-1", Payload("seed")).ok());
+
+  std::atomic<int> write_errors{0};
+  std::atomic<int> read_errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string name = "shared-" + std::to_string(t % kNames);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (!store.Write(name, Payload("v" + std::to_string(i))).ok()) {
+          write_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string name = "shared-" + std::to_string(t % kNames);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Readers race the writers' pruning: every read must either
+        // validate cleanly or fail cleanly — never tear.
+        auto read = store.ReadLatest(name);
+        if (!read.ok()) read_errors.fetch_add(1, std::memory_order_relaxed);
+        auto list = store.List(name);
+        if (!list.ok()) read_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(write_errors.load(), 0);
+  EXPECT_EQ(read_errors.load(), 0);
+  for (int n = 0; n < kNames; ++n) {
+    auto read = store.ReadLatest("shared-" + std::to_string(n));
+    ASSERT_TRUE(read.ok()) << read.status();
+    EXPECT_EQ(*read,
+              Payload("v" + std::to_string(kOpsPerThread - 1)));
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
@@ -507,6 +508,60 @@ TEST_F(MultiWorkerServerTest, ShutdownFrameDrainsAllWorkers) {
   EXPECT_EQ(snapshot.totals.processed,
             static_cast<uint64_t>(kClients * 2));
   EXPECT_EQ(snapshot.totals.undrained, 0u);
+}
+
+TEST(ClientBackoffTest, ServerRetryAfterIsClampedToClientCeiling) {
+  Result<int> listen_fd = net::CreateListenSocket("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status();
+  Result<uint16_t> port = net::LocalPort(*listen_fd);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  // A buggy (or hostile) server: answers every submit attempt with an
+  // OVERLOAD advising an hour-long retry_after. Incoming request bytes are
+  // drained so the final close is orderly — closing with unread data would
+  // RST the connection and discard the queued replies.
+  std::thread hostile([fd = *listen_fd] {
+    if (!net::WaitReadable(fd, 5000).ok()) return;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) return;
+    OverloadMessage overload;
+    overload.stream_id = 9;
+    overload.batch_index = 0;
+    overload.retry_after_micros = 3'600'000'000;  // One hour.
+    const std::vector<char> frame = EncodeOverload(overload);
+    char sink[4096];
+    while (net::WaitReadable(conn, 2000).ok()) {
+      const ssize_t n = ::recv(conn, sink, sizeof(sink), 0);
+      if (n <= 0) break;  // Client gave up and disconnected.
+      if (!net::SendAll(conn, frame.data(), frame.size()).ok()) break;
+    }
+    net::CloseFd(conn);
+  });
+
+  ClientOptions opts;
+  opts.port = *port;
+  opts.max_submit_attempts = 3;
+  opts.backoff_initial_micros = 100;
+  opts.backoff_max_micros = 1000;
+  opts.max_retry_after_micros = 20'000;  // 20 ms ceiling.
+  StreamClient client(opts);
+
+  HyperplaneSource source = MakeSource(11);
+  const auto start = std::chrono::steady_clock::now();
+  Status submitted = client.Submit(9, NextBatch(source, false));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  // The wire-supplied floor is clamped to the client's ceiling: three
+  // attempts back off ~20 ms each instead of an hour each, and the submit
+  // fails fast with Unavailable.
+  EXPECT_EQ(submitted.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.tallies().overloads, 3u);
+  EXPECT_LT(elapsed.count(), 2000);
+
+  client.Disconnect();
+  net::CloseFd(*listen_fd);
+  hostile.join();
 }
 
 }  // namespace

@@ -38,6 +38,8 @@ Frame DecodeWhole(const std::vector<char>& encoded) {
 TEST(WireTest, SubmitRoundTripIsBitIdentical) {
   SubmitMessage message;
   message.stream_id = 77;
+  message.tenant_id = 31337;
+  message.priority = static_cast<uint8_t>(TenantPriority::kCritical);
   message.batch = MakeBatch(true, 1, 42);
   message.batch.features.At(0, 0) = std::nan("");
   message.batch.features.At(0, 1) = std::numeric_limits<double>::infinity();
@@ -47,6 +49,8 @@ TEST(WireTest, SubmitRoundTripIsBitIdentical) {
   Result<SubmitMessage> decoded = DecodeSubmit(frame);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_EQ(decoded->stream_id, 77u);
+  EXPECT_EQ(decoded->tenant_id, 31337u);
+  EXPECT_EQ(decoded->priority, static_cast<uint8_t>(TenantPriority::kCritical));
   EXPECT_EQ(decoded->batch.index, 42);
   EXPECT_EQ(decoded->batch.labels, message.batch.labels);
   ASSERT_EQ(decoded->batch.features.rows(), 8u);
@@ -59,6 +63,26 @@ TEST(WireTest, SubmitRoundTripIsBitIdentical) {
       EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0) << i << "," << j;
     }
   }
+}
+
+TEST(WireTest, SubmitDefaultsToSingleTenantStandard) {
+  SubmitMessage message;
+  message.stream_id = 5;
+  message.batch = MakeBatch(false, 3, 1);
+  Result<SubmitMessage> decoded = DecodeSubmit(DecodeWhole(EncodeSubmit(message)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->tenant_id, 0u);
+  EXPECT_EQ(decoded->priority, static_cast<uint8_t>(TenantPriority::kStandard));
+}
+
+TEST(WireTest, SubmitWithInvalidPriorityRejected) {
+  SubmitMessage message;
+  message.stream_id = 5;
+  message.priority = 7;  // Not a TenantPriority; must not decode.
+  message.batch = MakeBatch(false, 3, 1);
+  Result<SubmitMessage> decoded = DecodeSubmit(DecodeWhole(EncodeSubmit(message)));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(WireTest, ControlFramesRoundTrip) {
