@@ -295,20 +295,40 @@ Result<std::vector<char>> CheckpointStore::ReadFile(const std::string& path) {
 Result<std::vector<char>> CheckpointStore::ReadLatest(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  ASSIGN_OR_RETURN(std::vector<CheckpointInfo> versions, ListLocked(name));
-  if (versions.empty()) {
-    return Status::NotFound("checkpoint: no versions of \"" + name +
-                            "\" in " + options_.directory);
+  // Two passes: the in-memory index can name a file that no longer exists
+  // when something pruned the directory behind the store's back (operator
+  // clean-up, an overlapping store instance). A kNotFound from an *indexed*
+  // path therefore invalidates the index and retries once against a fresh
+  // scan. Only that exact signal rescans — a name absent from the index
+  // stays a plain miss, so the directory-mode hot path (millions of
+  // first-hydration misses) never pays O(directory) per lookup.
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSIGN_OR_RETURN(std::vector<CheckpointInfo> versions, ListLocked(name));
+    if (versions.empty()) {
+      return Status::NotFound("checkpoint: no versions of \"" + name +
+                              "\" in " + options_.directory);
+    }
+    Status last_error = Status::OK();
+    bool index_stale = false;
+    for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+      Result<std::vector<char>> payload = ReadFile(it->path);
+      if (payload.ok()) return payload;
+      last_error = payload.status();
+      if (pass == 0 && last_error.code() == StatusCode::kNotFound) {
+        index_stale = true;
+        break;
+      }
+    }
+    if (index_stale) {
+      scanned_ = false;
+      continue;
+    }
+    return Status(last_error.code(),
+                  "checkpoint: no valid version of \"" + name +
+                      "\"; newest rejection: " + last_error.message());
   }
-  Status last_error = Status::OK();
-  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
-    Result<std::vector<char>> payload = ReadFile(it->path);
-    if (payload.ok()) return payload;
-    last_error = payload.status();
-  }
-  return Status(last_error.code(),
-                "checkpoint: no valid version of \"" + name +
-                    "\"; newest rejection: " + last_error.message());
+  return Status::NotFound("checkpoint: no versions of \"" + name + "\" in " +
+                          options_.directory + " (index was stale)");
 }
 
 Result<std::vector<CheckpointInfo>> CheckpointStore::List(

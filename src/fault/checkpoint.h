@@ -52,9 +52,13 @@ struct CheckpointInfo {
 /// through a single store; re-listing the directory per operation would
 /// make parking stream k cost O(k) — O(N^2) across a working-set sweep.
 /// Consequence of the index: the store assumes it owns its directory.
-/// Checkpoint files added or removed behind a live store's back are not
-/// observed until a new store instance scans the directory (mutating file
+/// Checkpoint files added behind a live store's back are not observed
+/// until a new store instance scans the directory (mutating file
 /// *contents* is still seen immediately — reads validate from disk).
+/// Files *removed* behind its back self-heal on read: when ReadLatest
+/// finds an indexed file missing from disk it drops the index and rescans
+/// once, so external pruning degrades to one extra directory listing
+/// instead of a permanent failure.
 class CheckpointStore {
  public:
   explicit CheckpointStore(CheckpointStoreOptions options);

@@ -1,0 +1,105 @@
+#include "ingest/dedup.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace freeway {
+
+namespace {
+/// 'DDUP' — section tag of a serialized watermark table.
+constexpr uint32_t kTagDedup = 0x50554444;
+}  // namespace
+
+bool DedupIndex::IsDuplicate(uint64_t client_id, uint64_t sequence) const {
+  if (client_id == 0 || sequence == 0) return false;
+  Shard& shard = ShardOf(client_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.watermark.find(client_id);
+  return it != shard.watermark.end() && sequence <= it->second;
+}
+
+void DedupIndex::Advance(uint64_t client_id, uint64_t sequence) {
+  if (client_id == 0 || sequence == 0) return;
+  Shard& shard = ShardOf(client_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  uint64_t& watermark = shard.watermark[client_id];
+  watermark = std::max(watermark, sequence);
+}
+
+bool DedupIndex::Revert(uint64_t client_id, uint64_t sequence) {
+  if (client_id == 0 || sequence == 0) return false;
+  Shard& shard = ShardOf(client_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.watermark.find(client_id);
+  if (it == shard.watermark.end() || it->second != sequence) return false;
+  it->second = sequence - 1;
+  return true;
+}
+
+uint64_t DedupIndex::Watermark(uint64_t client_id) const {
+  Shard& shard = ShardOf(client_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.watermark.find(client_id);
+  return it == shard.watermark.end() ? 0 : it->second;
+}
+
+size_t DedupIndex::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.watermark.size();
+  }
+  return total;
+}
+
+void DedupIndex::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.watermark.clear();
+  }
+}
+
+void DedupIndex::SaveState(SnapshotWriter* writer) const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    entries.insert(entries.end(), shard.watermark.begin(),
+                   shard.watermark.end());
+  }
+  std::sort(entries.begin(), entries.end());
+  writer->WriteSection(kTagDedup);
+  writer->WriteU64(entries.size());
+  for (const auto& [client_id, watermark] : entries) {
+    writer->WriteU64(client_id);
+    writer->WriteU64(watermark);
+  }
+}
+
+Status DedupIndex::LoadState(SnapshotReader* reader) {
+  RETURN_IF_ERROR(reader->ExpectSection(kTagDedup));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader->ReadU64(&count));
+  if (count * 16 > reader->remaining()) {
+    return Status::InvalidArgument(
+        "dedup: snapshot claims " + std::to_string(count) +
+        " entries but only " + std::to_string(reader->remaining()) +
+        " bytes remain");
+  }
+  Clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t client_id = 0;
+    uint64_t watermark = 0;
+    RETURN_IF_ERROR(reader->ReadU64(&client_id));
+    RETURN_IF_ERROR(reader->ReadU64(&watermark));
+    if (client_id == 0) {
+      return Status::InvalidArgument("dedup: snapshot entry for client 0");
+    }
+    Shard& shard = ShardOf(client_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.watermark[client_id] = watermark;
+  }
+  return Status::OK();
+}
+
+}  // namespace freeway

@@ -1,0 +1,81 @@
+#ifndef FREEWAYML_INGEST_DEDUP_H_
+#define FREEWAYML_INGEST_DEDUP_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "stream/batch_codec.h"
+
+namespace freeway {
+
+/// Per-client high-watermark table for exactly-once ingest (the idempotent-
+/// producer idiom): each client stamps its SUBMITs with a `(client_id,
+/// sequence)` pair where sequences start at 1 and increase by exactly one
+/// per *batch* (a resend of the same batch reuses its sequence). The server
+/// admits a submit only when `sequence == watermark(client) + 1`; anything
+/// at or below the watermark is a resend whose first copy was already
+/// admitted, and is re-ACKed without re-enqueueing.
+///
+/// `client_id == 0` or `sequence == 0` marks an untracked submit (a legacy
+/// or hand-crafted frame); those bypass the table entirely and keep the
+/// historical at-least-once behaviour.
+///
+/// Thread-safe: the table is sharded by client_id the same way the server's
+/// route table is sharded by stream_id, so concurrent submits from
+/// different clients (different reactor workers) rarely contend. Calls for
+/// one client are naturally serial — a client is single-threaded by
+/// contract and its connection is pinned to one worker.
+class DedupIndex {
+ public:
+  /// True when `sequence` is at or below the client's watermark — i.e. a
+  /// resend of an already-admitted batch.
+  bool IsDuplicate(uint64_t client_id, uint64_t sequence) const;
+
+  /// Raises the client's watermark to `sequence` (watermarks never move
+  /// backwards through this call, so replaying an old log record after a
+  /// newer snapshot is harmless).
+  void Advance(uint64_t client_id, uint64_t sequence);
+
+  /// Undoes the Advance of a submit that was logged but then rejected at
+  /// admission (overload / error): the client will resend the same
+  /// sequence and it must not be treated as a duplicate. Only retreats
+  /// when the watermark still equals `sequence` — each client's sequences
+  /// arrive serially, so anything else means the revert is stale.
+  /// Returns whether the watermark moved.
+  bool Revert(uint64_t client_id, uint64_t sequence);
+
+  /// The client's current watermark; 0 when the client was never seen.
+  uint64_t Watermark(uint64_t client_id) const;
+
+  /// Tracked clients.
+  size_t size() const;
+
+  void Clear();
+
+  /// Snapshot the whole table. Entries are written in sorted client order,
+  /// so two tables with equal contents serialize to identical bytes.
+  void SaveState(SnapshotWriter* writer) const;
+
+  /// Replaces the table with a snapshot written by SaveState.
+  Status LoadState(SnapshotReader* reader);
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, uint64_t> watermark;
+  };
+
+  Shard& ShardOf(uint64_t client_id) const {
+    return shards_[client_id % kShards];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_INGEST_DEDUP_H_

@@ -1,6 +1,7 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -22,11 +23,37 @@ int64_t MillisLeft(std::chrono::steady_clock::time_point deadline) {
       deadline - std::chrono::steady_clock::now());
   return left.count();
 }
+
+/// Process-unique nonzero client id: clock + pid entropy through a
+/// splitmix64 finalizer, salted by a process-wide counter so clients
+/// constructed in the same tick still differ.
+uint64_t AutoClientId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  x ^= static_cast<uint64_t>(::getpid()) << 32;
+  x += 0x9E3779B97F4A7C15ull * (counter.fetch_add(1) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
 }  // namespace
 
 StreamClient::StreamClient(ClientOptions options)
     : options_(std::move(options)),
-      backoff_micros_(options_.backoff_initial_micros) {}
+      backoff_micros_(options_.backoff_initial_micros),
+      client_id_(options_.client_id != 0 ? options_.client_id
+                                         : AutoClientId()) {
+  if (options_.metrics != nullptr) {
+    metric_stale_acks_ =
+        options_.metrics->GetCounter("freeway_net_client_stale_acks_total");
+    metric_resends_ =
+        options_.metrics->GetCounter("freeway_net_client_resends_total");
+  }
+}
 
 StreamClient::~StreamClient() { Disconnect(); }
 
@@ -118,12 +145,18 @@ void StreamClient::Backoff(int64_t floor_micros) {
 Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
   SubmitMessage message;
   message.stream_id = stream_id;
+  message.client_id = client_id_;
+  // One sequence per *batch*, assigned here and reused by every resend
+  // below — that identity is what lets the server dedup a resend whose
+  // first copy was admitted.
+  message.sequence = ++next_sequence_;
   message.tenant_id = options_.tenant_id;
   message.priority = static_cast<uint8_t>(options_.priority);
   message.batch = batch;
   const std::vector<char> encoded = EncodeSubmit(message);
   backoff_micros_ = options_.backoff_initial_micros;
   Status last_error = Status::Unavailable("no submit attempt made");
+  size_t sends = 0;
   for (size_t attempt = 0; attempt < options_.max_submit_attempts;
        ++attempt) {
     if (!connected()) {
@@ -138,9 +171,19 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
     Status sent = SendFrame(encoded);
     if (!sent.ok()) {
       last_error = sent;
-      continue;  // Reconnect-and-resend on the next attempt.
+      // A failed send leaves the connection in an unknown state (part of
+      // the frame may sit in the kernel buffer): force a clean reconnect
+      // and back off first, so a half-dead socket cannot drive a tight
+      // resend spin.
+      Disconnect();
+      Backoff(0);
+      continue;
     }
     ++tallies_.submits_sent;
+    if (sends++ > 0) {
+      ++tallies_.resends;
+      if (metric_resends_ != nullptr) metric_resends_->Inc();
+    }
     // Read replies until ours arrives; results for earlier batches stream
     // past and are buffered.
     bool resend = false;
@@ -148,7 +191,10 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
       Result<Frame> frame = ReadFrame(options_.reply_timeout_millis);
       if (!frame.ok()) {
         last_error = frame.status();
+        // Same spin hazard as a failed send: a peer that dies right after
+        // accept would otherwise be hammered with reconnect + resend.
         Disconnect();
+        Backoff(0);
         resend = true;
         break;
       }
@@ -163,8 +209,12 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
             ++tallies_.acked;
             return Status::OK();
           }
-          // A stale ACK from a resend whose first copy was admitted after
-          // all; ignore (the duplicate is documented at-least-once cost).
+          // An ACK for a superseded send of this batch. With server-side
+          // dedup it answers the same admission, so it is safe to drop —
+          // but it is *evidence* of a duplicate-delivery window, so count
+          // it where tests and dashboards can see it.
+          ++tallies_.stale_acks;
+          if (metric_stale_acks_ != nullptr) metric_stale_acks_->Inc();
           break;
         }
         case FrameType::kOverload: {

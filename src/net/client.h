@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace freeway {
 
@@ -36,6 +37,14 @@ struct ClientOptions {
   /// sends (wire v2); defaults reproduce single-tenant behaviour.
   uint32_t tenant_id = 0;
   TenantPriority priority = TenantPriority::kStandard;
+  /// Exactly-once identity stamped on every SUBMIT (wire v3). 0 — the
+  /// default — generates a process-unique id at construction. A client
+  /// that restarts with a *persisted* id and sequence continues its
+  /// watermark on the server; a fresh id starts a fresh watermark.
+  uint64_t client_id = 0;
+  /// Observability sink for the `freeway_net_client_*` family (e.g. the
+  /// stale-ACK duplicate-evidence counter). Null disables.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Client-side tallies, for overload studies and for reconciling against
@@ -48,17 +57,23 @@ struct ClientTallies {
   uint64_t errors = 0;
   uint64_t results = 0;
   uint64_t reconnects = 0;  ///< Successful re-connects after a drop.
+  uint64_t resends = 0;     ///< SUBMIT frames re-sent for the same batch.
+  /// ACKs that answered a superseded send of the current batch — before
+  /// wire v3 this was the evidence of a duplicate delivery; with server
+  /// dedup it must stay zero (asserted by the exactly-once chaos tests).
+  uint64_t stale_acks = 0;
 };
 
 /// Blocking client for the FreewayML wire protocol.
 ///
-/// Submit() is at-least-once: it retries on OVERLOAD with exponential
-/// backoff (honouring the server's retry_after floor) and transparently
+/// Submit() is exactly-once end to end: every SUBMIT carries this client's
+/// `(client_id, sequence)` pair, it retries on OVERLOAD with exponential
+/// backoff (honouring the server's retry_after floor), and it transparently
 /// reconnects and re-sends when the connection drops before the ACK
-/// arrives. A drop after the server admitted the batch but before the ACK
-/// reached us therefore duplicates that batch — ingest pipelines behind
-/// lossy networks want idempotent stream design (the runtime treats a
-/// duplicate as one more batch of the same stream).
+/// arrives. A resend whose first copy was already admitted is recognized by
+/// the server's per-client watermark table and re-ACKed without being
+/// re-enqueued, so a drop after admission no longer duplicates the batch
+/// into the learner (the historical at-least-once caveat of wire v2).
 ///
 /// RESULT frames arriving while Submit waits for its reply are buffered;
 /// collect them with PollResults()/TakeResults(). One StreamClient must be
@@ -100,6 +115,10 @@ class StreamClient {
 
   const ClientTallies& tallies() const { return tallies_; }
 
+  /// The exactly-once identity this client stamps on SUBMITs (from the
+  /// options, or auto-generated when they left it 0).
+  uint64_t client_id() const { return client_id_; }
+
  private:
   /// Writes one encoded frame. FailPoint site "net.client.send" makes the
   /// write tear: half the frame goes out, then the socket dies — how chaos
@@ -117,6 +136,13 @@ class StreamClient {
   std::vector<StreamResult> results_;
   ClientTallies tallies_;
   int64_t backoff_micros_ = 0;
+  uint64_t client_id_ = 0;
+  /// Sequence of the most recent batch; the next Submit sends +1, and all
+  /// resends of one batch reuse its sequence.
+  uint64_t next_sequence_ = 0;
+  /// freeway_net_client_* handles; null while options_.metrics is null.
+  Counter* metric_stale_acks_ = nullptr;
+  Counter* metric_resends_ = nullptr;
 };
 
 /// Minimal HTTP/1.1 GET against the server's metrics endpoint (the

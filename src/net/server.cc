@@ -74,6 +74,10 @@ StreamServer::StreamServer(const Model& prototype, ServerOptions options)
     metrics_.errors_sent = registry->GetCounter("freeway_net_errors_total");
     metrics_.decode_errors =
         registry->GetCounter("freeway_net_decode_errors_total");
+    metrics_.duplicates =
+        registry->GetCounter("freeway_net_duplicates_total");
+    metrics_.ingest_log_errors =
+        registry->GetCounter("freeway_net_ingest_log_errors_total");
     metrics_.torn_frames =
         registry->GetCounter("freeway_net_torn_frames_total");
     metrics_.results_dropped =
@@ -110,6 +114,24 @@ Status StreamServer::Start() {
     return Status::FailedPrecondition("server is stopped");
   }
   const size_t num_workers = ResolveWorkerCount(options_.num_workers);
+
+  // Durable ingest comes up before any socket exists: opening the log
+  // replays it into the dedup index, so the very first SUBMIT already sees
+  // the pre-restart watermarks. A log that cannot open fails Start —
+  // serving without the promised durability would be silent data loss.
+  if (options_.ingest.enabled) {
+    IngestLogOptions log_options;
+    log_options.directory = options_.ingest.log_dir;
+    log_options.segment_max_bytes = options_.ingest.segment_max_bytes;
+    log_options.fsync = options_.ingest.fsync;
+    log_options.metrics = options_.metrics;
+    ingest_log_ = std::make_unique<IngestLog>(log_options);
+    Status opened = ingest_log_->Open(&dedup_);
+    if (!opened.ok()) {
+      ingest_log_.reset();
+      return opened;
+    }
+  }
 
   // Listener set-up. With several workers the first choice is SO_REUSEPORT
   // sharding: every worker binds its own listener on the shared port and
@@ -461,14 +483,76 @@ void StreamServer::HandleSubmit(Worker& w, int fd, const Frame& frame) {
   const int64_t batch_index = message->batch.index;
   const bool unlabeled = !message->batch.labeled();
   // Route publication must precede admission: the drain thread may deliver
-  // the result before TrySubmit even returns.
+  // the result before TrySubmit even returns. It also precedes the dedup
+  // check on purpose — a resend arrives on a *new* connection, and results
+  // of the originally-admitted batch should follow the client there.
   w.routes[stream_id] = fd;
   RouteStreamTo(stream_id, w.index);
+
+  // Exactly-once admission. A tracked sequence at or below the client's
+  // watermark was already admitted (its ACK died with the old connection):
+  // answer it again, touch nothing. Safe without further locking because
+  // one client's submits are serial by contract.
+  const uint64_t client_id = message->client_id;
+  const uint64_t sequence = message->sequence;
+  const bool tracked = client_id != 0 && sequence != 0;
+  if (tracked && dedup_.IsDuplicate(client_id, sequence)) {
+    if (metrics_.duplicates != nullptr) metrics_.duplicates->Inc();
+    if (metrics_.acks != nullptr) metrics_.acks->Inc();
+    QueueFrame(w, fd, EncodeAck({stream_id, batch_index}));
+    return;
+  }
+
+  // Log-first: the record must be durable before the watermark advances,
+  // else a crash between ACK and append would ack a batch the restarted
+  // server never saw. A failed append is reported as ERROR and the client
+  // retries against an unadvanced watermark.
+  uint64_t lsn = 0;
+  if (ingest_log_ != nullptr) {
+    IngestRecord record;
+    record.client_id = client_id;
+    record.sequence = sequence;
+    record.stream_id = stream_id;
+    record.tenant_id = message->tenant_id;
+    record.priority = message->priority;
+    record.batch = std::move(message->batch);
+    Result<uint64_t> appended = ingest_log_->Append(record);
+    message->batch = std::move(record.batch);
+    if (!appended.ok()) {
+      if (metrics_.ingest_log_errors != nullptr) {
+        metrics_.ingest_log_errors->Inc();
+      }
+      ErrorMessage error;
+      error.stream_id = stream_id;
+      error.batch_index = batch_index;
+      error.code = appended.status().code();
+      error.message = appended.status().message();
+      if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
+      QueueFrame(w, fd, EncodeError(error));
+      return;
+    }
+    lsn = *appended;
+  }
+  if (tracked) dedup_.Advance(client_id, sequence);
+
   SubmitContext context;
   context.tenant_id = message->tenant_id;
   context.priority = static_cast<TenantPriority>(message->priority);
   Status admitted =
       runtime_->TrySubmit(stream_id, std::move(message->batch), context);
+  if (!admitted.ok()) {
+    // The logged record will never be processed: retreat the watermark so
+    // the client's retry is not swallowed as a duplicate, and append a
+    // revert naming the cancelled LSN so offline replay skips it too.
+    if (tracked) dedup_.Revert(client_id, sequence);
+    if (lsn != 0) {
+      Result<uint64_t> reverted =
+          ingest_log_->AppendRevert(lsn, client_id, sequence);
+      if (!reverted.ok() && metrics_.ingest_log_errors != nullptr) {
+        metrics_.ingest_log_errors->Inc();
+      }
+    }
+  }
   if (admitted.ok()) {
     if (unlabeled && metrics_.request_seconds != nullptr) {
       w.pending_latency[{stream_id, batch_index}] =
@@ -630,6 +714,22 @@ void StreamServer::GracefulStop(Worker& w) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     runtime_->Shutdown();
+    if (ingest_log_ != nullptr && options_.ingest.truncate_at_stop) {
+      // Everything admitted is now processed (and checkpointed when fault
+      // tolerance is on). Rotate so the fresh head segment snapshots the
+      // final watermarks, then drop the sealed history behind the anchor.
+      const uint64_t anchor = ingest_log_->last_lsn();
+      Status rotated = ingest_log_->Rotate();
+      if (rotated.ok()) {
+        Status truncated = ingest_log_->TruncateBefore(anchor);
+        if (!truncated.ok()) {
+          FREEWAY_LOG(kWarning)
+              << "ingest log truncation failed: " << truncated;
+        }
+      } else {
+        FREEWAY_LOG(kWarning) << "ingest log rotation failed: " << rotated;
+      }
+    }
     drained_.store(true, std::memory_order_release);
     WakeAllWorkers();
   } else {

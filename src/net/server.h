@@ -14,11 +14,35 @@
 #include <utility>
 #include <vector>
 
+#include "ingest/dedup.h"
+#include "ingest/ingest_log.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "runtime/stream_runtime.h"
 
 namespace freeway {
+
+/// Durable-ingest knobs of the server (see IngestLog). Disabled, the
+/// server still dedups tracked submits in memory, but the watermark table
+/// dies with the process — exactly-once then only holds across connection
+/// drops, not restarts.
+struct IngestOptions {
+  /// Master switch for the write-ahead batch log.
+  bool enabled = false;
+  /// Directory of the log segments. Required when enabled.
+  std::string log_dir;
+  uint64_t segment_max_bytes = 4u << 20;
+  /// fsync every appended record before it is acknowledged. Off by
+  /// default: the durability unit is then the OS page cache (survives the
+  /// process, not the host).
+  bool fsync = false;
+  /// At graceful stop, rotate and drop every sealed segment: everything
+  /// admitted has been processed (and checkpointed when fault tolerance is
+  /// on), so only the watermark snapshot in the fresh head segment is
+  /// still needed. Leave off to keep the full batch history for
+  /// examples/replay_log-style offline replay.
+  bool truncate_at_stop = false;
+};
 
 /// Configuration of the TCP batch-ingest server.
 struct ServerOptions {
@@ -52,6 +76,8 @@ struct ServerOptions {
   /// forwarded to the embedded runtime so one scrape covers both layers.
   /// Null disables instrumentation and makes /metrics return 404.
   MetricsRegistry* metrics = nullptr;
+  /// Durable write-ahead batch log + watermark persistence.
+  IngestOptions ingest;
   /// Options of the embedded StreamRuntime.
   RuntimeOptions runtime;
 };
@@ -71,7 +97,18 @@ struct ServerOptions {
 /// loop never blocks on a full shard queue — admission control turns queue
 /// pressure into OVERLOAD(retry_after) replies and the remote producer
 /// backs off (the Envoy idiom: reject at the edge, never stall the data
-/// plane). Inference results surface on runtime drain threads via the
+/// plane).
+///
+/// Admission is exactly-once for tracked submits (wire v3 non-zero
+/// (client_id, sequence)): a sequence at or below the client's watermark
+/// in the shared DedupIndex is re-ACKed without touching the runtime, so a
+/// resend whose first copy was admitted — the connection died carrying the
+/// ACK — cannot reach the learner twice. With IngestOptions.enabled the
+/// order is log-first: the batch is appended to the durable IngestLog
+/// *before* the watermark advances and TrySubmit runs; a rejected
+/// admission (OVERLOAD/ERROR) retreats the watermark and appends a revert
+/// record naming the cancelled LSN, so the log replays to exactly the
+/// admitted set and the watermark table survives restarts. Inference results surface on runtime drain threads via the
 /// result callback; a sharded stream→worker route table directs each
 /// result to the owning worker's outbox, and that worker's self-pipe wakes
 /// its loop to write the RESULT on the connection that submitted the
@@ -135,6 +172,13 @@ class StreamServer {
   /// must go through the network path.
   StreamRuntime* runtime() { return runtime_.get(); }
 
+  /// The durable batch log; null while IngestOptions.enabled is false or
+  /// before Start(). Tests and offline tooling replay it.
+  IngestLog* ingest_log() { return ingest_log_.get(); }
+
+  /// The per-client watermark table (always live, log or not).
+  DedupIndex* dedup_index() { return &dedup_; }
+
  private:
   struct Connection {
     int fd = -1;
@@ -193,6 +237,11 @@ class StreamServer {
     Counter* overloads = nullptr;
     Counter* errors_sent = nullptr;
     Counter* decode_errors = nullptr;
+    /// Tracked submits re-ACKed from the watermark table instead of being
+    /// re-enqueued — each one is a duplicate delivery that dedup absorbed.
+    Counter* duplicates = nullptr;
+    /// IngestLog append/revert failures surfaced as ERROR replies.
+    Counter* ingest_log_errors = nullptr;
     Counter* torn_frames = nullptr;
     Counter* results_dropped = nullptr;
     Counter* http_requests = nullptr;
@@ -244,6 +293,10 @@ class StreamServer {
   ServerOptions options_;
   NetMetrics metrics_;
   std::unique_ptr<StreamRuntime> runtime_;
+  /// Exactly-once state. The dedup index is shared by all workers (its
+  /// shards serialize per client); the log serializes appends internally.
+  DedupIndex dedup_;
+  std::unique_ptr<IngestLog> ingest_log_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   bool reuseport_sharding_ = false;

@@ -176,6 +176,8 @@ std::vector<char> EncodeSubmit(const SubmitMessage& message) {
   SnapshotWriter writer;
   writer.WriteSection(kTagSubmit);
   writer.WriteU64(message.stream_id);
+  writer.WriteU64(message.client_id);
+  writer.WriteU64(message.sequence);
   writer.WriteU32(message.tenant_id);
   writer.WriteU32(message.priority);
   writer.WriteBatch(message.batch);
@@ -188,6 +190,8 @@ Result<SubmitMessage> DecodeSubmit(const Frame& frame) {
   SubmitMessage message;
   RETURN_IF_ERROR(reader.ExpectSection(kTagSubmit));
   RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadU64(&message.client_id));
+  RETURN_IF_ERROR(reader.ReadU64(&message.sequence));
   RETURN_IF_ERROR(reader.ReadU32(&message.tenant_id));
   uint32_t priority = 0;
   RETURN_IF_ERROR(reader.ReadU32(&priority));

@@ -57,9 +57,11 @@ const char* FrameTypeName(FrameType type);
 /// 'FWNP' read little-endian from the first four bytes.
 inline constexpr uint32_t kFrameMagic = 0x504E5746u;
 /// v2 added tenant_id + priority to SUBMIT (multi-tenant stream
-/// directory). The protocol is versioned per connection, not per message,
-/// so the bump is a clean break: v1 peers are rejected at the header.
-inline constexpr uint8_t kWireVersion = 2;
+/// directory); v3 added the client-assigned (client_id, sequence) pair
+/// that drives exactly-once dedup on the server. The protocol is
+/// versioned per connection, not per message, so each bump is a clean
+/// break: older peers are rejected at the header.
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Upper bound an honest peer never hits (a 1024×1024-feature double batch
 /// is ~8 MiB); anything larger is treated as corruption, not a request to
@@ -104,6 +106,14 @@ class FrameDecoder {
 
 struct SubmitMessage {
   uint64_t stream_id = 0;
+  /// Exactly-once identity (wire v3): the submitting client's stable id
+  /// and the 1-based sequence it assigned to this *batch* (a resend of the
+  /// same batch reuses the sequence). The server's dedup table re-ACKs any
+  /// sequence at or below the client's watermark without re-enqueueing.
+  /// Both 0 marks an untracked submit with the legacy at-least-once
+  /// semantics.
+  uint64_t client_id = 0;
+  uint64_t sequence = 0;
   /// Tenant identity + priority band the server feeds into weighted
   /// admission (see SubmitContext). Zero / standard — the v1 behaviour —
   /// when the client does not set them.

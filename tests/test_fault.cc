@@ -330,6 +330,41 @@ TEST_F(CheckpointStoreTest, ReadLatestFallsBackPastCorruptNewest) {
   EXPECT_EQ(*read, Payload("good-old"));
 }
 
+TEST_F(CheckpointStoreTest, ReadLatestRescansWhenIndexedFileWasDeleted) {
+  CheckpointStore store(Options(/*keep=*/2));
+  ASSERT_TRUE(store.Write("shard0", Payload("old")).ok());
+  ASSERT_TRUE(store.Write("shard0", Payload("new")).ok());
+  auto list = store.List("shard0");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  // An operator (or an overlapping store instance) prunes the newest file
+  // behind the live store's back: the in-memory index is now stale. The
+  // regression under test: ReadLatest used to keep serving the dead index
+  // and fail forever even though a perfectly good version sat on disk.
+  fs::remove((*list)[1].path);
+
+  auto read = store.ReadLatest("shard0");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, Payload("old"));
+
+  // The rescan repaired the index for later calls too.
+  auto relisted = store.List("shard0");
+  ASSERT_TRUE(relisted.ok());
+  EXPECT_EQ(relisted->size(), 1u);
+}
+
+TEST_F(CheckpointStoreTest, ReadLatestFailsWhenEveryVersionWasDeleted) {
+  CheckpointStore store(Options(/*keep=*/2));
+  ASSERT_TRUE(store.Write("shard0", Payload("doomed")).ok());
+  auto list = store.List("shard0");
+  ASSERT_TRUE(list.ok());
+  for (const CheckpointInfo& info : *list) fs::remove(info.path);
+
+  auto read = store.ReadLatest("shard0");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
 TEST_F(CheckpointStoreTest, MissingNameFailsCleanly) {
   CheckpointStore store(Options());
   auto read = store.ReadLatest("never-written");

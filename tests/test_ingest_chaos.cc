@@ -1,0 +1,314 @@
+/// Exactly-once ingest chaos tests: ACKs are destroyed in flight, servers
+/// restart over their durable log, and drops land scattered across
+/// concurrent producers — and the invariant under test is always the same:
+/// `runtime enqueued == unique batches submitted`. Before wire v3 these
+/// scenarios duplicated batches into the learner (the documented
+/// at-least-once caveat); the per-client watermark table plus the durable
+/// ingest log make each of them exactly-once, which is what every assertion
+/// below pins down.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "fault/failpoint.h"
+#include "ingest/ingest_log.h"
+#include "ml/models.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace freeway {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kDim = 4;
+constexpr size_t kBatchRows = 16;
+
+/// Deterministic pipeline options (same discipline as test_chaos.cc): the
+/// wall-clock-driven rate adjuster off, small windows.
+PipelineOptions DeterministicPipeline() {
+  PipelineOptions opts;
+  opts.learner.base_window_batches = 4;
+  opts.learner.detector.warmup_batches = 3;
+  opts.enable_rate_adjuster = false;
+  return opts;
+}
+
+class IngestChaosTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("freeway_ingest_chaos_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    failpoint::DisarmAll();
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    server_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void StartServer() {
+    ServerOptions opts;
+    opts.metrics = &registry_;
+    opts.num_workers = GetParam();
+    opts.runtime.num_shards = 2;
+    opts.runtime.pipeline = DeterministicPipeline();
+    opts.ingest.enabled = true;
+    opts.ingest.log_dir = (dir_ / "log").string();
+    auto proto = MakeLogisticRegression(kDim, 2);
+    server_ = std::make_unique<StreamServer>(*proto, std::move(opts));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  ClientOptions ClientFor(uint64_t client_id = 0) {
+    ClientOptions opts;
+    opts.port = server_->port();
+    opts.backoff_initial_micros = 100;
+    opts.backoff_max_micros = 2000;
+    opts.client_id = client_id;
+    return opts;
+  }
+
+  Batch NextLabeled(HyperplaneSource& source) {
+    Result<Batch> batch = source.NextBatch(kBatchRows);
+    EXPECT_TRUE(batch.ok()) << batch.status();
+    return *std::move(batch);
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return registry_.GetCounter(name)->Value();
+  }
+
+  /// The exactly-once reconciliation: the runtime admitted each unique
+  /// batch exactly once and processed all of them — nothing duplicated,
+  /// shed, quarantined, or abandoned.
+  void ExpectExactlyOnce(uint64_t unique_batches) {
+    const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+    EXPECT_EQ(snapshot.totals.enqueued, unique_batches);
+    EXPECT_EQ(snapshot.totals.processed, unique_batches);
+    EXPECT_EQ(snapshot.totals.shed, 0u);
+    EXPECT_EQ(snapshot.totals.quarantined, 0u);
+    EXPECT_EQ(snapshot.totals.undrained, 0u);
+    EXPECT_TRUE(server_->runtime()->TakeDeadLetters().empty());
+  }
+
+  fs::path dir_;
+  MetricsRegistry registry_;
+  std::unique_ptr<StreamServer> server_;
+};
+
+TEST_P(IngestChaosTest, AckDestroyedInFlightIsDedupedOnResend) {
+  StartServer();
+  // The 3rd reply flush dies with the ACK on the wire: the batch was
+  // admitted and logged, but the client never hears it. The resend on the
+  // fresh connection must be re-ACKed from the watermark table — before
+  // wire v3 it was admitted a second time.
+  failpoint::FailPointSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.skip = 2;
+  spec.count = 1;
+  failpoint::Arm("net.write", spec);
+
+  StreamClient client(ClientFor());
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 61;
+  HyperplaneSource source(sopts);
+  constexpr int kBatches = 6;
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(client.Submit(1, NextLabeled(source)).ok()) << "batch " << b;
+  }
+  EXPECT_EQ(failpoint::Hits("net.write"), 1u);
+  EXPECT_EQ(client.tallies().acked, static_cast<uint64_t>(kBatches));
+  EXPECT_GE(client.tallies().resends, 1u);
+  EXPECT_EQ(client.tallies().stale_acks, 0u);
+
+  client.Disconnect();
+  server_->Stop();
+  EXPECT_EQ(CounterValue("freeway_net_duplicates_total"), 1u);
+  // The duplicate never reached the log either: one record per batch.
+  EXPECT_EQ(server_->ingest_log()->stats().appends,
+            static_cast<uint64_t>(kBatches));
+  ExpectExactlyOnce(kBatches);
+}
+
+TEST_P(IngestChaosTest, RestartRebuildsWatermarksFromLog) {
+  constexpr uint64_t kClientId = 777;
+  constexpr int kBatches = 5;
+  constexpr int kExtra = 3;
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 71;
+
+  StartServer();
+  {
+    StreamClient client(ClientFor(kClientId));
+    HyperplaneSource source(sopts);
+    for (int b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE(client.Submit(2, NextLabeled(source)).ok());
+    }
+  }
+  server_->Stop();
+  ExpectExactlyOnce(kBatches);
+
+  // A new server over the same log directory: recovery must rebuild the
+  // watermark table before the first frame arrives.
+  StartServer();
+  EXPECT_EQ(server_->dedup_index()->Watermark(kClientId),
+            static_cast<uint64_t>(kBatches));
+  {
+    // The same producer identity restarts from sequence 1 and re-sends its
+    // whole history (the crash-recovery worst case), then continues with
+    // fresh batches. Only the fresh ones may reach the learner.
+    StreamClient client(ClientFor(kClientId));
+    HyperplaneSource source(sopts);
+    for (int b = 0; b < kBatches + kExtra; ++b) {
+      ASSERT_TRUE(client.Submit(2, NextLabeled(source)).ok()) << "batch " << b;
+    }
+    EXPECT_EQ(client.tallies().acked,
+              static_cast<uint64_t>(kBatches + kExtra));
+    EXPECT_EQ(client.tallies().stale_acks, 0u);
+  }
+  server_->Stop();
+  EXPECT_EQ(CounterValue("freeway_net_duplicates_total"),
+            static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(server_->dedup_index()->Watermark(kClientId),
+            static_cast<uint64_t>(kBatches + kExtra));
+  ExpectExactlyOnce(kExtra);
+
+  // The log across both incarnations holds one record per unique batch.
+  size_t replayed = 0;
+  ASSERT_TRUE(server_->ingest_log()
+                  ->Replay([&replayed](const IngestRecord&) {
+                    ++replayed;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(replayed, static_cast<size_t>(kBatches + kExtra));
+}
+
+TEST_P(IngestChaosTest, ReplayedLogIsBitIdenticalToDirectFeed) {
+  StartServer();
+  constexpr int kBatches = 10;
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 83;
+  HyperplaneSource source(sopts);
+  std::vector<Batch> sent;
+  {
+    StreamClient client(ClientFor());
+    for (int b = 0; b < kBatches; ++b) {
+      sent.push_back(NextLabeled(source));
+      ASSERT_TRUE(client.Submit(7, sent.back()).ok());
+    }
+  }
+  server_->Stop();
+  ExpectExactlyOnce(kBatches);
+
+  // Replay the captured log into a fresh pipeline and feed the batches we
+  // kept in memory into another: byte-identical snapshots prove the log
+  // preserved every batch bit-exactly and in admission order.
+  IngestLogOptions lopts;
+  lopts.directory = (dir_ / "log").string();
+  lopts.read_only = true;
+  IngestLog log(lopts);
+  ASSERT_TRUE(log.Open(nullptr).ok());
+
+  auto proto = MakeLogisticRegression(kDim, 2);
+  StreamPipeline from_log(*proto, DeterministicPipeline());
+  size_t replayed = 0;
+  ASSERT_TRUE(log.Replay([&](const IngestRecord& record) {
+                   EXPECT_EQ(record.stream_id, 7u);
+                   ++replayed;
+                   return from_log.Push(record.batch).status();
+                 })
+                  .ok());
+  ASSERT_EQ(replayed, static_cast<size_t>(kBatches));
+
+  StreamPipeline from_memory(*proto, DeterministicPipeline());
+  for (const Batch& batch : sent) {
+    ASSERT_TRUE(from_memory.Push(batch).ok());
+  }
+
+  std::vector<char> snapshot_log, snapshot_memory;
+  ASSERT_TRUE(from_log.Snapshot(&snapshot_log).ok());
+  ASSERT_TRUE(from_memory.Snapshot(&snapshot_memory).ok());
+  ASSERT_FALSE(snapshot_log.empty());
+  ASSERT_EQ(snapshot_log.size(), snapshot_memory.size());
+  EXPECT_EQ(std::memcmp(snapshot_log.data(), snapshot_memory.data(),
+                        snapshot_log.size()),
+            0);
+}
+
+TEST_P(IngestChaosTest, ScatteredAckDropsAcrossClientsStayExactlyOnce) {
+  StartServer();
+  // Three reply flushes die mid-run, scattered across whichever client
+  // connections are active: every kill destroys one admitted batch's ACK,
+  // and every affected client resends into the dedup table.
+  failpoint::FailPointSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.skip = 4;
+  spec.count = 3;
+  failpoint::Arm("net.write", spec);
+
+  constexpr int kClients = 3;
+  constexpr int kBatches = 8;
+  std::vector<ClientTallies> tallies(kClients);
+  std::vector<std::thread> producers;
+  for (int c = 0; c < kClients; ++c) {
+    producers.emplace_back([this, c, &tallies] {
+      StreamClient client(ClientFor());
+      HyperplaneOptions sopts;
+      sopts.dim = kDim;
+      sopts.seed = 90 + c;
+      HyperplaneSource source(sopts);
+      for (int b = 0; b < kBatches; ++b) {
+        ASSERT_TRUE(client.Submit(10 + c, NextLabeled(source)).ok())
+            << "client " << c << " batch " << b;
+      }
+      tallies[c] = client.tallies();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(failpoint::Hits("net.write"), 3u);
+
+  uint64_t acked = 0;
+  for (const ClientTallies& t : tallies) {
+    acked += t.acked;
+    EXPECT_EQ(t.stale_acks, 0u);
+  }
+  EXPECT_EQ(acked, static_cast<uint64_t>(kClients * kBatches));
+
+  server_->Stop();
+  EXPECT_EQ(CounterValue("freeway_net_duplicates_total"), 3u);
+  ExpectExactlyOnce(static_cast<uint64_t>(kClients * kBatches));
+  // Replay agrees: the admitted set is exactly the unique batches.
+  size_t replayed = 0;
+  ASSERT_TRUE(server_->ingest_log()
+                  ->Replay([&replayed](const IngestRecord&) {
+                    ++replayed;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(replayed, static_cast<size_t>(kClients * kBatches));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, IngestChaosTest, ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "workers" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace freeway

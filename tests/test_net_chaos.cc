@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -108,6 +109,43 @@ TEST_P(NetChaosTest, TornClientFrameIsResentAfterReconnect) {
   server_->Stop();
   EXPECT_EQ(CounterValue("freeway_net_torn_frames_total"), 1u);
   ExpectZeroLabeledLoss(kBatches);
+}
+
+TEST_P(NetChaosTest, RepeatedSendFailuresBackOffInsteadOfSpinning) {
+  StartServer();
+  // Three consecutive sends of the same batch die. The regression under
+  // test: the send-failure path used to `continue` straight into the next
+  // reconnect + resend with no backoff, so a half-dead link was hammered
+  // in a tight loop. Each failure must now pay the exponential backoff —
+  // observable as wall-clock time, the one thing a spin cannot fake.
+  failpoint::FailPointSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.count = 3;
+  failpoint::Arm("net.client.send", spec);
+
+  ClientOptions copts = ClientFor();
+  copts.backoff_initial_micros = 20000;
+  copts.backoff_max_micros = 200000;
+  StreamClient client(copts);
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 43;
+  HyperplaneSource source(sopts);
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.Submit(4, NextLabeled(source)).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(failpoint::Hits("net.client.send"), 3u);
+  // 20ms + 40ms + 80ms of backoff, minus scheduler slop.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            130);
+  EXPECT_EQ(client.tallies().acked, 1u);
+  EXPECT_GE(client.tallies().reconnects, 3u);
+
+  client.Disconnect();
+  server_->Stop();
+  ExpectZeroLabeledLoss(1);
 }
 
 TEST_P(NetChaosTest, ServerSideReadDropForcesResendWithoutLoss) {

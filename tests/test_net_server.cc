@@ -121,6 +121,39 @@ TEST_F(NetServerTest, SingleClientSubmitAndResults) {
   EXPECT_EQ(snapshot.totals.processed, static_cast<uint64_t>(kBatches));
 }
 
+TEST_F(NetServerTest, InMemoryDedupReAcksWithoutIngestLog) {
+  // The watermark table works with the durable log switched off: a
+  // hand-rolled duplicate SUBMIT (same client, same sequence) is re-ACKed
+  // without reaching the runtime.
+  ServerOptions opts;
+  opts.runtime = FastRuntime();
+  StartServer(opts);
+  ASSERT_EQ(server_->ingest_log(), nullptr);
+
+  StreamClient client(ClientFor());
+  HyperplaneSource source = MakeSource(9);
+  ASSERT_TRUE(client.Submit(6, NextBatch(source, true)).ok());
+  ASSERT_TRUE(client.Submit(6, NextBatch(source, true)).ok());
+  EXPECT_EQ(server_->dedup_index()->Watermark(client.client_id()), 2u);
+
+  // Forge the resend the client would produce after a lost ACK: a second
+  // client with the same identity restarts at sequence 1.
+  ClientOptions forged = ClientFor();
+  forged.client_id = client.client_id();
+  StreamClient resender(forged);
+  HyperplaneSource replay_source = MakeSource(9);
+  ASSERT_TRUE(resender.Submit(6, NextBatch(replay_source, true)).ok());
+  EXPECT_EQ(resender.tallies().acked, 1u);
+
+  client.Disconnect();
+  resender.Disconnect();
+  server_->Stop();
+  EXPECT_EQ(CounterValue("freeway_net_duplicates_total"), 1u);
+  const RuntimeStatsSnapshot snapshot = server_->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, 2u);
+  EXPECT_EQ(snapshot.totals.processed, 2u);
+}
+
 TEST_F(NetServerTest, MultiClientThreadsReconcileExactly) {
   ServerOptions opts;
   opts.runtime = FastRuntime();

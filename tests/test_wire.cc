@@ -38,6 +38,8 @@ Frame DecodeWhole(const std::vector<char>& encoded) {
 TEST(WireTest, SubmitRoundTripIsBitIdentical) {
   SubmitMessage message;
   message.stream_id = 77;
+  message.client_id = 0xDEADBEEFCAFE0001ull;
+  message.sequence = 0xFFFFFFFFFFFFFFFEull;
   message.tenant_id = 31337;
   message.priority = static_cast<uint8_t>(TenantPriority::kCritical);
   message.batch = MakeBatch(true, 1, 42);
@@ -49,6 +51,8 @@ TEST(WireTest, SubmitRoundTripIsBitIdentical) {
   Result<SubmitMessage> decoded = DecodeSubmit(frame);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_EQ(decoded->stream_id, 77u);
+  EXPECT_EQ(decoded->client_id, 0xDEADBEEFCAFE0001ull);
+  EXPECT_EQ(decoded->sequence, 0xFFFFFFFFFFFFFFFEull);
   EXPECT_EQ(decoded->tenant_id, 31337u);
   EXPECT_EQ(decoded->priority, static_cast<uint8_t>(TenantPriority::kCritical));
   EXPECT_EQ(decoded->batch.index, 42);
@@ -73,6 +77,9 @@ TEST(WireTest, SubmitDefaultsToSingleTenantStandard) {
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_EQ(decoded->tenant_id, 0u);
   EXPECT_EQ(decoded->priority, static_cast<uint8_t>(TenantPriority::kStandard));
+  // (0, 0) is the untracked marker: legacy at-least-once semantics.
+  EXPECT_EQ(decoded->client_id, 0u);
+  EXPECT_EQ(decoded->sequence, 0u);
 }
 
 TEST(WireTest, SubmitWithInvalidPriorityRejected) {
