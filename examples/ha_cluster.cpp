@@ -1,0 +1,272 @@
+// Replicated high-availability demo: three StreamServer processes form a
+// raft cluster on loopback, a client streams labeled batches at the
+// leader, and the leader process is SIGKILLed mid-stream — real machine
+// loss, not an in-process simulation. The client fails over to the new
+// leader and every submit keeps returning OK.
+//
+// The run is exit-gated on the reconciliation: after the stream ends, the
+// parent opens both survivors' ingest logs read-only (from outside the
+// server processes), replays them, and requires
+//   - every acknowledged batch present exactly once (zero labeled loss,
+//     no duplicates), and
+//   - the two logs byte-identical in replayed content,
+// exiting non-zero otherwise. CI runs this binary under the sanitizers.
+//
+// Forking happens before any server (or thread) exists; each child builds
+// its node and runs until SIGTERM. Cluster logs land in
+// ha_cluster_artifacts/ (one file per node) so a failing CI run can be
+// diagnosed from the uploaded directory.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ingest/ingest_log.h"
+#include "ml/models.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "obs/metrics.h"
+
+using namespace freeway;  // NOLINT — example driver.
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kDim = 8;
+constexpr size_t kBatchRows = 64;
+constexpr int kBatchesBeforeKill = 20;
+constexpr int kBatchesAfterKill = 20;
+constexpr uint64_t kStreamId = 7;
+constexpr uint64_t kClientId = 424242;
+
+volatile sig_atomic_t g_terminate = 0;
+void OnTerm(int) { g_terminate = 1; }
+
+uint16_t ReservePort() {
+  auto fd = net::CreateListenSocket("127.0.0.1", 0, 4, false);
+  fd.status().CheckOk();
+  auto port = net::LocalPort(*fd);
+  port.status().CheckOk();
+  net::CloseFd(*fd);
+  return *port;
+}
+
+/// Child body: one cluster node. Runs until SIGTERM, then stops cleanly.
+/// Never returns.
+[[noreturn]] void RunNode(const fs::path& root, size_t index,
+                          const std::vector<uint16_t>& ports) {
+  // Per-node log file so a CI failure can be unpicked node by node. Lands
+  // under the working directory (not the scratch root) so CI can upload
+  // build/ha_cluster_artifacts/ directly.
+  const std::string log_path =
+      (fs::current_path() / "ha_cluster_artifacts" /
+       ("node" + std::to_string(index + 1) + ".log"))
+          .string();
+  const int log_fd = ::open(log_path.c_str(),
+                            O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    ::close(log_fd);
+  }
+  std::signal(SIGTERM, OnTerm);
+
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  options.port = ports[index];
+  options.num_workers = 1;
+  options.runtime.num_shards = 2;
+  options.ingest.enabled = true;
+  options.ingest.log_dir =
+      (root / ("n" + std::to_string(index)) / "log").string();
+  options.replication.enabled = true;
+  options.replication.node_id = index + 1;
+  options.replication.data_dir =
+      (root / ("n" + std::to_string(index)) / "raft").string();
+  options.replication.tick_millis = 10;
+  options.replication.heartbeat_ticks = 2;
+  for (size_t j = 0; j < ports.size(); ++j) {
+    if (j == index) continue;
+    options.replication.peers.push_back(
+        {static_cast<uint64_t>(j + 1), "127.0.0.1", ports[j]});
+  }
+
+  auto proto = MakeLogisticRegression(kDim, 2);
+  StreamServer server(*proto, std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "node %zu failed to start: %s\n", index + 1,
+                 started.ToString().c_str());
+    std::_Exit(2);
+  }
+  std::printf("node %zu serving on 127.0.0.1:%u\n", index + 1,
+              ports[index]);
+  std::fflush(stdout);
+  while (g_terminate == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  std::printf("node %zu stopped (last_lsn %llu)\n", index + 1,
+              static_cast<unsigned long long>(server.ingest_log()->last_lsn()));
+  std::_Exit(0);
+}
+
+/// Replays one node's ingest log from outside its process. Returns the
+/// (client_id, sequence) pairs seen, in replay order.
+std::vector<std::pair<uint64_t, uint64_t>> ReplayLog(const fs::path& dir) {
+  IngestLogOptions options;
+  options.directory = dir.string();
+  options.read_only = true;
+  IngestLog log(options);
+  log.Open(nullptr).CheckOk();
+  std::vector<std::pair<uint64_t, uint64_t>> records;
+  log.Replay([&](const IngestRecord& record) {
+        records.emplace_back(record.client_id, record.sequence);
+        return Status::OK();
+      })
+      .CheckOk();
+  return records;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Replicated HA: 3-node cluster, leader killed "
+              "mid-stream ==\n\n");
+  const fs::path root =
+      fs::temp_directory_path() / "freeway_ha_cluster_example";
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  fs::create_directories(root);
+  fs::create_directories(fs::current_path() / "ha_cluster_artifacts");
+
+  std::vector<uint16_t> ports = {ReservePort(), ReservePort(),
+                                 ReservePort()};
+  std::vector<pid_t> pids(3, -1);
+  for (size_t i = 0; i < 3; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) RunNode(root, i, ports);  // Child: never returns.
+    pids[i] = pid;
+  }
+
+  ClientOptions copts;
+  copts.client_id = kClientId;
+  copts.max_submit_attempts = 64;
+  // Short reply timeout: a freshly-killed leader's port may still accept
+  // (backlog) — only timing out and rotating finds the new leader.
+  copts.reply_timeout_millis = 500;
+  copts.backoff_initial_micros = 500;
+  copts.backoff_max_micros = 50000;
+  for (uint16_t port : ports) copts.endpoints.push_back({"127.0.0.1", port});
+  StreamClient client(copts);
+
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 7;
+  HyperplaneSource source(sopts);
+
+  int acked = 0;
+  for (int b = 0; b < kBatchesBeforeKill; ++b) {
+    auto batch = source.NextBatch(kBatchRows);
+    batch.status().CheckOk();
+    client.Submit(kStreamId, *std::move(batch)).CheckOk();
+    ++acked;
+  }
+  // The endpoint the last ACK came from is the leader.
+  const uint16_t leader_port = client.current_endpoint().port;
+  size_t leader = 0;
+  while (ports[leader] != leader_port) ++leader;
+  std::printf("streamed %d batches; leader is node %zu (port %u)\n", acked,
+              leader + 1, leader_port);
+
+  std::printf("SIGKILL node %zu mid-stream...\n", leader + 1);
+  ::kill(pids[leader], SIGKILL);
+  int status = 0;
+  ::waitpid(pids[leader], &status, 0);
+
+  for (int b = 0; b < kBatchesAfterKill; ++b) {
+    auto batch = source.NextBatch(kBatchRows);
+    batch.status().CheckOk();
+    Status submitted = client.Submit(kStreamId, *std::move(batch));
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "FAIL: batch %d lost after leader kill: %s\n",
+                   acked + b, submitted.ToString().c_str());
+      for (size_t i = 0; i < 3; ++i) {
+        if (i != leader) ::kill(pids[i], SIGTERM);
+      }
+      return 1;
+    }
+    ++acked;
+  }
+  std::printf("all %d submits acknowledged across the failover "
+              "(%llu endpoint switches, %llu redirects)\n",
+              acked,
+              static_cast<unsigned long long>(client.tallies().failovers),
+              static_cast<unsigned long long>(client.tallies().not_leader));
+
+  // Let the survivor pair finish applying, then stop them cleanly.
+  const uint64_t expected =
+      static_cast<uint64_t>(kBatchesBeforeKill + kBatchesAfterKill);
+  for (int spin = 0; spin < 200; ++spin) {
+    bool caught_up = true;
+    for (size_t i = 0; i < 3; ++i) {
+      if (i == leader) continue;
+      if (ReplayLog(root / ("n" + std::to_string(i)) / "log").size() <
+          expected) {
+        caught_up = false;
+      }
+    }
+    if (caught_up) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    if (i != leader) ::kill(pids[i], SIGTERM);
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    if (i != leader) ::waitpid(pids[i], &status, 0);
+  }
+
+  // Exit-gated reconciliation over the survivors' durable logs.
+  int rc = 0;
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> replays;
+  for (size_t i = 0; i < 3; ++i) {
+    if (i == leader) continue;
+    auto records = ReplayLog(root / ("n" + std::to_string(i)) / "log");
+    const std::set<std::pair<uint64_t, uint64_t>> unique(records.begin(),
+                                                         records.end());
+    std::printf("node %zu log: %zu records, %zu unique\n", i + 1,
+                records.size(), unique.size());
+    if (records.size() != expected || unique.size() != expected) {
+      std::fprintf(stderr,
+                   "FAIL: node %zu holds %zu/%zu unique of %llu acked "
+                   "batches\n",
+                   i + 1, unique.size(), records.size(),
+                   static_cast<unsigned long long>(expected));
+      rc = 1;
+    }
+    replays.push_back(std::move(records));
+  }
+  if (replays.size() == 2 && replays[0] != replays[1]) {
+    std::fprintf(stderr, "FAIL: survivor logs diverge\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("\nreconciled: zero labeled-batch loss, exactly-once, "
+                "identical survivor logs\n");
+  }
+  return rc;
+}

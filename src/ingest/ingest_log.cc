@@ -607,7 +607,7 @@ Status IngestLog::Rotate() {
   return RotateLocked();
 }
 
-Status IngestLog::TruncateBefore(uint64_t lsn) {
+Status IngestLog::TruncateBefore(uint64_t lsn, size_t keep_sealed_segments) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!opened_) return Status::FailedPrecondition("ingest: log is not open");
   if (options_.read_only) {
@@ -615,9 +615,11 @@ Status IngestLog::TruncateBefore(uint64_t lsn) {
   }
   // A sealed segment's records all sit below its successor's base LSN, so
   // it is prunable exactly when that base covers everything up to `lsn`.
-  // The active segment always stays.
+  // The active segment always stays, plus `keep_sealed_segments` of the
+  // newest sealed ones (the retention window).
   std::error_code ec;
-  while (segments_.size() > 1 && segments_[1].base_lsn <= lsn + 1) {
+  while (segments_.size() > 1 + keep_sealed_segments &&
+         segments_[1].base_lsn <= lsn + 1) {
     fs::remove(segments_.front().path, ec);
     if (ec) {
       return Status::IoError("ingest: cannot remove " +

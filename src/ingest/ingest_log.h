@@ -131,8 +131,12 @@ class IngestLog {
 
   /// Prunes sealed segments whose records all have LSN <= `lsn` (the
   /// active segment is never pruned). Callers pass the LSN their runtime
-  /// checkpoints are known to cover.
-  Status TruncateBefore(uint64_t lsn);
+  /// checkpoints are known to cover. `keep_sealed_segments` retains that
+  /// many of the newest sealed segments past the anchor — the
+  /// `ingest.retention_segments` knob, giving offline replay tooling a
+  /// bounded recent-history window even under aggressive steady-state
+  /// truncation.
+  Status TruncateBefore(uint64_t lsn, size_t keep_sealed_segments = 0);
 
   /// fsyncs the active segment now (regardless of the fsync option).
   Status Sync();

@@ -42,11 +42,33 @@ uint64_t AutoClientId() {
 }
 }  // namespace
 
+int64_t DecorrelatedJitterStep(uint64_t* rng_state, int64_t prev_micros,
+                               int64_t base_micros, int64_t cap_micros) {
+  *rng_state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = *rng_state;
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const int64_t base = std::max<int64_t>(base_micros, 1);
+  const int64_t upper = std::max<int64_t>(prev_micros, base) * 3;
+  const int64_t span = std::max<int64_t>(upper - base, 1);
+  const int64_t drawn = base + static_cast<int64_t>(z % static_cast<uint64_t>(span));
+  return std::min(drawn, std::max(cap_micros, base));
+}
+
 StreamClient::StreamClient(ClientOptions options)
     : options_(std::move(options)),
       backoff_micros_(options_.backoff_initial_micros),
       client_id_(options_.client_id != 0 ? options_.client_id
                                          : AutoClientId()) {
+  rng_state_ = client_id_;
+  if (options_.endpoints.empty()) {
+    endpoints_.push_back({options_.host, options_.port});
+  } else {
+    endpoints_ = options_.endpoints;
+  }
   if (options_.metrics != nullptr) {
     metric_stale_acks_ =
         options_.metrics->GetCounter("freeway_net_client_stale_acks_total");
@@ -59,7 +81,8 @@ StreamClient::~StreamClient() { Disconnect(); }
 
 Status StreamClient::Connect() {
   if (connected()) return Status::OK();
-  ASSIGN_OR_RETURN(fd_, net::ConnectSocket(options_.host, options_.port,
+  const ClientEndpoint& endpoint = endpoints_[endpoint_index_];
+  ASSIGN_OR_RETURN(fd_, net::ConnectSocket(endpoint.host, endpoint.port,
                                            options_.connect_timeout_millis));
   // Fresh connection, fresh framing: any partial frame from the previous
   // connection is unusable.
@@ -135,11 +158,39 @@ void StreamClient::Backoff(int64_t floor_micros) {
   // minutes nor feed a negative duration to sleep_for.
   const int64_t ceiling = std::max<int64_t>(options_.max_retry_after_micros, 0);
   floor_micros = std::clamp<int64_t>(floor_micros, 0, ceiling);
+  backoff_micros_ =
+      DecorrelatedJitterStep(&rng_state_, backoff_micros_,
+                             options_.backoff_initial_micros,
+                             options_.backoff_max_micros);
   const int64_t wait = std::max(backoff_micros_, floor_micros);
   if (wait > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(wait));
   }
-  backoff_micros_ = std::min(backoff_micros_ * 2, options_.backoff_max_micros);
+}
+
+void StreamClient::RotateEndpoint() {
+  if (endpoints_.size() <= 1) return;
+  endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+  ++tallies_.failovers;
+}
+
+void StreamClient::FollowLeaderHint(const NotLeaderMessage& hint) {
+  if (endpoints_.size() <= 1) return;
+  if (!hint.leader_host.empty() && hint.leader_port != 0) {
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      if (endpoints_[i].host == hint.leader_host &&
+          endpoints_[i].port == hint.leader_port) {
+        if (i != endpoint_index_) {
+          endpoint_index_ = i;
+          ++tallies_.failovers;
+        }
+        return;
+      }
+    }
+  }
+  // No usable hint (election in flight, or the hint names an address this
+  // client wasn't configured with): try the next endpoint.
+  RotateEndpoint();
 }
 
 Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
@@ -163,6 +214,9 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
       Status connected_now = Connect();
       if (!connected_now.ok()) {
         last_error = connected_now;
+        // A dead endpoint (a killed leader refuses connections instantly):
+        // move on to the next cluster member before backing off.
+        RotateEndpoint();
         Backoff(0);
         continue;
       }
@@ -174,8 +228,10 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
       // A failed send leaves the connection in an unknown state (part of
       // the frame may sit in the kernel buffer): force a clean reconnect
       // and back off first, so a half-dead socket cannot drive a tight
-      // resend spin.
+      // resend spin. In cluster mode the failure indicts this endpoint, so
+      // move on.
       Disconnect();
+      RotateEndpoint();
       Backoff(0);
       continue;
     }
@@ -192,8 +248,12 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
       if (!frame.ok()) {
         last_error = frame.status();
         // Same spin hazard as a failed send: a peer that dies right after
-        // accept would otherwise be hammered with reconnect + resend.
+        // accept would otherwise be hammered with reconnect + resend. A
+        // reply timeout also rotates in cluster mode — a partitioned
+        // leader still accepts connections and proposes, but can never
+        // commit, and only trying the next endpoint escapes it.
         Disconnect();
+        RotateEndpoint();
         Backoff(0);
         resend = true;
         break;
@@ -234,6 +294,22 @@ Status StreamClient::Submit(uint64_t stream_id, const Batch& batch) {
               error->batch_index == batch.index) {
             ++tallies_.errors;
             return error->ToStatus();
+          }
+          break;
+        }
+        case FrameType::kNotLeader: {
+          Result<NotLeaderMessage> redirect = DecodeNotLeader(*frame);
+          if (redirect.ok() && redirect->stream_id == stream_id &&
+              redirect->batch_index == batch.index) {
+            // This node can't admit the batch; follow its leader hint (or
+            // rotate) and resend there. The backoff gives an in-flight
+            // election time to settle instead of spinning redirects.
+            ++tallies_.not_leader;
+            last_error = Status::Unavailable("submitted to a non-leader node");
+            FollowLeaderHint(*redirect);
+            Disconnect();
+            Backoff(0);
+            resend = true;
           }
           break;
         }

@@ -10,11 +10,23 @@
 
 namespace freeway {
 
+/// One server address a client may submit to.
+struct ClientEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
 /// Configuration of the blocking client.
 struct ClientOptions {
   /// Numeric IPv4 server address.
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  /// Cluster mode: the full endpoint list of a replicated server group.
+  /// Non-empty, it replaces {host, port} entirely. The client submits to
+  /// one endpoint at a time and fails over on NOT_LEADER replies (following
+  /// the leader hint when it names a listed endpoint, else rotating) and on
+  /// connect failures.
+  std::vector<ClientEndpoint> endpoints;
   int64_t connect_timeout_millis = 2000;
   /// How long one Submit waits for its ACK/OVERLOAD/ERROR reply before
   /// treating the connection as dead and reconnecting.
@@ -22,9 +34,11 @@ struct ClientOptions {
   /// Total tries per batch: overload rejections, reconnects, and resends
   /// all consume attempts. Exhaustion returns Unavailable.
   size_t max_submit_attempts = 16;
-  /// Exponential backoff after an OVERLOAD reply or a failed connect:
-  /// starts at `backoff_initial_micros` (or the server's retry_after,
-  /// whichever is larger), doubling up to the cap.
+  /// Backoff after an OVERLOAD reply, a NOT_LEADER redirect, or a failed
+  /// connect: decorrelated jitter — each wait is drawn uniformly from
+  /// [initial, 3 × previous wait], capped at the max — floored by the
+  /// server's retry_after advice. Jitter keeps a fleet of clients that a
+  /// dying server knocked loose together from stampeding back in lockstep.
   int64_t backoff_initial_micros = 500;
   int64_t backoff_max_micros = 100000;
   /// Ceiling on the server-advised retry_after the client will honour. A
@@ -58,6 +72,8 @@ struct ClientTallies {
   uint64_t results = 0;
   uint64_t reconnects = 0;  ///< Successful re-connects after a drop.
   uint64_t resends = 0;     ///< SUBMIT frames re-sent for the same batch.
+  uint64_t not_leader = 0;  ///< NOT_LEADER redirects received.
+  uint64_t failovers = 0;   ///< Endpoint switches (hint-directed or rotated).
   /// ACKs that answered a superseded send of the current batch — before
   /// wire v3 this was the evidence of a duplicate delivery; with server
   /// dedup it must stay zero (asserted by the exactly-once chaos tests).
@@ -119,6 +135,11 @@ class StreamClient {
   /// options, or auto-generated when they left it 0).
   uint64_t client_id() const { return client_id_; }
 
+  /// The endpoint the next Connect() dials (moves on failover).
+  const ClientEndpoint& current_endpoint() const {
+    return endpoints_[endpoint_index_];
+  }
+
  private:
   /// Writes one encoded frame. FailPoint site "net.client.send" makes the
   /// write tear: half the frame goes out, then the socket dies — how chaos
@@ -129,13 +150,25 @@ class StreamClient {
   /// Buffers a RESULT frame; ignores stale replies from superseded sends.
   void AbsorbResult(const Frame& frame);
   void Backoff(int64_t floor_micros);
+  /// Moves to the endpoint a NOT_LEADER hint names (when listed), else the
+  /// next one in rotation.
+  void FollowLeaderHint(const NotLeaderMessage& hint);
+  /// Moves to the next endpoint in rotation (no-op with one endpoint).
+  void RotateEndpoint();
 
   ClientOptions options_;
+  /// Resolved endpoint list (options_.endpoints, or the single
+  /// {host, port}) and the index Connect() currently dials.
+  std::vector<ClientEndpoint> endpoints_;
+  size_t endpoint_index_ = 0;
   int fd_ = -1;
   FrameDecoder decoder_;
   std::vector<StreamResult> results_;
   ClientTallies tallies_;
   int64_t backoff_micros_ = 0;
+  /// Decorrelated-jitter RNG state (splitmix64), seeded from client_id so
+  /// runs are reproducible per client and different across clients.
+  uint64_t rng_state_ = 0;
   uint64_t client_id_ = 0;
   /// Sequence of the most recent batch; the next Submit sends +1, and all
   /// resends of one batch reuse its sequence.
@@ -144,6 +177,13 @@ class StreamClient {
   Counter* metric_stale_acks_ = nullptr;
   Counter* metric_resends_ = nullptr;
 };
+
+/// One decorrelated-jitter step (the AWS "decorrelated jitter" policy):
+/// draws the next wait uniformly from [base, 3 × prev] using the
+/// splitmix64 state at `rng_state` (advanced in place), capping at `cap`.
+/// Exposed so the backoff-spread regression test can drive it directly.
+int64_t DecorrelatedJitterStep(uint64_t* rng_state, int64_t prev_micros,
+                               int64_t base_micros, int64_t cap_micros);
 
 /// Minimal HTTP/1.1 GET against the server's metrics endpoint (the
 /// curl-equivalent used by tests and examples). Returns the response body

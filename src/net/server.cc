@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +79,8 @@ StreamServer::StreamServer(const Model& prototype, ServerOptions options)
         registry->GetCounter("freeway_net_duplicates_total");
     metrics_.ingest_log_errors =
         registry->GetCounter("freeway_net_ingest_log_errors_total");
+    metrics_.not_leader =
+        registry->GetCounter("freeway_net_not_leader_total");
     metrics_.torn_frames =
         registry->GetCounter("freeway_net_torn_frames_total");
     metrics_.results_dropped =
@@ -89,9 +92,29 @@ StreamServer::StreamServer(const Model& prototype, ServerOptions options)
     metrics_.request_seconds =
         registry->GetHistogram("freeway_net_request_seconds");
   }
+  // Chain onto any user checkpoint hook: shard checkpoints are what anchor
+  // steady-state ingest log truncation. Installed before the runtime is
+  // constructed because the runtime copies its options; the handler guards
+  // against firing before the coverage vectors below are sized (the
+  // runtime's constructor seeds initial checkpoints).
+  auto user_on_checkpoint = options_.runtime.fault.on_checkpoint;
+  options_.runtime.fault.on_checkpoint =
+      [this, user_on_checkpoint](size_t shard, uint64_t consumed) {
+        if (user_on_checkpoint) user_on_checkpoint(shard, consumed);
+        OnShardCheckpoint(shard, consumed);
+      };
   runtime_ = std::make_unique<StreamRuntime>(
       prototype, options_.runtime,
       [this](const StreamResult& result) { OnResult(result); });
+  coverage_enabled_ =
+      options_.ingest.enabled && options_.runtime.fault.enabled;
+  {
+    std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+    const size_t shards = runtime_->num_shards();
+    shard_outstanding_.resize(shards);
+    shard_admitted_.assign(shards, 0);
+    shard_consumed_.assign(shards, 0);
+  }
 }
 
 StreamServer::~StreamServer() {
@@ -114,6 +137,11 @@ Status StreamServer::Start() {
     return Status::FailedPrecondition("server is stopped");
   }
   const size_t num_workers = ResolveWorkerCount(options_.num_workers);
+  if (options_.replication.enabled && !options_.ingest.enabled) {
+    return Status::InvalidArgument(
+        "replication requires ingest.enabled: the replicated state machine "
+        "is the ingest log");
+  }
 
   // Durable ingest comes up before any socket exists: opening the log
   // replays it into the dedup index, so the very first SUBMIT already sees
@@ -207,6 +235,34 @@ Status StreamServer::Start() {
     workers_.push_back(std::move(worker));
   }
 
+  // Consensus comes up last among the fallible steps (listeners are bound,
+  // so peers dialing this node connect and queue in the backlog until the
+  // worker threads start below). Passing the recovered IngestLog length as
+  // the applied count is the restart exactly-once contract: in replicated
+  // operation every kBatch apply appends exactly one record and reverts
+  // never happen, so last_lsn() counts precisely the batch commands this
+  // node already applied.
+  if (options_.replication.enabled) {
+    ReplicationOptions replication = options_.replication;
+    if (replication.metrics == nullptr) replication.metrics = options_.metrics;
+    replicator_ = std::make_unique<Replicator>(
+        replication,
+        [this](const ReplicatedCommand& command) { ApplyReplicated(command); },
+        [this](const Replicator::AckToken& token) { DeliverAck(token); });
+    Status consensus = replicator_->Start(ingest_log_->last_lsn());
+    if (!consensus.ok()) {
+      replicator_.reset();
+      cleanup();
+      for (auto& w : workers_) {
+        net::CloseFd(w->wake_read_fd);
+        net::CloseFd(w->wake_write_fd);
+      }
+      workers_.clear();
+      ingest_log_.reset();
+      return consensus;
+    }
+  }
+
   started_ = true;
   running_.store(true, std::memory_order_release);
   for (auto& worker : workers_) {
@@ -225,6 +281,10 @@ void StreamServer::Stop() {
     runtime_->Shutdown();
     return;
   }
+  // Consensus stops first: the applier thread finishes its in-flight apply
+  // (the runtime's drains are still live to free queue space for it) and no
+  // new entries commit while the workers wind down.
+  if (replicator_ != nullptr) replicator_->Stop();
   WakeAllWorkers();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
@@ -309,6 +369,15 @@ void StreamServer::Loop(Worker& w) {
       }
     }
     DrainOutbox(w);
+    if (w.index == 0 &&
+        (ingest_log_ != nullptr || replicator_ != nullptr)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_maintenance_ >=
+          std::chrono::milliseconds(options_.maintenance_interval_millis)) {
+        last_maintenance_ = now;
+        MaintenanceSweep();
+      }
+    }
     if ((pollfds[0].revents & POLLIN) != 0) AcceptPending(w);
     for (size_t i = 0; i < conn_fds.size(); ++i) {
       const int fd = conn_fds[i];
@@ -351,6 +420,8 @@ void StreamServer::AcceptPending(Worker& w) {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->id = w.next_conn_id++;
+    w.fd_by_conn_id[conn->id] = fd;
     w.conns.emplace(fd, std::move(conn));
     active_connections_.fetch_add(1, std::memory_order_acq_rel);
     if (metrics_.active != nullptr) metrics_.active->Inc();
@@ -452,6 +523,33 @@ void StreamServer::HandleFrame(Worker& w, int fd, const Frame& frame) {
       WakeAllWorkers();
       return;
     }
+    case FrameType::kVoteRequest:
+    case FrameType::kVoteResponse:
+    case FrameType::kAppendEntries:
+    case FrameType::kAppendResponse: {
+      // Peer consensus traffic multiplexed onto the client port. Responses
+      // travel back over this node's own outbound link to the sender, so
+      // nothing is queued on `fd` here.
+      if (replicator_ == nullptr) {
+        ErrorMessage error;
+        error.code = StatusCode::kFailedPrecondition;
+        error.message = std::string("replication is not enabled (") +
+                        FrameTypeName(frame.type) + ")";
+        if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
+        QueueFrame(w, fd, EncodeError(error));
+        return;
+      }
+      Result<RaftMessage> message = DecodeRaftMessage(frame);
+      if (!message.ok()) {
+        if (metrics_.decode_errors != nullptr) metrics_.decode_errors->Inc();
+        FREEWAY_LOG(kWarning) << "closing connection " << fd
+                              << ": bad raft frame: " << message.status();
+        CloseConnection(w, fd);
+        return;
+      }
+      replicator_->Deliver(*message);
+      return;
+    }
     default: {
       // Clients must not send server-to-client frame types.
       ErrorMessage error;
@@ -477,6 +575,10 @@ void StreamServer::HandleSubmit(Worker& w, int fd, const Frame& frame) {
     error.message = message.status().message();
     if (metrics_.errors_sent != nullptr) metrics_.errors_sent->Inc();
     QueueFrame(w, fd, EncodeError(error));
+    return;
+  }
+  if (replicator_ != nullptr) {
+    HandleSubmitReplicated(w, fd, std::move(*message));
     return;
   }
   const uint64_t stream_id = message->stream_id;
@@ -532,14 +634,45 @@ void StreamServer::HandleSubmit(Worker& w, int fd, const Frame& frame) {
       return;
     }
     lsn = *appended;
+    if (coverage_enabled_) {
+      // The LSN exists but its admission outcome doesn't yet: keep the
+      // truncation sweep from treating it as checkpoint-covered meanwhile.
+      std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+      unresolved_lsns_.insert(lsn);
+    }
   }
   if (tracked) dedup_.Advance(client_id, sequence);
 
   SubmitContext context;
   context.tenant_id = message->tenant_id;
   context.priority = static_cast<TenantPriority>(message->priority);
-  Status admitted =
-      runtime_->TrySubmit(stream_id, std::move(message->batch), context);
+  Status admitted;
+  if (lsn != 0 && coverage_enabled_) {
+    // Admission and its coverage note share the lock so the per-shard
+    // ordinal order equals the shard-queue order. TrySubmit never blocks,
+    // but on a workerless global pool it drains the shard inline —
+    // including a reentrant checkpoint — which is why the mutex is
+    // recursive and why the entry pushed below may already be consumed.
+    std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+    admitted = runtime_->TrySubmit(stream_id, std::move(message->batch),
+                                   context);
+    unresolved_lsns_.erase(lsn);
+    highest_noted_lsn_ = std::max(highest_noted_lsn_, lsn);
+    if (admitted.ok()) {
+      const size_t shard = runtime_->ShardOf(stream_id);
+      auto& outstanding = shard_outstanding_[shard];
+      outstanding.emplace_back(++shard_admitted_[shard], lsn);
+      // Inline-drain case: the batch was processed (and checkpointed)
+      // inside TrySubmit, before its entry existed to be popped there.
+      while (!outstanding.empty() &&
+             outstanding.front().first <= shard_consumed_[shard]) {
+        outstanding.pop_front();
+      }
+    }
+  } else {
+    admitted =
+        runtime_->TrySubmit(stream_id, std::move(message->batch), context);
+  }
   if (!admitted.ok()) {
     // The logged record will never be processed: retreat the watermark so
     // the client's retry is not swallowed as a duplicate, and append a
@@ -550,6 +683,11 @@ void StreamServer::HandleSubmit(Worker& w, int fd, const Frame& frame) {
           ingest_log_->AppendRevert(lsn, client_id, sequence);
       if (!reverted.ok() && metrics_.ingest_log_errors != nullptr) {
         metrics_.ingest_log_errors->Inc();
+      }
+      if (coverage_enabled_ && reverted.ok()) {
+        // Cancelled pair: both LSNs are covered the moment they exist.
+        std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+        highest_noted_lsn_ = std::max(highest_noted_lsn_, *reverted);
       }
     }
   }
@@ -659,6 +797,7 @@ void StreamServer::CloseConnection(Worker& w, int fd) {
     // client re-sends unacknowledged batches on its new connection).
     if (metrics_.torn_frames != nullptr) metrics_.torn_frames->Inc();
   }
+  w.fd_by_conn_id.erase(conn.id);
   net::CloseFd(fd);
   w.conns.erase(it);
   active_connections_.fetch_sub(1, std::memory_order_acq_rel);
@@ -668,9 +807,21 @@ void StreamServer::CloseConnection(Worker& w, int fd) {
 
 void StreamServer::DrainOutbox(Worker& w) {
   std::vector<StreamResult> results;
+  std::vector<std::pair<uint64_t, std::vector<char>>> frames;
   {
     std::lock_guard<std::mutex> lock(w.outbox_mutex);
     results.swap(w.outbox);
+    frames.swap(w.frame_outbox);
+  }
+  for (auto& [conn_id, encoded] : frames) {
+    auto target = w.fd_by_conn_id.find(conn_id);
+    if (target == w.fd_by_conn_id.end()) {
+      // The connection died while its entry replicated. The client resends
+      // on a new connection and the watermark re-ACKs it there.
+      if (metrics_.results_dropped != nullptr) metrics_.results_dropped->Inc();
+      continue;
+    }
+    QueueFrame(w, target->second, std::move(encoded));
   }
   for (StreamResult& result : results) {
     auto route = w.routes.find(result.stream_id);
@@ -696,6 +847,257 @@ void StreamServer::DrainOutbox(Worker& w) {
   }
 }
 
+void StreamServer::HandleSubmitReplicated(Worker& w, int fd,
+                                          SubmitMessage message) {
+  const uint64_t stream_id = message.stream_id;
+  const int64_t batch_index = message.batch.index;
+  // Route publication still precedes everything: results (and the deferred
+  // ACK, by connection id) follow the client's newest connection.
+  w.routes[stream_id] = fd;
+  RouteStreamTo(stream_id, w.index);
+
+  auto redirect = [&] {
+    NotLeaderMessage reply;
+    reply.stream_id = stream_id;
+    reply.batch_index = batch_index;
+    reply.leader_id = replicator_->leader_id();
+    if (reply.leader_id != 0) {
+      Result<ReplicationPeer> hint = replicator_->PeerOf(reply.leader_id);
+      if (hint.ok()) {
+        reply.leader_host = hint->host;
+        reply.leader_port = hint->port;
+      }
+    }
+    if (metrics_.not_leader != nullptr) metrics_.not_leader->Inc();
+    QueueFrame(w, fd, EncodeNotLeader(reply));
+  };
+  if (!replicator_->IsLeader()) {
+    redirect();
+    return;
+  }
+
+  // A tracked sequence at or below the watermark was already committed and
+  // applied (watermarks only advance at apply, which happens after majority
+  // replication): its ACK died with the old connection, so answer again.
+  const uint64_t client_id = message.client_id;
+  const uint64_t sequence = message.sequence;
+  const bool tracked = client_id != 0 && sequence != 0;
+  if (tracked && dedup_.IsDuplicate(client_id, sequence)) {
+    if (metrics_.duplicates != nullptr) metrics_.duplicates->Inc();
+    if (metrics_.acks != nullptr) metrics_.acks->Inc();
+    QueueFrame(w, fd, EncodeAck({stream_id, batch_index}));
+    return;
+  }
+
+  // Admission gate: the propose→apply backlog is the replicated analogue of
+  // a full shard queue, so it turns into OVERLOAD at the edge too.
+  if (replicator_->PendingLoad() >= options_.replication.max_apply_lag) {
+    if (metrics_.overloads != nullptr) metrics_.overloads->Inc();
+    OverloadMessage overload;
+    overload.stream_id = stream_id;
+    overload.batch_index = batch_index;
+    overload.retry_after_micros = options_.overload_retry_micros;
+    QueueFrame(w, fd, EncodeOverload(overload));
+    return;
+  }
+
+  IngestRecord record;
+  record.client_id = client_id;
+  record.sequence = sequence;
+  record.stream_id = stream_id;
+  record.tenant_id = message.tenant_id;
+  record.priority = message.priority;
+  record.batch = std::move(message.batch);
+  Replicator::AckToken token;
+  token.worker_index = w.index;
+  token.conn_id = w.conns.at(fd)->id;
+  token.stream_id = stream_id;
+  token.batch_index = batch_index;
+  token.client_id = client_id;
+  token.sequence = sequence;
+  Status proposed = replicator_->ProposeBatch(record, token);
+  if (!proposed.ok()) {
+    // Leadership moved between the check above and the propose.
+    redirect();
+    return;
+  }
+  // Deferred ACK: nothing is written now. The ack callback fires on the
+  // applier thread once the entry is majority-replicated AND applied here,
+  // and DeliverAck routes it back to this connection by id.
+}
+
+void StreamServer::ApplyReplicated(const ReplicatedCommand& command) {
+  switch (command.kind) {
+    case CommandKind::kNoop:
+      return;
+    case CommandKind::kBatch: {
+      // The determinism contract: every node applies every committed batch
+      // unconditionally, in commit order — log append, watermark advance,
+      // runtime enqueue. No admission decision happens here (that was the
+      // leader's propose-time gate), so the per-node ingest logs stay
+      // bit-identical and reverts never occur in replicated operation.
+      uint64_t lsn = 0;
+      while (true) {
+        Result<uint64_t> appended = ingest_log_->Append(command.record);
+        if (appended.ok()) {
+          lsn = *appended;
+          break;
+        }
+        if (metrics_.ingest_log_errors != nullptr) {
+          metrics_.ingest_log_errors->Inc();
+        }
+        if (stop_requested_.load(std::memory_order_acquire)) {
+          // Dropped on the floor deliberately: the entry stays in the raft
+          // log and re-applies on restart (it never reached last_lsn()).
+          return;
+        }
+        FREEWAY_LOG(kWarning)
+            << "replicated apply: ingest append failed, retrying: "
+            << appended.status();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (command.record.client_id != 0 && command.record.sequence != 0) {
+        dedup_.Advance(command.record.client_id, command.record.sequence);
+      }
+      const size_t shard = runtime_->ShardOf(command.record.stream_id);
+      if (coverage_enabled_) {
+        // Note coverage before the blocking Submit (the single applier
+        // thread is the only submitter, so ordinal order still matches
+        // queue order) and never hold the mutex across it: drain threads
+        // take this mutex in OnShardCheckpoint, and a drain thread blocked
+        // here while Submit waits for queue space would deadlock.
+        std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+        shard_outstanding_[shard].emplace_back(++shard_admitted_[shard], lsn);
+        highest_noted_lsn_ = std::max(highest_noted_lsn_, lsn);
+      }
+      SubmitContext context;
+      context.tenant_id = command.record.tenant_id;
+      context.priority = static_cast<TenantPriority>(command.record.priority);
+      Batch batch = command.record.batch;
+      Status submitted =
+          runtime_->Submit(command.record.stream_id, std::move(batch),
+                           context);
+      if (!submitted.ok()) {
+        // Only reachable when the runtime is shutting down underneath us.
+        FREEWAY_LOG(kWarning)
+            << "replicated apply: runtime rejected committed batch: "
+            << submitted;
+      }
+      return;
+    }
+    case CommandKind::kDeadLetter:
+      // The replicator already folded it into its cluster-wide DLQ view.
+      return;
+    case CommandKind::kTruncateMark: {
+      // The leader's coverage claim, bounded by what THIS node's
+      // checkpoints cover (a lagging follower must not drop history its
+      // own runtime hasn't consumed yet).
+      const uint64_t effective = std::min(command.truncate_lsn, CoveredLsn());
+      if (effective <= truncated_lsn_.load(std::memory_order_acquire)) {
+        return;
+      }
+      Status rotated = ingest_log_->Rotate();
+      if (!rotated.ok()) {
+        FREEWAY_LOG(kWarning) << "ingest log rotation failed: " << rotated;
+        return;
+      }
+      Status truncated = ingest_log_->TruncateBefore(
+          effective, options_.ingest.retention_segments);
+      if (!truncated.ok()) {
+        FREEWAY_LOG(kWarning) << "ingest log truncation failed: " << truncated;
+        return;
+      }
+      truncated_lsn_.store(effective, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void StreamServer::DeliverAck(const Replicator::AckToken& token) {
+  if (token.worker_index >= workers_.size()) return;
+  Worker& w = *workers_[token.worker_index];
+  {
+    std::lock_guard<std::mutex> lock(w.outbox_mutex);
+    w.frame_outbox.emplace_back(
+        token.conn_id, EncodeAck({token.stream_id, token.batch_index}));
+  }
+  if (metrics_.acks != nullptr) metrics_.acks->Inc();
+  WakeWorker(w);
+}
+
+void StreamServer::OnShardCheckpoint(size_t shard, uint64_t consumed) {
+  std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+  if (shard >= shard_outstanding_.size()) return;  // Pre-sizing seed write.
+  shard_consumed_[shard] = std::max(shard_consumed_[shard], consumed);
+  auto& outstanding = shard_outstanding_[shard];
+  while (!outstanding.empty() &&
+         outstanding.front().first <= shard_consumed_[shard]) {
+    outstanding.pop_front();
+  }
+}
+
+uint64_t StreamServer::CoveredLsn() {
+  std::lock_guard<std::recursive_mutex> lock(coverage_mutex_);
+  uint64_t lowest_pending = UINT64_MAX;
+  for (const auto& outstanding : shard_outstanding_) {
+    if (!outstanding.empty()) {
+      lowest_pending = std::min(lowest_pending, outstanding.front().second);
+    }
+  }
+  if (!unresolved_lsns_.empty()) {
+    lowest_pending = std::min(lowest_pending, *unresolved_lsns_.begin());
+  }
+  if (lowest_pending == UINT64_MAX) return highest_noted_lsn_;
+  return lowest_pending - 1;
+}
+
+void StreamServer::MaintenanceSweep() {
+  if (replicator_ != nullptr) {
+    if (!replicator_->IsLeader()) return;
+    // Quarantined batches become replicated state so the dead-letter queue
+    // survives the leader.
+    for (DeadLetter& letter : runtime_->TakeDeadLetters()) {
+      ReplicatedCommand command;
+      command.kind = CommandKind::kDeadLetter;
+      command.dead_letter = std::move(letter);
+      Status proposed = replicator_->ProposeCommand(command);
+      if (!proposed.ok()) {
+        FREEWAY_LOG(kWarning) << "dead-letter replication failed: "
+                              << proposed;
+      }
+    }
+    // Truncation is itself a replicated command: every node (this one
+    // included) rotates + truncates at apply, clamped to its own coverage.
+    if (!coverage_enabled_) return;
+    const uint64_t anchor = CoveredLsn();
+    if (anchor > truncated_lsn_.load(std::memory_order_acquire)) {
+      ReplicatedCommand mark;
+      mark.kind = CommandKind::kTruncateMark;
+      mark.truncate_lsn = anchor;
+      Status proposed = replicator_->ProposeCommand(mark);
+      if (!proposed.ok()) {
+        FREEWAY_LOG(kWarning) << "truncate-mark proposal failed: " << proposed;
+      }
+    }
+    return;
+  }
+  if (ingest_log_ == nullptr || !coverage_enabled_) return;
+  const uint64_t anchor = CoveredLsn();
+  if (anchor <= truncated_lsn_.load(std::memory_order_acquire)) return;
+  Status rotated = ingest_log_->Rotate();
+  if (!rotated.ok()) {
+    FREEWAY_LOG(kWarning) << "ingest log rotation failed: " << rotated;
+    return;
+  }
+  Status truncated = ingest_log_->TruncateBefore(
+      anchor, options_.ingest.retention_segments);
+  if (!truncated.ok()) {
+    FREEWAY_LOG(kWarning) << "ingest log truncation failed: " << truncated;
+    return;
+  }
+  truncated_lsn_.store(anchor, std::memory_order_release);
+}
+
 void StreamServer::GracefulStop(Worker& w) {
   // 1. Every worker stops accepting. With dup-listener sharding the
   // underlying socket only stops listening once the last dup closes, which
@@ -713,6 +1115,11 @@ void StreamServer::GracefulStop(Worker& w) {
            workers_.size()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+    // Replication must quiesce before the runtime: the applier may be
+    // blocked in a Submit that only completes while drains are running.
+    // Idempotent with the owner's Stop() (a SHUTDOWN frame reaches here
+    // without the owner ever calling Stop()).
+    if (replicator_ != nullptr) replicator_->Stop();
     runtime_->Shutdown();
     if (ingest_log_ != nullptr && options_.ingest.truncate_at_stop) {
       // Everything admitted is now processed (and checkpointed when fault

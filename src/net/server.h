@@ -5,9 +5,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +20,7 @@
 #include "ingest/ingest_log.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "replication/replicator.h"
 #include "runtime/stream_runtime.h"
 
 namespace freeway {
@@ -42,6 +45,12 @@ struct IngestOptions {
   /// still needed. Leave off to keep the full batch history for
   /// examples/replay_log-style offline replay.
   bool truncate_at_stop = false;
+  /// Sealed segments to retain past the checkpoint-covered anchor during
+  /// steady-state truncation (the periodic sweep driven by
+  /// ServerOptions::maintenance_interval_millis). 0 prunes everything the
+  /// checkpoints cover; larger values keep a bounded recent-history window
+  /// for offline replay tooling.
+  size_t retention_segments = 0;
 };
 
 /// Configuration of the TCP batch-ingest server.
@@ -78,6 +87,14 @@ struct ServerOptions {
   MetricsRegistry* metrics = nullptr;
   /// Durable write-ahead batch log + watermark persistence.
   IngestOptions ingest;
+  /// Raft replication across a cluster of StreamServers (requires
+  /// ingest.enabled — the replicated state machine IS the ingest log).
+  /// See ReplicationOptions; disabled by default.
+  ReplicationOptions replication;
+  /// Cadence of worker 0's maintenance sweep: checkpoint-anchored ingest
+  /// log truncation, and (replicated mode, leader only) dead-letter and
+  /// truncate-mark proposals.
+  int64_t maintenance_interval_millis = 500;
   /// Options of the embedded StreamRuntime.
   RuntimeOptions runtime;
 };
@@ -115,6 +132,22 @@ struct ServerOptions {
 /// stream. Per-stream FIFO order is preserved end to end because each
 /// runtime shard has a single drain task and each connection's write
 /// buffer is FIFO.
+///
+/// With ReplicationOptions.enabled the server is one member of a raft
+/// cluster and the admission path changes shape: a SUBMIT reaching a
+/// follower is answered NOT_LEADER(leader_hint); on the leader the batch
+/// is *proposed* to the replicator instead of being logged directly, and
+/// the ACK is deferred — it is written only after the entry is
+/// majority-replicated and applied (ingest-logged, watermark-advanced,
+/// runtime-enqueued) on this node, so an ACKed batch survives the loss of
+/// any minority of machines. Followers apply the same committed entries in
+/// the same order into their own IngestLog + DedupIndex + runtime, which
+/// keeps the per-node logs bit-identical and lets any follower take over
+/// as leader with the exact admitted history. Peer raft traffic arrives on
+/// the same listeners as client traffic (frame types VOTE_REQUEST …
+/// APPEND_RESPONSE) and is handed to the replicator; deferred ACKs travel
+/// back to the owning worker through a per-worker frame outbox keyed by
+/// connection id (fds are recycled, ids are not).
 ///
 /// Every worker's listener speaks minimal HTTP: a connection whose first
 /// bytes are "GET " receives the Prometheus text exposition of the
@@ -179,9 +212,17 @@ class StreamServer {
   /// The per-client watermark table (always live, log or not).
   DedupIndex* dedup_index() { return &dedup_; }
 
+  /// The raft replicator; null while ReplicationOptions.enabled is false
+  /// or before Start(). Tests read roles/terms/commit indexes through it.
+  Replicator* replicator() { return replicator_.get(); }
+
  private:
   struct Connection {
     int fd = -1;
+    /// Stable identity for deferred replies (replication ACKs): fds are
+    /// recycled by the kernel the moment a connection closes, so an ACK
+    /// that matured after a close must miss, not hit a stranger.
+    uint64_t id = 0;
     FrameDecoder decoder;
     /// Encoded-but-unwritten reply bytes ([out_pos, size) pending).
     std::vector<char> outbuf;
@@ -205,6 +246,9 @@ class StreamServer {
 
     // Loop-thread state.
     std::map<int, std::unique_ptr<Connection>> conns;
+    /// Connection-id allocator + reverse index (loop thread only).
+    uint64_t next_conn_id = 1;
+    std::unordered_map<uint64_t, int> fd_by_conn_id;
     /// stream_id → fd of the connection that most recently submitted it
     /// on this worker.
     std::unordered_map<uint64_t, int> routes;
@@ -214,9 +258,12 @@ class StreamServer {
              std::chrono::steady_clock::time_point>
         pending_latency;
 
-    /// Results handed off from runtime drain threads.
+    /// Results handed off from runtime drain threads, plus pre-encoded
+    /// frames (deferred replication ACKs from the applier thread) destined
+    /// for specific connections by id.
     std::mutex outbox_mutex;
     std::vector<StreamResult> outbox;
+    std::vector<std::pair<uint64_t, std::vector<char>>> frame_outbox;
 
     /// freeway_net_worker_* handles; null while metrics are detached.
     Counter* connections = nullptr;
@@ -242,6 +289,8 @@ class StreamServer {
     Counter* duplicates = nullptr;
     /// IngestLog append/revert failures surfaced as ERROR replies.
     Counter* ingest_log_errors = nullptr;
+    /// SUBMITs answered NOT_LEADER (replicated mode, non-leader node).
+    Counter* not_leader = nullptr;
     Counter* torn_frames = nullptr;
     Counter* results_dropped = nullptr;
     Counter* http_requests = nullptr;
@@ -267,6 +316,15 @@ class StreamServer {
   void ProcessFrames(Worker& w, int fd);
   void HandleFrame(Worker& w, int fd, const Frame& frame);
   void HandleSubmit(Worker& w, int fd, const Frame& frame);
+  /// Replicated-mode SUBMIT path: NOT_LEADER redirect / dedup re-ACK /
+  /// apply-lag overload gate / propose with deferred ACK.
+  void HandleSubmitReplicated(Worker& w, int fd, SubmitMessage message);
+  /// Replicator apply callback (applier thread, every node): feeds one
+  /// committed command into IngestLog + DedupIndex + runtime.
+  void ApplyReplicated(const ReplicatedCommand& command);
+  /// Replicator ack callback (applier thread, leader): hands the encoded
+  /// ACK to the owning worker's frame outbox.
+  void DeliverAck(const Replicator::AckToken& token);
   void HandleHttp(Worker& w, int fd);
   /// Appends an encoded frame to the connection's write buffer and flushes
   /// as much as the socket accepts right now.
@@ -283,6 +341,15 @@ class StreamServer {
   void WakeAllWorkers();
   /// Publishes `stream_id → w` for result handoff.
   void RouteStreamTo(uint64_t stream_id, size_t worker_index);
+  /// FaultToleranceOptions::on_checkpoint sink (drain threads): shard
+  /// `shard` has consumed `consumed` batches, all covered by a checkpoint.
+  void OnShardCheckpoint(size_t shard, uint64_t consumed);
+  /// The highest LSN every shard's checkpoints cover (0 = nothing covered).
+  uint64_t CoveredLsn();
+  /// Worker 0, every maintenance_interval_millis: checkpoint-anchored log
+  /// truncation (direct in single-node mode, via a replicated truncate
+  /// mark from the leader in replicated mode) + dead-letter replication.
+  void MaintenanceSweep();
   /// Coordinated teardown tail of Loop(): accept-closed barrier, runtime
   /// drain on worker 0, then per-worker reply flush and close.
   void GracefulStop(Worker& w);
@@ -297,6 +364,38 @@ class StreamServer {
   /// shards serialize per client); the log serializes appends internally.
   DedupIndex dedup_;
   std::unique_ptr<IngestLog> ingest_log_;
+  std::unique_ptr<Replicator> replicator_;
+
+  /// Checkpoint-anchored truncation bookkeeping. Per shard, the LSNs of
+  /// admitted-but-not-yet-checkpoint-covered batches in shard-queue order
+  /// (as (ordinal, lsn) pairs against the shard's consumed count). In
+  /// single-node mode workers hold this mutex *across* TrySubmit so
+  /// ordinal order equals queue order; in replicated mode the single
+  /// applier thread is the only submitter, so it locks only around the
+  /// bookkeeping itself (never across its blocking Submit — drain threads
+  /// take this mutex in OnShardCheckpoint, and a drain thread blocked here
+  /// while the applier waits for queue space would deadlock).
+  /// Coverage tracking only runs when checkpoints can ever anchor a
+  /// truncation (ingest + fault tolerance both on) — otherwise the
+  /// outstanding deques would grow without a consumer.
+  /// Recursive because a workerless global ThreadPool (single-core hosts)
+  /// runs drain tasks inline inside TrySubmit: the admission path holds
+  /// this mutex across TrySubmit, whose inline drain may checkpoint and
+  /// re-enter OnShardCheckpoint on the same thread.
+  bool coverage_enabled_ = false;
+  std::recursive_mutex coverage_mutex_;
+  std::vector<std::deque<std::pair<uint64_t, uint64_t>>> shard_outstanding_;
+  std::vector<uint64_t> shard_admitted_;
+  std::vector<uint64_t> shard_consumed_;
+  /// LSNs appended but whose admission outcome is still pending — plugs
+  /// the cross-worker window between IngestLog::Append and the admission
+  /// bookkeeping, during which a sweep must not treat the LSN as covered.
+  std::set<uint64_t> unresolved_lsns_;
+  /// Highest LSN noted as admitted or covered (revert pairs, duplicates).
+  uint64_t highest_noted_lsn_ = 0;
+  /// Anchor of the last successful truncation (worker 0 / applier only).
+  std::atomic<uint64_t> truncated_lsn_{0};
+  std::chrono::steady_clock::time_point last_maintenance_{};
 
   std::vector<std::unique_ptr<Worker>> workers_;
   bool reuseport_sharding_ = false;

@@ -15,6 +15,8 @@ constexpr uint32_t kTagAck = 0x4E4B4341;       // 'ACKN'
 constexpr uint32_t kTagOverload = 0x4E56554F;  // 'OUVN'
 constexpr uint32_t kTagError = 0x4E525245;     // 'ERRN'
 constexpr uint32_t kTagStats = 0x4E415453;     // 'STAN'
+constexpr uint32_t kTagNotLeader = 0x4E444C4E;  // 'NLDN'
+constexpr uint32_t kTagRaft = 0x4E464152;      // 'RAFN'
 
 Status CheckFrameType(const Frame& frame, FrameType expected) {
   if (frame.type != expected) {
@@ -86,6 +88,16 @@ const char* FrameTypeName(FrameType type) {
       return "STATS";
     case FrameType::kShutdown:
       return "SHUTDOWN";
+    case FrameType::kVoteRequest:
+      return "VOTE_REQUEST";
+    case FrameType::kVoteResponse:
+      return "VOTE_RESPONSE";
+    case FrameType::kAppendEntries:
+      return "APPEND_ENTRIES";
+    case FrameType::kAppendResponse:
+      return "APPEND_RESPONSE";
+    case FrameType::kNotLeader:
+      return "NOT_LEADER";
   }
   return "UNKNOWN";
 }
@@ -144,7 +156,7 @@ Result<Frame> FrameDecoder::Next() {
   } else if (version != kWireVersion) {
     error = "wire: unsupported protocol version " + std::to_string(version);
   } else if (type < static_cast<uint8_t>(FrameType::kSubmit) ||
-             type > static_cast<uint8_t>(FrameType::kShutdown)) {
+             type > static_cast<uint8_t>(FrameType::kNotLeader)) {
     error = "wire: unknown frame type " + std::to_string(type);
   } else if (payload_size > kMaxFramePayload) {
     error = "wire: frame payload of " + std::to_string(payload_size) +
@@ -310,6 +322,126 @@ Result<std::string> DecodeStats(const Frame& frame) {
   RETURN_IF_ERROR(reader.ReadString(&json));
   RETURN_IF_ERROR(reader.ExpectEnd());
   return json;
+}
+
+std::vector<char> EncodeNotLeader(const NotLeaderMessage& message) {
+  SnapshotWriter writer;
+  writer.WriteSection(kTagNotLeader);
+  writer.WriteU64(message.stream_id);
+  writer.WriteI64(message.batch_index);
+  writer.WriteU64(message.leader_id);
+  writer.WriteString(message.leader_host);
+  writer.WriteU32(message.leader_port);
+  return EncodeFrame(FrameType::kNotLeader, writer.buffer());
+}
+
+Result<NotLeaderMessage> DecodeNotLeader(const Frame& frame) {
+  RETURN_IF_ERROR(CheckFrameType(frame, FrameType::kNotLeader));
+  SnapshotReader reader(frame.payload);
+  NotLeaderMessage message;
+  RETURN_IF_ERROR(reader.ExpectSection(kTagNotLeader));
+  RETURN_IF_ERROR(reader.ReadU64(&message.stream_id));
+  RETURN_IF_ERROR(reader.ReadI64(&message.batch_index));
+  RETURN_IF_ERROR(reader.ReadU64(&message.leader_id));
+  RETURN_IF_ERROR(reader.ReadString(&message.leader_host));
+  uint32_t port = 0;
+  RETURN_IF_ERROR(reader.ReadU32(&port));
+  if (port > UINT16_MAX) {
+    return Status::InvalidArgument("wire: leader port out of range");
+  }
+  message.leader_port = static_cast<uint16_t>(port);
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return message;
+}
+
+std::vector<char> EncodeRaftMessage(const RaftMessage& message) {
+  FrameType frame_type = FrameType::kVoteRequest;
+  switch (message.type) {
+    case RaftMessageType::kVoteRequest:
+      frame_type = FrameType::kVoteRequest;
+      break;
+    case RaftMessageType::kVoteResponse:
+      frame_type = FrameType::kVoteResponse;
+      break;
+    case RaftMessageType::kAppendEntries:
+      frame_type = FrameType::kAppendEntries;
+      break;
+    case RaftMessageType::kAppendResponse:
+      frame_type = FrameType::kAppendResponse;
+      break;
+  }
+  SnapshotWriter writer;
+  writer.WriteSection(kTagRaft);
+  writer.WriteU64(message.from);
+  writer.WriteU64(message.to);
+  writer.WriteU64(message.term);
+  writer.WriteU64(message.last_log_index);
+  writer.WriteU64(message.last_log_term);
+  writer.WriteBool(message.vote_granted);
+  writer.WriteU64(message.prev_log_index);
+  writer.WriteU64(message.prev_log_term);
+  writer.WriteU64(message.leader_commit);
+  writer.WriteBool(message.success);
+  writer.WriteU64(message.match_index);
+  writer.WriteU64(message.conflict_index);
+  writer.WriteU64(message.entries.size());
+  for (const RaftEntry& entry : message.entries) {
+    writer.WriteU64(entry.index);
+    writer.WriteU64(entry.term);
+    writer.WriteBlob(entry.command);
+  }
+  return EncodeFrame(frame_type, writer.buffer());
+}
+
+Result<RaftMessage> DecodeRaftMessage(const Frame& frame) {
+  RaftMessage message;
+  switch (frame.type) {
+    case FrameType::kVoteRequest:
+      message.type = RaftMessageType::kVoteRequest;
+      break;
+    case FrameType::kVoteResponse:
+      message.type = RaftMessageType::kVoteResponse;
+      break;
+    case FrameType::kAppendEntries:
+      message.type = RaftMessageType::kAppendEntries;
+      break;
+    case FrameType::kAppendResponse:
+      message.type = RaftMessageType::kAppendResponse;
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string("wire: ") + FrameTypeName(frame.type) +
+          " is not a replication frame");
+  }
+  SnapshotReader reader(frame.payload);
+  RETURN_IF_ERROR(reader.ExpectSection(kTagRaft));
+  RETURN_IF_ERROR(reader.ReadU64(&message.from));
+  RETURN_IF_ERROR(reader.ReadU64(&message.to));
+  RETURN_IF_ERROR(reader.ReadU64(&message.term));
+  RETURN_IF_ERROR(reader.ReadU64(&message.last_log_index));
+  RETURN_IF_ERROR(reader.ReadU64(&message.last_log_term));
+  RETURN_IF_ERROR(reader.ReadBool(&message.vote_granted));
+  RETURN_IF_ERROR(reader.ReadU64(&message.prev_log_index));
+  RETURN_IF_ERROR(reader.ReadU64(&message.prev_log_term));
+  RETURN_IF_ERROR(reader.ReadU64(&message.leader_commit));
+  RETURN_IF_ERROR(reader.ReadBool(&message.success));
+  RETURN_IF_ERROR(reader.ReadU64(&message.match_index));
+  RETURN_IF_ERROR(reader.ReadU64(&message.conflict_index));
+  uint64_t entry_count = 0;
+  RETURN_IF_ERROR(reader.ReadU64(&entry_count));
+  // Bound the allocation by what the payload could actually hold: each
+  // entry costs at least 24 bytes (index + term + blob length) on the wire.
+  if (entry_count > frame.payload.size() / 24) {
+    return Status::InvalidArgument("wire: raft entry count exceeds payload");
+  }
+  message.entries.resize(entry_count);
+  for (RaftEntry& entry : message.entries) {
+    RETURN_IF_ERROR(reader.ReadU64(&entry.index));
+    RETURN_IF_ERROR(reader.ReadU64(&entry.term));
+    RETURN_IF_ERROR(reader.ReadBlob(&entry.command));
+  }
+  RETURN_IF_ERROR(reader.ExpectEnd());
+  return message;
 }
 
 }  // namespace freeway

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "replication/raft.h"
 #include "runtime/stream_runtime.h"
 #include "stream/batch.h"
 #include "stream/batch_codec.h"
@@ -36,6 +37,12 @@ namespace freeway {
 ///   STATS_REQUEST()                 → STATS(json)
 ///   SHUTDOWN()                      → ACK, then graceful server stop
 ///
+/// Replication flow (v4, node ↔ node and server → client):
+///   VOTE_REQUEST / VOTE_RESPONSE / APPEND_ENTRIES / APPEND_RESPONSE
+///       carry one RaftMessage each between cluster peers;
+///   NOT_LEADER(leader_hint)         answers a SUBMIT sent to a follower —
+///       the client re-targets the hinted endpoint and resends.
+///
 /// A connection whose first four bytes are "GET " is not speaking this
 /// protocol: StreamServer hands it to the HTTP responder (`GET /metrics`
 /// Prometheus exposition). The frame magic is chosen so the two grammars
@@ -50,6 +57,13 @@ enum class FrameType : uint8_t {
   kStatsRequest = 6,
   kStats = 7,
   kShutdown = 8,
+  /// v4 replication frames: one RaftMessage per frame between peers.
+  kVoteRequest = 9,
+  kVoteResponse = 10,
+  kAppendEntries = 11,
+  kAppendResponse = 12,
+  /// v4: answer to a SUBMIT that reached a non-leader node.
+  kNotLeader = 13,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -58,10 +72,11 @@ const char* FrameTypeName(FrameType type);
 inline constexpr uint32_t kFrameMagic = 0x504E5746u;
 /// v2 added tenant_id + priority to SUBMIT (multi-tenant stream
 /// directory); v3 added the client-assigned (client_id, sequence) pair
-/// that drives exactly-once dedup on the server. The protocol is
-/// versioned per connection, not per message, so each bump is a clean
-/// break: older peers are rejected at the header.
-inline constexpr uint8_t kWireVersion = 3;
+/// that drives exactly-once dedup on the server; v4 added the replication
+/// frames (raft consensus between peers, NOT_LEADER redirects to clients).
+/// The protocol is versioned per connection, not per message, so each bump
+/// is a clean break: older peers are rejected at the header.
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Upper bound an honest peer never hits (a 1024×1024-feature double batch
 /// is ~8 MiB); anything larger is treated as corruption, not a request to
@@ -165,6 +180,28 @@ Result<ErrorMessage> DecodeError(const Frame& frame);
 /// STATS payload: a JSON document (RuntimeStatsSnapshot::ToJson).
 std::vector<char> EncodeStats(const std::string& json);
 Result<std::string> DecodeStats(const Frame& frame);
+
+/// Redirect reply to a SUBMIT that reached a follower (or a node with no
+/// elected leader yet — then leader_id is 0 and the hint fields are empty,
+/// and the client should rotate endpoints and back off).
+struct NotLeaderMessage {
+  uint64_t stream_id = 0;
+  int64_t batch_index = 0;
+  /// The leader this node currently believes in (0 = unknown).
+  uint64_t leader_id = 0;
+  std::string leader_host;
+  uint16_t leader_port = 0;
+};
+
+std::vector<char> EncodeNotLeader(const NotLeaderMessage& message);
+Result<NotLeaderMessage> DecodeNotLeader(const Frame& frame);
+
+/// Encodes one consensus message as a complete frame; the frame type is
+/// chosen from `message.type`. AppendEntries payloads carry the full entry
+/// list (index, term, command bytes per entry).
+std::vector<char> EncodeRaftMessage(const RaftMessage& message);
+/// Decodes any of the four replication frame types.
+Result<RaftMessage> DecodeRaftMessage(const Frame& frame);
 
 }  // namespace freeway
 

@@ -1,0 +1,56 @@
+#ifndef FREEWAYML_REPLICATION_COMMAND_H_
+#define FREEWAYML_REPLICATION_COMMAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/ingest_log.h"
+#include "runtime/stream_runtime.h"
+
+namespace freeway {
+
+/// What one replicated log entry means to the state machine.
+enum class CommandKind : uint8_t {
+  /// Leader barrier entry (empty command bytes decode to this); applies as
+  /// a no-op.
+  kNoop = 0,
+  /// One admitted SUBMIT: the applier appends it to the local IngestLog,
+  /// advances the DedupIndex, and enqueues it into the runtime — on every
+  /// node, in commit order, so the per-node ingest logs are bit-identical
+  /// by construction.
+  kBatch = 1,
+  /// A quarantined batch harvested from the leader's runtime, so the
+  /// dead-letter queue survives the leader. Applies into the replicator's
+  /// cluster-wide DLQ view.
+  kDeadLetter = 2,
+  /// Checkpoint-coverage announcement: every node may rotate + truncate its
+  /// IngestLog up to min(lsn, its own locally covered LSN).
+  kTruncateMark = 3,
+};
+
+const char* CommandKindName(CommandKind kind);
+
+/// Decoded replicated command (tagged union; only the fields of `kind` are
+/// meaningful).
+struct ReplicatedCommand {
+  CommandKind kind = CommandKind::kNoop;
+  /// kBatch. `record.lsn` is ignored — each node's IngestLog stamps its
+  /// own LSN at apply, and commit order makes them identical everywhere.
+  IngestRecord record;
+  /// kDeadLetter.
+  DeadLetter dead_letter;
+  /// kTruncateMark.
+  uint64_t truncate_lsn = 0;
+};
+
+/// Encodes a command into raft entry bytes. kNoop encodes to empty.
+std::vector<char> EncodeCommand(const ReplicatedCommand& command);
+
+/// Decodes raft entry bytes (empty -> kNoop).
+Status DecodeCommand(const std::vector<char>& bytes,
+                     ReplicatedCommand* command);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_REPLICATION_COMMAND_H_

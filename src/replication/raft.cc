@@ -1,0 +1,424 @@
+#include "replication/raft.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fault/failpoint.h"
+
+namespace freeway {
+
+const char* RaftMessageTypeName(RaftMessageType type) {
+  switch (type) {
+    case RaftMessageType::kVoteRequest:
+      return "VOTE_REQUEST";
+    case RaftMessageType::kVoteResponse:
+      return "VOTE_RESPONSE";
+    case RaftMessageType::kAppendEntries:
+      return "APPEND_ENTRIES";
+    case RaftMessageType::kAppendResponse:
+      return "APPEND_RESPONSE";
+  }
+  return "UNKNOWN";
+}
+
+const char* RaftRoleName(RaftRole role) {
+  switch (role) {
+    case RaftRole::kFollower:
+      return "follower";
+    case RaftRole::kCandidate:
+      return "candidate";
+    case RaftRole::kLeader:
+      return "leader";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RaftStorage (in-memory base)
+
+Status RaftStorage::SetHardState(uint64_t term, uint64_t voted_for) {
+  term_ = term;
+  voted_for_ = voted_for;
+  return PersistHardState();
+}
+
+uint64_t RaftStorage::TermAt(uint64_t index) const {
+  if (index == 0 || index > entries_.size()) return 0;
+  return entries_[index - 1].term;
+}
+
+const RaftEntry& RaftStorage::At(uint64_t index) const {
+  FREEWAY_DCHECK(index >= 1 && index <= entries_.size())
+      << "raft log index " << index << " out of range (last "
+      << entries_.size() << ")";
+  return entries_[index - 1];
+}
+
+std::vector<RaftEntry> RaftStorage::EntriesFrom(uint64_t from,
+                                                size_t max_count) const {
+  std::vector<RaftEntry> out;
+  if (from == 0) from = 1;
+  for (uint64_t i = from; i <= last_index() && out.size() < max_count; ++i) {
+    out.push_back(entries_[i - 1]);
+  }
+  return out;
+}
+
+Status RaftStorage::Append(const std::vector<RaftEntry>& entries) {
+  for (const RaftEntry& e : entries) {
+    if (e.index != last_index() + 1) {
+      return Status::InvalidArgument("raft log append not dense: index " +
+                                     std::to_string(e.index) + " after " +
+                                     std::to_string(last_index()));
+    }
+    entries_.push_back(e);
+    Status st = PersistAppend(e);
+    if (!st.ok()) {
+      entries_.pop_back();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status RaftStorage::TruncateSuffix(uint64_t from_index) {
+  if (from_index > last_index()) return Status::OK();
+  if (from_index == 0) from_index = 1;
+  RETURN_IF_ERROR(PersistTruncateSuffix(from_index));
+  entries_.resize(from_index - 1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RaftNode
+
+RaftNode::RaftNode(RaftConfig config, RaftStorage* storage)
+    : config_(std::move(config)),
+      storage_(storage),
+      rng_(config_.seed ^ (config_.node_id * 0x9E3779B97F4A7C15ull)) {
+  FREEWAY_DCHECK(config_.node_id != 0) << "raft node id must be nonzero";
+  FREEWAY_DCHECK(config_.election_timeout_min_ticks >= 2)
+      << "election timeout too short";
+  FREEWAY_DCHECK(config_.election_timeout_max_ticks >=
+                 config_.election_timeout_min_ticks)
+      << "election timeout range inverted";
+  ResetElectionTimer();
+}
+
+void RaftNode::ResetElectionTimer() {
+  election_elapsed_ = 0;
+  int span = config_.election_timeout_max_ticks -
+             config_.election_timeout_min_ticks + 1;
+  election_timeout_ = config_.election_timeout_min_ticks +
+                      static_cast<int>(rng_.NextBelow(
+                          static_cast<uint64_t>(span)));
+}
+
+void RaftNode::Emit(RaftMessage msg) {
+  msg.from = config_.node_id;
+  msg.term = storage_->current_term();
+  if (msg.type == RaftMessageType::kAppendEntries) {
+    Status fp = failpoint::Check(config_.failpoint_scope + "raft.append");
+    if (!fp.ok()) return;  // chaos: the append vanishes in the network
+  }
+  outbox_.push_back(std::move(msg));
+}
+
+Status RaftNode::Tick() {
+  if (role_ == RaftRole::kLeader) {
+    if (++heartbeat_elapsed_ >= config_.heartbeat_ticks) {
+      heartbeat_elapsed_ = 0;
+      BroadcastAppends();
+    }
+    return Status::OK();
+  }
+  if (++election_elapsed_ >= election_timeout_) {
+    return StartElection();
+  }
+  return Status::OK();
+}
+
+Status RaftNode::BecomeFollower(uint64_t term, uint64_t leader) {
+  if (term > storage_->current_term()) {
+    RETURN_IF_ERROR(storage_->SetHardState(term, 0));
+  }
+  role_ = RaftRole::kFollower;
+  leader_id_ = leader;
+  votes_granted_.clear();
+  ResetElectionTimer();
+  return Status::OK();
+}
+
+Status RaftNode::StartElection() {
+  // New term, vote for self — persisted before any VoteRequest leaves.
+  RETURN_IF_ERROR(
+      storage_->SetHardState(storage_->current_term() + 1, config_.node_id));
+  role_ = RaftRole::kCandidate;
+  leader_id_ = 0;
+  ++elections_started_;
+  votes_granted_.clear();
+  votes_granted_.insert(config_.node_id);
+  ResetElectionTimer();
+  if (votes_granted_.size() >= Majority()) {
+    return BecomeLeader();  // single-node cluster
+  }
+  for (uint64_t peer : config_.peer_ids) {
+    RaftMessage msg;
+    msg.type = RaftMessageType::kVoteRequest;
+    msg.to = peer;
+    msg.last_log_index = storage_->last_index();
+    msg.last_log_term = storage_->TermAt(storage_->last_index());
+    Emit(std::move(msg));
+  }
+  return Status::OK();
+}
+
+Status RaftNode::BecomeLeader() {
+  role_ = RaftRole::kLeader;
+  leader_id_ = config_.node_id;
+  heartbeat_elapsed_ = 0;
+  next_index_.clear();
+  match_index_.clear();
+  for (uint64_t peer : config_.peer_ids) {
+    next_index_[peer] = storage_->last_index() + 1;
+    match_index_[peer] = 0;
+  }
+  FREEWAY_LOG(kInfo) << "raft node " << config_.node_id
+                     << " elected leader for term "
+                     << storage_->current_term();
+  // No-op barrier entry: committing it (current term, majority) commits
+  // everything before it, including entries from prior terms that the
+  // commit rule alone could never advance over.
+  RaftEntry noop;
+  noop.index = storage_->last_index() + 1;
+  noop.term = storage_->current_term();
+  RETURN_IF_ERROR(storage_->Append({noop}));
+  MaybeAdvanceCommit();  // single-node: commit immediately
+  BroadcastAppends();
+  return Status::OK();
+}
+
+void RaftNode::BroadcastAppends() {
+  for (uint64_t peer : config_.peer_ids) SendAppend(peer);
+}
+
+void RaftNode::SendAppend(uint64_t peer) {
+  uint64_t next = next_index_.count(peer) ? next_index_[peer] : 1;
+  if (next == 0) next = 1;
+  RaftMessage msg;
+  msg.type = RaftMessageType::kAppendEntries;
+  msg.to = peer;
+  msg.prev_log_index = next - 1;
+  msg.prev_log_term = storage_->TermAt(next - 1);
+  msg.leader_commit = commit_index_;
+  msg.entries = storage_->EntriesFrom(next, config_.max_entries_per_append);
+  Emit(std::move(msg));
+}
+
+Result<uint64_t> RaftNode::Propose(std::vector<char> command) {
+  if (role_ != RaftRole::kLeader) {
+    return Status::FailedPrecondition("not the raft leader");
+  }
+  RaftEntry entry;
+  entry.index = storage_->last_index() + 1;
+  entry.term = storage_->current_term();
+  entry.command = std::move(command);
+  uint64_t index = entry.index;
+  RETURN_IF_ERROR(storage_->Append({std::move(entry)}));
+  MaybeAdvanceCommit();  // single-node cluster commits on append
+  BroadcastAppends();
+  heartbeat_elapsed_ = 0;  // the broadcast doubles as a heartbeat
+  return index;
+}
+
+Status RaftNode::Step(const RaftMessage& msg) {
+  // A higher term always demotes; the message is then handled in it.
+  if (msg.term > storage_->current_term()) {
+    uint64_t leader =
+        msg.type == RaftMessageType::kAppendEntries ? msg.from : 0;
+    RETURN_IF_ERROR(BecomeFollower(msg.term, leader));
+  }
+  switch (msg.type) {
+    case RaftMessageType::kVoteRequest:
+      return HandleVoteRequest(msg);
+    case RaftMessageType::kVoteResponse:
+      return HandleVoteResponse(msg);
+    case RaftMessageType::kAppendEntries:
+      return HandleAppendEntries(msg);
+    case RaftMessageType::kAppendResponse:
+      return HandleAppendResponse(msg);
+  }
+  return Status::InvalidArgument("unknown raft message type");
+}
+
+Status RaftNode::HandleVoteRequest(const RaftMessage& msg) {
+  Status fp = failpoint::Check(config_.failpoint_scope + "raft.vote");
+  if (!fp.ok()) return Status::OK();  // chaos: deaf to this election
+
+  RaftMessage reply;
+  reply.type = RaftMessageType::kVoteResponse;
+  reply.to = msg.from;
+  reply.vote_granted = false;
+
+  if (msg.term < storage_->current_term()) {
+    Emit(std::move(reply));
+    return Status::OK();
+  }
+  // Election restriction (§5.4.1): only grant to candidates whose log is at
+  // least as up to date as ours.
+  uint64_t our_last = storage_->last_index();
+  uint64_t our_last_term = storage_->TermAt(our_last);
+  bool up_to_date =
+      msg.last_log_term > our_last_term ||
+      (msg.last_log_term == our_last_term && msg.last_log_index >= our_last);
+  bool can_vote =
+      storage_->voted_for() == 0 || storage_->voted_for() == msg.from;
+  if (up_to_date && can_vote) {
+    // Persist the vote before the response can leave this node.
+    RETURN_IF_ERROR(
+        storage_->SetHardState(storage_->current_term(), msg.from));
+    reply.vote_granted = true;
+    ResetElectionTimer();
+  }
+  Emit(std::move(reply));
+  return Status::OK();
+}
+
+Status RaftNode::HandleVoteResponse(const RaftMessage& msg) {
+  if (role_ != RaftRole::kCandidate || msg.term < storage_->current_term()) {
+    return Status::OK();
+  }
+  if (msg.vote_granted) {
+    votes_granted_.insert(msg.from);
+    if (votes_granted_.size() >= Majority()) {
+      return BecomeLeader();
+    }
+  }
+  return Status::OK();
+}
+
+Status RaftNode::HandleAppendEntries(const RaftMessage& msg) {
+  RaftMessage reply;
+  reply.type = RaftMessageType::kAppendResponse;
+  reply.to = msg.from;
+  reply.success = false;
+
+  if (msg.term < storage_->current_term()) {
+    reply.conflict_index = 0;  // stale leader: term alone explains it
+    Emit(std::move(reply));
+    return Status::OK();
+  }
+  // Equal term: the sender is the legitimate leader. A candidate in the
+  // same term steps down.
+  RETURN_IF_ERROR(BecomeFollower(storage_->current_term(), msg.from));
+
+  if (msg.prev_log_index > storage_->last_index()) {
+    // Log too short: ask the leader to rewind to just past our end.
+    reply.conflict_index = storage_->last_index() + 1;
+    Emit(std::move(reply));
+    return Status::OK();
+  }
+  if (msg.prev_log_index > 0 &&
+      storage_->TermAt(msg.prev_log_index) != msg.prev_log_term) {
+    // Conflicting term at the anchor: hint its first index so the leader
+    // skips the whole term in one step.
+    uint64_t conflict_term = storage_->TermAt(msg.prev_log_index);
+    uint64_t first = msg.prev_log_index;
+    while (first > 1 && storage_->TermAt(first - 1) == conflict_term) {
+      --first;
+    }
+    reply.conflict_index = first;
+    Emit(std::move(reply));
+    return Status::OK();
+  }
+
+  // Anchor matches. Append entries, truncating on the first divergence.
+  // Entries we already hold with the same term are skipped (duplicate or
+  // reordered AppendEntries must be idempotent).
+  uint64_t last_new = msg.prev_log_index;
+  for (const RaftEntry& e : msg.entries) {
+    if (e.index <= storage_->last_index()) {
+      if (storage_->TermAt(e.index) == e.term) {
+        last_new = e.index;
+        continue;
+      }
+      // Divergence: a committed entry can never diverge (Log Matching +
+      // Leader Completeness), so the cut is always above commit_index_.
+      RETURN_IF_ERROR(storage_->TruncateSuffix(e.index));
+    }
+    RETURN_IF_ERROR(storage_->Append({e}));
+    last_new = e.index;
+  }
+  if (msg.leader_commit > commit_index_) {
+    commit_index_ = std::min(msg.leader_commit, last_new);
+    DeliverCommitted();
+  }
+  reply.success = true;
+  reply.match_index = last_new;
+  Emit(std::move(reply));
+  return Status::OK();
+}
+
+Status RaftNode::HandleAppendResponse(const RaftMessage& msg) {
+  if (role_ != RaftRole::kLeader || msg.term < storage_->current_term()) {
+    return Status::OK();
+  }
+  if (msg.success) {
+    uint64_t& match = match_index_[msg.from];
+    if (msg.match_index > match) match = msg.match_index;
+    next_index_[msg.from] = match + 1;
+    MaybeAdvanceCommit();
+    // Keep shipping if the follower is still behind.
+    if (next_index_[msg.from] <= storage_->last_index()) {
+      SendAppend(msg.from);
+    }
+    return Status::OK();
+  }
+  // Rejected: rewind using the follower's hint and retry immediately.
+  uint64_t next = next_index_.count(msg.from) ? next_index_[msg.from] : 1;
+  uint64_t rewound = next > 1 ? next - 1 : 1;
+  if (msg.conflict_index > 0) {
+    rewound = std::min(rewound, msg.conflict_index);
+  }
+  next_index_[msg.from] = std::max<uint64_t>(1, rewound);
+  SendAppend(msg.from);
+  return Status::OK();
+}
+
+void RaftNode::MaybeAdvanceCommit() {
+  if (role_ != RaftRole::kLeader) return;
+  for (uint64_t n = storage_->last_index(); n > commit_index_; --n) {
+    // Only entries of the current term commit by counting (§5.4.2).
+    if (storage_->TermAt(n) != storage_->current_term()) break;
+    size_t count = 1;  // self
+    for (const auto& [peer, match] : match_index_) {
+      if (match >= n) ++count;
+    }
+    if (count >= Majority()) {
+      commit_index_ = n;
+      DeliverCommitted();
+      break;
+    }
+  }
+}
+
+void RaftNode::DeliverCommitted() {
+  while (delivered_index_ < commit_index_) {
+    ++delivered_index_;
+    committed_out_.push_back(storage_->At(delivered_index_));
+  }
+}
+
+std::vector<RaftMessage> RaftNode::TakeMessages() {
+  std::vector<RaftMessage> out;
+  out.swap(outbox_);
+  return out;
+}
+
+std::vector<RaftEntry> RaftNode::TakeCommitted() {
+  std::vector<RaftEntry> out;
+  out.swap(committed_out_);
+  return out;
+}
+
+}  // namespace freeway

@@ -1,0 +1,83 @@
+#ifndef FREEWAYML_REPLICATION_RAFT_STORAGE_H_
+#define FREEWAYML_REPLICATION_RAFT_STORAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "replication/raft.h"
+
+namespace freeway {
+
+/// Configuration of the on-disk raft state.
+struct DurableRaftStorageOptions {
+  /// Directory holding `raft-state.dat` and `raft-log.dat` (created on
+  /// first use). Each cluster node needs its own directory.
+  std::string directory;
+  /// fsync hard-state and log writes. Off matches the ingest-log default
+  /// posture (survives process crashes, not power loss).
+  bool fsync = false;
+  /// FailPoint site prefix; the persistence site is "<scope>raft.persist".
+  std::string failpoint_scope;
+};
+
+/// RaftStorage that writes through to disk.
+///
+/// Hard state (`raft-state.dat`) uses the checkpoint-store tmp+rename
+/// idiom: the 28-byte CRC-checked file is rewritten atomically on every
+/// term/vote change, so a crash mid-write leaves the previous state intact
+/// and the node can never come back having forgotten a vote it handed out.
+///
+/// The log (`raft-log.dat`) is append-only with CRC-checked records:
+///
+///   u32 magic 'FWRL' | u32 format version                (header)
+///   u32 payload size | u32 payload CRC-32 | payload      (per entry)
+///
+/// Open() validates records in order; the first bad record is treated as a
+/// torn tail (the process died mid-append) and the file is truncated back
+/// to the last good entry — exactly the ingest-log recovery contract.
+/// TruncateSuffix ftruncates at the entry's recorded byte offset, which is
+/// how a follower discards uncommitted entries that conflict with a new
+/// leader. The log keeps its full prefix (no compaction): a rejoining
+/// follower can always be caught up from index 1, at the cost of disk
+/// proportional to total committed traffic. Compaction via learner
+/// snapshots is an explicit non-goal of this revision (see DESIGN.md).
+///
+/// Not internally synchronized: RaftNode drives it from one thread (the
+/// replicator's driver thread).
+class DurableRaftStorage : public RaftStorage {
+ public:
+  explicit DurableRaftStorage(DurableRaftStorageOptions options);
+  ~DurableRaftStorage() override;
+
+  DurableRaftStorage(const DurableRaftStorage&) = delete;
+  DurableRaftStorage& operator=(const DurableRaftStorage&) = delete;
+
+  /// Recovers hard state and log from `directory`, truncating a torn log
+  /// tail. Must be called once before the storage is handed to a RaftNode.
+  Status Open();
+
+  /// Bytes cut from a torn tail by Open() (observability/tests).
+  uint64_t torn_bytes_truncated() const { return torn_bytes_truncated_; }
+
+ protected:
+  Status PersistHardState() override;
+  Status PersistAppend(const RaftEntry& entry) override;
+  Status PersistTruncateSuffix(uint64_t from_index) override;
+
+ private:
+  Status LoadHardState();
+  Status LoadLog();
+
+  DurableRaftStorageOptions options_;
+  bool opened_ = false;
+  int log_fd_ = -1;
+  /// Byte offset where entry `i+1` starts in raft-log.dat; the next append
+  /// goes at entry_offsets_.back() (always size()+1 elements once open).
+  std::vector<uint64_t> entry_offsets_;
+  uint64_t torn_bytes_truncated_ = 0;
+};
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_REPLICATION_RAFT_STORAGE_H_

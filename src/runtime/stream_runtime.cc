@@ -420,7 +420,15 @@ Status StreamRuntime::WriteShardCheckpoint(Shard* shard) {
   if (shard->working_set != nullptr) {
     // Directory mode: "checkpoint the shard" means park every resident
     // stream — there is no shard pipeline to snapshot.
-    return shard->working_set->ParkAll();
+    Status parked = shard->working_set->ParkAll();
+    if (parked.ok() && options_.fault.on_checkpoint) {
+      options_.fault.on_checkpoint(
+          shard->index,
+          shard->counters.processed.load(std::memory_order_relaxed) +
+              shard->counters.shed.load(std::memory_order_relaxed) +
+              shard->counters.quarantined.load(std::memory_order_relaxed));
+    }
+    return parked;
   }
   if (store_ == nullptr) {
     return Status::FailedPrecondition("fault tolerance is not enabled");
@@ -439,6 +447,13 @@ Status StreamRuntime::WriteShardCheckpoint(Shard* shard) {
           static_cast<double>(payload.size()));
       metrics_.fault_checkpoint_write_seconds->Observe(
           watch.ElapsedSeconds());
+    }
+    if (options_.fault.on_checkpoint) {
+      options_.fault.on_checkpoint(
+          shard->index,
+          shard->counters.processed.load(std::memory_order_relaxed) +
+              shard->counters.shed.load(std::memory_order_relaxed) +
+              shard->counters.quarantined.load(std::memory_order_relaxed));
     }
   } else if (metrics_.fault_checkpoints_error != nullptr) {
     metrics_.fault_checkpoints_error->Inc();

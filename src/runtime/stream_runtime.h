@@ -57,6 +57,14 @@ struct FaultToleranceOptions {
   /// survived via the previous version; durability-critical deployments
   /// turn it on.
   bool fsync_checkpoints = false;
+  /// Invoked (on the shard's drain thread) after every successful shard
+  /// checkpoint with the shard index and the number of batches that shard
+  /// has consumed so far (processed + shed + quarantined — every retire
+  /// path whose effect the checkpoint now covers). The serving layer
+  /// anchors ingest-log truncation on it: once a batch is both consumed
+  /// and checkpointed, its write-ahead record is only history. Must be
+  /// thread-safe and must not call back into the runtime.
+  std::function<void(size_t shard, uint64_t consumed)> on_checkpoint;
 };
 
 /// Configuration of the multi-stream runtime.

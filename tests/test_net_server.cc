@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
@@ -595,6 +596,52 @@ TEST(ClientBackoffTest, ServerRetryAfterIsClampedToClientCeiling) {
   client.Disconnect();
   net::CloseFd(*listen_fd);
   hostile.join();
+}
+
+TEST(DecorrelatedJitterTest, StepsSpreadAcrossTheBackoffRange) {
+  constexpr int64_t kBase = 500;
+  constexpr int64_t kCap = 100000;
+  constexpr int kSteps = 100;
+  uint64_t rng = 42;
+  int64_t prev = 0;
+  std::set<int64_t> distinct;
+  for (int i = 0; i < kSteps; ++i) {
+    prev = DecorrelatedJitterStep(&rng, prev, kBase, kCap);
+    EXPECT_GE(prev, kBase);
+    EXPECT_LE(prev, kCap);
+    distinct.insert(prev);
+  }
+  // The whole point of jitter is that waits do NOT collapse onto a few
+  // deterministic doubling steps — a fleet sleeping in lockstep stampedes
+  // back in lockstep. Expect genuine spread.
+  EXPECT_GE(distinct.size(), 50u);
+}
+
+TEST(DecorrelatedJitterTest, DifferentSeedsProduceDifferentSequences) {
+  constexpr int64_t kBase = 500;
+  constexpr int64_t kCap = 100000;
+  uint64_t rng_a = 1001;
+  uint64_t rng_b = 1002;
+  int64_t prev_a = 0;
+  int64_t prev_b = 0;
+  int diverged = 0;
+  for (int i = 0; i < 32; ++i) {
+    prev_a = DecorrelatedJitterStep(&rng_a, prev_a, kBase, kCap);
+    prev_b = DecorrelatedJitterStep(&rng_b, prev_b, kBase, kCap);
+    if (prev_a != prev_b) ++diverged;
+  }
+  // Two clients with adjacent ids must not march through identical waits.
+  EXPECT_GE(diverged, 16);
+}
+
+TEST(DecorrelatedJitterTest, CapBoundsTheGrowth) {
+  uint64_t rng = 7;
+  int64_t prev = 0;
+  for (int i = 0; i < 64; ++i) {
+    prev = DecorrelatedJitterStep(&rng, prev, 500, 4000);
+    EXPECT_LE(prev, 4000);
+    EXPECT_GE(prev, 500);
+  }
 }
 
 }  // namespace

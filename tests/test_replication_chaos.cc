@@ -1,0 +1,343 @@
+/// Replicated-HA chaos: the leader is partitioned away mid-stream (the
+/// "machine loss" of the acceptance gate) while a client keeps submitting
+/// labeled batches. Every submit must still return OK — the client fails
+/// over to the new leader — and after the partition heals, all three
+/// nodes converge to bit-identical ingest logs holding every acknowledged
+/// batch exactly once. Parameterized over reactor worker counts like the
+/// other chaos suites.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "fault/failpoint.h"
+#include "ingest/ingest_log.h"
+#include "ml/models.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+
+namespace freeway {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kDim = 4;
+constexpr size_t kBatchRows = 16;
+
+PipelineOptions DeterministicPipeline() {
+  PipelineOptions opts;
+  opts.learner.base_window_batches = 4;
+  opts.learner.detector.warmup_batches = 3;
+  opts.enable_rate_adjuster = false;
+  return opts;
+}
+
+uint16_t ReservePort() {
+  Result<int> fd = net::CreateListenSocket("127.0.0.1", 0, 4, false);
+  EXPECT_TRUE(fd.ok()) << fd.status();
+  Result<uint16_t> port = net::LocalPort(*fd);
+  EXPECT_TRUE(port.ok()) << port.status();
+  net::CloseFd(*fd);
+  return *port;
+}
+
+class ReplicationChaosTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("freeway_replication_chaos_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            "_w" + std::to_string(GetParam()));
+    fs::remove_all(dir_);
+    failpoint::DisarmAll();
+  }
+
+  void TearDown() override {
+    failpoint::DisarmAll();
+    nodes_.clear();
+    registries_.clear();
+    fs::remove_all(dir_);
+  }
+
+  void StartNode(size_t i) {
+    ServerOptions opts;
+    opts.port = ports_[i];
+    opts.num_workers = GetParam();
+    opts.metrics = registries_[i].get();
+    opts.runtime.num_shards = 2;
+    opts.runtime.pipeline = DeterministicPipeline();
+    opts.ingest.enabled = true;
+    opts.ingest.log_dir = (dir_ / ("n" + std::to_string(i)) / "log").string();
+    opts.maintenance_interval_millis = 50;
+    opts.replication.enabled = true;
+    opts.replication.node_id = i + 1;
+    opts.replication.data_dir =
+        (dir_ / ("n" + std::to_string(i)) / "raft").string();
+    opts.replication.tick_millis = 5;
+    opts.replication.heartbeat_ticks = 2;
+    // Per-node seeds: identical seeds give identical randomized election
+    // timeouts, which is exactly the repeated-split-vote pathology the
+    // randomization exists to break.
+    opts.replication.seed = 99 + i;
+    opts.replication.failpoint_scope = "n" + std::to_string(i + 1) + ".";
+    for (size_t j = 0; j < ports_.size(); ++j) {
+      if (j == i) continue;
+      opts.replication.peers.push_back({j + 1, "127.0.0.1", ports_[j]});
+    }
+    auto proto = MakeLogisticRegression(kDim, 2);
+    nodes_[i] = std::make_unique<StreamServer>(*proto, std::move(opts));
+    ASSERT_TRUE(nodes_[i]->Start().ok());
+  }
+
+  void StartCluster(size_t n) {
+    ports_.clear();
+    for (size_t i = 0; i < n; ++i) ports_.push_back(ReservePort());
+    nodes_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      registries_.push_back(std::make_unique<MetricsRegistry>());
+    }
+    for (size_t i = 0; i < n; ++i) StartNode(i);
+  }
+
+  int LeaderIndex() {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i] != nullptr && nodes_[i]->replicator()->IsLeader()) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  int WaitForLeader(int64_t timeout_millis = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_millis);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const int leader = LeaderIndex();
+      if (leader >= 0) return leader;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return -1;
+  }
+
+  /// Waits for a leader whose index differs from `excluded` (the
+  /// partitioned node may still believe it leads — it cannot know better
+  /// without quorum contact — so it is skipped, not counted).
+  int WaitForOtherLeader(int excluded, int64_t timeout_millis = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_millis);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (static_cast<int>(i) == excluded) continue;
+        if (nodes_[i]->replicator()->IsLeader()) return static_cast<int>(i);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return -1;
+  }
+
+  void WaitForAllApplied(uint64_t commit, int64_t timeout_millis = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_millis);
+    for (auto& node : nodes_) {
+      while (node->replicator()->applied_index() < commit) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "node stuck at applied "
+            << node->replicator()->applied_index() << " of " << commit;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+
+  Batch NextLabeled(HyperplaneSource& source) {
+    Result<Batch> batch = source.NextBatch(kBatchRows);
+    EXPECT_TRUE(batch.ok()) << batch.status();
+    return *std::move(batch);
+  }
+
+  std::string LogBytes(size_t i) {
+    std::vector<fs::path> segments;
+    for (const auto& entry :
+         fs::directory_iterator(dir_ / ("n" + std::to_string(i)) / "log")) {
+      segments.push_back(entry.path());
+    }
+    std::sort(segments.begin(), segments.end());
+    std::string bytes;
+    for (const fs::path& path : segments) {
+      std::ifstream in(path, std::ios::binary);
+      bytes.append(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    return bytes;
+  }
+
+  fs::path dir_;
+  std::vector<uint16_t> ports_;
+  std::vector<std::unique_ptr<MetricsRegistry>> registries_;
+  std::vector<std::unique_ptr<StreamServer>> nodes_;
+};
+
+TEST_P(ReplicationChaosTest, LeaderPartitionedMidStreamZeroLabeledLoss) {
+  StartCluster(3);
+  const int first_leader = WaitForLeader();
+  ASSERT_GE(first_leader, 0);
+
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 77;
+  HyperplaneSource source(sopts);
+
+  ClientOptions copts;
+  copts.client_id = 701;
+  copts.max_submit_attempts = 64;
+  // A partitioned leader still accepts the connection and proposes but can
+  // never commit; the short reply timeout is what lets the client escape
+  // it by rotating to the next endpoint.
+  copts.reply_timeout_millis = 300;
+  copts.backoff_initial_micros = 200;
+  copts.backoff_max_micros = 20000;
+  copts.endpoints.push_back({"127.0.0.1", ports_[first_leader]});
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    if (static_cast<int>(i) == first_leader) continue;
+    copts.endpoints.push_back({"127.0.0.1", ports_[i]});
+  }
+  StreamClient client(copts);
+
+  constexpr int kBefore = 6;
+  constexpr int kAfter = 10;
+  for (int b = 0; b < kBefore; ++b) {
+    ASSERT_TRUE(client.Submit(12, NextLabeled(source)).ok());
+  }
+
+  // Machine loss: the leader drops off the network entirely — every
+  // message it sends or receives on its raft links vanishes. It keeps
+  // serving its client port, which is the nastier failure mode: accepted
+  // batches go nowhere.
+  const std::string scope =
+      "n" + std::to_string(first_leader + 1) + ".";
+  failpoint::FailPointSpec forever;
+  forever.count = SIZE_MAX;
+  failpoint::Arm(scope + "repl.send", forever);
+  failpoint::Arm(scope + "repl.recv", forever);
+
+  // Every submit during the outage must still come back OK: the client
+  // times out on the dead leader, rotates, and lands on the new majority
+  // leader. Zero labeled-batch loss is exactly this loop not failing.
+  for (int b = 0; b < kAfter; ++b) {
+    ASSERT_TRUE(client.Submit(12, NextLabeled(source)).ok())
+        << "submit " << b << " lost during leader partition";
+  }
+  const int second_leader = WaitForOtherLeader(first_leader);
+  ASSERT_GE(second_leader, 0);
+  EXPECT_NE(second_leader, first_leader);
+  EXPECT_GE(client.tallies().failovers, 1u);
+
+  // Heal. The deposed leader rejoins, its never-committed proposals are
+  // overwritten by the new leader's log, and it catches up.
+  failpoint::DisarmAll();
+  const uint64_t commit = nodes_[second_leader]->replicator()->commit_index();
+  WaitForAllApplied(commit);
+  for (auto& node : nodes_) node->Stop();
+
+  // Reconciliation: every node holds every acknowledged batch exactly
+  // once, in the same order, byte for byte.
+  constexpr uint64_t kTotal = kBefore + kAfter;
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(nodes_[i]->ingest_log()->last_lsn(), kTotal) << "node " << i;
+    std::set<std::pair<uint64_t, uint64_t>> seen;
+    uint64_t replayed = 0;
+    Status replay = nodes_[i]->ingest_log()->Replay(
+        [&](const IngestRecord& record) {
+          ++replayed;
+          EXPECT_TRUE(
+              seen.insert({record.client_id, record.sequence}).second)
+              << "duplicate (client, sequence) in node " << i << "'s log";
+          return Status::OK();
+        });
+    ASSERT_TRUE(replay.ok()) << replay;
+    EXPECT_EQ(replayed, kTotal) << "node " << i;
+  }
+  const std::string reference = LogBytes(0);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(LogBytes(1), reference);
+  EXPECT_EQ(LogBytes(2), reference);
+
+  // The new leader ACKed only after local apply, so its runtime admitted
+  // each unique batch exactly once.
+  const RuntimeStatsSnapshot snapshot =
+      nodes_[second_leader]->runtime()->Snapshot();
+  EXPECT_EQ(snapshot.totals.enqueued, kTotal);
+  EXPECT_EQ(snapshot.totals.processed, kTotal);
+  EXPECT_EQ(snapshot.totals.shed, 0u);
+  EXPECT_EQ(snapshot.totals.quarantined, 0u);
+}
+
+TEST_P(ReplicationChaosTest, KilledLeaderReplaysBitIdenticalOnRestart) {
+  StartCluster(3);
+  const int first_leader = WaitForLeader();
+  ASSERT_GE(first_leader, 0);
+
+  HyperplaneOptions sopts;
+  sopts.dim = kDim;
+  sopts.seed = 83;
+  HyperplaneSource source(sopts);
+
+  ClientOptions copts;
+  copts.client_id = 702;
+  copts.max_submit_attempts = 64;
+  copts.reply_timeout_millis = 300;
+  copts.backoff_initial_micros = 200;
+  copts.backoff_max_micros = 20000;
+  for (uint16_t port : ports_) copts.endpoints.push_back({"127.0.0.1", port});
+  StreamClient client(copts);
+
+  for (int b = 0; b < 4; ++b) {
+    ASSERT_TRUE(client.Submit(8, NextLabeled(source)).ok());
+  }
+
+  // Hard kill: the leader process dies outright (server destroyed; its
+  // durable raft log and ingest log stay on disk).
+  nodes_[first_leader].reset();
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(client.Submit(8, NextLabeled(source)).ok())
+        << "submit " << b << " lost after leader death";
+  }
+  const int second_leader = WaitForOtherLeader(first_leader);
+  ASSERT_GE(second_leader, 0);
+
+  // The dead machine comes back and must rebuild the exact same log the
+  // survivors carry — recovery replays its own raft log from the applied
+  // prefix (the recovered ingest last_lsn) and fetches the rest from the
+  // new leader.
+  StartNode(first_leader);
+  const uint64_t commit = nodes_[second_leader]->replicator()->commit_index();
+  WaitForAllApplied(commit);
+  for (auto& node : nodes_) node->Stop();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(nodes_[i]->ingest_log()->last_lsn(), 12u) << "node " << i;
+  }
+  const std::string reference = LogBytes(second_leader);
+  ASSERT_FALSE(reference.empty());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(LogBytes(i), reference) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ReplicationChaosTest,
+                         ::testing::Values(size_t{1}, size_t{2}));
+
+}  // namespace
+}  // namespace freeway

@@ -296,5 +296,123 @@ TEST(WireTest, TypePayloadMismatchRejected) {
   EXPECT_FALSE(DecodeStats(frame).ok());
 }
 
+TEST(WireTest, RaftVoteRequestRoundTrip) {
+  RaftMessage message;
+  message.type = RaftMessageType::kVoteRequest;
+  message.from = 2;
+  message.to = 3;
+  message.term = 9;
+  message.last_log_index = 41;
+  message.last_log_term = 8;
+  const Frame frame = DecodeWhole(EncodeRaftMessage(message));
+  EXPECT_EQ(frame.type, FrameType::kVoteRequest);
+  Result<RaftMessage> decoded = DecodeRaftMessage(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->type, RaftMessageType::kVoteRequest);
+  EXPECT_EQ(decoded->from, 2u);
+  EXPECT_EQ(decoded->to, 3u);
+  EXPECT_EQ(decoded->term, 9u);
+  EXPECT_EQ(decoded->last_log_index, 41u);
+  EXPECT_EQ(decoded->last_log_term, 8u);
+}
+
+TEST(WireTest, RaftAppendEntriesRoundTripCarriesEntries) {
+  RaftMessage message;
+  message.type = RaftMessageType::kAppendEntries;
+  message.from = 1;
+  message.to = 2;
+  message.term = 4;
+  message.prev_log_index = 10;
+  message.prev_log_term = 3;
+  message.leader_commit = 9;
+  for (uint64_t i = 0; i < 3; ++i) {
+    RaftEntry entry;
+    entry.index = 11 + i;
+    entry.term = 4;
+    entry.command.assign(5 + i, static_cast<char>('a' + i));
+    message.entries.push_back(std::move(entry));
+  }
+  message.entries[1].command.clear();  // no-op barrier entry ships empty
+  const Frame frame = DecodeWhole(EncodeRaftMessage(message));
+  EXPECT_EQ(frame.type, FrameType::kAppendEntries);
+  Result<RaftMessage> decoded = DecodeRaftMessage(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->entries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->entries[i].index, message.entries[i].index);
+    EXPECT_EQ(decoded->entries[i].term, message.entries[i].term);
+    EXPECT_EQ(decoded->entries[i].command, message.entries[i].command);
+  }
+  EXPECT_EQ(decoded->prev_log_index, 10u);
+  EXPECT_EQ(decoded->leader_commit, 9u);
+}
+
+TEST(WireTest, RaftResponsesRoundTrip) {
+  RaftMessage vote;
+  vote.type = RaftMessageType::kVoteResponse;
+  vote.from = 3;
+  vote.to = 1;
+  vote.term = 9;
+  vote.vote_granted = true;
+  Result<RaftMessage> decoded =
+      DecodeRaftMessage(DecodeWhole(EncodeRaftMessage(vote)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->vote_granted);
+
+  RaftMessage append;
+  append.type = RaftMessageType::kAppendResponse;
+  append.from = 2;
+  append.to = 1;
+  append.term = 4;
+  append.success = false;
+  append.conflict_index = 7;
+  decoded = DecodeRaftMessage(DecodeWhole(EncodeRaftMessage(append)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->success);
+  EXPECT_EQ(decoded->conflict_index, 7u);
+}
+
+TEST(WireTest, NotLeaderRoundTripAndHintlessForm) {
+  NotLeaderMessage message;
+  message.stream_id = 12;
+  message.batch_index = 34;
+  message.leader_id = 2;
+  message.leader_host = "127.0.0.1";
+  message.leader_port = 9402;
+  const Frame frame = DecodeWhole(EncodeNotLeader(message));
+  EXPECT_EQ(frame.type, FrameType::kNotLeader);
+  Result<NotLeaderMessage> decoded = DecodeNotLeader(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->leader_id, 2u);
+  EXPECT_EQ(decoded->leader_host, "127.0.0.1");
+  EXPECT_EQ(decoded->leader_port, 9402);
+
+  // No-leader-yet form: id 0, empty hint.
+  decoded = DecodeNotLeader(DecodeWhole(EncodeNotLeader({12, 34, 0, "", 0})));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->leader_id, 0u);
+  EXPECT_TRUE(decoded->leader_host.empty());
+}
+
+TEST(WireTest, RaftEntryCountBoundRejectsCorruptHeader) {
+  // A corrupt entry count far beyond what the payload could hold must be
+  // rejected before any allocation is attempted.
+  RaftMessage message;
+  message.type = RaftMessageType::kAppendEntries;
+  message.from = 1;
+  message.to = 2;
+  std::vector<char> encoded = EncodeRaftMessage(message);
+  // The entry count is the last u64 of the payload (no entries follow).
+  uint64_t huge = UINT64_MAX / 2;
+  std::memcpy(encoded.data() + encoded.size() - 8, &huge, 8);
+  // Re-stamp the CRC so only the count is corrupt.
+  const uint32_t crc =
+      Crc32(encoded.data() + kFrameHeaderBytes,
+            encoded.size() - kFrameHeaderBytes);
+  std::memcpy(encoded.data() + 12, &crc, 4);
+  const Frame frame = DecodeWhole(encoded);
+  EXPECT_FALSE(DecodeRaftMessage(frame).ok());
+}
+
 }  // namespace
 }  // namespace freeway
