@@ -2,14 +2,47 @@
 // baseline under each of the three shift patterns (ground-truth labels from
 // the stream scripts), aggregated over the four real-dataset simulators.
 //
+// Streams come from dataset-backed ScenarioSpecs replayed through the
+// scenario engine's learner harness (bit-identical to the old RunPrequential
+// path under immediate labels), so the table reflects exactly what
+// `run_scenario --mode=learner` measures.
+//
 // Expected shape: FreewayML leads in all three columns, with the largest
 // margins under sudden and reoccurring shifts.
 
 #include "bench/bench_util.h"
 #include "eval/report.h"
+#include "scenarios/harness.h"
+#include "scenarios/scenario.h"
 
 using namespace freeway;        // NOLINT — bench driver.
 using namespace freeway::bench; // NOLINT
+
+namespace {
+
+PrequentialResult RunOnScenario(const std::string& system,
+                                const std::string& dataset) {
+  const BenchScale scale;
+  ScenarioSpec spec;
+  spec.name = dataset;
+  spec.dataset = dataset;
+  spec.seed = scale.seed;
+  spec.num_batches = scale.num_batches;
+  spec.batch_size = scale.batch_size;
+  spec.warmup_batches = scale.warmup_batches;
+  auto scenario = GenerateScenario(spec);
+  scenario.status().CheckOk();
+  auto shape = MakeScenarioSource(spec);
+  shape.status().CheckOk();
+  auto learner = MakeSystem(system, ModelKind::kMlp, (*shape)->input_dim(),
+                            (*shape)->num_classes());
+  learner.status().CheckOk();
+  auto report = RunScenarioOnLearner(learner->get(), *scenario);
+  report.status().CheckOk();
+  return report->prequential;
+}
+
+}  // namespace
 
 int main() {
   Banner("fig11_pattern_accuracy", "Figure 11",
@@ -27,8 +60,7 @@ int main() {
     double slight = 0, sudden = 0, reoccur = 0;
     size_t slight_n = 0, sudden_n = 0, reoccur_n = 0;
     for (const auto& dataset : datasets) {
-      PrequentialResult r =
-          RunSystemOnDataset(system, ModelKind::kMlp, dataset);
+      PrequentialResult r = RunOnScenario(system, dataset);
       slight += r.per_pattern.slight * r.per_pattern.slight_batches;
       sudden += r.per_pattern.sudden * r.per_pattern.sudden_batches;
       reoccur +=

@@ -4,14 +4,18 @@
 // drawn as three colored lines; here the strategy column annotates which
 // mechanism produced each FreewayML point (0 = multi-granularity ensemble,
 // 1 = CEC, 2 = knowledge reuse).
-
-#include <memory>
+//
+// The stream itself is a ScenarioSpec replayed by the scenario engine's
+// learner harness: with immediate labels the event tape degenerates to the
+// classic test-then-train loop, so the series are bit-identical to the
+// hand-rolled loop this bench used to carry.
 
 #include "baselines/factory.h"
 #include "baselines/freeway_adapter.h"
 #include "bench/bench_util.h"
 #include "eval/report.h"
-#include "ml/models.h"
+#include "scenarios/harness.h"
+#include "scenarios/scenario.h"
 
 using namespace freeway;        // NOLINT — bench driver.
 using namespace freeway::bench; // NOLINT
@@ -20,39 +24,45 @@ namespace {
 
 void TraceDataset(const std::string& dataset) {
   std::printf("--- %s ---\n", dataset.c_str());
-  const uint64_t seed = 99;
-  auto src_plain = MakeBenchmarkDataset(dataset, seed);
-  auto src_freeway = MakeBenchmarkDataset(dataset, seed);
-  src_plain.status().CheckOk();
-  src_freeway.status().CheckOk();
+  ScenarioSpec spec;
+  spec.name = dataset;
+  spec.dataset = dataset;
+  spec.seed = 99;
+  spec.num_batches = 90;
+  spec.batch_size = 512;
+  spec.warmup_batches = 10;  // Cold start excluded, as in the figures.
+  auto scenario = GenerateScenario(spec);
+  scenario.status().CheckOk();
+  auto shape = MakeScenarioSource(spec);
+  shape.status().CheckOk();
 
-  auto plain = MakeSystem("Plain", ModelKind::kMlp,
-                          (*src_plain)->input_dim(),
-                          (*src_plain)->num_classes());
+  auto plain = MakeSystem("Plain", ModelKind::kMlp, (*shape)->input_dim(),
+                          (*shape)->num_classes());
+  auto freeway = MakeSystem("FreewayML", ModelKind::kMlp,
+                            (*shape)->input_dim(), (*shape)->num_classes());
   plain.status().CheckOk();
-  std::unique_ptr<Model> proto = MakeMlp((*src_freeway)->input_dim(),
-                                         (*src_freeway)->num_classes());
-  FreewayAdapter freeway(*proto);
+  freeway.status().CheckOk();
 
-  std::vector<double> plain_acc, freeway_acc, strategy;
-  for (int b = 0; b < 90; ++b) {
-    auto ba = (*src_plain)->NextBatch(512);
-    auto bb = (*src_freeway)->NextBatch(512);
-    ba.status().CheckOk();
-    bb.status().CheckOk();
-    auto pa = (*plain)->PrequentialStep(*ba);
-    auto pb = freeway.PrequentialStep(*bb);
-    pa.status().CheckOk();
-    pb.status().CheckOk();
-    if (b < 10) continue;  // Cold start excluded, as in the figures.
-    size_t ha = 0, hb = 0;
-    for (size_t i = 0; i < ba->size(); ++i) {
-      if ((*pa)[i] == ba->labels[i]) ++ha;
-      if ((*pb)[i] == bb->labels[i]) ++hb;
-    }
-    plain_acc.push_back(static_cast<double>(ha) / ba->size());
-    freeway_acc.push_back(static_cast<double>(hb) / bb->size());
-    strategy.push_back(static_cast<double>(freeway.last_report().strategy));
+  auto plain_report = RunScenarioOnLearner(plain->get(), *scenario);
+  LearnerHarnessOptions probe_opts;
+  auto* adapter = dynamic_cast<FreewayAdapter*>(freeway->get());
+  if (adapter != nullptr) {
+    probe_opts.mechanism_probe = [adapter] {
+      return static_cast<int>(adapter->last_report().strategy);
+    };
+  }
+  auto freeway_report =
+      RunScenarioOnLearner(freeway->get(), *scenario, probe_opts);
+  plain_report.status().CheckOk();
+  freeway_report.status().CheckOk();
+
+  const std::vector<double>& plain_acc =
+      plain_report->prequential.batch_accuracies;
+  const std::vector<double>& freeway_acc =
+      freeway_report->prequential.batch_accuracies;
+  std::vector<double> strategy;
+  for (int m : freeway_report->batch_mechanisms) {
+    strategy.push_back(static_cast<double>(m));
   }
 
   SeriesPrinter series("batch");

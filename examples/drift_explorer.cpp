@@ -1,10 +1,12 @@
 // Drift explorer: renders the paper's *shift graph* (Section III) as ASCII —
 // each batch becomes a point in 2-D PCA space, consecutive points are the
 // shifts — and annotates every batch with the detector's pattern decision.
-// Run it on any of the built-in streams to see how slight / sudden /
-// reoccurring shifts look through the detector's eyes.
+// Run it on any canned scenario, a scenario spec file, or a built-in
+// dataset to see how slight / sudden / reoccurring shifts look through the
+// detector's eyes.
 //
-// Build & run:  ./build/examples/drift_explorer [dataset]
+// Build & run:  ./build/examples/drift_explorer [scenario|spec-file|dataset]
+//   scenario: any name from `run_scenario --list` or a .scn file
 //   dataset in {Hyperplane, SEA, Airlines, Covertype, NSL-KDD, Electricity}
 //   (default: Electricity)
 
@@ -16,6 +18,8 @@
 #include "common/strings.h"
 #include "core/shift_detector.h"
 #include "data/simulators.h"
+#include "scenarios/scenario.h"
+#include "scenarios/spec.h"
 
 using namespace freeway;  // NOLINT — example code.
 
@@ -48,40 +52,63 @@ void PlotShiftGraph(const std::vector<std::vector<double>>& points) {
   for (const auto& line : grid) std::printf("|%s|\n", line.c_str());
 }
 
+/// A bare dataset name becomes a 70-batch immediate-label scenario, so the
+/// explorer drives every stream — canned scenarios, spec files, and the
+/// classic benchmark simulators — through one code path.
+Result<ScenarioSpec> ResolveArgument(const std::string& argument) {
+  Result<ScenarioSpec> spec = ResolveScenarioSpec(argument);
+  if (spec.ok()) return spec;
+  const auto& names = BenchmarkDatasetNames();
+  if (std::find(names.begin(), names.end(), argument) == names.end()) {
+    return spec;  // Neither scenario nor dataset — keep the scenario error.
+  }
+  ScenarioSpec dataset_spec;
+  dataset_spec.name = argument;
+  dataset_spec.dataset = argument;
+  dataset_spec.num_batches = 70;
+  dataset_spec.batch_size = 512;
+  return dataset_spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dataset = argc > 1 ? argv[1] : "Electricity";
-  auto stream = MakeBenchmarkDataset(dataset);
-  if (!stream.ok()) {
-    std::printf("unknown dataset %s; options:", dataset.c_str());
+  const std::string argument = argc > 1 ? argv[1] : "Electricity";
+  auto spec = ResolveArgument(argument);
+  if (!spec.ok()) {
+    std::printf("unknown scenario/dataset %s\n  scenarios:", argument.c_str());
+    for (const auto& name : CannedScenarioNames()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n  datasets: ");
     for (const auto& name : BenchmarkDatasetNames()) {
       std::printf(" %s", name.c_str());
     }
     std::printf("\n");
     return 1;
   }
+  auto scenario = GenerateScenario(*spec);
+  scenario.status().CheckOk();
 
   // 2-D PCA reproduces the paper's visual shift graph.
   ShiftDetectorOptions options;
   options.pca_components = 2;
   ShiftDetector detector(options);
 
-  std::printf("shift trace on %s (alpha = %.2f):\n\n", dataset.c_str(),
+  std::printf("shift trace on %s (alpha = %.2f):\n\n", spec->name.c_str(),
               options.alpha);
   std::printf("batch  distance   M-score  d_h       pattern\n");
 
   std::vector<std::vector<double>> graph_points;
-  for (int b = 0; b < 70; ++b) {
-    Result<Batch> batch = (*stream)->NextBatch(512);
-    batch.status().CheckOk();
-    Result<ShiftAssessment> shift = detector.Assess(batch->features);
+  for (size_t b = 0; b < scenario->batches.size(); ++b) {
+    const Batch& batch = scenario->batches[b];
+    Result<ShiftAssessment> shift = detector.Assess(batch.features);
     shift.status().CheckOk();
     if (shift->warmup) continue;
     graph_points.push_back(shift->representation);
     const bool severe = shift->pattern != ShiftPattern::kSlight;
     if (b % 6 == 0 || severe) {
-      std::printf("%5d  %8.4f  %8.2f  %8.4f  %s%s\n", b, shift->distance,
+      std::printf("%5zu  %8.4f  %8.2f  %8.4f  %s%s\n", b, shift->distance,
                   shift->m_score, shift->d_h,
                   ShiftPatternName(shift->pattern), severe ? "  <==" : "");
     }

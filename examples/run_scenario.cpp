@@ -1,0 +1,309 @@
+// One command replays any scenario end-to-end. A scenario spec (canned
+// name or spec file) declares the drift schedule, arrival process,
+// label-delay policy, and tenant mix; this driver materializes it and
+// replays it through one of three stacks:
+//
+//   --mode=net      (default) a live loopback StreamServer (optionally a
+//                   3-node replicated HA group with --ha) fed by N
+//                   concurrent StreamClients honoring the arrival process
+//                   in scaled wall-clock time
+//   --mode=local    an in-process sharded StreamRuntime, as fast as it
+//                   can submit
+//   --mode=learner  the bare prequential test-then-train loop (the
+//                   figure-bench protocol; --system picks the learner)
+//
+// Every mode writes SCENARIO_stats.json (accuracy + kappa + per-mechanism
+// latency + shed/quarantine/dedup/failover curves) and the net/local modes
+// exit non-zero unless the run reconciled exactly
+// (enqueued = processed + shed + quarantined + undrained + in_flight)
+// with zero labeled-batch loss — the CI gate.
+//
+// Build & run:  ./build/examples/run_scenario mixed
+//               ./build/examples/run_scenario scenarios/flash_crowd.scn
+//               ./build/examples/run_scenario abrupt --mode=learner
+//               ./build/examples/run_scenario mixed --ha --clients=6
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "baselines/freeway_adapter.h"
+#include "common/thread_pool.h"
+#include "ml/models.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "scenarios/harness.h"
+#include "scenarios/loadgen.h"
+#include "scenarios/scenario.h"
+#include "scenarios/spec.h"
+
+using namespace freeway;  // NOLINT — example driver.
+
+namespace {
+
+struct Args {
+  std::string scenario;
+  std::string mode = "net";
+  std::string system = "FreewayML";
+  std::string out = "SCENARIO_stats.json";
+  size_t clients = 4;
+  size_t workers = 2;
+  size_t shards = 2;
+  double time_scale = 1.0;
+  bool ha = false;
+  bool list = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: run_scenario <scenario|spec-file> [options]\n"
+      "  --mode=net|local|learner  replay stack (default net)\n"
+      "  --clients=N               loadgen clients (net mode, default 4)\n"
+      "  --workers=N               server reactor workers (default 2)\n"
+      "  --shards=N                runtime shards (default 2)\n"
+      "  --time-scale=X            arrival pacing: 1 = wall clock,\n"
+      "                            10 = 10x compressed, 0 = max speed\n"
+      "  --ha                      3-node replicated server group\n"
+      "  --system=NAME             learner-mode system (default FreewayML)\n"
+      "  --out=PATH                stats JSON path (SCENARIO_stats.json)\n"
+      "  --list                    list canned scenarios\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--list") {
+      args->list = true;
+    } else if (arg == "--ha") {
+      args->ha = true;
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      args->mode = value("--mode=");
+    } else if (arg.rfind("--system=", 0) == 0) {
+      args->system = value("--system=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args->out = value("--out=");
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      args->clients = static_cast<size_t>(std::atoll(value("--clients=").c_str()));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      args->workers = static_cast<size_t>(std::atoll(value("--workers=").c_str()));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      args->shards = static_cast<size_t>(std::atoll(value("--shards=").c_str()));
+    } else if (arg.rfind("--time-scale=", 0) == 0) {
+      args->time_scale = std::atof(value("--time-scale=").c_str());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else if (args->scenario.empty()) {
+      args->scenario = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintReport(const ScenarioReport& report) {
+  std::printf("\n-- %s via %s (%s) --\n", report.scenario.c_str(),
+              report.mode.c_str(), report.system.c_str());
+  std::printf("accuracy: g_acc=%.2f%%  SI=%.4f  kappa=%.4f  (%zu scored)\n",
+              100.0 * report.prequential.g_acc,
+              report.prequential.stability_index, report.kappa,
+              report.scored_batches);
+  const PatternAccuracy& pp = report.prequential.per_pattern;
+  std::printf("per-pattern: slight=%.2f%% (%zu)  sudden=%.2f%% (%zu)  "
+              "reoccurring=%.2f%% (%zu)\n",
+              100.0 * pp.slight, pp.slight_batches, 100.0 * pp.sudden,
+              pp.sudden_batches, 100.0 * pp.reoccurring,
+              pp.reoccurring_batches);
+  for (const MechanismReport& m : report.mechanisms) {
+    std::printf("mechanism %-18s %4zu batches  acc=%.2f%%  "
+                "p50=%.0fus  p99=%.0fus\n",
+                m.name.c_str(), m.batches, 100.0 * m.accuracy,
+                m.latency_p50_micros, m.latency_p99_micros);
+  }
+  std::printf("ops: enqueued=%llu processed=%llu shed=%llu rejected=%llu "
+              "quarantined=%llu undrained=%llu in_flight=%llu\n",
+              static_cast<unsigned long long>(report.enqueued),
+              static_cast<unsigned long long>(report.processed),
+              static_cast<unsigned long long>(report.shed),
+              static_cast<unsigned long long>(report.rejected),
+              static_cast<unsigned long long>(report.quarantined),
+              static_cast<unsigned long long>(report.undrained),
+              static_cast<unsigned long long>(report.in_flight));
+  std::printf("replay: %.2fs wall for %.2fs of scenario time "
+              "(scale %.1f, %zu clients, %zu workers, %zu nodes)\n",
+              report.wall_seconds, report.scenario_seconds, report.time_scale,
+              report.clients, report.workers, report.nodes);
+}
+
+int WriteReport(const ScenarioReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << RenderScenarioJson(report);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int RunLearnerMode(const Args& args, const GeneratedScenario& scenario) {
+  auto source = MakeScenarioSource(scenario.spec);
+  source.status().CheckOk();
+  auto system = MakeSystem(args.system, ModelKind::kMlp,
+                           (*source)->input_dim(), (*source)->num_classes());
+  system.status().CheckOk();
+  LearnerHarnessOptions options;
+  if (auto* freeway = dynamic_cast<FreewayAdapter*>(system->get())) {
+    options.mechanism_probe = [freeway] {
+      return static_cast<int>(freeway->last_report().strategy);
+    };
+  }
+  auto report = RunScenarioOnLearner(system->get(), scenario, options);
+  report.status().CheckOk();
+  PrintReport(*report);
+  if (WriteReport(*report, args.out) != 0) return 1;
+  return report->scored_batches > 0 ? 0 : 1;
+}
+
+int RunLocalMode(const Args& args, const GeneratedScenario& scenario) {
+  auto source = MakeScenarioSource(scenario.spec);
+  source.status().CheckOk();
+  auto proto =
+      MakeMlp((*source)->input_dim(), (*source)->num_classes());
+  RuntimeHarnessOptions options;
+  options.num_shards = args.shards;
+  auto report = RunScenarioOnRuntime(*proto, scenario, options);
+  report.status().CheckOk();
+  PrintReport(*report);
+  if (WriteReport(*report, args.out) != 0) return 1;
+  if (!report->reconciled || !report->zero_labeled_loss) {
+    std::fprintf(stderr, "FAIL: reconciliation or labeled-loss gate\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunNetMode(const Args& args, const GeneratedScenario& scenario) {
+  namespace fs = std::filesystem;
+  auto source = MakeScenarioSource(scenario.spec);
+  source.status().CheckOk();
+  auto proto =
+      MakeMlp((*source)->input_dim(), (*source)->num_classes());
+
+  const size_t nodes = args.ha ? 3 : 1;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("freeway_run_scenario_" + scenario.spec.name);
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  // Reserve the HA ports up front: each node must know its peers' ports
+  // before any of them starts.
+  std::vector<uint16_t> ports(nodes, 0);
+  std::vector<std::unique_ptr<MetricsRegistry>> registries;
+  std::vector<std::unique_ptr<StreamServer>> servers;
+  if (args.ha) {
+    for (size_t i = 0; i < nodes; ++i) {
+      auto fd = net::CreateListenSocket("127.0.0.1", 0, 4, false);
+      fd.status().CheckOk();
+      auto port = net::LocalPort(*fd);
+      port.status().CheckOk();
+      net::CloseFd(*fd);
+      ports[i] = *port;
+    }
+  }
+  for (size_t i = 0; i < nodes; ++i) {
+    registries.push_back(std::make_unique<MetricsRegistry>());
+    ServerOptions options;
+    options.metrics = registries.back().get();
+    options.num_workers = args.workers;
+    options.runtime.num_shards = args.shards;
+    if (args.ha) {
+      options.port = ports[i];
+      options.ingest.enabled = true;
+      options.ingest.log_dir =
+          (root / ("n" + std::to_string(i)) / "log").string();
+      options.replication.enabled = true;
+      options.replication.node_id = i + 1;
+      options.replication.data_dir =
+          (root / ("n" + std::to_string(i)) / "raft").string();
+      options.replication.tick_millis = 10;
+      options.replication.heartbeat_ticks = 2;
+      for (size_t j = 0; j < nodes; ++j) {
+        if (j == i) continue;
+        options.replication.peers.push_back(
+            {static_cast<uint64_t>(j + 1), "127.0.0.1", ports[j]});
+      }
+    }
+    servers.push_back(std::make_unique<StreamServer>(*proto, options));
+    servers.back()->Start().CheckOk();
+    if (!args.ha) ports[i] = servers.back()->port();
+  }
+  std::printf("serving on");
+  for (uint16_t port : ports) std::printf(" 127.0.0.1:%u", port);
+  std::printf(" (%zu node%s, %zu workers each)\n", nodes,
+              nodes == 1 ? "" : "s", servers.front()->num_workers());
+
+  LoadgenOptions options;
+  for (uint16_t port : ports) options.endpoints.push_back({"127.0.0.1", port});
+  options.num_clients = args.clients;
+  options.time_scale = args.time_scale;
+  auto report = RunScenarioOverNetwork(scenario, options);
+  for (auto& server : servers) server->Stop();
+  report.status().CheckOk();
+  report->workers = args.workers;
+  PrintReport(*report);
+  if (WriteReport(*report, args.out) != 0) return 1;
+  if (!report->reconciled || !report->zero_labeled_loss) {
+    std::fprintf(stderr, "FAIL: reconciliation or labeled-loss gate\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.list || args.scenario.empty()) {
+    if (args.scenario.empty() && !args.list) PrintUsage();
+    std::printf("canned scenarios:\n");
+    for (const std::string& name : CannedScenarioNames()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return args.list ? 0 : 2;
+  }
+  ThreadPool::SetGlobalThreads(8);
+
+  auto spec = ResolveScenarioSpec(args.scenario);
+  spec.status().CheckOk();
+  std::printf("scenario %s: %zu batches x %zu rows, %zu drift segments, "
+              "arrival=%s, labels=%s\n",
+              spec->name.c_str(), spec->num_batches, spec->batch_size,
+              spec->drift.size(), ArrivalKindName(spec->arrival.kind),
+              LabelDelayKindName(spec->labels.kind));
+  auto scenario = GenerateScenario(*spec);
+  scenario.status().CheckOk();
+
+  if (args.mode == "learner") return RunLearnerMode(args, *scenario);
+  if (args.mode == "local") return RunLocalMode(args, *scenario);
+  if (args.mode == "net") return RunNetMode(args, *scenario);
+  std::fprintf(stderr, "unknown mode %s\n", args.mode.c_str());
+  PrintUsage();
+  return 2;
+}

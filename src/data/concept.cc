@@ -6,6 +6,20 @@
 
 namespace freeway {
 
+namespace {
+
+/// Whether segment `seg` drifts class `c`: every class by default,
+/// only the listed ones when the segment is cluster-localized.
+bool SegmentAffects(const DriftSegment& seg, size_t c) {
+  if (seg.affected_classes.empty()) return true;
+  for (size_t affected : seg.affected_classes) {
+    if (affected == c) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 GaussianConceptSource::GaussianConceptSource(
     std::string name, const ConceptSourceOptions& options, DriftScript script)
     : name_(std::move(name)),
@@ -67,8 +81,10 @@ GaussianConceptSource::ConceptState GaussianConceptSource::ComputeEntryState(
   switch (seg.kind) {
     case DriftKind::kSudden: {
       // Jump each class centroid by `magnitude` along an independent random
-      // direction: an abrupt new distribution.
+      // direction: an abrupt new distribution. Cluster-localized segments
+      // jump only the affected centroids.
       for (size_t c = 0; c < options_.num_classes; ++c) {
+        if (!SegmentAffects(seg, c)) continue;
         std::vector<double> dir(options_.dim);
         for (auto& v : dir) v = rng_.NextGaussian();
         const double norm = vec::Norm(dir);
@@ -142,8 +158,10 @@ void GaussianConceptSource::EvolveConcept() {
   const DriftSegment& seg = script_.segments[segment_index_];
   switch (seg.kind) {
     case DriftKind::kDirectional: {
-      // All centroids advance along the segment direction each batch.
+      // Affected centroids advance along the segment direction each batch
+      // (all of them unless the segment is cluster-localized).
       for (size_t c = 0; c < options_.num_classes; ++c) {
+        if (!SegmentAffects(seg, c)) continue;
         auto row = centroids_.Row(c);
         for (size_t d = 0; d < options_.dim; ++d) {
           row[d] += seg.magnitude * direction_[d];
@@ -153,8 +171,10 @@ void GaussianConceptSource::EvolveConcept() {
     }
     case DriftKind::kLocalized: {
       // Mean-reverting random walk around the segment base, bounded so the
-      // concept stays within a small stable range (Pattern A2).
+      // concept stays within a small stable range (Pattern A2). Restricted
+      // to the affected centroids when cluster-localized.
       for (size_t c = 0; c < options_.num_classes; ++c) {
+        if (!SegmentAffects(seg, c)) continue;
         auto j = jitter_.Row(c);
         for (size_t d = 0; d < options_.dim; ++d) {
           j[d] = 0.8 * j[d] + rng_.Gaussian(0.0, seg.magnitude);

@@ -29,6 +29,15 @@ struct DriftSegment {
   /// empty keeps the current priors. Models class-imbalance swings such as
   /// NSL-KDD attack waves.
   std::vector<double> new_priors;
+  /// Cluster-localized drift (the cluster-specific localized-drift setting):
+  /// when non-empty, the segment's concept evolution — the sudden jump at
+  /// entry, the per-batch directional step, or the localized jitter —
+  /// applies only to these class centroids while the rest of the mixture
+  /// holds still, so a detector watching the global feature distribution
+  /// sees a diluted signal proportional to the affected clusters' mass.
+  /// Empty (the default) keeps the classic global drift shapes. Indices
+  /// outside [0, num_classes) are ignored.
+  std::vector<size_t> affected_classes;
 };
 
 /// A looping sequence of drift segments driving a GaussianConceptSource.

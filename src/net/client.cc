@@ -348,6 +348,36 @@ std::vector<StreamResult> StreamClient::TakeResults() {
   return taken;
 }
 
+size_t StreamClient::PumpResults() {
+  if (!connected()) return results_.size();
+  while (true) {
+    Result<Frame> frame = decoder_.Next();
+    if (frame.ok()) {
+      if (frame->type == FrameType::kResult) AbsorbResult(*frame);
+      continue;
+    }
+    if (frame.status().code() != StatusCode::kNotFound) {
+      // Corrupt stream — same unrecoverable-framing policy as ReadFrame.
+      Disconnect();
+      break;
+    }
+    if (!net::WaitReadable(fd_, 0).ok()) break;  // Nothing pending.
+    char chunk[kReadChunk];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Disconnect();
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Disconnect();
+      break;
+    }
+    decoder_.Feed(chunk, static_cast<size_t>(n));
+  }
+  return results_.size();
+}
+
 Result<std::string> StreamClient::Stats() {
   RETURN_IF_ERROR(Connect());
   RETURN_IF_ERROR(SendFrame(EncodeFrame(FrameType::kStatsRequest)));

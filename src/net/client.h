@@ -123,6 +123,14 @@ class StreamClient {
   /// Takes the already-buffered results without touching the socket.
   std::vector<StreamResult> TakeResults();
 
+  /// Non-blocking drain: absorbs every RESULT frame that is already
+  /// decodable or readable right now, without waiting for more. Returns
+  /// the number of results buffered afterwards (collect with
+  /// TakeResults). The loadgen calls this between paced submits so
+  /// latency samples are taken close to result arrival instead of at the
+  /// next blocking poll.
+  size_t PumpResults();
+
   /// Fetches the server's runtime stats snapshot (JSON).
   Result<std::string> Stats();
 

@@ -1,0 +1,423 @@
+#include "scenarios/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/learner.h"
+
+namespace freeway {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Nearest-rank percentile of an unsorted sample (copied, q in [0, 1]).
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::min(static_cast<double>(values.size() - 1),
+               std::floor(q * static_cast<double>(values.size()))));
+  return values[rank];
+}
+
+/// Cohen's kappa from a flattened pred×label confusion matrix.
+double KappaFrom(const std::vector<uint64_t>& confusion, size_t classes) {
+  uint64_t total = 0, diag = 0;
+  for (size_t p = 0; p < classes; ++p) {
+    for (size_t l = 0; l < classes; ++l) {
+      total += confusion[p * classes + l];
+      if (p == l) diag += confusion[p * classes + l];
+    }
+  }
+  if (total == 0) return 0.0;
+  const double n = static_cast<double>(total);
+  const double po = static_cast<double>(diag) / n;
+  double pe = 0.0;
+  for (size_t c = 0; c < classes; ++c) {
+    uint64_t row = 0, col = 0;
+    for (size_t l = 0; l < classes; ++l) row += confusion[c * classes + l];
+    for (size_t p = 0; p < classes; ++p) col += confusion[p * classes + c];
+    pe += (static_cast<double>(row) / n) * (static_cast<double>(col) / n);
+  }
+  if (pe >= 1.0 - 1e-12) return 0.0;
+  return (po - pe) / (1.0 - pe);
+}
+
+void AppendJsonDouble(std::ostringstream* out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  *out << std::setprecision(6) << std::fixed << v
+       << std::defaultfloat << std::setprecision(17);
+}
+
+}  // namespace
+
+PrequentialScorer::PrequentialScorer(const GeneratedScenario* scenario,
+                                     size_t window)
+    : scenario_(scenario),
+      window_(window == 0 ? 1 : window),
+      num_classes_(0),
+      cells_(scenario->batches.size()) {
+  for (const Batch& batch : scenario_->batches) {
+    for (int label : batch.labels) {
+      if (label >= 0 && static_cast<size_t>(label) + 1 > num_classes_) {
+        num_classes_ = static_cast<size_t>(label) + 1;
+      }
+    }
+  }
+  if (num_classes_ < 2) num_classes_ = 2;
+}
+
+void PrequentialScorer::Record(size_t base_index,
+                               const std::vector<int>& predictions,
+                               int mechanism, double latency_micros) {
+  if (base_index >= cells_.size()) return;
+  const Batch& base = scenario_->batches[base_index];
+  const size_t n = std::min(predictions.size(), base.labels.size());
+  if (n == 0) return;
+  size_t hits = 0;
+  // Confusion rows index predictions, columns labels; out-of-range values
+  // clamp into the last class so a misbehaving model cannot corrupt it.
+  std::vector<uint32_t> confusion(num_classes_ * num_classes_, 0);
+  const auto clamp = [&](int v) {
+    if (v < 0) return size_t{0};
+    return std::min(static_cast<size_t>(v), num_classes_ - 1);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (predictions[i] == base.labels[i]) ++hits;
+    ++confusion[clamp(predictions[i]) * num_classes_ + clamp(base.labels[i])];
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Cell& cell = cells_[base_index];
+  cell.scored = true;
+  cell.accuracy = static_cast<double>(hits) / static_cast<double>(n);
+  cell.mechanism = mechanism;
+  cell.latency_micros = latency_micros;
+  cell.confusion = std::move(confusion);
+}
+
+void PrequentialScorer::Finish(ScenarioReport* report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  report->accuracy_window = window_;
+  report->prequential = PrequentialResult{};
+  report->windowed_accuracy.clear();
+  report->windowed_kappa.clear();
+  report->batch_mechanisms.clear();
+  report->mechanisms.clear();
+
+  const size_t warmup = scenario_->spec.warmup_batches;
+  std::vector<uint64_t> total_confusion(num_classes_ * num_classes_, 0);
+  std::vector<uint64_t> window_confusion(num_classes_ * num_classes_, 0);
+  double window_acc = 0.0;
+  size_t window_fill = 0;
+  // Buckets 0..2 are the paper's strategies, 3 is unattributed.
+  struct Bucket {
+    size_t batches = 0;
+    double accuracy_sum = 0.0;
+    std::vector<double> latencies;
+  };
+  Bucket buckets[4];
+
+  for (size_t b = 0; b < cells_.size(); ++b) {
+    const Cell& cell = cells_[b];
+    if (b < warmup || !cell.scored) continue;
+    report->prequential.batch_accuracies.push_back(cell.accuracy);
+    report->prequential.batch_kinds.push_back(
+        scenario_->metas[b].segment_kind);
+    report->prequential.shift_events.push_back(
+        scenario_->metas[b].shift_event);
+    report->batch_mechanisms.push_back(cell.mechanism);
+    for (size_t k = 0; k < cell.confusion.size(); ++k) {
+      total_confusion[k] += cell.confusion[k];
+      window_confusion[k] += cell.confusion[k];
+    }
+    window_acc += cell.accuracy;
+    if (++window_fill == window_) {
+      report->windowed_accuracy.push_back(window_acc /
+                                          static_cast<double>(window_fill));
+      report->windowed_kappa.push_back(
+          KappaFrom(window_confusion, num_classes_));
+      window_acc = 0.0;
+      window_fill = 0;
+      std::fill(window_confusion.begin(), window_confusion.end(), 0);
+    }
+    const size_t bucket =
+        (cell.mechanism >= 0 && cell.mechanism < 3) ? cell.mechanism : 3;
+    buckets[bucket].batches += 1;
+    buckets[bucket].accuracy_sum += cell.accuracy;
+    buckets[bucket].latencies.push_back(cell.latency_micros);
+  }
+  if (window_fill > 0) {
+    report->windowed_accuracy.push_back(window_acc /
+                                        static_cast<double>(window_fill));
+    report->windowed_kappa.push_back(KappaFrom(window_confusion, num_classes_));
+  }
+
+  FinalizePrequentialMetrics(&report->prequential);
+  report->kappa = KappaFrom(total_confusion, num_classes_);
+  report->scored_batches = report->prequential.batch_accuracies.size();
+
+  const char* names[4] = {StrategyName(Strategy::kMultiGranularity),
+                          StrategyName(Strategy::kCec),
+                          StrategyName(Strategy::kKnowledgeReuse),
+                          "unattributed"};
+  for (size_t m = 0; m < 4; ++m) {
+    if (buckets[m].batches == 0) continue;
+    MechanismReport mech;
+    mech.name = names[m];
+    mech.batches = buckets[m].batches;
+    mech.accuracy =
+        buckets[m].accuracy_sum / static_cast<double>(buckets[m].batches);
+    mech.latency_p50_micros = Percentile(buckets[m].latencies, 0.50);
+    mech.latency_p99_micros = Percentile(buckets[m].latencies, 0.99);
+    report->mechanisms.push_back(std::move(mech));
+  }
+}
+
+std::string RenderScenarioJson(const ScenarioReport& r) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"scenario\": \"" << r.scenario << "\",\n";
+  out << "  \"mode\": \"" << r.mode << "\",\n";
+  out << "  \"system\": \"" << r.system << "\",\n";
+  out << "  \"accuracy\": {\n";
+  out << "    \"g_acc\": ";
+  AppendJsonDouble(&out, r.prequential.g_acc);
+  out << ",\n    \"stability_index\": ";
+  AppendJsonDouble(&out, r.prequential.stability_index);
+  out << ",\n    \"kappa\": ";
+  AppendJsonDouble(&out, r.kappa);
+  out << ",\n    \"scored_batches\": " << r.scored_batches;
+  const PatternAccuracy& pp = r.prequential.per_pattern;
+  out << ",\n    \"per_pattern\": {\"slight\": ";
+  AppendJsonDouble(&out, pp.slight);
+  out << ", \"sudden\": ";
+  AppendJsonDouble(&out, pp.sudden);
+  out << ", \"reoccurring\": ";
+  AppendJsonDouble(&out, pp.reoccurring);
+  out << ", \"slight_batches\": " << pp.slight_batches
+      << ", \"sudden_batches\": " << pp.sudden_batches
+      << ", \"reoccurring_batches\": " << pp.reoccurring_batches << "}";
+  out << ",\n    \"window\": " << r.accuracy_window;
+  out << ",\n    \"windowed_accuracy\": [";
+  for (size_t i = 0; i < r.windowed_accuracy.size(); ++i) {
+    if (i) out << ", ";
+    AppendJsonDouble(&out, r.windowed_accuracy[i]);
+  }
+  out << "],\n    \"windowed_kappa\": [";
+  for (size_t i = 0; i < r.windowed_kappa.size(); ++i) {
+    if (i) out << ", ";
+    AppendJsonDouble(&out, r.windowed_kappa[i]);
+  }
+  out << "]\n  },\n";
+  out << "  \"mechanisms\": [";
+  for (size_t i = 0; i < r.mechanisms.size(); ++i) {
+    const MechanismReport& m = r.mechanisms[i];
+    if (i) out << ",";
+    out << "\n    {\"name\": \"" << m.name << "\", \"batches\": " << m.batches
+        << ", \"accuracy\": ";
+    AppendJsonDouble(&out, m.accuracy);
+    out << ", \"latency_p50_micros\": ";
+    AppendJsonDouble(&out, m.latency_p50_micros);
+    out << ", \"latency_p99_micros\": ";
+    AppendJsonDouble(&out, m.latency_p99_micros);
+    out << "}";
+  }
+  out << (r.mechanisms.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"curve\": [";
+  for (size_t i = 0; i < r.curve.size(); ++i) {
+    const CurveSample& c = r.curve[i];
+    if (i) out << ",";
+    out << "\n    {\"t\": ";
+    AppendJsonDouble(&out, c.scenario_seconds);
+    out << ", \"enqueued\": " << c.enqueued << ", \"processed\": "
+        << c.processed << ", \"shed\": " << c.shed << ", \"rejected\": "
+        << c.rejected << ", \"quarantined\": " << c.quarantined
+        << ", \"dedup_resends\": " << c.dedup_resends << ", \"overloads\": "
+        << c.overloads << ", \"failovers\": " << c.failovers << "}";
+  }
+  out << (r.curve.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"reconciliation\": {\n";
+  out << "    \"enqueued\": " << r.enqueued << ",\n";
+  out << "    \"processed\": " << r.processed << ",\n";
+  out << "    \"shed\": " << r.shed << ",\n";
+  out << "    \"rejected\": " << r.rejected << ",\n";
+  out << "    \"quarantined\": " << r.quarantined << ",\n";
+  out << "    \"undrained\": " << r.undrained << ",\n";
+  out << "    \"in_flight\": " << r.in_flight << ",\n";
+  out << "    \"reconciled\": " << (r.reconciled ? "true" : "false") << ",\n";
+  out << "    \"labeled_submitted\": " << r.labeled_submitted << ",\n";
+  out << "    \"unlabeled_submitted\": " << r.unlabeled_submitted << ",\n";
+  out << "    \"labeled_dead_letters\": " << r.labeled_dead_letters << ",\n";
+  out << "    \"results_received\": " << r.results_received << ",\n";
+  out << "    \"zero_labeled_loss\": "
+      << (r.zero_labeled_loss ? "true" : "false") << "\n  },\n";
+  out << "  \"replay\": {\"wall_seconds\": ";
+  AppendJsonDouble(&out, r.wall_seconds);
+  out << ", \"scenario_seconds\": ";
+  AppendJsonDouble(&out, r.scenario_seconds);
+  out << ", \"time_scale\": ";
+  AppendJsonDouble(&out, r.time_scale);
+  out << ", \"clients\": " << r.clients << ", \"workers\": " << r.workers
+      << ", \"nodes\": " << r.nodes << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+Result<ScenarioReport> RunScenarioOnLearner(
+    StreamingLearner* learner, const GeneratedScenario& scenario,
+    const LearnerHarnessOptions& options) {
+  if (learner == nullptr) {
+    return Status::InvalidArgument("RunScenarioOnLearner: null learner");
+  }
+  const auto start = Clock::now();
+  ScenarioReport report;
+  report.scenario = scenario.spec.name;
+  report.mode = "learner";
+  report.system = learner->name();
+  report.scenario_seconds =
+      static_cast<double>(scenario.duration_micros) / 1e6;
+  PrequentialScorer scorer(&scenario, options.accuracy_window);
+
+  const std::vector<ScenarioEvent>& events = scenario.events;
+  for (size_t e = 0; e < events.size(); ++e) {
+    const ScenarioEvent& ev = events[e];
+    const Batch& base = scenario.batches[ev.base_index];
+    if (ev.training) {
+      RETURN_IF_ERROR(learner->Train(base));
+      continue;
+    }
+    // Immediate labels put the labeled copy right behind the unlabeled
+    // one; couple them into one PrequentialStep so systems whose inference
+    // and training share an assessment (FreewayML) behave exactly as under
+    // RunPrequential.
+    const bool coupled = e + 1 < events.size() && events[e + 1].training &&
+                         events[e + 1].base_index == ev.base_index;
+    const auto t0 = Clock::now();
+    Result<std::vector<int>> predictions =
+        coupled ? learner->PrequentialStep(base)
+                : learner->Predict(base.features);
+    RETURN_IF_ERROR(predictions.status());
+    const double latency = MicrosBetween(t0, Clock::now());
+    const int mechanism =
+        options.mechanism_probe ? options.mechanism_probe() : -1;
+    scorer.Record(ev.base_index, predictions.value(), mechanism, latency);
+    if (coupled) ++e;
+    ++report.unlabeled_submitted;
+    ++report.results_received;
+  }
+  report.labeled_submitted = scenario.batches.size();
+  // Direct replay: every batch reaches the learner, nothing is queued.
+  report.enqueued = report.labeled_submitted + report.unlabeled_submitted;
+  report.processed = report.enqueued;
+  scorer.Finish(&report);
+  report.wall_seconds = MicrosBetween(start, Clock::now()) / 1e6;
+  return report;
+}
+
+Result<ScenarioReport> RunScenarioOnRuntime(
+    const Model& prototype, const GeneratedScenario& scenario,
+    const RuntimeHarnessOptions& options) {
+  const auto start = Clock::now();
+  ScenarioReport report;
+  report.scenario = scenario.spec.name;
+  report.mode = "runtime";
+  report.system = "FreewayML";
+  report.scenario_seconds =
+      static_cast<double>(scenario.duration_micros) / 1e6;
+  PrequentialScorer scorer(&scenario, options.accuracy_window);
+
+  RuntimeOptions ropts;
+  ropts.num_shards = options.num_shards;
+  ropts.queue_capacity = options.queue_capacity;
+  ropts.overload_policy = options.overload_policy;
+  ropts.pipeline.learner = options.learner;
+
+  std::mutex submit_mutex;
+  std::unordered_map<int64_t, Clock::time_point> submit_times;
+  std::atomic<uint64_t> results_received{0};
+  StreamRuntime runtime(
+      prototype, ropts, [&](const StreamResult& result) {
+        const auto now = Clock::now();
+        double latency = 0.0;
+        {
+          std::lock_guard<std::mutex> lock(submit_mutex);
+          auto it = submit_times.find(result.batch_index);
+          if (it != submit_times.end()) {
+            latency = MicrosBetween(it->second, now);
+            submit_times.erase(it);
+          }
+        }
+        scorer.Record(static_cast<size_t>(result.batch_index),
+                      result.report.predictions,
+                      static_cast<int>(result.report.strategy), latency);
+        results_received.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  const size_t sample_every =
+      std::max<size_t>(1, scenario.events.size() /
+                              std::max<size_t>(1, options.curve_points));
+  for (size_t e = 0; e < scenario.events.size(); ++e) {
+    const ScenarioEvent& ev = scenario.events[e];
+    const Batch& base = scenario.batches[ev.base_index];
+    SubmitContext context{ev.tenant_id, ev.priority};
+    if (ev.training) {
+      RETURN_IF_ERROR(runtime.Submit(ev.stream_id, base, context));
+      ++report.labeled_submitted;
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(submit_mutex);
+        submit_times[base.index] = Clock::now();
+      }
+      RETURN_IF_ERROR(
+          runtime.Submit(ev.stream_id, UnlabeledCopy(base), context));
+      ++report.unlabeled_submitted;
+    }
+    if (e % sample_every == sample_every - 1) {
+      const RuntimeStatsSnapshot snap = runtime.Snapshot();
+      CurveSample sample;
+      sample.scenario_seconds =
+          static_cast<double>(ev.arrival_micros) / 1e6;
+      sample.enqueued = snap.totals.enqueued;
+      sample.processed = snap.totals.processed;
+      sample.shed = snap.totals.shed;
+      sample.rejected = snap.totals.rejected;
+      sample.quarantined = snap.totals.quarantined;
+      report.curve.push_back(sample);
+    }
+  }
+
+  runtime.Flush();
+  runtime.Shutdown();
+  const RuntimeStatsSnapshot snap = runtime.Snapshot();
+  report.enqueued = snap.totals.enqueued;
+  report.processed = snap.totals.processed;
+  report.shed = snap.totals.shed;
+  report.rejected = snap.totals.rejected;
+  report.quarantined = snap.totals.quarantined;
+  report.undrained = snap.totals.undrained;
+  report.in_flight = snap.totals.in_flight;
+  report.reconciled =
+      report.enqueued == report.processed + report.shed + report.quarantined +
+                             report.undrained + report.in_flight;
+  for (const DeadLetter& letter : runtime.TakeDeadLetters()) {
+    if (letter.batch.labeled()) ++report.labeled_dead_letters;
+  }
+  report.results_received = results_received.load();
+  report.zero_labeled_loss =
+      report.reconciled && report.labeled_dead_letters == 0;
+  report.workers = runtime.num_shards();
+  scorer.Finish(&report);
+  report.wall_seconds = MicrosBetween(start, Clock::now()) / 1e6;
+  return report;
+}
+
+}  // namespace freeway

@@ -1,0 +1,180 @@
+#ifndef FREEWAYML_SCENARIOS_HARNESS_H_
+#define FREEWAYML_SCENARIOS_HARNESS_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/streaming_learner.h"
+#include "eval/prequential.h"
+#include "ml/model.h"
+#include "runtime/stream_runtime.h"
+#include "scenarios/scenario.h"
+
+namespace freeway {
+
+/// Accuracy + latency aggregate for one inference mechanism (the paper's
+/// three strategies, plus an "unattributed" bucket for systems that do not
+/// expose a selector).
+struct MechanismReport {
+  std::string name;
+  size_t batches = 0;
+  double accuracy = 0.0;
+  double latency_p50_micros = 0.0;
+  double latency_p99_micros = 0.0;
+};
+
+/// One point on the operational curves sampled during a replay.
+struct CurveSample {
+  /// Scenario-time position of the sample (seconds).
+  double scenario_seconds = 0.0;
+  uint64_t enqueued = 0;
+  uint64_t processed = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+  uint64_t quarantined = 0;
+  /// Network mode: duplicate submissions absorbed by server dedup so far
+  /// (client resend tallies).
+  uint64_t dedup_resends = 0;
+  /// Network mode: OVERLOAD replies and endpoint failovers so far.
+  uint64_t overloads = 0;
+  uint64_t failovers = 0;
+};
+
+/// Everything one scenario replay measured, renderable as
+/// SCENARIO_stats.json. Accuracy fields follow the prequential protocol
+/// (warmup batches train but are not scored); reconciliation fields are
+/// exact because they are read after the runtime/server went quiescent.
+struct ScenarioReport {
+  std::string scenario;
+  /// "learner" | "runtime" | "network".
+  std::string mode;
+  std::string system;
+
+  PrequentialResult prequential;
+  /// Cohen's kappa over all scored batches (chance-corrected accuracy —
+  /// the honest metric under the class-imbalance swings scenarios drive).
+  double kappa = 0.0;
+  /// Non-overlapping windows of `accuracy_window` scored batches.
+  size_t accuracy_window = 10;
+  std::vector<double> windowed_accuracy;
+  std::vector<double> windowed_kappa;
+  /// Mechanism (Strategy index, -1 = unattributed) that answered each
+  /// scored batch, parallel to prequential.batch_accuracies. The figure
+  /// benches plot this as the strategy line.
+  std::vector<int> batch_mechanisms;
+
+  std::vector<MechanismReport> mechanisms;
+  std::vector<CurveSample> curve;
+
+  /// Runtime/server totals after quiescence.
+  uint64_t enqueued = 0;
+  uint64_t processed = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+  uint64_t quarantined = 0;
+  uint64_t undrained = 0;
+  uint64_t in_flight = 0;
+  /// enqueued == processed + shed + quarantined + undrained + in_flight.
+  bool reconciled = true;
+
+  uint64_t labeled_submitted = 0;
+  uint64_t unlabeled_submitted = 0;
+  /// Labeled batches preserved on the dead-letter queue (runtime mode).
+  uint64_t labeled_dead_letters = 0;
+  uint64_t results_received = 0;
+  uint64_t scored_batches = 0;
+  /// Every labeled batch was accepted and none leaked: training data is
+  /// never shed/rejected by design, so a labeled batch is either processed
+  /// or sits, preserved, on the dead-letter queue.
+  bool zero_labeled_loss = true;
+
+  double wall_seconds = 0.0;
+  double scenario_seconds = 0.0;
+  /// Network mode: scenario-time compression factor (2 = replay at 2x).
+  double time_scale = 1.0;
+  size_t clients = 0;
+  size_t workers = 0;
+  size_t nodes = 0;
+};
+
+/// Renders the report as a JSON document (stable key order).
+std::string RenderScenarioJson(const ScenarioReport& report);
+
+/// Thread-safe prequential scorekeeper shared by the three replay modes:
+/// compares returned predictions against the withheld labels of the base
+/// batch, bucketing by drift pattern (ground truth from the scenario) and
+/// by inference mechanism. Record() may be called from any thread in any
+/// order; Finish() assembles stream-order metrics.
+class PrequentialScorer {
+ public:
+  PrequentialScorer(const GeneratedScenario* scenario, size_t window);
+
+  /// Scores `predictions` for base batch `base_index`. `mechanism` is the
+  /// Strategy index that answered (-1 = unattributed), `latency_micros`
+  /// the submit→result latency of the batch.
+  void Record(size_t base_index, const std::vector<int>& predictions,
+              int mechanism, double latency_micros);
+
+  /// Fills the accuracy-side fields of `report` (prequential, kappa,
+  /// windows, mechanisms, scored_batches).
+  void Finish(ScenarioReport* report);
+
+ private:
+  struct Cell {
+    bool scored = false;
+    double accuracy = 0.0;
+    int mechanism = -1;
+    double latency_micros = 0.0;
+    /// Flattened pred×label confusion counts for kappa.
+    std::vector<uint32_t> confusion;
+  };
+
+  const GeneratedScenario* scenario_;
+  size_t window_;
+  size_t num_classes_;
+  std::mutex mutex_;
+  std::vector<Cell> cells_;
+};
+
+/// Learner-direct replay knobs.
+struct LearnerHarnessOptions {
+  size_t accuracy_window = 10;
+  /// Returns the Strategy index of the learner's last inference (e.g.
+  /// FreewayAdapter::last_report().strategy), or -1 when unknown. Null
+  /// leaves every batch unattributed.
+  std::function<int()> mechanism_probe;
+};
+
+/// Replays the scenario straight through a StreamingLearner on the calling
+/// thread, honoring the label-delay schedule (inference happens when the
+/// unlabeled copy arrives, training when its labels do). With immediate
+/// labels this is the classic test-then-train loop — the exact
+/// PrequentialStep sequence of RunPrequential, so accuracy is bit-identical
+/// to the legacy figure benches. Latency here is inference compute time.
+Result<ScenarioReport> RunScenarioOnLearner(
+    StreamingLearner* learner, const GeneratedScenario& scenario,
+    const LearnerHarnessOptions& options = {});
+
+/// In-process runtime replay knobs.
+struct RuntimeHarnessOptions {
+  size_t num_shards = 2;
+  size_t queue_capacity = 64;
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  size_t accuracy_window = 10;
+  /// Target number of operational curve samples over the replay.
+  size_t curve_points = 32;
+  LearnerOptions learner;
+};
+
+/// Replays the scenario through an in-process StreamRuntime (as fast as it
+/// can submit — arrival times order events but are not slept on), scoring
+/// the RESULT reports and reconciling the runtime counters afterwards.
+Result<ScenarioReport> RunScenarioOnRuntime(const Model& prototype,
+                                            const GeneratedScenario& scenario,
+                                            const RuntimeHarnessOptions& options = {});
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_SCENARIOS_HARNESS_H_

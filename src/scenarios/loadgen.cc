@@ -1,0 +1,297 @@
+#include "scenarios/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace freeway {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// First occurrence of `"key": <number>` in a JSON body — enough to read
+/// the "totals" object of the server's /stats reply, which renders before
+/// the per-shard rows.
+uint64_t ExtractJsonUint(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = body.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// Shared tallies the client threads publish so the curve sampler can read
+/// them mid-replay without touching thread-local ClientTallies.
+struct SharedTallies {
+  std::atomic<uint64_t> overloads{0};
+  std::atomic<uint64_t> failovers{0};
+  std::atomic<uint64_t> resends{0};
+  std::atomic<uint64_t> labeled_sent{0};
+  std::atomic<uint64_t> labeled_failed{0};
+  std::atomic<uint64_t> unlabeled_sent{0};
+  std::atomic<uint64_t> results{0};
+};
+
+struct ClientPlan {
+  size_t tenant_index = 0;
+  std::vector<const ScenarioEvent*> events;  // Arrival order.
+};
+
+void AbsorbResults(StreamClient* client,
+                   std::unordered_map<int64_t, Clock::time_point>* sent_at,
+                   PrequentialScorer* scorer, SharedTallies* shared) {
+  for (const StreamResult& result : client->TakeResults()) {
+    const auto now = Clock::now();
+    double latency = 0.0;
+    auto it = sent_at->find(result.batch_index);
+    if (it != sent_at->end()) {
+      latency = MicrosBetween(it->second, now);
+      sent_at->erase(it);
+    }
+    scorer->Record(static_cast<size_t>(result.batch_index),
+                   result.report.predictions,
+                   static_cast<int>(result.report.strategy), latency);
+    shared->results.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RunClientThread(const GeneratedScenario& scenario,
+                     const LoadgenOptions& options, const ClientPlan& plan,
+                     const ScenarioTenant& tenant, Clock::time_point start,
+                     PrequentialScorer* scorer, SharedTallies* shared) {
+  ClientOptions copts;
+  copts.endpoints = options.endpoints;
+  copts.tenant_id = tenant.id;
+  copts.priority = tenant.priority;
+  StreamClient client(copts);
+  std::unordered_map<int64_t, Clock::time_point> sent_at;
+
+  uint64_t published_overloads = 0, published_failovers = 0,
+           published_resends = 0;
+  const auto publish = [&] {
+    const ClientTallies& t = client.tallies();
+    shared->overloads += t.overloads - published_overloads;
+    shared->failovers += t.failovers - published_failovers;
+    shared->resends += t.resends - published_resends;
+    published_overloads = t.overloads;
+    published_failovers = t.failovers;
+    published_resends = t.resends;
+  };
+
+  for (const ScenarioEvent* ev : plan.events) {
+    if (options.time_scale > 0.0) {
+      const auto target =
+          start + std::chrono::microseconds(static_cast<int64_t>(
+                      static_cast<double>(ev->arrival_micros) /
+                      options.time_scale));
+      std::this_thread::sleep_until(target);
+    }
+    const Batch& base = scenario.batches[ev->base_index];
+    if (ev->training) {
+      shared->labeled_sent.fetch_add(1, std::memory_order_relaxed);
+      const Status status = client.Submit(ev->stream_id, base);
+      if (!status.ok()) {
+        shared->labeled_failed.fetch_add(1, std::memory_order_relaxed);
+        FREEWAY_LOG(kWarning)
+            << "loadgen: labeled submit failed: " << status;
+      }
+    } else {
+      sent_at[base.index] = Clock::now();
+      shared->unlabeled_sent.fetch_add(1, std::memory_order_relaxed);
+      const Status status = client.Submit(ev->stream_id, UnlabeledCopy(base));
+      if (!status.ok()) sent_at.erase(base.index);
+    }
+    client.PumpResults();
+    AbsorbResults(&client, &sent_at, scorer, shared);
+    publish();
+  }
+
+  // Wait for the results of batches still in flight on the server. A shed
+  // unlabeled batch never answers, so this is deadline-bounded.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options.drain_timeout_millis);
+  while (!sent_at.empty() && Clock::now() < deadline) {
+    Result<std::vector<StreamResult>> polled = client.PollResults(250);
+    if (!polled.ok()) break;
+    for (const StreamResult& result : polled.value()) {
+      const auto now = Clock::now();
+      double latency = 0.0;
+      auto it = sent_at.find(result.batch_index);
+      if (it != sent_at.end()) {
+        latency = MicrosBetween(it->second, now);
+        sent_at.erase(it);
+      }
+      scorer->Record(static_cast<size_t>(result.batch_index),
+                     result.report.predictions,
+                     static_cast<int>(result.report.strategy), latency);
+      shared->results.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  publish();
+}
+
+}  // namespace
+
+Result<ScenarioReport> RunScenarioOverNetwork(const GeneratedScenario& scenario,
+                                              const LoadgenOptions& options) {
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("loadgen: no server endpoints");
+  }
+  std::vector<ScenarioTenant> tenants = scenario.spec.tenants;
+  if (tenants.empty()) {
+    ScenarioTenant def;
+    def.streams = 4;
+    tenants.push_back(def);
+  }
+  const size_t num_clients = std::max(options.num_clients, tenants.size());
+
+  // Tenant identity rides the connection, so clients are assigned to
+  // tenants round-robin and a tenant's events are sharded across its
+  // clients by stream id — per-stream FIFO survives because one stream
+  // always maps to one client.
+  std::vector<size_t> tenant_of_client(num_clients);
+  std::vector<std::vector<size_t>> clients_of_tenant(tenants.size());
+  std::unordered_map<uint32_t, size_t> tenant_index;
+  for (size_t t = 0; t < tenants.size(); ++t) tenant_index[tenants[t].id] = t;
+  for (size_t c = 0; c < num_clients; ++c) {
+    tenant_of_client[c] = c % tenants.size();
+    clients_of_tenant[c % tenants.size()].push_back(c);
+  }
+  std::vector<ClientPlan> plans(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    plans[c].tenant_index = tenant_of_client[c];
+  }
+  for (const ScenarioEvent& ev : scenario.events) {
+    auto it = tenant_index.find(ev.tenant_id);
+    const size_t t = it == tenant_index.end() ? 0 : it->second;
+    const std::vector<size_t>& group = clients_of_tenant[t];
+    const size_t c = group[ev.stream_id % group.size()];
+    plans[c].events.push_back(&ev);
+  }
+
+  const auto start = Clock::now();
+  ScenarioReport report;
+  report.scenario = scenario.spec.name;
+  report.mode = "network";
+  report.system = "FreewayML";
+  report.scenario_seconds =
+      static_cast<double>(scenario.duration_micros) / 1e6;
+  report.time_scale = options.time_scale;
+  report.clients = num_clients;
+  report.nodes = options.endpoints.size();
+  PrequentialScorer scorer(&scenario, options.accuracy_window);
+  SharedTallies shared;
+
+  // Curve sampler: client tallies + the server's /stats totals, on a wall
+  // cadence matched to the scaled scenario duration.
+  std::atomic<bool> sampling{true};
+  std::mutex curve_mutex;
+  const ClientEndpoint& stats_endpoint = options.endpoints.front();
+  const double wall_estimate_seconds =
+      options.time_scale > 0.0
+          ? report.scenario_seconds / options.time_scale
+          : 0.0;
+  const int64_t sample_millis = std::max<int64_t>(
+      50, wall_estimate_seconds > 0.0
+              ? static_cast<int64_t>(wall_estimate_seconds * 1000.0 /
+                                     static_cast<double>(std::max<size_t>(
+                                         1, options.curve_points)))
+              : 100);
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sample_millis));
+      CurveSample sample;
+      sample.scenario_seconds =
+          MicrosBetween(start, Clock::now()) / 1e6 *
+          (options.time_scale > 0.0 ? options.time_scale : 1.0);
+      Result<std::string> stats =
+          HttpGet(stats_endpoint.host, stats_endpoint.port, "/stats", 1000);
+      if (stats.ok()) {
+        sample.enqueued = ExtractJsonUint(stats.value(), "enqueued");
+        sample.processed = ExtractJsonUint(stats.value(), "processed");
+        sample.shed = ExtractJsonUint(stats.value(), "shed");
+        sample.rejected = ExtractJsonUint(stats.value(), "rejected");
+        sample.quarantined = ExtractJsonUint(stats.value(), "quarantined");
+      }
+      sample.dedup_resends = shared.resends.load(std::memory_order_relaxed);
+      sample.overloads = shared.overloads.load(std::memory_order_relaxed);
+      sample.failovers = shared.failovers.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(curve_mutex);
+      report.curve.push_back(sample);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back(RunClientThread, std::cref(scenario),
+                         std::cref(options), std::cref(plans[c]),
+                         std::cref(tenants[plans[c].tenant_index]), start,
+                         &scorer, &shared);
+  }
+  for (std::thread& t : threads) t.join();
+  sampling.store(false, std::memory_order_release);
+  sampler.join();
+
+  // Let the server counters settle (in-flight drains to 0), then read the
+  // final totals for reconciliation. With a replicated group every node
+  // applies the committed stream, so any reachable node can reconcile.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options.drain_timeout_millis);
+  std::string final_stats;
+  bool reconciled = false;
+  while (Clock::now() < deadline && !reconciled) {
+    for (const ClientEndpoint& ep : options.endpoints) {
+      Result<std::string> stats = HttpGet(ep.host, ep.port, "/stats", 1000);
+      if (!stats.ok()) continue;
+      final_stats = stats.value();
+      const uint64_t enqueued = ExtractJsonUint(final_stats, "enqueued");
+      const uint64_t settled = ExtractJsonUint(final_stats, "processed") +
+                               ExtractJsonUint(final_stats, "shed") +
+                               ExtractJsonUint(final_stats, "quarantined") +
+                               ExtractJsonUint(final_stats, "undrained");
+      if (enqueued == settled) {
+        reconciled = true;
+        break;
+      }
+    }
+    if (!reconciled) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (!final_stats.empty()) {
+    report.enqueued = ExtractJsonUint(final_stats, "enqueued");
+    report.processed = ExtractJsonUint(final_stats, "processed");
+    report.shed = ExtractJsonUint(final_stats, "shed");
+    report.rejected = ExtractJsonUint(final_stats, "rejected");
+    report.quarantined = ExtractJsonUint(final_stats, "quarantined");
+    report.undrained = ExtractJsonUint(final_stats, "undrained");
+    report.in_flight =
+        report.enqueued -
+        std::min(report.enqueued, report.processed + report.shed +
+                                      report.quarantined + report.undrained);
+  }
+  report.reconciled =
+      reconciled &&
+      report.enqueued == report.processed + report.shed + report.quarantined +
+                             report.undrained + report.in_flight;
+  report.labeled_submitted = shared.labeled_sent.load();
+  report.unlabeled_submitted = shared.unlabeled_sent.load();
+  report.results_received = shared.results.load();
+  report.zero_labeled_loss =
+      report.reconciled && shared.labeled_failed.load() == 0;
+  scorer.Finish(&report);
+  report.wall_seconds = MicrosBetween(start, Clock::now()) / 1e6;
+  return report;
+}
+
+}  // namespace freeway

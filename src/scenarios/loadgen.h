@@ -1,0 +1,45 @@
+#ifndef FREEWAYML_SCENARIOS_LOADGEN_H_
+#define FREEWAYML_SCENARIOS_LOADGEN_H_
+
+#include <vector>
+
+#include "net/client.h"
+#include "scenarios/harness.h"
+
+namespace freeway {
+
+/// Network replay knobs.
+struct LoadgenOptions {
+  /// Server endpoint list: one entry for a single server, the full group
+  /// for a replicated cluster (clients follow NOT_LEADER redirects).
+  std::vector<ClientEndpoint> endpoints;
+  /// Concurrent StreamClients. Raised to the tenant count when smaller:
+  /// tenant identity is stamped per connection, so each tenant needs at
+  /// least one client, and a tenant's streams are sharded across its
+  /// clients by stream id.
+  size_t num_clients = 4;
+  /// Scenario-time compression: wall gap = scenario gap / time_scale.
+  /// 1 replays arrivals in wall-clock time, 10 replays 10x faster, and 0
+  /// submits as fast as the server accepts (no pacing).
+  double time_scale = 1.0;
+  size_t accuracy_window = 10;
+  /// Target number of operational curve samples over the replay.
+  size_t curve_points = 32;
+  /// After the last submit, how long to wait for outstanding RESULT
+  /// frames and for the server counters to reconcile (in-flight = 0).
+  int64_t drain_timeout_millis = 15000;
+};
+
+/// Replays the scenario through N concurrent StreamClients against a live
+/// server (or HA group), honoring the arrival process in scaled wall-clock
+/// time. Labeled copies train the remote runtime; unlabeled copies come
+/// back as RESULT frames and are scored against the withheld labels.
+/// Operational curves (shed / rejected / dedup / overload / failover) are
+/// sampled from the server's /stats endpoint plus the client tallies.
+/// Latency is true submit→result time as a client observes it.
+Result<ScenarioReport> RunScenarioOverNetwork(const GeneratedScenario& scenario,
+                                              const LoadgenOptions& options);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_SCENARIOS_LOADGEN_H_

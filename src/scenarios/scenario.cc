@@ -1,0 +1,248 @@
+#include "scenarios/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace freeway {
+
+namespace {
+
+/// Per-kind default magnitudes, matching the strengths the figure benches
+/// have historically used for each paper pattern.
+double DefaultMagnitude(ScenarioDriftKind kind) {
+  switch (kind) {
+    case ScenarioDriftKind::kGradual: return 0.08;
+    case ScenarioDriftKind::kJitter: return 0.15;
+    case ScenarioDriftKind::kAbrupt: return 3.0;
+    default: return 0.0;
+  }
+}
+
+DriftSegment CompileSegment(const ScenarioDriftSegment& seg) {
+  DriftSegment out;
+  out.num_batches = seg.num_batches;
+  out.save_checkpoint = seg.save_checkpoint;
+  out.new_priors = seg.priors;
+
+  // Cluster segments lower onto the classic shape named by `cluster_mode`,
+  // restricted to the affected centroids; everything else maps 1:1.
+  const ScenarioDriftKind shape =
+      seg.kind == ScenarioDriftKind::kCluster ? seg.cluster_mode : seg.kind;
+  switch (shape) {
+    case ScenarioDriftKind::kStationary:
+      out.kind = DriftKind::kStationary;
+      break;
+    case ScenarioDriftKind::kGradual:
+      out.kind = DriftKind::kDirectional;
+      break;
+    case ScenarioDriftKind::kJitter:
+      out.kind = DriftKind::kLocalized;
+      break;
+    case ScenarioDriftKind::kAbrupt:
+      out.kind = DriftKind::kSudden;
+      break;
+    case ScenarioDriftKind::kRecurring:
+      out.kind = DriftKind::kReoccurring;
+      out.reoccur_checkpoint = seg.checkpoint;
+      break;
+    case ScenarioDriftKind::kCluster:
+      // Unreachable: cluster_mode is validated to a concrete shape.
+      out.kind = DriftKind::kSudden;
+      break;
+  }
+  out.magnitude =
+      seg.magnitude > 0.0 ? seg.magnitude : DefaultMagnitude(shape);
+  out.affected_classes = seg.classes;
+  return out;
+}
+
+}  // namespace
+
+DriftScript CompileDriftScript(const ScenarioSpec& spec) {
+  DriftScript script;
+  script.loop = true;
+  script.segments.reserve(spec.drift.size());
+  for (const ScenarioDriftSegment& seg : spec.drift) {
+    script.segments.push_back(CompileSegment(seg));
+  }
+  return script;
+}
+
+Result<std::unique_ptr<StreamSource>> MakeScenarioSource(
+    const ScenarioSpec& spec) {
+  if (!spec.dataset.empty()) {
+    return MakeBenchmarkDataset(spec.dataset, spec.seed);
+  }
+  if (spec.drift.empty()) {
+    return Status::InvalidArgument("scenario '" + spec.name +
+                                   "': no dataset and no drift schedule");
+  }
+  ConceptSourceOptions options;
+  options.dim = spec.dim;
+  options.num_classes = spec.classes;
+  options.class_separation = spec.class_separation;
+  options.noise_sigma = spec.noise_sigma;
+  options.transition_fraction = spec.transition_fraction;
+  options.seed = spec.seed;
+  return std::unique_ptr<StreamSource>(std::make_unique<GaussianConceptSource>(
+      spec.name, options, CompileDriftScript(spec)));
+}
+
+Batch UnlabeledCopy(const Batch& batch) {
+  Batch out;
+  out.features = batch.features;
+  out.index = batch.index;
+  return out;
+}
+
+Result<GeneratedScenario> GenerateScenario(const ScenarioSpec& spec) {
+  GeneratedScenario scenario;
+  scenario.spec = spec;
+
+  // 1. Draw the data stream. The source owns the spec seed directly, so the
+  // batch contents cannot be perturbed by arrival/tenant sampling below.
+  ASSIGN_OR_RETURN(std::unique_ptr<StreamSource> source,
+                   MakeScenarioSource(spec));
+  scenario.batches.reserve(spec.num_batches);
+  scenario.metas.reserve(spec.num_batches);
+  for (size_t b = 0; b < spec.num_batches; ++b) {
+    ASSIGN_OR_RETURN(Batch batch, source->NextBatch(spec.batch_size));
+    scenario.batches.push_back(std::move(batch));
+    scenario.metas.push_back(source->LastBatchMeta());
+  }
+
+  // 2. Arrival times from a forked child generator: decorrelated from the
+  // data draw, so two specs differing only in arrival produce identical
+  // batches, and two seeds produce measurably different jitter.
+  Rng parent(spec.seed);
+  Rng arrival_rng = parent.Fork(1);
+  const ArrivalSpec& a = spec.arrival;
+  std::vector<uint64_t> arrivals(spec.num_batches, 0);
+  double t = 0.0;  // Scenario-time seconds.
+  bool in_burst = false;
+  size_t phase_left = 0;
+  auto draw_phase = [&]() {
+    return 1 + static_cast<size_t>(
+                   -a.burst_batches *
+                   std::log(1.0 - arrival_rng.NextDouble()));
+  };
+  for (size_t i = 0; i < spec.num_batches; ++i) {
+    double rate = a.rate;
+    switch (a.kind) {
+      case ArrivalKind::kConstant:
+        break;
+      case ArrivalKind::kDiurnal: {
+        const double phase = 2.0 * M_PI * t / std::max(a.period_seconds, 1e-9);
+        rate = a.rate * (1.0 + a.amplitude * std::sin(phase));
+        rate = std::max(rate, 0.05 * a.rate);
+        break;
+      }
+      case ArrivalKind::kBursty: {
+        if (phase_left == 0) {
+          in_burst = !in_burst;
+          phase_left = draw_phase();
+        }
+        --phase_left;
+        if (in_burst) rate = a.rate * a.factor;
+        break;
+      }
+      case ArrivalKind::kFlashCrowd: {
+        if (t >= a.flash_at_seconds &&
+            t < a.flash_at_seconds + a.flash_duration_seconds) {
+          rate = a.rate * a.factor;
+        }
+        break;
+      }
+    }
+    double gap = (1.0 / rate) * (1.0 + a.jitter * arrival_rng.Uniform(-1, 1));
+    gap = std::max(gap, 1e-7);
+    t += gap;
+    arrivals[i] = static_cast<uint64_t>(t * 1e6);
+  }
+
+  // 3. Tenant / stream attribution from its own forked generator.
+  std::vector<ScenarioTenant> tenants = spec.tenants;
+  if (tenants.empty()) {
+    ScenarioTenant def;
+    def.streams = 4;
+    tenants.push_back(def);
+  }
+  double share_sum = 0.0;
+  for (const ScenarioTenant& tenant : tenants) share_sum += tenant.share;
+  Rng tenant_rng = parent.Fork(2);
+  std::vector<size_t> batch_tenant(spec.num_batches, 0);
+  std::vector<uint64_t> batch_stream(spec.num_batches, 0);
+  for (size_t i = 0; i < spec.num_batches; ++i) {
+    const double u = tenant_rng.NextDouble() * share_sum;
+    size_t pick = tenants.size() - 1;
+    double acc = 0.0;
+    for (size_t k = 0; k < tenants.size(); ++k) {
+      acc += tenants[k].share;
+      if (u < acc) {
+        pick = k;
+        break;
+      }
+    }
+    batch_tenant[i] = pick;
+    const uint64_t sub = tenant_rng.NextBelow(tenants[pick].streams);
+    batch_stream[i] = (static_cast<uint64_t>(tenants[pick].id) << 32) | sub;
+  }
+
+  // 4. Label-delay schedule: the labeled copy of batch i arrives `lag`
+  // batch-slots later (adversarially stretched inside shift-event windows),
+  // strictly after the inference copy of the batch it trails.
+  const uint64_t mean_gap_micros =
+      static_cast<uint64_t>(std::max(1e6 / a.rate, 1.0));
+  const size_t n = spec.num_batches;
+  scenario.events.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t lag = 0;
+    switch (spec.labels.kind) {
+      case LabelDelayKind::kImmediate:
+        break;
+      case LabelDelayKind::kFixedLag:
+        lag = spec.labels.lag_batches;
+        break;
+      case LabelDelayKind::kAdversarial:
+        lag = spec.labels.lag_batches;
+        if (scenario.metas[i].shift_event) {
+          lag = static_cast<size_t>(
+              static_cast<double>(lag) * spec.labels.adversarial_factor);
+        }
+        break;
+    }
+    uint64_t train_micros;
+    if (lag == 0) {
+      train_micros = arrivals[i];
+    } else if (i + lag < n) {
+      train_micros = arrivals[i + lag] + 1;
+    } else {
+      // Labels landing past the stream end trail off at the mean rate.
+      train_micros =
+          arrivals[n - 1] + (i + lag - (n - 1)) * mean_gap_micros + 1;
+    }
+
+    ScenarioEvent infer;
+    infer.arrival_micros = arrivals[i];
+    infer.base_index = i;
+    infer.training = false;
+    infer.stream_id = batch_stream[i];
+    infer.tenant_id = tenants[batch_tenant[i]].id;
+    infer.priority = tenants[batch_tenant[i]].priority;
+    ScenarioEvent train = infer;
+    train.arrival_micros = train_micros;
+    train.training = true;
+    scenario.events.push_back(infer);
+    scenario.events.push_back(train);
+  }
+  std::sort(scenario.events.begin(), scenario.events.end(),
+            [](const ScenarioEvent& x, const ScenarioEvent& y) {
+              return std::tie(x.arrival_micros, x.base_index, x.training) <
+                     std::tie(y.arrival_micros, y.base_index, y.training);
+            });
+  scenario.duration_micros = scenario.events.back().arrival_micros;
+  return scenario;
+}
+
+}  // namespace freeway

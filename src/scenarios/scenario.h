@@ -1,0 +1,70 @@
+#ifndef FREEWAYML_SCENARIOS_SCENARIO_H_
+#define FREEWAYML_SCENARIOS_SCENARIO_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/concept.h"
+#include "data/simulators.h"
+#include "scenarios/spec.h"
+#include "stream/batch.h"
+
+namespace freeway {
+
+/// Compiles a scenario's drift schedule onto the shared drift engine's
+/// script language. Cluster segments lower onto the classic shapes with
+/// `affected_classes` restricting which centroids move, so every drift
+/// shape in the tree has exactly one implementation (GaussianConceptSource).
+DriftScript CompileDriftScript(const ScenarioSpec& spec);
+
+/// Builds the scenario's data source: the named benchmark dataset when
+/// `spec.dataset` is set, otherwise a GaussianConceptSource over the inline
+/// concept fields + compiled drift schedule. Deterministic under spec.seed.
+Result<std::unique_ptr<StreamSource>> MakeScenarioSource(
+    const ScenarioSpec& spec);
+
+/// One timed submission in a generated scenario. Events reference the base
+/// batch table by index instead of carrying a copy: each base batch yields
+/// an unlabeled inference event at its arrival time and a labeled training
+/// event at its label-delay time, and both must ride the same logical
+/// stream (the training copy updates the pipeline the inference hit).
+struct ScenarioEvent {
+  /// Scenario-time offset from stream start.
+  uint64_t arrival_micros = 0;
+  /// Index into GeneratedScenario::batches / metas.
+  size_t base_index = 0;
+  /// False: submit the unlabeled copy (score the returned predictions).
+  /// True: submit the labeled batch (train).
+  bool training = false;
+  uint64_t stream_id = 0;
+  uint32_t tenant_id = 0;
+  TenantPriority priority = TenantPriority::kStandard;
+};
+
+/// A fully materialized scenario: the labeled base batches in stream order
+/// plus the timed, tenant-attributed event tape. Bit-identical for a given
+/// spec regardless of host, run, or how many threads later replay it.
+struct GeneratedScenario {
+  ScenarioSpec spec;
+  /// Base batches in concept order, always labeled.
+  std::vector<Batch> batches;
+  /// Ground-truth drift annotation per base batch.
+  std::vector<BatchMeta> metas;
+  /// Event tape sorted by (arrival_micros, base_index, training).
+  std::vector<ScenarioEvent> events;
+  /// Arrival time of the last event.
+  uint64_t duration_micros = 0;
+};
+
+/// Materializes the scenario: draws the data stream, lays out arrival
+/// times per the arrival process, attributes each batch to a tenant/stream,
+/// and schedules the labeled copy per the label-delay policy.
+Result<GeneratedScenario> GenerateScenario(const ScenarioSpec& spec);
+
+/// The unlabeled twin of a labeled batch (features and index, no labels) —
+/// what the inference event actually submits.
+Batch UnlabeledCopy(const Batch& batch);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_SCENARIOS_SCENARIO_H_

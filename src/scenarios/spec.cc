@@ -1,0 +1,596 @@
+#include "scenarios/spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace freeway {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& tok, const std::string& ctx) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument(ctx + ": expected a number, got '" + tok +
+                                   "'");
+  }
+  return v;
+}
+
+Result<uint64_t> ParseUint(const std::string& tok, const std::string& ctx) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || tok.front() == '-') {
+    return Status::InvalidArgument(ctx + ": expected a non-negative integer, "
+                                         "got '" +
+                                   tok + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+template <typename T>
+Result<std::vector<T>> ParseNumberList(const std::string& tok,
+                                       const std::string& ctx) {
+  std::vector<T> out;
+  std::string item;
+  std::istringstream in(tok);
+  while (std::getline(in, item, ',')) {
+    if constexpr (std::is_floating_point_v<T>) {
+      ASSIGN_OR_RETURN(double v, ParseDouble(item, ctx));
+      out.push_back(static_cast<T>(v));
+    } else {
+      ASSIGN_OR_RETURN(uint64_t v, ParseUint(item, ctx));
+      out.push_back(static_cast<T>(v));
+    }
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(ctx + ": empty list");
+  }
+  return out;
+}
+
+/// Splits "key=value" tokens; bare flags parse as {token, ""}.
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+KeyValue SplitKeyValue(const std::string& tok) {
+  const size_t eq = tok.find('=');
+  if (eq == std::string::npos) return {tok, ""};
+  return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+Result<ScenarioDriftKind> ParseDriftKind(const std::string& tok) {
+  if (tok == "stationary") return ScenarioDriftKind::kStationary;
+  if (tok == "gradual") return ScenarioDriftKind::kGradual;
+  if (tok == "jitter") return ScenarioDriftKind::kJitter;
+  if (tok == "abrupt") return ScenarioDriftKind::kAbrupt;
+  if (tok == "recurring") return ScenarioDriftKind::kRecurring;
+  if (tok == "cluster") return ScenarioDriftKind::kCluster;
+  return Status::InvalidArgument("drift: unknown kind '" + tok +
+                                 "' (stationary|gradual|jitter|abrupt|"
+                                 "recurring|cluster)");
+}
+
+Result<ScenarioDriftSegment> ParseDriftLine(const std::string& value) {
+  const std::vector<std::string> toks = Tokenize(value);
+  if (toks.size() < 2) {
+    return Status::InvalidArgument(
+        "drift: expected '<kind> <batches> [options]', got '" + value + "'");
+  }
+  ScenarioDriftSegment seg;
+  ASSIGN_OR_RETURN(seg.kind, ParseDriftKind(toks[0]));
+  ASSIGN_OR_RETURN(uint64_t n, ParseUint(toks[1], "drift batches"));
+  if (n == 0) return Status::InvalidArgument("drift: batches must be > 0");
+  seg.num_batches = static_cast<size_t>(n);
+  for (size_t i = 2; i < toks.size(); ++i) {
+    const KeyValue kv = SplitKeyValue(toks[i]);
+    if (kv.key == "save" && kv.value.empty()) {
+      seg.save_checkpoint = true;
+    } else if (kv.key == "mag") {
+      ASSIGN_OR_RETURN(seg.magnitude, ParseDouble(kv.value, "drift mag"));
+    } else if (kv.key == "checkpoint") {
+      ASSIGN_OR_RETURN(uint64_t cp, ParseUint(kv.value, "drift checkpoint"));
+      seg.checkpoint = static_cast<int>(cp);
+    } else if (kv.key == "priors") {
+      ASSIGN_OR_RETURN(seg.priors,
+                       ParseNumberList<double>(kv.value, "drift priors"));
+    } else if (kv.key == "classes") {
+      ASSIGN_OR_RETURN(seg.classes,
+                       ParseNumberList<size_t>(kv.value, "drift classes"));
+    } else if (kv.key == "mode") {
+      ASSIGN_OR_RETURN(seg.cluster_mode, ParseDriftKind(kv.value));
+      if (seg.cluster_mode != ScenarioDriftKind::kAbrupt &&
+          seg.cluster_mode != ScenarioDriftKind::kGradual &&
+          seg.cluster_mode != ScenarioDriftKind::kJitter) {
+        return Status::InvalidArgument(
+            "drift: cluster mode must be abrupt, gradual, or jitter");
+      }
+    } else {
+      return Status::InvalidArgument("drift: unknown option '" + toks[i] +
+                                     "'");
+    }
+  }
+  if (seg.kind == ScenarioDriftKind::kCluster && seg.classes.empty()) {
+    return Status::InvalidArgument(
+        "drift: cluster segments need classes=<i,j,...>");
+  }
+  if (seg.kind != ScenarioDriftKind::kCluster && !seg.classes.empty()) {
+    return Status::InvalidArgument(
+        "drift: classes= only applies to cluster segments");
+  }
+  return seg;
+}
+
+Result<ArrivalSpec> ParseArrivalLine(const std::string& value) {
+  const std::vector<std::string> toks = Tokenize(value);
+  if (toks.empty()) {
+    return Status::InvalidArgument("arrival: missing kind");
+  }
+  ArrivalSpec a;
+  if (toks[0] == "constant") {
+    a.kind = ArrivalKind::kConstant;
+  } else if (toks[0] == "diurnal") {
+    a.kind = ArrivalKind::kDiurnal;
+  } else if (toks[0] == "bursty") {
+    a.kind = ArrivalKind::kBursty;
+  } else if (toks[0] == "flash") {
+    a.kind = ArrivalKind::kFlashCrowd;
+  } else {
+    return Status::InvalidArgument("arrival: unknown kind '" + toks[0] +
+                                   "' (constant|diurnal|bursty|flash)");
+  }
+  for (size_t i = 1; i < toks.size(); ++i) {
+    const KeyValue kv = SplitKeyValue(toks[i]);
+    double* field = nullptr;
+    if (kv.key == "rate") field = &a.rate;
+    else if (kv.key == "jitter") field = &a.jitter;
+    else if (kv.key == "period") field = &a.period_seconds;
+    else if (kv.key == "amp") field = &a.amplitude;
+    else if (kv.key == "burst") field = &a.burst_batches;
+    else if (kv.key == "factor") field = &a.factor;
+    else if (kv.key == "at") field = &a.flash_at_seconds;
+    else if (kv.key == "dur") field = &a.flash_duration_seconds;
+    else {
+      return Status::InvalidArgument("arrival: unknown option '" + toks[i] +
+                                     "'");
+    }
+    ASSIGN_OR_RETURN(*field, ParseDouble(kv.value, "arrival " + kv.key));
+  }
+  if (a.rate <= 0.0) {
+    return Status::InvalidArgument("arrival: rate must be > 0");
+  }
+  return a;
+}
+
+Result<LabelDelaySpec> ParseLabelsLine(const std::string& value) {
+  const std::vector<std::string> toks = Tokenize(value);
+  if (toks.empty()) {
+    return Status::InvalidArgument("labels: missing kind");
+  }
+  LabelDelaySpec l;
+  if (toks[0] == "immediate") {
+    l.kind = LabelDelayKind::kImmediate;
+  } else if (toks[0] == "fixed-lag") {
+    l.kind = LabelDelayKind::kFixedLag;
+  } else if (toks[0] == "adversarial") {
+    l.kind = LabelDelayKind::kAdversarial;
+  } else {
+    return Status::InvalidArgument("labels: unknown kind '" + toks[0] +
+                                   "' (immediate|fixed-lag|adversarial)");
+  }
+  for (size_t i = 1; i < toks.size(); ++i) {
+    const KeyValue kv = SplitKeyValue(toks[i]);
+    if (kv.key == "lag") {
+      ASSIGN_OR_RETURN(uint64_t lag, ParseUint(kv.value, "labels lag"));
+      l.lag_batches = static_cast<size_t>(lag);
+    } else if (kv.key == "factor") {
+      ASSIGN_OR_RETURN(l.adversarial_factor,
+                       ParseDouble(kv.value, "labels factor"));
+    } else {
+      return Status::InvalidArgument("labels: unknown option '" + toks[i] +
+                                     "'");
+    }
+  }
+  if (l.kind != LabelDelayKind::kImmediate && l.lag_batches == 0) {
+    return Status::InvalidArgument("labels: " +
+                                   std::string(LabelDelayKindName(l.kind)) +
+                                   " needs lag=<batches>");
+  }
+  return l;
+}
+
+Result<ScenarioTenant> ParseTenantLine(const std::string& value) {
+  const std::vector<std::string> toks = Tokenize(value);
+  if (toks.empty()) {
+    return Status::InvalidArgument("tenant: missing id");
+  }
+  ScenarioTenant t;
+  ASSIGN_OR_RETURN(uint64_t id, ParseUint(toks[0], "tenant id"));
+  t.id = static_cast<uint32_t>(id);
+  for (size_t i = 1; i < toks.size(); ++i) {
+    const KeyValue kv = SplitKeyValue(toks[i]);
+    if (kv.key == "weight") {
+      ASSIGN_OR_RETURN(uint64_t w, ParseUint(kv.value, "tenant weight"));
+      t.weight = static_cast<uint32_t>(w);
+    } else if (kv.key == "priority") {
+      if (kv.value == "best-effort") {
+        t.priority = TenantPriority::kBestEffort;
+      } else if (kv.value == "standard") {
+        t.priority = TenantPriority::kStandard;
+      } else if (kv.value == "critical") {
+        t.priority = TenantPriority::kCritical;
+      } else {
+        return Status::InvalidArgument(
+            "tenant: unknown priority '" + kv.value +
+            "' (best-effort|standard|critical)");
+      }
+    } else if (kv.key == "share") {
+      ASSIGN_OR_RETURN(t.share, ParseDouble(kv.value, "tenant share"));
+    } else if (kv.key == "streams") {
+      ASSIGN_OR_RETURN(t.streams, ParseUint(kv.value, "tenant streams"));
+      if (t.streams == 0) {
+        return Status::InvalidArgument("tenant: streams must be > 0");
+      }
+    } else {
+      return Status::InvalidArgument("tenant: unknown option '" + toks[i] +
+                                     "'");
+    }
+  }
+  if (t.share <= 0.0) {
+    return Status::InvalidArgument("tenant: share must be > 0");
+  }
+  return t;
+}
+
+}  // namespace
+
+const char* ScenarioDriftKindName(ScenarioDriftKind kind) {
+  switch (kind) {
+    case ScenarioDriftKind::kStationary: return "stationary";
+    case ScenarioDriftKind::kGradual: return "gradual";
+    case ScenarioDriftKind::kJitter: return "jitter";
+    case ScenarioDriftKind::kAbrupt: return "abrupt";
+    case ScenarioDriftKind::kRecurring: return "recurring";
+    case ScenarioDriftKind::kCluster: return "cluster";
+  }
+  return "unknown";
+}
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kConstant: return "constant";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kFlashCrowd: return "flash";
+  }
+  return "unknown";
+}
+
+const char* LabelDelayKindName(LabelDelayKind kind) {
+  switch (kind) {
+    case LabelDelayKind::kImmediate: return "immediate";
+    case LabelDelayKind::kFixedLag: return "fixed-lag";
+    case LabelDelayKind::kAdversarial: return "adversarial";
+  }
+  return "unknown";
+}
+
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = Trim(raw);
+    if (line.empty()) continue;
+
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_no) +
+                                     ": expected 'key: value', got '" + line +
+                                     "'");
+    }
+    const std::string key = Trim(line.substr(0, colon));
+    const std::string value = Trim(line.substr(colon + 1));
+    const std::string ctx =
+        "scenario line " + std::to_string(line_no) + " (" + key + ")";
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "seed") {
+      ASSIGN_OR_RETURN(spec.seed, ParseUint(value, ctx));
+    } else if (key == "batches") {
+      ASSIGN_OR_RETURN(uint64_t n, ParseUint(value, ctx));
+      if (n == 0) return Status::InvalidArgument(ctx + ": must be > 0");
+      spec.num_batches = static_cast<size_t>(n);
+    } else if (key == "batch-size" || key == "batch_size") {
+      ASSIGN_OR_RETURN(uint64_t n, ParseUint(value, ctx));
+      if (n == 0) return Status::InvalidArgument(ctx + ": must be > 0");
+      spec.batch_size = static_cast<size_t>(n);
+    } else if (key == "warmup") {
+      ASSIGN_OR_RETURN(uint64_t n, ParseUint(value, ctx));
+      spec.warmup_batches = static_cast<size_t>(n);
+    } else if (key == "dataset") {
+      spec.dataset = value;
+    } else if (key == "dim") {
+      ASSIGN_OR_RETURN(uint64_t n, ParseUint(value, ctx));
+      if (n == 0) return Status::InvalidArgument(ctx + ": must be > 0");
+      spec.dim = static_cast<size_t>(n);
+    } else if (key == "classes") {
+      ASSIGN_OR_RETURN(uint64_t n, ParseUint(value, ctx));
+      if (n < 2) return Status::InvalidArgument(ctx + ": must be >= 2");
+      spec.classes = static_cast<size_t>(n);
+    } else if (key == "separation") {
+      ASSIGN_OR_RETURN(spec.class_separation, ParseDouble(value, ctx));
+    } else if (key == "noise") {
+      ASSIGN_OR_RETURN(spec.noise_sigma, ParseDouble(value, ctx));
+    } else if (key == "transition") {
+      ASSIGN_OR_RETURN(spec.transition_fraction, ParseDouble(value, ctx));
+    } else if (key == "drift") {
+      ASSIGN_OR_RETURN(ScenarioDriftSegment seg, ParseDriftLine(value));
+      spec.drift.push_back(std::move(seg));
+    } else if (key == "arrival") {
+      ASSIGN_OR_RETURN(spec.arrival, ParseArrivalLine(value));
+    } else if (key == "labels") {
+      ASSIGN_OR_RETURN(spec.labels, ParseLabelsLine(value));
+    } else if (key == "tenant") {
+      ASSIGN_OR_RETURN(ScenarioTenant tenant, ParseTenantLine(value));
+      spec.tenants.push_back(tenant);
+    } else {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("scenario: missing 'name:'");
+  }
+  if (spec.dataset.empty() && spec.drift.empty()) {
+    return Status::InvalidArgument(
+        "scenario '" + spec.name +
+        "': needs either a 'dataset:' or at least one 'drift:' segment");
+  }
+  if (!spec.dataset.empty() && !spec.drift.empty()) {
+    return Status::InvalidArgument(
+        "scenario '" + spec.name +
+        "': 'dataset:' and inline 'drift:' segments are mutually exclusive");
+  }
+  for (const ScenarioDriftSegment& seg : spec.drift) {
+    for (size_t c : seg.classes) {
+      if (c >= spec.classes) {
+        return Status::InvalidArgument(
+            "scenario '" + spec.name + "': cluster class " +
+            std::to_string(c) + " out of range (classes: " +
+            std::to_string(spec.classes) + ")");
+      }
+    }
+    if (!seg.priors.empty() && seg.priors.size() != spec.classes) {
+      return Status::InvalidArgument(
+          "scenario '" + spec.name + "': priors list must have " +
+          std::to_string(spec.classes) + " entries");
+    }
+  }
+  if (spec.warmup_batches >= spec.num_batches) {
+    return Status::InvalidArgument("scenario '" + spec.name +
+                                   "': warmup must leave scored batches");
+  }
+  return spec;
+}
+
+Result<ScenarioSpec> LoadScenarioSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot read scenario spec: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseScenarioSpec(buf.str());
+}
+
+namespace {
+
+struct CannedScenario {
+  const char* name;
+  const char* text;
+};
+
+/// The canned scenario library. Each entry has a committed twin under
+/// scenarios/<name>.scn with byte-identical content (tests enforce the
+/// pairing), so specs are usable both programmatically and from the CLI.
+const CannedScenario kCanned[] = {
+    {"abrupt",
+     "# Pattern B: repeated sudden concept jumps with full recovery windows.\n"
+     "name: abrupt\n"
+     "seed: 7\n"
+     "batches: 120\n"
+     "batch-size: 256\n"
+     "warmup: 8\n"
+     "dim: 16\n"
+     "classes: 2\n"
+     "separation: 2.0\n"
+     "noise: 1.0\n"
+     "drift: stationary 30 save\n"
+     "drift: abrupt 30 mag=3.0\n"
+     "drift: abrupt 30 mag=3.0\n"
+     "drift: abrupt 30 mag=3.0\n"
+     "arrival: constant rate=200 jitter=0.1\n"
+     "labels: immediate\n"
+     "tenant: 1 weight=1 priority=standard share=1.0 streams=4\n"},
+    {"gradual",
+     "# Pattern A1: slow directional concept motion under a diurnal load "
+     "curve.\n"
+     "name: gradual\n"
+     "seed: 11\n"
+     "batches: 120\n"
+     "batch-size: 256\n"
+     "warmup: 8\n"
+     "dim: 16\n"
+     "classes: 2\n"
+     "separation: 2.0\n"
+     "noise: 1.0\n"
+     "drift: stationary 20\n"
+     "drift: gradual 100 mag=0.08\n"
+     "arrival: diurnal rate=150 period=20 amp=0.6\n"
+     "labels: immediate\n"
+     "tenant: 1 weight=1 priority=standard share=1.0 streams=4\n"},
+    {"recurring",
+     "# Pattern C: a checkpointed concept keeps coming back, rewarding "
+     "knowledge reuse.\n"
+     "name: recurring\n"
+     "seed: 13\n"
+     "batches: 120\n"
+     "batch-size: 256\n"
+     "warmup: 8\n"
+     "dim: 16\n"
+     "classes: 2\n"
+     "separation: 2.0\n"
+     "noise: 1.0\n"
+     "drift: stationary 25 save\n"
+     "drift: abrupt 25 mag=3.0\n"
+     "drift: recurring 25 checkpoint=0\n"
+     "drift: abrupt 25 mag=3.0\n"
+     "drift: recurring 20 checkpoint=0\n"
+     "arrival: constant rate=200 jitter=0.1\n"
+     "labels: immediate\n"
+     "tenant: 1 weight=1 priority=standard share=1.0 streams=4\n"},
+    {"cluster_localized",
+     "# Cluster-localized drift (2606.22026): only a subset of class "
+     "clusters\n"
+     "# moves, so the global distribution shifts by a diluted amount.\n"
+     "name: cluster_localized\n"
+     "seed: 17\n"
+     "batches: 120\n"
+     "batch-size: 256\n"
+     "warmup: 8\n"
+     "dim: 16\n"
+     "classes: 4\n"
+     "separation: 2.5\n"
+     "noise: 1.0\n"
+     "drift: stationary 30 save\n"
+     "drift: cluster 45 mag=0.12 classes=0,2 mode=gradual\n"
+     "drift: cluster 45 mag=3.5 classes=1 mode=abrupt\n"
+     "arrival: constant rate=200 jitter=0.1\n"
+     "labels: immediate\n"
+     "tenant: 1 weight=1 priority=standard share=1.0 streams=4\n"},
+    {"flash_crowd",
+     "# Flash-crowd arrivals over mild drift: a 10x request spike that "
+     "stresses\n"
+     "# shedding and weighted admission while a critical tenant must stay "
+     "served.\n"
+     "name: flash_crowd\n"
+     "seed: 19\n"
+     "batches: 120\n"
+     "batch-size: 256\n"
+     "warmup: 8\n"
+     "dim: 16\n"
+     "classes: 2\n"
+     "separation: 2.0\n"
+     "noise: 1.0\n"
+     "drift: gradual 120 mag=0.05\n"
+     "arrival: flash rate=120 at=0.25 dur=0.2 factor=10\n"
+     "labels: fixed-lag lag=3\n"
+     "tenant: 1 weight=4 priority=critical share=0.5 streams=4\n"
+     "tenant: 2 weight=1 priority=best-effort share=0.5 streams=4\n"},
+    {"adversarial_labels",
+     "# Adversarial label delay: ground truth is slowest exactly inside the\n"
+     "# shift-event windows, when adaptation needs it most.\n"
+     "name: adversarial_labels\n"
+     "seed: 23\n"
+     "batches: 120\n"
+     "batch-size: 256\n"
+     "warmup: 8\n"
+     "dim: 16\n"
+     "classes: 2\n"
+     "separation: 2.0\n"
+     "noise: 1.0\n"
+     "drift: stationary 25 save\n"
+     "drift: abrupt 30 mag=3.0\n"
+     "drift: recurring 30 checkpoint=0\n"
+     "drift: abrupt 35 mag=3.0\n"
+     "arrival: bursty rate=150 burst=12 factor=6\n"
+     "labels: adversarial lag=4 factor=4\n"
+     "tenant: 1 weight=1 priority=standard share=1.0 streams=4\n"},
+    {"mixed",
+     "# CI smoke scenario: every drift shape in ~10 wall-clock seconds, with "
+     "a\n"
+     "# flash-crowd spike and lagged labels. Small batches keep it fast under\n"
+     "# sanitizers.\n"
+     "name: mixed\n"
+     "seed: 31\n"
+     "batches: 60\n"
+     "batch-size: 128\n"
+     "warmup: 4\n"
+     "dim: 12\n"
+     "classes: 3\n"
+     "separation: 2.2\n"
+     "noise: 1.0\n"
+     "drift: stationary 10 save\n"
+     "drift: gradual 12 mag=0.1\n"
+     "drift: abrupt 10 mag=3.0\n"
+     "drift: cluster 14 mag=0.15 classes=0 mode=jitter\n"
+     "drift: recurring 14 checkpoint=0\n"
+     "arrival: flash rate=40 at=0.5 dur=0.4 factor=6\n"
+     "labels: fixed-lag lag=2\n"
+     "tenant: 1 weight=3 priority=critical share=0.6 streams=4\n"
+     "tenant: 2 weight=1 priority=best-effort share=0.4 streams=4\n"},
+};
+
+}  // namespace
+
+const std::vector<std::string>& CannedScenarioNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>();
+    for (const CannedScenario& c : kCanned) v->push_back(c.name);
+    return v;
+  }();
+  return *names;
+}
+
+Result<std::string> CannedScenarioText(const std::string& name) {
+  for (const CannedScenario& c : kCanned) {
+    if (name == c.name) return std::string(c.text);
+  }
+  std::string known;
+  for (const CannedScenario& c : kCanned) {
+    if (!known.empty()) known += ", ";
+    known += c.name;
+  }
+  return Status::NotFound("no canned scenario '" + name + "' (have: " + known +
+                          ")");
+}
+
+Result<ScenarioSpec> ResolveScenarioSpec(const std::string& name_or_path) {
+  Result<std::string> canned = CannedScenarioText(name_or_path);
+  if (canned.ok()) return ParseScenarioSpec(canned.value());
+  Result<ScenarioSpec> from_file = LoadScenarioSpecFile(name_or_path);
+  if (from_file.ok()) return from_file;
+  return Status::NotFound("'" + name_or_path +
+                          "' is neither a canned scenario (" +
+                          canned.status().message() + ") nor a readable spec "
+                          "file (" + from_file.status().message() + ")");
+}
+
+}  // namespace freeway

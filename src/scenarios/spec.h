@@ -1,0 +1,172 @@
+#ifndef FREEWAYML_SCENARIOS_SPEC_H_
+#define FREEWAYML_SCENARIOS_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "directory/admission.h"
+
+namespace freeway {
+
+/// Drift shapes a scenario can schedule. The names are scenario-file
+/// vocabulary; each compiles onto the one shared drift implementation in
+/// GaussianConceptSource (DriftScript), so there is exactly one place in
+/// the tree where a drift shape is realized.
+enum class ScenarioDriftKind {
+  kStationary,  ///< Concept holds still.
+  kGradual,     ///< Slow directional motion (paper pattern A1).
+  kJitter,      ///< Bounded localized wander (paper pattern A2).
+  kAbrupt,      ///< Sudden jump to a new region (paper pattern B).
+  kRecurring,   ///< Restore of a checkpointed concept (paper pattern C).
+  kCluster,     ///< Cluster-localized: only a subset of class clusters
+                ///< drifts (the cluster-specific localized-drift setting).
+};
+
+const char* ScenarioDriftKindName(ScenarioDriftKind kind);
+
+/// One phase of a scenario's drift schedule.
+struct ScenarioDriftSegment {
+  ScenarioDriftKind kind = ScenarioDriftKind::kStationary;
+  /// Batches this segment lasts.
+  size_t num_batches = 10;
+  /// Step length (gradual), jitter scale (jitter), or jump distance
+  /// (abrupt / cluster). 0 picks a per-kind default at compile time.
+  double magnitude = 0.0;
+  /// For recurring: which checkpoint to restore (0-based).
+  int checkpoint = 0;
+  /// Save a concept checkpoint at segment entry (restorable later).
+  bool save_checkpoint = false;
+  /// Replace class priors at segment entry (empty keeps current).
+  std::vector<double> priors;
+  /// Cluster-localized segments: the affected class clusters.
+  std::vector<size_t> classes;
+  /// Cluster-localized segments: the shape applied to the affected subset
+  /// (abrupt jump, gradual walk, or jitter). Defaults to abrupt.
+  ScenarioDriftKind cluster_mode = ScenarioDriftKind::kAbrupt;
+};
+
+/// Batch arrival processes the loadgen can impose.
+enum class ArrivalKind {
+  kConstant,    ///< Fixed rate with bounded jitter.
+  kDiurnal,     ///< Sinusoidal rate over a configurable period.
+  kBursty,      ///< Alternating high-rate bursts and quiet gaps.
+  kFlashCrowd,  ///< Baseline rate with a sharp multiplicative spike.
+};
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kConstant;
+  /// Baseline arrival rate, batches/second of scenario time.
+  double rate = 100.0;
+  /// Relative uniform jitter on every inter-arrival gap (0.1 = ±10%).
+  double jitter = 0.1;
+  /// Diurnal: period of one rate cycle, seconds of scenario time.
+  double period_seconds = 30.0;
+  /// Diurnal: rate swings by ±amplitude × rate over a period.
+  double amplitude = 0.5;
+  /// Bursty: mean batches per burst (geometric).
+  double burst_batches = 16.0;
+  /// Bursty / flash-crowd: rate multiplier inside a burst / the flash.
+  double factor = 8.0;
+  /// Flash-crowd: spike start and duration, seconds of scenario time.
+  double flash_at_seconds = 2.0;
+  double flash_duration_seconds = 2.0;
+};
+
+/// When ground-truth labels follow their batch into the system.
+enum class LabelDelayKind {
+  kImmediate,    ///< Test-then-train: labels right behind the batch.
+  kFixedLag,     ///< Labels arrive `lag_batches` arrivals later.
+  kAdversarial,  ///< Fixed lag, multiplied during shift-event windows — the
+                 ///< labels are latest exactly when adaptation needs them.
+};
+
+const char* LabelDelayKindName(LabelDelayKind kind);
+
+struct LabelDelaySpec {
+  LabelDelayKind kind = LabelDelayKind::kImmediate;
+  size_t lag_batches = 0;
+  /// Adversarial: lag multiplier while the stream is inside a
+  /// sudden/recurring event window.
+  double adversarial_factor = 4.0;
+};
+
+/// One tenant in the scenario's traffic mix.
+struct ScenarioTenant {
+  uint32_t id = 1;
+  /// Weighted-admission share (DirectoryOptions tenant weight).
+  uint32_t weight = 1;
+  TenantPriority priority = TenantPriority::kStandard;
+  /// Fraction of scenario batches carrying this tenant's id. Shares are
+  /// normalized over the tenant list at generation time.
+  double share = 1.0;
+  /// Logical streams this tenant's traffic is spread across.
+  uint64_t streams = 1;
+};
+
+/// A fully declarative streaming scenario: what the data drifts like, how
+/// fast batches arrive, when labels show up, and who the traffic belongs
+/// to. Everything is derived from `seed`, so one spec is one bit-exact
+/// stream regardless of host, run, or thread count.
+struct ScenarioSpec {
+  std::string name;
+  uint64_t seed = 42;
+  size_t num_batches = 120;
+  size_t batch_size = 256;
+  /// Leading batches excluded from accuracy metrics (still train).
+  size_t warmup_batches = 8;
+
+  /// Non-empty: the stream is a named benchmark dataset simulator
+  /// (MakeBenchmarkDataset) and the inline concept fields below are
+  /// ignored. Empty: the stream is a GaussianConceptSource built from the
+  /// inline fields + drift schedule.
+  std::string dataset;
+  size_t dim = 16;
+  size_t classes = 2;
+  double class_separation = 2.0;
+  double noise_sigma = 1.0;
+  double transition_fraction = 0.15;
+  std::vector<ScenarioDriftSegment> drift;
+
+  ArrivalSpec arrival;
+  LabelDelaySpec labels;
+  /// Empty defaults to one standard tenant with id 1, share 1, 4 streams.
+  std::vector<ScenarioTenant> tenants;
+};
+
+/// Parses the line-oriented scenario grammar (see scenarios/README in the
+/// repo root, or any canned spec):
+///
+///   name: abrupt            # '#' starts a comment, blank lines skipped
+///   seed: 7
+///   batches: 120
+///   drift: abrupt 25 mag=3.0 save
+///   drift: recurring 20 checkpoint=0
+///   drift: cluster 30 mag=3.0 classes=0,2 mode=gradual
+///   arrival: flash rate=120 at=2 dur=2 factor=10
+///   labels: fixed-lag lag=5
+///   tenant: 1 weight=4 priority=critical share=0.5 streams=8
+///
+/// Unknown keys and malformed values are errors (a spec that silently
+/// ignored a typo would bench the wrong scenario).
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& text);
+
+/// Reads and parses a spec file.
+Result<ScenarioSpec> LoadScenarioSpecFile(const std::string& path);
+
+/// Canned scenario names, in documentation order. Each has an identical
+/// committed twin under scenarios/<name>.scn.
+const std::vector<std::string>& CannedScenarioNames();
+
+/// The canned spec text for `name`; NotFound for unknown names.
+Result<std::string> CannedScenarioText(const std::string& name);
+
+/// Resolves a canned name or a spec-file path, in that order.
+Result<ScenarioSpec> ResolveScenarioSpec(const std::string& name_or_path);
+
+}  // namespace freeway
+
+#endif  // FREEWAYML_SCENARIOS_SPEC_H_

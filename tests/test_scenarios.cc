@@ -1,0 +1,414 @@
+// Scenario engine: spec grammar, seeded determinism, drift/arrival/label
+// semantics, and harness equivalence with the legacy prequential driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/factory.h"
+#include "common/thread_pool.h"
+#include "data/simulators.h"
+#include "eval/prequential.h"
+#include "ml/models.h"
+#include "scenarios/harness.h"
+#include "scenarios/scenario.h"
+#include "scenarios/spec.h"
+
+namespace freeway {
+namespace {
+
+ScenarioSpec SmallConceptSpec() {
+  ScenarioSpec spec;
+  spec.name = "unit";
+  spec.seed = 5;
+  spec.num_batches = 24;
+  spec.batch_size = 64;
+  spec.warmup_batches = 2;
+  spec.dim = 6;
+  spec.classes = 2;
+  ScenarioDriftSegment seg;
+  seg.kind = ScenarioDriftKind::kGradual;
+  seg.num_batches = 24;
+  spec.drift.push_back(seg);
+  return spec;
+}
+
+bool BatchesEqual(const Batch& a, const Batch& b) {
+  if (a.index != b.index || a.labels != b.labels) return false;
+  if (a.features.rows() != b.features.rows() ||
+      a.features.cols() != b.features.cols()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    if (a.features.data()[i] != b.features.data()[i]) return false;
+  }
+  return true;
+}
+
+const ScenarioEvent& FindEvent(const GeneratedScenario& scenario,
+                               size_t base_index, bool training) {
+  for (const ScenarioEvent& ev : scenario.events) {
+    if (ev.base_index == base_index && ev.training == training) return ev;
+  }
+  ADD_FAILURE() << "missing event for base " << base_index;
+  static ScenarioEvent none;
+  return none;
+}
+
+TEST(ScenarioSpecTest, CannedScenariosCoverTheRequiredShapes) {
+  const std::vector<std::string>& names = CannedScenarioNames();
+  EXPECT_GE(names.size(), 6u);
+  for (const char* required :
+       {"abrupt", "gradual", "recurring", "cluster_localized", "flash_crowd",
+        "adversarial_labels"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+  for (const std::string& name : names) {
+    Result<ScenarioSpec> spec = ResolveScenarioSpec(name);
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.status();
+    EXPECT_EQ(spec->name, name);
+    EXPECT_TRUE(!spec->drift.empty() || !spec->dataset.empty()) << name;
+    EXPECT_LT(spec->warmup_batches, spec->num_batches) << name;
+  }
+}
+
+TEST(ScenarioSpecTest, CommittedTwinFilesAreByteIdentical) {
+  for (const std::string& name : CannedScenarioNames()) {
+    Result<std::string> canned = CannedScenarioText(name);
+    ASSERT_TRUE(canned.ok());
+    const std::string path =
+        std::string(FREEWAY_SCENARIO_DIR) + "/" + name + ".scn";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing committed twin " << path;
+    std::ostringstream body;
+    body << in.rdbuf();
+    EXPECT_EQ(body.str(), *canned) << path << " drifted from the canned text";
+  }
+}
+
+TEST(ScenarioSpecTest, ParserRejectsMalformedSpecs) {
+  // A name is mandatory.
+  EXPECT_FALSE(ParseScenarioSpec("seed: 3\ndrift: abrupt 10\n").ok());
+  // Dataset and an inline drift schedule are mutually exclusive.
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\ndataset: SEA\ndrift: abrupt 10\n").ok());
+  // Cluster drift requires the affected classes...
+  EXPECT_FALSE(ParseScenarioSpec("name: x\ndrift: cluster 10 mag=1\n").ok());
+  // ...and classes= is cluster-only vocabulary.
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\ndrift: abrupt 10 classes=0\n").ok());
+  // Affected classes must exist.
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\nclasses: 2\ndrift: cluster 10 classes=5\n")
+          .ok());
+  // Lagged label policies need a lag.
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\ndrift: abrupt 10\nlabels: fixed-lag\n")
+          .ok());
+  // Unknown keys are errors, not warnings.
+  EXPECT_FALSE(ParseScenarioSpec("name: x\ndrift: abrupt 10\nfrobnicate: 1\n")
+                   .ok());
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\ndrift: abrupt 10\narrival: sometimes\n")
+          .ok());
+  // Priors must match the class count.
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\nclasses: 2\ndrift: abrupt 10 priors=1\n")
+          .ok());
+  // Warmup must leave scored batches.
+  EXPECT_FALSE(
+      ParseScenarioSpec("name: x\nbatches: 5\nwarmup: 5\ndrift: abrupt 5\n")
+          .ok());
+}
+
+TEST(ScenarioGenerateTest, SameSeedIsBitIdenticalAcrossRunsAndThreadCounts) {
+  Result<ScenarioSpec> spec = ResolveScenarioSpec("mixed");
+  ASSERT_TRUE(spec.ok());
+
+  ThreadPool::SetGlobalThreads(1);
+  Result<GeneratedScenario> first = GenerateScenario(*spec);
+  ThreadPool::SetGlobalThreads(8);
+  Result<GeneratedScenario> second = GenerateScenario(*spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  ASSERT_EQ(first->batches.size(), second->batches.size());
+  for (size_t b = 0; b < first->batches.size(); ++b) {
+    EXPECT_TRUE(BatchesEqual(first->batches[b], second->batches[b]))
+        << "batch " << b;
+  }
+  ASSERT_EQ(first->events.size(), second->events.size());
+  for (size_t e = 0; e < first->events.size(); ++e) {
+    EXPECT_EQ(first->events[e].arrival_micros,
+              second->events[e].arrival_micros);
+    EXPECT_EQ(first->events[e].base_index, second->events[e].base_index);
+    EXPECT_EQ(first->events[e].training, second->events[e].training);
+    EXPECT_EQ(first->events[e].stream_id, second->events[e].stream_id);
+    EXPECT_EQ(first->events[e].tenant_id, second->events[e].tenant_id);
+  }
+  EXPECT_EQ(first->duration_micros, second->duration_micros);
+}
+
+TEST(ScenarioGenerateTest, DistinctSeedsProduceDifferentArrivalJitter) {
+  ScenarioSpec spec = SmallConceptSpec();
+  spec.arrival.jitter = 0.3;
+  Result<GeneratedScenario> a = GenerateScenario(spec);
+  spec.seed = 6;
+  Result<GeneratedScenario> b = GenerateScenario(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t differing = 0;
+  for (size_t e = 0; e < a->events.size(); ++e) {
+    if (a->events[e].arrival_micros != b->events[e].arrival_micros) {
+      ++differing;
+    }
+  }
+  // Jitter is drawn per gap, so essentially every arrival moves.
+  EXPECT_GT(differing, a->events.size() / 2);
+}
+
+TEST(ScenarioGenerateTest, ArrivalProcessDoesNotPerturbTheDataStream) {
+  ScenarioSpec spec = SmallConceptSpec();
+  Result<GeneratedScenario> constant = GenerateScenario(spec);
+  spec.arrival.kind = ArrivalKind::kBursty;
+  spec.arrival.factor = 6.0;
+  Result<GeneratedScenario> bursty = GenerateScenario(spec);
+  ASSERT_TRUE(constant.ok());
+  ASSERT_TRUE(bursty.ok());
+  for (size_t b = 0; b < constant->batches.size(); ++b) {
+    EXPECT_TRUE(BatchesEqual(constant->batches[b], bursty->batches[b]))
+        << "batch " << b;
+  }
+}
+
+TEST(ScenarioGenerateTest, ClusterDriftOnlyMovesTheListedClasses) {
+  ScenarioSpec spec;
+  spec.name = "cluster-unit";
+  spec.seed = 9;
+  spec.num_batches = 16;
+  spec.batch_size = 512;
+  spec.warmup_batches = 1;
+  spec.dim = 8;
+  spec.classes = 3;
+  spec.class_separation = 3.0;
+  ScenarioDriftSegment hold;
+  hold.kind = ScenarioDriftKind::kStationary;
+  hold.num_batches = 8;
+  ScenarioDriftSegment cluster;
+  cluster.kind = ScenarioDriftKind::kCluster;
+  cluster.num_batches = 8;
+  cluster.magnitude = 5.0;
+  cluster.classes = {1};
+  cluster.cluster_mode = ScenarioDriftKind::kAbrupt;
+  spec.drift = {hold, cluster};
+
+  Result<GeneratedScenario> scenario = GenerateScenario(spec);
+  ASSERT_TRUE(scenario.ok());
+
+  // Per-class feature means before (batches 4..7) and after (12..15) the
+  // cluster jump.
+  const auto class_mean = [&](size_t from, size_t to, int label) {
+    std::vector<double> mean(spec.dim, 0.0);
+    size_t rows = 0;
+    for (size_t b = from; b < to; ++b) {
+      const Batch& batch = scenario->batches[b];
+      for (size_t r = 0; r < batch.size(); ++r) {
+        if (batch.labels[r] != label) continue;
+        for (size_t d = 0; d < spec.dim; ++d) {
+          mean[d] += batch.features.At(r, d);
+        }
+        ++rows;
+      }
+    }
+    for (double& v : mean) v /= static_cast<double>(std::max<size_t>(rows, 1));
+    return mean;
+  };
+  const auto distance = [&](int label) {
+    const std::vector<double> before = class_mean(4, 8, label);
+    const std::vector<double> after = class_mean(12, 16, label);
+    double sq = 0.0;
+    for (size_t d = 0; d < spec.dim; ++d) {
+      sq += (after[d] - before[d]) * (after[d] - before[d]);
+    }
+    return std::sqrt(sq);
+  };
+  EXPECT_GT(distance(1), 2.0);  // The listed cluster jumped.
+  EXPECT_LT(distance(0), 0.6);  // The others only wobbled with noise.
+  EXPECT_LT(distance(2), 0.6);
+}
+
+TEST(ScenarioGenerateTest, EventsAreSortedAndCompleteWithImmediateLabels) {
+  ScenarioSpec spec = SmallConceptSpec();
+  Result<GeneratedScenario> scenario = GenerateScenario(spec);
+  ASSERT_TRUE(scenario.ok());
+  ASSERT_EQ(scenario->events.size(), 2 * spec.num_batches);
+  for (size_t e = 1; e < scenario->events.size(); ++e) {
+    EXPECT_LE(scenario->events[e - 1].arrival_micros,
+              scenario->events[e].arrival_micros);
+  }
+  // Immediate labels: the labeled copy directly follows its unlabeled twin.
+  for (size_t e = 0; e < scenario->events.size(); e += 2) {
+    EXPECT_FALSE(scenario->events[e].training);
+    EXPECT_TRUE(scenario->events[e + 1].training);
+    EXPECT_EQ(scenario->events[e].base_index,
+              scenario->events[e + 1].base_index);
+  }
+}
+
+TEST(ScenarioGenerateTest, FixedLagDelaysTrainingBehindLaterArrivals) {
+  ScenarioSpec spec = SmallConceptSpec();
+  spec.labels.kind = LabelDelayKind::kFixedLag;
+  spec.labels.lag_batches = 3;
+  Result<GeneratedScenario> scenario = GenerateScenario(spec);
+  ASSERT_TRUE(scenario.ok());
+  for (size_t i = 0; i + 3 < spec.num_batches; ++i) {
+    const ScenarioEvent& train = FindEvent(*scenario, i, true);
+    const ScenarioEvent& later_infer = FindEvent(*scenario, i + 3, false);
+    EXPECT_GT(train.arrival_micros, later_infer.arrival_micros)
+        << "labels of batch " << i << " must trail the inference of batch "
+        << i + 3;
+  }
+}
+
+TEST(ScenarioGenerateTest, AdversarialLagStretchesInsideShiftWindows) {
+  ScenarioSpec spec = SmallConceptSpec();
+  spec.num_batches = 40;
+  ScenarioDriftSegment hold;
+  hold.kind = ScenarioDriftKind::kStationary;
+  hold.num_batches = 20;
+  ScenarioDriftSegment jump;
+  jump.kind = ScenarioDriftKind::kAbrupt;
+  jump.num_batches = 20;
+  spec.drift = {hold, jump};
+  spec.labels.kind = LabelDelayKind::kAdversarial;
+  spec.labels.lag_batches = 2;
+  spec.labels.adversarial_factor = 3.0;
+
+  Result<GeneratedScenario> scenario = GenerateScenario(spec);
+  ASSERT_TRUE(scenario.ok());
+  size_t checked_events = 0;
+  for (size_t i = 0; i + 6 < spec.num_batches; ++i) {
+    const ScenarioEvent& train = FindEvent(*scenario, i, true);
+    const size_t lag = scenario->metas[i].shift_event ? 6 : 2;
+    const ScenarioEvent& anchor = FindEvent(*scenario, i + lag, false);
+    EXPECT_EQ(train.arrival_micros, anchor.arrival_micros + 1)
+        << "batch " << i;
+    if (scenario->metas[i].shift_event) ++checked_events;
+  }
+  EXPECT_GT(checked_events, 0u) << "drift script produced no shift events";
+}
+
+TEST(ScenarioGenerateTest, FlashCrowdCompressesGapsInsideTheWindow) {
+  ScenarioSpec spec = SmallConceptSpec();
+  spec.num_batches = 100;
+  spec.drift[0].num_batches = 100;
+  spec.arrival.kind = ArrivalKind::kFlashCrowd;
+  spec.arrival.rate = 100.0;
+  spec.arrival.jitter = 0.0;
+  spec.arrival.factor = 10.0;
+  spec.arrival.flash_at_seconds = 0.3;
+  spec.arrival.flash_duration_seconds = 0.3;
+  Result<GeneratedScenario> scenario = GenerateScenario(spec);
+  ASSERT_TRUE(scenario.ok());
+
+  std::vector<uint64_t> arrivals;
+  for (const ScenarioEvent& ev : scenario->events) {
+    if (!ev.training) arrivals.push_back(ev.arrival_micros);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  double in_flash = 0.0, outside = 0.0;
+  size_t in_n = 0, out_n = 0;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = static_cast<double>(arrivals[i] - arrivals[i - 1]);
+    if (arrivals[i] >= 300000 && arrivals[i] < 600000) {
+      in_flash += gap;
+      ++in_n;
+    } else {
+      outside += gap;
+      ++out_n;
+    }
+  }
+  ASSERT_GT(in_n, 5u);
+  ASSERT_GT(out_n, 5u);
+  // 10x the rate means ~1/10th the gap.
+  EXPECT_LT(in_flash / in_n, 0.25 * (outside / out_n));
+}
+
+TEST(ScenarioHarnessTest, LearnerReplayMatchesRunPrequentialBitExactly) {
+  ScenarioSpec spec;
+  spec.name = "Hyperplane";
+  spec.dataset = "Hyperplane";
+  spec.seed = 77;
+  spec.num_batches = 30;
+  spec.batch_size = 128;
+  spec.warmup_batches = 5;
+  Result<GeneratedScenario> scenario = GenerateScenario(spec);
+  ASSERT_TRUE(scenario.ok());
+
+  auto legacy_source = MakeBenchmarkDataset("Hyperplane", spec.seed);
+  ASSERT_TRUE(legacy_source.ok());
+  auto legacy_learner =
+      MakeSystem("Plain", ModelKind::kMlp, (*legacy_source)->input_dim(),
+                 (*legacy_source)->num_classes());
+  ASSERT_TRUE(legacy_learner.ok());
+  PrequentialOptions popts;
+  popts.num_batches = spec.num_batches;
+  popts.batch_size = spec.batch_size;
+  popts.warmup_batches = spec.warmup_batches;
+  auto legacy =
+      RunPrequential(legacy_learner->get(), legacy_source->get(), popts);
+  ASSERT_TRUE(legacy.ok());
+
+  auto scenario_learner =
+      MakeSystem("Plain", ModelKind::kMlp, (*legacy_source)->input_dim(),
+                 (*legacy_source)->num_classes());
+  ASSERT_TRUE(scenario_learner.ok());
+  auto report = RunScenarioOnLearner(scenario_learner->get(), *scenario);
+  ASSERT_TRUE(report.ok());
+
+  ASSERT_EQ(report->prequential.batch_accuracies.size(),
+            legacy->batch_accuracies.size());
+  for (size_t b = 0; b < legacy->batch_accuracies.size(); ++b) {
+    EXPECT_EQ(report->prequential.batch_accuracies[b],
+              legacy->batch_accuracies[b])
+        << "batch " << b;
+    EXPECT_EQ(report->prequential.batch_kinds[b], legacy->batch_kinds[b]);
+    EXPECT_EQ(report->prequential.shift_events[b], legacy->shift_events[b]);
+  }
+  EXPECT_EQ(report->prequential.g_acc, legacy->g_acc);
+  EXPECT_EQ(report->prequential.stability_index, legacy->stability_index);
+}
+
+TEST(ScenarioHarnessTest, RuntimeReplayReconcilesWithZeroLabeledLoss) {
+  Result<ScenarioSpec> spec = ResolveScenarioSpec("mixed");
+  ASSERT_TRUE(spec.ok());
+  Result<GeneratedScenario> scenario = GenerateScenario(*spec);
+  ASSERT_TRUE(scenario.ok());
+  auto source = MakeScenarioSource(*spec);
+  ASSERT_TRUE(source.ok());
+  auto proto =
+      MakeLogisticRegression((*source)->input_dim(), (*source)->num_classes());
+
+  RuntimeHarnessOptions options;
+  options.num_shards = 2;
+  Result<ScenarioReport> report =
+      RunScenarioOnRuntime(*proto, *scenario, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reconciled);
+  EXPECT_TRUE(report->zero_labeled_loss);
+  EXPECT_EQ(report->enqueued, report->processed + report->shed +
+                                  report->quarantined + report->undrained +
+                                  report->in_flight);
+  EXPECT_GT(report->scored_batches, 0u);
+  EXPECT_EQ(report->labeled_dead_letters, 0u);
+  const std::string json = RenderScenarioJson(*report);
+  EXPECT_NE(json.find("\"reconciled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"zero_labeled_loss\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace freeway
